@@ -1,0 +1,88 @@
+// A3 (ablation) — §3: "optimizing the access scheme to minimize the
+// latency for the memory clients". Read-priority scheduling vs plain
+// FR-FCFS across load, including the crossover where read priority
+// starts costing bandwidth.
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+
+namespace {
+
+using namespace edsim;
+using namespace edsim::dram;
+
+struct Point {
+  double read_lat;
+  double bw_gbs;
+};
+
+Point run(SchedulerKind kind, unsigned write_period) {
+  DramConfig cfg = presets::sdram_pc100_4mbit();
+  cfg.scheduler = kind;
+  cfg.refresh_enabled = false;
+  Controller ctl(cfg);
+  Rng rng(11);
+  std::uint64_t wr_addr = 0;
+  for (int i = 0; i < 150'000; ++i) {
+    if (i % static_cast<int>(write_period) == 0 && !ctl.queue_full()) {
+      Request w;
+      w.type = AccessType::kWrite;
+      w.addr = wr_addr;
+      wr_addr += cfg.bytes_per_access();
+      ctl.enqueue(w);
+    }
+    if (i % 41 == 0 && !ctl.queue_full()) {
+      Request r;
+      r.addr = rng.next_below(1u << 19) & ~31ull;
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  return {ctl.stats().read_latency.mean(),
+          ctl.stats().sustained_bandwidth(cfg.clock).as_gbyte_per_s()};
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "A3 (ablation): access scheme vs client latency (§3)");
+
+  Table t({"write load", "FR-FCFS lat", "read-first lat", "latency gain",
+           "FR-FCFS GB/s", "read-first GB/s"});
+  double gain_moderate = 0.0;
+  double bw_cost_saturated = 0.0;
+  for (const unsigned wp : {12u, 8u, 6u, 5u}) {
+    const Point fr = run(SchedulerKind::kFrFcfs, wp);
+    const Point rf = run(SchedulerKind::kReadFirst, wp);
+    if (wp == 6) gain_moderate = fr.read_lat / rf.read_lat;
+    if (wp == 5) bw_cost_saturated = rf.bw_gbs / fr.bw_gbs;
+    char load[24];
+    std::snprintf(load, sizeof load, "1/%u cycles", wp);
+    t.row()
+        .cell(load)
+        .num(fr.read_lat, 1)
+        .num(rf.read_lat, 1)
+        .num(fr.read_lat / rf.read_lat, 2)
+        .num(fr.bw_gbs, 3)
+        .num(rf.bw_gbs, 3);
+  }
+  t.print(std::cout,
+          "Sparse random reads against a paced write stream (latency in "
+          "cycles)");
+
+  print_claim(std::cout, "read-latency gain at 2/3 load", gain_moderate,
+              1.5, 6.0);
+  print_claim(std::cout,
+              "bandwidth retained at saturation (read priority trades "
+              "locality)",
+              bw_cost_saturated, 0.6, 1.05);
+  std::cout << "-> latency-vs-bandwidth is a real scheduler trade-off; "
+               "the §3 'access scheme' knob must be set per application.\n";
+  return 0;
+}

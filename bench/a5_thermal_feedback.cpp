@@ -1,0 +1,92 @@
+// A5 (ablation) — §1: "the power consumption per chip may increase.
+// Therefore junction temperature may increase and DRAM retention time
+// may decrease." The full closed loop, with the refresh penalty fed back
+// into the cycle simulator.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+#include "phy/interface_model.hpp"
+#include "power/energy_model.hpp"
+#include "power/retention.hpp"
+
+namespace {
+
+using namespace edsim;
+
+double measure_bandwidth(double refresh_scale) {
+  dram::DramConfig cfg = dram::presets::edram_256bit_16mbit();
+  dram::Controller ctl(cfg);
+  ctl.refresh_engine().scale_interval(refresh_scale);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 120'000; ++i) {
+    if (!ctl.queue_full()) {
+      dram::Request r;
+      r.addr = addr;
+      addr += cfg.bytes_per_access();
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  return ctl.stats().sustained_bandwidth(cfg.clock).as_gbyte_per_s();
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "A5 (ablation): logic watts -> junction temp -> retention "
+               "-> refresh -> bandwidth (§1)");
+
+  // Memory-side power at full streaming load (measured once).
+  const dram::DramConfig cfg = dram::presets::edram_256bit_16mbit();
+  dram::Controller probe(cfg);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 60'000; ++i) {
+    if (!probe.queue_full()) {
+      dram::Request r;
+      r.addr = addr;
+      addr += cfg.bytes_per_access();
+      probe.enqueue(r);
+    }
+    probe.tick();
+    probe.drain_completed();
+  }
+  const phy::InterfaceModel io(cfg.interface_bits, cfg.clock,
+                               phy::on_chip_wire());
+  const power::DramPowerModel pm(power::core_energy_sdram_025um(),
+                                 io.energy_per_bit_j());
+  const power::PowerBreakdown pb = pm.evaluate(probe.stats(), cfg);
+
+  const power::ThermalLoop loop(power::ThermalModel{},
+                                power::RetentionModel{});
+  Table t({"logic W", "junction C", "retention ms", "refresh x",
+           "sustained GB/s"});
+  double bw_cool = 0.0, bw_hot = 0.0;
+  for (const double logic_w : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    const auto op = loop.solve(logic_w + pb.total_mw() * 1e-3,
+                               pb.refresh_mw * 1e-3, 0.01);
+    const double bw = measure_bandwidth(op.refresh_scale);
+    if (logic_w == 0.0) bw_cool = bw;
+    if (logic_w == 3.0) bw_hot = bw;
+    t.row()
+        .num(logic_w, 1)
+        .num(op.junction_c, 1)
+        .num(op.retention_ms, 1)
+        .num(1.0 / op.refresh_scale, 2)
+        .num(bw, 3);
+  }
+  t.print(std::cout,
+          "Closed-loop operating points, 16-Mbit/256-bit module + logic");
+
+  print_claim(std::cout,
+              "bandwidth lost at 3 W of co-located logic (25 C/W package)",
+              (1.0 - bw_hot / bw_cool) * 100.0, 1.0, 40.0, "%");
+  std::cout << "-> real and growing fast with package thermal resistance: "
+               "the §1 caveat quantified. Hotter packages or more logic "
+               "watts make the refresh tax first-order.\n";
+  return 0;
+}

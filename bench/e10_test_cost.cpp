@@ -1,0 +1,79 @@
+// E10 — §6 test-economics claims: "DRAM test times are quite high, and
+// test costs are a significant fraction of total cost"; "a high degree of
+// parallelism is required in order to reduce test costs", via on-chip
+// BIST with response compaction, runnable from a cheaper logic tester.
+
+#include <iostream>
+
+#include "bist/test_economics.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace edsim;
+  using namespace edsim::bist;
+  print_banner(std::cout, "E10: memory test time and cost (§6)");
+
+  const TesterRates rates;
+  const MarchTest pre = march_c_minus();
+
+  Table t({"capacity", "external 16-pin s", "BIST 512-bit s", "speedup",
+           "external $", "BIST $"});
+  double speedup_64 = 0.0;
+  for (const unsigned mbit : {4u, 16u, 64u, 128u}) {
+    const Capacity cap = Capacity::mbit(mbit);
+    const auto ext =
+        external_test_time(cap, pre, 16, Frequency{100.0}, rates);
+    const auto bist =
+        bist_test_time(cap, pre, 512, Frequency{143.0}, rates);
+    const double speedup = ext.total_seconds() / bist.total_seconds();
+    if (mbit == 64) speedup_64 = speedup;
+    t.row()
+        .cell(to_string(cap))
+        .num(ext.total_seconds(), 3)
+        .num(bist.total_seconds(), 4)
+        .num(speedup, 0)
+        .num(ext.cost_usd, 4)
+        .num(bist.cost_usd, 5);
+  }
+  t.print(std::cout, "March C- (10N) application time");
+  print_claim(std::cout, "BIST parallelism speedup at 64 Mbit", speedup_64,
+              20.0, 60.0);
+
+  // Retention pauses put a floor under test time that parallelism cannot
+  // remove ("DRAM test programs include a lot of waiting").
+  const auto ret = bist_test_time(Capacity::mbit(64), retention_test(100.0),
+                                  512, Frequency{143.0}, rates);
+  Table r({"component", "seconds"});
+  r.row().cell("march ops").num(ret.march_seconds, 4);
+  r.row().cell("retention pauses").num(ret.pause_seconds, 4);
+  r.print(std::cout, "Retention test, 64 Mbit, BIST");
+  print_claim(std::cout, "pause share of retention-test time",
+              ret.pause_seconds / ret.total_seconds(), 0.5, 1.0);
+
+  // The full pre-fuse / fuse / post-fuse flow (§6), both ways.
+  const auto ext_flow =
+      full_flow_cost(Capacity::mbit(64), pre, march_x(),
+                     TestAccess::kExternalMemoryTester, 16,
+                     Frequency{100.0}, rates);
+  const auto bist_flow =
+      full_flow_cost(Capacity::mbit(64), pre, march_x(),
+                     TestAccess::kOnChipBist, 512, Frequency{143.0}, rates);
+  Table f({"flow", "pre-fuse s", "fuse s", "post-fuse s", "total $"});
+  f.row()
+      .cell("external memory tester")
+      .num(ext_flow.pre_fuse.total_seconds(), 2)
+      .num(ext_flow.fuse_seconds, 1)
+      .num(ext_flow.post_fuse.total_seconds(), 2)
+      .num(ext_flow.total_cost_usd, 3);
+  f.row()
+      .cell("on-chip BIST + logic tester")
+      .num(bist_flow.pre_fuse.total_seconds(), 4)
+      .num(bist_flow.fuse_seconds, 1)
+      .num(bist_flow.post_fuse.total_seconds(), 4)
+      .num(bist_flow.total_cost_usd, 4);
+  f.print(std::cout, "Two-pass wafer test flow, 64 Mbit");
+  print_claim(std::cout, "flow cost reduction via BIST",
+              ext_flow.total_cost_usd / bist_flow.total_cost_usd, 2.0,
+              100.0);
+  return 0;
+}

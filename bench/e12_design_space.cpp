@@ -1,0 +1,127 @@
+// E12 — §3 claim: the eDRAM designer can trade logic area against memory
+// area and pick among base processes ("DRAM technology ... high memory
+// densities but suboptimal logic performance; logic technology ... poor
+// memory densities, but fast logic; ... a process that gives the best of
+// both worlds, most likely at higher expense"), plus §2's rules of thumb.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/advisor.hpp"
+#include "core/evaluator.hpp"
+#include "core/pareto.hpp"
+
+int main() {
+  using namespace edsim;
+  using namespace edsim::core;
+  print_banner(std::cout, "E12: the embedded memory design space (§2/§3)");
+
+  // --- process trade-off table (§3) -----------------------------------------
+  Table pt({"base process", "mem density", "logic area", "logic speed",
+            "wafer cost"});
+  for (const BaseProcess p : {BaseProcess::kDramBased,
+                              BaseProcess::kLogicBased,
+                              BaseProcess::kMerged}) {
+    const ProcessFactors f = process_factors(p);
+    pt.row()
+        .cell(to_string(p))
+        .num(f.memory_density, 2)
+        .num(f.logic_area_factor, 2)
+        .num(f.logic_speed, 2)
+        .num(f.wafer_cost_factor, 2);
+  }
+  pt.print(std::cout, "Base-process factors");
+
+  // --- full sweep --------------------------------------------------------------
+  Evaluator ev;
+  EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+
+  std::vector<SystemConfig> cfgs;
+  for (const BaseProcess p : {BaseProcess::kDramBased,
+                              BaseProcess::kLogicBased,
+                              BaseProcess::kMerged}) {
+    for (const unsigned width : {64u, 256u, 512u}) {
+      SystemConfig s;
+      s.name = std::string(to_string(p)) + "/" + std::to_string(width);
+      s.integration = Integration::kEmbedded;
+      s.process = p;
+      s.required_memory = Capacity::mbit(16);
+      s.interface_bits = width;
+      s.banks = 4;
+      s.page_bytes = 2048;
+      cfgs.push_back(s);
+    }
+  }
+  for (const unsigned width : {16u, 64u}) {
+    SystemConfig s;
+    s.name = "discrete/" + std::to_string(width);
+    s.integration = Integration::kDiscrete;
+    s.required_memory = Capacity::mbit(16);
+    s.interface_bits = width;
+    cfgs.push_back(s);
+  }
+  const auto metrics = ev.sweep(cfgs, w);
+
+  Table t({"design", "area mm2", "sust GB/s", "lat ns", "power mW",
+           "cost $", "waste Mbit"});
+  for (const auto& m : metrics) {
+    t.row()
+        .cell(m.name)
+        .num(m.die_area_mm2, 1)
+        .num(m.sustained_gbyte_s, 2)
+        .num(m.avg_read_latency_ns, 0)
+        .num(m.total_power_mw, 0)
+        .num(m.unit_cost_usd, 2)
+        .num(m.waste_mbit, 0);
+  }
+  t.print(std::cout, "16-Mbit application, 2 GB/s demand");
+
+  std::vector<ParetoPoint> pts;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    pts.push_back(ParetoPoint{
+        i,
+        {metrics[i].unit_cost_usd, -metrics[i].sustained_gbyte_s,
+         metrics[i].total_power_mw}});
+  }
+  const auto front = pareto_front(pts);
+  std::cout << "Pareto front (cost/bandwidth/power): ";
+  for (const auto i : front) std::cout << metrics[i].name << "  ";
+  std::cout << "\n";
+  print_claim(std::cout, "front size (a real trade-off surface, not one "
+                         "winner)",
+              static_cast<double>(front.size()), 2.0, 8.0, " designs");
+
+  // The §3 logic-vs-memory area trade: same gates, different processes.
+  const auto& dram_based = metrics[1];   // DRAM-based / 256
+  const auto& logic_based = metrics[4];  // logic-based / 256
+  print_claim(std::cout, "logic area penalty on a DRAM process",
+              dram_based.logic_area_mm2 / logic_based.logic_area_mm2, 1.4,
+              1.8);
+  print_claim(std::cout, "memory area penalty on a logic process",
+              logic_based.memory_area_mm2 / dram_based.memory_area_mm2, 1.8,
+              2.6);
+
+  // --- §2 advisor ---------------------------------------------------------------
+  Table adv({"application", "eDRAM?", "score"});
+  bool pc_rejected = false;
+  unsigned recommended = 0;
+  for (const auto& v : Advisor{}.advise_all(paper_market_profiles())) {
+    adv.row()
+        .cell(v.application)
+        .cell(v.recommend_edram ? "yes" : "no")
+        .num(v.score, 1);
+    if (v.application == "PC main memory" && !v.recommend_edram)
+      pc_rejected = true;
+    if (v.recommend_edram) ++recommended;
+  }
+  adv.print(std::cout, "Rules-of-thumb advisor on the §2 markets");
+  print_claim(std::cout, "PC main memory rejected (1=yes)",
+              pc_rejected ? 1.0 : 0.0, 1.0, 1.0);
+  print_claim(std::cout, "named markets recommended",
+              static_cast<double>(recommended), 5.0, 7.0, " of 7");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E13 — §1 feasibility claim: "In quarter-micron technology, chips with
+// up to 128 Mbit of DRAM and 500 kgates of logic, or 64 Mbit of DRAM and
+// 1 Mgates of logic are feasible."
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "modulegen/floorplan.hpp"
+
+int main() {
+  using namespace edsim;
+  using namespace edsim::modulegen;
+  print_banner(std::cout, "E13: chip-level feasibility envelope (§1)");
+
+  struct Case {
+    const char* name;
+    unsigned mbit;
+    unsigned width;
+    double kgates;
+  };
+  const Case cases[] = {
+      {"128 Mbit + 500 kgates (paper)", 128, 512, 500.0},
+      {"64 Mbit + 1 Mgates (paper)", 64, 512, 1000.0},
+      {"16 Mbit + 250 kgates (MPEG2-class)", 16, 64, 250.0},
+      {"128 Mbit + 1.5 Mgates (beyond)", 128, 512, 1500.0},
+      {"256 Mbit + 500 kgates (beyond)", 256, 512, 500.0},
+  };
+
+  Table t({"chip", "mem mm2", "logic mm2", "total mm2", "die (mm)",
+           "aspect", "feasible"});
+  bool paper_a = false, paper_b = false, beyond_any = true;
+  for (const Case& c : cases) {
+    ChipSpec spec;
+    ModuleSpec m;
+    m.capacity = Capacity::mbit(c.mbit);
+    m.interface_bits = c.width;
+    m.banks = c.mbit >= 64 ? 8u : 4u;
+    m.page_bytes = 2048;
+    spec.modules = {m};
+    spec.logic_kgates = c.kgates;
+    const ChipPlan plan = plan_chip(spec);
+    char die[32];
+    std::snprintf(die, sizeof die, "%.1fx%.1f", plan.die_width_mm,
+                  plan.die_height_mm);
+    t.row()
+        .cell(c.name)
+        .num(plan.memory_area_mm2, 1)
+        .num(plan.logic_area_mm2, 1)
+        .num(plan.total_area_mm2, 1)
+        .cell(die)
+        .num(plan.aspect_ratio, 2)
+        .cell(plan.feasible ? "yes" : "no");
+    if (c.mbit == 128 && c.kgates == 500.0) paper_a = plan.feasible;
+    if (c.mbit == 64 && c.kgates == 1000.0) paper_b = plan.feasible;
+    if (c.mbit == 256) beyond_any = plan.feasible;
+  }
+  t.print(std::cout, "Floorplans on a 200 mm2 economic die limit");
+
+  print_claim(std::cout, "128 Mbit + 500 kgates feasible (1=yes)",
+              paper_a ? 1.0 : 0.0, 1.0, 1.0);
+  print_claim(std::cout, "64 Mbit + 1 Mgates feasible (1=yes)",
+              paper_b ? 1.0 : 0.0, 1.0, 1.0);
+  print_claim(std::cout, "256 Mbit + 500 kgates infeasible (0=yes)",
+              beyond_any ? 1.0 : 0.0, 0.0, 0.0);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E15 — §6 claim: "if edram is used for graphics applications,
+// occasional soft problems, such as too short retention times of a few
+// cells, are much more acceptable than if edram is used for program
+// data. The test concept should take this cost-reduction potential into
+// account."
+
+#include <iostream>
+
+#include "bist/quality.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace edsim;
+  using namespace edsim::bist;
+  print_banner(std::cout,
+               "E15: quality grades — graphics vs program/data (§6)");
+
+  const TesterRates rates;
+  const Capacity cap = Capacity::mbit(16);
+  const Frequency clk{143.0};
+  const unsigned width = 512;
+
+  const TestPlan plans[] = {graphics_test_plan(), compute_test_plan()};
+  Table t({"plan", "tests", "retention screen", "test s", "test $"});
+  double t_graphics = 0.0, t_compute = 0.0;
+  for (const TestPlan& p : plans) {
+    std::string names;
+    for (const auto& m : p.tests) names += m.name + " ";
+    const double secs = p.total_seconds(cap, width, clk);
+    if (p.name == "graphics-grade") t_graphics = secs;
+    if (p.name == "compute-grade") t_compute = secs;
+    t.row()
+        .cell(p.name)
+        .cell(names)
+        .cell(p.includes_retention() ? "yes" : "no")
+        .num(secs, 4)
+        .num(p.total_cost_usd(cap, width, clk, rates), 5);
+  }
+  t.print(std::cout, "Test plans per grade, 16-Mbit module via BIST");
+  print_claim(std::cout,
+              "test-time saving of the graphics grade (skip retention)",
+              t_compute / t_graphics, 20.0, 500.0);
+
+  // Shipped quality: the retention-fault population escapes the graphics
+  // flow. Marginal-retention cells are a rare defect class — take them
+  // as 0.8% of a 0.5-defects/chip population; the compute flow screens
+  // them and reaches 99.97% total coverage.
+  Table q({"grade", "coverage", "shipped DPPM", "meets target"});
+  const double lambda = 0.5;
+  const double graphics_cov = 1.0 - 0.008;  // everything except retention
+  const double compute_cov = 0.9997;        // retention screened too
+  const QualityGrade grades[] = {graphics_grade(), compute_grade()};
+  const double covs[] = {graphics_cov, compute_cov};
+  bool graphics_ok = false, compute_ok = false;
+  for (int i = 0; i < 2; ++i) {
+    const double dppm = shipped_dppm(lambda, covs[i]);
+    const bool ok = dppm <= grades[i].target_dppm;
+    if (i == 0) graphics_ok = ok;
+    if (i == 1) compute_ok = ok;
+    q.row()
+        .cell(grades[i].name)
+        .num(covs[i] * 100.0, 1)
+        .num(dppm, 0)
+        .cell(ok ? "yes" : "no");
+  }
+  q.print(std::cout,
+          "Shipped quality at 0.5 defects/chip (retention = 0.8% of "
+          "defects)");
+  print_claim(std::cout, "graphics grade meets its relaxed DPPM (1=yes)",
+              graphics_ok ? 1.0 : 0.0, 1.0, 1.0);
+  print_claim(std::cout, "compute grade meets its strict DPPM (1=yes)",
+              compute_ok ? 1.0 : 0.0, 1.0, 1.0);
+
+  // And the flip side: shipping graphics-tested parts into a compute
+  // socket misses the strict target.
+  const bool cross = shipped_dppm(lambda, graphics_cov) <=
+                     compute_grade().target_dppm;
+  print_claim(std::cout,
+              "graphics-tested part fails the compute target (0=yes)",
+              cross ? 1.0 : 0.0, 0.0, 0.0);
+  return 0;
+}

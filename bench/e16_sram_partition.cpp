@@ -1,0 +1,67 @@
+// E16 — §3: "since edram allows to integrate SRAMs and DRAMs, decisions
+// on the on/off-chip DRAM- and SRAM/DRAM-partitioning have to be made."
+// Where the SRAM/eDRAM area crossover sits, and how the §4.1 decoder's
+// buffer set partitions.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "modulegen/sram.hpp"
+
+int main() {
+  using namespace edsim;
+  using namespace edsim::modulegen;
+  print_banner(std::cout, "E16: SRAM vs eDRAM partitioning (§3)");
+
+  const SramModel sram;
+
+  Table t({"buffer size", "SRAM mm2", "min eDRAM module mm2", "cheaper"});
+  for (const unsigned kbit : {4u, 16u, 64u, 128u, 256u, 512u, 1024u,
+                              4096u, 16384u}) {
+    const Capacity c = Capacity::kbit(kbit);
+    const double s = sram.area_mm2(c);
+    const double d = min_edram_area_mm2(c);
+    t.row()
+        .cell(to_string(c))
+        .num(s, 2)
+        .num(d, 2)
+        .cell(s < d ? "SRAM" : "eDRAM");
+  }
+  t.print(std::cout, "Standalone buffer: which medium is smaller?");
+
+  const Capacity crossover = sram_edram_crossover();
+  print_claim(std::cout, "standalone crossover size",
+              crossover.as_mbit() * 1024.0, 64.0, 1024.0, " Kbit");
+
+  // The MPEG2 decoder's buffer inventory, §4.1 + working FIFOs.
+  const auto plan = partition_buffers({
+      {"vbv_input", Capacity::mbit_d(1.75), false},
+      {"reference_0", Capacity::mbit_d(4.75), false},
+      {"reference_1", Capacity::mbit_d(4.75), false},
+      {"output_conversion", Capacity::mbit_d(4.75), false},
+      {"mc_line_fifo", Capacity::kbit(8), true},
+      {"vlc_fifo", Capacity::kbit(4), false},
+      {"display_fifo", Capacity::kbit(16), false},
+  });
+  Table p({"buffer", "size", "medium", "area mm2"});
+  for (const auto& b : plan.buffers) {
+    p.row()
+        .cell(b.spec.name)
+        .cell(to_string(b.spec.size))
+        .cell(b.medium == Medium::kSram ? "SRAM" : "eDRAM")
+        .num(b.area_mm2, 3);
+  }
+  p.print(std::cout, "MPEG2 decoder buffer partitioning");
+  std::cout << "SRAM total " << Table::fmt(plan.sram_area_mm2, 2)
+            << " mm2 (" << to_string(plan.sram_capacity())
+            << "), eDRAM module " << Table::fmt(plan.edram_area_mm2, 2)
+            << " mm2 (" << to_string(plan.edram_capacity()) << ")\n";
+
+  // Counterfactual: everything in SRAM — the §1 motivation for eDRAM.
+  double all_sram = 0.0;
+  for (const auto& b : plan.buffers)
+    all_sram += sram.area_mm2(b.spec.size);
+  print_claim(std::cout, "area saved vs an all-SRAM implementation",
+              all_sram / plan.total_area_mm2(), 4.0, 12.0);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E2 — §1 fill-frequency claim: "Embedded DRAMs can achieve much higher
+// fill frequencies than discrete SDRAMs... it is possible to make a
+// 4-Mbit edram with a 256-bit interface. In contrast, it would take 16
+// discrete 4-Mbit chips to achieve the same width, so the granularity of
+// such a discrete system is 64 Mbit."
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "phy/fill_frequency.hpp"
+
+int main() {
+  using namespace edsim;
+  print_banner(std::cout, "E2: fill frequency — embedded vs discrete (§1)");
+
+  // The paper's own example first: 4-Mbit chips.
+  phy::DiscreteChip small_chip;
+  small_chip.capacity = Capacity::mbit(4);
+  small_chip.interface_bits = 16;
+  small_chip.name = "4Mbit x16 SDRAM";
+
+  const auto edram4 =
+      phy::embedded_fill_point(Capacity::mbit(4), 256, Frequency{143.0});
+  const auto disc4 = phy::discrete_fill_point(small_chip, 256);
+
+  Table ex({"system", "size", "width", "peak", "fills/s"});
+  ex.row()
+      .cell("embedded 4 Mbit / 256-bit")
+      .cell(to_string(edram4.size))
+      .integer(edram4.width_bits)
+      .cell(to_string(edram4.peak))
+      .num(edram4.fill_hz, 0);
+  ex.row()
+      .cell("16x 4-Mbit chips (granularity floor)")
+      .cell(to_string(disc4.size))
+      .integer(disc4.width_bits)
+      .cell(to_string(disc4.peak))
+      .num(disc4.fill_hz, 0);
+  ex.print(std::cout, "Paper's §1 example");
+  print_claim(std::cout, "fill-frequency advantage at 4 Mbit",
+              edram4.fill_hz / disc4.fill_hz, 10.0, 40.0);
+
+  // Sweep: application sizes vs a modern 64-Mbit x16 commodity part.
+  phy::DiscreteChip big_chip;  // 64 Mbit x16 @ 100 MHz
+  const auto sweep = phy::fill_frequency_sweep(
+      {1, 2, 4, 8, 16, 32, 64, 128}, 256, Frequency{143.0}, big_chip, 64);
+
+  Table t({"app size Mbit", "edram fills/s", "discrete fills/s",
+           "discrete installed", "advantage"});
+  for (const auto& row : sweep) {
+    t.row()
+        .num(row.requested.as_mbit(), 0)
+        .num(row.embedded.fill_hz, 0)
+        .num(row.discrete.fill_hz, 0)
+        .cell(to_string(row.discrete.size))
+        .cell(Table::fmt_ratio(row.advantage));
+  }
+  t.print(std::cout, "Fill-frequency sweep (embedded 256-bit vs 64-bit "
+                     "rank of 64-Mbit chips)");
+
+  bool monotone = true;
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    monotone = monotone && sweep[i].embedded.fill_hz <
+                               sweep[i - 1].embedded.fill_hz;
+  print_claim(std::cout, "embedded fill frequency falls with size (1=yes)",
+              monotone ? 1.0 : 0.0, 1.0, 1.0);
+  print_claim(std::cout, "advantage at 1 Mbit", sweep.front().advantage,
+              50.0, 2000.0);
+  return 0;
+}

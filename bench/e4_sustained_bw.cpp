@@ -1,0 +1,110 @@
+// E4 — §4 sustained-vs-peak claim: "The peak bandwidth is a theoretical
+// quantity; in practice several memory clients have to read and write
+// data which introduces page misses and overhead. Hence the sustainable
+// bandwidth can be much lower than the peak bandwidth." And the §3/§4
+// levers that recover it: banks, page policy, access scheme (scheduler).
+
+#include <iostream>
+#include <memory>
+
+#include "clients/system.hpp"
+#include "common/table.hpp"
+#include "dram/presets.hpp"
+
+namespace {
+
+using namespace edsim;
+
+double run_mix(unsigned banks, dram::SchedulerKind sched,
+               dram::PagePolicy policy, unsigned n_stream,
+               unsigned n_random) {
+  dram::DramConfig cfg = dram::presets::edram_module(16, 128, banks, 2048);
+  cfg.scheduler = sched;
+  cfg.page_policy = policy;
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  const unsigned burst = cfg.bytes_per_access();
+  const std::uint64_t region = cfg.capacity().byte_count();
+  const unsigned n = n_stream + n_random;
+  unsigned id = 0;
+  for (unsigned i = 0; i < n_stream; ++i) {
+    clients::StreamClient::Params p;
+    p.base = region / n * id;
+    p.length = region / n;
+    p.burst_bytes = burst;
+    p.type = i % 2 ? dram::AccessType::kWrite : dram::AccessType::kRead;
+    sys.add_client(
+        std::make_unique<clients::StreamClient>(id, "stream", p));
+    ++id;
+  }
+  for (unsigned i = 0; i < n_random; ++i) {
+    clients::RandomClient::Params p;
+    p.base = region / n * id;
+    p.length = region / n;
+    p.burst_bytes = burst;
+    p.seed = 100 + i;
+    sys.add_client(
+        std::make_unique<clients::RandomClient>(id, "random", p));
+    ++id;
+  }
+  sys.run(150'000);
+  return sys.bandwidth_efficiency();
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "E4: sustained vs peak bandwidth — banks, scheduler, page "
+               "policy (§3/§4)");
+
+  // Table 1: bank count x scheduler, mixed 2-stream + 4-random load.
+  Table t({"banks", "FCFS", "FCFS/bank", "FR-FCFS"});
+  for (const unsigned banks : {1u, 2u, 4u, 8u, 16u}) {
+    t.row()
+        .integer(banks)
+        .num(run_mix(banks, dram::SchedulerKind::kFcfs,
+                     dram::PagePolicy::kOpen, 2, 4),
+             3)
+        .num(run_mix(banks, dram::SchedulerKind::kFcfsPerBank,
+                     dram::PagePolicy::kOpen, 2, 4),
+             3)
+        .num(run_mix(banks, dram::SchedulerKind::kFrFcfs,
+                     dram::PagePolicy::kOpen, 2, 4),
+             3);
+  }
+  t.print(std::cout,
+          "Sustained/peak, 2 streaming + 4 random clients, open pages");
+
+  // Table 2: pure streaming vs pure random under the best scheduler.
+  Table t2({"banks", "6 streams", "6 random", "open page", "closed page"});
+  for (const unsigned banks : {1u, 4u, 16u}) {
+    t2.row()
+        .integer(banks)
+        .num(run_mix(banks, dram::SchedulerKind::kFrFcfs,
+                     dram::PagePolicy::kOpen, 6, 0),
+             3)
+        .num(run_mix(banks, dram::SchedulerKind::kFrFcfs,
+                     dram::PagePolicy::kOpen, 0, 6),
+             3)
+        .num(run_mix(banks, dram::SchedulerKind::kFrFcfs,
+                     dram::PagePolicy::kOpen, 3, 3),
+             3)
+        .num(run_mix(banks, dram::SchedulerKind::kFrFcfs,
+                     dram::PagePolicy::kClosed, 3, 3),
+             3);
+  }
+  t2.print(std::cout, "Workload and page-policy sensitivity (FR-FCFS)");
+
+  const double worst =
+      run_mix(1, dram::SchedulerKind::kFcfs, dram::PagePolicy::kOpen, 0, 6);
+  const double best = run_mix(8, dram::SchedulerKind::kFrFcfs,
+                              dram::PagePolicy::kOpen, 6, 0);
+  print_claim(std::cout,
+              "random/1-bank/FCFS sustained fraction (paper: 'much lower')",
+              worst, 0.0, 0.5);
+  print_claim(std::cout, "stream/8-bank/FR-FCFS sustained fraction", best,
+              0.8, 1.0);
+  print_claim(std::cout, "recovery factor via organization freedom",
+              best / worst, 2.0, 50.0);
+  return 0;
+}

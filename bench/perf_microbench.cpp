@@ -1,0 +1,153 @@
+// P0 — engineering microbenchmarks of the simulator kernels themselves
+// (google-benchmark): controller cycle throughput, march-test engine
+// throughput, repair allocator, and Monte-Carlo yield.
+
+#include <benchmark/benchmark.h>
+
+#include "bist/march.hpp"
+#include "bist/redundancy.hpp"
+#include "bist/yield.hpp"
+#include "common/rng.hpp"
+#include "core/allocation.hpp"
+#include "dram/controller.hpp"
+#include "dram/multi_channel.hpp"
+#include "dram/presets.hpp"
+#include "dram/protocol_checker.hpp"
+
+namespace {
+
+using namespace edsim;
+
+void BM_ControllerStreamTick(benchmark::State& state) {
+  dram::DramConfig cfg = dram::presets::edram_module(
+      16, 128, static_cast<unsigned>(state.range(0)), 2048);
+  dram::Controller ctl(cfg);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    if (!ctl.queue_full()) {
+      dram::Request r;
+      r.addr = addr;
+      addr += cfg.bytes_per_access();
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    benchmark::DoNotOptimize(ctl.drain_completed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ControllerStreamTick)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ControllerRandomTick(benchmark::State& state) {
+  dram::DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  dram::Controller ctl(cfg);
+  Rng rng(1);
+  const std::uint64_t cap = cfg.capacity().byte_count();
+  for (auto _ : state) {
+    if (!ctl.queue_full()) {
+      dram::Request r;
+      r.addr = rng.next_below(cap) & ~127ull;
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    benchmark::DoNotOptimize(ctl.drain_completed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ControllerRandomTick);
+
+void BM_MarchCMinus(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const bist::MarchTest test = bist::march_c_minus();
+  for (auto _ : state) {
+    bist::MemoryArray a(n, n);
+    benchmark::DoNotOptimize(bist::run_march(a, test));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 10);
+}
+BENCHMARK(BM_MarchCMinus)->Arg(32)->Arg(128);
+
+void BM_RepairAllocator(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    bist::FailBitmap b;
+    b.rows = b.cols = 1024;
+    for (int i = 0; i < 6; ++i) {
+      b.fails.push_back({static_cast<unsigned>(rng.next_below(1024)),
+                         static_cast<unsigned>(rng.next_below(1024))});
+    }
+    benchmark::DoNotOptimize(bist::allocate_repair(b, 4, 4));
+  }
+}
+BENCHMARK(BM_RepairAllocator);
+
+void BM_MonteCarloYield(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bist::simulate_yield(
+        2.0, bist::DefectMix{}, 4, 4, 10'000, 11));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_MonteCarloYield);
+
+void BM_MultiChannelTick(benchmark::State& state) {
+  dram::MultiChannel mc(dram::presets::edram_module(16, 128, 4, 2048),
+                        static_cast<unsigned>(state.range(0)),
+                        dram::ChannelInterleave::kBurst);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    if (!mc.queue_full_for(addr)) {
+      dram::Request r;
+      r.addr = addr;
+      addr += 128;
+      mc.enqueue(r);
+    }
+    mc.tick();
+    benchmark::DoNotOptimize(mc.drain_completed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MultiChannelTick)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_BankAllocatorOptimal(benchmark::State& state) {
+  std::vector<core::TrafficBuffer> buffers;
+  Rng rng(5);
+  for (int i = 0; i < 7; ++i) {
+    buffers.push_back({"b" + std::to_string(i),
+                       Capacity::bytes(64 << 10),
+                       0.1 + rng.next_double()});
+  }
+  const auto cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::allocate_banks_optimal(buffers, cfg));
+  }
+}
+BENCHMARK(BM_BankAllocatorOptimal);
+
+void BM_ProtocolChecker(benchmark::State& state) {
+  // Capture once, verify repeatedly.
+  dram::DramConfig cfg = dram::presets::sdram_pc100_4mbit();
+  dram::Controller ctl(cfg);
+  dram::CommandLog log;
+  ctl.attach_command_log(&log);
+  Rng rng(2);
+  for (int i = 0; i < 20'000; ++i) {
+    if (!ctl.queue_full()) {
+      dram::Request r;
+      r.addr = rng.next_below(1u << 19) & ~31ull;
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  const dram::ProtocolChecker checker(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.verify(log));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_ProtocolChecker);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// The §3 design space made executable: sweep integration style, process
+// choice and interface width for a 16-Mbit application, evaluate each
+// point (simulation + models), extract the cost/bandwidth/power Pareto
+// front, and print the §2 advisor's verdicts for the paper's markets.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/advisor.hpp"
+#include "core/evaluator.hpp"
+#include "core/pareto.hpp"
+
+int main() {
+  using namespace edsim;
+  using namespace edsim::core;
+
+  std::vector<SystemConfig> cfgs;
+  for (const BaseProcess p :
+       {BaseProcess::kDramBased, BaseProcess::kLogicBased,
+        BaseProcess::kMerged}) {
+    for (const unsigned width : {64u, 128u, 256u, 512u}) {
+      SystemConfig s;
+      s.name = std::string(to_string(p)) + "/" + std::to_string(width) + "b";
+      s.integration = Integration::kEmbedded;
+      s.process = p;
+      s.required_memory = Capacity::mbit(16);
+      s.interface_bits = width;
+      s.banks = 4;
+      s.page_bytes = 2048;
+      cfgs.push_back(s);
+    }
+  }
+  for (const unsigned width : {16u, 32u, 64u}) {
+    SystemConfig s;
+    s.name = "discrete/" + std::to_string(width) + "b";
+    s.integration = Integration::kDiscrete;
+    s.required_memory = Capacity::mbit(16);
+    s.interface_bits = width;
+    cfgs.push_back(s);
+  }
+
+  Evaluator ev;
+  EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  const auto metrics = ev.sweep(cfgs, w);
+
+  Table t({"design", "area mm2", "sust GB/s", "power mW", "cost $",
+           "waste Mbit", "logic speed"});
+  for (const auto& m : metrics) {
+    t.row()
+        .cell(m.name)
+        .num(m.die_area_mm2, 1)
+        .num(m.sustained_gbyte_s, 2)
+        .num(m.total_power_mw, 0)
+        .num(m.unit_cost_usd, 2)
+        .num(m.waste_mbit, 0)
+        .num(m.logic_speed, 2);
+  }
+  t.print(std::cout, "Design space: 16-Mbit application @ 2 GB/s demand");
+
+  // Pareto: minimize cost and power, maximize sustained bandwidth.
+  std::vector<ParetoPoint> pts;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    pts.push_back(ParetoPoint{i,
+                              {metrics[i].unit_cost_usd,
+                               metrics[i].total_power_mw,
+                               -metrics[i].sustained_gbyte_s}});
+  }
+  std::cout << "\nPareto-optimal (cost, power, bandwidth):\n";
+  for (const std::size_t i : pareto_front(pts)) {
+    std::cout << "  * " << metrics[i].name << "\n";
+  }
+
+  // §2 advisor verdicts.
+  std::cout << "\n";
+  Table adv({"application", "eDRAM?", "score", "first reason"});
+  for (const auto& v : Advisor{}.advise_all(paper_market_profiles())) {
+    adv.row()
+        .cell(v.application)
+        .cell(v.recommend_edram ? "yes" : "no")
+        .num(v.score, 1)
+        .cell(v.reasons.empty() ? "-" : v.reasons.front());
+  }
+  adv.print(std::cout, "Rules-of-thumb advisor (§2 markets)");
+  return 0;
+}

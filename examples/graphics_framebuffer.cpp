@@ -1,0 +1,113 @@
+// §2's first conquered market: a 3D graphics accelerator's frame store.
+// Compares an embedded 16-Mbit module against the discrete alternative
+// for the same three clients (scan-out, rendering, texture fetch), on
+// bandwidth, latency and interface power — the laptop argument.
+
+#include <iostream>
+#include <memory>
+
+#include "clients/system.hpp"
+#include "common/table.hpp"
+#include "dram/presets.hpp"
+#include "phy/interface_model.hpp"
+#include "power/energy_model.hpp"
+
+namespace {
+
+struct Result {
+  std::string name;
+  double sustained_gbs;
+  double peak_gbs;
+  double scanout_latency;
+  double io_power_mw;
+};
+
+Result run(const edsim::dram::DramConfig& cfg,
+           const edsim::phy::IoElectricals& io, const std::string& name) {
+  using namespace edsim;
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kFixedPriority);
+  const unsigned burst = cfg.bytes_per_access();
+
+  // Scan-out: XGA 1024x768 @ 75 Hz, 2 B/pixel = 118 MB/s, hard real time
+  // (highest priority).
+  clients::StreamClient::Params scan;
+  scan.length = 1024 * 768 * 2;
+  scan.burst_bytes = burst;
+  scan.period_cycles = static_cast<unsigned>(
+      cfg.clock.hz() / (118e6 / burst));
+  sys.add_client(std::make_unique<clients::StreamClient>(0, "scanout", scan));
+
+  // Renderer: unpaced writes into the back buffer.
+  clients::StreamClient::Params rend;
+  rend.base = 2 * 1024 * 1024;
+  rend.length = 1024 * 768 * 2;
+  rend.burst_bytes = burst;
+  rend.type = dram::AccessType::kWrite;
+  sys.add_client(std::make_unique<clients::StreamClient>(1, "render", rend));
+
+  // Texture fetch: random reads.
+  clients::RandomClient::Params tex;
+  tex.base = 4 * 1024 * 1024;
+  tex.length = 1024 * 1024;
+  tex.burst_bytes = burst;
+  tex.read_fraction = 1.0;
+  tex.seed = 3;
+  sys.add_client(std::make_unique<clients::RandomClient>(2, "texture", tex));
+
+  sys.run(300'000);
+
+  const phy::InterfaceModel iface(cfg.interface_bits, cfg.clock, io);
+  const auto& st = sys.controller().stats();
+  Result r;
+  r.name = name;
+  r.sustained_gbs = sys.aggregate_bandwidth().as_gbyte_per_s();
+  r.peak_gbs = cfg.peak_bandwidth().as_gbyte_per_s();
+  r.scanout_latency = sys.client_stats(0).latency.mean() *
+                      cfg.clock.period_ns();
+  r.io_power_mw = iface.dynamic_power_w(st.data_bus_utilization()) * 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edsim;
+
+  // 64 Mbit: front+back XGA buffer plus textures (§2: graphics needs
+  // 8-32+ Mbit of frame storage; we include texture store).
+  const Result edram = run(dram::presets::edram_module(64, 128, 4, 2048),
+                           phy::on_chip_wire(), "embedded 64Mbit/128-bit");
+
+  dram::DramConfig discrete = dram::presets::sdram_pc100_64mbit();
+  discrete.interface_bits = 32;           // 2 x16 chips
+  discrete.page_bytes = 1024;             // concatenated pages
+  const Result sdram =
+      run(discrete, phy::off_chip_board(), "discrete 2x16-bit SDRAM");
+
+  Table t({"system", "sustained GB/s", "peak GB/s", "scanout lat ns",
+           "IO power mW"});
+  for (const Result& r : {edram, sdram}) {
+    t.row()
+        .cell(r.name)
+        .num(r.sustained_gbs, 2)
+        .num(r.peak_gbs, 2)
+        .num(r.scanout_latency, 0)
+        .num(r.io_power_mw, 1);
+  }
+  t.print(std::cout, "Graphics frame store: embedded vs discrete (§2)");
+
+  std::cout << "\nInterface energy per bit: on-chip "
+            << Table::fmt(phy::InterfaceModel(128, Frequency{143.0},
+                                              phy::on_chip_wire())
+                                  .energy_per_bit_j() *
+                              1e12,
+                          1)
+            << " pJ vs off-chip "
+            << Table::fmt(phy::InterfaceModel(32, Frequency{100.0},
+                                              phy::off_chip_board())
+                                  .energy_per_bit_j() *
+                              1e12,
+                          1)
+            << " pJ — the laptop battery argument.\n";
+  return 0;
+}

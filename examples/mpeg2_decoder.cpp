@@ -1,0 +1,67 @@
+// The paper's §4.1 case study as an application: an MPEG2 MP@ML decoder's
+// memory system on a 16-Mbit embedded DRAM. Prints the footprint budget
+// (PAL and NTSC), the output-buffer trade-off, and a cycle-level
+// simulation of the four decoder clients.
+
+#include <iostream>
+#include <memory>
+
+#include "clients/system.hpp"
+#include "common/table.hpp"
+#include "dram/presets.hpp"
+#include "mpeg/trace_gen.hpp"
+
+int main() {
+  using namespace edsim;
+
+  for (const mpeg::FrameFormat& fmt : {mpeg::pal(), mpeg::ntsc()}) {
+    mpeg::DecoderConfig dc;
+    dc.format = fmt;
+    const mpeg::DecoderModel model(dc);
+
+    Table t({"buffer", "size"});
+    for (const auto& b : model.footprint())
+      t.row().cell(b.name).cell(to_string(b.size));
+    t.row().cell("TOTAL").cell(to_string(model.total_footprint()));
+    t.print(std::cout, fmt.name + " decoder footprint (standard mode)");
+    std::cout << "fits in 16 Mbit: " << (model.fits_16mbit() ? "yes" : "no")
+              << "\n\n";
+  }
+
+  // The §4.1 trade-off: shrink the output buffer, pay MC bandwidth.
+  mpeg::DecoderConfig std_cfg;
+  std_cfg.format = mpeg::pal();
+  mpeg::DecoderConfig red_cfg = std_cfg;
+  red_cfg.reduced_output_buffer = true;
+  const mpeg::DecoderModel std_model(std_cfg);
+  const mpeg::DecoderModel red_model(red_cfg);
+  std::cout << "Output-buffer reduction saves "
+            << to_string(std_model.output_buffer_saving())
+            << "; MC bandwidth grows "
+            << Table::fmt(red_model.bandwidth()[1].read.bits_per_s /
+                              std_model.bandwidth()[1].read.bits_per_s,
+                          2)
+            << "x\n\n";
+
+  // Cycle-level: the four decoder clients on a 16-Mbit, 64-bit module.
+  const dram::DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  const mpeg::MemoryMap map = std_model.build_memory_map();
+  mpeg::add_decoder_clients(sys, std_model, map);
+  sys.run(1'000'000);  // ~7 ms of decode time
+
+  Table t({"client", "bursts", "mean lat (cyc)", "stalls"});
+  for (std::size_t i = 0; i < sys.client_count(); ++i) {
+    const auto& cs = sys.client_stats(i);
+    t.row()
+        .cell(sys.client(i).name())
+        .integer(static_cast<long long>(cs.completed))
+        .num(cs.latency.mean(), 1)
+        .integer(static_cast<long long>(cs.stall_cycles));
+  }
+  t.print(std::cout, "Decoder clients on " + cfg.describe());
+  std::cout << "aggregate: " << to_string(sys.aggregate_bandwidth())
+            << " of " << to_string(cfg.peak_bandwidth()) << " peak ("
+            << Table::fmt(sys.bandwidth_efficiency() * 100.0, 1) << "%)\n";
+  return 0;
+}

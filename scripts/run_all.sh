@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment — the full reproduction
+# pipeline. Outputs land in test_output.txt and bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "claim summary:"
+grep -c "SHAPE-OK" bench_output.txt || true
+grep "CHECK" bench_output.txt || echo "  (no CHECK verdicts — all claims in band)"

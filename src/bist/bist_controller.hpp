@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "bist/march.hpp"
+
+namespace edsim::bist {
+
+/// Model of the synthesizable BIST controller of §6: algorithmic pattern
+/// generation plus expected-value comparison with on-chip response
+/// compaction (a MISR-style signature), so only a pass/fail signature
+/// crosses the narrow external interface.
+class BistController {
+ public:
+  struct Config {
+    double clock_mhz = 143.0;
+    unsigned parallel_words = 16;  ///< array words tested per cycle
+                                   ///< (wide internal interface, §6:
+                                   ///< "a high degree of parallelism")
+  };
+
+  explicit BistController(Config cfg);
+
+  struct Run {
+    bool pass = false;
+    std::uint64_t signature = 0;
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;  ///< cycles/clock plus pause time
+  };
+
+  /// Run `test` against `array` through the BIST engine. `words` is the
+  /// array size in BIST words; op pacing is ops/parallel_words cycles.
+  /// The signature compacts every read response; pass means it matches
+  /// the fault-free signature for the same test+geometry.
+  Run run(MemoryArray& array, const MarchTest& test) const;
+
+  /// Signature of a fault-free array of this geometry (computed once and
+  /// fused into the comparator in real silicon).
+  std::uint64_t golden_signature(unsigned rows, unsigned cols,
+                                 const MarchTest& test) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Run run_impl(MemoryArray& array, const MarchTest& test,
+               std::uint64_t golden) const;
+  Config cfg_;
+};
+
+}  // namespace edsim::bist

@@ -1,0 +1,123 @@
+#include "bist/faults.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kStuckAt0: return "SA0";
+    case FaultKind::kStuckAt1: return "SA1";
+    case FaultKind::kTransitionUp: return "TF^";
+    case FaultKind::kTransitionDown: return "TFv";
+    case FaultKind::kCouplingInversion: return "CFin";
+    case FaultKind::kCouplingIdempotent: return "CFid";
+    case FaultKind::kRetention: return "RET";
+    case FaultKind::kAddressFault: return "AF";
+  }
+  return "?";
+}
+
+std::string Fault::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s @(%u,%u)", to_string(kind), victim.row,
+                victim.col);
+  return buf;
+}
+
+Fault make_stuck_at(CellAddr cell, bool value) {
+  Fault f;
+  f.kind = value ? FaultKind::kStuckAt1 : FaultKind::kStuckAt0;
+  f.victim = cell;
+  return f;
+}
+
+Fault make_transition(CellAddr cell, bool rising_blocked) {
+  Fault f;
+  f.kind = rising_blocked ? FaultKind::kTransitionUp
+                          : FaultKind::kTransitionDown;
+  f.victim = cell;
+  return f;
+}
+
+Fault make_coupling_inversion(CellAddr victim, CellAddr aggressor,
+                              bool rising) {
+  require(!(victim == aggressor), "coupling: victim == aggressor");
+  Fault f;
+  f.kind = FaultKind::kCouplingInversion;
+  f.victim = victim;
+  f.aggressor = aggressor;
+  f.aggressor_rising = rising;
+  return f;
+}
+
+Fault make_coupling_idempotent(CellAddr victim, CellAddr aggressor,
+                               bool rising, bool forced_value) {
+  require(!(victim == aggressor), "coupling: victim == aggressor");
+  Fault f;
+  f.kind = FaultKind::kCouplingIdempotent;
+  f.victim = victim;
+  f.aggressor = aggressor;
+  f.aggressor_rising = rising;
+  f.forced_value = forced_value;
+  return f;
+}
+
+Fault make_retention(CellAddr cell, double decay_ms, bool decayed_value) {
+  require(decay_ms > 0.0, "retention: decay time must be positive");
+  Fault f;
+  f.kind = FaultKind::kRetention;
+  f.victim = cell;
+  f.decay_ms = decay_ms;
+  f.forced_value = decayed_value;
+  return f;
+}
+
+Fault make_address_fault(CellAddr victim, CellAddr aggressor) {
+  require(!(victim == aggressor), "address fault: victim == aggressor");
+  Fault f;
+  f.kind = FaultKind::kAddressFault;
+  f.victim = victim;
+  f.aggressor = aggressor;
+  return f;
+}
+
+Fault random_fault(Rng& rng, FaultKind kind, unsigned rows, unsigned cols) {
+  require(rows >= 2 && cols >= 1, "random_fault: array too small");
+  const CellAddr victim{
+      static_cast<unsigned>(rng.next_below(rows)),
+      static_cast<unsigned>(rng.next_below(cols))};
+  switch (kind) {
+    case FaultKind::kStuckAt0:
+    case FaultKind::kStuckAt1:
+      return make_stuck_at(victim, kind == FaultKind::kStuckAt1);
+    case FaultKind::kTransitionUp:
+    case FaultKind::kTransitionDown:
+      return make_transition(victim, kind == FaultKind::kTransitionUp);
+    case FaultKind::kCouplingInversion:
+    case FaultKind::kCouplingIdempotent: {
+      CellAddr agg = victim;
+      agg.row = victim.row + 1 < rows ? victim.row + 1 : victim.row - 1;
+      const bool rising = rng.next_bool(0.5);
+      if (kind == FaultKind::kCouplingInversion)
+        return make_coupling_inversion(victim, agg, rising);
+      return make_coupling_idempotent(victim, agg, rising,
+                                      rng.next_bool(0.5));
+    }
+    case FaultKind::kRetention:
+      return make_retention(victim, 20.0 + rng.next_double() * 60.0,
+                            rng.next_bool(0.5));
+    case FaultKind::kAddressFault: {
+      // Decoder shorts pair addresses differing in one address bit:
+      // pick a random row-address bit to flip.
+      CellAddr agg = victim;
+      agg.row = victim.row ^ 1u;  // rows is >= 2, so this stays in range
+      return make_address_fault(victim, agg);
+    }
+  }
+  return make_stuck_at(victim, false);
+}
+
+}  // namespace edsim::bist

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace edsim::bist {
+
+/// DRAM fault models (§6: "the fault models of DRAMs explicitly tested
+/// for are much richer; they include bit-line and word-line failures,
+/// cross-talk, retention time failures etc.").
+enum class FaultKind : std::uint8_t {
+  kStuckAt0,
+  kStuckAt1,
+  kTransitionUp,        ///< cell cannot make a 0 -> 1 transition
+  kTransitionDown,      ///< cell cannot make a 1 -> 0 transition
+  kCouplingInversion,   ///< aggressor transition flips the victim
+  kCouplingIdempotent,  ///< aggressor transition forces the victim value
+  kRetention,           ///< cell leaks to a value after a hold time
+  kAddressFault,        ///< decoder short: writes to the aggressor address
+                        ///< also land in the victim cell
+};
+
+const char* to_string(FaultKind k);
+
+struct CellAddr {
+  unsigned row = 0;
+  unsigned col = 0;
+  bool operator==(const CellAddr&) const = default;
+  auto operator<=>(const CellAddr&) const = default;
+};
+
+/// One injected fault instance.
+struct Fault {
+  FaultKind kind = FaultKind::kStuckAt0;
+  CellAddr victim;
+  CellAddr aggressor;       ///< coupling faults only
+  bool aggressor_rising = true;  ///< trigger on 0->1 (else 1->0) aggressor write
+  bool forced_value = false;     ///< idempotent coupling / retention decay value
+  double decay_ms = 50.0;        ///< retention faults: hold time before decay
+
+  std::string describe() const;
+};
+
+Fault make_stuck_at(CellAddr cell, bool value);
+Fault make_transition(CellAddr cell, bool rising_blocked);
+Fault make_coupling_inversion(CellAddr victim, CellAddr aggressor,
+                              bool rising);
+Fault make_coupling_idempotent(CellAddr victim, CellAddr aggressor,
+                               bool rising, bool forced_value);
+Fault make_retention(CellAddr cell, double decay_ms, bool decayed_value);
+Fault make_address_fault(CellAddr victim, CellAddr aggressor);
+
+/// Uniformly random fault of the given kind within an rows x cols array.
+/// Coupling aggressors are drawn adjacent (same column, +/-1 row) — the
+/// physically dominant case.
+Fault random_fault(Rng& rng, FaultKind kind, unsigned rows, unsigned cols);
+
+}  // namespace edsim::bist

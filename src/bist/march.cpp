@@ -1,0 +1,197 @@
+#include "bist/march.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+
+namespace {
+
+MarchElement element(MarchElement::Order order,
+                     std::vector<MarchOpSpec> ops) {
+  MarchElement e;
+  e.order = order;
+  e.ops = std::move(ops);
+  return e;
+}
+
+constexpr MarchOpSpec R0{MarchOp::kR0, 0.0};
+constexpr MarchOpSpec R1{MarchOp::kR1, 0.0};
+constexpr MarchOpSpec W0{MarchOp::kW0, 0.0};
+constexpr MarchOpSpec W1{MarchOp::kW1, 0.0};
+
+MarchOpSpec Pause(double ms) { return MarchOpSpec{MarchOp::kPause, ms}; }
+
+}  // namespace
+
+unsigned MarchTest::ops_per_cell() const {
+  unsigned n = 0;
+  for (const auto& e : elements)
+    for (const auto& op : e.ops)
+      if (op.op != MarchOp::kPause) ++n;
+  return n;
+}
+
+double MarchTest::total_pause_ms() const {
+  double ms = 0.0;
+  for (const auto& e : elements)
+    for (const auto& op : e.ops)
+      if (op.op == MarchOp::kPause) ms += op.pause_ms;
+  return ms;
+}
+
+MarchTest mats_plus() {
+  using O = MarchElement::Order;
+  return MarchTest{"MATS+",
+                   {element(O::kEither, {W0}), element(O::kUp, {R0, W1}),
+                    element(O::kDown, {R1, W0})}};
+}
+
+MarchTest march_x() {
+  using O = MarchElement::Order;
+  return MarchTest{"MarchX",
+                   {element(O::kEither, {W0}), element(O::kUp, {R0, W1}),
+                    element(O::kDown, {R1, W0}), element(O::kEither, {R0})}};
+}
+
+MarchTest march_c_minus() {
+  using O = MarchElement::Order;
+  return MarchTest{"MarchC-",
+                   {element(O::kEither, {W0}), element(O::kUp, {R0, W1}),
+                    element(O::kUp, {R1, W0}), element(O::kDown, {R0, W1}),
+                    element(O::kDown, {R1, W0}), element(O::kEither, {R0})}};
+}
+
+MarchTest march_b() {
+  using O = MarchElement::Order;
+  return MarchTest{
+      "MarchB",
+      {element(O::kEither, {W0}),
+       element(O::kUp, {R0, W1, R1, W0, R0, W1}),
+       element(O::kUp, {R1, W0, W1}),
+       element(O::kDown, {R1, W0, W1, W0}),
+       element(O::kDown, {R0, W1, W0})}};
+}
+
+MarchTest march_y() {
+  using O = MarchElement::Order;
+  return MarchTest{"MarchY",
+                   {element(O::kEither, {W0}),
+                    element(O::kUp, {R0, W1, R1}),
+                    element(O::kDown, {R1, W0, R0}),
+                    element(O::kEither, {R0})}};
+}
+
+MarchTest march_a() {
+  using O = MarchElement::Order;
+  return MarchTest{"MarchA",
+                   {element(O::kEither, {W0}),
+                    element(O::kUp, {R0, W1, W0, W1}),
+                    element(O::kUp, {R1, W0, W1}),
+                    element(O::kDown, {R1, W0, W1, W0}),
+                    element(O::kDown, {R0, W1, W0})}};
+}
+
+MarchTest retention_test(double pause_ms) {
+  require(pause_ms > 0.0, "retention test: pause must be positive");
+  using O = MarchElement::Order;
+  MarchTest t;
+  t.name = "Retention";
+  t.elements = {element(O::kEither, {W1}),
+                element(O::kEither, {Pause(pause_ms)}),
+                element(O::kEither, {R1, W0}),
+                element(O::kEither, {Pause(pause_ms)}),
+                element(O::kEither, {R0})};
+  return t;
+}
+
+std::vector<MarchTest> standard_tests() {
+  return {mats_plus(), march_x(), march_y(), march_c_minus(), march_a(),
+          march_b(), retention_test(100.0)};
+}
+
+MarchResult run_march(MemoryArray& array, const MarchTest& test,
+                      const std::function<void(bool)>& on_read,
+                      Traversal traversal) {
+  MarchResult result;
+  std::set<std::pair<unsigned, unsigned>> seen;  // (cell idx, element)
+
+  const std::uint64_t n = array.cells();
+  const unsigned cols = array.cols();
+  const unsigned rows = array.rows();
+
+  for (unsigned ei = 0; ei < test.elements.size(); ++ei) {
+    const MarchElement& e = test.elements[ei];
+
+    // Pause-only elements advance time once, not once per cell.
+    const bool pause_only = std::all_of(
+        e.ops.begin(), e.ops.end(),
+        [](const MarchOpSpec& op) { return op.op == MarchOp::kPause; });
+    if (pause_only) {
+      for (const auto& op : e.ops) {
+        array.advance_time_ms(op.pause_ms);
+        result.pause_ms += op.pause_ms;
+      }
+      continue;
+    }
+
+    const bool down = e.order == MarchElement::Order::kDown;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t cell = down ? n - 1 - k : k;
+      unsigned row, col;
+      if (traversal == Traversal::kRowMajor) {
+        row = static_cast<unsigned>(cell / cols);
+        col = static_cast<unsigned>(cell % cols);
+      } else {
+        col = static_cast<unsigned>(cell / rows);
+        row = static_cast<unsigned>(cell % rows);
+      }
+      for (const auto& op : e.ops) {
+        switch (op.op) {
+          case MarchOp::kR0:
+          case MarchOp::kR1: {
+            ++result.ops;
+            const bool expect = op.op == MarchOp::kR1;
+            const bool value = array.read(row, col);
+            if (on_read) on_read(value);
+            if (value != expect) {
+              const auto key = std::make_pair(
+                  static_cast<unsigned>(cell), ei);
+              if (seen.insert(key).second) {
+                result.failures.push_back(
+                    MarchFailure{CellAddr{row, col}, ei});
+              }
+              result.passed = false;
+              // Tester behaviour: keep going to build the full bitmap
+              // (needed for redundancy allocation).
+            }
+            break;
+          }
+          case MarchOp::kW0:
+            ++result.ops;
+            array.write(row, col, false);
+            break;
+          case MarchOp::kW1:
+            ++result.ops;
+            array.write(row, col, true);
+            break;
+          case MarchOp::kPause:
+            array.advance_time_ms(op.pause_ms);
+            result.pause_ms += op.pause_ms;
+            break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<CellAddr> MarchResult::failing_cells() const {
+  std::set<CellAddr> cells;
+  for (const auto& f : failures) cells.insert(f.cell);
+  return {cells.begin(), cells.end()};
+}
+
+}  // namespace edsim::bist

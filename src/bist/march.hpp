@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bist/memory_array.hpp"
+
+namespace edsim::bist {
+
+/// One operation within a march element.
+enum class MarchOp : std::uint8_t {
+  kR0,     ///< read, expect 0
+  kR1,     ///< read, expect 1
+  kW0,     ///< write 0
+  kW1,     ///< write 1
+  kPause,  ///< hold (retention testing); duration in MarchOpSpec
+};
+
+struct MarchOpSpec {
+  MarchOp op = MarchOp::kW0;
+  double pause_ms = 0.0;  ///< only for kPause
+};
+
+/// A march element: an ordered walk over all cells applying the ops to
+/// each cell in turn, in ascending or descending address order.
+struct MarchElement {
+  enum class Order : std::uint8_t { kUp, kDown, kEither };
+  Order order = Order::kEither;
+  std::vector<MarchOpSpec> ops;
+};
+
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Number of array operations (reads+writes) per cell, i.e. the "march
+  /// length": March C- is 10N, MATS+ is 5N, ...
+  unsigned ops_per_cell() const;
+  /// Total pause time contributed by kPause ops (independent of N).
+  double total_pause_ms() const;
+};
+
+// --- the classic tests -------------------------------------------------------
+
+/// MATS+ (5N): {up(w0); up(r0,w1); down(r1,w0)} — address decoder +
+/// stuck-at coverage.
+MarchTest mats_plus();
+/// March X (6N): adds transition-fault coverage.
+MarchTest march_x();
+/// March C- (10N): full unlinked coupling-fault coverage.
+MarchTest march_c_minus();
+/// March B (17N): linked-fault coverage.
+MarchTest march_b();
+/// March Y (8N): March X plus read-after-write verification per element.
+MarchTest march_y();
+/// March A (15N): linked coupling-fault coverage without reads-after-write.
+MarchTest march_a();
+/// Retention test: write all, pause, read all — both polarities.
+MarchTest retention_test(double pause_ms);
+
+/// All of the above (with a default retention pause), for sweep tables.
+std::vector<MarchTest> standard_tests();
+
+// --- execution ---------------------------------------------------------------
+
+struct MarchFailure {
+  CellAddr cell;
+  unsigned element = 0;  ///< which march element detected it
+  bool operator==(const MarchFailure&) const = default;
+};
+
+struct MarchResult {
+  bool passed = true;
+  std::vector<MarchFailure> failures;  ///< deduplicated per (cell, element)
+  std::uint64_t ops = 0;               ///< reads + writes executed
+  double pause_ms = 0.0;               ///< total pause time spent
+
+  /// Distinct failing cells.
+  std::vector<CellAddr> failing_cells() const;
+};
+
+/// Physical order in which the march walks the cells. Production flows
+/// run the same march in several orders — a fault sensitized along a
+/// word line (row-major neighbours) needs a different order than one
+/// along a bit line.
+enum class Traversal {
+  kRowMajor,     ///< address = row * cols + col (word-line neighbours)
+  kColumnMajor,  ///< address = col * rows + row (bit-line neighbours)
+};
+
+/// Run `test` against `array`. The array is modified (marches overwrite
+/// everything). `on_read`, when set, observes every read value in
+/// traversal order — the hook the BIST controller's response compactor
+/// taps.
+MarchResult run_march(MemoryArray& array, const MarchTest& test,
+                      const std::function<void(bool)>& on_read = {},
+                      Traversal traversal = Traversal::kRowMajor);
+
+}  // namespace edsim::bist

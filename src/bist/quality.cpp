@@ -1,0 +1,102 @@
+#include "bist/quality.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace edsim::bist {
+
+double escape_fraction(double mean_defects, double coverage) {
+  require(mean_defects >= 0.0, "quality: negative defect rate");
+  require(coverage >= 0.0 && coverage <= 1.0,
+          "quality: coverage must be in [0,1]");
+  return 1.0 - std::exp(-mean_defects * (1.0 - coverage));
+}
+
+double shipped_dppm(double mean_defects, double coverage) {
+  return escape_fraction(mean_defects, coverage) * 1e6;
+}
+
+double required_coverage(double mean_defects, double target_dppm) {
+  require(mean_defects > 0.0, "quality: defect rate must be positive");
+  require(target_dppm > 0.0 && target_dppm < 1e6,
+          "quality: target DPPM out of range");
+  // Invert: target/1e6 = 1 - exp(-lambda (1-c)).
+  const double c =
+      1.0 + std::log(1.0 - target_dppm * 1e-6) / mean_defects;
+  return c < 0.0 ? 0.0 : c;
+}
+
+std::vector<CoverageRow> coverage_matrix(
+    const std::vector<MarchTest>& tests,
+    const std::vector<FaultKind>& kinds, unsigned rows, unsigned cols,
+    unsigned trials, std::uint64_t seed) {
+  require(trials > 0, "coverage: need at least one trial");
+  std::vector<CoverageRow> out;
+  for (const MarchTest& t : tests) {
+    for (FaultKind k : kinds) {
+      Rng rng(seed);  // same fault population for every test: paired design
+      unsigned caught = 0;
+      for (unsigned i = 0; i < trials; ++i) {
+        MemoryArray array(rows, cols);
+        array.inject(random_fault(rng, k, rows, cols));
+        if (!run_march(array, t).passed) ++caught;
+      }
+      out.push_back(CoverageRow{
+          t.name, k, static_cast<double>(caught) / trials});
+    }
+  }
+  return out;
+}
+
+QualityGrade graphics_grade() {
+  // §6: "if edram is used for graphics applications, occasional soft
+  // problems, such as too short retention times of a few cells, are much
+  // more acceptable".
+  return QualityGrade{"graphics", /*retention_screen_required=*/false,
+                      5000.0};
+}
+
+QualityGrade compute_grade() {
+  return QualityGrade{"program/data", /*retention_screen_required=*/true,
+                      200.0};
+}
+
+double TestPlan::total_seconds(Capacity capacity, unsigned width_bits,
+                               Frequency clock) const {
+  double s = 0.0;
+  for (const MarchTest& t : tests) {
+    const TesterRates rates;
+    s += bist_test_time(capacity, t, width_bits, clock, rates)
+             .total_seconds();
+  }
+  return s;
+}
+
+double TestPlan::total_cost_usd(Capacity capacity, unsigned width_bits,
+                                Frequency clock,
+                                const TesterRates& rates) const {
+  double usd = 0.0;
+  for (const MarchTest& t : tests) {
+    usd += bist_test_time(capacity, t, width_bits, clock, rates).cost_usd;
+  }
+  return usd;
+}
+
+bool TestPlan::includes_retention() const {
+  for (const MarchTest& t : tests) {
+    if (t.total_pause_ms() > 0.0) return true;
+  }
+  return false;
+}
+
+TestPlan graphics_test_plan() {
+  return TestPlan{"graphics-grade", {march_c_minus()}};
+}
+
+TestPlan compute_test_plan() {
+  return TestPlan{"compute-grade", {march_c_minus(), retention_test(100.0)}};
+}
+
+}  // namespace edsim::bist

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bist/march.hpp"
+#include "bist/test_economics.hpp"
+
+namespace edsim::bist {
+
+/// Shipped-quality model (§6: "another important aspect of edram testing
+/// is the target quality and reliability... graphics applications
+/// [tolerate] occasional soft problems... much more [than] program
+/// data").
+///
+/// Defects per chip are Poisson(lambda); the applied test detects each
+/// defect independently with probability `coverage`. A chip ships when
+/// the test saw nothing.
+///
+///   P(pass)           = exp(-lambda * coverage)
+///   P(escape | pass)  = 1 - exp(-lambda * (1 - coverage))
+double escape_fraction(double mean_defects, double coverage);
+
+/// Defective parts per million among shipped parts.
+double shipped_dppm(double mean_defects, double coverage);
+
+/// Coverage needed to reach a DPPM target at a given defect rate.
+double required_coverage(double mean_defects, double target_dppm);
+
+/// Empirical per-fault-class coverage of a march test, measured by fault
+/// injection over `trials` random instances per class.
+struct CoverageRow {
+  std::string test;
+  FaultKind kind;
+  double coverage = 0.0;
+};
+
+std::vector<CoverageRow> coverage_matrix(
+    const std::vector<MarchTest>& tests,
+    const std::vector<FaultKind>& kinds, unsigned rows, unsigned cols,
+    unsigned trials, std::uint64_t seed);
+
+/// Application quality grades (§6): what fault classes must be screened
+/// and to what DPPM.
+struct QualityGrade {
+  std::string name;
+  bool retention_screen_required = true;
+  double target_dppm = 500.0;
+};
+
+QualityGrade graphics_grade();  ///< soft retention escapes acceptable
+QualityGrade compute_grade();   ///< program/data storage: strict
+
+/// A test plan: which march tests run, their total time/cost, and the
+/// fault classes they cover. Used to contrast a graphics-grade flow
+/// (no retention pause) with a compute-grade flow.
+struct TestPlan {
+  std::string name;
+  std::vector<MarchTest> tests;
+
+  double total_seconds(Capacity capacity, unsigned width_bits,
+                       Frequency clock) const;
+  double total_cost_usd(Capacity capacity, unsigned width_bits,
+                        Frequency clock, const TesterRates& rates) const;
+  bool includes_retention() const;
+};
+
+TestPlan graphics_test_plan();  ///< March C- only
+TestPlan compute_test_plan();   ///< March C- + retention screen
+
+}  // namespace edsim::bist

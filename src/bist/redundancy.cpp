@@ -1,0 +1,108 @@
+#include "bist/redundancy.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+
+namespace {
+
+bool is_covered(const CellAddr& f, const RepairPlan& plan) {
+  return std::find(plan.replaced_rows.begin(), plan.replaced_rows.end(),
+                   f.row) != plan.replaced_rows.end() ||
+         std::find(plan.replaced_cols.begin(), plan.replaced_cols.end(),
+                   f.col) != plan.replaced_cols.end();
+}
+
+/// Exact branch-and-bound: for the first uncovered fault, try covering by
+/// a spare row, then by a spare column. Depth bounded by the spare budget
+/// (2^(R+C) worst case — trivially small for real spare counts).
+bool solve(const std::vector<CellAddr>& fails, unsigned rows_left,
+           unsigned cols_left, RepairPlan& plan) {
+  const CellAddr* first = nullptr;
+  for (const auto& f : fails) {
+    if (!is_covered(f, plan)) {
+      first = &f;
+      break;
+    }
+  }
+  if (first == nullptr) return true;
+
+  if (rows_left > 0) {
+    plan.replaced_rows.push_back(first->row);
+    if (solve(fails, rows_left - 1, cols_left, plan)) return true;
+    plan.replaced_rows.pop_back();
+  }
+  if (cols_left > 0) {
+    plan.replaced_cols.push_back(first->col);
+    if (solve(fails, rows_left, cols_left - 1, plan)) return true;
+    plan.replaced_cols.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+RepairPlan allocate_repair(const FailBitmap& bitmap, unsigned spare_rows,
+                           unsigned spare_cols) {
+  for (const auto& f : bitmap.fails) {
+    require(f.row < bitmap.rows && f.col < bitmap.cols,
+            "repair: failure outside the array");
+  }
+
+  RepairPlan plan;
+  unsigned rows_left = spare_rows;
+  unsigned cols_left = spare_cols;
+
+  // Must-repair passes: a row with more (uncovered) failures than the
+  // remaining spare columns can only be fixed by a spare row, and vice
+  // versa. Iterate to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<unsigned, unsigned> row_count;
+    std::map<unsigned, unsigned> col_count;
+    for (const auto& f : bitmap.fails) {
+      if (is_covered(f, plan)) continue;
+      ++row_count[f.row];
+      ++col_count[f.col];
+    }
+    for (const auto& [row, count] : row_count) {
+      if (count > cols_left) {
+        if (rows_left == 0) return plan;  // infeasible
+        plan.replaced_rows.push_back(row);
+        --rows_left;
+        changed = true;
+        break;  // recompute counts
+      }
+    }
+    if (changed) continue;
+    for (const auto& [col, count] : col_count) {
+      if (count > rows_left) {
+        if (cols_left == 0) return plan;  // infeasible
+        plan.replaced_cols.push_back(col);
+        --cols_left;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  plan.feasible = solve(bitmap.fails, rows_left, cols_left, plan);
+  if (!plan.feasible) {
+    plan.replaced_rows.clear();
+    plan.replaced_cols.clear();
+  }
+  return plan;
+}
+
+bool covers_all(const FailBitmap& bitmap, const RepairPlan& plan) {
+  for (const auto& f : bitmap.fails) {
+    if (!is_covered(f, plan)) return false;
+  }
+  return true;
+}
+
+}  // namespace edsim::bist

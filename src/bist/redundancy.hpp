@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "bist/faults.hpp"
+
+namespace edsim::bist {
+
+/// Failing-cell bitmap produced by pre-fuse test (§6 flow: pre-fuse test
+/// -> fuse blowing -> post-fuse test).
+struct FailBitmap {
+  unsigned rows = 0;
+  unsigned cols = 0;
+  std::vector<CellAddr> fails;  ///< distinct failing cells
+};
+
+/// Result of redundancy allocation: which spare rows/columns to fuse in.
+struct RepairPlan {
+  bool feasible = false;
+  std::vector<unsigned> replaced_rows;
+  std::vector<unsigned> replaced_cols;
+
+  unsigned spares_used() const {
+    return static_cast<unsigned>(replaced_rows.size() +
+                                 replaced_cols.size());
+  }
+};
+
+/// Spare-row/column allocation. Exact for practical spare counts:
+/// must-repair analysis first (a row with more failing cells than there
+/// are spare columns *must* be replaced by a spare row, and vice versa),
+/// then branch-and-bound over the remaining fault set.
+///
+/// Returns an infeasible plan when the chip cannot be repaired with the
+/// given spares.
+RepairPlan allocate_repair(const FailBitmap& bitmap, unsigned spare_rows,
+                           unsigned spare_cols);
+
+/// True when `plan` covers every failure in `bitmap` — used to verify the
+/// allocator (post-fuse test in the §6 flow).
+bool covers_all(const FailBitmap& bitmap, const RepairPlan& plan);
+
+}  // namespace edsim::bist

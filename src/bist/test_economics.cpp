@@ -1,0 +1,66 @@
+#include "bist/test_economics.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+
+namespace {
+
+TestTimeBreakdown march_time(Capacity capacity, const MarchTest& test,
+                             unsigned width_bits, Frequency clock,
+                             double usd_per_hour) {
+  require(width_bits >= 1, "test time: width must be >= 1");
+  require(clock.mhz > 0.0, "test time: clock must be positive");
+  const double cells = static_cast<double>(capacity.bit_count());
+  const double ops = cells * test.ops_per_cell();
+  const double cycles = ops / static_cast<double>(width_bits);
+
+  TestTimeBreakdown t;
+  t.march_seconds = cycles / clock.hz();
+  t.pause_seconds = test.total_pause_ms() * 1e-3;
+  t.cost_usd = t.total_seconds() / 3600.0 * usd_per_hour;
+  return t;
+}
+
+}  // namespace
+
+TestTimeBreakdown external_test_time(Capacity capacity, const MarchTest& test,
+                                     unsigned external_width_bits,
+                                     Frequency external_clock,
+                                     const TesterRates& rates) {
+  return march_time(capacity, test, external_width_bits, external_clock,
+                    rates.memory_tester_usd_per_hour);
+}
+
+TestTimeBreakdown bist_test_time(Capacity capacity, const MarchTest& test,
+                                 unsigned internal_width_bits,
+                                 Frequency internal_clock,
+                                 const TesterRates& rates) {
+  // BIST runs from the cheaper logic tester: the tester only starts the
+  // engine and reads the signature (§6: "the customer can do memory
+  // testing on his logic tester if required").
+  return march_time(capacity, test, internal_width_bits, internal_clock,
+                    rates.logic_tester_usd_per_hour);
+}
+
+FlowCost full_flow_cost(Capacity capacity, const MarchTest& pre,
+                        const MarchTest& post, TestAccess access,
+                        unsigned width_bits, Frequency clock,
+                        const TesterRates& rates) {
+  FlowCost f;
+  if (access == TestAccess::kExternalMemoryTester) {
+    f.pre_fuse = external_test_time(capacity, pre, width_bits, clock, rates);
+    f.post_fuse = external_test_time(capacity, post, width_bits, clock, rates);
+  } else {
+    f.pre_fuse = bist_test_time(capacity, pre, width_bits, clock, rates);
+    f.post_fuse = bist_test_time(capacity, post, width_bits, clock, rates);
+  }
+  const double rate = access == TestAccess::kExternalMemoryTester
+                          ? rates.memory_tester_usd_per_hour
+                          : rates.logic_tester_usd_per_hour;
+  f.total_cost_usd = f.pre_fuse.cost_usd + f.post_fuse.cost_usd +
+                     f.fuse_seconds / 3600.0 * rate;
+  return f;
+}
+
+}  // namespace edsim::bist

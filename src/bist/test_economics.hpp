@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+
+#include "bist/march.hpp"
+#include "common/units.hpp"
+
+namespace edsim::bist {
+
+/// Test-floor economics (§6: "DRAM test times are quite high, and test
+/// costs are a significant fraction of total cost").
+struct TesterRates {
+  double memory_tester_usd_per_hour = 400.0;
+  double logic_tester_usd_per_hour = 250.0;
+  unsigned external_width_bits = 16;  ///< pins available for memory test
+};
+
+/// How the memory is tested.
+enum class TestAccess {
+  kExternalMemoryTester,  ///< patterns streamed over the external pins
+  kOnChipBist,            ///< §6 partial BIST: ATPG + compaction on chip
+};
+
+struct TestTimeBreakdown {
+  double march_seconds = 0.0;    ///< pattern application time
+  double pause_seconds = 0.0;    ///< retention pauses (width-independent)
+  double total_seconds() const { return march_seconds + pause_seconds; }
+  double cost_usd = 0.0;
+};
+
+/// Test time for `capacity` bits under `test`.
+///
+/// External: cell ops are serialized over `external_width_bits` pins at
+/// `external_clock`. BIST: ops retire `internal_width_bits` per cycle at
+/// the module clock — the §6 parallelism argument.
+TestTimeBreakdown external_test_time(Capacity capacity, const MarchTest& test,
+                                     unsigned external_width_bits,
+                                     Frequency external_clock,
+                                     const TesterRates& rates);
+
+TestTimeBreakdown bist_test_time(Capacity capacity, const MarchTest& test,
+                                 unsigned internal_width_bits,
+                                 Frequency internal_clock,
+                                 const TesterRates& rates);
+
+/// Full §6 flow: pre-fuse test, fuse blowing, post-fuse test (two
+/// wafer-level passes plus the laser/fuse step).
+struct FlowCost {
+  TestTimeBreakdown pre_fuse;
+  double fuse_seconds = 2.0;  ///< handling + blow time per die
+  TestTimeBreakdown post_fuse;
+  double total_seconds() const {
+    return pre_fuse.total_seconds() + fuse_seconds +
+           post_fuse.total_seconds();
+  }
+  double total_cost_usd = 0.0;
+};
+
+FlowCost full_flow_cost(Capacity capacity, const MarchTest& pre,
+                        const MarchTest& post, TestAccess access,
+                        unsigned width_bits, Frequency clock,
+                        const TesterRates& rates);
+
+}  // namespace edsim::bist

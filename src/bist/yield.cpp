@@ -1,0 +1,74 @@
+#include "bist/yield.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+
+void DefectMix::validate() const {
+  require(single_cell >= 0.0 && word_line >= 0.0 && bit_line >= 0.0,
+          "defect mix: negative probability");
+  const double sum = single_cell + word_line + bit_line;
+  require(std::abs(sum - 1.0) < 1e-9, "defect mix: must sum to 1");
+}
+
+double poisson_yield(double mean_defects) {
+  require(mean_defects >= 0.0, "yield: negative defect rate");
+  return std::exp(-mean_defects);
+}
+
+YieldResult simulate_yield(double mean_defects, const DefectMix& mix,
+                           unsigned spare_rows, unsigned spare_cols,
+                           std::uint64_t trials, std::uint64_t seed) {
+  mix.validate();
+  require(trials > 0, "yield: need at least one trial");
+  Rng rng(seed);
+
+  YieldResult result;
+  result.mean_defects = mean_defects;
+  result.trials = trials;
+
+  std::uint64_t good = 0;
+  std::uint64_t zero_defect = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const unsigned defects = rng.next_poisson(mean_defects);
+    if (defects == 0) {
+      ++zero_defect;
+      ++good;
+      result.spares_used.add(0.0);
+      continue;
+    }
+    unsigned need_rows = 0;   // word-line defects
+    unsigned need_cols = 0;   // bit-line defects
+    unsigned singles = 0;
+    for (unsigned d = 0; d < defects; ++d) {
+      const double u = rng.next_double();
+      if (u < mix.word_line) {
+        ++need_rows;
+      } else if (u < mix.word_line + mix.bit_line) {
+        ++need_cols;
+      } else {
+        ++singles;
+      }
+    }
+    // Feasibility: line defects consume their dedicated spare type;
+    // single-cell defects take whatever is left (each needs one spare of
+    // either kind — distinct cells collide with vanishing probability in
+    // a megabit array, so no sharing credit is taken: conservative).
+    if (need_rows > spare_rows || need_cols > spare_cols) continue;
+    const unsigned slack =
+        (spare_rows - need_rows) + (spare_cols - need_cols);
+    if (singles > slack) continue;
+    ++good;
+    result.spares_used.add(
+        static_cast<double>(need_rows + need_cols + singles));
+  }
+  result.yield =
+      static_cast<double>(good) / static_cast<double>(trials);
+  result.raw_yield =
+      static_cast<double>(zero_defect) / static_cast<double>(trials);
+  return result;
+}
+
+}  // namespace edsim::bist

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace edsim::bist {
+
+/// Defect classes a manufacturing defect can manifest as in the array.
+/// Word-line and bit-line failures are explicitly in the paper's §6 fault
+/// list; they are exactly the defects spare rows/columns exist for.
+struct DefectMix {
+  double single_cell = 0.80;  ///< isolated cell defect
+  double word_line = 0.10;    ///< kills a whole row
+  double bit_line = 0.10;     ///< kills a whole column
+
+  void validate() const;
+};
+
+/// Analytic Poisson yield without redundancy: Y = exp(-lambda), lambda =
+/// mean defects per array.
+double poisson_yield(double mean_defects);
+
+/// Monte-Carlo yield of an array with spare rows/columns. Each chip draws
+/// a Poisson defect count; defects are classified per `mix` and placed
+/// uniformly; repair feasibility decides survival. Word-line defects
+/// require a spare row, bit-line defects a spare column, single-cell
+/// defects can take either.
+struct YieldResult {
+  double yield = 0.0;            ///< fraction of repairable chips
+  double raw_yield = 0.0;        ///< fraction with zero defects
+  double mean_defects = 0.0;
+  std::uint64_t trials = 0;
+  Accumulator spares_used;       ///< over repairable chips
+};
+
+YieldResult simulate_yield(double mean_defects, const DefectMix& mix,
+                           unsigned spare_rows, unsigned spare_cols,
+                           std::uint64_t trials, std::uint64_t seed);
+
+}  // namespace edsim::bist

@@ -1,0 +1,68 @@
+#include "clients/arbiter.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+
+std::unique_ptr<Arbiter> Arbiter::make(ArbiterKind kind,
+                                       std::vector<double> weights) {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin:
+      return std::make_unique<RoundRobinArbiter>();
+    case ArbiterKind::kFixedPriority:
+      return std::make_unique<FixedPriorityArbiter>();
+    case ArbiterKind::kWeighted:
+      return std::make_unique<WeightedArbiter>(std::move(weights));
+  }
+  return std::make_unique<RoundRobinArbiter>();
+}
+
+std::size_t RoundRobinArbiter::pick(const std::vector<bool>& ready) {
+  const std::size_t n = ready.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (next_ + k) % n;
+    if (ready[i]) {
+      next_ = (i + 1) % n;
+      return i;
+    }
+  }
+  return kNone;
+}
+
+std::size_t FixedPriorityArbiter::pick(const std::vector<bool>& ready) {
+  for (std::size_t i = 0; i < ready.size(); ++i)
+    if (ready[i]) return i;
+  return kNone;
+}
+
+WeightedArbiter::WeightedArbiter(std::vector<double> weights)
+    : weights_(std::move(weights)), credit_(weights_.size(), 0.0) {
+  require(!weights_.empty(), "weighted arbiter: need at least one weight");
+  double sum = 0.0;
+  for (double w : weights_) {
+    require(w > 0.0, "weighted arbiter: weights must be positive");
+    sum += w;
+  }
+  for (double& w : weights_) w /= sum;  // normalize to shares
+}
+
+std::size_t WeightedArbiter::pick(const std::vector<bool>& ready) {
+  require(ready.size() == weights_.size(),
+          "weighted arbiter: ready vector size mismatch");
+  std::size_t best = kNone;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (!ready[i]) continue;
+    if (best == kNone || credit_[i] > credit_[best]) best = i;
+  }
+  return best;
+}
+
+void WeightedArbiter::granted(std::size_t index, std::uint64_t bytes) {
+  require(index < weights_.size(), "weighted arbiter: bad grant index");
+  // Everyone accrues by weight; the winner pays the transferred bytes.
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    credit_[i] += weights_[i] * static_cast<double>(bytes);
+  credit_[index] -= static_cast<double>(bytes);
+}
+
+}  // namespace edsim::clients

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace edsim::clients {
+
+/// Arbitration policy among clients that all have a request ready this
+/// cycle. §3: "optimizing the access scheme to minimize the latency for
+/// the memory clients" — the arbiter is the first half of that scheme
+/// (the controller's scheduler is the second).
+enum class ArbiterKind {
+  kRoundRobin,
+  kFixedPriority,  ///< lower client index wins
+  kWeighted,       ///< deficit-weighted round robin
+};
+
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// `ready[i]` = client i has a request. Returns winning index or kNone.
+  virtual std::size_t pick(const std::vector<bool>& ready) = 0;
+
+  /// Weighted arbiters consume budget when a grant succeeds.
+  virtual void granted(std::size_t /*index*/, std::uint64_t /*bytes*/) {}
+
+  static std::unique_ptr<Arbiter> make(ArbiterKind kind,
+                                       std::vector<double> weights = {});
+};
+
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  std::size_t pick(const std::vector<bool>& ready) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class FixedPriorityArbiter final : public Arbiter {
+ public:
+  std::size_t pick(const std::vector<bool>& ready) override;
+};
+
+/// Deficit-weighted round robin: each client accrues credit proportional
+/// to its weight; the ready client with the largest credit wins and pays
+/// for the granted bytes. Guarantees long-run bandwidth shares.
+class WeightedArbiter final : public Arbiter {
+ public:
+  explicit WeightedArbiter(std::vector<double> weights);
+
+  std::size_t pick(const std::vector<bool>& ready) override;
+  void granted(std::size_t index, std::uint64_t bytes) override;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> credit_;
+};
+
+}  // namespace edsim::clients

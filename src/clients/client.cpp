@@ -1,0 +1,138 @@
+#include "clients/client.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+
+namespace {
+std::uint64_t align_down(std::uint64_t v, std::uint64_t a) {
+  return v - v % a;
+}
+}  // namespace
+
+// --- StreamClient -----------------------------------------------------------
+
+StreamClient::StreamClient(unsigned id, std::string name, const Params& p)
+    : Client(id, std::move(name)), p_(p), next_allowed_(p.start_cycle) {
+  require(p_.burst_bytes > 0, "stream client: burst_bytes must be > 0");
+  require(p_.length >= p_.burst_bytes,
+          "stream client: region shorter than one burst");
+}
+
+bool StreamClient::has_request(std::uint64_t cycle) const {
+  return !finished() && cycle >= next_allowed_;
+}
+
+dram::Request StreamClient::make_request(std::uint64_t cycle) {
+  dram::Request r;
+  r.type = p_.type;
+  r.addr = p_.base + pos_;
+  r.tag = issued_;
+  pos_ += p_.burst_bytes;
+  if (pos_ + p_.burst_bytes > p_.length) pos_ = 0;  // wrap
+  ++issued_;
+  next_allowed_ = cycle + (p_.period_cycles ? p_.period_cycles : 1);
+  return r;
+}
+
+bool StreamClient::finished() const {
+  return p_.total_requests != 0 && issued_ >= p_.total_requests;
+}
+
+// --- StridedClient -----------------------------------------------------------
+
+StridedClient::StridedClient(unsigned id, std::string name, const Params& p)
+    : Client(id, std::move(name)), p_(p) {
+  require(p_.burst_bytes > 0, "strided client: burst_bytes must be > 0");
+  require(p_.stride_bytes >= p_.burst_bytes,
+          "strided client: stride smaller than burst");
+  require(p_.length >= p_.stride_bytes,
+          "strided client: region shorter than one stride");
+}
+
+bool StridedClient::has_request(std::uint64_t cycle) const {
+  return !finished() && cycle >= next_allowed_;
+}
+
+dram::Request StridedClient::make_request(std::uint64_t cycle) {
+  dram::Request r;
+  r.type = p_.type;
+  r.addr = p_.base + offset_;
+  r.tag = issued_;
+  offset_ += p_.stride_bytes;
+  if (offset_ + p_.burst_bytes > p_.length) {
+    // Next pass starts one burst further into the stride (phase shift), so
+    // the client eventually touches the whole region.
+    ++lane_;
+    offset_ = (lane_ * p_.burst_bytes) % p_.stride_bytes;
+  }
+  ++issued_;
+  next_allowed_ = cycle + (p_.period_cycles ? p_.period_cycles : 1);
+  return r;
+}
+
+bool StridedClient::finished() const {
+  return p_.total_requests != 0 && issued_ >= p_.total_requests;
+}
+
+// --- RandomClient ------------------------------------------------------------
+
+RandomClient::RandomClient(unsigned id, std::string name, const Params& p)
+    : Client(id, std::move(name)), p_(p), rng_(p.seed) {
+  require(p_.burst_bytes > 0, "random client: burst_bytes must be > 0");
+  require(p_.length >= p_.burst_bytes,
+          "random client: region shorter than one burst");
+  require(p_.read_fraction >= 0.0 && p_.read_fraction <= 1.0,
+          "random client: read_fraction must be in [0,1]");
+}
+
+bool RandomClient::has_request(std::uint64_t cycle) const {
+  return !finished() && cycle >= next_allowed_;
+}
+
+dram::Request RandomClient::make_request(std::uint64_t cycle) {
+  dram::Request r;
+  r.type = rng_.next_bool(p_.read_fraction) ? dram::AccessType::kRead
+                                            : dram::AccessType::kWrite;
+  const std::uint64_t span = p_.length - p_.burst_bytes + 1;
+  r.addr = p_.base + align_down(rng_.next_below(span), p_.burst_bytes);
+  r.tag = issued_;
+  ++issued_;
+  next_allowed_ = cycle + (p_.period_cycles ? p_.period_cycles : 1);
+  return r;
+}
+
+bool RandomClient::finished() const {
+  return p_.total_requests != 0 && issued_ >= p_.total_requests;
+}
+
+// --- TraceClient -------------------------------------------------------------
+
+TraceClient::TraceClient(unsigned id, std::string name,
+                         std::vector<TraceRecord> trace, unsigned burst_bytes)
+    : Client(id, std::move(name)),
+      trace_(std::move(trace)),
+      burst_bytes_(burst_bytes) {
+  require(burst_bytes_ > 0, "trace client: burst_bytes must be > 0");
+  for (std::size_t i = 1; i < trace_.size(); ++i) {
+    require(trace_[i].cycle >= trace_[i - 1].cycle,
+            "trace client: records must be cycle-ordered");
+  }
+}
+
+bool TraceClient::has_request(std::uint64_t cycle) const {
+  return pos_ < trace_.size() && cycle >= trace_[pos_].cycle;
+}
+
+dram::Request TraceClient::make_request(std::uint64_t /*cycle*/) {
+  const TraceRecord& t = trace_[pos_++];
+  dram::Request r;
+  r.type = t.type;
+  r.addr = align_down(t.addr, burst_bytes_);
+  r.tag = pos_ - 1;
+  return r;
+}
+
+bool TraceClient::finished() const { return pos_ >= trace_.size(); }
+
+}  // namespace edsim::clients

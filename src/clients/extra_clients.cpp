@@ -1,0 +1,81 @@
+#include "clients/extra_clients.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+
+PointerChaseClient::PointerChaseClient(unsigned id, std::string name,
+                                       const Params& p)
+    : Client(id, std::move(name)), p_(p), rng_(p.seed) {
+  require(p_.burst_bytes > 0, "pointer chase: burst_bytes must be > 0");
+  require(p_.length >= p_.burst_bytes,
+          "pointer chase: region shorter than one access");
+}
+
+bool PointerChaseClient::has_request(std::uint64_t cycle) const {
+  return !finished() && !outstanding_ && cycle >= ready_at_;
+}
+
+dram::Request PointerChaseClient::make_request(std::uint64_t /*cycle*/) {
+  dram::Request r;
+  r.type = dram::AccessType::kRead;
+  const std::uint64_t slots = p_.length / p_.burst_bytes;
+  r.addr = p_.base + rng_.next_below(slots) * p_.burst_bytes;
+  r.tag = issued_;
+  ++issued_;
+  outstanding_ = true;
+  return r;
+}
+
+void PointerChaseClient::notify_complete(const dram::Request& /*req*/,
+                                         std::uint64_t cycle) {
+  outstanding_ = false;
+  ready_at_ = cycle + p_.think_cycles;
+}
+
+bool PointerChaseClient::finished() const {
+  return p_.total_requests != 0 && issued_ >= p_.total_requests &&
+         !outstanding_;
+}
+
+BurstyClient::BurstyClient(unsigned id, std::string name, const Params& p)
+    : Client(id, std::move(name)), p_(p), rng_(p.seed),
+      left_in_burst_(p.on_requests) {
+  require(p_.burst_bytes > 0, "bursty: burst_bytes must be > 0");
+  require(p_.length >= p_.burst_bytes, "bursty: region too small");
+  require(p_.on_requests >= 1, "bursty: on_requests must be >= 1");
+}
+
+bool BurstyClient::has_request(std::uint64_t cycle) const {
+  return !finished() && cycle >= next_burst_at_;
+}
+
+dram::Request BurstyClient::make_request(std::uint64_t cycle) {
+  dram::Request r;
+  r.type = p_.type;
+  r.addr = p_.base + pos_;
+  r.tag = issued_;
+  pos_ += p_.burst_bytes;
+  if (pos_ + p_.burst_bytes > p_.length) pos_ = 0;
+  ++issued_;
+  if (--left_in_burst_ == 0) {
+    left_in_burst_ = p_.on_requests;
+    std::uint64_t gap = p_.off_cycles;
+    if (p_.randomize_gap && p_.off_cycles > 0) {
+      gap = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(
+                 rng_.next_exponential(static_cast<double>(p_.off_cycles)))));
+    }
+    next_burst_at_ = cycle + gap;
+  }
+  return r;
+}
+
+bool BurstyClient::finished() const {
+  return p_.total_requests != 0 && issued_ >= p_.total_requests;
+}
+
+}  // namespace edsim::clients

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace edsim::clients {
+
+/// Sizes the rate-decoupling FIFO a client needs (§3: "minimize the
+/// latency for the memory clients and thus minimize the necessary FIFO
+/// depth").
+///
+/// Model: a read client consumes data at a steady rate; requests are
+/// prefetched ahead of consumption. The FIFO must hold everything
+/// requested-but-not-yet-consumed, so the required depth is the peak of
+/// the in-flight byte count plus one burst of slack.
+class FifoTracker {
+ public:
+  explicit FifoTracker(unsigned burst_bytes) : burst_bytes_(burst_bytes) {}
+
+  void on_issue() { outstanding_ += burst_bytes_; }
+  void on_complete() {
+    if (outstanding_ >= burst_bytes_) outstanding_ -= burst_bytes_;
+  }
+  void sample() {
+    if (outstanding_ > peak_) peak_ = outstanding_;
+    occupancy_.add(static_cast<double>(outstanding_));
+  }
+
+  std::uint64_t outstanding_bytes() const { return outstanding_; }
+  /// Required FIFO depth in bytes: peak in-flight plus one burst of slack.
+  std::uint64_t required_depth_bytes() const { return peak_ + burst_bytes_; }
+  const Accumulator& occupancy() const { return occupancy_; }
+
+ private:
+  unsigned burst_bytes_;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t peak_ = 0;
+  Accumulator occupancy_;
+};
+
+}  // namespace edsim::clients

@@ -1,0 +1,84 @@
+#include "clients/multi_system.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+
+MultiChannelSystem::MultiChannelSystem(const dram::DramConfig& per_channel,
+                                       unsigned channels,
+                                       dram::ChannelInterleave interleave,
+                                       ArbiterKind arbiter,
+                                       std::vector<double> weights)
+    : memory_(per_channel, channels, interleave),
+      arbiter_(Arbiter::make(arbiter, std::move(weights))) {}
+
+Client& MultiChannelSystem::add_client(std::unique_ptr<Client> client) {
+  require(client != nullptr, "multi system: null client");
+  clients_.push_back(std::move(client));
+  stats_.emplace_back();
+  fifos_.emplace_back(
+      memory_.channel(0).config().bytes_per_access());
+  pending_.emplace_back();
+  return *clients_.back();
+}
+
+void MultiChannelSystem::step() {
+  const unsigned burst = memory_.channel(0).config().bytes_per_access();
+
+  // 1. Completions.
+  for (const dram::Request& r : memory_.drain_completed()) {
+    const std::size_t i = r.client_id;
+    stats_[i].completed++;
+    stats_[i].latency.add(static_cast<double>(r.latency()));
+    stats_[i].latency_samples.add(static_cast<double>(r.latency()));
+    fifos_[i].on_complete();
+    clients_[i]->notify_complete(r, cycle_);
+  }
+
+  // 2. Up to `channels` grants per cycle. A client with a parked
+  //    (previously blocked) request offers that; otherwise its next
+  //    request. Blocked requests park in pending_ and retry — nothing is
+  //    dropped.
+  std::vector<bool> ready(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i)
+    ready[i] = pending_[i].has_value() || clients_[i]->has_request(cycle_);
+  std::vector<bool> channel_granted(memory_.channels(), false);
+  for (unsigned g = 0; g < memory_.channels(); ++g) {
+    const std::size_t win = arbiter_->pick(ready);
+    if (win == Arbiter::kNone) break;
+    dram::Request r;
+    if (pending_[win].has_value()) {
+      r = *pending_[win];
+      pending_[win].reset();
+    } else {
+      r = clients_[win]->make_request(cycle_);
+      r.client_id = static_cast<unsigned>(win);
+    }
+    const unsigned ch = memory_.route(r.addr);
+    if (channel_granted[ch] || !memory_.enqueue(r)) {
+      pending_[win] = r;  // park and retry next cycle
+      stats_[win].stall_cycles++;
+      clients_[win]->notify_rejected(cycle_);
+      ready[win] = false;
+      continue;
+    }
+    channel_granted[ch] = true;
+    arbiter_->granted(win, burst);
+    stats_[win].issued++;
+    stats_[win].bytes += burst;
+    fifos_[win].on_issue();
+    ready[win] =
+        pending_[win].has_value() || clients_[win]->has_request(cycle_);
+  }
+
+  // 3. Sampling + advance.
+  for (std::size_t i = 0; i < clients_.size(); ++i) fifos_[i].sample();
+  memory_.tick();
+  ++cycle_;
+}
+
+void MultiChannelSystem::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+}  // namespace edsim::clients

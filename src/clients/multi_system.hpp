@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clients/arbiter.hpp"
+#include "clients/client.hpp"
+#include "clients/fifo_tracker.hpp"
+#include "dram/multi_channel.hpp"
+
+namespace edsim::clients {
+
+/// Clients + arbiter over a multi-channel memory: the front end for the
+/// paper's high-end systems (several modules side by side). One grant
+/// per channel per cycle; a client whose target channel is backed up
+/// does not block grants to other channels.
+class MultiChannelSystem {
+ public:
+  MultiChannelSystem(const dram::DramConfig& per_channel, unsigned channels,
+                     dram::ChannelInterleave interleave, ArbiterKind arbiter,
+                     std::vector<double> weights = {});
+
+  Client& add_client(std::unique_ptr<Client> client);
+
+  void run(std::uint64_t cycles);
+
+  dram::MultiChannel& memory() { return memory_; }
+  const dram::MultiChannel& memory() const { return memory_; }
+
+  std::size_t client_count() const { return clients_.size(); }
+  const Client& client(std::size_t i) const { return *clients_[i]; }
+  const ClientStats& client_stats(std::size_t i) const { return stats_[i]; }
+  const FifoTracker& fifo(std::size_t i) const { return fifos_[i]; }
+
+  Bandwidth aggregate_bandwidth() const {
+    return memory_.sustained_bandwidth();
+  }
+  double bandwidth_efficiency() const {
+    const double peak = memory_.peak_bandwidth().bits_per_s;
+    return peak > 0.0 ? aggregate_bandwidth().bits_per_s / peak : 0.0;
+  }
+
+ private:
+  void step();
+
+  dram::MultiChannel memory_;
+  std::unique_ptr<Arbiter> arbiter_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<ClientStats> stats_;
+  std::vector<FifoTracker> fifos_;
+  /// A request that lost its channel slot waits here and retries before
+  /// the client is asked for new work — nothing is ever dropped.
+  std::vector<std::optional<dram::Request>> pending_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace edsim::clients

@@ -1,0 +1,103 @@
+#include "clients/system.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+
+MemorySystem::MemorySystem(const dram::DramConfig& cfg, ArbiterKind arbiter,
+                           std::vector<double> weights)
+    : controller_(cfg), arbiter_(Arbiter::make(arbiter, std::move(weights))) {}
+
+Client& MemorySystem::add_client(std::unique_ptr<Client> client) {
+  require(client != nullptr, "memory system: null client");
+  clients_.push_back(std::move(client));
+  stats_.emplace_back();
+  fifos_.emplace_back(controller_.config().bytes_per_access());
+  outstanding_.push_back(0);
+  return *clients_.back();
+}
+
+void MemorySystem::step() {
+  const std::uint64_t cycle = controller_.cycle();
+
+  // 1. Deliver completions.
+  for (const dram::Request& r : controller_.drain_completed()) {
+    const std::size_t i = r.client_id;
+    stats_[i].completed++;
+    stats_[i].latency.add(static_cast<double>(r.latency()));
+    stats_[i].latency_samples.add(static_cast<double>(r.latency()));
+    fifos_[i].on_complete();
+    if (outstanding_[i] > 0) --outstanding_[i];
+    clients_[i]->notify_complete(r, cycle);
+  }
+
+  // 2. Arbitration: one enqueue attempt per cycle (the controller accepts
+  //    at most one column command per cycle anyway).
+  std::vector<bool> ready(clients_.size());
+  bool any_ready = false;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    ready[i] = clients_[i]->has_request(cycle);
+    any_ready = any_ready || ready[i];
+  }
+  if (any_ready && !controller_.queue_full()) {
+    const std::size_t win = arbiter_->pick(ready);
+    if (win != Arbiter::kNone) {
+      dram::Request r = clients_[win]->make_request(cycle);
+      r.client_id = static_cast<unsigned>(win);
+      const bool ok = controller_.enqueue(r);
+      require(ok, "memory system: enqueue failed after queue_full check");
+      arbiter_->granted(win, controller_.config().bytes_per_access());
+      stats_[win].issued++;
+      stats_[win].bytes += controller_.config().bytes_per_access();
+      fifos_[win].on_issue();
+      ++outstanding_[win];
+    }
+  } else if (any_ready) {
+    // Back-pressure: every ready client stalls this cycle.
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (ready[i]) {
+        stats_[i].stall_cycles++;
+        clients_[i]->notify_rejected(cycle);
+      }
+    }
+  }
+
+  // 3. Per-cycle sampling.
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    fifos_[i].sample();
+    stats_[i].outstanding.add(static_cast<double>(outstanding_[i]));
+  }
+
+  // 4. Advance the channel.
+  controller_.tick();
+}
+
+void MemorySystem::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+void MemorySystem::run_to_completion(std::uint64_t max_cycles) {
+  const std::uint64_t limit = controller_.cycle() + max_cycles;
+  while (controller_.cycle() < limit) {
+    bool all_done = controller_.idle();
+    for (const auto& c : clients_) all_done = all_done && c->finished();
+    if (all_done) {
+      // One more step to deliver completions retired on the final tick.
+      step();
+      return;
+    }
+    step();
+  }
+  require(false, "memory system: run_to_completion hit the cycle bound");
+}
+
+Bandwidth MemorySystem::aggregate_bandwidth() const {
+  return controller_.stats().sustained_bandwidth(controller_.config().clock);
+}
+
+double MemorySystem::bandwidth_efficiency() const {
+  const double peak = controller_.config().peak_bandwidth().bits_per_s;
+  return peak > 0.0 ? aggregate_bandwidth().bits_per_s / peak : 0.0;
+}
+
+}  // namespace edsim::clients

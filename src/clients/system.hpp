@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clients/arbiter.hpp"
+#include "clients/client.hpp"
+#include "clients/fifo_tracker.hpp"
+#include "dram/controller.hpp"
+
+namespace edsim::clients {
+
+/// Front end tying N memory clients to one DRAM channel through an
+/// arbiter: the complete "memory system" of the paper's §3/§4 discussion.
+class MemorySystem {
+ public:
+  MemorySystem(const dram::DramConfig& cfg, ArbiterKind arbiter,
+               std::vector<double> weights = {});
+
+  /// Clients must be added before the first run() call.
+  Client& add_client(std::unique_ptr<Client> client);
+
+  /// Advance `cycles` controller cycles.
+  void run(std::uint64_t cycles);
+
+  /// Run until every client is finished and the channel drained, with a
+  /// safety bound.
+  void run_to_completion(std::uint64_t max_cycles = 50'000'000);
+
+  dram::Controller& controller() { return controller_; }
+  const dram::Controller& controller() const { return controller_; }
+
+  std::size_t client_count() const { return clients_.size(); }
+  const Client& client(std::size_t i) const { return *clients_[i]; }
+  const ClientStats& client_stats(std::size_t i) const { return stats_[i]; }
+  const FifoTracker& fifo(std::size_t i) const { return fifos_[i]; }
+
+  /// Aggregate achieved bandwidth across all clients over the run window.
+  Bandwidth aggregate_bandwidth() const;
+  /// Achieved / peak.
+  double bandwidth_efficiency() const;
+
+ private:
+  void step();
+
+  dram::Controller controller_;
+  std::unique_ptr<Arbiter> arbiter_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<ClientStats> stats_;
+  std::vector<FifoTracker> fifos_;
+  std::vector<unsigned> outstanding_;  // in-flight per client
+};
+
+}  // namespace edsim::clients

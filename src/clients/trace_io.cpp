@@ -1,0 +1,73 @@
+#include "clients/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+
+std::vector<TraceRecord> parse_trace(std::istream& in) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::uint64_t cycle = 0;
+    std::string op;
+    std::string addr_str;
+    if (!(ls >> cycle)) {
+      // Nothing but whitespace: skip.
+      bool blank = true;
+      for (const char c : line) blank = blank && std::isspace(c) != 0;
+      require(blank, "trace: line " + std::to_string(lineno) +
+                         ": expected '<cycle> <R|W> <addr>'");
+      continue;
+    }
+    require(static_cast<bool>(ls >> op >> addr_str),
+            "trace: line " + std::to_string(lineno) + ": truncated record");
+    require(op == "R" || op == "W" || op == "r" || op == "w",
+            "trace: line " + std::to_string(lineno) +
+                ": op must be R or W, got '" + op + "'");
+    TraceRecord r;
+    r.cycle = cycle;
+    r.type = (op == "R" || op == "r") ? dram::AccessType::kRead
+                                      : dram::AccessType::kWrite;
+    try {
+      r.addr = std::stoull(addr_str, nullptr, 0);  // base 0: dec or 0x hex
+    } catch (const std::exception&) {
+      require(false, "trace: line " + std::to_string(lineno) +
+                         ": bad address '" + addr_str + "'");
+    }
+    require(out.empty() || r.cycle >= out.back().cycle,
+            "trace: line " + std::to_string(lineno) +
+                ": cycles must be non-decreasing");
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> parse_trace_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+std::vector<TraceRecord> load_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  require(f.is_open(), "trace: cannot open '" + path + "'");
+  return parse_trace(f);
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& trace) {
+  for (const TraceRecord& r : trace) {
+    out << r.cycle << ' '
+        << (r.type == dram::AccessType::kRead ? 'R' : 'W') << " 0x"
+        << std::hex << r.addr << std::dec << '\n';
+  }
+}
+
+}  // namespace edsim::clients

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "clients/client.hpp"
+
+namespace edsim::clients {
+
+/// Plain-text trace format, one record per line:
+///
+///     <cycle> <R|W> <byte-address>
+///
+/// `cycle` is the earliest issue cycle (monotonically non-decreasing),
+/// the address may be decimal or 0x-prefixed hex. Blank lines and lines
+/// starting with '#' are ignored.
+///
+/// Example:
+///
+///     # scanout burst
+///     0    R 0x0
+///     4    R 0x80
+///     120  W 4096
+std::vector<TraceRecord> parse_trace(std::istream& in);
+
+/// Parse from a string (convenience for tests and embedded demos).
+std::vector<TraceRecord> parse_trace_text(const std::string& text);
+
+/// Load from a file; throws ConfigError when the file cannot be opened
+/// or a line does not parse.
+std::vector<TraceRecord> load_trace_file(const std::string& path);
+
+/// Write records back out in the same format (round-trip capable).
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& trace);
+
+}  // namespace edsim::clients

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace edsim {
+
+/// Minimal `--key value` / `--flag` command-line parser for the example
+/// and tool binaries. Positional arguments are collected in order.
+class Args {
+ public:
+  /// `boolean_flags` lists options that take no value.
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& boolean_flags = {});
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace edsim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace edsim {
+
+/// Thrown when a configuration struct fails validation at construction
+/// time. Simulation hot paths never throw; all parameter checking happens
+/// up front so that `tick()`-style members can be noexcept.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulation object is driven outside its contract
+/// (e.g. enqueueing into a full queue that the caller was told to poll).
+class UsageError : public std::logic_error {
+ public:
+  explicit UsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config(const std::string& msg) {
+  throw ConfigError(msg);
+}
+}  // namespace detail
+
+/// Validate a config predicate; throws ConfigError with `msg` on failure.
+inline void require(bool ok, const std::string& msg) {
+  if (!ok) detail::throw_config(msg);
+}
+
+}  // namespace edsim

@@ -1,0 +1,37 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace edsim {
+
+double Rng::next_exponential(double mean) {
+  // Inverse-CDF; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(1.0 - u);
+}
+
+unsigned Rng::next_poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    unsigned k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  // Box–Muller transform.
+  const double u1 = next_double();
+  const double u2 = next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(6.283185307179586 * u2);
+  const double v = mean + std::sqrt(mean) * z + 0.5;
+  return v < 0.0 ? 0u : static_cast<unsigned>(v);
+}
+
+}  // namespace edsim

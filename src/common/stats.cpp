@@ -1,0 +1,84 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim {
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(o.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += o.m2_ + delta * delta * n * m / (n + m);
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+Histogram::Histogram(double bin_width, std::size_t bins)
+    : bin_width_(bin_width), counts_(bins + 1, 0) {
+  require(bin_width > 0.0, "Histogram: bin_width must be > 0");
+  require(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0.0) x = 0.0;
+  auto idx = static_cast<std::size_t>(x / bin_width_);
+  if (idx >= counts_.size() - 1) idx = counts_.size() - 1;  // overflow bin
+  ++counts_[idx];
+}
+
+double Histogram::percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += counts_[i];
+    if (cum >= target && counts_[i] > 0) {
+      // Interpolate within the bin by rank.
+      const double frac = static_cast<double>(target - prev) /
+                          static_cast<double>(counts_[i]);
+      return (static_cast<double>(i) + frac) * bin_width_;
+    }
+  }
+  return static_cast<double>(counts_.size()) * bin_width_;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+}  // namespace edsim

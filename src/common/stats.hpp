@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace edsim {
+
+/// Streaming accumulator: count / sum / min / max / mean / variance
+/// (Welford). Used by every simulator object that reports a latency or
+/// occupancy distribution summary.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+
+  void merge(const Accumulator& o);
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [0, bin_width * bins); overflow bucketed at the
+/// top. Supports percentile queries, which the FIFO-depth analysis needs.
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+
+  /// Value below which fraction q (0..1] of samples fall (linear
+  /// interpolation within the bin). Returns 0 for an empty histogram.
+  double percentile(double q) const;
+
+  const std::vector<std::uint64_t>& bins() const { return counts_; }
+  double bin_width() const { return bin_width_; }
+  std::uint64_t overflow() const { return counts_.empty() ? 0 : counts_.back(); }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact-percentile reservoir for moderate sample counts: stores all
+/// samples, sorts lazily (logically const: queries don't change the
+/// sample set).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  double percentile(double q) const;  // q in (0,1]; exact nearest-rank
+  double max() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace edsim

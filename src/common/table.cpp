@@ -1,0 +1,114 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace edsim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "Table: need at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "Table: row width does not match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string s) {
+  cells_.push_back(std::move(s));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::num(double v, int precision) {
+  cells_.push_back(Table::fmt(v, precision));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::integer(long long v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() {
+  if (!cells_.empty()) table_.add_row(std::move(cells_));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_ratio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1fx", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << title << '\n';
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto line = [&](char fill, char sep) {
+    os << sep;
+    for (auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << fill;
+      os << sep;
+    }
+    os << '\n';
+  };
+  auto row_out = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << r[c];
+      for (std::size_t i = r[c].size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  line('-', '+');
+  row_out(headers_);
+  line('-', '+');
+  for (const auto& r : rows_) row_out(r);
+  line('-', '+');
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+void print_banner(std::ostream& os, const std::string& text) {
+  os << "\n== " << text << " ==\n";
+}
+
+void print_claim(std::ostream& os, const std::string& name, double measured,
+                 double lo, double hi, const std::string& unit) {
+  const bool ok = measured >= lo && measured <= hi;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "[%s] %s: measured %.3g%s vs claimed band [%.3g%s, %.3g%s]",
+                ok ? "SHAPE-OK" : "CHECK", name.c_str(), measured,
+                unit.c_str(), lo, unit.c_str(), hi, unit.c_str());
+  os << buf << '\n';
+}
+
+}  // namespace edsim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edsim {
+
+/// Minimal fixed-column table formatter used by every experiment binary so
+/// all reproduced "paper tables" share one look. Cells are strings; numeric
+/// helpers format with sensible precision. Also emits CSV for scripting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Fluent row builder for mixed text/numeric rows.
+  class RowBuilder {
+   public:
+    RowBuilder& cell(std::string s);
+    RowBuilder& num(double v, int precision = 2);
+    RowBuilder& integer(long long v);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    friend class Table;
+    explicit RowBuilder(Table& t) : table_(t) {}
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  void print(std::ostream& os, const std::string& title = "") const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_ratio(double v);  // "9.8x"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a banner line for an experiment, e.g.
+///   == E1: interface power, discrete vs embedded ==
+void print_banner(std::ostream& os, const std::string& text);
+
+/// Prints "claim vs measured" verdict lines used by the bench binaries:
+///   [SHAPE-OK] power ratio 9.8x within claimed band [5x, 20x]
+void print_claim(std::ostream& os, const std::string& name, double measured,
+                 double lo, double hi, const std::string& unit = "x");
+
+}  // namespace edsim

@@ -1,0 +1,41 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace edsim {
+
+std::string to_string(Capacity c) {
+  char buf[64];
+  const double mbit = c.as_mbit();
+  if (mbit >= 1.0) {
+    if (std::abs(mbit - std::round(mbit)) < 1e-9) {
+      std::snprintf(buf, sizeof buf, "%.0f Mbit", mbit);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.2f Mbit", mbit);
+    }
+  } else if (c.bit_count() >= kBitsPerKbit) {
+    std::snprintf(buf, sizeof buf, "%.0f Kbit",
+                  static_cast<double>(c.bit_count()) /
+                      static_cast<double>(kBitsPerKbit));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu bit",
+                  static_cast<unsigned long long>(c.bit_count()));
+  }
+  return buf;
+}
+
+std::string to_string(Bandwidth bw) {
+  char buf[64];
+  const double gbs = bw.as_gbyte_per_s();
+  if (gbs >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", gbs);
+  } else if (gbs >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", gbs * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f KB/s", gbs * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace edsim

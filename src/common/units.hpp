@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace edsim {
+
+// ---------------------------------------------------------------------------
+// Capacity units.
+//
+// The paper (and 1990s DRAM practice) uses *binary* megabits: 1 Mbit =
+// 2^20 bit. This is load-bearing: a PAL 4:2:0 frame (720x576x12 bit) is
+// 4.75 Mbit only in binary units. All capacity helpers here are binary.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kBitsPerKbit = 1024ull;
+inline constexpr std::uint64_t kBitsPerMbit = 1024ull * 1024ull;
+inline constexpr std::uint64_t kBitsPerGbit = 1024ull * 1024ull * 1024ull;
+
+/// A capacity expressed in bits. Thin strong type so interfaces cannot
+/// confuse bits with bytes or with bus widths.
+class Capacity {
+ public:
+  constexpr Capacity() = default;
+  static constexpr Capacity bits(std::uint64_t b) { return Capacity(b); }
+  static constexpr Capacity bytes(std::uint64_t b) { return Capacity(b * 8); }
+  static constexpr Capacity kbit(std::uint64_t k) {
+    return Capacity(k * kBitsPerKbit);
+  }
+  static constexpr Capacity mbit(std::uint64_t m) {
+    return Capacity(m * kBitsPerMbit);
+  }
+  static constexpr Capacity mbit_d(double m);  // fractional Mbit
+  static constexpr Capacity gbit(std::uint64_t g) {
+    return Capacity(g * kBitsPerGbit);
+  }
+
+  constexpr std::uint64_t bit_count() const { return bits_; }
+  constexpr std::uint64_t byte_count() const { return bits_ / 8; }
+  constexpr double as_mbit() const {
+    return static_cast<double>(bits_) / static_cast<double>(kBitsPerMbit);
+  }
+  constexpr double as_mbyte() const { return as_mbit() / 8.0; }
+
+  constexpr bool operator==(const Capacity&) const = default;
+  constexpr auto operator<=>(const Capacity&) const = default;
+
+  constexpr Capacity operator+(Capacity o) const {
+    return Capacity(bits_ + o.bits_);
+  }
+  constexpr Capacity operator-(Capacity o) const {
+    return Capacity(bits_ - o.bits_);
+  }
+  constexpr Capacity operator*(std::uint64_t n) const {
+    return Capacity(bits_ * n);
+  }
+
+ private:
+  explicit constexpr Capacity(std::uint64_t b) : bits_(b) {}
+  std::uint64_t bits_ = 0;
+};
+
+constexpr Capacity Capacity::mbit_d(double m) {
+  return Capacity(static_cast<std::uint64_t>(
+      m * static_cast<double>(kBitsPerMbit) + 0.5));
+}
+
+/// Human-readable capacity, e.g. "4.75 Mbit" or "128 Mbit".
+std::string to_string(Capacity c);
+
+// ---------------------------------------------------------------------------
+// Frequency and time.
+// ---------------------------------------------------------------------------
+
+/// Clock frequency in MHz (double: the paper quotes 100, 143, 166 MHz).
+struct Frequency {
+  double mhz = 0.0;
+  constexpr double hz() const { return mhz * 1e6; }
+  constexpr double period_ns() const { return 1000.0 / mhz; }
+  constexpr bool operator==(const Frequency&) const = default;
+};
+
+constexpr Frequency operator""_MHz(long double v) {
+  return Frequency{static_cast<double>(v)};
+}
+constexpr Frequency operator""_MHz(unsigned long long v) {
+  return Frequency{static_cast<double>(v)};
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth.
+// ---------------------------------------------------------------------------
+
+/// Bandwidth in bits per second (stored as double; values span kbit/s to
+/// hundreds of Gbit/s).
+struct Bandwidth {
+  double bits_per_s = 0.0;
+
+  static constexpr Bandwidth bits_per_sec(double b) { return Bandwidth{b}; }
+  static constexpr Bandwidth mbit_per_s(double m) {
+    return Bandwidth{m * 1e6};
+  }
+  static constexpr Bandwidth gbyte_per_s(double g) {
+    return Bandwidth{g * 8e9};
+  }
+  constexpr double as_gbyte_per_s() const { return bits_per_s / 8e9; }
+  constexpr double as_mbit_per_s() const { return bits_per_s / 1e6; }
+  constexpr double as_gbit_per_s() const { return bits_per_s / 1e9; }
+
+  constexpr bool operator==(const Bandwidth&) const = default;
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+};
+
+/// Peak bandwidth of a synchronous interface: width bits moved each clock.
+constexpr Bandwidth peak_bandwidth(unsigned width_bits, Frequency f,
+                                   unsigned transfers_per_clock = 1) {
+  return Bandwidth{static_cast<double>(width_bits) * f.hz() *
+                   static_cast<double>(transfers_per_clock)};
+}
+
+/// Fill frequency (paper §1, footnote 2): bandwidth in Mbit/s divided by
+/// memory size in Mbit — how many times per second the memory can be
+/// completely rewritten.
+constexpr double fill_frequency_hz(Bandwidth bw, Capacity size) {
+  return bw.bits_per_s / static_cast<double>(size.bit_count());
+}
+
+std::string to_string(Bandwidth bw);
+
+// ---------------------------------------------------------------------------
+// Electrical units for the PHY/power models.
+// ---------------------------------------------------------------------------
+
+/// Switching energy of one rail-to-rail transition on a capacitive load:
+/// E = C * V^2 (joules), with C in farads. Average dynamic power at
+/// activity factor a and frequency f: P = a * C * V^2 * f.
+constexpr double switching_energy_j(double cap_farad, double volt) {
+  return cap_farad * volt * volt;
+}
+
+constexpr double kPicofarad = 1e-12;
+constexpr double kNanojoule = 1e-9;
+constexpr double kPicojoule = 1e-12;
+
+}  // namespace edsim

@@ -1,0 +1,98 @@
+#include "core/advisor.hpp"
+
+namespace edsim::core {
+
+std::vector<ApplicationProfile> paper_market_profiles() {
+  // Parameters follow the §2 text: graphics (laptop first, then desktop,
+  // 8-32 Mbit frame storage), hard-disk and printer controllers (modest
+  // size and bandwidth, cost-driven), network switches (high end: up to
+  // 128 Mbit, 512-bit interfaces, lower volume, higher price), and the PC
+  // main-memory counter-example (upgrade path kills it).
+  return {
+      {"3D graphics (laptop)", 800, 2.0, Capacity::mbit(16), 3.0, true,
+       false, true},
+      {"3D graphics (desktop)", 2000, 2.0, Capacity::mbit(32), 4.0, false,
+       false, true},
+      {"HDD controller", 5000, 4.0, Capacity::mbit(4), 0.3, false, false,
+       true},
+      {"printer controller", 1500, 4.0, Capacity::mbit(8), 0.2, false,
+       false, true},
+      {"network switch", 120, 5.0, Capacity::mbit(128), 8.0, false, false,
+       false},
+      {"mobile phone", 10000, 2.0, Capacity::mbit(2), 0.05, true, false,
+       true},
+      {"PDA", 900, 2.0, Capacity::mbit(8), 0.1, true, false, true},
+      {"PC main memory", 30000, 3.0, Capacity::mbit(512), 1.0, false, true,
+       true},
+  };
+}
+
+AdvisorVerdict Advisor::advise(const ApplicationProfile& app) const {
+  AdvisorVerdict v;
+  v.application = app.name;
+  double score = 0.0;
+
+  if (app.needs_upgrade_path) {
+    // §2: "it is unlikely that edram will capture the PC market for main
+    // memory, as the need for flexibility and an upgrade path is too
+    // strong." This is a veto, not a weight.
+    v.reasons.push_back("needs an upgrade path: later extensions are "
+                        "impossible without an external memory interface");
+    v.recommend_edram = false;
+    v.score = -10.0;
+    return v;
+  }
+
+  // Volume x lifetime amortizes the NRE of the extra process.
+  const double exposure =
+      app.volume_k_units_per_year * app.product_lifetime_years;
+  if (exposure >= 1000.0) {
+    score += 2.0;
+    v.reasons.push_back("high product volume x lifetime amortizes eDRAM NRE");
+  } else if (exposure >= 300.0) {
+    score += 0.5;
+  } else {
+    score -= 0.5;
+    v.reasons.push_back("low volume: premium pricing must carry the NRE");
+  }
+
+  // Memory content justifies the DRAM-process cost...
+  if (app.memory >= Capacity::mbit(8)) {
+    score += 1.5;
+    v.reasons.push_back("memory content high enough to justify the "
+                        "DRAM-process cost");
+  }
+  // ...or the bandwidth cannot be delivered over pins at all.
+  if (app.bandwidth_gbyte_s >= 2.0) {
+    score += 2.5;
+    v.reasons.push_back("bandwidth requires a wider interface than a "
+                        "package can provide");
+  }
+  if (app.memory < Capacity::mbit(4) && app.bandwidth_gbyte_s < 1.0) {
+    score -= 1.0;
+    v.reasons.push_back("small, slow memory: commodity parts are cheaper");
+  }
+
+  if (app.portable) {
+    score += 1.0;
+    v.reasons.push_back("portable: interface-power saving is decisive "
+                        "(eDRAM finds its way first into portables)");
+  }
+  if (!app.consumer_cost_driven) {
+    score += 0.5;  // price-tolerant niches absorb the premium (switches)
+  }
+
+  v.score = score;
+  v.recommend_edram = score >= 1.5;
+  return v;
+}
+
+std::vector<AdvisorVerdict> Advisor::advise_all(
+    const std::vector<ApplicationProfile>& apps) const {
+  std::vector<AdvisorVerdict> out;
+  out.reserve(apps.size());
+  for (const auto& a : apps) out.push_back(advise(a));
+  return out;
+}
+
+}  // namespace edsim::core

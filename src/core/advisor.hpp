@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace edsim::core {
+
+/// An application class considered for embedded DRAM (§2).
+struct ApplicationProfile {
+  std::string name;
+  double volume_k_units_per_year = 100.0;
+  double product_lifetime_years = 3.0;
+  Capacity memory = Capacity::mbit(16);
+  double bandwidth_gbyte_s = 0.5;
+  bool portable = false;            ///< battery powered
+  bool needs_upgrade_path = false;  ///< user-expandable memory
+  bool consumer_cost_driven = true;
+};
+
+/// The §2 market examples, with representative parameters from the text.
+std::vector<ApplicationProfile> paper_market_profiles();
+
+/// Verdict of the §2 rules of thumb.
+struct AdvisorVerdict {
+  std::string application;
+  bool recommend_edram = false;
+  double score = 0.0;  ///< > 0 favours eDRAM
+  std::vector<std::string> reasons;
+};
+
+/// Scores an application against the paper's rules of thumb:
+///  - product volume and lifetime are usually high,
+///  - memory content high enough to justify DRAM-process cost, or eDRAM
+///    required for bandwidth,
+///  - other things equal, portable applications adopt first,
+///  - a needed upgrade path (PC main memory) rules eDRAM out.
+class Advisor {
+ public:
+  AdvisorVerdict advise(const ApplicationProfile& app) const;
+  std::vector<AdvisorVerdict> advise_all(
+      const std::vector<ApplicationProfile>& apps) const;
+};
+
+}  // namespace edsim::core

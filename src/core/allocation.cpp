@@ -1,0 +1,170 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace edsim::core {
+
+namespace {
+
+std::uint64_t bank_bytes(const dram::DramConfig& cfg) {
+  return static_cast<std::uint64_t>(cfg.rows_per_bank) * cfg.page_bytes;
+}
+
+/// Build placements (bases) from a bank assignment; fails when a bank
+/// overflows.
+AllocationPlan realize(const std::vector<TrafficBuffer>& buffers,
+                       const std::vector<unsigned>& bank_of,
+                       const dram::DramConfig& cfg) {
+  AllocationPlan plan;
+  const std::uint64_t per_bank = bank_bytes(cfg);
+  std::vector<std::uint64_t> used(cfg.banks, 0);
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const unsigned b = bank_of[i];
+    const std::uint64_t bytes = buffers[i].size.byte_count();
+    if (used[b] + bytes > per_bank) return plan;  // infeasible
+    Placement p;
+    p.buffer = buffers[i];
+    p.bank = b;
+    p.base = static_cast<std::uint64_t>(b) * per_bank + used[b];
+    used[b] += bytes;
+    plan.placements.push_back(p);
+  }
+  plan.conflict_cost = conflict_cost(buffers, bank_of, cfg.banks);
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace
+
+const Placement* AllocationPlan::find(const std::string& name) const {
+  for (const auto& p : placements)
+    if (p.buffer.name == name) return &p;
+  return nullptr;
+}
+
+double conflict_cost(const std::vector<TrafficBuffer>& buffers,
+                     const std::vector<unsigned>& bank_of, unsigned banks) {
+  require(buffers.size() == bank_of.size(),
+          "allocation: assignment size mismatch");
+  double cost = 0.0;
+  for (unsigned b = 0; b < banks; ++b) {
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      if (bank_of[i] != b) continue;
+      for (std::size_t j = i + 1; j < buffers.size(); ++j) {
+        if (bank_of[j] != b) continue;
+        cost += buffers[i].intensity * buffers[j].intensity;
+      }
+    }
+  }
+  return cost;
+}
+
+AllocationPlan allocate_banks(const std::vector<TrafficBuffer>& buffers,
+                              const dram::DramConfig& cfg) {
+  require(!buffers.empty(), "allocation: no buffers");
+  const std::uint64_t per_bank = bank_bytes(cfg);
+  for (const auto& b : buffers) {
+    require(b.size.byte_count() <= per_bank,
+            "allocation: buffer '" + b.name +
+                "' larger than a bank; split it or use interleaved "
+                "mapping for it");
+    require(b.intensity >= 0.0, "allocation: negative intensity");
+  }
+
+  // Order by intensity (heaviest first).
+  std::vector<std::size_t> order(buffers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return buffers[a].intensity > buffers[b].intensity;
+  });
+
+  std::vector<unsigned> bank_of(buffers.size(), 0);
+  std::vector<double> bank_heat(cfg.banks, 0.0);
+  std::vector<std::uint64_t> used(cfg.banks, 0);
+  std::vector<bool> placed(buffers.size(), false);
+  for (const std::size_t i : order) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::uint64_t best_free = 0;
+    unsigned best_bank = cfg.banks;  // invalid
+    for (unsigned b = 0; b < cfg.banks; ++b) {
+      if (used[b] + buffers[i].size.byte_count() > per_bank) continue;
+      const double added = bank_heat[b] * buffers[i].intensity;
+      const std::uint64_t free = per_bank - used[b];
+      if (added < best_cost ||
+          (added == best_cost && free > best_free)) {
+        best_cost = added;
+        best_free = free;
+        best_bank = b;
+      }
+    }
+    if (best_bank == cfg.banks) return AllocationPlan{};  // no fit
+    bank_of[i] = best_bank;
+    placed[i] = true;
+    bank_heat[best_bank] += buffers[i].intensity;
+    used[best_bank] += buffers[i].size.byte_count();
+  }
+  return realize(buffers, bank_of, cfg);
+}
+
+AllocationPlan allocate_banks_optimal(
+    const std::vector<TrafficBuffer>& buffers,
+    const dram::DramConfig& cfg) {
+  require(!buffers.empty(), "allocation: no buffers");
+  require(buffers.size() <= 10,
+          "allocation: exhaustive search limited to 10 buffers");
+  std::vector<unsigned> assignment(buffers.size(), 0);
+  std::vector<unsigned> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(std::pow(cfg.banks, buffers.size()));
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t c = code;
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      assignment[i] = static_cast<unsigned>(c % cfg.banks);
+      c /= cfg.banks;
+    }
+    // Capacity check.
+    std::vector<std::uint64_t> used(cfg.banks, 0);
+    bool ok = true;
+    for (std::size_t i = 0; i < buffers.size() && ok; ++i) {
+      used[assignment[i]] += buffers[i].size.byte_count();
+      ok = used[assignment[i]] <= bank_bytes(cfg);
+    }
+    if (!ok) continue;
+    const double cost = conflict_cost(buffers, assignment, cfg.banks);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = assignment;
+    }
+  }
+  if (best.empty()) return AllocationPlan{};
+  return realize(buffers, best, cfg);
+}
+
+AllocationPlan allocate_banks_naive(
+    const std::vector<TrafficBuffer>& buffers,
+    const dram::DramConfig& cfg) {
+  require(!buffers.empty(), "allocation: no buffers");
+  // Linker-script style: fill bank 0, then bank 1, ...
+  std::vector<unsigned> bank_of(buffers.size(), 0);
+  std::vector<std::uint64_t> used(cfg.banks, 0);
+  unsigned bank = 0;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    while (bank < cfg.banks &&
+           used[bank] + buffers[i].size.byte_count() > bank_bytes(cfg)) {
+      ++bank;
+    }
+    if (bank >= cfg.banks) return AllocationPlan{};
+    bank_of[i] = bank;
+    used[bank] += buffers[i].size.byte_count();
+  }
+  return realize(buffers, bank_of, cfg);
+}
+
+}  // namespace edsim::core

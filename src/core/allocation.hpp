@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/config.hpp"
+
+namespace edsim::core {
+
+/// A buffer with its concurrent traffic intensity, for the §3 problem
+/// "optimizing the memory allocation [and] the mapping of the data into
+/// memory such that the sustainable memory bandwidth approaches the
+/// peak": two hot buffers sharing a bank ping-pong its row buffer.
+struct TrafficBuffer {
+  std::string name;
+  Capacity size;
+  double intensity = 1.0;  ///< relative concurrent access rate
+};
+
+/// A buffer pinned to a bank-contiguous region.
+struct Placement {
+  TrafficBuffer buffer;
+  unsigned bank = 0;
+  std::uint64_t base = 0;  ///< byte address under kBankRowCol mapping
+};
+
+struct AllocationPlan {
+  std::vector<Placement> placements;
+  double conflict_cost = 0.0;  ///< sum of intensity products per shared bank
+  bool feasible = false;
+
+  const Placement* find(const std::string& name) const;
+};
+
+/// Pairwise conflict cost of an assignment: for every bank, the sum of
+/// intensity_i * intensity_j over buffer pairs living there.
+double conflict_cost(const std::vector<TrafficBuffer>& buffers,
+                     const std::vector<unsigned>& bank_of, unsigned banks);
+
+/// Greedy allocator: buffers in decreasing intensity, each into the
+/// feasible bank that adds the least conflict cost (ties: most free
+/// space). Bases are assigned bank-contiguously; use with
+/// AddressMapping::kBankRowCol so the placement actually pins banks.
+AllocationPlan allocate_banks(const std::vector<TrafficBuffer>& buffers,
+                              const dram::DramConfig& cfg);
+
+/// Exhaustive reference (banks^n): optimal for small sets; used to
+/// validate the greedy allocator in tests and available for final
+/// sign-off allocations.
+AllocationPlan allocate_banks_optimal(
+    const std::vector<TrafficBuffer>& buffers, const dram::DramConfig& cfg);
+
+/// The worst sensible baseline: pack everything into the lowest banks in
+/// declaration order (what a naive linker-script layout does).
+AllocationPlan allocate_banks_naive(const std::vector<TrafficBuffer>& buffers,
+                                    const dram::DramConfig& cfg);
+
+}  // namespace edsim::core

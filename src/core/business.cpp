@@ -1,0 +1,48 @@
+#include "core/business.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace edsim::core {
+
+double VolumeEconomics::crossover_units() const {
+  const double unit_delta = discrete_unit_usd - embedded_unit_usd;
+  if (unit_delta <= 0.0) return std::numeric_limits<double>::infinity();
+  return (embedded_nre_usd - discrete_nre_usd) / unit_delta;
+}
+
+VolumeEconomics compare_volume_economics(const SystemConfig& embedded_cfg,
+                                         const SystemConfig& discrete_cfg,
+                                         double memory_area_mm2,
+                                         double logic_area_mm2,
+                                         const CostModel& cost,
+                                         const NreParams& nre) {
+  return compare_volume_economics(embedded_cfg, discrete_cfg,
+                                  memory_area_mm2, logic_area_mm2, cost,
+                                  cost, nre);
+}
+
+VolumeEconomics compare_volume_economics(const SystemConfig& embedded_cfg,
+                                         const SystemConfig& discrete_cfg,
+                                         double memory_area_mm2,
+                                         double logic_area_mm2,
+                                         const CostModel& embedded_cost,
+                                         const CostModel& discrete_cost,
+                                         const NreParams& nre) {
+  require(embedded_cfg.integration == Integration::kEmbedded,
+          "business: first config must be embedded");
+  require(discrete_cfg.integration == Integration::kDiscrete,
+          "business: second config must be discrete");
+  VolumeEconomics v;
+  v.embedded_unit_usd =
+      embedded_cost.evaluate(embedded_cfg, memory_area_mm2, logic_area_mm2)
+          .total_usd();
+  v.discrete_unit_usd =
+      discrete_cost.evaluate(discrete_cfg, 0.0, logic_area_mm2).total_usd();
+  v.embedded_nre_usd = nre.embedded_total();
+  v.discrete_nre_usd = nre.discrete_total();
+  return v;
+}
+
+}  // namespace edsim::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include "core/cost_model.hpp"
+
+namespace edsim::core {
+
+/// Non-recurring engineering for the two integration styles. §1 lists the
+/// embedded adders: "another technology for which libraries must be
+/// developed and characterized, macros must be ported, and design flows
+/// must be tuned" — plus a pricier mask set on the DRAM/merged process.
+struct NreParams {
+  double logic_mask_set_usd = 180'000.0;   ///< 0.25 um logic mask set
+  double edram_mask_extra_usd = 90'000.0;  ///< extra layers / dual-process
+  double edram_enablement_usd = 380'000.0; ///< libraries, macros, flows,
+                                           ///< test-program development
+  double design_usd = 250'000.0;           ///< chip design (either way)
+
+  double embedded_total() const {
+    return logic_mask_set_usd + edram_mask_extra_usd +
+           edram_enablement_usd + design_usd;
+  }
+  double discrete_total() const {
+    return logic_mask_set_usd + design_usd;
+  }
+};
+
+/// Lifetime-cost comparison: embedded pays more NRE for a lower unit
+/// cost; discrete the reverse. §2's first rule of thumb ("the product
+/// volume and product lifetime are usually high") is exactly the
+/// statement that real eDRAM products sit beyond the crossover.
+struct VolumeEconomics {
+  double embedded_unit_usd = 0.0;
+  double discrete_unit_usd = 0.0;
+  double embedded_nre_usd = 0.0;
+  double discrete_nre_usd = 0.0;
+
+  double embedded_total(double units) const {
+    return embedded_nre_usd + embedded_unit_usd * units;
+  }
+  double discrete_total(double units) const {
+    return discrete_nre_usd + discrete_unit_usd * units;
+  }
+  /// Lifetime units above which the embedded solution is cheaper.
+  /// Returns infinity when the embedded unit cost is not lower.
+  double crossover_units() const;
+};
+
+/// Builds the comparison for one application: same required memory and
+/// logic, the two integration styles costed through CostModel.
+VolumeEconomics compare_volume_economics(const SystemConfig& embedded_cfg,
+                                         const SystemConfig& discrete_cfg,
+                                         double memory_area_mm2,
+                                         double logic_area_mm2,
+                                         const CostModel& cost = CostModel{},
+                                         const NreParams& nre = {});
+
+/// Variant with independent cost models per flow — e.g. the §1 caveat
+/// that the specialized embedded part "may command premium pricing"
+/// while the discrete alternative stays at commodity rates.
+VolumeEconomics compare_volume_economics(const SystemConfig& embedded_cfg,
+                                         const SystemConfig& discrete_cfg,
+                                         double memory_area_mm2,
+                                         double logic_area_mm2,
+                                         const CostModel& embedded_cost,
+                                         const CostModel& discrete_cost,
+                                         const NreParams& nre);
+
+}  // namespace edsim::core

@@ -1,0 +1,71 @@
+#include "core/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "phy/discrete_system.hpp"
+
+namespace edsim::core {
+
+double CostModel::die_yield(double die_area_mm2,
+                            double memory_fraction) const {
+  require(die_area_mm2 > 0.0, "cost: non-positive die area");
+  require(memory_fraction >= 0.0 && memory_fraction <= 1.0,
+          "cost: memory fraction must be in [0,1]");
+  const double lambda =
+      params_.defect_density_per_cm2 * die_area_mm2 / 100.0;
+  // Redundancy repairs ~85% of the defects falling into the memory
+  // region (spare rows/columns, §6), so only the remainder is lethal.
+  const double lethal =
+      lambda * (1.0 - memory_fraction) + lambda * memory_fraction * 0.15;
+  return std::exp(-lethal);
+}
+
+CostBreakdown CostModel::evaluate(const SystemConfig& cfg,
+                                  double memory_area_mm2,
+                                  double logic_area_mm2) const {
+  cfg.validate();
+  CostBreakdown c;
+  const ProcessFactors pf = process_factors(cfg.process);
+
+  if (cfg.integration == Integration::kEmbedded) {
+    c.die_area_mm2 = memory_area_mm2 + logic_area_mm2;
+    const double mem_frac = memory_area_mm2 / c.die_area_mm2;
+    c.die_yield = die_yield(c.die_area_mm2, mem_frac);
+    const double wafer = params_.logic_wafer_usd * pf.wafer_cost_factor;
+    const double dies = params_.wafer_usable_mm2 / c.die_area_mm2;
+    c.die_usd = wafer / dies / c.die_yield;
+    // One package; pins only for the system interface, not the memory
+    // bus (§1: pad-limited designs may become non-pad-limited).
+    const double pins = 160.0;
+    c.package_usd = params_.package_base_usd +
+                    params_.package_per_pin_usd * pins;
+    c.test_usd = params_.test_seconds_embedded / 3600.0 *
+                 params_.test_usd_per_hour;
+    c.board_usd = params_.board_area_usd_per_chip;  // one chip
+    return c;
+  }
+
+  // Discrete: logic die on a plain logic process plus commodity memory.
+  c.die_area_mm2 = logic_area_mm2;
+  c.die_yield = die_yield(c.die_area_mm2, 0.0);
+  c.die_usd = params_.logic_wafer_usd /
+              (params_.wafer_usable_mm2 / c.die_area_mm2) / c.die_yield;
+  // The memory bus pins make the logic package bigger.
+  const double pins = 160.0 + cfg.interface_bits * 1.25;
+  c.package_usd =
+      params_.package_base_usd + params_.package_per_pin_usd * pins;
+
+  const phy::DiscreteChip chip;
+  const phy::DiscreteSystem rank(chip, cfg.interface_bits);
+  const double installed_mbit = cfg.installed_memory().as_mbit();
+  c.memory_chips_usd = installed_mbit * params_.commodity_dram_usd_per_mbit;
+  const double n_chips =
+      std::ceil(installed_mbit / chip.capacity.as_mbit());
+  c.board_usd = params_.board_area_usd_per_chip * (1.0 + n_chips);
+  c.test_usd = params_.test_seconds_embedded / 3600.0 *
+               params_.test_usd_per_hour * 0.5;  // logic-only test
+  return c;
+}
+
+}  // namespace edsim::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/system_config.hpp"
+
+namespace edsim::core {
+
+/// Manufacturing-economics parameters (late-90s 0.25 um era).
+struct CostParams {
+  double logic_wafer_usd = 1500.0;     ///< 200 mm logic wafer
+  double wafer_usable_mm2 = 28000.0;   ///< printable area per wafer
+  double defect_density_per_cm2 = 0.5; ///< random-defect density
+  double package_base_usd = 2.0;
+  double package_per_pin_usd = 0.015;
+  double commodity_dram_usd_per_mbit = 0.10;  ///< street price of SDRAM
+  double board_area_usd_per_chip = 0.40;      ///< routing/assembly share
+  double test_seconds_embedded = 4.0;         ///< BIST-based flow
+  double test_usd_per_hour = 300.0;
+};
+
+/// Cost breakdown of one system configuration.
+struct CostBreakdown {
+  double die_area_mm2 = 0.0;   ///< the (master) chip's die area
+  double die_yield = 0.0;
+  double die_usd = 0.0;
+  double package_usd = 0.0;
+  double memory_chips_usd = 0.0;  ///< discrete only
+  double board_usd = 0.0;
+  double test_usd = 0.0;
+  double total_usd() const {
+    return die_usd + package_usd + memory_chips_usd + board_usd + test_usd;
+  }
+};
+
+/// Die + package + commodity-part + test cost of a configuration.
+/// `memory_area_mm2` and `logic_area_mm2` describe the master die.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = {}) : params_(params) {}
+
+  CostBreakdown evaluate(const SystemConfig& cfg, double memory_area_mm2,
+                         double logic_area_mm2) const;
+
+  /// Poisson die yield for a given area, with a redundancy credit for the
+  /// memory fraction (repairable defects don't kill the die).
+  double die_yield(double die_area_mm2, double memory_fraction) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace edsim::core

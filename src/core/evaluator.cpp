@@ -1,0 +1,147 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "clients/system.hpp"
+#include "common/error.hpp"
+#include "modulegen/module_compiler.hpp"
+#include "phy/interface_model.hpp"
+#include "power/energy_model.hpp"
+#include "power/retention.hpp"
+
+namespace edsim::core {
+
+namespace {
+
+/// Area of the memory on the master die, by process choice. Embedded
+/// memory uses the module compiler scaled by process density; discrete
+/// systems have no on-die memory.
+double memory_area(const SystemConfig& cfg) {
+  if (cfg.integration == Integration::kDiscrete) return 0.0;
+  modulegen::ModuleSpec spec;
+  spec.capacity = cfg.installed_memory();
+  spec.interface_bits = cfg.interface_bits;
+  spec.banks = cfg.banks;
+  spec.page_bytes = cfg.page_bytes;
+  const modulegen::ModuleDesign d = modulegen::ModuleCompiler{}.compile(spec);
+  return d.total_area_mm2 / process_factors(cfg.process).memory_density;
+}
+
+/// Logic area: 0.25 um-era ~40 kgates/mm² on a logic process.
+double logic_area(const SystemConfig& cfg) {
+  const double base_density_kgates_mm2 = 40.0;
+  return cfg.logic_kgates / base_density_kgates_mm2 *
+         process_factors(cfg.process).logic_area_factor;
+}
+
+}  // namespace
+
+Metrics Evaluator::evaluate(const SystemConfig& cfg,
+                            const EvalWorkload& w) const {
+  cfg.validate();
+  require(w.sim_cycles > 0, "evaluator: need a simulation window");
+
+  Metrics m;
+  m.name = cfg.name;
+  m.memory_area_mm2 = memory_area(cfg);
+  m.logic_area_mm2 = logic_area(cfg);
+  m.die_area_mm2 = m.memory_area_mm2 + m.logic_area_mm2;
+  m.logic_speed = process_factors(cfg.process).logic_speed;
+
+  // --- simulate the workload ------------------------------------------------
+  const dram::DramConfig dcfg = cfg.dram_config();
+  clients::MemorySystem sys(dcfg, clients::ArbiterKind::kRoundRobin);
+  const unsigned burst = dcfg.bytes_per_access();
+  const std::uint64_t region =
+      std::min<std::uint64_t>(cfg.installed_memory().byte_count(), 8u << 20);
+
+  // Split the demand evenly across clients; period from bytes/cycle.
+  const unsigned n_clients = w.stream_clients + w.random_clients;
+  require(n_clients > 0, "evaluator: need at least one client");
+  const double bytes_per_s = w.demand_gbyte_s * 1e9 /
+                             static_cast<double>(n_clients);
+  const double bytes_per_cycle = bytes_per_s / dcfg.clock.hz();
+  const auto period = std::max<unsigned>(
+      1, static_cast<unsigned>(static_cast<double>(burst) / bytes_per_cycle));
+
+  unsigned id = 0;
+  for (unsigned i = 0; i < w.stream_clients; ++i) {
+    clients::StreamClient::Params p;
+    p.base = region / n_clients * id;
+    p.length = region / n_clients;
+    p.burst_bytes = burst;
+    p.type = i % 2 == 0 ? dram::AccessType::kRead : dram::AccessType::kWrite;
+    p.period_cycles = period;
+    sys.add_client(std::make_unique<clients::StreamClient>(
+        id, "stream" + std::to_string(i), p));
+    ++id;
+  }
+  for (unsigned i = 0; i < w.random_clients; ++i) {
+    clients::RandomClient::Params p;
+    p.base = region / n_clients * id;
+    p.length = region / n_clients;
+    p.burst_bytes = burst;
+    p.period_cycles = period;
+    p.seed = w.seed + i;
+    sys.add_client(std::make_unique<clients::RandomClient>(
+        id, "random" + std::to_string(i), p));
+    ++id;
+  }
+  sys.run(w.sim_cycles);
+
+  const auto& stats = sys.controller().stats();
+  m.sustained_gbyte_s =
+      stats.sustained_bandwidth(dcfg.clock).as_gbyte_per_s();
+  m.peak_gbyte_s = dcfg.peak_bandwidth().as_gbyte_per_s();
+  m.bandwidth_efficiency = sys.bandwidth_efficiency();
+  m.avg_read_latency_ns =
+      stats.read_latency.mean() * dcfg.clock.period_ns();
+
+  // --- power -----------------------------------------------------------------
+  const phy::IoElectricals io = cfg.integration == Integration::kEmbedded
+                                    ? phy::on_chip_wire()
+                                    : phy::off_chip_board();
+  const phy::InterfaceModel iface(dcfg.interface_bits, dcfg.clock, io);
+  const power::DramPowerModel pm(power::core_energy_sdram_025um(),
+                                 iface.energy_per_bit_j());
+  const power::PowerBreakdown pb = pm.evaluate(stats, dcfg);
+  m.io_power_mw = pb.io_mw;
+  m.total_power_mw = pb.total_mw();
+
+  // --- thermal operating point (§1) -------------------------------------------
+  {
+    // Embedded: the logic's watts land in the same package as the DRAM.
+    // Discrete: the DRAM package only carries its own power.
+    const double companion_w =
+        cfg.integration == Integration::kEmbedded ? w.logic_power_w : 0.0;
+    const double refresh_overhead_nominal =
+        static_cast<double>(dcfg.timing.tRFC) /
+        static_cast<double>(dcfg.timing.tREFI);
+    const power::ThermalLoop loop(power::ThermalModel{},
+                                  power::RetentionModel{});
+    const auto op =
+        loop.solve(companion_w + (pb.total_mw() - pb.refresh_mw) * 1e-3,
+                   pb.refresh_mw * 1e-3, refresh_overhead_nominal);
+    m.junction_c = op.junction_c;
+    m.retention_ms = op.retention_ms;
+    m.refresh_overhead = op.refresh_overhead;
+  }
+
+  // --- capacity & cost --------------------------------------------------------
+  m.installed_mbit = cfg.installed_memory().as_mbit();
+  m.waste_mbit = m.installed_mbit - cfg.required_memory.as_mbit();
+  m.unit_cost_usd =
+      cost_.evaluate(cfg, m.memory_area_mm2, m.logic_area_mm2).total_usd();
+  return m;
+}
+
+std::vector<Metrics> Evaluator::sweep(const std::vector<SystemConfig>& cfgs,
+                                      const EvalWorkload& w) const {
+  std::vector<Metrics> out;
+  out.reserve(cfgs.size());
+  for (const auto& c : cfgs) out.push_back(evaluate(c, w));
+  return out;
+}
+
+}  // namespace edsim::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/system_config.hpp"
+
+namespace edsim::core {
+
+/// Workload used to score a configuration: a mix of streaming and random
+/// clients at the requested aggregate demand.
+struct EvalWorkload {
+  double demand_gbyte_s = 1.0;   ///< aggregate client demand
+  unsigned stream_clients = 2;
+  unsigned random_clients = 2;
+  std::uint64_t sim_cycles = 200'000;
+  std::uint64_t seed = 17;
+  /// Power dissipated by the co-located logic (embedded designs heat the
+  /// DRAM; §1's junction-temperature caveat). Watts.
+  double logic_power_w = 1.0;
+};
+
+/// Full metric vector for one design point (§3's dimensions made
+/// explicit).
+struct Metrics {
+  std::string name;
+  double die_area_mm2 = 0.0;      ///< master chip
+  double memory_area_mm2 = 0.0;
+  double logic_area_mm2 = 0.0;
+  double sustained_gbyte_s = 0.0;
+  double peak_gbyte_s = 0.0;
+  double bandwidth_efficiency = 0.0;
+  double avg_read_latency_ns = 0.0;
+  double io_power_mw = 0.0;
+  double total_power_mw = 0.0;
+  double installed_mbit = 0.0;
+  double waste_mbit = 0.0;        ///< installed - required (granularity)
+  double unit_cost_usd = 0.0;
+  double logic_speed = 1.0;       ///< relative logic clock (process choice)
+  // §1 thermal operating point (embedded: logic heats the DRAM; discrete
+  // memory sits in its own package at the logic's ambient).
+  double junction_c = 0.0;
+  double retention_ms = 0.0;
+  double refresh_overhead = 0.0;  ///< fraction of cycles refreshing
+};
+
+/// Evaluates design points by simulation (bandwidth/latency), analytical
+/// models (area, power) and the cost model.
+class Evaluator {
+ public:
+  explicit Evaluator(CostModel cost = CostModel{}) : cost_(cost) {}
+
+  Metrics evaluate(const SystemConfig& cfg, const EvalWorkload& w) const;
+
+  /// Evaluate a whole candidate list.
+  std::vector<Metrics> sweep(const std::vector<SystemConfig>& cfgs,
+                             const EvalWorkload& w) const;
+
+ private:
+  CostModel cost_;
+};
+
+}  // namespace edsim::core

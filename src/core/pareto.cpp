@@ -1,0 +1,31 @@
+#include "core/pareto.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::core {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  require(a.objectives.size() == b.objectives.size(),
+          "pareto: dimensionality mismatch");
+  bool strictly_better = false;
+  for (std::size_t d = 0; d < a.objectives.size(); ++d) {
+    if (a.objectives[d] > b.objectives[d]) return false;
+    if (a.objectives[d] < b.objectives[d]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<ParetoPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(points[i].index);
+  }
+  return front;
+}
+
+}  // namespace edsim::core

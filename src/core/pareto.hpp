@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace edsim::core {
+
+/// A design point projected onto objectives. All objectives are
+/// *minimized*; negate anything to be maximized before projecting.
+struct ParetoPoint {
+  std::size_t index = 0;  ///< back-reference into the caller's metric list
+  std::vector<double> objectives;
+};
+
+/// True when `a` dominates `b`: no worse in every objective, strictly
+/// better in at least one.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Indices of the non-dominated points, in input order. O(n²) — design
+/// sweeps here are hundreds of points, not millions.
+std::vector<std::size_t> pareto_front(const std::vector<ParetoPoint>& points);
+
+}  // namespace edsim::core

@@ -1,0 +1,87 @@
+#include "core/system_config.hpp"
+
+#include "common/error.hpp"
+#include "dram/presets.hpp"
+#include "phy/discrete_system.hpp"
+
+namespace edsim::core {
+
+const char* to_string(Integration i) {
+  return i == Integration::kDiscrete ? "discrete" : "embedded";
+}
+
+const char* to_string(BaseProcess p) {
+  switch (p) {
+    case BaseProcess::kDramBased: return "DRAM-based";
+    case BaseProcess::kLogicBased: return "logic-based";
+    case BaseProcess::kMerged: return "merged";
+  }
+  return "?";
+}
+
+ProcessFactors process_factors(BaseProcess p) {
+  switch (p) {
+    case BaseProcess::kDramBased:
+      // Dense memory, slow leaky-free transistors: logic suffers (§3).
+      return ProcessFactors{1.0, 1.6, 0.70, 1.20};
+    case BaseProcess::kLogicBased:
+      // Fast logic, planar-capacitor memory cells: density suffers.
+      return ProcessFactors{0.45, 1.0, 1.0, 1.0};
+    case BaseProcess::kMerged:
+      // Best of both at extra mask/process cost.
+      return ProcessFactors{1.0, 1.0, 1.0, 1.45};
+  }
+  return {};
+}
+
+void SystemConfig::validate() const {
+  require(required_memory.bit_count() > 0, "system: memory must be positive");
+  require(logic_kgates >= 0.0, "system: negative logic");
+  if (integration == Integration::kEmbedded) {
+    require(interface_bits >= 16 && interface_bits <= 512,
+            "system: embedded width must be 16..512 (§5)");
+  }
+}
+
+dram::DramConfig SystemConfig::dram_config() const {
+  validate();
+  if (integration == Integration::kEmbedded) {
+    const auto mbit =
+        static_cast<unsigned>(required_memory.as_mbit() + 0.999);
+    dram::DramConfig cfg = dram::presets::edram_module(
+        mbit < 1 ? 1 : mbit, interface_bits, banks, page_bytes);
+    cfg.page_policy = page_policy;
+    cfg.scheduler = scheduler;
+    return cfg;
+  }
+  // Discrete: a rank of 64-Mbit x16 SDRAM wide enough for the request,
+  // behaving as one channel of the combined width.
+  dram::DramConfig chip = dram::presets::sdram_pc100_64mbit();
+  const unsigned chips =
+      (interface_bits + chip.interface_bits - 1) / chip.interface_bits;
+  dram::DramConfig rank = chip;
+  rank.interface_bits = chips * chip.interface_bits;
+  rank.page_bytes = chip.page_bytes * chips;  // pages concatenate
+  rank.page_policy = page_policy;
+  rank.scheduler = scheduler;
+  rank.validate();
+  return rank;
+}
+
+Capacity SystemConfig::installed_memory() const {
+  if (integration == Integration::kEmbedded) {
+    // Embedded: 256-Kbit granularity (§5) — effectively exact.
+    const std::uint64_t granule = Capacity::kbit(256).bit_count();
+    const std::uint64_t bits =
+        (required_memory.bit_count() + granule - 1) / granule * granule;
+    return Capacity::bits(bits);
+  }
+  const phy::DiscreteChip chip;  // 64 Mbit x16 @100 MHz
+  const phy::DiscreteSystem rank(chip, interface_bits);
+  const std::uint64_t rank_bits = rank.installed_capacity().bit_count();
+  const std::uint64_t ranks =
+      (required_memory.bit_count() + rank_bits - 1) / rank_bits;
+  return Capacity::bits(rank_bits * (ranks ? ranks : 1));
+}
+
+}  // namespace edsim::core

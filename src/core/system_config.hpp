@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "dram/config.hpp"
+
+namespace edsim::core {
+
+/// Embedded or discrete memory system.
+enum class Integration { kDiscrete, kEmbedded };
+
+/// §3: "both a DRAM technology and a logic technology can serve as a
+/// starting point for embedding DRAM", or a best-of-both process at
+/// higher expense.
+enum class BaseProcess { kDramBased, kLogicBased, kMerged };
+
+const char* to_string(Integration i);
+const char* to_string(BaseProcess p);
+
+/// Process trade-off factors (§3): memory density, logic density and
+/// speed, and wafer-cost multiplier relative to a plain logic process.
+struct ProcessFactors {
+  double memory_density = 1.0;    ///< relative to a DRAM process
+  double logic_area_factor = 1.0; ///< area multiplier for the same gates
+  double logic_speed = 1.0;       ///< relative achievable logic clock
+  double wafer_cost_factor = 1.0;
+};
+
+ProcessFactors process_factors(BaseProcess p);
+
+/// One point of the §3 design space.
+struct SystemConfig {
+  std::string name;
+  Integration integration = Integration::kEmbedded;
+  BaseProcess process = BaseProcess::kDramBased;
+
+  Capacity required_memory = Capacity::mbit(16);
+  unsigned interface_bits = 256;
+  unsigned banks = 4;
+  unsigned page_bytes = 2048;
+  dram::PagePolicy page_policy = dram::PagePolicy::kOpen;
+  dram::SchedulerKind scheduler = dram::SchedulerKind::kFrFcfs;
+
+  double logic_kgates = 500.0;  ///< logic integrated beside the memory
+
+  void validate() const;
+
+  /// Simulator channel for this configuration. For discrete systems this
+  /// is the rank of commodity chips behind the shared bus; for embedded
+  /// systems it is the compiled module.
+  dram::DramConfig dram_config() const;
+
+  /// Memory actually installed (discrete: quantized to the rank size).
+  Capacity installed_memory() const;
+};
+
+}  // namespace edsim::core

@@ -1,0 +1,74 @@
+#include "cpu/cache.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace edsim::cpu {
+
+void CacheConfig::validate() const {
+  require(line_bytes >= 8 && std::has_single_bit(line_bytes),
+          "cache: line size must be a power of two >= 8");
+  require(associativity >= 1, "cache: associativity must be >= 1");
+  require(size_bytes % (static_cast<std::uint64_t>(line_bytes) *
+                        associativity) ==
+              0,
+          "cache: size must divide into sets");
+  require(sets() >= 1, "cache: at least one set required");
+  require(std::has_single_bit(sets()), "cache: set count must be power of 2");
+}
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  lines_.resize(cfg_.sets() * cfg_.associativity);
+}
+
+Cache::AccessResult Cache::access(std::uint64_t addr, bool write) {
+  ++tick_;
+  const std::uint64_t line_addr = addr / cfg_.line_bytes;
+  const std::uint64_t set = line_addr & (cfg_.sets() - 1);
+  const std::uint64_t tag = line_addr >> std::countr_zero(cfg_.sets());
+  Line* base = &lines_[set * cfg_.associativity];
+
+  AccessResult res;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      l.dirty = l.dirty || write;
+      ++hits_;
+      res.hit = true;
+      return res;
+    }
+  }
+  ++misses_;
+
+  // Choose victim: first invalid way, else LRU.
+  Line* victim = base;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    Line& l = base[w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  if (victim->valid && victim->dirty) {
+    res.writeback = true;
+    const std::uint64_t victim_line =
+        (victim->tag << std::countr_zero(cfg_.sets())) | set;
+    res.victim_addr = victim_line * cfg_.line_bytes;
+    ++writebacks_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->dirty = write;
+  return res;
+}
+
+void Cache::invalidate_all() {
+  for (auto& l : lines_) l = Line{};
+}
+
+}  // namespace edsim::cpu

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edsim::cpu {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 16 * 1024;
+  unsigned line_bytes = 32;
+  unsigned associativity = 2;
+
+  void validate() const;
+  std::uint64_t sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) *
+                         associativity);
+  }
+};
+
+/// Blocking, write-back, write-allocate set-associative cache with LRU
+/// replacement — the "deep cache structures" the paper says are used to
+/// bridge the processor-memory gap (§4.2).
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;         ///< a dirty victim must go to memory
+    std::uint64_t victim_addr = 0;  ///< line address of the dirty victim
+  };
+
+  AccessResult access(std::uint64_t addr, bool write);
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;  // sets * associativity, set-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace edsim::cpu

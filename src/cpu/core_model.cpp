@@ -1,0 +1,118 @@
+#include "cpu/core_model.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::cpu {
+
+void WorkloadParams::validate() const {
+  require(instructions > 0, "workload: need instructions");
+  require(memory_fraction >= 0.0 && memory_fraction <= 1.0,
+          "workload: memory_fraction must be in [0,1]");
+  require(write_fraction >= 0.0 && write_fraction <= 1.0,
+          "workload: write_fraction must be in [0,1]");
+  require(footprint_bytes >= 4096, "workload: footprint too small");
+}
+
+void CoreConfig::validate() const {
+  require(clock_mhz > 0.0, "core: clock must be positive");
+  l1.validate();
+  if (l2) {
+    l2->validate();
+    require(l2->line_bytes >= l1.line_bytes,
+            "core: L2 line must be >= L1 line");
+  }
+}
+
+CoreModel::CoreModel(const CoreConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
+
+std::uint64_t CoreModel::next_address(const WorkloadParams& w, Rng& rng) {
+  switch (w.pattern) {
+    case WorkloadParams::Pattern::kStream:
+      stream_pos_ = (stream_pos_ + 8) % w.footprint_bytes;
+      return stream_pos_;
+    case WorkloadParams::Pattern::kRandom:
+      return rng.next_below(w.footprint_bytes) & ~7ull;
+    case WorkloadParams::Pattern::kMixed:
+      // 2/3 sequential, 1/3 random — a typical integer-code blend.
+      if (rng.next_bool(2.0 / 3.0)) {
+        stream_pos_ = (stream_pos_ + 8) % w.footprint_bytes;
+        return stream_pos_;
+      }
+      return rng.next_below(w.footprint_bytes) & ~7ull;
+  }
+  return 0;
+}
+
+RunResult CoreModel::run(const WorkloadParams& w, MemoryBackend& memory) {
+  w.validate();
+  Rng rng(w.seed);
+  Cache l1(cfg_.l1);
+  std::optional<Cache> l2;
+  if (cfg_.l2) l2.emplace(*cfg_.l2);
+
+  const double cycle_ns = 1000.0 / cfg_.clock_mhz;
+  const unsigned mem_line = cfg_.l2 ? cfg_.l2->line_bytes
+                                    : cfg_.l1.line_bytes;
+  double time_ns = 0.0;
+  RunResult r;
+  double miss_ns_sum = 0.0;
+
+  for (std::uint64_t i = 0; i < w.instructions; ++i) {
+    time_ns += cycle_ns;  // 1 cycle per instruction baseline
+    if (!rng.next_bool(w.memory_fraction)) continue;
+
+    ++r.memory_accesses;
+    const std::uint64_t addr = next_address(w, rng);
+    const bool write = rng.next_bool(w.write_fraction);
+
+    const Cache::AccessResult a1 = l1.access(addr, write);
+    if (a1.hit) continue;  // L1 hit folded into the base CPI
+    ++r.l1_misses;
+
+    if (a1.writeback && !l2) {
+      time_ns += memory.access_ns(a1.victim_addr, true, cfg_.l1.line_bytes);
+    }
+
+    if (l2) {
+      time_ns += cfg_.l2_hit_ns;
+      const Cache::AccessResult a2 = l2->access(addr, write);
+      if (a1.writeback) {
+        // L1 victim lands in L2 (it is inclusive enough for our purposes);
+        // account the L2 lookup only.
+        l2->access(a1.victim_addr, true);
+      }
+      if (a2.hit) continue;
+      ++r.l2_misses;
+      if (a2.writeback) {
+        time_ns +=
+            memory.access_ns(a2.victim_addr, true, cfg_.l2->line_bytes);
+      }
+      const double ns = memory.access_ns(addr, false, mem_line);
+      miss_ns_sum += ns;
+      time_ns += ns;
+      if (cfg_.l2_next_line_prefetch) {
+        // Fetch the next line too; it overlaps with execution so only the
+        // channel occupancy and energy are paid, not stall time.
+        const std::uint64_t next = addr + mem_line;
+        const Cache::AccessResult pf = l2->access(next, false);
+        if (!pf.hit) memory.access_ns(next, false, mem_line);
+      }
+    } else {
+      const double ns = memory.access_ns(addr, false, mem_line);
+      miss_ns_sum += ns;
+      time_ns += ns;
+    }
+  }
+
+  r.seconds = time_ns * 1e-9;
+  r.cpi = time_ns / cycle_ns / static_cast<double>(w.instructions);
+  const std::uint64_t mem_misses = cfg_.l2 ? r.l2_misses : r.l1_misses;
+  r.avg_miss_latency_ns =
+      mem_misses ? miss_ns_sum / static_cast<double>(mem_misses) : 0.0;
+  r.memory_energy_j = memory.energy_j();
+  r.core_energy_j = static_cast<double>(w.instructions) *
+                    cfg_.nj_per_instruction * 1e-9;
+  return r;
+}
+
+}  // namespace edsim::cpu

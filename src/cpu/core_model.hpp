@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "cpu/cache.hpp"
+#include "cpu/memory_backend.hpp"
+
+namespace edsim::cpu {
+
+/// Synthetic workload: a stream of instructions, a fraction of which are
+/// memory operations with a configurable address pattern.
+struct WorkloadParams {
+  enum class Pattern { kStream, kRandom, kMixed };
+
+  std::uint64_t instructions = 1'000'000;
+  double memory_fraction = 0.30;
+  double write_fraction = 0.30;
+  Pattern pattern = Pattern::kMixed;
+  std::uint64_t footprint_bytes = 4 << 20;  ///< touched address range
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// In-order single-issue core with blocking caches (§4.2's processor).
+struct CoreConfig {
+  double clock_mhz = 400.0;
+  double nj_per_instruction = 0.8;  ///< core energy excluding memory
+  CacheConfig l1{16 * 1024, 32, 2};
+  std::optional<CacheConfig> l2 = CacheConfig{256 * 1024, 64, 4};
+  double l2_hit_ns = 12.0;
+  /// Sequential next-line prefetch into L2 on every L2 miss — one of the
+  /// "deep cache structure" mitigations of §4.2. The prefetch overlaps
+  /// with execution (no stall) but occupies the memory channel and
+  /// spends energy.
+  bool l2_next_line_prefetch = false;
+
+  void validate() const;
+};
+
+struct RunResult {
+  double cpi = 0.0;
+  double seconds = 0.0;
+  double avg_miss_latency_ns = 0.0;  ///< lowest-level miss -> memory
+  std::uint64_t memory_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  double memory_energy_j = 0.0;
+  double core_energy_j = 0.0;
+  double total_energy_j() const { return memory_energy_j + core_energy_j; }
+  /// Work per joule, normalized to instructions (the IRAM "energy
+  /// efficiency" metric).
+  double instructions_per_uj(std::uint64_t instructions) const {
+    return static_cast<double>(instructions) / (total_energy_j() * 1e6);
+  }
+};
+
+/// Runs the workload against a memory backend through the cache
+/// hierarchy; blocking misses add their full latency to execution time.
+class CoreModel {
+ public:
+  explicit CoreModel(const CoreConfig& cfg);
+
+  RunResult run(const WorkloadParams& w, MemoryBackend& memory);
+
+ private:
+  std::uint64_t next_address(const WorkloadParams& w, Rng& rng);
+
+  CoreConfig cfg_;
+  std::uint64_t stream_pos_ = 0;
+};
+
+}  // namespace edsim::cpu

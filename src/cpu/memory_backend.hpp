@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "dram/controller.hpp"
+#include "power/energy_model.hpp"
+
+namespace edsim::cpu {
+
+/// The memory side of the §4.2 comparison: a DRAM channel reached through
+/// a path with some fixed overhead.
+///
+/// Off-chip path: L2 miss leaves the CPU, crosses the chipset/memory
+/// controller, drives the multi-drop bus, and serializes a cache line
+/// over a narrow interface — tens of ns of overhead on both directions.
+/// Merged (IRAM-style) path: the row is fetched directly into the
+/// processor over a page-wide on-chip bus — near-zero overhead.
+class MemoryBackend {
+ public:
+  struct Params {
+    dram::DramConfig dram;
+    double fixed_overhead_ns = 0.0;  ///< round-trip path overhead
+    double io_energy_per_bit_j = 0.0;
+    power::CoreEnergy core_energy{};
+    std::string name;
+  };
+
+  explicit MemoryBackend(const Params& p);
+
+  /// Synchronous line fill / writeback of `line_bytes` at `addr`:
+  /// returns the latency in nanoseconds. Bank/row state persists across
+  /// calls, so locality between misses is modelled.
+  double access_ns(std::uint64_t addr, bool write, unsigned line_bytes);
+
+  /// Idle-latency probe: access latency on a quiesced channel with all
+  /// banks precharged (the "latency" number of the IRAM claim).
+  double probe_latency_ns(unsigned line_bytes);
+
+  Bandwidth peak_bandwidth() const { return params_.dram.peak_bandwidth(); }
+
+  /// Total memory-side energy so far (core + interface).
+  double energy_j() const;
+  const dram::ControllerStats& stats() const { return controller_.stats(); }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  dram::Controller controller_;
+};
+
+/// The two §4.2 configurations, built on the presets.
+MemoryBackend::Params off_chip_backend_params();
+MemoryBackend::Params merged_edram_backend_params();
+
+}  // namespace edsim::cpu

@@ -1,0 +1,42 @@
+#include "cpu/trend.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::cpu {
+
+void TrendParams::validate() const {
+  require(cpu_growth > -1.0, "trend: cpu growth below -100%");
+  require(dram_growth > -1.0, "trend: dram growth below -100%");
+  require(cpu_growth > dram_growth,
+          "trend: the gap argument needs cpu growth > dram growth");
+}
+
+std::vector<GapPoint> performance_gap_table(const TrendParams& p, int from,
+                                            int to) {
+  p.validate();
+  require(from <= to, "trend: empty year range");
+  require(from >= p.base_year, "trend: range starts before the base year");
+  std::vector<GapPoint> out;
+  out.reserve(static_cast<std::size_t>(to - from + 1));
+  for (int year = from; year <= to; ++year) {
+    const double dt = year - p.base_year;
+    GapPoint g;
+    g.year = year;
+    g.cpu_perf = std::pow(1.0 + p.cpu_growth, dt);
+    g.dram_perf = std::pow(1.0 + p.dram_growth, dt);
+    g.gap = g.cpu_perf / g.dram_perf;
+    out.push_back(g);
+  }
+  return out;
+}
+
+double years_to_gap(const TrendParams& p, double target) {
+  p.validate();
+  require(target >= 1.0, "trend: target gap must be >= 1");
+  const double rate = (1.0 + p.cpu_growth) / (1.0 + p.dram_growth);
+  return std::log(target) / std::log(rate);
+}
+
+}  // namespace edsim::cpu

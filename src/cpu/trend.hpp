@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+namespace edsim::cpu {
+
+/// §4.2 trend parameters: "processor performance increases by 60% per
+/// year in contrast to only a 10% improvement in the DRAM core."
+struct TrendParams {
+  double cpu_growth = 0.60;
+  double dram_growth = 0.10;
+  int base_year = 1980;
+
+  void validate() const;
+};
+
+struct GapPoint {
+  int year = 0;
+  double cpu_perf = 1.0;   ///< relative to base year
+  double dram_perf = 1.0;  ///< relative to base year
+  double gap = 1.0;        ///< cpu_perf / dram_perf
+};
+
+/// The processor–memory gap, year by year.
+std::vector<GapPoint> performance_gap_table(const TrendParams& p, int from,
+                                            int to);
+
+/// Years (from the base year) until the gap reaches `target`.
+double years_to_gap(const TrendParams& p, double target);
+
+}  // namespace edsim::cpu

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dram/config.hpp"
+
+namespace edsim::dram {
+
+/// Decoded physical location of an access.
+struct Coordinates {
+  unsigned bank = 0;
+  unsigned row = 0;
+  unsigned column = 0;  ///< in beats (interface-width units)
+  bool operator==(const Coordinates&) const = default;
+};
+
+/// Splits flat byte addresses into (bank, row, column) per the configured
+/// scheme. Data mapping is one of the three system-level optimization
+/// problems the paper names in §3 ("optimizing the mapping of the data into
+/// memory such that the sustainable bandwidth approaches the peak").
+class AddressMapper {
+ public:
+  explicit AddressMapper(const DramConfig& cfg);
+
+  Coordinates decode(std::uint64_t byte_addr) const;
+  /// Inverse of decode; used by tests to prove the mapping is a bijection.
+  std::uint64_t encode(const Coordinates& c) const;
+
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  AddressMapping scheme_;
+  unsigned banks_;
+  unsigned rows_;
+  unsigned cols_;          // columns per row, in beats
+  unsigned beat_bytes_;
+  unsigned burst_beats_;   // beats per access (for kRowColBank interleave)
+  std::uint64_t capacity_bytes_;
+};
+
+}  // namespace edsim::dram

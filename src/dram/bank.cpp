@@ -1,0 +1,89 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+namespace edsim::dram {
+
+const char* to_string(Command c) {
+  switch (c) {
+    case Command::kActivate: return "ACT";
+    case Command::kPrecharge: return "PRE";
+    case Command::kRead: return "RD";
+    case Command::kWrite: return "WR";
+    case Command::kRefresh: return "REF";
+  }
+  return "?";
+}
+
+const char* to_string(AccessType t) {
+  return t == AccessType::kRead ? "R" : "W";
+}
+
+bool Bank::can_issue(Command cmd, std::uint64_t cycle) const {
+  switch (cmd) {
+    case Command::kActivate:
+      return state_ == State::kIdle && cycle >= next_act_;
+    case Command::kPrecharge:
+      return state_ == State::kActive && cycle >= next_pre_;
+    case Command::kRead:
+    case Command::kWrite:
+      return state_ == State::kActive && cycle >= next_col_;
+    case Command::kRefresh:
+      // Refresh is issued channel-wide; per-bank requirement is "idle and
+      // past tRP", i.e. the same window as an ACT.
+      return state_ == State::kIdle && cycle >= next_act_;
+  }
+  return false;
+}
+
+std::uint64_t Bank::earliest(Command cmd) const {
+  switch (cmd) {
+    case Command::kActivate:
+    case Command::kRefresh:
+      return next_act_;
+    case Command::kPrecharge:
+      return next_pre_;
+    case Command::kRead:
+    case Command::kWrite:
+      return next_col_;
+  }
+  return 0;
+}
+
+void Bank::issue(Command cmd, unsigned row, std::uint64_t cycle) {
+  switch (cmd) {
+    case Command::kActivate:
+      state_ = State::kActive;
+      open_row_ = row;
+      ++acts_;
+      next_col_ = cycle + t_->tRCD;
+      next_pre_ = cycle + t_->tRAS;
+      next_act_ = cycle + t_->tRC;
+      break;
+    case Command::kPrecharge:
+      state_ = State::kIdle;
+      ++pres_;
+      next_act_ = std::max(next_act_, cycle + t_->tRP);
+      break;
+    case Command::kRead:
+      // Column commands push back the earliest precharge so the burst can
+      // drain: PRE no earlier than RD + BL (read-to-precharge).
+      next_col_ = cycle + t_->tCCD;
+      next_pre_ = std::max<std::uint64_t>(next_pre_,
+                                          cycle + t_->burst_length);
+      break;
+    case Command::kWrite:
+      next_col_ = cycle + t_->tCCD;
+      // Write recovery: PRE must wait until data written plus tWR.
+      next_pre_ = std::max<std::uint64_t>(
+          next_pre_, cycle + t_->tWL + t_->burst_length + t_->tWR);
+      break;
+    case Command::kRefresh:
+      // Channel-level refresh holds every bank for tRFC.
+      state_ = State::kIdle;
+      next_act_ = cycle + t_->tRFC;
+      break;
+  }
+}
+
+}  // namespace edsim::dram

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dram/request.hpp"
+#include "dram/timing.hpp"
+
+namespace edsim::dram {
+
+/// One DRAM bank: row-buffer state machine plus the per-bank timing
+/// windows. The controller asks `can_issue` before driving `issue`.
+class Bank {
+ public:
+  enum class State : std::uint8_t { kIdle, kActive };
+
+  explicit Bank(const TimingParams& t) : t_(&t) {}
+
+  State state() const { return state_; }
+  bool has_open_row() const { return state_ == State::kActive; }
+  unsigned open_row() const { return open_row_; }
+
+  /// Is `cmd` legal on this bank at `cycle` given per-bank constraints?
+  /// (Cross-bank constraints — tRRD, tFAW, data-bus — live in the channel.)
+  bool can_issue(Command cmd, std::uint64_t cycle) const;
+
+  /// Apply `cmd` at `cycle`. Caller must have checked can_issue.
+  /// For kActivate, `row` selects the row to open.
+  void issue(Command cmd, unsigned row, std::uint64_t cycle);
+
+  /// Cycle at which the earliest future issue of `cmd` becomes legal.
+  std::uint64_t earliest(Command cmd) const;
+
+  // --- per-bank statistics ------------------------------------------------
+  std::uint64_t activations() const { return acts_; }
+  std::uint64_t precharges() const { return pres_; }
+
+ private:
+  const TimingParams* t_;
+  State state_ = State::kIdle;
+  unsigned open_row_ = 0;
+
+  // Earliest-legal-cycle bookkeeping.
+  std::uint64_t next_act_ = 0;
+  std::uint64_t next_pre_ = 0;
+  std::uint64_t next_col_ = 0;  // RD or WR
+
+  std::uint64_t acts_ = 0;
+  std::uint64_t pres_ = 0;
+};
+
+}  // namespace edsim::dram

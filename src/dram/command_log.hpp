@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/request.hpp"
+
+namespace edsim::dram {
+
+/// One command as driven on the command bus, with full decode info —
+/// what a logic analyzer on the DRAM interface would capture.
+struct CommandRecord {
+  std::uint64_t cycle = 0;
+  Command cmd = Command::kActivate;
+  unsigned bank = 0;   ///< kRefresh: unused (all banks)
+  unsigned row = 0;    ///< kActivate only
+  bool auto_precharge = false;  ///< column command with implicit PRE
+};
+
+/// Append-only capture buffer the controller can be pointed at.
+class CommandLog {
+ public:
+  void record(const CommandRecord& r) { records_.push_back(r); }
+  const std::vector<CommandRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<CommandRecord> records_;
+};
+
+}  // namespace edsim::dram

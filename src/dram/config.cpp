@@ -1,0 +1,59 @@
+#include "dram/config.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace edsim::dram {
+
+namespace {
+bool is_pow2(unsigned v) { return v != 0 && std::has_single_bit(v); }
+}  // namespace
+
+void DramConfig::validate() const {
+  timing.validate();
+  require(is_pow2(banks), "dram: banks must be a power of two");
+  require(banks <= 64, "dram: banks > 64 is not a realistic organization");
+  require(is_pow2(rows_per_bank), "dram: rows_per_bank must be a power of two");
+  require(is_pow2(page_bytes), "dram: page_bytes must be a power of two");
+  require(interface_bits >= 8 && interface_bits <= 1024,
+          "dram: interface width out of range [8, 1024]");
+  require(is_pow2(interface_bits), "dram: interface width must be power of two");
+  require(interface_bits % 8 == 0, "dram: interface width must be whole bytes");
+  require(page_bytes >= bytes_per_beat(),
+          "dram: page shorter than one data beat");
+  require(page_bytes % bytes_per_beat() == 0,
+          "dram: page length must be a multiple of the beat width");
+  require(bytes_per_access() <= page_bytes,
+          "dram: one burst must fit within a page");
+  require(clock.mhz > 0.0, "dram: clock must be positive");
+  require(queue_depth >= 1, "dram: queue_depth must be >= 1");
+  require(transfers_per_clock == 1 || transfers_per_clock == 2 ||
+              transfers_per_clock == 4,
+          "dram: transfers_per_clock must be 1 (SDR), 2 (DDR) or 4");
+  require(refresh_burst >= 1 && refresh_burst <= 64,
+          "dram: refresh_burst must be in 1..64");
+  if (page_policy == PagePolicy::kTimeout) {
+    require(page_timeout_cycles >= 1,
+            "dram: page_timeout_cycles must be >= 1");
+  }
+  if (powerdown_enabled) {
+    require(powerdown_idle_cycles >= 1,
+            "dram: powerdown_idle_cycles must be >= 1");
+    require(tXP >= 1, "dram: tXP must be >= 1");
+  }
+}
+
+std::string DramConfig::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s, %u banks x %u rows x %uB pages, %u-bit @ %.0f MHz, "
+                "peak %.2f GB/s",
+                to_string(capacity()).c_str(), banks, rows_per_bank,
+                page_bytes, interface_bits, clock.mhz,
+                peak_bandwidth().as_gbyte_per_s());
+  return buf;
+}
+
+}  // namespace edsim::dram

@@ -1,0 +1,360 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace edsim::dram {
+
+Controller::Controller(const DramConfig& cfg)
+    : cfg_(cfg),
+      mapper_(cfg),
+      scheduler_(Scheduler::make(cfg.scheduler)),
+      refresh_(cfg_.timing, cfg.refresh_enabled, cfg.refresh_burst) {
+  cfg_.validate();
+  banks_.reserve(cfg_.banks);
+  for (unsigned b = 0; b < cfg_.banks; ++b) banks_.emplace_back(cfg_.timing);
+  autopre_pending_.assign(cfg_.banks, false);
+  last_col_cycle_.assign(cfg_.banks, 0);
+}
+
+bool Controller::enqueue(Request req) {
+  if (queue_full()) return false;
+  req.id = next_id_++;
+  req.arrival_cycle = cycle_;
+  QueueEntry e;
+  e.coord = mapper_.decode(req.addr);
+  e.req = req;
+  queue_.push_back(e);
+  return true;
+}
+
+void Controller::reset_stats() {
+  stats_ = ControllerStats{};
+}
+
+void Controller::classify(QueueEntry& e, const Bank& bank) {
+  if (e.classified) return;
+  e.classified = true;
+  if (bank.has_open_row() && bank.open_row() == e.coord.row) {
+    ++stats_.row_hits;
+  } else if (!bank.has_open_row()) {
+    ++stats_.row_misses;
+  } else {
+    ++stats_.row_conflicts;
+  }
+}
+
+bool Controller::channel_act_legal(std::uint64_t cycle) const {
+  if (any_act_yet_ && cycle < last_act_cycle_ + cfg_.timing.tRRD) return false;
+  if (cfg_.timing.tFAW != 0 && recent_acts_.size() >= 4 &&
+      cycle < recent_acts_[recent_acts_.size() - 4] + cfg_.timing.tFAW) {
+    return false;
+  }
+  return true;
+}
+
+bool Controller::column_legal(AccessType type, std::uint64_t cycle) const {
+  const auto& t = cfg_.timing;
+  if (type == AccessType::kRead) {
+    if (cycle + t.tCL < bus_busy_until_) return false;
+    if (any_data_yet_ && last_dir_ == AccessType::kWrite &&
+        cycle < last_data_end_ + t.tWTR) {
+      return false;
+    }
+  } else {
+    if (cycle + t.tWL < bus_busy_until_) return false;
+    if (any_data_yet_ && last_dir_ == AccessType::kRead &&
+        cycle + t.tWL < last_data_end_ + t.tRTW) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Candidate> Controller::build_candidates() const {
+  std::vector<Candidate> out;
+  out.reserve(queue_.size());
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const QueueEntry& e = queue_[i];
+    const Bank& bank = banks_[e.coord.bank];
+    Candidate c;
+    c.queue_index = i;
+    c.bank = e.coord.bank;
+    c.is_write = e.req.type == AccessType::kWrite;
+    if (bank.has_open_row() && bank.open_row() == e.coord.row) {
+      c.cmd = e.req.type == AccessType::kRead ? Command::kRead
+                                              : Command::kWrite;
+      c.row_hit = true;
+      c.issuable =
+          bank.can_issue(c.cmd, cycle_) && column_legal(e.req.type, cycle_) &&
+          !autopre_pending_[e.coord.bank];
+    } else if (!bank.has_open_row()) {
+      c.cmd = Command::kActivate;
+      c.issuable = bank.can_issue(c.cmd, cycle_) &&
+                   channel_act_legal(cycle_) &&
+                   !autopre_pending_[e.coord.bank];
+    } else {
+      c.cmd = Command::kPrecharge;
+      c.issuable = bank.can_issue(c.cmd, cycle_) &&
+                   !autopre_pending_[e.coord.bank];
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void Controller::issue_column(QueueEntry& e, std::uint64_t cycle) {
+  const auto& t = cfg_.timing;
+  Bank& bank = banks_[e.coord.bank];
+  const bool is_read = e.req.type == AccessType::kRead;
+  bank.issue(is_read ? Command::kRead : Command::kWrite, e.coord.row, cycle);
+
+  const std::uint64_t data_start = cycle + (is_read ? t.tCL : t.tWL);
+  const std::uint64_t data_end = data_start + cfg_.data_cycles_per_access();
+  bus_busy_until_ = data_end;
+  last_data_end_ = data_end;
+  last_dir_ = e.req.type;
+  any_data_yet_ = true;
+
+  if (command_log_ != nullptr) {
+    command_log_->record(CommandRecord{
+        cycle, is_read ? Command::kRead : Command::kWrite, e.coord.bank,
+        e.coord.row, cfg_.page_policy == PagePolicy::kClosed});
+  }
+
+  stats_.data_bus_busy_cycles += cfg_.data_cycles_per_access();
+  stats_.bytes_transferred += cfg_.bytes_per_access();
+  if (is_read) {
+    ++stats_.reads;
+  } else {
+    ++stats_.writes;
+  }
+
+  e.req.done_cycle = data_end;
+  inflight_.push_back(InFlight{e.req});
+
+  last_col_cycle_[e.coord.bank] = cycle;
+  if (cfg_.page_policy == PagePolicy::kClosed) {
+    autopre_pending_[e.coord.bank] = true;
+  }
+}
+
+bool Controller::tick_autoprecharge() {
+  // Auto-precharge does not occupy the command bus (it is encoded in the
+  // column command on real parts); apply it as soon as it becomes legal.
+  bool any = false;
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (autopre_pending_[b] && banks_[b].can_issue(Command::kPrecharge, cycle_)) {
+      banks_[b].issue(Command::kPrecharge, 0, cycle_);
+      ++stats_.precharges;
+      autopre_pending_[b] = false;
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool Controller::tick_refresh() {
+  if (!refresh_.urgent(cycle_)) {
+    refresh_draining_ = false;
+    return false;
+  }
+  refresh_draining_ = true;
+  // Precharge any open bank (one PRE per cycle on the command bus).
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (banks_[b].has_open_row()) {
+      if (banks_[b].can_issue(Command::kPrecharge, cycle_)) {
+        banks_[b].issue(Command::kPrecharge, 0, cycle_);
+        autopre_pending_[b] = false;
+        ++stats_.precharges;
+        if (command_log_ != nullptr) {
+          command_log_->record(
+              CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+        }
+      }
+      return true;  // command slot consumed (or bank not yet ready)
+    }
+  }
+  // All banks idle: issue REF when every bank is past its tRP window.
+  for (const Bank& b : banks_) {
+    if (!b.can_issue(Command::kRefresh, cycle_)) return true;  // wait
+  }
+  for (Bank& b : banks_) b.issue(Command::kRefresh, 0, cycle_);
+  refresh_.refresh_issued(cycle_);
+  ++stats_.refreshes;
+  if (command_log_ != nullptr) {
+    command_log_->record(CommandRecord{cycle_, Command::kRefresh, 0, 0, false});
+  }
+  refresh_draining_ = false;
+  return true;
+}
+
+void Controller::tick() {
+  stats_.queue_occupancy.add(static_cast<double>(queue_.size()));
+
+  // --- power-down management -------------------------------------------------
+  if (cfg_.powerdown_enabled) {
+    const bool has_work = !queue_.empty() || !inflight_.empty();
+    if (powered_down_) {
+      // Refresh urgency or new work wakes the device after tXP.
+      if (has_work || refresh_.urgent(cycle_)) {
+        powered_down_ = false;
+        wake_until_ = cycle_ + cfg_.tXP;
+      } else {
+        ++stats_.powerdown_cycles;
+        ++cycle_;
+        ++stats_.cycles;
+        return;
+      }
+    } else if (!has_work) {
+      if (!was_idle_) {
+        was_idle_ = true;
+        idle_since_ = cycle_;
+      }
+      // All banks must be precharged before entry; close any open row
+      // (this consumes the command slot, like an explicit PRE).
+      if (cycle_ - idle_since_ >= cfg_.powerdown_idle_cycles &&
+          !refresh_.urgent(cycle_)) {
+        bool all_idle = true;
+        for (unsigned b = 0; b < cfg_.banks; ++b) {
+          if (banks_[b].has_open_row()) {
+            all_idle = false;
+            if (banks_[b].can_issue(Command::kPrecharge, cycle_)) {
+              banks_[b].issue(Command::kPrecharge, 0, cycle_);
+              autopre_pending_[b] = false;
+              ++stats_.precharges;
+              if (command_log_ != nullptr) {
+                command_log_->record(
+                    CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+              }
+            }
+            break;  // one command per cycle
+          }
+        }
+        if (all_idle) powered_down_ = true;
+        ++cycle_;
+        ++stats_.cycles;
+        if (powered_down_) ++stats_.powerdown_cycles;
+        return;
+      }
+    } else {
+      was_idle_ = false;
+    }
+    if (cycle_ < wake_until_) {
+      // Exiting power-down: no commands yet.
+      ++cycle_;
+      ++stats_.cycles;
+      return;
+    }
+  }
+
+  // 1. Retire in-flight requests whose data finished.
+  if (!inflight_.empty()) {
+    auto it = inflight_.begin();
+    while (it != inflight_.end()) {
+      if (it->req.done_cycle <= cycle_) {
+        Request& r = it->req;
+        (r.type == AccessType::kRead ? stats_.read_latency
+                                     : stats_.write_latency)
+            .add(static_cast<double>(r.latency()));
+        completed_.push_back(r);
+        it = inflight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // 2. Hardware auto-precharge (no command-bus cost).
+  tick_autoprecharge();
+
+  // 3. Refresh has absolute priority once due.
+  if (!tick_refresh()) {
+    // 4. Normal scheduling: one command this cycle.
+    const auto candidates = build_candidates();
+    const std::uint64_t oldest_wait =
+        queue_.empty() ? 0 : cycle_ - queue_.front().req.arrival_cycle;
+    const std::size_t pick = scheduler_->pick(candidates, oldest_wait);
+    if (pick == Scheduler::kNone &&
+        cfg_.page_policy == PagePolicy::kTimeout) {
+      // Idle command slot: close any row that has been open and unused
+      // past the timeout. Never preempts real work (pick was kNone).
+      for (unsigned b = 0; b < cfg_.banks; ++b) {
+        if (banks_[b].has_open_row() &&
+            cycle_ >= last_col_cycle_[b] + cfg_.page_timeout_cycles &&
+            banks_[b].can_issue(Command::kPrecharge, cycle_)) {
+          // Only close rows no queued request still wants.
+          bool wanted = false;
+          for (const QueueEntry& e : queue_) {
+            wanted = wanted || (e.coord.bank == b &&
+                                e.coord.row == banks_[b].open_row());
+          }
+          if (wanted) continue;
+          banks_[b].issue(Command::kPrecharge, 0, cycle_);
+          ++stats_.precharges;
+          if (command_log_ != nullptr) {
+            command_log_->record(
+                CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+          }
+          break;  // one command per cycle
+        }
+      }
+    }
+    if (pick != Scheduler::kNone) {
+      const Candidate& c = candidates[pick];
+      QueueEntry& e = queue_[c.queue_index];
+      Bank& bank = banks_[e.coord.bank];
+      classify(e, bank);
+      switch (c.cmd) {
+        case Command::kActivate:
+          bank.issue(Command::kActivate, e.coord.row, cycle_);
+          ++stats_.activations;
+          last_act_cycle_ = cycle_;
+          any_act_yet_ = true;
+          recent_acts_.push_back(cycle_);
+          if (recent_acts_.size() > 8) recent_acts_.pop_front();
+          if (command_log_ != nullptr) {
+            command_log_->record(CommandRecord{cycle_, Command::kActivate,
+                                               e.coord.bank, e.coord.row,
+                                               false});
+          }
+          break;
+        case Command::kPrecharge:
+          bank.issue(Command::kPrecharge, 0, cycle_);
+          ++stats_.precharges;
+          if (command_log_ != nullptr) {
+            command_log_->record(CommandRecord{cycle_, Command::kPrecharge,
+                                               e.coord.bank, 0, false});
+          }
+          break;
+        case Command::kRead:
+        case Command::kWrite: {
+          issue_column(e, cycle_);
+          queue_.erase(queue_.begin() +
+                       static_cast<std::ptrdiff_t>(c.queue_index));
+          break;
+        }
+        case Command::kRefresh:
+          break;  // unreachable: refresh handled above
+      }
+    }
+  }
+
+  ++cycle_;
+  ++stats_.cycles;
+}
+
+std::vector<Request> Controller::drain_completed() {
+  std::vector<Request> out;
+  out.swap(completed_);
+  return out;
+}
+
+void Controller::drain(std::uint64_t max_cycles) {
+  const std::uint64_t limit = cycle_ + max_cycles;
+  while (!idle() && cycle_ < limit) tick();
+  require(idle(), "Controller::drain: did not converge (deadlock?)");
+}
+
+}  // namespace edsim::dram

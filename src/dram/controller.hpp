@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dram/address_map.hpp"
+#include "dram/bank.hpp"
+#include "dram/command_log.hpp"
+#include "dram/config.hpp"
+#include "dram/refresh.hpp"
+#include "dram/request.hpp"
+#include "dram/scheduler.hpp"
+
+namespace edsim::dram {
+
+/// Aggregate statistics snapshot for one channel.
+struct ControllerStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;       ///< request served from an open row
+  std::uint64_t row_misses = 0;     ///< bank was idle, ACT needed
+  std::uint64_t row_conflicts = 0;  ///< another row open, PRE+ACT needed
+  std::uint64_t activations = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t data_bus_busy_cycles = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t powerdown_cycles = 0;  ///< cycles spent in power-down
+  Accumulator read_latency;   ///< cycles, arrival -> last beat
+  Accumulator write_latency;
+  Accumulator queue_occupancy;
+
+  double row_hit_rate() const {
+    const auto total = row_hits + row_misses + row_conflicts;
+    return total ? static_cast<double>(row_hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+  double data_bus_utilization() const {
+    return cycles ? static_cast<double>(data_bus_busy_cycles) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  double powerdown_fraction() const {
+    return cycles ? static_cast<double>(powerdown_cycles) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  /// Sustained bandwidth over the measured window.
+  Bandwidth sustained_bandwidth(Frequency clock) const {
+    if (cycles == 0) return Bandwidth{};
+    const double seconds = static_cast<double>(cycles) / clock.hz();
+    return Bandwidth{static_cast<double>(bytes_transferred) * 8.0 / seconds};
+  }
+};
+
+/// Cycle-accurate single-channel DRAM controller + device model.
+///
+/// Drive it with `enqueue` and `tick`; collect finished requests with
+/// `drain_completed`. One command per cycle on the command bus; the data
+/// bus is tracked separately with read/write turnaround penalties.
+class Controller {
+ public:
+  explicit Controller(const DramConfig& cfg);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Try to accept a request; returns false when the queue is full (the
+  /// client must retry — this back-pressure is what the FIFO-depth
+  /// analysis in clients/ measures).
+  bool enqueue(Request req);
+
+  bool queue_full() const { return queue_.size() >= cfg_.queue_depth; }
+  std::size_t queue_size() const { return queue_.size(); }
+
+  /// Advance one DRAM clock.
+  void tick();
+
+  /// Requests whose last data beat completed since the previous drain.
+  /// Order is completion order.
+  std::vector<Request> drain_completed();
+
+  /// True when no request is queued or in flight.
+  bool idle() const { return queue_.empty() && inflight_.empty(); }
+
+  /// Run until idle or until `max_cycles` more cycles elapse.
+  void drain(std::uint64_t max_cycles = 1'000'000);
+
+  std::uint64_t cycle() const { return cycle_; }
+  const DramConfig& config() const { return cfg_; }
+  const AddressMapper& mapper() const { return mapper_; }
+  const ControllerStats& stats() const { return stats_; }
+  void reset_stats();
+
+  /// Retention feedback hook (see RefreshEngine::scale_interval).
+  RefreshEngine& refresh_engine() { return refresh_; }
+
+  /// Capture every bus command into `log` (nullptr detaches). The trace
+  /// can be replayed through ProtocolChecker for independent timing
+  /// verification.
+  void attach_command_log(CommandLog* log) { command_log_ = log; }
+
+ private:
+  struct QueueEntry {
+    Request req;
+    Coordinates coord;
+    bool classified = false;  ///< row hit/miss/conflict already counted
+  };
+
+  struct InFlight {
+    Request req;
+  };
+
+  void classify(QueueEntry& e, const Bank& bank);
+  bool channel_act_legal(std::uint64_t cycle) const;
+  bool column_legal(AccessType type, std::uint64_t cycle) const;
+  void issue_column(QueueEntry& e, std::uint64_t cycle);
+  bool tick_refresh();
+  bool tick_autoprecharge();
+  std::vector<Candidate> build_candidates() const;
+
+  DramConfig cfg_;
+  AddressMapper mapper_;
+  std::vector<Bank> banks_;
+  std::vector<bool> autopre_pending_;
+  std::vector<std::uint64_t> last_col_cycle_;  // kTimeout bookkeeping
+  std::unique_ptr<Scheduler> scheduler_;
+  RefreshEngine refresh_;
+
+  std::vector<QueueEntry> queue_;  // age-ordered
+  std::vector<InFlight> inflight_;
+  std::vector<Request> completed_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_id_ = 0;
+
+  // Cross-bank / channel constraints.
+  std::uint64_t last_act_cycle_ = 0;
+  bool any_act_yet_ = false;
+  std::deque<std::uint64_t> recent_acts_;  // for tFAW
+
+  // Data bus occupancy.
+  std::uint64_t bus_busy_until_ = 0;  // first free data cycle
+  std::uint64_t last_data_end_ = 0;
+  AccessType last_dir_ = AccessType::kRead;
+  bool any_data_yet_ = false;
+
+  // Refresh draining state.
+  bool refresh_draining_ = false;
+
+  // Power-down state (config.powerdown_enabled).
+  bool powered_down_ = false;
+  std::uint64_t idle_since_ = 0;   ///< cycle the current idle streak began
+  std::uint64_t wake_until_ = 0;   ///< commands blocked until tXP elapses
+  bool was_idle_ = false;
+
+  CommandLog* command_log_ = nullptr;
+
+  ControllerStats stats_;
+};
+
+}  // namespace edsim::dram

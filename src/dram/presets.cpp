@@ -1,0 +1,63 @@
+#include "dram/presets.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::dram::presets {
+
+DramConfig sdram_pc100_64mbit() {
+  DramConfig c;
+  c.banks = 4;
+  c.rows_per_bank = 4096;
+  c.page_bytes = 512;  // 256 columns x 16 bit
+  c.interface_bits = 16;
+  c.timing = timing_pc100_sdram();
+  c.clock = Frequency{100.0};
+  c.validate();
+  require(c.capacity() == Capacity::mbit(64), "preset: expected 64 Mbit");
+  return c;
+}
+
+DramConfig sdram_pc100_4mbit() {
+  DramConfig c;
+  c.banks = 2;
+  c.rows_per_bank = 1024;
+  c.page_bytes = 256;  // 128 columns x 16 bit
+  c.interface_bits = 16;
+  c.timing = timing_pc100_sdram();
+  c.clock = Frequency{100.0};
+  c.validate();
+  require(c.capacity() == Capacity::mbit(4), "preset: expected 4 Mbit");
+  return c;
+}
+
+DramConfig edram_module(unsigned capacity_mbit, unsigned interface_bits,
+                        unsigned banks, unsigned page_bytes) {
+  require(interface_bits >= 16 && interface_bits <= 512,
+          "edram preset: interface width must be within 16..512 (paper §5)");
+  DramConfig c;
+  c.banks = banks;
+  c.page_bytes = page_bytes;
+  c.interface_bits = interface_bits;
+  c.timing = timing_edram_7ns();
+  c.clock = Frequency{143.0};
+
+  const std::uint64_t total_bytes =
+      Capacity::mbit(capacity_mbit).byte_count();
+  const std::uint64_t per_bank = total_bytes / banks;
+  require(per_bank % page_bytes == 0,
+          "edram preset: capacity not divisible into pages");
+  const std::uint64_t rows = per_bank / page_bytes;
+  require(rows > 0 && (rows & (rows - 1)) == 0,
+          "edram preset: rows per bank must be a power of two; adjust banks "
+          "or page length");
+  c.rows_per_bank = static_cast<unsigned>(rows);
+  c.validate();
+  return c;
+}
+
+DramConfig edram_256bit_16mbit() {
+  return edram_module(/*capacity_mbit=*/16, /*interface_bits=*/256,
+                      /*banks=*/4, /*page_bytes=*/2048);
+}
+
+}  // namespace edsim::dram::presets

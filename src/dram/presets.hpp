@@ -1,0 +1,27 @@
+#pragma once
+
+#include "common/units.hpp"
+#include "dram/config.hpp"
+
+namespace edsim::dram::presets {
+
+/// A discrete PC100-class SDRAM device: 64 Mbit, 16-bit interface,
+/// 100 MHz, 4 banks, 1 KB pages. This is the commodity building block the
+/// paper's examples compare against (§1: "16-bit interface at 100 MHz").
+DramConfig sdram_pc100_64mbit();
+
+/// Same device generation, 4 Mbit (256K x 16) — the part used in the §1
+/// fill-frequency example.
+DramConfig sdram_pc100_4mbit();
+
+/// An embedded DRAM channel in the Siemens 0.24 um concept (§5):
+/// capacity in (binary) Mbit, interface width 16..512 bits, configurable
+/// bank count and page length, 143 MHz (7 ns) clock.
+DramConfig edram_module(unsigned capacity_mbit, unsigned interface_bits,
+                        unsigned banks, unsigned page_bytes);
+
+/// Convenience: the 4 Gbyte/s-class module from the §1 power example —
+/// 256-bit interface at 143 MHz.
+DramConfig edram_256bit_16mbit();
+
+}  // namespace edsim::dram::presets

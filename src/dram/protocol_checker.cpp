@@ -1,0 +1,177 @@
+#include "dram/protocol_checker.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <optional>
+
+namespace edsim::dram {
+
+std::string Violation::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "cycle %llu: %s",
+                static_cast<unsigned long long>(cycle), rule.c_str());
+  return buf;
+}
+
+ProtocolChecker::ProtocolChecker(const DramConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+namespace {
+
+/// Per-bank replay state. Uses signed sentinels so "never happened"
+/// needs no special cases.
+struct BankState {
+  bool active = false;
+  std::optional<std::uint64_t> last_act;
+  std::optional<std::uint64_t> last_pre;
+  std::optional<std::uint64_t> last_col;
+  std::optional<std::uint64_t> last_wr_data_end;  // for tWR
+  std::optional<std::uint64_t> last_rd;           // for read-to-precharge
+  std::optional<std::uint64_t> ref_end;           // tRFC window
+};
+
+bool too_soon(const std::optional<std::uint64_t>& past, std::uint64_t now,
+              unsigned gap) {
+  return past.has_value() && now < *past + gap;
+}
+
+}  // namespace
+
+std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
+  const TimingParams& t = cfg_.timing;
+  const unsigned data_cycles =
+      (t.burst_length + cfg_.transfers_per_clock - 1) /
+      cfg_.transfers_per_clock;
+
+  std::vector<Violation> out;
+  std::vector<BankState> banks(cfg_.banks);
+  std::optional<std::uint64_t> last_act_any;      // tRRD
+  std::deque<std::uint64_t> act_window;           // tFAW
+  std::optional<std::uint64_t> bus_busy_until;    // data bus occupancy
+  std::optional<std::uint64_t> last_data_end;
+  bool last_was_write = false;
+  bool any_data = false;
+  std::uint64_t prev_cycle = 0;
+  bool first = true;
+
+  auto flag = [&](std::uint64_t cycle, const std::string& rule) {
+    out.push_back(Violation{cycle, rule});
+  };
+
+  for (const CommandRecord& r : log.records()) {
+    if (!first && r.cycle < prev_cycle) {
+      flag(r.cycle, "command log not time-ordered");
+    }
+    if (!first && r.cycle == prev_cycle) {
+      flag(r.cycle, "two commands in one cycle (single command bus)");
+    }
+    first = false;
+    prev_cycle = r.cycle;
+
+    if (r.cmd != Command::kRefresh && r.bank >= cfg_.banks) {
+      flag(r.cycle, "bank index out of range");
+      continue;
+    }
+
+    switch (r.cmd) {
+      case Command::kActivate: {
+        BankState& b = banks[r.bank];
+        if (b.active) flag(r.cycle, "ACT to already-active bank");
+        if (too_soon(b.last_act, r.cycle, t.tRC))
+          flag(r.cycle, "tRC (ACT->ACT same bank)");
+        if (too_soon(b.last_pre, r.cycle, t.tRP))
+          flag(r.cycle, "tRP (PRE->ACT)");
+        if (b.ref_end && r.cycle < *b.ref_end)
+          flag(r.cycle, "tRFC (ACT during refresh)");
+        if (too_soon(last_act_any, r.cycle, t.tRRD))
+          flag(r.cycle, "tRRD (ACT->ACT any bank)");
+        if (t.tFAW != 0 && act_window.size() >= 4 &&
+            r.cycle < act_window[act_window.size() - 4] + t.tFAW) {
+          flag(r.cycle, "tFAW (5th ACT in window)");
+        }
+        if (r.row >= cfg_.rows_per_bank)
+          flag(r.cycle, "row index out of range");
+        b.active = true;
+        b.last_act = r.cycle;
+        last_act_any = r.cycle;
+        act_window.push_back(r.cycle);
+        if (act_window.size() > 8) act_window.pop_front();
+        break;
+      }
+      case Command::kPrecharge: {
+        BankState& b = banks[r.bank];
+        if (!b.active) flag(r.cycle, "PRE to idle bank");
+        if (too_soon(b.last_act, r.cycle, t.tRAS))
+          flag(r.cycle, "tRAS (ACT->PRE)");
+        if (b.last_rd && r.cycle < *b.last_rd + t.burst_length)
+          flag(r.cycle, "read-to-precharge (burst not drained)");
+        if (b.last_wr_data_end && r.cycle < *b.last_wr_data_end + t.tWR)
+          flag(r.cycle, "tWR (write recovery)");
+        b.active = false;
+        b.last_pre = r.cycle;
+        break;
+      }
+      case Command::kRead:
+      case Command::kWrite: {
+        BankState& b = banks[r.bank];
+        const bool is_write = r.cmd == Command::kWrite;
+        if (!b.active) flag(r.cycle, "column command to idle bank");
+        if (too_soon(b.last_act, r.cycle, t.tRCD))
+          flag(r.cycle, "tRCD (ACT->column)");
+        if (too_soon(b.last_col, r.cycle, t.tCCD)) flag(r.cycle, "tCCD");
+        const std::uint64_t data_start =
+            r.cycle + (is_write ? t.tWL : t.tCL);
+        const std::uint64_t data_end = data_start + data_cycles;
+        if (bus_busy_until && data_start < *bus_busy_until)
+          flag(r.cycle, "data-bus collision");
+        if (any_data) {
+          if (is_write && !last_was_write &&
+              data_start < *last_data_end + t.tRTW) {
+            flag(r.cycle, "tRTW (read->write turnaround)");
+          }
+          if (!is_write && last_was_write &&
+              r.cycle < *last_data_end + t.tWTR) {
+            flag(r.cycle, "tWTR (write->read turnaround)");
+          }
+        }
+        b.last_col = r.cycle;
+        if (is_write) {
+          b.last_wr_data_end = data_end;
+        } else {
+          b.last_rd = r.cycle;
+        }
+        if (r.auto_precharge) {
+          // Auto-precharge is modelled as taking effect when legal; the
+          // later explicit state is checked via the next ACT's tRP, so
+          // nothing further to verify here.
+          b.active = false;
+          const std::uint64_t implicit_pre =
+              std::max(r.cycle + (is_write ? t.tWL + t.burst_length + t.tWR
+                                           : t.burst_length),
+                       b.last_act ? *b.last_act + t.tRAS : 0);
+          b.last_pre = implicit_pre;
+        }
+        bus_busy_until = data_end;
+        last_data_end = data_end;
+        last_was_write = is_write;
+        any_data = true;
+        break;
+      }
+      case Command::kRefresh: {
+        for (unsigned bi = 0; bi < cfg_.banks; ++bi) {
+          BankState& b = banks[bi];
+          if (b.active) flag(r.cycle, "REF with open bank");
+          if (too_soon(b.last_pre, r.cycle, t.tRP))
+            flag(r.cycle, "tRP before REF");
+          b.ref_end = r.cycle + t.tRFC;
+          b.last_act.reset();  // refresh resets the row timing chain
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace edsim::dram

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/command_log.hpp"
+#include "dram/config.hpp"
+
+namespace edsim::dram {
+
+/// A timing-protocol violation found in a command trace.
+struct Violation {
+  std::uint64_t cycle = 0;
+  std::string rule;  ///< e.g. "tRCD", "tRRD", "ACT to active bank"
+
+  std::string describe() const;
+};
+
+/// Replays a captured command trace against the datasheet rules and
+/// reports every violation. This is an *independent* re-implementation of
+/// the constraints the controller is supposed to honour — the pair forms
+/// a checker/doer redundancy so scheduler bugs cannot hide (the moral
+/// equivalent of the §6 expected-value comparison, applied to ourselves).
+class ProtocolChecker {
+ public:
+  explicit ProtocolChecker(const DramConfig& cfg);
+
+  /// Verify a whole trace; returns all violations (empty = clean).
+  std::vector<Violation> verify(const CommandLog& log) const;
+
+ private:
+  DramConfig cfg_;
+};
+
+}  // namespace edsim::dram

@@ -1,0 +1,17 @@
+#include "dram/refresh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::dram {
+
+void RefreshEngine::scale_interval(double factor) {
+  require(factor > 0.0, "refresh: interval scale factor must be positive");
+  const double scaled = static_cast<double>(t_->tREFI) * factor;
+  interval_ = std::max<std::uint64_t>(
+      t_->tRFC + 1, static_cast<std::uint64_t>(std::llround(scaled)));
+}
+
+}  // namespace edsim::dram

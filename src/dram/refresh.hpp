@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dram/timing.hpp"
+
+namespace edsim::dram {
+
+/// Refresh pacing. Two knobs:
+///
+/// * interval scaling — retention-aware: the power library shortens the
+///   interval when junction temperature rises, reproducing the §1
+///   thermal feedback (hotter die -> shorter retention -> more refresh
+///   -> less sustained bandwidth);
+/// * burst grouping — issue `burst_count` refreshes back to back every
+///   `burst_count * interval` cycles instead of one every interval.
+///   Same average bandwidth tax, but the worst-case latency a client
+///   sees grows with the group size (ablation a7 territory).
+class RefreshEngine {
+ public:
+  RefreshEngine(const TimingParams& t, bool enabled,
+                unsigned burst_count = 1)
+      : t_(&t),
+        enabled_(enabled),
+        burst_count_(burst_count == 0 ? 1 : burst_count),
+        next_due_(t.tREFI),
+        interval_(t.tREFI) {}
+
+  /// True when at least one refresh is due and the controller must
+  /// start draining.
+  bool urgent(std::uint64_t cycle) {
+    if (!enabled_) return false;
+    if (pending_ == 0 && cycle >= next_due_) {
+      pending_ = burst_count_;
+      next_due_ += interval_ * burst_count_;
+    }
+    return pending_ > 0;
+  }
+
+  /// Record that a REF command was issued at `cycle`.
+  void refresh_issued(std::uint64_t /*cycle*/) {
+    if (pending_ > 0) --pending_;
+    ++count_;
+  }
+
+  /// Scale the refresh interval (1.0 = nominal tREFI). Used by the
+  /// retention model; factor < 1 means more frequent refresh.
+  void scale_interval(double factor);
+
+  std::uint64_t interval() const { return interval_; }
+  unsigned burst_count() const { return burst_count_; }
+  std::uint64_t count() const { return count_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  const TimingParams* t_;
+  bool enabled_;
+  unsigned burst_count_;
+  unsigned pending_ = 0;
+  std::uint64_t next_due_;
+  std::uint64_t interval_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace edsim::dram

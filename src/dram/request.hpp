@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace edsim::dram {
+
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// One burst-granular memory access. Larger client transfers are split
+/// into requests by the front end (clients/ library).
+struct Request {
+  std::uint64_t id = 0;          ///< assigned by the controller at enqueue
+  unsigned client_id = 0;        ///< which memory client issued it
+  AccessType type = AccessType::kRead;
+  std::uint64_t addr = 0;        ///< byte address (burst-aligned by mapper)
+  std::uint64_t arrival_cycle = 0;
+  std::uint64_t done_cycle = 0;  ///< set when the last data beat completes
+  std::uint64_t tag = 0;         ///< opaque client cookie (e.g. stream pos)
+
+  std::uint64_t latency() const { return done_cycle - arrival_cycle; }
+};
+
+/// DRAM command set.
+enum class Command : std::uint8_t {
+  kActivate,
+  kPrecharge,
+  kRead,
+  kWrite,
+  kRefresh,
+};
+
+const char* to_string(Command c);
+const char* to_string(AccessType t);
+
+}  // namespace edsim::dram

@@ -1,0 +1,107 @@
+#include "dram/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::dram {
+
+std::unique_ptr<Scheduler> Scheduler::make(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kFcfsPerBank:
+      return std::make_unique<FcfsPerBankScheduler>();
+    case SchedulerKind::kFrFcfs:
+      return std::make_unique<FrFcfsScheduler>();
+    case SchedulerKind::kReadFirst:
+      return std::make_unique<ReadFirstScheduler>();
+  }
+  return std::make_unique<FrFcfsScheduler>();
+}
+
+std::size_t FcfsScheduler::pick(const std::vector<Candidate>& candidates,
+                                std::uint64_t /*oldest_wait*/) const {
+  // Only the head of the queue may issue; everything else waits behind it.
+  if (!candidates.empty() && candidates.front().queue_index == 0 &&
+      candidates.front().issuable) {
+    return 0;
+  }
+  return kNone;
+}
+
+std::size_t FcfsPerBankScheduler::pick(
+    const std::vector<Candidate>& candidates,
+    std::uint64_t /*oldest_wait*/) const {
+  // The oldest candidate per bank may issue; pick the oldest issuable one.
+  std::uint64_t seen_banks = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    const std::uint64_t bit = 1ull << (c.bank & 63u);
+    const bool head_of_bank = (seen_banks & bit) == 0;
+    seen_banks |= bit;
+    if (head_of_bank && c.issuable) return i;
+  }
+  return kNone;
+}
+
+std::size_t FrFcfsScheduler::pick(const std::vector<Candidate>& candidates,
+                                  std::uint64_t oldest_wait) const {
+  if (oldest_wait > starvation_cap_) {
+    // Starvation guard: serve strictly oldest-first until the queue drains
+    // below the cap. Candidates are age-ordered, so take the first
+    // issuable one belonging to the oldest request's bank chain — in
+    // practice the first issuable candidate.
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (candidates[i].issuable) return i;
+    return kNone;
+  }
+  // First ready: issuable row-hit column command, oldest first.
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    if (candidates[i].issuable && candidates[i].row_hit) return i;
+  // Then: any issuable command, oldest first.
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    if (candidates[i].issuable) return i;
+  return kNone;
+}
+
+ReadFirstScheduler::ReadFirstScheduler(unsigned high_watermark,
+                                       unsigned low_watermark,
+                                       std::uint64_t starvation_cap)
+    : high_watermark_(high_watermark),
+      low_watermark_(low_watermark),
+      starvation_cap_(starvation_cap) {
+  require(low_watermark_ < high_watermark_,
+          "read-first scheduler: watermarks must satisfy low < high");
+}
+
+std::size_t ReadFirstScheduler::pick(const std::vector<Candidate>& candidates,
+                                     std::uint64_t oldest_wait) const {
+  unsigned writes = 0;
+  for (const Candidate& c : candidates)
+    if (c.is_write) ++writes;
+  if (writes >= high_watermark_) draining_ = true;
+  if (writes <= low_watermark_) draining_ = false;
+
+  if (oldest_wait > starvation_cap_) {
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (candidates[i].issuable) return i;
+    return kNone;
+  }
+
+  const bool favour_writes = draining_;
+  // Four priority classes: (favoured, row hit) > (favoured) >
+  // (other, row hit) > (other). Oldest-first within a class.
+  for (const int pass : {0, 1, 2, 3}) {
+    const bool want_write = (pass < 2) == favour_writes;
+    const bool want_hit = pass % 2 == 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      if (!c.issuable) continue;
+      if (c.is_write != want_write) continue;
+      if (want_hit && !c.row_hit) continue;
+      return i;
+    }
+  }
+  return kNone;
+}
+
+}  // namespace edsim::dram

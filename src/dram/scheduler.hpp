@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dram/config.hpp"
+#include "dram/request.hpp"
+
+namespace edsim::dram {
+
+/// One schedulable action the controller could take this cycle, derived
+/// from a queued request. Candidates are listed in arrival (age) order.
+struct Candidate {
+  std::size_t queue_index = 0;
+  unsigned bank = 0;
+  Command cmd = Command::kActivate;  ///< next command this request needs
+  bool row_hit = false;              ///< cmd is a column command to an open row
+  bool issuable = false;             ///< all timing constraints met this cycle
+  bool is_write = false;             ///< underlying request is a write
+};
+
+/// Scheduling policy: picks which candidate to issue. Pure function of the
+/// candidate list so policies are trivially testable.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// Returns an index into `candidates` (not the queue), or kNone.
+  /// `oldest_wait` is the age in cycles of the oldest queued request, used
+  /// for starvation control.
+  virtual std::size_t pick(const std::vector<Candidate>& candidates,
+                           std::uint64_t oldest_wait) const = 0;
+
+  static std::unique_ptr<Scheduler> make(SchedulerKind kind);
+};
+
+/// Strict in-order service: only the oldest request may advance. Exhibits
+/// the head-of-line blocking that makes sustainable bandwidth collapse
+/// under interleaved clients (paper §4).
+class FcfsScheduler final : public Scheduler {
+ public:
+  std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t oldest_wait) const override;
+};
+
+/// In-order within each bank, banks progress independently.
+class FcfsPerBankScheduler final : public Scheduler {
+ public:
+  std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t oldest_wait) const override;
+};
+
+/// First-ready FCFS: issuable row-hit column commands first (oldest such),
+/// then the oldest issuable command of any kind. A starvation guard
+/// reverts to strict age order when the oldest request has waited too long.
+class FrFcfsScheduler final : public Scheduler {
+ public:
+  explicit FrFcfsScheduler(std::uint64_t starvation_cap = 256)
+      : starvation_cap_(starvation_cap) {}
+
+  std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t oldest_wait) const override;
+
+ private:
+  std::uint64_t starvation_cap_;
+};
+
+/// Read-priority FR-FCFS with write draining. Reads (which block the
+/// processor or a rate-critical client) are served first; writes are
+/// buffered and drained in bursts once the queue holds `high_watermark`
+/// of them, until it falls to `low_watermark` — the policy real
+/// controllers use to amortize bus-turnaround penalties.
+class ReadFirstScheduler final : public Scheduler {
+ public:
+  ReadFirstScheduler(unsigned high_watermark = 20, unsigned low_watermark = 6,
+                     std::uint64_t starvation_cap = 512);
+
+  std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t oldest_wait) const override;
+
+  bool draining() const { return draining_; }
+
+ private:
+  unsigned high_watermark_;
+  unsigned low_watermark_;
+  std::uint64_t starvation_cap_;
+  mutable bool draining_ = false;  // hysteresis state across cycles
+};
+
+}  // namespace edsim::dram

@@ -1,0 +1,80 @@
+#include "dram/timing.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace edsim::dram {
+
+void TimingParams::validate() const {
+  require(tRCD >= 1, "timing: tRCD must be >= 1");
+  require(tRP >= 1, "timing: tRP must be >= 1");
+  require(tCL >= 1, "timing: tCL must be >= 1");
+  require(tRAS >= tRCD, "timing: tRAS must cover tRCD");
+  require(tRC >= tRAS + tRP, "timing: tRC must be >= tRAS + tRP");
+  require(tRRD >= 1, "timing: tRRD must be >= 1");
+  require(tCCD >= 1, "timing: tCCD must be >= 1");
+  require(burst_length >= 1, "timing: burst_length must be >= 1");
+  require(tRFC >= tRP, "timing: tRFC must be >= tRP");
+  require(tREFI > tRFC, "timing: tREFI must exceed tRFC");
+  if (tFAW != 0)
+    require(tFAW >= tRRD * 3, "timing: tFAW inconsistent with tRRD");
+}
+
+std::string TimingParams::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "tRCD=%u tRP=%u CL=%u tRAS=%u tRC=%u tRRD=%u BL=%u tRFC=%u "
+                "tREFI=%u",
+                tRCD, tRP, tCL, tRAS, tRC, tRRD, burst_length, tRFC, tREFI);
+  return buf;
+}
+
+TimingParams timing_pc100_sdram() {
+  // 100 MHz, 10 ns cycle. -8E-grade PC100 part: tRCD 20 ns, tRP 20 ns,
+  // CL 2, tRAS 50 ns, tRC 70 ns. Refresh: 4096 rows / 64 ms.
+  TimingParams t;
+  t.tRCD = 2;
+  t.tRP = 2;
+  t.tCL = 2;
+  t.tWL = 0;  // SDR SDRAM writes present data with the command
+  t.tRAS = 5;
+  t.tRC = 7;
+  t.tRRD = 2;
+  t.tFAW = 0;
+  t.tCCD = 1;
+  t.tWR = 2;
+  t.tWTR = 1;
+  t.tRTW = 2;
+  t.tRFC = 8;
+  t.tREFI = 1562;  // 15.6 us at 100 MHz
+  t.burst_length = 4;
+  t.validate();
+  return t;
+}
+
+TimingParams timing_edram_7ns() {
+  // Paper §5: cycle times better than 7 ns (>=143 MHz). The DRAM core is
+  // the same storage technology, so the analog latencies stay ~constant in
+  // nanoseconds and take more (shorter) cycles: tRCD ~21 ns -> 3 cycles etc.
+  TimingParams t;
+  t.tRCD = 3;
+  t.tRP = 3;
+  t.tCL = 3;
+  t.tWL = 1;
+  t.tRAS = 7;
+  t.tRC = 10;
+  t.tRRD = 2;
+  t.tFAW = 0;
+  t.tCCD = 1;
+  t.tWR = 3;
+  t.tWTR = 2;
+  t.tRTW = 2;
+  t.tRFC = 12;
+  t.tREFI = 2230;  // 15.6 us at 143 MHz
+  t.burst_length = 4;
+  t.validate();
+  return t;
+}
+
+}  // namespace edsim::dram

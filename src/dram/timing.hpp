@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace edsim::dram {
+
+/// DRAM core timing parameters, in controller clock cycles.
+///
+/// The set mirrors a late-90s SDRAM datasheet (the devices the paper
+/// compares against) and is equally valid for the embedded macro — the
+/// storage core is the same technology; what changes between discrete and
+/// embedded parts is interface width, clock and wire electricals.
+struct TimingParams {
+  unsigned tRCD = 3;  ///< ACT -> column command, same bank
+  unsigned tRP = 3;   ///< PRE -> ACT, same bank
+  unsigned tCL = 3;   ///< RD -> first data beat (CAS latency)
+  unsigned tWL = 1;   ///< WR -> first data beat (write latency)
+  unsigned tRAS = 7;  ///< ACT -> PRE, same bank (minimum row-open time)
+  unsigned tRC = 10;  ///< ACT -> ACT, same bank
+  unsigned tRRD = 2;  ///< ACT -> ACT, different banks
+  unsigned tFAW = 0;  ///< rolling window for 4 ACTs (0 = unconstrained)
+  unsigned tCCD = 1;  ///< column command -> column command
+  unsigned tWR = 3;   ///< end of write data -> PRE, same bank
+  unsigned tWTR = 2;  ///< end of write data -> RD (any bank, bus turnaround)
+  unsigned tRTW = 2;  ///< extra gap when switching read -> write on the bus
+  unsigned tRFC = 9;  ///< refresh command duration (all banks held)
+  unsigned tREFI = 1560;  ///< mean interval between refresh commands
+  unsigned burst_length = 4;  ///< data beats per column command
+
+  /// Throws ConfigError if the parameters are mutually inconsistent.
+  void validate() const;
+
+  /// Latency in cycles from ACT on an idle bank to last data beat of a read.
+  unsigned row_miss_read_latency() const {
+    return tRCD + tCL + burst_length;
+  }
+  /// Latency in cycles from RD on an open row to last data beat.
+  unsigned row_hit_read_latency() const { return tCL + burst_length; }
+
+  std::string describe() const;
+};
+
+/// Named timing presets. Values are representative of the era's parts
+/// (PC100 SDRAM; a 7 ns embedded macro per the paper's §5); experiments
+/// sweep around them.
+TimingParams timing_pc100_sdram();
+TimingParams timing_edram_7ns();
+
+}  // namespace edsim::dram

@@ -1,0 +1,61 @@
+#include "dram/trace_dump.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace edsim::dram {
+
+namespace {
+char glyph(Command c) {
+  switch (c) {
+    case Command::kActivate: return 'A';
+    case Command::kPrecharge: return 'P';
+    case Command::kRead: return 'R';
+    case Command::kWrite: return 'W';
+    case Command::kRefresh: return 'F';
+  }
+  return '?';
+}
+}  // namespace
+
+std::string render_waterfall(const CommandLog& log, unsigned banks,
+                             std::uint64_t from_cycle,
+                             std::uint64_t to_cycle, unsigned wrap) {
+  require(banks >= 1, "waterfall: need at least one bank");
+  require(to_cycle > from_cycle, "waterfall: empty window");
+  require(wrap >= 1, "waterfall: wrap must be >= 1");
+  const std::uint64_t span = to_cycle - from_cycle;
+  require(span <= 100'000, "waterfall: window too large to render");
+
+  // Paint the grid.
+  std::vector<std::string> lanes(banks,
+                                 std::string(static_cast<std::size_t>(span), '.'));
+  for (const CommandRecord& r : log.records()) {
+    if (r.cycle < from_cycle || r.cycle >= to_cycle) continue;
+    const auto x = static_cast<std::size_t>(r.cycle - from_cycle);
+    if (r.cmd == Command::kRefresh) {
+      for (auto& lane : lanes) lane[x] = 'F';
+    } else if (r.bank < banks) {
+      lanes[r.bank][x] = glyph(r.cmd);
+    }
+  }
+
+  // Emit in wrapped blocks.
+  std::string out;
+  for (std::uint64_t block = 0; block < span; block += wrap) {
+    out += "cycle " + std::to_string(from_cycle + block) + "\n";
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(wrap, span - block));
+    for (unsigned b = 0; b < banks; ++b) {
+      out += "bank" + std::to_string(b) + " ";
+      out += lanes[b].substr(static_cast<std::size_t>(block), len);
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace edsim::dram

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "dram/command_log.hpp"
+
+namespace edsim::dram {
+
+/// Render a command trace as a per-bank ASCII waterfall — the view a
+/// logic analyzer gives you on the command bus:
+///
+///     cycle 0
+///     bank0 A..R...R.......P....
+///     bank1 ...A...R...R........
+///
+/// Legend: A=ACT P=PRE R=RD W=WR F=REF(all banks) .=idle
+/// Long traces wrap into blocks of `wrap` cycles; the window
+/// [from_cycle, to_cycle) clips the trace.
+std::string render_waterfall(const CommandLog& log, unsigned banks,
+                             std::uint64_t from_cycle,
+                             std::uint64_t to_cycle, unsigned wrap = 100);
+
+}  // namespace edsim::dram

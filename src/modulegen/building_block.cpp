@@ -1,0 +1,40 @@
+#include "modulegen/building_block.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::modulegen {
+
+BlockInfo block_info(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::k256Kbit:
+      // Four 256K tiles cost ~25% more area than one 1M tile: local
+      // decoders and sense amps are amortized over fewer cells.
+      return BlockInfo{kind, Capacity::kbit(256), 0.25, "256Kbit"};
+    case BlockKind::k1Mbit:
+      return BlockInfo{kind, Capacity::mbit(1), 0.80, "1Mbit"};
+  }
+  require(false, "block_info: unknown kind");
+  return {};
+}
+
+double BlockMix::array_area_mm2() const {
+  return static_cast<double>(blocks_1m) *
+             block_info(BlockKind::k1Mbit).array_area_mm2 +
+         static_cast<double>(blocks_256k) *
+             block_info(BlockKind::k256Kbit).array_area_mm2;
+}
+
+BlockMix tile_capacity(Capacity capacity) {
+  require(capacity.bit_count() > 0, "tile: capacity must be positive");
+  const std::uint64_t k256 = Capacity::kbit(256).bit_count();
+  require(capacity.bit_count() % k256 == 0,
+          "tile: module capacity must be a multiple of 256 Kbit (§5 "
+          "granularity)");
+  const std::uint64_t quarters = capacity.bit_count() / k256;
+  BlockMix mix;
+  mix.blocks_1m = static_cast<unsigned>(quarters / 4);
+  mix.blocks_256k = static_cast<unsigned>(quarters % 4);
+  return mix;
+}
+
+}  // namespace edsim::modulegen

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace edsim::modulegen {
+
+/// The two memory building-block sizes of the §5 concept. Modules are
+/// tiled from these; the small block buys granularity at worse density.
+enum class BlockKind { k256Kbit, k1Mbit };
+
+struct BlockInfo {
+  BlockKind kind;
+  Capacity capacity;
+  double array_area_mm2;  ///< cell array + local periphery
+  const char* name;
+};
+
+/// Area calibration: chosen so that large modules land at the paper's
+/// ~1 Mbit/mm² in the 0.24 um process, and small modules fall well below
+/// it (fixed periphery dominates).
+BlockInfo block_info(BlockKind kind);
+
+/// Smallest number of blocks (preferring 1-Mbit tiles, padding with
+/// 256-Kbit tiles) that reaches `capacity`. Capacity must be a multiple
+/// of 256 Kbit.
+struct BlockMix {
+  unsigned blocks_1m = 0;
+  unsigned blocks_256k = 0;
+  Capacity total() const {
+    return Capacity::mbit(blocks_1m) + Capacity::kbit(256) * blocks_256k;
+  }
+  double array_area_mm2() const;
+};
+
+BlockMix tile_capacity(Capacity capacity);
+
+}  // namespace edsim::modulegen

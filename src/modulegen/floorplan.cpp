@@ -1,0 +1,107 @@
+#include "modulegen/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace edsim::modulegen {
+
+namespace {
+// Physical shape of the 1-Mbit building block in the 0.24 um process:
+// 0.8 mm2 as a 1.14 x 0.70 mm tile (arrays are wider than tall).
+constexpr double kBlockW = 1.14;
+constexpr double kBlockH = 0.70;
+// Top-level routing/integration overhead between macros and logic.
+constexpr double kRoutingFraction = 0.08;
+}  // namespace
+
+void ChipSpec::validate() const {
+  require(!modules.empty(), "chip: need at least one memory module");
+  for (const auto& m : modules) m.validate();
+  require(logic_kgates >= 0.0, "chip: negative logic");
+  require(logic_density_kgates_mm2 > 0.0, "chip: bad logic density");
+  require(max_die_mm2 > 0.0, "chip: bad die limit");
+}
+
+Capacity ChipPlan::total_memory() const {
+  Capacity c;
+  for (const auto& m : macros) c = c + m.design.spec.capacity;
+  return c;
+}
+
+ChipPlan plan_chip(const ChipSpec& spec) {
+  spec.validate();
+  const ModuleCompiler compiler;
+
+  ChipPlan plan;
+  double macros_width = 0.0;
+  double macros_height = 0.0;
+  for (const ModuleSpec& ms : spec.modules) {
+    MacroOutline m;
+    m.design = compiler.compile(ms);
+    // Tile the equivalent 1-Mbit block count into a near-square grid.
+    const double blocks =
+        std::max(1.0, m.design.spec.capacity.as_mbit());
+    m.grid_cols = static_cast<unsigned>(std::max(
+        1.0, std::round(std::sqrt(blocks * kBlockH / kBlockW))));
+    m.grid_rows = static_cast<unsigned>(
+        std::ceil(blocks / m.grid_cols));
+    // Scale the grid outline so its area matches the compiled area
+    // (periphery distributes along the macro edges).
+    const double grid_area =
+        m.grid_cols * kBlockW * m.grid_rows * kBlockH;
+    const double scale =
+        std::sqrt(m.design.total_area_mm2 / grid_area);
+    m.width_mm = m.grid_cols * kBlockW * scale;
+    m.height_mm = m.grid_rows * kBlockH * scale;
+    macros_width += m.width_mm;
+    macros_height = std::max(macros_height, m.height_mm);
+    plan.memory_area_mm2 += m.design.total_area_mm2;
+    plan.macros.push_back(std::move(m));
+  }
+
+  plan.logic_area_mm2 = spec.logic_kgates / spec.logic_density_kgates_mm2;
+  const double active = plan.memory_area_mm2 + plan.logic_area_mm2;
+  plan.routing_area_mm2 = active * kRoutingFraction;
+  plan.total_area_mm2 = active + plan.routing_area_mm2;
+
+  // Macros side by side along the bottom edge; logic strip above them.
+  plan.die_width_mm = std::max(macros_width, 1.0);
+  const double logic_h =
+      (plan.logic_area_mm2 + plan.routing_area_mm2) / plan.die_width_mm;
+  plan.die_height_mm = macros_height + logic_h;
+  // Let the outline relax toward the area-preserving square if the strip
+  // stack came out extreme (a floorplanner would re-tile macros).
+  const double long_side = std::max(plan.die_width_mm, plan.die_height_mm);
+  const double short_side = std::min(plan.die_width_mm, plan.die_height_mm);
+  plan.aspect_ratio = long_side / short_side;
+  if (plan.aspect_ratio > 2.0) {
+    const double target = std::sqrt(plan.total_area_mm2 / 2.0);
+    plan.die_width_mm = std::max(target * 2.0, macros_width * 0.75);
+    plan.die_height_mm = plan.total_area_mm2 / plan.die_width_mm;
+    plan.aspect_ratio =
+        std::max(plan.die_width_mm, plan.die_height_mm) /
+        std::min(plan.die_width_mm, plan.die_height_mm);
+  }
+
+  char buf[160];
+  if (plan.total_area_mm2 <= spec.max_die_mm2) {
+    plan.feasible = true;
+    std::snprintf(buf, sizeof buf,
+                  "feasible: %.0f mm2 die (%.0f mm2 memory, %.0f mm2 "
+                  "logic) within the %.0f mm2 envelope",
+                  plan.total_area_mm2, plan.memory_area_mm2,
+                  plan.logic_area_mm2, spec.max_die_mm2);
+  } else {
+    plan.feasible = false;
+    std::snprintf(buf, sizeof buf,
+                  "infeasible: %.0f mm2 exceeds the %.0f mm2 envelope",
+                  plan.total_area_mm2, spec.max_die_mm2);
+  }
+  plan.verdict = buf;
+  return plan;
+}
+
+}  // namespace edsim::modulegen

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "modulegen/module_compiler.hpp"
+
+namespace edsim::modulegen {
+
+/// A whole embedded chip: one or more memory modules plus a logic block.
+/// §1 anchors the envelope: "In quarter-micron technology, chips with up
+/// to 128 Mbit of DRAM and 500 kgates of logic, or 64 Mbit of DRAM and
+/// 1 Mgates of logic are feasible."
+struct ChipSpec {
+  std::vector<ModuleSpec> modules;
+  double logic_kgates = 500.0;
+  /// Logic density on the (DRAM-based) master process; §3's logic
+  /// penalty is baked into the default.
+  double logic_density_kgates_mm2 = 25.0;
+  /// Economic die-size ceiling for the era (yield/reticle driven).
+  double max_die_mm2 = 200.0;
+
+  void validate() const;
+};
+
+/// Placed outline of one memory macro (grid of building blocks).
+struct MacroOutline {
+  ModuleDesign design;
+  unsigned grid_cols = 0;
+  unsigned grid_rows = 0;
+  double width_mm = 0.0;
+  double height_mm = 0.0;
+};
+
+/// Complete chip plan with the §1 feasibility verdict.
+struct ChipPlan {
+  std::vector<MacroOutline> macros;
+  double memory_area_mm2 = 0.0;
+  double logic_area_mm2 = 0.0;
+  double routing_area_mm2 = 0.0;  ///< top-level integration overhead
+  double total_area_mm2 = 0.0;
+  double die_width_mm = 0.0;
+  double die_height_mm = 0.0;
+  double aspect_ratio = 0.0;  ///< >= 1 (long side / short side)
+  bool feasible = false;
+  std::string verdict;
+
+  Capacity total_memory() const;
+};
+
+/// Arrange the modules and logic on a die and judge feasibility.
+ChipPlan plan_chip(const ChipSpec& spec);
+
+}  // namespace edsim::modulegen

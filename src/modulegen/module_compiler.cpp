@@ -1,0 +1,93 @@
+#include "modulegen/module_compiler.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "modulegen/area_model.hpp"
+
+namespace edsim::modulegen {
+
+unsigned spare_rows(RedundancyLevel level) {
+  switch (level) {
+    case RedundancyLevel::kNone: return 0;
+    case RedundancyLevel::kStandard: return 2;
+    case RedundancyLevel::kHigh: return 4;
+  }
+  return 0;
+}
+
+unsigned spare_cols(RedundancyLevel level) { return spare_rows(level); }
+
+double redundancy_area_factor(RedundancyLevel level) {
+  switch (level) {
+    case RedundancyLevel::kNone: return 1.0;
+    case RedundancyLevel::kStandard: return 1.02;
+    case RedundancyLevel::kHigh: return 1.045;
+  }
+  return 1.0;
+}
+
+void ModuleSpec::validate() const {
+  require(capacity >= Capacity::kbit(256),
+          "module: minimum capacity is one 256-Kbit block (§5)");
+  require(capacity <= Capacity::mbit(256),
+          "module: beyond 256 Mbit exceeds the concept's envelope");
+  require(capacity.bit_count() % Capacity::kbit(256).bit_count() == 0,
+          "module: capacity granularity is 256 Kbit (§5)");
+  require(interface_bits >= 16 && interface_bits <= 512,
+          "module: interface width must be 16..512 bits (§5)");
+  require(std::has_single_bit(interface_bits),
+          "module: interface width must be a power of two");
+  require(banks >= 1 && banks <= 16 && std::has_single_bit(banks),
+          "module: bank count must be a power of two in 1..16");
+  require(page_bytes >= interface_bits / 8,
+          "module: page shorter than one interface beat");
+  require(std::has_single_bit(page_bytes),
+          "module: page length must be a power of two");
+  // Geometry must divide: capacity -> banks -> rows of page_bytes.
+  const std::uint64_t bytes = capacity.byte_count();
+  require(bytes % banks == 0, "module: capacity not divisible by banks");
+  require((bytes / banks) % page_bytes == 0,
+          "module: bank capacity not divisible into pages");
+}
+
+std::string ModuleDesign::describe() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s module, %u-bit, %u banks, %uB pages: %.1f mm^2 "
+      "(%.2f Mbit/mm^2), %.1f ns cycle, peak %.2f GB/s",
+      to_string(spec.capacity).c_str(), spec.interface_bits, spec.banks,
+      spec.page_bytes, total_area_mm2, area_efficiency_mbit_per_mm2,
+      cycle_ns, peak.as_gbyte_per_s());
+  return buf;
+}
+
+ModuleDesign ModuleCompiler::compile(const ModuleSpec& spec) const {
+  spec.validate();
+  ModuleDesign d;
+  d.spec = spec;
+  d.blocks = tile_capacity(spec.capacity);
+  d.array_area_mm2 =
+      d.blocks.array_area_mm2() * redundancy_area_factor(spec.redundancy);
+  d.periphery_area_mm2 = periphery_area_mm2(spec);
+  d.total_area_mm2 = d.array_area_mm2 + d.periphery_area_mm2;
+  d.area_efficiency_mbit_per_mm2 = spec.capacity.as_mbit() / d.total_area_mm2;
+  d.cycle_ns = cycle_time_ns(spec);
+  d.clock = Frequency{1000.0 / d.cycle_ns};
+  d.peak = peak_bandwidth(spec.interface_bits, d.clock);
+  return d;
+}
+
+ModuleCompiler::SimHints ModuleCompiler::sim_hints(
+    const ModuleDesign& d) const {
+  SimHints h;
+  const std::uint64_t per_bank = d.spec.capacity.byte_count() / d.spec.banks;
+  h.rows_per_bank = static_cast<unsigned>(per_bank / d.spec.page_bytes);
+  h.clock_mhz = d.clock.mhz;
+  return h;
+}
+
+}  // namespace edsim::modulegen

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "modulegen/building_block.hpp"
+
+namespace edsim::modulegen {
+
+/// Redundancy provisioning levels (§5: "different redundancy levels, in
+/// order to optimize the yield of the memory module to the specific
+/// chip"; §6 ties them to target quality).
+enum class RedundancyLevel {
+  kNone,      ///< no spares — cheapest, yield = raw array yield
+  kStandard,  ///< 2 spare rows + 2 spare columns per bank
+  kHigh,      ///< 4 spare rows + 4 spare columns per bank
+};
+
+unsigned spare_rows(RedundancyLevel level);
+unsigned spare_cols(RedundancyLevel level);
+/// Area multiplier for the array region at the given level.
+double redundancy_area_factor(RedundancyLevel level);
+
+/// User-visible knobs of the flexible module concept (§5): capacity in
+/// 256-Kbit granules, interface width 16..512, bank count, page length,
+/// redundancy level.
+struct ModuleSpec {
+  Capacity capacity = Capacity::mbit(16);
+  unsigned interface_bits = 256;
+  unsigned banks = 4;
+  unsigned page_bytes = 2048;
+  RedundancyLevel redundancy = RedundancyLevel::kStandard;
+
+  void validate() const;
+};
+
+/// Compiled module: physical/performance characteristics.
+struct ModuleDesign {
+  ModuleSpec spec;
+  BlockMix blocks;
+  double array_area_mm2 = 0.0;
+  double periphery_area_mm2 = 0.0;
+  double total_area_mm2 = 0.0;
+  double area_efficiency_mbit_per_mm2 = 0.0;
+  double cycle_ns = 0.0;
+  Frequency clock{0.0};
+  Bandwidth peak;
+
+  std::string describe() const;
+};
+
+/// The "memory compiler": deterministically maps a spec onto blocks and
+/// physical estimates. Guarantees the §5 envelope: cycle <= 7 ns,
+/// ~1 Mbit/mm² for >= 8-16 Mbit, peak ~9 GB/s at 512 bits.
+class ModuleCompiler {
+ public:
+  ModuleDesign compile(const ModuleSpec& spec) const;
+
+  /// Derived simulator configuration for the compiled module (the bridge
+  /// into the dram/ library lives in core/ to avoid a dependency cycle;
+  /// this returns the pieces needed there).
+  struct SimHints {
+    unsigned rows_per_bank = 0;
+    double clock_mhz = 0.0;
+  };
+  SimHints sim_hints(const ModuleDesign& d) const;
+};
+
+}  // namespace edsim::modulegen

@@ -1,0 +1,128 @@
+#include "modulegen/sram.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "modulegen/module_compiler.hpp"
+
+namespace edsim::modulegen {
+
+namespace {
+
+/// Round a capacity up to the §5 granularity (one 256-Kbit block).
+Capacity round_to_block(Capacity c) {
+  const std::uint64_t granule = Capacity::kbit(256).bit_count();
+  const std::uint64_t bits =
+      (c.bit_count() + granule - 1) / granule * granule;
+  return Capacity::bits(bits);
+}
+
+/// A valid (power-of-two-rows) minimal module spec holding `c`.
+ModuleSpec min_module_spec(Capacity c) {
+  ModuleSpec s;
+  s.capacity = round_to_block(c);
+  s.interface_bits = 16;
+  s.banks = 1;
+  // Pick a page length that divides the capacity into a power-of-two
+  // row count.
+  for (unsigned page : {512u, 1024u, 2048u, 4096u}) {
+    s.page_bytes = page;
+    const std::uint64_t bytes = s.capacity.byte_count();
+    if (bytes % page != 0) continue;
+    const std::uint64_t rows = bytes / page;
+    if ((rows & (rows - 1)) == 0) return s;
+  }
+  // Fall back: bump to the next power-of-two capacity in blocks.
+  std::uint64_t blocks =
+      s.capacity.bit_count() / Capacity::kbit(256).bit_count();
+  while ((blocks & (blocks - 1)) != 0) ++blocks;
+  s.capacity = Capacity::kbit(256) * blocks;
+  s.page_bytes = 512;
+  return s;
+}
+
+}  // namespace
+
+double min_edram_area_mm2(Capacity c) {
+  require(c.bit_count() > 0, "partition: empty buffer");
+  const ModuleSpec s = min_module_spec(c);
+  return ModuleCompiler{}.compile(s).total_area_mm2;
+}
+
+Capacity PartitionPlan::sram_capacity() const {
+  Capacity c;
+  for (const auto& b : buffers)
+    if (b.medium == Medium::kSram) c = c + b.spec.size;
+  return c;
+}
+
+Capacity PartitionPlan::edram_capacity() const {
+  Capacity c;
+  for (const auto& b : buffers)
+    if (b.medium == Medium::kEdram) c = c + b.spec.size;
+  return c;
+}
+
+PartitionPlan partition_buffers(const std::vector<BufferSpec>& buffers,
+                                const SramModel& sram) {
+  require(!buffers.empty(), "partition: no buffers");
+  PartitionPlan plan;
+
+  // First pass: pin latency-critical buffers to SRAM; for the rest,
+  // tentatively compare SRAM cost against the *marginal* eDRAM cost
+  // (array only — the shared module periphery is handled below).
+  const double marginal_edram_per_mbit =
+      block_info(BlockKind::k1Mbit).array_area_mm2;
+  Capacity edram_total;
+  for (const BufferSpec& b : buffers) {
+    PlacedBuffer p;
+    p.spec = b;
+    const double sram_cost = sram.area_mm2(b.size);
+    const double edram_marginal =
+        marginal_edram_per_mbit * round_to_block(b.size).as_mbit();
+    if (b.latency_critical || sram_cost < edram_marginal) {
+      p.medium = Medium::kSram;
+      p.area_mm2 = sram_cost;
+      plan.sram_area_mm2 += sram_cost;
+    } else {
+      p.medium = Medium::kEdram;
+      edram_total = edram_total + round_to_block(b.size);
+    }
+    plan.buffers.push_back(p);
+  }
+
+  // Second pass: the eDRAM residents share one module; charge its real
+  // compiled area and apportion it by capacity (reporting only).
+  if (edram_total.bit_count() > 0) {
+    plan.edram_area_mm2 = min_edram_area_mm2(edram_total);
+    for (auto& p : plan.buffers) {
+      if (p.medium == Medium::kEdram) {
+        p.area_mm2 = plan.edram_area_mm2 *
+                     static_cast<double>(p.spec.size.bit_count()) /
+                     static_cast<double>(edram_total.bit_count());
+      }
+    }
+  }
+  return plan;
+}
+
+Capacity sram_edram_crossover(const SramModel& sram) {
+  // Binary search on the block-granular sizes.
+  Capacity lo = Capacity::kbit(16);
+  Capacity hi = Capacity::mbit(16);
+  require(sram.area_mm2(lo) < min_edram_area_mm2(lo),
+          "partition: SRAM should win at tiny sizes");
+  require(sram.area_mm2(hi) > min_edram_area_mm2(hi),
+          "partition: eDRAM should win at large sizes");
+  while (hi.bit_count() - lo.bit_count() > Capacity::kbit(16).bit_count()) {
+    const Capacity mid = Capacity::bits((lo.bit_count() + hi.bit_count()) / 2);
+    if (sram.area_mm2(mid) < min_edram_area_mm2(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace edsim::modulegen

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace edsim::modulegen {
+
+/// On-chip 6T SRAM macro model for the §3 partitioning question: "since
+/// edram allows to integrate SRAMs and DRAMs, decisions on the ...
+/// SRAM/DRAM partitioning have to be made."
+///
+/// In a quarter-micron logic flow the 6T cell is ~8x the DRAM cell, but
+/// the macro needs almost no periphery, no refresh, and reads in a
+/// couple of nanoseconds.
+struct SramModel {
+  double mm2_per_mbit = 8.5;     ///< array density (6T, 0.25 um)
+  double fixed_mm2 = 0.02;       ///< decoder/margin per macro
+  double access_ns = 2.5;
+  double standby_mw_per_mbit = 0.5;
+
+  double area_mm2(Capacity c) const {
+    return fixed_mm2 + mm2_per_mbit * c.as_mbit();
+  }
+};
+
+/// Area of the *smallest* eDRAM module that holds `c` (256-Kbit
+/// granularity, 1 bank, 16-bit interface): what a buffer pays if it is
+/// put into DRAM instead.
+double min_edram_area_mm2(Capacity c);
+
+/// One buffer the system needs.
+struct BufferSpec {
+  std::string name;
+  Capacity size;
+  bool latency_critical = false;  ///< must avoid row-cycle behaviour
+};
+
+enum class Medium { kSram, kEdram };
+
+struct PlacedBuffer {
+  BufferSpec spec;
+  Medium medium = Medium::kEdram;
+  double area_mm2 = 0.0;
+};
+
+struct PartitionPlan {
+  std::vector<PlacedBuffer> buffers;
+  double sram_area_mm2 = 0.0;
+  double edram_area_mm2 = 0.0;
+  double total_area_mm2() const { return sram_area_mm2 + edram_area_mm2; }
+  Capacity sram_capacity() const;
+  Capacity edram_capacity() const;
+};
+
+/// Greedy optimal per-buffer partitioning: each buffer independently
+/// goes to the cheaper medium (latency-critical buffers are pinned to
+/// SRAM). Buffers placed in eDRAM share one module, so the module's
+/// fixed periphery is paid once — which is exactly why big buffer *sets*
+/// tip toward eDRAM while any individual small buffer looks SRAM-cheap.
+PartitionPlan partition_buffers(const std::vector<BufferSpec>& buffers,
+                                const SramModel& sram = {});
+
+/// The capacity below which a standalone buffer is cheaper in SRAM.
+Capacity sram_edram_crossover(const SramModel& sram = {});
+
+}  // namespace edsim::modulegen

@@ -1,0 +1,103 @@
+#include "mpeg/decoder_model.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::mpeg {
+
+void DecoderConfig::validate() const {
+  require(format.width % 16 == 0 && format.height % 16 == 0,
+          "decoder: frame dimensions must be macroblock-aligned");
+  require(format.fps > 0.0, "decoder: fps must be positive");
+  require(bitrate_mbit_s > 0.0, "decoder: bitrate must be positive");
+  const double sum = frac_i + frac_p + frac_b;
+  require(sum > 0.999 && sum < 1.001, "decoder: GOP fractions must sum to 1");
+  require(mc_overfetch >= 1.0, "decoder: overfetch factor must be >= 1");
+}
+
+DecoderModel::DecoderModel(const DecoderConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+Capacity DecoderModel::vbv_buffer() const {
+  // MP@ML VBV buffer: 1,835,008 bits = 1.75 (binary) Mbit.
+  return Capacity::bits(1'835'008);
+}
+
+Capacity DecoderModel::output_buffer() const {
+  const Capacity frame = cfg_.format.frame_capacity();
+  if (!cfg_.reduced_output_buffer) {
+    // Full frame: B-picture reconstruction + progressive-to-interlaced
+    // conversion read out field by field.
+    return frame;
+  }
+  // Reduced: a sliding window of one third of a frame; B-pictures are
+  // decoded once per field instead (§4.1: "about 3 Mbit can be saved at
+  // the expense of doubling the throughput ... as well as the memory
+  // bandwidth of the motion compensation module").
+  return Capacity::bits(frame.bit_count() / 3);
+}
+
+std::vector<BufferRequirement> DecoderModel::footprint() const {
+  const Capacity frame = cfg_.format.frame_capacity();
+  return {
+      {"vbv_input", vbv_buffer()},
+      {"reference_0", frame},
+      {"reference_1", frame},
+      {"output_conversion", output_buffer()},
+  };
+}
+
+Capacity DecoderModel::total_footprint() const {
+  Capacity total;
+  for (const auto& b : footprint()) total = total + b.size;
+  return total;
+}
+
+Capacity DecoderModel::output_buffer_saving() const {
+  DecoderConfig standard = cfg_;
+  standard.reduced_output_buffer = false;
+  DecoderConfig reduced = cfg_;
+  reduced.reduced_output_buffer = true;
+  return DecoderModel(standard).output_buffer() -
+         DecoderModel(reduced).output_buffer();
+}
+
+double DecoderModel::predictions_per_macroblock() const {
+  const double b_factor = cfg_.reduced_output_buffer ? 2.0 : 1.0;
+  return cfg_.frac_p * 1.0 + cfg_.frac_b * 2.0 * b_factor;
+}
+
+std::vector<BandwidthDemand> DecoderModel::bandwidth() const {
+  const double fps = cfg_.format.fps;
+  const double frame_bytes = static_cast<double>(cfg_.format.frame_bytes());
+  const double bitrate = cfg_.bitrate_mbit_s * 1e6;
+
+  // Motion compensation: per prediction, a 17x17 luma block plus two 9x9
+  // chroma blocks (half-pel interpolation needs the +1 apron).
+  const double bytes_per_pred = 17.0 * 17.0 + 2.0 * 9.0 * 9.0;
+  const double preds_per_s = static_cast<double>(cfg_.format.macroblocks()) *
+                             fps * predictions_per_macroblock();
+  const double mc_read =
+      preds_per_s * bytes_per_pred * cfg_.mc_overfetch * 8.0;
+
+  return {
+      {"vbv_input", Bandwidth{bitrate}, Bandwidth{bitrate}},
+      {"motion_comp", Bandwidth{mc_read}, Bandwidth{}},
+      {"reconstruction", Bandwidth{}, Bandwidth{frame_bytes * fps * 8.0}},
+      {"display", Bandwidth{frame_bytes * fps * 8.0}, Bandwidth{}},
+  };
+}
+
+Bandwidth DecoderModel::total_bandwidth() const {
+  double bits = 0.0;
+  for (const auto& d : bandwidth()) bits += d.total().bits_per_s;
+  return Bandwidth{bits};
+}
+
+MemoryMap DecoderModel::build_memory_map() const {
+  MemoryMap map(4096);
+  for (const auto& b : footprint()) map.allocate(b.name, b.size);
+  return map;
+}
+
+}  // namespace edsim::mpeg

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "mpeg/frame_geometry.hpp"
+#include "mpeg/memory_map.hpp"
+
+namespace edsim::mpeg {
+
+/// MP@ML decoder parameters driving footprint and bandwidth (§4.1).
+struct DecoderConfig {
+  FrameFormat format = pal();
+  double bitrate_mbit_s = 15.0;  ///< MP@ML maximum
+  /// Fractions of picture types in the GOP (IBBPBBP...: 1 I, 4 P, 10 B of
+  /// a 15-picture GOP is typical broadcast practice).
+  double frac_i = 1.0 / 15.0;
+  double frac_p = 4.0 / 15.0;
+  double frac_b = 10.0 / 15.0;
+  /// Motion-compensation overfetch: fetched bytes / useful bytes due to
+  /// burst and page alignment of 17x17 / 9x9 reference blocks.
+  double mc_overfetch = 1.4;
+  /// §4.1 trade-off: shrink the progressive-to-interlaced output buffer
+  /// by re-decoding B-pictures per field — saves ~3 Mbit, doubles the
+  /// decode throughput and the MC bandwidth.
+  bool reduced_output_buffer = false;
+
+  void validate() const;
+};
+
+/// One line of the footprint budget.
+struct BufferRequirement {
+  std::string name;
+  Capacity size;
+};
+
+/// One line of the bandwidth budget.
+struct BandwidthDemand {
+  std::string module;
+  Bandwidth read;
+  Bandwidth write;
+  Bandwidth total() const {
+    return Bandwidth{read.bits_per_s + write.bits_per_s};
+  }
+};
+
+/// Analytic model of the decoder's memory system: buffer footprint,
+/// per-module bandwidth, and the standard-vs-reduced output buffer
+/// trade-off of §4.1.
+class DecoderModel {
+ public:
+  explicit DecoderModel(const DecoderConfig& cfg);
+
+  const DecoderConfig& config() const { return cfg_; }
+
+  /// The buffer inventory (§4.1: input buffer, two frame buffers for
+  /// bidirectional reconstruction, output buffer for progressive-to-
+  /// interlaced conversion) plus the B reconstruction target.
+  std::vector<BufferRequirement> footprint() const;
+  Capacity total_footprint() const;
+  bool fits_16mbit() const { return total_footprint() <= Capacity::mbit(16); }
+
+  /// Capacity saved by the reduced-output-buffer mode vs. the standard
+  /// configuration of the same format.
+  Capacity output_buffer_saving() const;
+
+  /// Per-module sustained bandwidth demands.
+  std::vector<BandwidthDemand> bandwidth() const;
+  Bandwidth total_bandwidth() const;
+
+  /// Average reference predictions per macroblock given the GOP mix
+  /// (P: 1, B: 2, I: 0), including the decode-twice factor in reduced
+  /// mode.
+  double predictions_per_macroblock() const;
+
+  /// Lay the buffers out into a memory map (page-aligned).
+  MemoryMap build_memory_map() const;
+
+ private:
+  Capacity vbv_buffer() const;
+  Capacity output_buffer() const;
+  DecoderConfig cfg_;
+};
+
+}  // namespace edsim::mpeg

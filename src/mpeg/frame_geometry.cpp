@@ -1,0 +1,9 @@
+#include "mpeg/frame_geometry.hpp"
+
+namespace edsim::mpeg {
+
+FrameFormat pal() { return FrameFormat{"PAL", 720, 576, 25.0}; }
+
+FrameFormat ntsc() { return FrameFormat{"NTSC", 720, 480, 29.97}; }
+
+}  // namespace edsim::mpeg

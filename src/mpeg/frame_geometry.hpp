@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace edsim::mpeg {
+
+/// Video frame geometry in 4:2:0 sampling (12 bit/pixel). The paper's §4.1
+/// numbers — PAL frame = 4.75 Mbit, NTSC = 3.96 Mbit — come out exactly
+/// in binary Mbit.
+struct FrameFormat {
+  std::string name;
+  unsigned width = 720;
+  unsigned height = 576;
+  double fps = 25.0;
+
+  unsigned pixels() const { return width * height; }
+  /// Luma plane bytes (1 byte/pixel).
+  std::uint64_t luma_bytes() const { return pixels(); }
+  /// Both chroma planes together (4:2:0: quarter resolution each).
+  std::uint64_t chroma_bytes() const { return pixels() / 2; }
+  std::uint64_t frame_bytes() const { return luma_bytes() + chroma_bytes(); }
+  Capacity frame_capacity() const { return Capacity::bytes(frame_bytes()); }
+
+  unsigned macroblocks() const { return (width / 16) * (height / 16); }
+};
+
+/// PAL: 720x576 @ 25 Hz -> 4.75 Mbit per 4:2:0 frame.
+FrameFormat pal();
+/// NTSC: 720x480 @ 29.97 Hz -> 3.96 Mbit per 4:2:0 frame.
+FrameFormat ntsc();
+
+}  // namespace edsim::mpeg

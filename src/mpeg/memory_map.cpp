@@ -1,0 +1,30 @@
+#include "mpeg/memory_map.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::mpeg {
+
+MemoryMap::MemoryMap(std::uint64_t alignment) : alignment_(alignment) {
+  require(alignment_ > 0 && (alignment_ & (alignment_ - 1)) == 0,
+          "memory map: alignment must be a power of two");
+}
+
+const Region& MemoryMap::allocate(const std::string& name, Capacity size) {
+  require(size.bit_count() > 0, "memory map: empty allocation");
+  require(find(name) == nullptr, "memory map: duplicate region name");
+  Region r;
+  r.name = name;
+  r.base = (top_ + alignment_ - 1) & ~(alignment_ - 1);
+  r.bytes = size.byte_count();
+  top_ = r.base + r.bytes;
+  regions_.push_back(r);
+  return regions_.back();
+}
+
+const Region* MemoryMap::find(const std::string& name) const {
+  for (const auto& r : regions_)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+}  // namespace edsim::mpeg

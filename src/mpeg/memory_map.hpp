@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace edsim::mpeg {
+
+/// A named region in the decoder's (embedded) memory.
+struct Region {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t end() const { return base + bytes; }
+  Capacity capacity() const { return Capacity::bytes(bytes); }
+};
+
+/// Linear first-fit memory allocator for the decoder's buffers —
+/// "optimizing the memory allocation" is the first of the §3
+/// system-level problems.
+class MemoryMap {
+ public:
+  explicit MemoryMap(std::uint64_t alignment = 4096);
+
+  const Region& allocate(const std::string& name, Capacity size);
+  const Region* find(const std::string& name) const;
+
+  Capacity total_allocated() const { return Capacity::bytes(top_); }
+  bool fits(Capacity budget) const {
+    return total_allocated() <= budget;
+  }
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  std::uint64_t alignment_;
+  std::uint64_t top_ = 0;
+  std::vector<Region> regions_;
+};
+
+}  // namespace edsim::mpeg

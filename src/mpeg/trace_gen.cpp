@@ -1,0 +1,157 @@
+#include "mpeg/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::mpeg {
+
+McClient::McClient(unsigned id, const Params& p)
+    : Client(id, "motion_comp"), p_(p), rng_(p.seed) {
+  require(p_.rows_per_block >= 1, "mc client: rows_per_block must be >= 1");
+  require(p_.bytes_per_row >= 1, "mc client: bytes_per_row must be >= 1");
+  require(p_.burst_bytes >= 1, "mc client: burst_bytes must be >= 1");
+  require(p_.pitch_bytes >= p_.bytes_per_row,
+          "mc client: pitch shorter than a block row");
+  const std::uint64_t block_span =
+      static_cast<std::uint64_t>(p_.rows_per_block) * p_.pitch_bytes;
+  require(p_.region_bytes > block_span,
+          "mc client: region too small for one block");
+}
+
+void McClient::start_block() {
+  const std::uint64_t block_span =
+      static_cast<std::uint64_t>(p_.rows_per_block) * p_.pitch_bytes;
+  const std::uint64_t span = p_.region_bytes - block_span;
+  block_base_ = p_.region_base + rng_.next_below(span);
+  row_in_block_ = 0;
+  block_active_ = true;
+  ++blocks_;
+}
+
+bool McClient::has_request(std::uint64_t cycle) const {
+  if (block_active_) return true;  // finish the current block back-to-back
+  return !finished() && cycle >= next_block_cycle_;
+}
+
+dram::Request McClient::make_request(std::uint64_t cycle) {
+  if (!block_active_) {
+    start_block();
+    next_block_cycle_ =
+        std::max(next_block_cycle_ + p_.block_period_cycles, cycle);
+  }
+  dram::Request r;
+  r.type = dram::AccessType::kRead;
+  const std::uint64_t row_addr =
+      block_base_ + static_cast<std::uint64_t>(row_in_block_) * p_.pitch_bytes;
+  r.addr = row_addr - row_addr % p_.burst_bytes;
+  r.tag = blocks_;
+  ++row_in_block_;
+  if (row_in_block_ >= p_.rows_per_block) block_active_ = false;
+  return r;
+}
+
+bool McClient::finished() const {
+  return p_.total_blocks != 0 && blocks_ >= p_.total_blocks && !block_active_;
+}
+
+namespace {
+
+/// Cycles between bursts to sustain `bw` on a channel at `clock` with
+/// `burst_bytes` per request (rounded down so the client can keep up).
+std::uint64_t period_for(Bandwidth bw, Frequency clock, unsigned burst_bytes) {
+  require(bw.bits_per_s > 0.0, "decoder clients: zero-bandwidth client");
+  const double bytes_per_cycle = bw.bits_per_s / 8.0 / clock.hz();
+  const double period = static_cast<double>(burst_bytes) / bytes_per_cycle;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(period));
+}
+
+}  // namespace
+
+DecoderClientIds add_decoder_clients(clients::MemorySystem& system,
+                                     const DecoderModel& model,
+                                     const MemoryMap& map) {
+  const auto& cfg = system.controller().config();
+  const unsigned burst = cfg.bytes_per_access();
+  const Frequency clock = cfg.clock;
+  const auto demands = model.bandwidth();
+  require(demands.size() == 4, "decoder clients: unexpected demand count");
+
+  const Region* vbv = map.find("vbv_input");
+  const Region* ref0 = map.find("reference_0");
+  const Region* ref1 = map.find("reference_1");
+  const Region* out = map.find("output_conversion");
+  require(vbv && ref0 && ref1 && out,
+          "decoder clients: memory map missing decoder regions");
+
+  DecoderClientIds ids;
+  unsigned next_id = static_cast<unsigned>(system.client_count());
+
+  // VBV: modelled as a write stream at the full in+out rate (the read
+  // side is tiny and strictly sequential; folding it keeps one client).
+  {
+    clients::StreamClient::Params p;
+    p.base = vbv->base;
+    p.length = vbv->bytes;
+    p.burst_bytes = burst;
+    p.type = dram::AccessType::kWrite;
+    p.period_cycles = static_cast<unsigned>(
+        period_for(demands[0].total(), clock, burst));
+    ids.vbv = system.client_count();
+    system.add_client(std::make_unique<clients::StreamClient>(
+        next_id++, "vbv_input", p));
+  }
+
+  // Motion compensation: block reads over both reference frames.
+  {
+    McClient::Params p;
+    p.region_base = ref0->base;
+    p.region_bytes = ref1->end() - ref0->base;
+    p.pitch_bytes = model.config().format.width;
+    p.rows_per_block = 17;
+    p.bytes_per_row = 17;
+    p.burst_bytes = burst;
+    // Pace blocks so MC's *useful* rate matches the analytic demand:
+    // each block moves rows_per_block bursts.
+    const double preds_per_s =
+        static_cast<double>(model.config().format.macroblocks()) *
+        model.config().format.fps * model.predictions_per_macroblock();
+    const double cycles_per_block = clock.hz() / preds_per_s;
+    p.block_period_cycles =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(cycles_per_block));
+    ids.mc = system.client_count();
+    system.add_client(std::make_unique<McClient>(next_id++, p));
+  }
+
+  // Reconstruction: sequential writes of decoded pictures.
+  {
+    clients::StreamClient::Params p;
+    p.base = ref0->base;
+    p.length = ref1->end() - ref0->base;
+    p.burst_bytes = burst;
+    p.type = dram::AccessType::kWrite;
+    p.period_cycles = static_cast<unsigned>(
+        period_for(demands[2].total(), clock, burst));
+    ids.reconstruction = system.client_count();
+    system.add_client(std::make_unique<clients::StreamClient>(
+        next_id++, "reconstruction", p));
+  }
+
+  // Display: sequential reads from the output-conversion buffer.
+  {
+    clients::StreamClient::Params p;
+    p.base = out->base;
+    p.length = out->bytes;
+    p.burst_bytes = burst;
+    p.type = dram::AccessType::kRead;
+    p.period_cycles = static_cast<unsigned>(
+        period_for(demands[3].total(), clock, burst));
+    ids.display = system.client_count();
+    system.add_client(std::make_unique<clients::StreamClient>(
+        next_id++, "display", p));
+  }
+  return ids;
+}
+
+}  // namespace edsim::mpeg

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "clients/system.hpp"
+#include "mpeg/decoder_model.hpp"
+
+namespace edsim::mpeg {
+
+/// Motion-compensation client: paced block reads. Each "prediction" is a
+/// rectangular reference-block fetch — `rows_per_block` rows of
+/// `bytes_per_row` at `pitch_bytes` spacing from a pseudo-random motion-
+/// vector target — issued as one burst per row. This produces exactly the
+/// scattered page behaviour that separates sustained from peak bandwidth.
+class McClient final : public clients::Client {
+ public:
+  struct Params {
+    std::uint64_t region_base = 0;
+    std::uint64_t region_bytes = 1 << 20;
+    std::uint64_t pitch_bytes = 720;   ///< frame line pitch
+    unsigned rows_per_block = 17;
+    unsigned bytes_per_row = 17;
+    unsigned burst_bytes = 32;
+    std::uint64_t block_period_cycles = 100;  ///< pacing per prediction
+    std::uint64_t total_blocks = 0;           ///< 0 = endless
+    std::uint64_t seed = 7;
+  };
+
+  McClient(unsigned id, const Params& p);
+
+  bool has_request(std::uint64_t cycle) const override;
+  dram::Request make_request(std::uint64_t cycle) override;
+  bool finished() const override;
+
+  std::uint64_t blocks_issued() const { return blocks_; }
+
+ private:
+  void start_block();
+
+  Params p_;
+  Rng rng_;
+  std::uint64_t block_base_ = 0;
+  unsigned row_in_block_ = 0;   ///< rows already issued of current block
+  bool block_active_ = false;
+  std::uint64_t next_block_cycle_ = 0;
+  std::uint64_t blocks_ = 0;
+};
+
+/// Wire the four decoder memory clients (§4.1) into a memory system whose
+/// channel hosts the decoder's memory map. Client pacing is derived from
+/// the analytic bandwidth demands and the channel clock. Returns indices
+/// of the added clients in the order: vbv, mc, reconstruction, display.
+struct DecoderClientIds {
+  std::size_t vbv = 0;
+  std::size_t mc = 0;
+  std::size_t reconstruction = 0;
+  std::size_t display = 0;
+};
+
+DecoderClientIds add_decoder_clients(clients::MemorySystem& system,
+                                     const DecoderModel& model,
+                                     const MemoryMap& map);
+
+}  // namespace edsim::mpeg

@@ -1,0 +1,43 @@
+#include "phy/discrete_system.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::phy {
+
+DiscreteSystem::DiscreteSystem(DiscreteChip chip, unsigned target_width_bits)
+    : chip_(std::move(chip)) {
+  require(chip_.interface_bits >= 1, "discrete: chip width must be >= 1");
+  require(target_width_bits >= chip_.interface_bits,
+          "discrete: target width below one chip's width");
+  chips_ = (target_width_bits + chip_.interface_bits - 1) /
+           chip_.interface_bits;
+}
+
+unsigned DiscreteSystem::width_bits() const {
+  return chips_ * chip_.interface_bits;
+}
+
+Capacity DiscreteSystem::overhead_for(Capacity required) const {
+  const Capacity inst = installed_capacity();
+  require(required <= inst,
+          "discrete: required capacity exceeds one rank; model multiple "
+          "ranks explicitly");
+  return inst - required;
+}
+
+Bandwidth DiscreteSystem::peak_bandwidth() const {
+  return edsim::peak_bandwidth(width_bits(), chip_.clock);
+}
+
+double DiscreteSystem::io_power_w(const IoElectricals& io,
+                                  double utilization) const {
+  const InterfaceModel rank(width_bits(), chip_.clock, io);
+  return rank.dynamic_power_w(utilization);
+}
+
+double DiscreteSystem::energy_per_bit_j(const IoElectricals& io) const {
+  const InterfaceModel rank(width_bits(), chip_.clock, io);
+  return rank.energy_per_bit_j();
+}
+
+}  // namespace edsim::phy

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "phy/interface_model.hpp"
+
+namespace edsim::phy {
+
+/// A discrete memory device kind, reduced to the attributes that matter
+/// for system composition: per-chip capacity and interface width/clock.
+struct DiscreteChip {
+  Capacity capacity = Capacity::mbit(64);
+  unsigned interface_bits = 16;
+  Frequency clock{100.0};
+  std::string name = "64Mbit x16 SDRAM";
+};
+
+/// Composition of discrete chips to reach a target bus width — the §1
+/// granularity argument: "it would take 16 discrete 4-Mbit chips
+/// (organized as 256K x 16) to achieve the same width, so the granularity
+/// of such a discrete system is 64 Mbit."
+class DiscreteSystem {
+ public:
+  DiscreteSystem(DiscreteChip chip, unsigned target_width_bits);
+
+  unsigned chip_count() const { return chips_; }
+  unsigned width_bits() const;
+
+  /// Memory installed whether the application wants it or not.
+  Capacity installed_capacity() const { return chip_.capacity * chips_; }
+
+  /// The granularity: smallest capacity increment available (adding a
+  /// rank of `chips_` devices).
+  Capacity granularity() const { return installed_capacity(); }
+
+  /// Installed minus required (the "unnecessary but unavoidable extra
+  /// memory" of §4). `required` must be <= installed for a single rank.
+  Capacity overhead_for(Capacity required) const;
+
+  Bandwidth peak_bandwidth() const;
+
+  /// Interface power at a given utilization: every chip drives its own
+  /// off-chip pins.
+  double io_power_w(const IoElectricals& io, double utilization) const;
+
+  /// Energy per transported payload bit across the whole rank.
+  double energy_per_bit_j(const IoElectricals& io) const;
+
+  const DiscreteChip& chip() const { return chip_; }
+
+ private:
+  DiscreteChip chip_;
+  unsigned chips_;
+};
+
+}  // namespace edsim::phy

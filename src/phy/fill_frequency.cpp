@@ -1,0 +1,59 @@
+#include "phy/fill_frequency.hpp"
+
+#include "common/error.hpp"
+
+namespace edsim::phy {
+
+FillPoint embedded_fill_point(Capacity size, unsigned width_bits,
+                              Frequency clock) {
+  require(size.bit_count() > 0, "fill: size must be positive");
+  FillPoint p;
+  p.size = size;
+  p.width_bits = width_bits;
+  p.peak = peak_bandwidth(width_bits, clock);
+  p.fill_hz = fill_frequency_hz(p.peak, size);
+  return p;
+}
+
+FillPoint discrete_fill_point(const DiscreteChip& chip,
+                              unsigned target_width_bits) {
+  const DiscreteSystem sys(chip, target_width_bits);
+  FillPoint p;
+  p.size = sys.installed_capacity();
+  p.width_bits = sys.width_bits();
+  p.peak = sys.peak_bandwidth();
+  p.fill_hz = fill_frequency_hz(p.peak, p.size);
+  return p;
+}
+
+std::vector<FillComparison> fill_frequency_sweep(
+    const std::vector<unsigned>& sizes_mbit, unsigned embedded_width_bits,
+    Frequency embedded_clock, const DiscreteChip& chip,
+    unsigned discrete_width_bits) {
+  std::vector<FillComparison> out;
+  out.reserve(sizes_mbit.size());
+  for (unsigned m : sizes_mbit) {
+    FillComparison c;
+    c.requested = Capacity::mbit(m);
+    c.embedded =
+        embedded_fill_point(c.requested, embedded_width_bits, embedded_clock);
+
+    // Discrete: a rank wide enough for the bus; if the application needs
+    // more than one rank's capacity, add ranks (each adds capacity but the
+    // bus is shared, so bandwidth does not scale).
+    const DiscreteSystem rank(chip, discrete_width_bits);
+    const std::uint64_t rank_bits = rank.installed_capacity().bit_count();
+    const std::uint64_t need_bits = c.requested.bit_count();
+    const std::uint64_t ranks = (need_bits + rank_bits - 1) / rank_bits;
+    c.discrete.size = Capacity::bits(rank_bits * (ranks ? ranks : 1));
+    c.discrete.width_bits = rank.width_bits();
+    c.discrete.peak = rank.peak_bandwidth();
+    c.discrete.fill_hz = fill_frequency_hz(c.discrete.peak, c.discrete.size);
+
+    c.advantage = c.embedded.fill_hz / c.discrete.fill_hz;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace edsim::phy

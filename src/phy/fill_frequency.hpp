@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "phy/discrete_system.hpp"
+
+namespace edsim::phy {
+
+/// One point of a fill-frequency study (paper §1, footnote 2: fill
+/// frequency = bandwidth [Mbit/s] / size [Mbit] — how many times per
+/// second the memory can be completely rewritten).
+struct FillPoint {
+  Capacity size;
+  unsigned width_bits = 0;
+  Bandwidth peak;
+  double fill_hz = 0.0;
+};
+
+/// Fill frequency of an embedded module of `size` with the given
+/// interface.
+FillPoint embedded_fill_point(Capacity size, unsigned width_bits,
+                              Frequency clock);
+
+/// Fill frequency of the smallest discrete system (single rank of `chip`)
+/// that reaches `target_width_bits`; the achievable size is quantized to
+/// the rank capacity (granularity floor).
+FillPoint discrete_fill_point(const DiscreteChip& chip,
+                              unsigned target_width_bits);
+
+/// Sweep helper: embedded fill frequency across sizes (Mbit) at a fixed
+/// width, plus the discrete comparison at each size (discrete size is
+/// rounded up to its granularity).
+struct FillComparison {
+  Capacity requested;
+  FillPoint embedded;
+  FillPoint discrete;
+  double advantage = 0.0;  ///< embedded fill / discrete fill
+};
+std::vector<FillComparison> fill_frequency_sweep(
+    const std::vector<unsigned>& sizes_mbit, unsigned embedded_width_bits,
+    Frequency embedded_clock, const DiscreteChip& chip,
+    unsigned discrete_width_bits);
+
+}  // namespace edsim::phy

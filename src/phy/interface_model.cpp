@@ -1,0 +1,65 @@
+#include "phy/interface_model.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace edsim::phy {
+
+std::string IoElectricals::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "%.1f pF @ %.2f V, activity %.2f, ctl overhead %.0f%%",
+                load_pf, swing_v, activity, ctrl_overhead * 100.0);
+  return buf;
+}
+
+IoElectricals off_chip_board() {
+  IoElectricals io;
+  io.load_pf = 25.0;  // trace + package + input capacitance, multi-drop bus
+  io.swing_v = 3.3;   // LVTTL signalling of PC66/PC100 SDRAM
+  io.activity = 0.5;
+  io.ctrl_overhead = 0.25;
+  return io;
+}
+
+IoElectricals on_chip_wire() {
+  IoElectricals io;
+  io.load_pf = 4.0;  // a few mm of on-chip routing across a large macro (§1)
+  io.swing_v = 2.5;  // internal DRAM supply
+  io.activity = 0.5;
+  io.ctrl_overhead = 0.25;
+  return io;
+}
+
+InterfaceModel::InterfaceModel(unsigned width_bits, Frequency clock,
+                               IoElectricals io)
+    : width_bits_(width_bits), clock_(clock), io_(io) {
+  require(width_bits >= 1, "phy: width must be >= 1");
+  require(clock.mhz > 0.0, "phy: clock must be positive");
+  require(io.load_pf > 0.0 && io.swing_v > 0.0, "phy: bad electricals");
+  require(io.activity >= 0.0 && io.activity <= 1.0,
+          "phy: activity must be in [0,1]");
+}
+
+double InterfaceModel::energy_per_bit_j() const {
+  // One transported bit toggles its wire with probability `activity`;
+  // amortize the addr/ctl pins over the data payload.
+  const double e_wire = switching_energy_j(io_.load_pf * kPicofarad,
+                                           io_.swing_v);
+  return e_wire * io_.activity * (1.0 + io_.ctrl_overhead);
+}
+
+double InterfaceModel::dynamic_power_w(double utilization) const {
+  require(utilization >= 0.0 && utilization <= 1.0,
+          "phy: utilization must be in [0,1]");
+  const double bits_per_s =
+      static_cast<double>(width_bits_) * clock_.hz() * utilization;
+  return bits_per_s * energy_per_bit_j();
+}
+
+double InterfaceModel::transfer_energy_j(double bytes) const {
+  return bytes * 8.0 * energy_per_bit_j();
+}
+
+}  // namespace edsim::phy

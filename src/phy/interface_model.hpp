@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace edsim::phy {
+
+/// Electrical parameters of one memory-interface signal class.
+///
+/// The §1 power argument is pure C·V²·f physics: an off-chip driver sees a
+/// board trace + package + input load of tens of pF, an on-chip wire a
+/// couple of pF, so replacing the board interface with an internal bus
+/// divides interface power by roughly the capacitance ratio.
+struct IoElectricals {
+  double load_pf = 30.0;    ///< capacitive load per signal (pF)
+  double swing_v = 3.3;     ///< voltage swing (V)
+  double activity = 0.5;    ///< toggling probability per data pin per beat
+  double ctrl_overhead = 0.25;  ///< extra addr/ctl pins as fraction of data
+
+  std::string describe() const;
+};
+
+/// Off-chip: board trace + connector + DIMM loading, 3.3 V LVTTL era.
+IoElectricals off_chip_board();
+/// On-chip: short internal bus in a 0.24 um process, 2.5 V DRAM supply.
+IoElectricals on_chip_wire();
+
+/// Power/energy model for one memory interface of `width_bits` data
+/// signals clocked at `clock`.
+class InterfaceModel {
+ public:
+  InterfaceModel(unsigned width_bits, Frequency clock, IoElectricals io);
+
+  /// Energy to move a single data bit across the interface (J).
+  double energy_per_bit_j() const;
+
+  /// Dynamic power (W) at the given data-bus utilization in [0,1]
+  /// (fraction of beats carrying data). Control/address pins switch with
+  /// the same utilization, scaled by ctrl_overhead.
+  double dynamic_power_w(double utilization) const;
+
+  /// Energy (J) to transfer `bytes` of payload.
+  double transfer_energy_j(double bytes) const;
+
+  unsigned width_bits() const { return width_bits_; }
+  Frequency clock() const { return clock_; }
+  const IoElectricals& io() const { return io_; }
+  Bandwidth peak_bandwidth() const {
+    return edsim::peak_bandwidth(width_bits_, clock_);
+  }
+
+ private:
+  unsigned width_bits_;
+  Frequency clock_;
+  IoElectricals io_;
+};
+
+}  // namespace edsim::phy

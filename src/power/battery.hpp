@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/error.hpp"
+
+namespace edsim::power {
+
+/// Battery-life arithmetic for the §2 portables argument ("other things
+/// being equal, edram will find its way first into portable
+/// applications").
+struct BatteryModel {
+  double capacity_mwh = 24'000.0;  ///< late-90s laptop pack (~24 Wh)
+
+  /// Runtime in hours at a constant system draw.
+  double hours_at(double draw_mw) const {
+    require(draw_mw > 0.0, "battery: draw must be positive");
+    return capacity_mwh / draw_mw;
+  }
+
+  /// Extra runtime gained by shaving `saved_mw` off a `base_mw` system.
+  double extra_hours(double base_mw, double saved_mw) const {
+    require(saved_mw < base_mw, "battery: saving exceeds the total draw");
+    return hours_at(base_mw - saved_mw) - hours_at(base_mw);
+  }
+};
+
+}  // namespace edsim::power

@@ -1,0 +1,49 @@
+#include "power/energy_model.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace edsim::power {
+
+CoreEnergy core_energy_sdram_025um() {
+  // Representative quarter-micron SDRAM core: IDD numbers of the era
+  // translate to a few nJ per activation and ~2 pJ per bit through the
+  // column path.
+  return CoreEnergy{};
+}
+
+std::string PowerBreakdown::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "total %.1f mW (core %.1f, io %.1f, refresh %.1f, bg %.1f)",
+                total_mw(), core_mw, io_mw, refresh_mw, background_mw);
+  return buf;
+}
+
+PowerBreakdown DramPowerModel::evaluate(const dram::ControllerStats& s,
+                                        const dram::DramConfig& cfg) const {
+  require(s.cycles > 0, "power: no simulated cycles to evaluate");
+  const double seconds = static_cast<double>(s.cycles) / cfg.clock.hz();
+
+  PowerBreakdown p;
+  const double act_j = static_cast<double>(s.activations) *
+                       core_.act_nj(cfg.page_bytes) * 1e-9;
+  const double bits = static_cast<double>(s.bytes_transferred) * 8.0;
+  const double col_j = bits * core_.rdwr_pj_per_bit * 1e-12;
+  p.core_mw = (act_j + col_j) / seconds * 1e3;
+
+  const double ref_j =
+      static_cast<double>(s.refreshes) * core_.refresh_nj * 1e-9;
+  p.refresh_mw = ref_j / seconds * 1e3;
+
+  p.io_mw = bits * io_energy_per_bit_j_ / seconds * 1e3;
+  // Background power scales down while the device sits in power-down.
+  const double pd = s.powerdown_fraction();
+  p.background_mw =
+      core_.background_mw *
+      ((1.0 - pd) + pd * core_.powerdown_residual);
+  return p;
+}
+
+}  // namespace edsim::power

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+
+#include "dram/config.hpp"
+#include "dram/controller.hpp"
+
+namespace edsim::power {
+
+/// Per-operation core energies for a DRAM array. Calibrated to late-90s
+/// parts; the *ratios* (activation dominates random traffic, I/O dominates
+/// streaming off-chip traffic) drive the paper's arguments, not absolute
+/// joules.
+struct CoreEnergy {
+  /// Row activation+restore energy per kilobyte of page: activating a
+  /// row senses and rewrites the *whole* page, so the cost scales with
+  /// the §3 "page length" knob (see ablation a7).
+  double act_nj_per_kb_page = 3.0;
+  double rdwr_pj_per_bit = 2.0; ///< column-path energy per data bit
+  double refresh_nj = 12.0;     ///< one all-bank refresh command
+  double background_mw = 15.0;  ///< standby / leakage / clocking
+  /// Fraction of the background power still drawn in power-down (input
+  /// buffers off, DLL stopped; leakage remains).
+  double powerdown_residual = 0.10;
+
+  double act_nj(unsigned page_bytes) const {
+    return act_nj_per_kb_page * static_cast<double>(page_bytes) / 1024.0;
+  }
+};
+
+CoreEnergy core_energy_sdram_025um();
+
+/// Power breakdown for one channel over a measured window.
+struct PowerBreakdown {
+  double core_mw = 0.0;       ///< ACT + column-path energy
+  double refresh_mw = 0.0;
+  double io_mw = 0.0;
+  double background_mw = 0.0;
+  double total_mw() const {
+    return core_mw + refresh_mw + io_mw + background_mw;
+  }
+  std::string describe() const;
+};
+
+/// Combines controller statistics with the core-energy and interface
+/// models to produce a power breakdown.
+class DramPowerModel {
+ public:
+  DramPowerModel(CoreEnergy core, double io_energy_per_bit_j)
+      : core_(core), io_energy_per_bit_j_(io_energy_per_bit_j) {}
+
+  PowerBreakdown evaluate(const dram::ControllerStats& s,
+                          const dram::DramConfig& cfg) const;
+
+  const CoreEnergy& core() const { return core_; }
+
+ private:
+  CoreEnergy core_;
+  double io_energy_per_bit_j_;
+};
+
+}  // namespace edsim::power

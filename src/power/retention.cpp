@@ -1,0 +1,56 @@
+#include "power/retention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::power {
+
+double RetentionModel::retention_ms(double tj_c) const {
+  require(halving_step_c > 0.0, "retention: halving step must be positive");
+  const double steps = (tj_c - reference_temp_c) / halving_step_c;
+  return nominal_retention_ms * std::pow(0.5, steps);
+}
+
+double RetentionModel::refresh_scale(double tj_c) const {
+  const double scale = retention_ms(tj_c) / nominal_retention_ms;
+  return std::clamp(scale, 1.0 / 64.0, 64.0);
+}
+
+ThermalOperatingPoint ThermalLoop::solve(double base_power_w,
+                                         double refresh_power_at_nominal_w,
+                                         double refresh_overhead_at_nominal,
+                                         int max_iter) const {
+  require(base_power_w >= 0.0, "thermal loop: negative base power");
+  require(refresh_power_at_nominal_w >= 0.0,
+          "thermal loop: negative refresh power");
+  require(refresh_overhead_at_nominal >= 0.0 &&
+              refresh_overhead_at_nominal < 1.0,
+          "thermal loop: refresh overhead must be in [0,1)");
+
+  ThermalOperatingPoint op;
+  double scale = 1.0;
+  for (int i = 0; i < max_iter; ++i) {
+    // Refresh power and overhead grow as the interval shrinks (1/scale).
+    const double refresh_w = refresh_power_at_nominal_w / scale;
+    const double power = base_power_w + refresh_w;
+    const double tj = thermal_.junction_c(power);
+    const double new_scale = retention_.refresh_scale(tj);
+
+    op.junction_c = tj;
+    op.retention_ms = retention_.retention_ms(tj);
+    op.refresh_scale = new_scale;
+    op.refresh_overhead =
+        std::min(0.99, refresh_overhead_at_nominal / new_scale);
+    op.iterations = i + 1;
+    if (std::abs(new_scale - scale) < 1e-9) {
+      op.converged = true;
+      break;
+    }
+    scale = new_scale;
+  }
+  return op;
+}
+
+}  // namespace edsim::power

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "power/thermal.hpp"
+
+namespace edsim::power {
+
+/// DRAM cell retention vs. junction temperature. Retention roughly halves
+/// for every +10 C (leakage is thermally activated); the refresh period
+/// must track it, which costs bandwidth and power — the §1 feedback loop.
+struct RetentionModel {
+  double nominal_retention_ms = 64.0;  ///< guaranteed retention at ref temp
+  double reference_temp_c = 85.0;
+  double halving_step_c = 10.0;
+
+  /// Worst-case retention time (ms) at junction temperature `tj_c`.
+  double retention_ms(double tj_c) const;
+
+  /// Refresh-interval scale factor relative to nominal: 1.0 at the
+  /// reference temperature, < 1 when hotter (refresh more often). Clamped
+  /// to [1/64, 64] to keep the controller stable under absurd inputs.
+  double refresh_scale(double tj_c) const;
+};
+
+/// Closed-loop operating point: power heats the die, temperature shortens
+/// retention, refresh steals bandwidth and adds power. `solve` iterates to
+/// the fixpoint.
+struct ThermalOperatingPoint {
+  double junction_c = 0.0;
+  double retention_ms = 0.0;
+  double refresh_scale = 1.0;  ///< applied to tREFI
+  double refresh_overhead = 0.0;  ///< fraction of cycles spent refreshing
+  int iterations = 0;
+  bool converged = false;
+};
+
+class ThermalLoop {
+ public:
+  ThermalLoop(ThermalModel thermal, RetentionModel retention)
+      : thermal_(thermal), retention_(retention) {}
+
+  /// `base_power_w`: die power excluding refresh, assumed constant.
+  /// `refresh_power_at_nominal_w`: refresh power at nominal interval.
+  /// `refresh_overhead_at_nominal`: fraction of DRAM cycles consumed by
+  /// refresh at the nominal interval.
+  ThermalOperatingPoint solve(double base_power_w,
+                              double refresh_power_at_nominal_w,
+                              double refresh_overhead_at_nominal,
+                              int max_iter = 50) const;
+
+ private:
+  ThermalModel thermal_;
+  RetentionModel retention_;
+};
+
+}  // namespace edsim::power

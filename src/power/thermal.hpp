@@ -1,0 +1,20 @@
+#pragma once
+
+namespace edsim::power {
+
+/// First-order junction-temperature model: Tj = Ta + theta_ja * P.
+///
+/// §1: "Although the power consumption per system decreases, the power
+/// consumption per chip may increase. Therefore junction temperature may
+/// increase and DRAM retention time may decrease." The merged chip carries
+/// the logic's watts next to the DRAM array; this model quantifies that.
+struct ThermalModel {
+  double ambient_c = 45.0;      ///< inside-the-box ambient
+  double theta_ja_c_per_w = 25.0;  ///< package thermal resistance (C/W)
+
+  double junction_c(double power_w) const {
+    return ambient_c + theta_ja_c_per_w * power_w;
+  }
+};
+
+}  // namespace edsim::power

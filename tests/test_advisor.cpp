@@ -1,0 +1,105 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edsim::core {
+namespace {
+
+const AdvisorVerdict& find(const std::vector<AdvisorVerdict>& vs,
+                           const std::string& name) {
+  for (const auto& v : vs)
+    if (v.application == name) return v;
+  static AdvisorVerdict none;
+  ADD_FAILURE() << "application not found: " << name;
+  return none;
+}
+
+TEST(Advisor, PaperMarketsGetEdram) {
+  // §2: graphics (laptop first), HDD/printer controllers, network
+  // switches are the named eDRAM markets.
+  const Advisor advisor;
+  const auto verdicts = advisor.advise_all(paper_market_profiles());
+  EXPECT_TRUE(find(verdicts, "3D graphics (laptop)").recommend_edram);
+  EXPECT_TRUE(find(verdicts, "3D graphics (desktop)").recommend_edram);
+  EXPECT_TRUE(find(verdicts, "network switch").recommend_edram);
+  EXPECT_TRUE(find(verdicts, "printer controller").recommend_edram);
+  EXPECT_TRUE(find(verdicts, "HDD controller").recommend_edram);
+}
+
+TEST(Advisor, PcMainMemoryVetoed) {
+  // §2: "it is unlikely that edram will capture the PC market for main
+  // memory."
+  const Advisor advisor;
+  const auto verdicts = advisor.advise_all(paper_market_profiles());
+  const auto& pc = find(verdicts, "PC main memory");
+  EXPECT_FALSE(pc.recommend_edram);
+  EXPECT_LT(pc.score, 0.0);
+  ASSERT_FALSE(pc.reasons.empty());
+  EXPECT_NE(pc.reasons[0].find("upgrade path"), std::string::npos);
+}
+
+TEST(Advisor, UpgradePathIsAVetoNotAWeight) {
+  // Even a perfect eDRAM candidate dies on the upgrade-path requirement.
+  ApplicationProfile app;
+  app.name = "impossible";
+  app.volume_k_units_per_year = 100000;
+  app.memory = Capacity::mbit(128);
+  app.bandwidth_gbyte_s = 9.0;
+  app.portable = true;
+  app.needs_upgrade_path = true;
+  EXPECT_FALSE(Advisor{}.advise(app).recommend_edram);
+}
+
+TEST(Advisor, PortableTipsTheBalance) {
+  // §2: "other things being equal, edram will find its way first into
+  // portable applications."
+  ApplicationProfile base;
+  base.name = "borderline";
+  base.volume_k_units_per_year = 400;
+  base.product_lifetime_years = 1.0;
+  base.memory = Capacity::mbit(2);
+  base.bandwidth_gbyte_s = 1.2;
+  base.portable = false;
+  const double fixed_score = Advisor{}.advise(base).score;
+  base.portable = true;
+  const double portable_score = Advisor{}.advise(base).score;
+  EXPECT_GT(portable_score, fixed_score);
+}
+
+TEST(Advisor, BandwidthAloneCanJustify) {
+  // §2 rule: "either the memory content is high enough ... or edram is
+  // required for bandwidth or other reasons."
+  ApplicationProfile app;
+  app.name = "switch-like";
+  app.volume_k_units_per_year = 2000;
+  app.memory = Capacity::mbit(2);  // small memory
+  app.bandwidth_gbyte_s = 6.0;     // huge bandwidth
+  EXPECT_TRUE(Advisor{}.advise(app).recommend_edram);
+}
+
+TEST(Advisor, SmallSlowLowVolumeRejected) {
+  ApplicationProfile app;
+  app.name = "toy";
+  app.volume_k_units_per_year = 20;
+  app.product_lifetime_years = 1.0;
+  app.memory = Capacity::mbit(1);
+  app.bandwidth_gbyte_s = 0.05;
+  const auto v = Advisor{}.advise(app);
+  EXPECT_FALSE(v.recommend_edram);
+}
+
+TEST(Advisor, ReasonsAreProvided) {
+  const Advisor advisor;
+  for (const auto& v : advisor.advise_all(paper_market_profiles())) {
+    if (v.recommend_edram) {
+      EXPECT_FALSE(v.reasons.empty()) << v.application;
+    }
+  }
+}
+
+TEST(Advisor, ProfilesCoverTheEightMarkets) {
+  EXPECT_EQ(paper_market_profiles().size(), 8u);
+}
+
+}  // namespace
+}  // namespace edsim::core

@@ -1,0 +1,142 @@
+#include "core/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dram/presets.hpp"
+
+namespace edsim::core {
+namespace {
+
+dram::DramConfig cfg4() {
+  return dram::presets::edram_module(16, 64, 4, 2048);
+}
+
+std::vector<TrafficBuffer> four_hot() {
+  // 4 equally hot buffers, each 256 KB (bank = 512 KB here).
+  return {
+      {"a", Capacity::bytes(256 << 10), 1.0},
+      {"b", Capacity::bytes(256 << 10), 1.0},
+      {"c", Capacity::bytes(256 << 10), 1.0},
+      {"d", Capacity::bytes(256 << 10), 1.0},
+  };
+}
+
+TEST(Allocation, GreedySpreadsHotBuffers) {
+  const AllocationPlan p = allocate_banks(four_hot(), cfg4());
+  ASSERT_TRUE(p.feasible);
+  EXPECT_DOUBLE_EQ(p.conflict_cost, 0.0);  // one per bank
+  std::set<unsigned> banks;
+  for (const auto& pl : p.placements) banks.insert(pl.bank);
+  EXPECT_EQ(banks.size(), 4u);
+}
+
+TEST(Allocation, NaivePacksAndConflicts) {
+  const AllocationPlan p = allocate_banks_naive(four_hot(), cfg4());
+  ASSERT_TRUE(p.feasible);
+  EXPECT_GT(p.conflict_cost, 0.0);  // two share bank 0, two share bank 1
+  EXPECT_EQ(p.placements[0].bank, p.placements[1].bank);
+}
+
+TEST(Allocation, GreedyMatchesOptimalOnRandomInstances) {
+  Rng rng(19);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<TrafficBuffer> buffers;
+    const unsigned n = 3 + static_cast<unsigned>(rng.next_below(4));
+    for (unsigned i = 0; i < n; ++i) {
+      buffers.push_back({"b" + std::to_string(i),
+                         Capacity::bytes(64 << 10),
+                         0.1 + rng.next_double()});
+    }
+    const AllocationPlan g = allocate_banks(buffers, cfg4());
+    const AllocationPlan o = allocate_banks_optimal(buffers, cfg4());
+    ASSERT_TRUE(g.feasible);
+    ASSERT_TRUE(o.feasible);
+    // Greedy on conflict-graph colouring is not always optimal, but with
+    // <= #banks+3 buffers it should stay close; and never below optimal.
+    EXPECT_GE(g.conflict_cost, o.conflict_cost - 1e-12);
+    EXPECT_LE(g.conflict_cost, o.conflict_cost + 1.0);
+  }
+}
+
+TEST(Allocation, CapacityRespected) {
+  // Three buffers of 384 KB cannot share a 512 KB bank pairwise.
+  std::vector<TrafficBuffer> buffers = {
+      {"x", Capacity::bytes(384 << 10), 1.0},
+      {"y", Capacity::bytes(384 << 10), 1.0},
+      {"z", Capacity::bytes(384 << 10), 1.0},
+  };
+  const AllocationPlan p = allocate_banks(buffers, cfg4());
+  ASSERT_TRUE(p.feasible);
+  std::set<unsigned> banks;
+  for (const auto& pl : p.placements) banks.insert(pl.bank);
+  EXPECT_EQ(banks.size(), 3u);
+}
+
+TEST(Allocation, BasesAreBankContiguousAndDisjoint) {
+  std::vector<TrafficBuffer> buffers = {
+      {"p", Capacity::bytes(100 << 10), 0.1},
+      {"q", Capacity::bytes(100 << 10), 0.1},
+      {"r", Capacity::bytes(100 << 10), 5.0},
+  };
+  const dram::DramConfig cfg = cfg4();
+  const std::uint64_t per_bank =
+      static_cast<std::uint64_t>(cfg.rows_per_bank) * cfg.page_bytes;
+  const AllocationPlan p = allocate_banks(buffers, cfg);
+  ASSERT_TRUE(p.feasible);
+  for (const auto& pl : p.placements) {
+    EXPECT_EQ(pl.base / per_bank, pl.bank);
+    EXPECT_LE(pl.base % per_bank + pl.buffer.size.byte_count(), per_bank);
+  }
+  // Disjoint ranges.
+  for (std::size_t i = 0; i < p.placements.size(); ++i) {
+    for (std::size_t j = i + 1; j < p.placements.size(); ++j) {
+      const auto& a = p.placements[i];
+      const auto& b = p.placements[j];
+      const bool disjoint =
+          a.base + a.buffer.size.byte_count() <= b.base ||
+          b.base + b.buffer.size.byte_count() <= a.base;
+      EXPECT_TRUE(disjoint) << a.buffer.name << " vs " << b.buffer.name;
+    }
+  }
+}
+
+TEST(Allocation, InfeasibleWhenOversubscribed) {
+  std::vector<TrafficBuffer> buffers;
+  for (int i = 0; i < 9; ++i) {
+    buffers.push_back({"big" + std::to_string(i),
+                       Capacity::bytes(300 << 10), 1.0});
+  }
+  // 9 x 300 KB into 4 x 512 KB banks: does not fit.
+  EXPECT_FALSE(allocate_banks(buffers, cfg4()).feasible);
+}
+
+TEST(Allocation, RejectsBufferLargerThanBank) {
+  std::vector<TrafficBuffer> buffers = {
+      {"huge", Capacity::mbit(8), 1.0}};  // 1 MB > 512 KB bank
+  EXPECT_THROW(allocate_banks(buffers, cfg4()), edsim::ConfigError);
+}
+
+TEST(Allocation, FindByName) {
+  const AllocationPlan p = allocate_banks(four_hot(), cfg4());
+  ASSERT_NE(p.find("c"), nullptr);
+  EXPECT_EQ(p.find("zz"), nullptr);
+}
+
+TEST(Allocation, ConflictCostDefinition) {
+  const std::vector<TrafficBuffer> buffers = {
+      {"a", Capacity::kbit(8), 2.0},
+      {"b", Capacity::kbit(8), 3.0},
+      {"c", Capacity::kbit(8), 4.0},
+  };
+  // a,b in bank 0; c alone: cost = 2*3 = 6.
+  EXPECT_DOUBLE_EQ(conflict_cost(buffers, {0, 0, 1}, 4), 6.0);
+  // All together: 2*3 + 2*4 + 3*4 = 26.
+  EXPECT_DOUBLE_EQ(conflict_cost(buffers, {2, 2, 2}, 4), 26.0);
+}
+
+}  // namespace
+}  // namespace edsim::core

@@ -1,0 +1,95 @@
+#include "clients/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+namespace {
+
+TEST(RoundRobin, CyclesThroughReadyClients) {
+  RoundRobinArbiter a;
+  const std::vector<bool> all{true, true, true};
+  EXPECT_EQ(a.pick(all), 0u);
+  EXPECT_EQ(a.pick(all), 1u);
+  EXPECT_EQ(a.pick(all), 2u);
+  EXPECT_EQ(a.pick(all), 0u);
+}
+
+TEST(RoundRobin, SkipsNotReady) {
+  RoundRobinArbiter a;
+  EXPECT_EQ(a.pick({false, true, false}), 1u);
+  EXPECT_EQ(a.pick({true, false, true}), 2u);  // pointer advanced past 1
+  EXPECT_EQ(a.pick({true, false, false}), 0u);
+}
+
+TEST(RoundRobin, NoneReady) {
+  RoundRobinArbiter a;
+  EXPECT_EQ(a.pick({false, false}), Arbiter::kNone);
+}
+
+TEST(FixedPriority, LowestIndexWins) {
+  FixedPriorityArbiter a;
+  EXPECT_EQ(a.pick({false, true, true}), 1u);
+  EXPECT_EQ(a.pick({true, true, true}), 0u);
+  EXPECT_EQ(a.pick({false, false, false}), Arbiter::kNone);
+}
+
+TEST(Weighted, SharesConvergeToWeights) {
+  WeightedArbiter a({3.0, 1.0});
+  const std::vector<bool> ready{true, true};
+  std::uint64_t grants[2] = {0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t w = a.pick(ready);
+    ASSERT_NE(w, Arbiter::kNone);
+    ++grants[w];
+    a.granted(w, 64);
+  }
+  const double share0 = static_cast<double>(grants[0]) /
+                        static_cast<double>(grants[0] + grants[1]);
+  EXPECT_NEAR(share0, 0.75, 0.02);
+}
+
+TEST(Weighted, BacklogRepaysStarvedClient) {
+  WeightedArbiter a({1.0, 1.0});
+  // Client 1 idle for a while: client 0 gets everything.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.pick({true, false}), 0u);
+    a.granted(0, 64);
+  }
+  // When client 1 wakes, its accrued credit wins repeatedly.
+  int wins1 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t w = a.pick({true, true});
+    if (w == 1) ++wins1;
+    a.granted(w, 64);
+  }
+  EXPECT_GT(wins1, 90);
+}
+
+TEST(Weighted, RejectsBadConstruction) {
+  EXPECT_THROW(WeightedArbiter({}), edsim::ConfigError);
+  EXPECT_THROW(WeightedArbiter({1.0, 0.0}), edsim::ConfigError);
+  EXPECT_THROW(WeightedArbiter({1.0, -2.0}), edsim::ConfigError);
+}
+
+TEST(Weighted, RejectsSizeMismatch) {
+  WeightedArbiter a({1.0, 1.0});
+  EXPECT_THROW(a.pick({true}), edsim::ConfigError);
+  EXPECT_THROW(a.granted(5, 64), edsim::ConfigError);
+}
+
+TEST(Factory, MakesRequestedKinds) {
+  EXPECT_NE(dynamic_cast<RoundRobinArbiter*>(
+                Arbiter::make(ArbiterKind::kRoundRobin).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<FixedPriorityArbiter*>(
+                Arbiter::make(ArbiterKind::kFixedPriority).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<WeightedArbiter*>(
+                Arbiter::make(ArbiterKind::kWeighted, {1.0, 2.0}).get()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace edsim::clients

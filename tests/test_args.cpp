@@ -1,0 +1,57 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim {
+namespace {
+
+Args make(std::vector<const char*> argv,
+          std::vector<std::string> bools = {}) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data(), bools);
+}
+
+TEST(Args, KeyValuePairs) {
+  const Args a = make({"--width", "256", "--preset", "edram"});
+  EXPECT_TRUE(a.has("width"));
+  EXPECT_EQ(a.get_u64("width", 0), 256u);
+  EXPECT_EQ(a.get("preset"), "edram");
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(a.get_u64("missing", 7), 7u);
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args a = make({"--width=512", "--ratio=0.5"});
+  EXPECT_EQ(a.get_u64("width", 0), 512u);
+  EXPECT_DOUBLE_EQ(a.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(Args, PositionalCollected) {
+  const Args a = make({"--k", "v", "file1", "file2"});
+  EXPECT_EQ(a.positional(),
+            (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(Args, BooleanFlags) {
+  const Args a = make({"--verbose", "input.txt"}, {"verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.positional().size(), 1u);
+}
+
+TEST(Args, HexNumbers) {
+  const Args a = make({"--addr", "0x1000"});
+  EXPECT_EQ(a.get_u64("addr", 0), 0x1000u);
+}
+
+TEST(Args, Errors) {
+  EXPECT_THROW(make({"--width"}), ConfigError);       // missing value
+  EXPECT_THROW(make({"--"}), ConfigError);            // bare dashes
+  const Args a = make({"--n", "abc"});
+  EXPECT_THROW(a.get_u64("n", 0), ConfigError);
+  EXPECT_THROW(a.get_double("n", 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim

@@ -1,0 +1,98 @@
+#include "dram/bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hpp"
+
+namespace edsim::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest() : t_(timing_edram_7ns()), bank_(t_) {}
+  TimingParams t_;
+  Bank bank_;
+};
+
+TEST_F(BankTest, StartsIdle) {
+  EXPECT_EQ(bank_.state(), Bank::State::kIdle);
+  EXPECT_FALSE(bank_.has_open_row());
+  EXPECT_TRUE(bank_.can_issue(Command::kActivate, 0));
+  EXPECT_FALSE(bank_.can_issue(Command::kRead, 0));
+  EXPECT_FALSE(bank_.can_issue(Command::kPrecharge, 0));
+}
+
+TEST_F(BankTest, ActivateOpensRowAndEnforcesTrcd) {
+  bank_.issue(Command::kActivate, 42, 100);
+  EXPECT_TRUE(bank_.has_open_row());
+  EXPECT_EQ(bank_.open_row(), 42u);
+  EXPECT_FALSE(bank_.can_issue(Command::kRead, 100 + t_.tRCD - 1));
+  EXPECT_TRUE(bank_.can_issue(Command::kRead, 100 + t_.tRCD));
+}
+
+TEST_F(BankTest, TrasGuardsPrecharge) {
+  bank_.issue(Command::kActivate, 0, 0);
+  EXPECT_FALSE(bank_.can_issue(Command::kPrecharge, t_.tRAS - 1));
+  EXPECT_TRUE(bank_.can_issue(Command::kPrecharge, t_.tRAS));
+}
+
+TEST_F(BankTest, TrcGuardsNextActivate) {
+  bank_.issue(Command::kActivate, 0, 0);
+  bank_.issue(Command::kPrecharge, 0, t_.tRAS);
+  // Next ACT must wait for both tRC (from ACT) and tRP (from PRE).
+  const std::uint64_t earliest = bank_.earliest(Command::kActivate);
+  EXPECT_GE(earliest, static_cast<std::uint64_t>(t_.tRC));
+  EXPECT_GE(earliest, t_.tRAS + static_cast<std::uint64_t>(t_.tRP));
+  EXPECT_FALSE(bank_.can_issue(Command::kActivate, earliest - 1));
+  bank_.issue(Command::kActivate, 1, earliest);
+  EXPECT_EQ(bank_.open_row(), 1u);
+}
+
+TEST_F(BankTest, ReadPushesBackPrecharge) {
+  bank_.issue(Command::kActivate, 0, 0);
+  const std::uint64_t rd_cycle = t_.tRCD;
+  bank_.issue(Command::kRead, 0, rd_cycle);
+  // PRE must wait until the burst drains.
+  EXPECT_GE(bank_.earliest(Command::kPrecharge),
+            rd_cycle + t_.burst_length);
+}
+
+TEST_F(BankTest, WriteRecoveryBlocksPrecharge) {
+  bank_.issue(Command::kActivate, 0, 0);
+  const std::uint64_t wr_cycle = t_.tRCD;
+  bank_.issue(Command::kWrite, 0, wr_cycle);
+  const std::uint64_t expected =
+      wr_cycle + t_.tWL + t_.burst_length + t_.tWR;
+  EXPECT_GE(bank_.earliest(Command::kPrecharge), expected);
+}
+
+TEST_F(BankTest, ConsecutiveColumnCommandsSpacedByTccd) {
+  bank_.issue(Command::kActivate, 0, 0);
+  bank_.issue(Command::kRead, 0, t_.tRCD);
+  EXPECT_FALSE(bank_.can_issue(Command::kRead, t_.tRCD));
+  EXPECT_TRUE(bank_.can_issue(Command::kRead, t_.tRCD + t_.tCCD));
+}
+
+TEST_F(BankTest, RefreshHoldsBankForTrfc) {
+  bank_.issue(Command::kRefresh, 0, 10);
+  EXPECT_EQ(bank_.state(), Bank::State::kIdle);
+  EXPECT_FALSE(bank_.can_issue(Command::kActivate, 10 + t_.tRFC - 1));
+  EXPECT_TRUE(bank_.can_issue(Command::kActivate, 10 + t_.tRFC));
+}
+
+TEST_F(BankTest, StatsCountCommands) {
+  bank_.issue(Command::kActivate, 0, 0);
+  bank_.issue(Command::kPrecharge, 0, t_.tRAS);
+  bank_.issue(Command::kActivate, 1, t_.tRC);
+  EXPECT_EQ(bank_.activations(), 2u);
+  EXPECT_EQ(bank_.precharges(), 1u);
+}
+
+TEST(BankCommands, ToString) {
+  EXPECT_STREQ(to_string(Command::kActivate), "ACT");
+  EXPECT_STREQ(to_string(Command::kRefresh), "REF");
+  EXPECT_STREQ(to_string(AccessType::kRead), "R");
+}
+
+}  // namespace
+}  // namespace edsim::dram

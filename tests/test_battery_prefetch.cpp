@@ -1,0 +1,83 @@
+// Battery-life model (§2 portables) and the L2 next-line prefetcher
+// (§4.2 cache-depth mitigation).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "cpu/core_model.hpp"
+#include "cpu/memory_backend.hpp"
+#include "power/battery.hpp"
+
+namespace edsim {
+namespace {
+
+TEST(Battery, BasicArithmetic) {
+  power::BatteryModel b;
+  b.capacity_mwh = 24'000.0;
+  EXPECT_DOUBLE_EQ(b.hours_at(8000.0), 3.0);
+  EXPECT_THROW(b.hours_at(0.0), ConfigError);
+}
+
+TEST(Battery, InterfacePowerSavingExtendsRuntime) {
+  // A laptop drawing 8 W whose discrete memory interface burns 1.2 W;
+  // eDRAM cuts that by ~10x (E1): ~0.4 h of extra runtime.
+  power::BatteryModel b;
+  const double saved_mw = 1200.0 * (1.0 - 1.0 / 10.9);
+  const double extra = b.extra_hours(8000.0, saved_mw);
+  EXPECT_GT(extra, 0.35);
+  EXPECT_LT(extra, 0.55);
+  EXPECT_THROW(b.extra_hours(1000.0, 2000.0), ConfigError);
+}
+
+TEST(Prefetch, HelpsStreamingWorkloads) {
+  cpu::WorkloadParams w;
+  w.instructions = 80'000;
+  w.memory_fraction = 0.3;
+  w.pattern = cpu::WorkloadParams::Pattern::kStream;
+  w.footprint_bytes = 4 << 20;
+
+  cpu::CoreConfig base;
+  cpu::CoreConfig pf = base;
+  pf.l2_next_line_prefetch = true;
+
+  cpu::MemoryBackend m1(cpu::off_chip_backend_params());
+  cpu::MemoryBackend m2(cpu::off_chip_backend_params());
+  const auto r_base = cpu::CoreModel(base).run(w, m1);
+  const auto r_pf = cpu::CoreModel(pf).run(w, m2);
+  EXPECT_LT(r_pf.cpi, r_base.cpi * 0.8);
+}
+
+TEST(Prefetch, CostsEnergyOnRandomWorkloads) {
+  cpu::WorkloadParams w;
+  w.instructions = 60'000;
+  w.memory_fraction = 0.3;
+  w.pattern = cpu::WorkloadParams::Pattern::kRandom;
+  w.footprint_bytes = 4 << 20;
+
+  cpu::CoreConfig base;
+  cpu::CoreConfig pf = base;
+  pf.l2_next_line_prefetch = true;
+
+  cpu::MemoryBackend m1(cpu::off_chip_backend_params());
+  cpu::MemoryBackend m2(cpu::off_chip_backend_params());
+  const auto r_base = cpu::CoreModel(base).run(w, m1);
+  const auto r_pf = cpu::CoreModel(pf).run(w, m2);
+  // Useless next-line fetches on random traffic burn extra memory energy.
+  EXPECT_GT(r_pf.memory_energy_j, r_base.memory_energy_j * 1.3);
+  // And cannot beat the baseline CPI by much, if at all.
+  EXPECT_GT(r_pf.cpi, r_base.cpi * 0.9);
+}
+
+TEST(Prefetch, DoesNotChangeCorrectnessCounters) {
+  cpu::WorkloadParams w;
+  w.instructions = 30'000;
+  cpu::CoreConfig pf;
+  pf.l2_next_line_prefetch = true;
+  cpu::MemoryBackend m(cpu::merged_edram_backend_params());
+  const auto r = cpu::CoreModel(pf).run(w, m);
+  EXPECT_GT(r.memory_accesses, 0u);
+  EXPECT_GE(r.l1_misses, r.l2_misses);
+}
+
+}  // namespace
+}  // namespace edsim

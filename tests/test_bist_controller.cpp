@@ -1,0 +1,85 @@
+#include "bist/bist_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+namespace {
+
+TEST(Bist, FaultFreePasses) {
+  BistController bist({143.0, 16});
+  MemoryArray a(16, 16);
+  const auto run = bist.run(a, march_c_minus());
+  EXPECT_TRUE(run.pass);
+  EXPECT_GT(run.cycles, 0u);
+}
+
+TEST(Bist, FaultChangesSignature) {
+  BistController bist({143.0, 16});
+  MemoryArray good(16, 16);
+  MemoryArray bad(16, 16);
+  bad.inject(make_stuck_at({5, 5}, true));
+  const auto g = bist.run(good, march_c_minus());
+  const auto b = bist.run(bad, march_c_minus());
+  EXPECT_TRUE(g.pass);
+  EXPECT_FALSE(b.pass);
+  EXPECT_NE(g.signature, b.signature);
+}
+
+TEST(Bist, SignatureDeterministic) {
+  BistController bist({143.0, 16});
+  MemoryArray a(16, 16), b(16, 16);
+  EXPECT_EQ(bist.run(a, march_x()).signature,
+            bist.run(b, march_x()).signature);
+}
+
+TEST(Bist, GoldenSignatureDependsOnGeometryAndTest) {
+  BistController bist({143.0, 16});
+  EXPECT_NE(bist.golden_signature(16, 16, march_x()),
+            bist.golden_signature(16, 16, march_c_minus()));
+  EXPECT_NE(bist.golden_signature(16, 16, march_x()),
+            bist.golden_signature(32, 16, march_x()));
+}
+
+TEST(Bist, ParallelismShortensTestTime) {
+  MemoryArray a1(64, 64), a16(64, 64);
+  const auto slow = BistController({143.0, 1}).run(a1, march_c_minus());
+  const auto fast = BistController({143.0, 16}).run(a16, march_c_minus());
+  EXPECT_NEAR(static_cast<double>(slow.cycles) /
+                  static_cast<double>(fast.cycles),
+              16.0, 0.1);
+  EXPECT_LT(fast.seconds, slow.seconds);
+}
+
+TEST(Bist, PauseTimeNotShortenedByParallelism) {
+  // Retention pauses are wall-clock: parallelism cannot compress them
+  // (§6: "DRAM test programs include a lot of waiting").
+  MemoryArray a1(16, 16), a2(16, 16);
+  const auto narrow = BistController({143.0, 1}).run(a1, retention_test(100.0));
+  const auto wide = BistController({143.0, 64}).run(a2, retention_test(100.0));
+  EXPECT_GT(narrow.seconds, 0.2);
+  EXPECT_GT(wide.seconds, 0.2);  // floor at 2 x 100 ms
+}
+
+TEST(Bist, DetectsEveryFaultClassViaSignature) {
+  Rng rng(23);
+  BistController bist({143.0, 8});
+  for (FaultKind k :
+       {FaultKind::kStuckAt0, FaultKind::kStuckAt1, FaultKind::kTransitionUp,
+        FaultKind::kTransitionDown, FaultKind::kCouplingInversion}) {
+    for (int i = 0; i < 10; ++i) {
+      MemoryArray a(16, 16);
+      a.inject(random_fault(rng, k, 16, 16));
+      EXPECT_FALSE(bist.run(a, march_c_minus()).pass) << to_string(k);
+    }
+  }
+}
+
+TEST(Bist, RejectsBadConfig) {
+  EXPECT_THROW(BistController({0.0, 16}), edsim::ConfigError);
+  EXPECT_THROW(BistController({143.0, 0}), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::bist

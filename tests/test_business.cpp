@@ -1,0 +1,81 @@
+#include "core/business.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::core {
+namespace {
+
+SystemConfig embedded16() {
+  SystemConfig s;
+  s.integration = Integration::kEmbedded;
+  s.required_memory = Capacity::mbit(16);
+  s.interface_bits = 256;
+  return s;
+}
+
+SystemConfig discrete16() {
+  SystemConfig s;
+  s.integration = Integration::kDiscrete;
+  s.required_memory = Capacity::mbit(16);
+  s.interface_bits = 64;
+  return s;
+}
+
+TEST(Business, NreStructure) {
+  const NreParams nre;
+  EXPECT_GT(nre.embedded_total(), nre.discrete_total());
+  EXPECT_NEAR(nre.embedded_total() - nre.discrete_total(),
+              nre.edram_mask_extra_usd + nre.edram_enablement_usd, 1e-9);
+}
+
+TEST(Business, CrossoverArithmetic) {
+  VolumeEconomics v;
+  v.embedded_unit_usd = 8.0;
+  v.discrete_unit_usd = 30.0;
+  v.embedded_nre_usd = 900'000.0;
+  v.discrete_nre_usd = 430'000.0;
+  // (900k - 430k) / (30 - 8) ≈ 21.4k units.
+  EXPECT_NEAR(v.crossover_units(), 470'000.0 / 22.0, 1.0);
+  EXPECT_GT(v.embedded_total(1'000), v.discrete_total(1'000));
+  EXPECT_LT(v.embedded_total(1'000'000), v.discrete_total(1'000'000));
+  // Totals cross exactly at the crossover.
+  const double x = v.crossover_units();
+  EXPECT_NEAR(v.embedded_total(x), v.discrete_total(x), 1.0);
+}
+
+TEST(Business, NoCrossoverWhenEmbeddedUnitIsNotCheaper) {
+  VolumeEconomics v;
+  v.embedded_unit_usd = 30.0;
+  v.discrete_unit_usd = 8.0;
+  EXPECT_TRUE(std::isinf(v.crossover_units()));
+}
+
+TEST(Business, SixteenMbitAppCrossesInTensOfThousands) {
+  // The §2 "volume is usually high" rule quantified: with a 16-Mbit
+  // requirement, the granularity waste makes the discrete unit cost high
+  // and the crossover lands well inside a consumer product's lifetime
+  // volume.
+  const VolumeEconomics v = compare_volume_economics(
+      embedded16(), discrete16(), /*memory_area_mm2=*/16.2,
+      /*logic_area_mm2=*/12.5);
+  EXPECT_LT(v.embedded_unit_usd, v.discrete_unit_usd);
+  const double crossover = v.crossover_units();
+  EXPECT_GT(crossover, 5'000.0);
+  EXPECT_LT(crossover, 100'000.0);
+}
+
+TEST(Business, Validation) {
+  EXPECT_THROW(compare_volume_economics(discrete16(), discrete16(), 16.0,
+                                        12.0),
+               edsim::ConfigError);
+  EXPECT_THROW(compare_volume_economics(embedded16(), embedded16(), 16.0,
+                                        12.0),
+               edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::core

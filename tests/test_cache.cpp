@@ -1,0 +1,124 @@
+#include "cpu/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace edsim::cpu {
+namespace {
+
+TEST(Cache, ColdMissesThenHits) {
+  Cache c({1024, 32, 2});
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(31, false).hit);   // same line
+  EXPECT_FALSE(c.access(32, false).hit);  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, 64-byte sets (2 lines of 32): three lines mapping to one set.
+  Cache c({64, 32, 2});  // exactly 1 set
+  c.access(0, false);    // A
+  c.access(32, false);   // B
+  c.access(0, false);    // touch A: B becomes LRU
+  c.access(64, false);   // C evicts B
+  EXPECT_TRUE(c.access(0, false).hit);    // A survives
+  EXPECT_FALSE(c.access(32, false).hit);  // B was evicted
+}
+
+TEST(Cache, DirtyEvictionSignalsWriteback) {
+  Cache c({64, 32, 2});
+  c.access(0, true);  // dirty A
+  c.access(32, false);
+  const auto res = c.access(64, false);  // evicts A (LRU, dirty)
+  EXPECT_TRUE(res.writeback);
+  EXPECT_EQ(res.victim_addr, 0u);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache c({64, 32, 2});
+  c.access(0, false);
+  c.access(32, false);
+  EXPECT_FALSE(c.access(64, false).writeback);
+}
+
+TEST(Cache, WriteHitMakesLineDirty) {
+  Cache c({64, 32, 2});
+  c.access(0, false);
+  c.access(0, true);  // hit, now dirty
+  c.access(32, false);
+  const auto res = c.access(64, false);
+  EXPECT_TRUE(res.writeback);
+}
+
+TEST(Cache, VictimAddressReconstruction) {
+  Cache c({4096, 64, 1});  // direct mapped, 64 sets
+  const std::uint64_t addr = 0x12340;
+  c.access(addr, true);
+  // Conflicting address: same set, different tag.
+  const auto res = c.access(addr + 4096, false);
+  EXPECT_TRUE(res.writeback);
+  EXPECT_EQ(res.victim_addr, addr - addr % 64);
+}
+
+TEST(Cache, HitRateOnSmallWorkingSet) {
+  Cache c({16 * 1024, 32, 2});
+  Rng rng(7);
+  for (int i = 0; i < 50'000; ++i) {
+    c.access(rng.next_below(8 * 1024), false);  // fits entirely
+  }
+  EXPECT_GT(c.hit_rate(), 0.98);
+}
+
+TEST(Cache, ThrashingLargeWorkingSet) {
+  Cache c({1024, 32, 2});
+  Rng rng(8);
+  for (int i = 0; i < 50'000; ++i) {
+    c.access(rng.next_below(1 << 20), false);
+  }
+  EXPECT_LT(c.hit_rate(), 0.05);
+}
+
+TEST(Cache, InvalidateAllResetsContents) {
+  Cache c({1024, 32, 2});
+  c.access(0, false);
+  c.invalidate_all();
+  EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(CacheConfig, Validation) {
+  EXPECT_THROW(CacheConfig({1000, 32, 2}).validate(), edsim::ConfigError);
+  EXPECT_THROW(CacheConfig({1024, 12, 2}).validate(), edsim::ConfigError);
+  EXPECT_THROW(CacheConfig({1024, 32, 0}).validate(), edsim::ConfigError);
+  EXPECT_NO_THROW(CacheConfig({1024, 32, 2}).validate());
+}
+
+class AssociativitySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AssociativitySweep, ConflictMissesShrinkWithWays) {
+  // Fixed size, growing associativity: a pathological stride that thrashes
+  // a direct-mapped cache stops missing once ways >= distinct lines.
+  const unsigned ways = GetParam();
+  Cache c({8192, 64, ways});
+  // 4 addresses all mapping to set 0 of the direct-mapped layout.
+  const std::uint64_t stride = 8192 / ways * ways;  // = 8192
+  std::uint64_t hits = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      if (c.access(i * stride, false).hit) ++hits;
+    }
+  }
+  if (ways >= 4) {
+    EXPECT_GE(hits, 390u);  // everything after the cold round hits
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssociativitySweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace edsim::cpu

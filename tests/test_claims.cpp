@@ -1,0 +1,123 @@
+// Reproduction guards: fast versions of the headline paper claims, run
+// as part of ctest so a regression anywhere in the model stack shows up
+// as a failing claim, not just a drifted bench table. Each test names
+// the paper section it protects.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+#include "core/business.hpp"
+#include "core/evaluator.hpp"
+#include "cpu/trend.hpp"
+#include "modulegen/floorplan.hpp"
+#include "modulegen/module_compiler.hpp"
+#include "mpeg/decoder_model.hpp"
+#include "phy/discrete_system.hpp"
+#include "phy/interface_model.hpp"
+
+namespace edsim {
+namespace {
+
+TEST(PaperClaims, S1_InterfacePowerRatioAboutTen) {
+  // §1: discrete SDRAM system ~10x the interface power of eDRAM.
+  const phy::InterfaceModel off(16, Frequency{100.0}, phy::off_chip_board());
+  const phy::InterfaceModel on(256, Frequency{143.0}, phy::on_chip_wire());
+  const double ratio = off.energy_per_bit_j() / on.energy_per_bit_j();
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(PaperClaims, S1_GranularitySixteenChipsSixtyFourMbit) {
+  // §1: 16 discrete 4-Mbit chips for a 256-bit bus -> 64 Mbit floor.
+  phy::DiscreteChip chip;
+  chip.capacity = Capacity::mbit(4);
+  chip.interface_bits = 16;
+  const phy::DiscreteSystem sys(chip, 256);
+  EXPECT_EQ(sys.chip_count(), 16u);
+  EXPECT_EQ(sys.installed_capacity(), Capacity::mbit(64));
+}
+
+TEST(PaperClaims, S1_FeasibilityEnvelope) {
+  // §1: 128 Mbit + 500 kgates feasible in quarter micron.
+  modulegen::ChipSpec spec;
+  modulegen::ModuleSpec m;
+  m.capacity = Capacity::mbit(128);
+  m.interface_bits = 512;
+  m.banks = 8;
+  m.page_bytes = 2048;
+  spec.modules = {m};
+  spec.logic_kgates = 500.0;
+  EXPECT_TRUE(modulegen::plan_chip(spec).feasible);
+}
+
+TEST(PaperClaims, S41_MpegNumbers) {
+  // §4.1: PAL 4.75 Mbit, NTSC 3.96 Mbit, 16-Mbit budget, ~3-Mbit saving.
+  EXPECT_NEAR(mpeg::pal().frame_capacity().as_mbit(), 4.75, 0.005);
+  EXPECT_NEAR(mpeg::ntsc().frame_capacity().as_mbit(), 3.96, 0.005);
+  mpeg::DecoderConfig dc;
+  dc.format = mpeg::pal();
+  const mpeg::DecoderModel m(dc);
+  EXPECT_TRUE(m.fits_16mbit());
+  EXPECT_NEAR(m.total_footprint().as_mbit(), 16.0, 0.05);
+  EXPECT_NEAR(m.output_buffer_saving().as_mbit(), 3.16, 0.2);
+}
+
+TEST(PaperClaims, S42_GapAndIramBandwidth) {
+  // §4.2: 60%/10% growth -> gap; 512-bit@143 vs 16-bit@100 = 45.8x.
+  const auto table = cpu::performance_gap_table(cpu::TrendParams{}, 1980,
+                                                1998);
+  EXPECT_GT(table.back().gap, 500.0);
+  const double bw_ratio =
+      peak_bandwidth(512, Frequency{143.0}).bits_per_s /
+      peak_bandwidth(16, Frequency{100.0}).bits_per_s;
+  EXPECT_NEAR(bw_ratio, 45.8, 0.1);
+}
+
+TEST(PaperClaims, S5_ModuleConceptEnvelope) {
+  // §5: ~1 Mbit/mm² at 16 Mbit, <7 ns, ~9 GB/s at 512 bits.
+  modulegen::ModuleSpec s;
+  s.capacity = Capacity::mbit(16);
+  s.interface_bits = 256;
+  s.banks = 4;
+  s.page_bytes = 2048;
+  const auto d = modulegen::ModuleCompiler{}.compile(s);
+  EXPECT_GT(d.area_efficiency_mbit_per_mm2, 0.9);
+  EXPECT_LE(d.cycle_ns, 7.0);
+  s.interface_bits = 512;
+  const auto wide = modulegen::ModuleCompiler{}.compile(s);
+  EXPECT_GT(wide.peak.as_gbyte_per_s(), 8.5);
+  EXPECT_LT(wide.peak.as_gbyte_per_s(), 10.5);
+}
+
+TEST(PaperClaims, S2_VolumeRuleOfThumb) {
+  // §2: "product volume ... usually high" — crossover in the tens of
+  // thousands of units for a 16-Mbit application.
+  core::SystemConfig e;
+  e.integration = core::Integration::kEmbedded;
+  e.required_memory = Capacity::mbit(16);
+  e.interface_bits = 256;
+  core::SystemConfig d;
+  d.integration = core::Integration::kDiscrete;
+  d.required_memory = Capacity::mbit(16);
+  d.interface_bits = 64;
+  const auto v =
+      core::compare_volume_economics(e, d, 16.2, 12.5);
+  EXPECT_GT(v.crossover_units(), 5'000.0);
+  EXPECT_LT(v.crossover_units(), 100'000.0);
+}
+
+TEST(PaperClaims, S2_AdvisorMatchesMarketList) {
+  const auto verdicts =
+      core::Advisor{}.advise_all(core::paper_market_profiles());
+  unsigned recommended = 0;
+  bool pc_vetoed = false;
+  for (const auto& v : verdicts) {
+    if (v.recommend_edram) ++recommended;
+    if (v.application == "PC main memory") pc_vetoed = !v.recommend_edram;
+  }
+  EXPECT_EQ(recommended, 7u);
+  EXPECT_TRUE(pc_vetoed);
+}
+
+}  // namespace
+}  // namespace edsim

@@ -1,0 +1,172 @@
+#include "clients/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+namespace {
+
+TEST(StreamClient, SequentialAddressesWrap) {
+  StreamClient::Params p;
+  p.base = 1000;
+  p.length = 256;
+  p.burst_bytes = 64;
+  StreamClient c(0, "s", p);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(c.has_request(static_cast<std::uint64_t>(i)));
+    addrs.push_back(c.make_request(static_cast<std::uint64_t>(i)).addr);
+  }
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{1000, 1064, 1128, 1192, 1000,
+                                               1064, 1128, 1192}));
+}
+
+TEST(StreamClient, RateLimiting) {
+  StreamClient::Params p;
+  p.length = 1 << 16;
+  p.burst_bytes = 32;
+  p.period_cycles = 10;
+  StreamClient c(0, "s", p);
+  ASSERT_TRUE(c.has_request(0));
+  c.make_request(0);
+  EXPECT_FALSE(c.has_request(5));
+  EXPECT_TRUE(c.has_request(10));
+}
+
+TEST(StreamClient, FinishesAfterTotal) {
+  StreamClient::Params p;
+  p.length = 1 << 16;
+  p.burst_bytes = 32;
+  p.total_requests = 3;
+  StreamClient c(0, "s", p);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(c.finished());
+    c.make_request(i);
+  }
+  EXPECT_TRUE(c.finished());
+  EXPECT_FALSE(c.has_request(100));
+}
+
+TEST(StreamClient, StartCycleDelaysFirstRequest) {
+  StreamClient::Params p;
+  p.length = 1 << 16;
+  p.burst_bytes = 32;
+  p.start_cycle = 50;
+  StreamClient c(0, "s", p);
+  EXPECT_FALSE(c.has_request(49));
+  EXPECT_TRUE(c.has_request(50));
+}
+
+TEST(StreamClient, RejectsDegenerateRegion) {
+  StreamClient::Params p;
+  p.length = 16;
+  p.burst_bytes = 32;
+  EXPECT_THROW(StreamClient(0, "s", p), edsim::ConfigError);
+}
+
+TEST(StridedClient, VisitsStridePattern) {
+  StridedClient::Params p;
+  p.base = 0;
+  p.length = 4096;
+  p.burst_bytes = 32;
+  p.stride_bytes = 1024;
+  StridedClient c(0, "st", p);
+  std::vector<std::uint64_t> addrs;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    addrs.push_back(c.make_request(i).addr);
+  EXPECT_EQ(addrs[0], 0u);
+  EXPECT_EQ(addrs[1], 1024u);
+  EXPECT_EQ(addrs[2], 2048u);
+  EXPECT_EQ(addrs[3], 3072u);
+  EXPECT_EQ(addrs[4], 32u);  // next pass, phase-shifted by one burst
+}
+
+TEST(StridedClient, EventuallyCoversRegion) {
+  StridedClient::Params p;
+  p.length = 2048;
+  p.burst_bytes = 64;
+  p.stride_bytes = 512;
+  StridedClient c(0, "st", p);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 32; ++i) seen.insert(c.make_request(i).addr);
+  EXPECT_EQ(seen.size(), 32u);  // 2048/64 distinct bursts
+}
+
+TEST(StridedClient, RejectsStrideSmallerThanBurst) {
+  StridedClient::Params p;
+  p.stride_bytes = 16;
+  p.burst_bytes = 32;
+  EXPECT_THROW(StridedClient(0, "st", p), edsim::ConfigError);
+}
+
+TEST(RandomClient, AddressesInRegionAndAligned) {
+  RandomClient::Params p;
+  p.base = 4096;
+  p.length = 8192;
+  p.burst_bytes = 64;
+  RandomClient c(0, "r", p);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const auto r = c.make_request(i);
+    EXPECT_GE(r.addr, 4096u);
+    EXPECT_LE(r.addr + 64, 4096u + 8192u);
+    EXPECT_EQ(r.addr % 64, 0u);
+  }
+}
+
+TEST(RandomClient, ReadFractionHolds) {
+  RandomClient::Params p;
+  p.length = 1 << 20;
+  p.burst_bytes = 32;
+  p.read_fraction = 0.7;
+  RandomClient c(0, "r", p);
+  int reads = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    if (c.make_request(static_cast<std::uint64_t>(i)).type ==
+        dram::AccessType::kRead)
+      ++reads;
+  }
+  EXPECT_NEAR(reads / static_cast<double>(kN), 0.7, 0.02);
+}
+
+TEST(RandomClient, DeterministicPerSeed) {
+  RandomClient::Params p;
+  p.length = 1 << 20;
+  p.burst_bytes = 32;
+  p.seed = 99;
+  RandomClient a(0, "a", p), b(1, "b", p);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.make_request(i).addr, b.make_request(i).addr);
+  }
+}
+
+TEST(TraceClient, ReplaysInOrderAtScheduledCycles) {
+  std::vector<TraceRecord> t = {
+      {10, 100, dram::AccessType::kRead},
+      {20, 200, dram::AccessType::kWrite},
+  };
+  TraceClient c(0, "t", t, 32);
+  EXPECT_FALSE(c.has_request(9));
+  EXPECT_TRUE(c.has_request(10));
+  const auto r0 = c.make_request(10);
+  EXPECT_EQ(r0.addr, 96u);  // aligned down to burst
+  EXPECT_EQ(r0.type, dram::AccessType::kRead);
+  EXPECT_FALSE(c.has_request(15));
+  EXPECT_TRUE(c.has_request(25));
+  c.make_request(25);
+  EXPECT_TRUE(c.finished());
+}
+
+TEST(TraceClient, RejectsUnorderedTrace) {
+  std::vector<TraceRecord> t = {
+      {20, 0, dram::AccessType::kRead},
+      {10, 0, dram::AccessType::kRead},
+  };
+  EXPECT_THROW(TraceClient(0, "t", t, 32), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::clients

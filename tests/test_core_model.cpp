@@ -1,0 +1,164 @@
+#include "cpu/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "cpu/memory_backend.hpp"
+
+namespace edsim::cpu {
+namespace {
+
+CoreConfig small_core() {
+  CoreConfig c;
+  c.clock_mhz = 400.0;
+  c.l1 = CacheConfig{8 * 1024, 32, 2};
+  c.l2 = CacheConfig{64 * 1024, 64, 4};
+  return c;
+}
+
+WorkloadParams small_workload() {
+  WorkloadParams w;
+  w.instructions = 50'000;
+  w.memory_fraction = 0.3;
+  w.footprint_bytes = 1 << 20;
+  return w;
+}
+
+TEST(MemoryBackend, ProbeLatencyOffChipVsMerged) {
+  MemoryBackend off(off_chip_backend_params());
+  MemoryBackend merged(merged_edram_backend_params());
+  const double off_ns = off.probe_latency_ns(64);
+  const double on_ns = merged.probe_latency_ns(64);
+  EXPECT_GT(off_ns, 150.0);  // board path
+  EXPECT_LT(on_ns, 90.0);    // on-chip path
+  EXPECT_GT(off_ns / on_ns, 2.0);
+}
+
+TEST(MemoryBackend, AccessLatencyPositiveAndBounded) {
+  MemoryBackend b(off_chip_backend_params());
+  for (int i = 0; i < 50; ++i) {
+    const double ns =
+        b.access_ns(static_cast<std::uint64_t>(i) * 4096, false, 32);
+    EXPECT_GT(ns, 0.0);
+    EXPECT_LT(ns, 2000.0);
+  }
+}
+
+TEST(MemoryBackend, EnergyAccumulates) {
+  MemoryBackend b(merged_edram_backend_params());
+  EXPECT_DOUBLE_EQ(b.energy_j(), 0.0);
+  b.access_ns(0, false, 64);
+  const double e1 = b.energy_j();
+  EXPECT_GT(e1, 0.0);
+  b.access_ns(1 << 16, true, 64);
+  EXPECT_GT(b.energy_j(), e1);
+}
+
+TEST(CoreModel, CpiAboveOneWithMemoryTraffic) {
+  MemoryBackend mem(off_chip_backend_params());
+  CoreModel core(small_core());
+  const RunResult r = core.run(small_workload(), mem);
+  EXPECT_GT(r.cpi, 1.0);
+  EXPECT_GT(r.memory_accesses, 0u);
+  EXPECT_GT(r.l1_misses, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(CoreModel, NoMemoryOpsGivesUnitCpi) {
+  MemoryBackend mem(off_chip_backend_params());
+  CoreModel core(small_core());
+  WorkloadParams w = small_workload();
+  w.memory_fraction = 0.0;
+  const RunResult r = core.run(w, mem);
+  EXPECT_DOUBLE_EQ(r.cpi, 1.0);
+  EXPECT_EQ(r.l1_misses, 0u);
+}
+
+TEST(CoreModel, SmallFootprintStaysInCache) {
+  MemoryBackend mem(off_chip_backend_params());
+  CoreModel core(small_core());
+  WorkloadParams w = small_workload();
+  w.footprint_bytes = 4096;  // fits in L1
+  const RunResult r = core.run(w, mem);
+  // Only cold misses reach memory: CPI stays near 1 (cold-start cost is
+  // ~128 lines x (L2 + memory) spread over 50k instructions).
+  EXPECT_LT(r.cpi, 1.35);
+  EXPECT_LT(r.l2_misses, 200u);  // cold misses only
+}
+
+TEST(CoreModel, MergedMemoryYieldsLowerCpiOnRandomTraffic) {
+  // The §4.2 claim at system level: same core, same workload, only the
+  // memory path changes.
+  CoreModel core(small_core());
+  WorkloadParams w = small_workload();
+  w.pattern = WorkloadParams::Pattern::kRandom;
+  w.footprint_bytes = 4 << 20;
+
+  MemoryBackend off(off_chip_backend_params());
+  const RunResult r_off = core.run(w, off);
+  CoreModel core2(small_core());
+  MemoryBackend merged(merged_edram_backend_params());
+  const RunResult r_on = core2.run(w, merged);
+
+  EXPECT_LT(r_on.cpi, r_off.cpi);
+  EXPECT_LT(r_on.avg_miss_latency_ns, r_off.avg_miss_latency_ns);
+}
+
+TEST(CoreModel, EnergyRatioWithinIramBand) {
+  CoreModel core(small_core());
+  WorkloadParams w = small_workload();
+  w.pattern = WorkloadParams::Pattern::kRandom;
+  w.footprint_bytes = 4 << 20;
+  w.instructions = 100'000;
+
+  MemoryBackend off(off_chip_backend_params());
+  const RunResult r_off = core.run(w, off);
+  CoreModel core2(small_core());
+  MemoryBackend merged(merged_edram_backend_params());
+  const RunResult r_on = core2.run(w, merged);
+
+  const double ratio = r_off.total_energy_j() / r_on.total_energy_j();
+  // §4.2 (IRAM): "improve the energy efficiency by a factor of 2 to 4".
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(CoreModel, DeterministicForSeed) {
+  CoreModel a(small_core()), b(small_core());
+  MemoryBackend m1(off_chip_backend_params());
+  MemoryBackend m2(off_chip_backend_params());
+  const RunResult r1 = a.run(small_workload(), m1);
+  const RunResult r2 = b.run(small_workload(), m2);
+  EXPECT_DOUBLE_EQ(r1.cpi, r2.cpi);
+  EXPECT_EQ(r1.l2_misses, r2.l2_misses);
+}
+
+TEST(CoreModel, ValidatesConfigs) {
+  WorkloadParams w = small_workload();
+  w.memory_fraction = 1.5;
+  EXPECT_THROW(w.validate(), edsim::ConfigError);
+  CoreConfig c = small_core();
+  c.l2 = CacheConfig{64 * 1024, 16, 4};  // L2 line < L1 line
+  EXPECT_THROW(c.validate(), edsim::ConfigError);
+}
+
+class PatternSweep
+    : public ::testing::TestWithParam<WorkloadParams::Pattern> {};
+
+TEST_P(PatternSweep, AllPatternsComplete) {
+  CoreModel core(small_core());
+  MemoryBackend mem(merged_edram_backend_params());
+  WorkloadParams w = small_workload();
+  w.pattern = GetParam();
+  const RunResult r = core.run(w, mem);
+  EXPECT_GT(r.cpi, 0.99);
+  EXPECT_GT(r.memory_accesses, 10'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, PatternSweep,
+                         ::testing::Values(WorkloadParams::Pattern::kStream,
+                                           WorkloadParams::Pattern::kRandom,
+                                           WorkloadParams::Pattern::kMixed));
+
+}  // namespace
+}  // namespace edsim::cpu

@@ -1,0 +1,100 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::core {
+namespace {
+
+SystemConfig embedded_16mbit() {
+  SystemConfig s;
+  s.name = "edram16";
+  s.integration = Integration::kEmbedded;
+  s.required_memory = Capacity::mbit(16);
+  s.interface_bits = 256;
+  return s;
+}
+
+SystemConfig discrete_16mbit() {
+  SystemConfig s;
+  s.name = "discrete16";
+  s.integration = Integration::kDiscrete;
+  s.required_memory = Capacity::mbit(16);
+  s.interface_bits = 64;
+  return s;
+}
+
+TEST(CostModel, YieldDecreasesWithArea) {
+  const CostModel m;
+  EXPECT_GT(m.die_yield(50.0, 0.0), m.die_yield(200.0, 0.0));
+  EXPECT_LE(m.die_yield(50.0, 0.0), 1.0);
+}
+
+TEST(CostModel, RedundancyCreditHelpsMemoryHeavyDies) {
+  const CostModel m;
+  // Same area, more of it memory: higher yield thanks to repair.
+  EXPECT_GT(m.die_yield(100.0, 0.9), m.die_yield(100.0, 0.1));
+}
+
+TEST(CostModel, YieldValidation) {
+  const CostModel m;
+  EXPECT_THROW(m.die_yield(0.0, 0.5), edsim::ConfigError);
+  EXPECT_THROW(m.die_yield(10.0, 1.5), edsim::ConfigError);
+}
+
+TEST(CostModel, EmbeddedBreakdownComponents) {
+  const CostModel m;
+  const CostBreakdown c = m.evaluate(embedded_16mbit(), 16.0, 12.5);
+  EXPECT_DOUBLE_EQ(c.die_area_mm2, 28.5);
+  EXPECT_GT(c.die_yield, 0.5);
+  EXPECT_GT(c.die_usd, 0.0);
+  EXPECT_EQ(c.memory_chips_usd, 0.0);  // no commodity parts
+  EXPECT_GT(c.total_usd(), c.die_usd);
+}
+
+TEST(CostModel, DiscreteCarriesCommodityMemoryAndBoard) {
+  const CostModel m;
+  const CostBreakdown c = m.evaluate(discrete_16mbit(), 0.0, 12.5);
+  // 64-bit rank of x16 64-Mbit chips -> 256 Mbit installed at street
+  // price.
+  EXPECT_NEAR(c.memory_chips_usd, 256.0 * 0.10, 1e-9);
+  EXPECT_GT(c.board_usd, 1.0);  // 4 memory chips + logic
+  EXPECT_GT(c.package_usd, m.params().package_base_usd);
+}
+
+TEST(CostModel, GranularityWasteMakesDiscreteExpensiveForSmallNeeds) {
+  // 16 Mbit needed: embedded pays die area for 16 Mbit; discrete pays
+  // street price for 256 Mbit. The §1/§4 economic argument.
+  const CostModel m;
+  const double embedded =
+      m.evaluate(embedded_16mbit(), 16.0, 12.5).total_usd();
+  const double discrete =
+      m.evaluate(discrete_16mbit(), 0.0, 12.5).total_usd();
+  EXPECT_LT(embedded, discrete);
+}
+
+TEST(CostModel, MergedProcessWafersCostMore) {
+  const CostModel m;
+  SystemConfig dram_base = embedded_16mbit();
+  dram_base.process = BaseProcess::kDramBased;
+  SystemConfig merged = embedded_16mbit();
+  merged.process = BaseProcess::kMerged;
+  const double a = m.evaluate(dram_base, 16.0, 12.5).die_usd;
+  const double b = m.evaluate(merged, 16.0, 12.5).die_usd;
+  EXPECT_GT(b, a);
+  EXPECT_NEAR(b / a, 1.45 / 1.20, 1e-6);
+}
+
+TEST(CostModel, WidthDrivesDiscretePackagePins) {
+  const CostModel m;
+  SystemConfig narrow = discrete_16mbit();
+  narrow.interface_bits = 16;
+  SystemConfig wide = discrete_16mbit();
+  wide.interface_bits = 256;
+  EXPECT_GT(m.evaluate(wide, 0.0, 12.5).package_usd,
+            m.evaluate(narrow, 0.0, 12.5).package_usd);
+}
+
+}  // namespace
+}  // namespace edsim::core

@@ -1,0 +1,136 @@
+// Cross-validation: closed-form timing expectations vs the cycle
+// simulator, across device presets, transfer rates and page policies.
+// These tests are the calibration anchor — if the simulator and the
+// algebra ever disagree, every experiment number is suspect.
+
+#include <gtest/gtest.h>
+
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+
+namespace edsim::dram {
+namespace {
+
+struct DeviceCase {
+  const char* name;
+  DramConfig cfg;
+};
+
+std::vector<DeviceCase> devices() {
+  DramConfig a = presets::sdram_pc100_64mbit();
+  DramConfig b = presets::sdram_pc100_4mbit();
+  DramConfig c = presets::edram_module(16, 256, 4, 2048);
+  DramConfig d = presets::edram_module(64, 512, 8, 4096);
+  DramConfig e = presets::sdram_pc100_64mbit();
+  e.transfers_per_clock = 2;
+  for (DramConfig* cfg : {&a, &b, &c, &d, &e}) cfg->refresh_enabled = false;
+  return {{"pc100-64M", a},
+          {"pc100-4M", b},
+          {"edram-16M-256b", c},
+          {"edram-64M-512b", d},
+          {"pc100-ddr", e}};
+}
+
+class DeviceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeviceSweep, ColdReadLatencyMatchesFormula) {
+  const DeviceCase dc = devices()[GetParam()];
+  Controller ctl(dc.cfg);
+  Request r;
+  r.addr = 0;
+  ASSERT_TRUE(ctl.enqueue(r));
+  ctl.drain();
+  const auto done = ctl.drain_completed();
+  ASSERT_EQ(done.size(), 1u);
+  const auto& t = dc.cfg.timing;
+  const std::uint64_t expected =
+      t.tRCD + t.tCL + dc.cfg.data_cycles_per_access();
+  EXPECT_EQ(done[0].latency(), expected) << dc.name;
+}
+
+TEST_P(DeviceSweep, RowHitReadLatencyMatchesFormula) {
+  const DeviceCase dc = devices()[GetParam()];
+  if (dc.cfg.page_policy != PagePolicy::kOpen) GTEST_SKIP();
+  Controller ctl(dc.cfg);
+  Request warm;
+  warm.addr = 0;
+  ctl.enqueue(warm);
+  ctl.drain();
+  ctl.drain_completed();
+  Request hit;
+  hit.addr = dc.cfg.bytes_per_access();  // same page
+  ctl.enqueue(hit);
+  ctl.drain();
+  const auto done = ctl.drain_completed();
+  ASSERT_EQ(done.size(), 1u);
+  const auto& t = dc.cfg.timing;
+  EXPECT_EQ(done[0].latency(),
+            t.tCL + dc.cfg.data_cycles_per_access())
+      << dc.name;
+}
+
+TEST_P(DeviceSweep, StreamingThroughputApproachesOneBurstPerDataSlot) {
+  // A saturating linear stream should place one burst every
+  // data_cycles_per_access cycles (minus refresh/ACT gaps at page
+  // boundaries).
+  const DeviceCase dc = devices()[GetParam()];
+  Controller ctl(dc.cfg);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 40'000; ++i) {
+    if (!ctl.queue_full()) {
+      Request r;
+      r.addr = addr;
+      addr += dc.cfg.bytes_per_access();
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  const double ideal = 40'000.0 / dc.cfg.data_cycles_per_access();
+  const double achieved = static_cast<double>(ctl.stats().reads);
+  EXPECT_GT(achieved, ideal * 0.85) << dc.name;
+  EXPECT_LE(achieved, ideal + 1.0) << dc.name;
+}
+
+TEST_P(DeviceSweep, WriteLatencyMatchesFormula) {
+  const DeviceCase dc = devices()[GetParam()];
+  Controller ctl(dc.cfg);
+  Request w;
+  w.type = AccessType::kWrite;
+  w.addr = 0;
+  ctl.enqueue(w);
+  ctl.drain();
+  const auto done = ctl.drain_completed();
+  ASSERT_EQ(done.size(), 1u);
+  const auto& t = dc.cfg.timing;
+  EXPECT_EQ(done[0].latency(),
+            t.tRCD + t.tWL + dc.cfg.data_cycles_per_access())
+      << dc.name;
+}
+
+TEST_P(DeviceSweep, PeakBandwidthAlgebra) {
+  const DeviceCase dc = devices()[GetParam()];
+  const double by_hand = static_cast<double>(dc.cfg.interface_bits) *
+                         dc.cfg.clock.hz() * dc.cfg.transfers_per_clock;
+  EXPECT_NEAR(dc.cfg.peak_bandwidth().bits_per_s, by_hand, 1.0) << dc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, DeviceSweep,
+                         ::testing::Range<std::size_t>(0, 5));
+
+TEST(CrossValidation, RefreshOverheadMatchesDutyCycle) {
+  // Idle channel: fraction of cycles taken by refresh should approach
+  // (drain + tRFC) / tREFI; we bound it with the pure tRFC/tREFI floor
+  // and a generous ceiling.
+  DramConfig cfg = presets::sdram_pc100_4mbit();
+  Controller ctl(cfg);
+  const std::uint64_t window = 50ull * cfg.timing.tREFI;
+  for (std::uint64_t i = 0; i < window; ++i) ctl.tick();
+  const double refreshes = static_cast<double>(ctl.stats().refreshes);
+  const double expected =
+      static_cast<double>(window) / cfg.timing.tREFI;
+  EXPECT_NEAR(refreshes, expected, 2.0);
+}
+
+}  // namespace
+}  // namespace edsim::dram

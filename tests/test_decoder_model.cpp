@@ -1,0 +1,124 @@
+#include "mpeg/decoder_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::mpeg {
+namespace {
+
+DecoderConfig pal_config(bool reduced = false) {
+  DecoderConfig c;
+  c.format = pal();
+  c.reduced_output_buffer = reduced;
+  return c;
+}
+
+TEST(DecoderModel, PalStandardFitsExactlyIn16Mbit) {
+  // §4.1: "the MPEG standardization group expressly modified the standard
+  // to make 16 Mbits sufficient" — VBV (1.75) + 2 refs (9.49) + output
+  // (4.75) = 16.0 Mbit.
+  const DecoderModel m(pal_config());
+  EXPECT_NEAR(m.total_footprint().as_mbit(), 16.0, 0.05);
+  EXPECT_TRUE(m.fits_16mbit());
+}
+
+TEST(DecoderModel, FootprintInventoryMatchesPaper) {
+  const DecoderModel m(pal_config());
+  const auto fp = m.footprint();
+  ASSERT_EQ(fp.size(), 4u);
+  EXPECT_EQ(fp[0].name, "vbv_input");
+  EXPECT_NEAR(fp[0].size.as_mbit(), 1.75, 1e-9);
+  EXPECT_NEAR(fp[1].size.as_mbit(), 4.75, 0.01);  // reference_0
+  EXPECT_NEAR(fp[2].size.as_mbit(), 4.75, 0.01);  // reference_1
+  EXPECT_NEAR(fp[3].size.as_mbit(), 4.75, 0.01);  // output full frame
+}
+
+TEST(DecoderModel, ReducedOutputBufferSavesAboutThreeMbit) {
+  // §4.1: "about 3 Mbit can be saved..."
+  const DecoderModel m(pal_config());
+  EXPECT_NEAR(m.output_buffer_saving().as_mbit(), 3.16, 0.1);
+  const DecoderModel r(pal_config(true));
+  EXPECT_LT(r.total_footprint().as_mbit(), 13.0);
+}
+
+TEST(DecoderModel, ReducedModeRoughlyDoublesMcBandwidth) {
+  // "...at the expense of doubling the throughput of the decoding
+  // pipeline as well as the memory bandwidth of the motion compensation
+  // module."
+  const DecoderModel std_m(pal_config());
+  const DecoderModel red_m(pal_config(true));
+  const double std_mc = std_m.bandwidth()[1].read.bits_per_s;
+  const double red_mc = red_m.bandwidth()[1].read.bits_per_s;
+  const double ratio = red_mc / std_mc;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(DecoderModel, NtscFootprintSmaller) {
+  DecoderConfig c;
+  c.format = ntsc();
+  const DecoderModel m(c);
+  EXPECT_LT(m.total_footprint().as_mbit(), 14.0);
+  EXPECT_TRUE(m.fits_16mbit());
+}
+
+TEST(DecoderModel, ThreeFourMbitChipsInsufficient) {
+  // §4.1: "adequate memories of sizes smaller than 16 Mbits are not
+  // available (three 4-Mbit memories are insufficient)".
+  const DecoderModel m(pal_config());
+  EXPECT_GT(m.total_footprint(), Capacity::mbit(12));
+}
+
+TEST(DecoderModel, BandwidthInventory) {
+  const DecoderModel m(pal_config());
+  const auto bw = m.bandwidth();
+  ASSERT_EQ(bw.size(), 4u);
+  // Reconstruction writes and display reads both move one frame per frame
+  // period.
+  const double frame_rate_bits =
+      static_cast<double>(pal().frame_bytes()) * 8.0 * 25.0;
+  EXPECT_NEAR(bw[2].write.bits_per_s, frame_rate_bits, 1.0);
+  EXPECT_NEAR(bw[3].read.bits_per_s, frame_rate_bits, 1.0);
+  // MC dominates.
+  EXPECT_GT(bw[1].read.bits_per_s, bw[2].write.bits_per_s);
+  // Total is tens of MB/s — far beyond a single 16-bit SDRAM's sustained
+  // ability once page misses are paid, hence the §4.1 bandwidth argument.
+  EXPECT_GT(m.total_bandwidth().as_gbit_per_s(), 0.4);
+  EXPECT_LT(m.total_bandwidth().as_gbit_per_s(), 1.5);
+}
+
+TEST(DecoderModel, PredictionsPerMacroblock) {
+  const DecoderModel std_m(pal_config());
+  // (4/15)*1 + (10/15)*2 = 1.6 predictions per MB.
+  EXPECT_NEAR(std_m.predictions_per_macroblock(), 1.6, 1e-9);
+  const DecoderModel red_m(pal_config(true));
+  EXPECT_NEAR(red_m.predictions_per_macroblock(), 2.933, 0.001);
+}
+
+TEST(DecoderModel, MemoryMapHoldsAllBuffers) {
+  const DecoderModel m(pal_config());
+  const MemoryMap map = m.build_memory_map();
+  EXPECT_NE(map.find("vbv_input"), nullptr);
+  EXPECT_NE(map.find("reference_0"), nullptr);
+  EXPECT_NE(map.find("reference_1"), nullptr);
+  EXPECT_NE(map.find("output_conversion"), nullptr);
+  // Page alignment adds at most a few KB over the raw footprint.
+  EXPECT_LT(map.total_allocated().as_mbit(),
+            m.total_footprint().as_mbit() + 0.2);
+}
+
+TEST(DecoderModel, ValidatesConfig) {
+  DecoderConfig c = pal_config();
+  c.frac_b = 0.9;  // fractions no longer sum to 1
+  EXPECT_THROW(DecoderModel{c}, edsim::ConfigError);
+  c = pal_config();
+  c.format.width = 100;  // not macroblock aligned
+  EXPECT_THROW(DecoderModel{c}, edsim::ConfigError);
+  c = pal_config();
+  c.mc_overfetch = 0.5;
+  EXPECT_THROW(DecoderModel{c}, edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::mpeg

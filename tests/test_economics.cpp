@@ -1,0 +1,88 @@
+#include "bist/test_economics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+namespace {
+
+TEST(TestTime, HandComputedExternalTime) {
+  // 16 Mbit, March C- (10N): 167.8M ops over 16 pins at 100 MHz =
+  // 104.9 ms.
+  const TesterRates rates;
+  const auto t = external_test_time(Capacity::mbit(16), march_c_minus(), 16,
+                                    Frequency{100.0}, rates);
+  EXPECT_NEAR(t.march_seconds, 10.0 * 16.0 * 1024 * 1024 / 16.0 / 100e6,
+              1e-9);
+  EXPECT_DOUBLE_EQ(t.pause_seconds, 0.0);
+  EXPECT_GT(t.cost_usd, 0.0);
+}
+
+TEST(TestTime, BistParallelismWins) {
+  // §6: on-chip manipulation of test data reduces test time/cost — the
+  // internal interface is 512 bits vs 16 external pins, and the logic
+  // tester is cheaper per hour.
+  const TesterRates rates;
+  const Capacity cap = Capacity::mbit(64);
+  const auto ext = external_test_time(cap, march_c_minus(), 16,
+                                      Frequency{100.0}, rates);
+  const auto bist =
+      bist_test_time(cap, march_c_minus(), 512, Frequency{143.0}, rates);
+  EXPECT_GT(ext.march_seconds / bist.march_seconds, 20.0);
+  EXPECT_GT(ext.cost_usd / bist.cost_usd, 20.0);
+}
+
+TEST(TestTime, RetentionPausesDominateAndDontParallelize) {
+  const TesterRates rates;
+  const auto t = bist_test_time(Capacity::mbit(64), retention_test(100.0),
+                                512, Frequency{143.0}, rates);
+  EXPECT_GT(t.pause_seconds, t.march_seconds);
+  EXPECT_NEAR(t.pause_seconds, 0.2, 1e-12);
+}
+
+TEST(TestTime, ScalesLinearlyWithCapacity) {
+  const TesterRates rates;
+  const auto small = external_test_time(Capacity::mbit(4), march_b(), 16,
+                                        Frequency{100.0}, rates);
+  const auto big = external_test_time(Capacity::mbit(64), march_b(), 16,
+                                      Frequency{100.0}, rates);
+  EXPECT_NEAR(big.march_seconds / small.march_seconds, 16.0, 1e-9);
+}
+
+TEST(TestTime, RejectsBadInputs) {
+  const TesterRates rates;
+  EXPECT_THROW(external_test_time(Capacity::mbit(1), march_x(), 0,
+                                  Frequency{100.0}, rates),
+               edsim::ConfigError);
+  EXPECT_THROW(external_test_time(Capacity::mbit(1), march_x(), 16,
+                                  Frequency{0.0}, rates),
+               edsim::ConfigError);
+}
+
+TEST(FlowCost, PrePostAndFuseAddUp) {
+  const TesterRates rates;
+  const FlowCost f =
+      full_flow_cost(Capacity::mbit(16), march_c_minus(), mats_plus(),
+                     TestAccess::kOnChipBist, 256, Frequency{143.0}, rates);
+  EXPECT_GT(f.total_seconds(),
+            f.pre_fuse.total_seconds() + f.post_fuse.total_seconds());
+  EXPECT_GT(f.total_cost_usd, 0.0);
+  // Pre-fuse (full March C-) costs more than post-fuse (MATS+ sanity).
+  EXPECT_GT(f.pre_fuse.march_seconds, f.post_fuse.march_seconds);
+}
+
+TEST(FlowCost, BistFlowCheaperThanExternal) {
+  const TesterRates rates;
+  const auto ext =
+      full_flow_cost(Capacity::mbit(64), march_c_minus(), march_x(),
+                     TestAccess::kExternalMemoryTester, 16,
+                     Frequency{100.0}, rates);
+  const auto bist =
+      full_flow_cost(Capacity::mbit(64), march_c_minus(), march_x(),
+                     TestAccess::kOnChipBist, 512, Frequency{143.0}, rates);
+  EXPECT_LT(bist.total_cost_usd, ext.total_cost_usd);
+}
+
+}  // namespace
+}  // namespace edsim::bist

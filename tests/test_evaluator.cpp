@@ -1,0 +1,124 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edsim::core {
+namespace {
+
+SystemConfig embedded(unsigned mbit, unsigned width) {
+  SystemConfig s;
+  s.name = "e" + std::to_string(mbit) + "w" + std::to_string(width);
+  s.integration = Integration::kEmbedded;
+  s.required_memory = Capacity::mbit(mbit);
+  s.interface_bits = width;
+  s.banks = 4;
+  s.page_bytes = 2048;
+  return s;
+}
+
+SystemConfig discrete(unsigned mbit, unsigned width) {
+  SystemConfig s;
+  s.name = "d" + std::to_string(mbit) + "w" + std::to_string(width);
+  s.integration = Integration::kDiscrete;
+  s.required_memory = Capacity::mbit(mbit);
+  s.interface_bits = width;
+  return s;
+}
+
+EvalWorkload light() {
+  EvalWorkload w;
+  w.demand_gbyte_s = 0.4;
+  w.sim_cycles = 60'000;
+  return w;
+}
+
+TEST(Evaluator, ProducesConsistentMetricVector) {
+  const Evaluator ev;
+  const Metrics m = ev.evaluate(embedded(16, 256), light());
+  EXPECT_GT(m.die_area_mm2, 0.0);
+  EXPECT_NEAR(m.die_area_mm2, m.memory_area_mm2 + m.logic_area_mm2, 1e-9);
+  EXPECT_GT(m.sustained_gbyte_s, 0.0);
+  EXPECT_LE(m.sustained_gbyte_s, m.peak_gbyte_s * 1.001);
+  EXPECT_GT(m.total_power_mw, m.io_power_mw);
+  EXPECT_GT(m.unit_cost_usd, 0.0);
+  EXPECT_GE(m.waste_mbit, 0.0);
+}
+
+TEST(Evaluator, EmbeddedHasNoGranularityWaste) {
+  const Evaluator ev;
+  const Metrics e = ev.evaluate(embedded(16, 256), light());
+  const Metrics d = ev.evaluate(discrete(16, 64), light());
+  EXPECT_NEAR(e.waste_mbit, 0.0, 0.3);
+  EXPECT_NEAR(d.waste_mbit, 240.0, 1.0);  // 256 installed - 16 needed
+}
+
+TEST(Evaluator, WiderEmbeddedInterfaceRaisesBandwidthAndPower) {
+  const Evaluator ev;
+  EvalWorkload heavy;
+  heavy.demand_gbyte_s = 8.0;  // saturating
+  heavy.sim_cycles = 60'000;
+  const Metrics narrow = ev.evaluate(embedded(16, 64), heavy);
+  const Metrics wide = ev.evaluate(embedded(16, 512), heavy);
+  EXPECT_GT(wide.peak_gbyte_s, narrow.peak_gbyte_s * 6.0);
+  EXPECT_GT(wide.sustained_gbyte_s, narrow.sustained_gbyte_s * 2.0);
+  EXPECT_GT(wide.die_area_mm2, narrow.die_area_mm2);
+}
+
+TEST(Evaluator, EmbeddedSustainsMoreThanDiscreteAtSameDemand) {
+  const Evaluator ev;
+  EvalWorkload w;
+  w.demand_gbyte_s = 3.0;
+  w.sim_cycles = 60'000;
+  const Metrics e = ev.evaluate(embedded(16, 256), w);
+  const Metrics d = ev.evaluate(discrete(16, 64), w);
+  EXPECT_GT(e.sustained_gbyte_s, d.sustained_gbyte_s);
+}
+
+TEST(Evaluator, DramBasedProcessSlowsLogic) {
+  const Evaluator ev;
+  SystemConfig a = embedded(16, 128);
+  a.process = BaseProcess::kDramBased;
+  SystemConfig b = embedded(16, 128);
+  b.process = BaseProcess::kMerged;
+  const Metrics ma = ev.evaluate(a, light());
+  const Metrics mb = ev.evaluate(b, light());
+  EXPECT_LT(ma.logic_speed, mb.logic_speed);
+  EXPECT_GT(ma.logic_area_mm2, mb.logic_area_mm2);
+}
+
+TEST(Evaluator, ThermalPointReflectsIntegration) {
+  const Evaluator ev;
+  EvalWorkload w = light();
+  w.logic_power_w = 3.0;
+  const Metrics e = ev.evaluate(embedded(16, 256), w);
+  const Metrics d = ev.evaluate(discrete(16, 64), w);
+  // The embedded die carries the logic's heat; the discrete DRAM doesn't.
+  EXPECT_GT(e.junction_c, d.junction_c + 30.0);
+  EXPECT_LT(e.retention_ms, d.retention_ms);
+  EXPECT_GT(e.refresh_overhead, d.refresh_overhead);
+}
+
+TEST(Evaluator, MoreLogicPowerWorsensTheOperatingPoint) {
+  const Evaluator ev;
+  EvalWorkload cool = light();
+  cool.logic_power_w = 0.5;
+  EvalWorkload hot = light();
+  hot.logic_power_w = 4.0;
+  const Metrics mc = ev.evaluate(embedded(16, 256), cool);
+  const Metrics mh = ev.evaluate(embedded(16, 256), hot);
+  EXPECT_GT(mh.junction_c, mc.junction_c);
+  EXPECT_GT(mh.refresh_overhead, mc.refresh_overhead);
+}
+
+TEST(Evaluator, SweepPreservesOrder) {
+  const Evaluator ev;
+  const auto ms =
+      ev.sweep({embedded(8, 128), embedded(16, 128)}, light());
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_EQ(ms[0].name, "e8w128");
+  EXPECT_EQ(ms[1].name, "e16w128");
+  EXPECT_LT(ms[0].memory_area_mm2, ms[1].memory_area_mm2);
+}
+
+}  // namespace
+}  // namespace edsim::core

@@ -1,0 +1,75 @@
+#include "phy/fill_frequency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::phy {
+namespace {
+
+TEST(FillFrequency, EmbeddedPoint) {
+  const FillPoint p =
+      embedded_fill_point(Capacity::mbit(4), 256, Frequency{143.0});
+  EXPECT_EQ(p.width_bits, 256u);
+  // 256 bit * 143 MHz = 36.6 Gbit/s over 4 Mbit -> ~8725 fills/s.
+  EXPECT_NEAR(p.fill_hz, 256.0 * 143e6 / (4.0 * 1024 * 1024), 1e-6);
+}
+
+TEST(FillFrequency, DiscretePointQuantizedToRank) {
+  DiscreteChip chip;
+  chip.capacity = Capacity::mbit(4);
+  chip.interface_bits = 16;
+  const FillPoint p = discrete_fill_point(chip, 256);
+  EXPECT_EQ(p.size, Capacity::mbit(64));
+  // 256 bit * 100 MHz over 64 Mbit.
+  EXPECT_NEAR(p.fill_hz, 256.0 * 100e6 / (64.0 * 1024 * 1024), 1e-6);
+}
+
+TEST(FillFrequency, PaperExampleAdvantage) {
+  // The §1 example: a 4-Mbit eDRAM with a 256-bit interface vs 16 discrete
+  // 4-Mbit chips. Equal widths, but the discrete system is forced to 64
+  // Mbit — a 16x size handicap in fill frequency, plus the clock ratio.
+  const FillPoint edram =
+      embedded_fill_point(Capacity::mbit(4), 256, Frequency{143.0});
+  DiscreteChip chip;
+  chip.capacity = Capacity::mbit(4);
+  chip.interface_bits = 16;
+  const FillPoint discrete = discrete_fill_point(chip, 256);
+  EXPECT_GT(edram.fill_hz / discrete.fill_hz, 10.0);
+}
+
+TEST(FillFrequency, SweepShapes) {
+  DiscreteChip chip;  // 64 Mbit x16
+  const auto rows = fill_frequency_sweep({1, 4, 16, 64, 128}, 256,
+                                         Frequency{143.0}, chip, 64);
+  ASSERT_EQ(rows.size(), 5u);
+  // Embedded fill frequency falls monotonically with size.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].embedded.fill_hz, rows[i - 1].embedded.fill_hz);
+  }
+  // The embedded advantage is largest for small memories and shrinks as
+  // the requirement approaches the discrete granularity.
+  EXPECT_GT(rows[0].advantage, rows[4].advantage);
+  for (const auto& r : rows) EXPECT_GE(r.advantage, 1.0);
+}
+
+TEST(FillFrequency, DiscreteSizeNeverBelowRequested) {
+  DiscreteChip chip;
+  const auto rows =
+      fill_frequency_sweep({1, 63, 64, 65, 200}, 128, Frequency{143.0},
+                           chip, 64);
+  for (const auto& r : rows) {
+    EXPECT_GE(r.discrete.size.bit_count(), r.requested.bit_count());
+  }
+  // 65 Mbit forces two ranks of the 4-chip (256 Mbit) rank size... rank =
+  // 64 Mbit * 4 chips = 256 Mbit, so one rank covers it.
+  EXPECT_EQ(rows[3].discrete.size, Capacity::mbit(256));
+}
+
+TEST(FillFrequency, RejectsZeroSize) {
+  EXPECT_THROW(embedded_fill_point(Capacity::bits(0), 64, Frequency{100.0}),
+               edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::phy

@@ -1,0 +1,103 @@
+#include "modulegen/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::modulegen {
+namespace {
+
+ModuleSpec module(unsigned mbit, unsigned width = 256) {
+  ModuleSpec m;
+  m.capacity = Capacity::mbit(mbit);
+  m.interface_bits = width;
+  m.banks = 4;
+  m.page_bytes = 2048;
+  return m;
+}
+
+TEST(Floorplan, PaperEnvelope128MbitPlus500kGates) {
+  // §1: "chips with up to 128 Mbit of DRAM and 500 kgates of logic...
+  // are feasible" in quarter micron.
+  ChipSpec spec;
+  spec.modules = {module(128, 512)};
+  spec.logic_kgates = 500.0;
+  const ChipPlan plan = plan_chip(spec);
+  EXPECT_TRUE(plan.feasible) << plan.verdict;
+  EXPECT_EQ(plan.total_memory(), Capacity::mbit(128));
+  EXPECT_LT(plan.total_area_mm2, 200.0);
+}
+
+TEST(Floorplan, PaperEnvelope64MbitPlus1MGates) {
+  // "...or 64 Mbit of DRAM and 1 Mgates of logic are feasible."
+  ChipSpec spec;
+  spec.modules = {module(64)};
+  spec.logic_kgates = 1000.0;
+  const ChipPlan plan = plan_chip(spec);
+  EXPECT_TRUE(plan.feasible) << plan.verdict;
+}
+
+TEST(Floorplan, BeyondEnvelopeIsInfeasible) {
+  ChipSpec spec;
+  spec.modules = {module(128, 512), module(128, 512)};
+  spec.logic_kgates = 2000.0;
+  const ChipPlan plan = plan_chip(spec);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.verdict.find("infeasible"), std::string::npos);
+}
+
+TEST(Floorplan, AreasAddUp) {
+  ChipSpec spec;
+  spec.modules = {module(16), module(4, 64)};
+  spec.logic_kgates = 250.0;
+  const ChipPlan plan = plan_chip(spec);
+  EXPECT_NEAR(plan.total_area_mm2,
+              plan.memory_area_mm2 + plan.logic_area_mm2 +
+                  plan.routing_area_mm2,
+              1e-9);
+  EXPECT_NEAR(plan.logic_area_mm2, 10.0, 1e-9);  // 250 kgates / 25 per mm2
+  EXPECT_EQ(plan.macros.size(), 2u);
+}
+
+TEST(Floorplan, MacroOutlineAreaMatchesCompiledArea) {
+  ChipSpec spec;
+  spec.modules = {module(16)};
+  spec.logic_kgates = 100.0;
+  const ChipPlan plan = plan_chip(spec);
+  const MacroOutline& m = plan.macros[0];
+  EXPECT_NEAR(m.width_mm * m.height_mm, m.design.total_area_mm2,
+              m.design.total_area_mm2 * 0.01);
+  EXPECT_GE(m.grid_cols * m.grid_rows, 16u);  // holds all blocks
+}
+
+TEST(Floorplan, AspectRatioKeptManufacturable) {
+  // Even a pathological single-module chip must come out below 2:1.
+  ChipSpec spec;
+  spec.modules = {module(128, 16)};
+  spec.logic_kgates = 10.0;
+  const ChipPlan plan = plan_chip(spec);
+  EXPECT_LE(plan.aspect_ratio, 2.01);
+  EXPECT_GE(plan.aspect_ratio, 1.0);
+}
+
+TEST(Floorplan, DieOutlineHoldsTotalArea) {
+  ChipSpec spec;
+  spec.modules = {module(32)};
+  spec.logic_kgates = 400.0;
+  const ChipPlan plan = plan_chip(spec);
+  EXPECT_GE(plan.die_width_mm * plan.die_height_mm,
+            plan.total_area_mm2 * 0.9);
+}
+
+TEST(Floorplan, Validation) {
+  ChipSpec empty;
+  empty.modules.clear();
+  EXPECT_THROW(plan_chip(empty), edsim::ConfigError);
+  ChipSpec bad;
+  bad.modules = {module(16)};
+  bad.logic_density_kgates_mm2 = 0.0;
+  EXPECT_THROW(plan_chip(bad), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::modulegen

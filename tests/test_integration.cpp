@@ -1,0 +1,201 @@
+// Cross-module integration tests: the full pipelines an application
+// would run, exercised end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "bist/bist_controller.hpp"
+#include "bist/redundancy.hpp"
+#include "clients/system.hpp"
+#include "core/evaluator.hpp"
+#include "core/pareto.hpp"
+#include "dram/presets.hpp"
+#include "modulegen/module_compiler.hpp"
+#include "mpeg/trace_gen.hpp"
+#include "power/energy_model.hpp"
+#include "power/retention.hpp"
+#include "phy/interface_model.hpp"
+
+namespace edsim {
+namespace {
+
+TEST(Integration, CompiledModuleDrivesSimulatorGeometry) {
+  // modulegen -> dram: compile a module, build the matching channel, and
+  // stream against it.
+  modulegen::ModuleSpec spec;
+  spec.capacity = Capacity::mbit(16);
+  spec.interface_bits = 256;
+  spec.banks = 4;
+  spec.page_bytes = 2048;
+  const modulegen::ModuleCompiler mc;
+  const modulegen::ModuleDesign d = mc.compile(spec);
+  const auto hints = mc.sim_hints(d);
+
+  dram::DramConfig cfg = dram::presets::edram_module(16, 256, 4, 2048);
+  cfg.clock = Frequency{hints.clock_mhz};
+  dram::Controller ctl(cfg);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    if (!ctl.queue_full()) {
+      dram::Request r;
+      r.addr = addr;
+      addr += cfg.bytes_per_access();
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  const double sustained =
+      ctl.stats().sustained_bandwidth(cfg.clock).as_gbyte_per_s();
+  // A streaming client on the compiled module should deliver most of the
+  // compiled peak.
+  EXPECT_GT(sustained, d.peak.as_gbyte_per_s() * 0.7);
+}
+
+TEST(Integration, PowerThermalRefreshFeedbackLoop) {
+  // dram sim -> power model -> thermal loop -> refresh scaling back into
+  // the sim: the §1 "junction temperature may increase and retention may
+  // decrease" loop, closed.
+  dram::DramConfig cfg = dram::presets::edram_256bit_16mbit();
+  dram::Controller ctl(cfg);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (!ctl.queue_full()) {
+      dram::Request r;
+      r.addr = addr;
+      addr += cfg.bytes_per_access();
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  const phy::InterfaceModel io(cfg.interface_bits, cfg.clock,
+                               phy::on_chip_wire());
+  const power::DramPowerModel pm(power::core_energy_sdram_025um(),
+                                 io.energy_per_bit_j());
+  const power::PowerBreakdown pb = pm.evaluate(ctl.stats(), cfg);
+
+  // Add 3 W of logic beside the memory and resolve the operating point.
+  const power::ThermalLoop loop(power::ThermalModel{}, power::RetentionModel{});
+  const auto op = loop.solve(3.0 + pb.total_mw() * 1e-3,
+                             pb.refresh_mw * 1e-3, 0.01);
+  ASSERT_TRUE(op.converged);
+  EXPECT_GT(op.junction_c, 85.0);  // hot part
+  EXPECT_LT(op.refresh_scale, 1.0);
+
+  // Feed the shorter interval back into a second run: bandwidth drops.
+  dram::Controller hot(cfg);
+  hot.refresh_engine().scale_interval(op.refresh_scale);
+  addr = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (!hot.queue_full()) {
+      dram::Request r;
+      r.addr = addr;
+      addr += cfg.bytes_per_access();
+      hot.enqueue(r);
+    }
+    hot.tick();
+    hot.drain_completed();
+  }
+  EXPECT_LT(hot.stats().bytes_transferred, ctl.stats().bytes_transferred);
+}
+
+TEST(Integration, MpegDecoderRealTimeOnEdram) {
+  // mpeg -> clients -> dram: the §4.1 decoder on a 16-Mbit embedded
+  // module keeps all four clients fed in real time.
+  mpeg::DecoderConfig dc;
+  dc.format = mpeg::pal();
+  const mpeg::DecoderModel model(dc);
+  ASSERT_TRUE(model.fits_16mbit());
+  const mpeg::MemoryMap map = model.build_memory_map();
+
+  clients::MemorySystem sys(dram::presets::edram_module(16, 64, 4, 2048),
+                            clients::ArbiterKind::kRoundRobin);
+  mpeg::add_decoder_clients(sys, model, map);
+  sys.run(400'000);  // ~2.8 ms of decoder time
+
+  // Demand is ~0.6 Gbit/s against a 8.6 Gbit/s channel: every client
+  // must see low stall rates and bounded latency.
+  for (std::size_t i = 0; i < sys.client_count(); ++i) {
+    const auto& st = sys.client_stats(i);
+    EXPECT_GT(st.completed, 100u) << sys.client(i).name();
+    EXPECT_LT(st.latency.mean(), 200.0) << sys.client(i).name();
+  }
+  EXPECT_LT(sys.bandwidth_efficiency(), 0.7);  // headroom remains
+}
+
+TEST(Integration, BistRepairYieldPipeline) {
+  // bist: inject manufacturing defects, run pre-fuse BIST, allocate
+  // repair, verify post-fuse cleanliness.
+  Rng rng(31);
+  bist::MemoryArray array(64, 64);
+  std::vector<bist::Fault> faults;
+  for (int i = 0; i < 4; ++i) {
+    const auto f = bist::random_fault(rng, bist::FaultKind::kStuckAt1, 64, 64);
+    faults.push_back(f);
+    array.inject(f);
+  }
+  const bist::MarchResult pre = bist::run_march(array, bist::march_c_minus());
+  ASSERT_FALSE(pre.passed);
+
+  bist::FailBitmap bitmap{64, 64, pre.failing_cells()};
+  const bist::RepairPlan plan = bist::allocate_repair(bitmap, 4, 4);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_TRUE(bist::covers_all(bitmap, plan));
+
+  // Post-fuse: a fresh array with only the unrepaired faults (none).
+  bist::MemoryArray repaired(64, 64);
+  for (const auto& f : faults) {
+    const bool covered =
+        std::find(plan.replaced_rows.begin(), plan.replaced_rows.end(),
+                  f.victim.row) != plan.replaced_rows.end() ||
+        std::find(plan.replaced_cols.begin(), plan.replaced_cols.end(),
+                  f.victim.col) != plan.replaced_cols.end();
+    if (!covered) repaired.inject(f);
+  }
+  EXPECT_TRUE(bist::run_march(repaired, bist::march_c_minus()).passed);
+}
+
+TEST(Integration, DesignSpaceParetoContainsEmbeddedAndDiscrete) {
+  // core: sweep a small design space, extract the cost/bandwidth Pareto
+  // front, and check the §3 trade-off appears: discrete wins on cost at
+  // low demand, embedded on bandwidth.
+  core::Evaluator ev;
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 40'000;
+
+  std::vector<core::SystemConfig> cfgs;
+  for (unsigned width : {64u, 256u}) {
+    core::SystemConfig e;
+    e.name = "embedded-" + std::to_string(width);
+    e.integration = core::Integration::kEmbedded;
+    e.required_memory = Capacity::mbit(16);
+    e.interface_bits = width;
+    e.banks = 4;
+    e.page_bytes = 2048;
+    cfgs.push_back(e);
+  }
+  {
+    core::SystemConfig d;
+    d.name = "discrete-64";
+    d.integration = core::Integration::kDiscrete;
+    d.required_memory = Capacity::mbit(16);
+    d.interface_bits = 64;
+    cfgs.push_back(d);
+  }
+  const auto metrics = ev.sweep(cfgs, w);
+
+  std::vector<core::ParetoPoint> pts;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    pts.push_back(core::ParetoPoint{
+        i, {metrics[i].unit_cost_usd, -metrics[i].sustained_gbyte_s}});
+  }
+  const auto front = core::pareto_front(pts);
+  EXPECT_GE(front.size(), 2u);  // a real trade-off, not a single winner
+}
+
+}  // namespace
+}  // namespace edsim

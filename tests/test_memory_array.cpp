@@ -1,0 +1,176 @@
+#include "bist/memory_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+namespace {
+
+TEST(MemoryArray, FaultFreeStoresAndReads) {
+  MemoryArray a(8, 8);
+  a.write(3, 4, true);
+  EXPECT_TRUE(a.read(3, 4));
+  a.write(3, 4, false);
+  EXPECT_FALSE(a.read(3, 4));
+  EXPECT_FALSE(a.read(0, 0));  // initialized to 0
+}
+
+TEST(MemoryArray, BoundsChecked) {
+  MemoryArray a(4, 4);
+  EXPECT_THROW(a.write(4, 0, true), edsim::ConfigError);
+  EXPECT_THROW(a.read(0, 4), edsim::ConfigError);
+  EXPECT_THROW(a.inject(make_stuck_at({9, 0}, true)), edsim::ConfigError);
+}
+
+TEST(MemoryArray, StuckAt0IgnoresWrites) {
+  MemoryArray a(4, 4);
+  a.inject(make_stuck_at({1, 1}, false));
+  a.write(1, 1, true);
+  EXPECT_FALSE(a.read(1, 1));
+}
+
+TEST(MemoryArray, StuckAt1ReadsOne) {
+  MemoryArray a(4, 4);
+  a.inject(make_stuck_at({2, 2}, true));
+  EXPECT_TRUE(a.read(2, 2));
+  a.write(2, 2, false);
+  EXPECT_TRUE(a.read(2, 2));
+}
+
+TEST(MemoryArray, TransitionUpBlocksRisingOnly) {
+  MemoryArray a(4, 4);
+  a.inject(make_transition({0, 0}, /*rising_blocked=*/true));
+  a.write(0, 0, true);  // 0 -> 1 blocked
+  EXPECT_FALSE(a.read(0, 0));
+  // A cell that is already 1 can fall normally. Force it via direct
+  // falling path: TF^ blocks only rising, so write 0 works...
+  a.write(0, 0, false);
+  EXPECT_FALSE(a.read(0, 0));
+}
+
+TEST(MemoryArray, TransitionDownBlocksFallingOnly) {
+  MemoryArray a(4, 4);
+  a.inject(make_transition({0, 1}, /*rising_blocked=*/false));
+  a.write(0, 1, true);  // rising works
+  EXPECT_TRUE(a.read(0, 1));
+  a.write(0, 1, false);  // 1 -> 0 blocked
+  EXPECT_TRUE(a.read(0, 1));
+}
+
+TEST(MemoryArray, CouplingInversionFlipsVictim) {
+  MemoryArray a(4, 4);
+  // Victim (2,0) flips when aggressor (1,0) rises.
+  a.inject(make_coupling_inversion({2, 0}, {1, 0}, /*rising=*/true));
+  a.write(2, 0, false);
+  a.write(1, 0, false);
+  a.write(1, 0, true);  // rising aggressor
+  EXPECT_TRUE(a.read(2, 0));
+  a.write(1, 0, false);  // falling: no effect
+  EXPECT_TRUE(a.read(2, 0));
+}
+
+TEST(MemoryArray, CouplingIdempotentForcesValue) {
+  MemoryArray a(4, 4);
+  a.inject(make_coupling_idempotent({0, 3}, {1, 3}, /*rising=*/false,
+                                    /*forced=*/true));
+  a.write(0, 3, false);
+  a.write(1, 3, true);
+  a.write(1, 3, false);  // falling aggressor triggers
+  EXPECT_TRUE(a.read(0, 3));
+  // Re-trigger after the victim is corrected: forced again.
+  a.write(0, 3, false);
+  a.write(1, 3, true);
+  a.write(1, 3, false);
+  EXPECT_TRUE(a.read(0, 3));
+}
+
+TEST(MemoryArray, AggressorTransitionRequiresActualChange) {
+  MemoryArray a(4, 4);
+  a.inject(make_coupling_inversion({2, 2}, {3, 2}, /*rising=*/true));
+  a.write(2, 2, false);
+  a.write(3, 2, true);
+  EXPECT_TRUE(a.read(2, 2));  // one flip
+  a.write(3, 2, true);        // no transition: writing 1 over 1
+  EXPECT_TRUE(a.read(2, 2));  // still exactly one flip
+}
+
+TEST(MemoryArray, RetentionDecaysAfterHoldTime) {
+  MemoryArray a(4, 4);
+  a.inject(make_retention({1, 2}, /*decay_ms=*/50.0, /*decayed=*/false));
+  a.write(1, 2, true);
+  a.advance_time_ms(20.0);
+  EXPECT_TRUE(a.read(1, 2));  // still within retention
+  a.advance_time_ms(40.0);    // 60 ms since write
+  EXPECT_FALSE(a.read(1, 2));
+}
+
+TEST(MemoryArray, WriteRefreshesRetentionClock) {
+  MemoryArray a(4, 4);
+  a.inject(make_retention({0, 0}, 50.0, false));
+  a.write(0, 0, true);
+  a.advance_time_ms(40.0);
+  a.write(0, 0, true);  // rewrite restores charge
+  a.advance_time_ms(40.0);
+  EXPECT_TRUE(a.read(0, 0));  // only 40 ms since last write
+}
+
+TEST(MemoryArray, HealthyCellsUnaffectedByNeighbourFaults) {
+  MemoryArray a(8, 8);
+  a.inject(make_stuck_at({1, 1}, true));
+  a.inject(make_coupling_inversion({2, 2}, {3, 3}, true));
+  a.write(1, 2, true);
+  a.write(0, 0, true);
+  EXPECT_TRUE(a.read(1, 2));
+  EXPECT_TRUE(a.read(0, 0));
+  EXPECT_FALSE(a.read(5, 5));
+}
+
+TEST(MemoryArray, AddressFaultMirrorsWrites) {
+  MemoryArray a(8, 8);
+  a.inject(make_address_fault(/*victim=*/{2, 3}, /*aggressor=*/{6, 3}));
+  a.write(2, 3, false);
+  a.write(6, 3, true);  // decoder short: lands in (2,3) as well
+  EXPECT_TRUE(a.read(2, 3));
+  a.write(6, 3, false);
+  EXPECT_FALSE(a.read(2, 3));
+  // The victim's own writes work normally and don't touch the aggressor.
+  a.write(6, 3, true);
+  a.write(2, 3, false);
+  EXPECT_TRUE(a.read(6, 3));
+}
+
+TEST(Faults, FactoriesValidate) {
+  EXPECT_THROW(make_coupling_inversion({1, 1}, {1, 1}, true),
+               edsim::ConfigError);
+  EXPECT_THROW(make_retention({0, 0}, 0.0, false), edsim::ConfigError);
+}
+
+TEST(Faults, RandomFaultWithinBounds) {
+  Rng rng(3);
+  for (FaultKind k :
+       {FaultKind::kStuckAt0, FaultKind::kStuckAt1, FaultKind::kTransitionUp,
+        FaultKind::kTransitionDown, FaultKind::kCouplingInversion,
+        FaultKind::kCouplingIdempotent, FaultKind::kRetention}) {
+    for (int i = 0; i < 200; ++i) {
+      const Fault f = random_fault(rng, k, 16, 16);
+      EXPECT_LT(f.victim.row, 16u);
+      EXPECT_LT(f.victim.col, 16u);
+      if (k == FaultKind::kCouplingInversion ||
+          k == FaultKind::kCouplingIdempotent) {
+        EXPECT_LT(f.aggressor.row, 16u);
+        EXPECT_FALSE(f.victim == f.aggressor);
+      }
+    }
+  }
+}
+
+TEST(Faults, DescribeAndNames) {
+  EXPECT_STREQ(to_string(FaultKind::kStuckAt0), "SA0");
+  EXPECT_STREQ(to_string(FaultKind::kRetention), "RET");
+  const Fault f = make_stuck_at({3, 7}, true);
+  EXPECT_NE(f.describe().find("SA1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edsim::bist

@@ -1,0 +1,186 @@
+#include "modulegen/module_compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "modulegen/area_model.hpp"
+
+namespace edsim::modulegen {
+namespace {
+
+TEST(Blocks, TilingPrefersBigBlocks) {
+  const BlockMix mix = tile_capacity(Capacity::mbit(16));
+  EXPECT_EQ(mix.blocks_1m, 16u);
+  EXPECT_EQ(mix.blocks_256k, 0u);
+  EXPECT_EQ(mix.total(), Capacity::mbit(16));
+}
+
+TEST(Blocks, RemainderUsesSmallBlocks) {
+  // 4.75 Mbit = 4 x 1M + 3 x 256K.
+  const BlockMix mix = tile_capacity(Capacity::kbit(4864));
+  EXPECT_EQ(mix.blocks_1m, 4u);
+  EXPECT_EQ(mix.blocks_256k, 3u);
+}
+
+TEST(Blocks, RejectsNonGranularCapacity) {
+  EXPECT_THROW(tile_capacity(Capacity::kbit(100)), edsim::ConfigError);
+  EXPECT_THROW(tile_capacity(Capacity::bits(0)), edsim::ConfigError);
+}
+
+TEST(Blocks, SmallBlocksCostMoreAreaPerBit) {
+  const double one_mbit_small =
+      4.0 * block_info(BlockKind::k256Kbit).array_area_mm2;
+  const double one_mbit_big = block_info(BlockKind::k1Mbit).array_area_mm2;
+  EXPECT_GT(one_mbit_small, one_mbit_big);
+}
+
+TEST(ModuleSpec, ValidatesEnvelope) {
+  ModuleSpec s;
+  s.interface_bits = 8;
+  EXPECT_THROW(s.validate(), edsim::ConfigError);
+  s = ModuleSpec{};
+  s.interface_bits = 1024;
+  EXPECT_THROW(s.validate(), edsim::ConfigError);
+  s = ModuleSpec{};
+  s.banks = 3;
+  EXPECT_THROW(s.validate(), edsim::ConfigError);
+  s = ModuleSpec{};
+  s.capacity = Capacity::kbit(128);  // below one block
+  EXPECT_THROW(s.validate(), edsim::ConfigError);
+}
+
+TEST(ModuleCompiler, SixteenMbitHitsPaperDensity) {
+  // §5: "large memory modules, from 8-16 Mbit upwards, achieving an area
+  // efficiency of about 1 Mbit/mm2."
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(16);
+  s.interface_bits = 256;
+  s.banks = 4;
+  s.page_bytes = 2048;
+  const ModuleDesign d = ModuleCompiler{}.compile(s);
+  EXPECT_GT(d.area_efficiency_mbit_per_mm2, 0.9);
+  EXPECT_LT(d.area_efficiency_mbit_per_mm2, 1.3);
+}
+
+TEST(ModuleCompiler, SmallModulesAreInefficient) {
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(1);
+  s.interface_bits = 32;
+  s.banks = 1;
+  s.page_bytes = 512;
+  const ModuleDesign d = ModuleCompiler{}.compile(s);
+  EXPECT_LT(d.area_efficiency_mbit_per_mm2, 0.5);
+}
+
+TEST(ModuleCompiler, EfficiencyRisesMonotonicallyWithCapacity) {
+  double prev = 0.0;
+  for (unsigned mbit : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    ModuleSpec s;
+    s.capacity = Capacity::mbit(mbit);
+    s.interface_bits = 128;
+    s.banks = 4;
+    s.page_bytes = 1024;
+    const ModuleDesign d = ModuleCompiler{}.compile(s);
+    EXPECT_GT(d.area_efficiency_mbit_per_mm2, prev) << mbit << " Mbit";
+    prev = d.area_efficiency_mbit_per_mm2;
+  }
+}
+
+class EnvelopeCycleTime
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(EnvelopeCycleTime, StaysBelowSevenNs) {
+  // §5: "cycle times better than 7 ns, corresponding to clock frequencies
+  // better than 143 MHz" — across the whole envelope.
+  const auto [mbit, width] = GetParam();
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(mbit);
+  s.interface_bits = width;
+  s.banks = 4;
+  s.page_bytes = 2048;
+  const ModuleDesign d = ModuleCompiler{}.compile(s);
+  EXPECT_LE(d.cycle_ns, 7.0);
+  EXPECT_GE(d.clock.mhz, 143.0 - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, EnvelopeCycleTime,
+    ::testing::Combine(::testing::Values(8u, 16u, 64u, 128u),
+                       ::testing::Values(16u, 64u, 256u, 512u)));
+
+TEST(ModuleCompiler, PeakBandwidthNearNineGbytePerS) {
+  // §5: "a maximum bandwidth per module of about 9 Gbyte/s" at 512 bits.
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(16);
+  s.interface_bits = 512;
+  s.banks = 4;
+  s.page_bytes = 4096;
+  const ModuleDesign d = ModuleCompiler{}.compile(s);
+  EXPECT_GT(d.peak.as_gbyte_per_s(), 8.5);
+  EXPECT_LT(d.peak.as_gbyte_per_s(), 10.5);
+}
+
+TEST(ModuleCompiler, RedundancyCostsArea) {
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(16);
+  s.interface_bits = 128;
+  s.banks = 4;
+  s.page_bytes = 1024;
+  s.redundancy = RedundancyLevel::kNone;
+  const double none = ModuleCompiler{}.compile(s).total_area_mm2;
+  s.redundancy = RedundancyLevel::kStandard;
+  const double std_area = ModuleCompiler{}.compile(s).total_area_mm2;
+  s.redundancy = RedundancyLevel::kHigh;
+  const double high = ModuleCompiler{}.compile(s).total_area_mm2;
+  EXPECT_LT(none, std_area);
+  EXPECT_LT(std_area, high);
+  EXPECT_LT(high / none, 1.1);  // single-digit percent overhead
+}
+
+TEST(ModuleCompiler, WiderInterfaceCostsAreaAndCycleTime) {
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(16);
+  s.banks = 4;
+  s.page_bytes = 2048;
+  s.interface_bits = 16;
+  const ModuleDesign narrow = ModuleCompiler{}.compile(s);
+  s.interface_bits = 512;
+  const ModuleDesign wide = ModuleCompiler{}.compile(s);
+  EXPECT_GT(wide.total_area_mm2, narrow.total_area_mm2);
+  EXPECT_GT(wide.cycle_ns, narrow.cycle_ns);
+  EXPECT_GT(wide.peak.as_gbyte_per_s(), narrow.peak.as_gbyte_per_s());
+}
+
+TEST(ModuleCompiler, SimHintsGeometry) {
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(16);
+  s.interface_bits = 256;
+  s.banks = 4;
+  s.page_bytes = 2048;
+  const ModuleCompiler mc;
+  const ModuleDesign d = mc.compile(s);
+  const auto h = mc.sim_hints(d);
+  EXPECT_EQ(h.rows_per_bank, 256u);
+  EXPECT_NEAR(h.clock_mhz, 1000.0 / d.cycle_ns, 1e-9);
+}
+
+TEST(ModuleCompiler, SpareCounts) {
+  EXPECT_EQ(spare_rows(RedundancyLevel::kNone), 0u);
+  EXPECT_EQ(spare_rows(RedundancyLevel::kStandard), 2u);
+  EXPECT_EQ(spare_rows(RedundancyLevel::kHigh), 4u);
+  EXPECT_EQ(spare_cols(RedundancyLevel::kHigh), 4u);
+}
+
+TEST(ModuleCompiler, DescribeMentionsKeyNumbers) {
+  ModuleSpec s;
+  s.capacity = Capacity::mbit(16);
+  s.interface_bits = 256;
+  s.banks = 4;
+  s.page_bytes = 2048;
+  const std::string txt = ModuleCompiler{}.compile(s).describe();
+  EXPECT_NE(txt.find("16 Mbit"), std::string::npos);
+  EXPECT_NE(txt.find("256-bit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edsim::modulegen

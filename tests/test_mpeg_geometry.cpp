@@ -1,0 +1,83 @@
+#include "mpeg/frame_geometry.hpp"
+#include "mpeg/memory_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::mpeg {
+namespace {
+
+TEST(FrameGeometry, PaperPalNumber) {
+  // §4.1: "a PAL frame, for example, in 4:2:0 format needs 4.75 Mbit".
+  const FrameFormat f = pal();
+  EXPECT_NEAR(f.frame_capacity().as_mbit(), 4.75, 0.005);
+}
+
+TEST(FrameGeometry, PaperNtscNumber) {
+  // "...whereas an NTSC frame requires 3.96 Mbit."
+  const FrameFormat f = ntsc();
+  EXPECT_NEAR(f.frame_capacity().as_mbit(), 3.96, 0.005);
+}
+
+TEST(FrameGeometry, ChromaIsHalfOfLuma) {
+  const FrameFormat f = pal();
+  EXPECT_EQ(f.chroma_bytes() * 2, f.luma_bytes());
+  EXPECT_EQ(f.frame_bytes(), f.luma_bytes() * 3 / 2);
+}
+
+TEST(FrameGeometry, MacroblockCount) {
+  EXPECT_EQ(pal().macroblocks(), 45u * 36u);   // 1620
+  EXPECT_EQ(ntsc().macroblocks(), 45u * 30u);  // 1350
+}
+
+TEST(FrameGeometry, NeitherFitsCommoditySizesNeatly) {
+  // §4.1: "standard commodity sizes are usually not a multiple of the
+  // frame memory size": 4 Mbit < PAL frame, so a frame needs 2 chips and
+  // wastes most of the second.
+  const Capacity pal_frame = pal().frame_capacity();
+  EXPECT_GT(pal_frame, Capacity::mbit(4));
+  EXPECT_LT(pal_frame, Capacity::mbit(8));
+}
+
+TEST(MemoryMap, AllocatesAlignedNonOverlapping) {
+  MemoryMap map(4096);
+  const Region& a = map.allocate("a", Capacity::bytes(1000));
+  const Region& b = map.allocate("b", Capacity::bytes(5000));
+  const Region& c = map.allocate("c", Capacity::mbit(1));
+  EXPECT_EQ(a.base % 4096, 0u);
+  EXPECT_EQ(b.base % 4096, 0u);
+  EXPECT_GE(b.base, a.end());
+  EXPECT_GE(c.base, b.end());
+}
+
+TEST(MemoryMap, FindByName) {
+  MemoryMap map;
+  map.allocate("vbv", Capacity::mbit(2));
+  EXPECT_NE(map.find("vbv"), nullptr);
+  EXPECT_EQ(map.find("nope"), nullptr);
+  EXPECT_EQ(map.find("vbv")->capacity(), Capacity::mbit(2));
+}
+
+TEST(MemoryMap, RejectsDuplicatesAndEmpty) {
+  MemoryMap map;
+  map.allocate("x", Capacity::bytes(64));
+  EXPECT_THROW(map.allocate("x", Capacity::bytes(64)), edsim::ConfigError);
+  EXPECT_THROW(map.allocate("y", Capacity::bits(0)), edsim::ConfigError);
+}
+
+TEST(MemoryMap, TotalIncludesAlignmentPadding) {
+  MemoryMap map(4096);
+  map.allocate("a", Capacity::bytes(1));
+  map.allocate("b", Capacity::bytes(1));
+  EXPECT_EQ(map.total_allocated().byte_count(), 4097u);
+  EXPECT_TRUE(map.fits(Capacity::mbit(1)));
+  EXPECT_FALSE(map.fits(Capacity::bytes(100)));
+}
+
+TEST(MemoryMap, RejectsNonPow2Alignment) {
+  EXPECT_THROW(MemoryMap(3), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::mpeg

@@ -1,0 +1,77 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace edsim::core {
+namespace {
+
+ParetoPoint pt(std::size_t idx, std::vector<double> obj) {
+  return ParetoPoint{idx, std::move(obj)};
+}
+
+TEST(Pareto, DominanceDefinition) {
+  EXPECT_TRUE(dominates(pt(0, {1, 1}), pt(1, {2, 2})));
+  EXPECT_TRUE(dominates(pt(0, {1, 2}), pt(1, {2, 2})));
+  EXPECT_FALSE(dominates(pt(0, {1, 3}), pt(1, {2, 2})));  // trade-off
+  EXPECT_FALSE(dominates(pt(0, {2, 2}), pt(1, {2, 2})));  // equal
+}
+
+TEST(Pareto, DimensionMismatchThrows) {
+  EXPECT_THROW(dominates(pt(0, {1}), pt(1, {1, 2})), edsim::ConfigError);
+}
+
+TEST(Pareto, FrontOfSimpleTradeoffCurve) {
+  // Points on a hyperbola plus two dominated stragglers.
+  std::vector<ParetoPoint> pts = {
+      pt(0, {1, 4}), pt(1, {2, 2}), pt(2, {4, 1}),
+      pt(3, {3, 3}),  // dominated by (2,2)
+      pt(4, {5, 5}),  // dominated by everything
+  };
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Pareto, AllNonDominatedSurvive) {
+  std::vector<ParetoPoint> pts = {pt(0, {1, 9}), pt(1, {5, 5}),
+                                  pt(2, {9, 1})};
+  EXPECT_EQ(pareto_front(pts).size(), 3u);
+}
+
+TEST(Pareto, DuplicatePointsBothSurvive) {
+  // Equal points do not dominate each other.
+  std::vector<ParetoPoint> pts = {pt(0, {2, 2}), pt(1, {2, 2})};
+  EXPECT_EQ(pareto_front(pts).size(), 2u);
+}
+
+TEST(Pareto, SingleObjectiveReducesToMin) {
+  std::vector<ParetoPoint> pts = {pt(0, {3}), pt(1, {1}), pt(2, {2})};
+  EXPECT_EQ(pareto_front(pts), (std::vector<std::size_t>{1}));
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Pareto, FrontIsActuallyNonDominated) {
+  // Property: no front member is dominated by any input point.
+  std::vector<ParetoPoint> pts;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double x = static_cast<double>((i * 37) % 17);
+    const double y = static_cast<double>((i * 53) % 23);
+    pts.push_back(pt(i, {x, y}));
+  }
+  const auto front = pareto_front(pts);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t fi : front) {
+    for (const auto& p : pts) {
+      EXPECT_FALSE(dominates(p, pts[fi]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edsim::core

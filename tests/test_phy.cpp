@@ -1,0 +1,111 @@
+#include "phy/discrete_system.hpp"
+#include "phy/interface_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::phy {
+namespace {
+
+TEST(InterfaceModel, EnergyPerBitPhysics) {
+  IoElectricals io;
+  io.load_pf = 10.0;
+  io.swing_v = 2.0;
+  io.activity = 0.5;
+  io.ctrl_overhead = 0.0;
+  const InterfaceModel m(64, Frequency{100.0}, io);
+  // E = C V^2 * activity = 10 pF * 4 V^2 * 0.5 = 20 pJ.
+  EXPECT_NEAR(m.energy_per_bit_j(), 20e-12, 1e-15);
+}
+
+TEST(InterfaceModel, PowerScalesWithWidthAndUtilization) {
+  const IoElectricals io = off_chip_board();
+  const InterfaceModel narrow(16, Frequency{100.0}, io);
+  const InterfaceModel wide(256, Frequency{100.0}, io);
+  EXPECT_NEAR(wide.dynamic_power_w(1.0) / narrow.dynamic_power_w(1.0), 16.0,
+              1e-9);
+  EXPECT_NEAR(narrow.dynamic_power_w(0.5) / narrow.dynamic_power_w(1.0), 0.5,
+              1e-9);
+  EXPECT_EQ(narrow.dynamic_power_w(0.0), 0.0);
+}
+
+TEST(InterfaceModel, OnChipBeatsOffChipPerBit) {
+  // The §1 argument: ~10x at equal transported bandwidth.
+  const InterfaceModel off(16, Frequency{100.0}, off_chip_board());
+  const InterfaceModel on(256, Frequency{143.0}, on_chip_wire());
+  const double ratio = off.energy_per_bit_j() / on.energy_per_bit_j();
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(InterfaceModel, TransferEnergyLinearInBytes) {
+  const InterfaceModel m(32, Frequency{100.0}, on_chip_wire());
+  EXPECT_NEAR(m.transfer_energy_j(2000.0), 2.0 * m.transfer_energy_j(1000.0),
+              1e-18);
+}
+
+TEST(InterfaceModel, RejectsBadParameters) {
+  IoElectricals io = off_chip_board();
+  io.activity = 1.5;
+  EXPECT_THROW(InterfaceModel(16, Frequency{100.0}, io), edsim::ConfigError);
+  EXPECT_THROW(InterfaceModel(16, Frequency{0.0}, off_chip_board()),
+               edsim::ConfigError);
+  const InterfaceModel ok(16, Frequency{100.0}, off_chip_board());
+  EXPECT_THROW(ok.dynamic_power_w(-0.1), edsim::ConfigError);
+}
+
+TEST(DiscreteSystem, PaperGranularityExample) {
+  // §1: "it would take 16 discrete 4-Mbit chips (organized as 256K x 16)
+  // to achieve the same [256-bit] width, so the granularity of such a
+  // discrete system is 64 Mbit."
+  DiscreteChip chip;
+  chip.capacity = Capacity::mbit(4);
+  chip.interface_bits = 16;
+  const DiscreteSystem sys(chip, 256);
+  EXPECT_EQ(sys.chip_count(), 16u);
+  EXPECT_EQ(sys.installed_capacity(), Capacity::mbit(64));
+  EXPECT_EQ(sys.granularity(), Capacity::mbit(64));
+}
+
+TEST(DiscreteSystem, OverheadForSmallerRequirement) {
+  DiscreteChip chip;
+  chip.capacity = Capacity::mbit(4);
+  chip.interface_bits = 16;
+  const DiscreteSystem sys(chip, 256);
+  // Application needs 8 Mbit: 56 Mbit of dead weight (§1).
+  EXPECT_EQ(sys.overhead_for(Capacity::mbit(8)), Capacity::mbit(56));
+  EXPECT_THROW(sys.overhead_for(Capacity::mbit(128)), edsim::ConfigError);
+}
+
+TEST(DiscreteSystem, RoundsWidthUp) {
+  DiscreteChip chip;
+  chip.interface_bits = 16;
+  const DiscreteSystem sys(chip, 72);  // needs 4.5 chips -> 5
+  EXPECT_EQ(sys.chip_count(), 5u);
+  EXPECT_EQ(sys.width_bits(), 80u);
+}
+
+TEST(DiscreteSystem, PeakBandwidthOfRank) {
+  DiscreteChip chip;  // 16-bit @ 100 MHz
+  const DiscreteSystem sys(chip, 256);
+  EXPECT_NEAR(sys.peak_bandwidth().as_gbyte_per_s(), 3.2, 1e-9);
+}
+
+TEST(DiscreteSystem, IoPowerCountsAllChips) {
+  DiscreteChip chip;
+  const DiscreteSystem one(chip, 16);
+  const DiscreteSystem sixteen(chip, 256);
+  const IoElectricals io = off_chip_board();
+  EXPECT_NEAR(sixteen.io_power_w(io, 1.0) / one.io_power_w(io, 1.0), 16.0,
+              1e-9);
+}
+
+TEST(DiscreteSystem, RejectsWidthBelowChip) {
+  DiscreteChip chip;
+  chip.interface_bits = 16;
+  EXPECT_THROW(DiscreteSystem(chip, 8), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::phy

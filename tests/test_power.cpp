@@ -1,0 +1,70 @@
+#include "power/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dram/presets.hpp"
+
+namespace edsim::power {
+namespace {
+
+dram::ControllerStats busy_stats() {
+  dram::ControllerStats s;
+  s.cycles = 100'000;
+  s.activations = 1000;
+  s.refreshes = 50;
+  s.bytes_transferred = 1'000'000;
+  s.reads = 7000;
+  s.writes = 1000;
+  return s;
+}
+
+TEST(PowerModel, BreakdownSumsToTotal) {
+  const DramPowerModel m(core_energy_sdram_025um(), 20e-12);
+  const PowerBreakdown p =
+      m.evaluate(busy_stats(), dram::presets::sdram_pc100_64mbit());
+  EXPECT_NEAR(p.total_mw(),
+              p.core_mw + p.io_mw + p.refresh_mw + p.background_mw, 1e-9);
+  EXPECT_GT(p.core_mw, 0.0);
+  EXPECT_GT(p.io_mw, 0.0);
+  EXPECT_GT(p.refresh_mw, 0.0);
+}
+
+TEST(PowerModel, IoPowerProportionalToEnergyPerBit) {
+  const auto cfg = dram::presets::sdram_pc100_64mbit();
+  const DramPowerModel cheap(core_energy_sdram_025um(), 10e-12);
+  const DramPowerModel dear(core_energy_sdram_025um(), 100e-12);
+  const auto s = busy_stats();
+  EXPECT_NEAR(dear.evaluate(s, cfg).io_mw / cheap.evaluate(s, cfg).io_mw,
+              10.0, 1e-9);
+}
+
+TEST(PowerModel, HandComputedIoPower) {
+  // 1 MB over 1 ms at 20 pJ/bit: 8e6 bit * 20e-12 J = 160 uJ / 1 ms =
+  // 160 mW.
+  dram::ControllerStats s;
+  s.cycles = 100'000;  // at 100 MHz -> 1 ms
+  s.bytes_transferred = 1'000'000;
+  CoreEnergy core;
+  core.background_mw = 0.0;
+  const DramPowerModel m(core, 20e-12);
+  const auto p = m.evaluate(s, dram::presets::sdram_pc100_64mbit());
+  EXPECT_NEAR(p.io_mw, 160.0, 0.1);
+}
+
+TEST(PowerModel, ThrowsOnEmptyWindow) {
+  const DramPowerModel m(core_energy_sdram_025um(), 20e-12);
+  dram::ControllerStats s;
+  EXPECT_THROW(m.evaluate(s, dram::presets::sdram_pc100_64mbit()),
+               edsim::ConfigError);
+}
+
+TEST(PowerModel, DescribeMentionsComponents) {
+  const DramPowerModel m(core_energy_sdram_025um(), 20e-12);
+  const auto p =
+      m.evaluate(busy_stats(), dram::presets::sdram_pc100_64mbit());
+  EXPECT_NE(p.describe().find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edsim::power

@@ -1,0 +1,174 @@
+#include "dram/protocol_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+
+namespace edsim::dram {
+namespace {
+
+/// Drive a random mixed workload through the controller while capturing
+/// the command trace, then verify it independently.
+CommandLog capture(DramConfig cfg, std::uint64_t seed, int requests) {
+  Controller ctl(cfg);
+  CommandLog log;
+  ctl.attach_command_log(&log);
+  Rng rng(seed);
+  const std::uint64_t cap = cfg.capacity().byte_count();
+  int submitted = 0;
+  while (submitted < requests || !ctl.idle()) {
+    if (submitted < requests && !ctl.queue_full()) {
+      Request r;
+      r.type = rng.next_bool(0.6) ? AccessType::kRead : AccessType::kWrite;
+      r.addr = rng.next_below(cap) & ~63ull;
+      ctl.enqueue(r);
+      ++submitted;
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  return log;
+}
+
+struct CheckerCase {
+  SchedulerKind sched;
+  PagePolicy policy;
+  unsigned tpc;  // transfers per clock
+};
+
+class CheckerProperty : public ::testing::TestWithParam<CheckerCase> {};
+
+TEST_P(CheckerProperty, ControllerTracesAreProtocolClean) {
+  const CheckerCase& pc = GetParam();
+  DramConfig cfg = presets::sdram_pc100_4mbit();
+  cfg.scheduler = pc.sched;
+  cfg.page_policy = pc.policy;
+  cfg.transfers_per_clock = pc.tpc;
+  const ProtocolChecker checker(cfg);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const CommandLog log = capture(cfg, seed, 1500);
+    ASSERT_GT(log.size(), 1500u);
+    const auto violations = checker.verify(log);
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violations, first: "
+        << violations.front().describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CheckerProperty,
+    ::testing::Values(
+        CheckerCase{SchedulerKind::kFcfs, PagePolicy::kOpen, 1},
+        CheckerCase{SchedulerKind::kFcfsPerBank, PagePolicy::kOpen, 1},
+        CheckerCase{SchedulerKind::kFrFcfs, PagePolicy::kOpen, 1},
+        CheckerCase{SchedulerKind::kFrFcfs, PagePolicy::kClosed, 1},
+        CheckerCase{SchedulerKind::kReadFirst, PagePolicy::kOpen, 1},
+        CheckerCase{SchedulerKind::kFrFcfs, PagePolicy::kOpen, 2},
+        CheckerCase{SchedulerKind::kReadFirst, PagePolicy::kClosed, 2}));
+
+TEST(ProtocolChecker, FlagsTrcdViolation) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({10, Command::kActivate, 0, 5, false});
+  log.record({10 + cfg.timing.tRCD - 1, Command::kRead, 0, 5, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].rule.find("tRCD"), std::string::npos);
+}
+
+TEST(ProtocolChecker, FlagsActToActiveBank) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({0, Command::kActivate, 1, 0, false});
+  log.record({100, Command::kActivate, 1, 1, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].rule.find("already-active"), std::string::npos);
+}
+
+TEST(ProtocolChecker, FlagsTrasViolation) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({0, Command::kActivate, 0, 0, false});
+  log.record({cfg.timing.tRAS - 1, Command::kPrecharge, 0, 0, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].rule.find("tRAS"), std::string::npos);
+}
+
+TEST(ProtocolChecker, FlagsTrrdViolation) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({0, Command::kActivate, 0, 0, false});
+  log.record({cfg.timing.tRRD - 1, Command::kActivate, 1, 0, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].rule.find("tRRD"), std::string::npos);
+}
+
+TEST(ProtocolChecker, FlagsDataBusCollision) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  const auto& t = cfg.timing;
+  CommandLog log;
+  log.record({0, Command::kActivate, 0, 0, false});
+  log.record({0 + t.tRRD, Command::kActivate, 1, 0, false});
+  const std::uint64_t rd1 = t.tRCD;
+  log.record({rd1, Command::kRead, 0, 0, false});
+  // Second read one cycle later on the other bank: bursts overlap.
+  log.record({rd1 + 1, Command::kRead, 1, 0, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_FALSE(v.empty());
+  bool found = false;
+  for (const auto& viol : v)
+    found = found || viol.rule.find("collision") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(ProtocolChecker, FlagsColumnToIdleBank) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({5, Command::kWrite, 0, 0, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].rule.find("idle bank"), std::string::npos);
+}
+
+TEST(ProtocolChecker, FlagsRefreshWithOpenBank) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({0, Command::kActivate, 0, 0, false});
+  log.record({50, Command::kRefresh, 0, 0, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].rule.find("REF"), std::string::npos);
+}
+
+TEST(ProtocolChecker, FlagsDoubleCommandInOneCycle) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({3, Command::kActivate, 0, 0, false});
+  log.record({3, Command::kActivate, 1, 0, false});
+  const auto v = ProtocolChecker(cfg).verify(log);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].rule.find("single command bus"), std::string::npos);
+}
+
+TEST(ProtocolChecker, CleanHandwrittenSequencePasses) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  const auto& t = cfg.timing;
+  CommandLog log;
+  log.record({0, Command::kActivate, 0, 3, false});
+  log.record({t.tRCD, Command::kRead, 0, 3, false});
+  // Second read after the first burst drains off the data bus.
+  log.record({t.tRCD + t.burst_length, Command::kRead, 0, 3, false});
+  const std::uint64_t pre = std::max<std::uint64_t>(
+      t.tRAS, t.tRCD + 2u * t.burst_length);
+  log.record({pre, Command::kPrecharge, 0, 0, false});
+  log.record({pre + t.tRP, Command::kActivate, 0, 4, false});
+  EXPECT_TRUE(ProtocolChecker(cfg).verify(log).empty());
+}
+
+}  // namespace
+}  // namespace edsim::dram

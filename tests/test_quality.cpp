@@ -1,0 +1,114 @@
+#include "bist/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+namespace {
+
+TEST(Quality, PerfectCoverageShipsCleanParts) {
+  EXPECT_DOUBLE_EQ(shipped_dppm(2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(escape_fraction(2.0, 1.0), 0.0);
+}
+
+TEST(Quality, ZeroCoverageShipsEverything) {
+  // All defective chips pass: escapes = P(defective) = 1 - exp(-lambda).
+  EXPECT_NEAR(escape_fraction(1.0, 0.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(Quality, DppmMonotoneInCoverage) {
+  double prev = 1e9;
+  for (double c : {0.0, 0.5, 0.9, 0.99, 0.999}) {
+    const double d = shipped_dppm(0.5, c);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Quality, RequiredCoverageInverts) {
+  for (double lambda : {0.2, 1.0, 3.0}) {
+    for (double target : {100.0, 1000.0, 10000.0}) {
+      const double c = required_coverage(lambda, target);
+      ASSERT_GE(c, 0.0);
+      ASSERT_LE(c, 1.0);
+      if (c > 0.0) {
+        EXPECT_NEAR(shipped_dppm(lambda, c), target, target * 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Quality, StricterGradeNeedsMoreCoverage) {
+  const double graphics =
+      required_coverage(0.5, graphics_grade().target_dppm);
+  const double compute = required_coverage(0.5, compute_grade().target_dppm);
+  EXPECT_GT(compute, graphics);
+}
+
+TEST(Quality, CoverageMatrixShapesAreSane) {
+  const auto rows = coverage_matrix(
+      {mats_plus(), march_c_minus()},
+      {FaultKind::kStuckAt0, FaultKind::kCouplingInversion}, 16, 16,
+      /*trials=*/40, /*seed=*/3);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_GE(r.coverage, 0.0);
+    EXPECT_LE(r.coverage, 1.0);
+    if (r.kind == FaultKind::kStuckAt0) {
+      EXPECT_DOUBLE_EQ(r.coverage, 1.0) << r.test;  // both cover SAFs
+    }
+  }
+  // March C- dominates MATS+ on coupling faults.
+  double mats_cf = 0.0, mc_cf = 0.0;
+  for (const auto& r : rows) {
+    if (r.kind != FaultKind::kCouplingInversion) continue;
+    (r.test == "MATS+" ? mats_cf : mc_cf) = r.coverage;
+  }
+  EXPECT_DOUBLE_EQ(mc_cf, 1.0);
+  EXPECT_GE(mc_cf, mats_cf);
+}
+
+TEST(Quality, GraphicsPlanSkipsRetentionAndIsMuchFaster) {
+  // §6: graphics-grade parts can skip the pause-dominated retention
+  // screen.
+  const TestPlan g = graphics_test_plan();
+  const TestPlan c = compute_test_plan();
+  EXPECT_FALSE(g.includes_retention());
+  EXPECT_TRUE(c.includes_retention());
+  const Capacity cap = Capacity::mbit(16);
+  const double tg = g.total_seconds(cap, 512, Frequency{143.0});
+  const double tc = c.total_seconds(cap, 512, Frequency{143.0});
+  EXPECT_GT(tc / tg, 20.0);  // the 200 ms of pauses dwarf the march ops
+}
+
+TEST(Quality, Validation) {
+  EXPECT_THROW(escape_fraction(-1.0, 0.5), edsim::ConfigError);
+  EXPECT_THROW(escape_fraction(1.0, 1.5), edsim::ConfigError);
+  EXPECT_THROW(required_coverage(0.0, 100.0), edsim::ConfigError);
+  EXPECT_THROW(required_coverage(1.0, 2e6), edsim::ConfigError);
+}
+
+TEST(MarchNew, OpCountsAndCleanPass) {
+  EXPECT_EQ(march_y().ops_per_cell(), 8u);
+  EXPECT_EQ(march_a().ops_per_cell(), 15u);
+  MemoryArray a(16, 16), b(16, 16);
+  EXPECT_TRUE(run_march(a, march_y()).passed);
+  EXPECT_TRUE(run_march(b, march_a()).passed);
+}
+
+TEST(MarchNew, BothCatchStuckAtAndTransition) {
+  for (const MarchTest& t : {march_y(), march_a()}) {
+    MemoryArray a(8, 8);
+    a.inject(make_stuck_at({2, 2}, true));
+    EXPECT_FALSE(run_march(a, t).passed) << t.name;
+    MemoryArray b(8, 8);
+    b.inject(make_transition({3, 3}, true));
+    EXPECT_FALSE(run_march(b, t).passed) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace edsim::bist

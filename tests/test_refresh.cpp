@@ -1,0 +1,165 @@
+#include "dram/refresh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+
+namespace edsim::dram {
+namespace {
+
+TEST(RefreshEngine, NotUrgentBeforeInterval) {
+  const TimingParams t = timing_pc100_sdram();
+  RefreshEngine eng(t, true);
+  EXPECT_FALSE(eng.urgent(0));
+  EXPECT_FALSE(eng.urgent(t.tREFI - 1));
+  EXPECT_TRUE(eng.urgent(t.tREFI));
+}
+
+TEST(RefreshEngine, DisabledNeverUrgent) {
+  const TimingParams t = timing_pc100_sdram();
+  RefreshEngine eng(t, false);
+  EXPECT_FALSE(eng.urgent(10ull * t.tREFI));
+}
+
+TEST(RefreshEngine, ReschedulesAfterIssue) {
+  const TimingParams t = timing_pc100_sdram();
+  RefreshEngine eng(t, true);
+  ASSERT_TRUE(eng.urgent(t.tREFI + 5));
+  eng.refresh_issued(t.tREFI + 5);
+  EXPECT_FALSE(eng.urgent(t.tREFI + 6));
+  EXPECT_TRUE(eng.urgent(2ull * t.tREFI));
+  EXPECT_EQ(eng.count(), 1u);
+}
+
+TEST(RefreshEngine, BurstModeGroupsRefreshes) {
+  const TimingParams t = timing_pc100_sdram();
+  RefreshEngine eng(t, true, /*burst_count=*/4);
+  ASSERT_TRUE(eng.urgent(t.tREFI));
+  // Four refreshes owed back to back...
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(eng.urgent(t.tREFI + static_cast<std::uint64_t>(i)));
+    eng.refresh_issued(t.tREFI + static_cast<std::uint64_t>(i));
+  }
+  // ...then quiet for four intervals.
+  EXPECT_FALSE(eng.urgent(t.tREFI + 10));
+  EXPECT_FALSE(eng.urgent(4ull * t.tREFI));
+  EXPECT_TRUE(eng.urgent(5ull * t.tREFI));
+  EXPECT_EQ(eng.count(), 4u);
+}
+
+TEST(RefreshIntegration, BurstModeSameBandwidthWorseTailLatency) {
+  auto run = [](unsigned burst) {
+    DramConfig cfg = presets::sdram_pc100_4mbit();
+    cfg.refresh_burst = burst;
+    Controller ctl(cfg);
+    std::uint64_t addr = 0;
+    Accumulator lat;
+    double worst = 0.0;
+    for (int i = 0; i < 200'000; ++i) {
+      if (i % 6 == 0 && !ctl.queue_full()) {
+        Request r;
+        r.addr = addr;
+        addr += cfg.bytes_per_access();
+        ctl.enqueue(r);
+      }
+      ctl.tick();
+      for (const auto& d : ctl.drain_completed()) {
+        lat.add(static_cast<double>(d.latency()));
+        worst = std::max(worst, static_cast<double>(d.latency()));
+      }
+    }
+    struct Out {
+      std::uint64_t refreshes;
+      double worst;
+    };
+    return Out{ctl.stats().refreshes, worst};
+  };
+  const auto distributed = run(1);
+  const auto burst8 = run(8);
+  // Same refresh count (same bandwidth tax)...
+  EXPECT_NEAR(static_cast<double>(burst8.refreshes),
+              static_cast<double>(distributed.refreshes),
+              static_cast<double>(distributed.refreshes) * 0.1);
+  // ...but a grouped blackout stretches the worst case.
+  EXPECT_GT(burst8.worst, distributed.worst * 1.5);
+}
+
+TEST(RefreshEngine, IntervalScaling) {
+  const TimingParams t = timing_pc100_sdram();
+  RefreshEngine eng(t, true);
+  eng.scale_interval(0.5);  // hotter die: refresh twice as often
+  EXPECT_EQ(eng.interval(), t.tREFI / 2);
+  eng.scale_interval(1.0);
+  EXPECT_EQ(eng.interval(), t.tREFI);
+  EXPECT_THROW(eng.scale_interval(0.0), ConfigError);
+}
+
+TEST(RefreshEngine, ScaleClampsAboveTrfc) {
+  const TimingParams t = timing_pc100_sdram();
+  RefreshEngine eng(t, true);
+  eng.scale_interval(1e-9);
+  EXPECT_GT(eng.interval(), t.tRFC);
+}
+
+TEST(RefreshIntegration, RefreshesHappenAtExpectedRate) {
+  DramConfig cfg = presets::sdram_pc100_4mbit();
+  Controller ctl(cfg);
+  const std::uint64_t cycles = 10ull * cfg.timing.tREFI;
+  for (std::uint64_t i = 0; i < cycles; ++i) ctl.tick();
+  // Idle channel: one refresh per tREFI, give or take the edges.
+  EXPECT_GE(ctl.stats().refreshes, 9u);
+  EXPECT_LE(ctl.stats().refreshes, 11u);
+}
+
+TEST(RefreshIntegration, TrafficStillCompletesUnderRefresh) {
+  DramConfig cfg = presets::sdram_pc100_4mbit();
+  Controller ctl(cfg);
+  std::uint64_t addr = 0;
+  unsigned completed = 0;
+  while (completed < 3000) {
+    if (!ctl.queue_full()) {
+      Request r;
+      r.addr = addr;
+      addr += cfg.bytes_per_access();
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    completed += static_cast<unsigned>(ctl.drain_completed().size());
+    ASSERT_LT(ctl.cycle(), 1'000'000u);
+  }
+  EXPECT_GT(ctl.stats().refreshes, 0u);
+}
+
+TEST(RefreshIntegration, RefreshStealsBandwidth) {
+  // Shorter refresh interval -> measurably lower sustained bandwidth
+  // (the §1 thermal feedback's mechanism).
+  auto run = [](double scale) {
+    DramConfig cfg = presets::sdram_pc100_4mbit();
+    Controller ctl(cfg);
+    ctl.refresh_engine().scale_interval(scale);
+    std::uint64_t addr = 0;
+    for (int i = 0; i < 100'000; ++i) {
+      if (!ctl.queue_full()) {
+        Request r;
+        r.addr = addr;
+        addr += cfg.bytes_per_access();
+        ctl.enqueue(r);
+      }
+      ctl.tick();
+      ctl.drain_completed();
+    }
+    return ctl.stats().data_bus_utilization();
+  };
+  const double nominal = run(1.0);
+  const double hot = run(1.0 / 32.0);
+  EXPECT_LT(hot, nominal);
+  EXPECT_GT(nominal - hot, 0.02);
+}
+
+}  // namespace
+}  // namespace edsim::dram

@@ -1,0 +1,88 @@
+#include "power/retention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "power/thermal.hpp"
+
+namespace edsim::power {
+namespace {
+
+TEST(Thermal, JunctionTemperature) {
+  ThermalModel t;
+  t.ambient_c = 45.0;
+  t.theta_ja_c_per_w = 25.0;
+  EXPECT_DOUBLE_EQ(t.junction_c(0.0), 45.0);
+  EXPECT_DOUBLE_EQ(t.junction_c(2.0), 95.0);
+}
+
+TEST(Retention, HalvesEveryTenDegrees) {
+  RetentionModel r;  // 64 ms at 85 C, halving every 10 C
+  EXPECT_DOUBLE_EQ(r.retention_ms(85.0), 64.0);
+  EXPECT_NEAR(r.retention_ms(95.0), 32.0, 1e-9);
+  EXPECT_NEAR(r.retention_ms(105.0), 16.0, 1e-9);
+  EXPECT_NEAR(r.retention_ms(75.0), 128.0, 1e-9);
+}
+
+TEST(Retention, RefreshScaleTracksRetention) {
+  RetentionModel r;
+  EXPECT_NEAR(r.refresh_scale(85.0), 1.0, 1e-12);
+  EXPECT_NEAR(r.refresh_scale(95.0), 0.5, 1e-9);
+  // Clamped at the extremes.
+  EXPECT_GE(r.refresh_scale(300.0), 1.0 / 64.0);
+  EXPECT_LE(r.refresh_scale(-100.0), 64.0);
+}
+
+TEST(ThermalLoop, ColdChipConvergesToNominal) {
+  ThermalModel t;
+  t.ambient_c = 30.0;
+  t.theta_ja_c_per_w = 20.0;
+  const ThermalLoop loop(t, RetentionModel{});
+  // 0.5 W -> Tj = 40 C, well below the 85 C reference: scale clamps >= 1.
+  const auto op = loop.solve(0.5, 0.01, 0.01);
+  EXPECT_TRUE(op.converged);
+  EXPECT_NEAR(op.junction_c, 40.0, 0.5);
+  EXPECT_GE(op.refresh_scale, 1.0);
+}
+
+TEST(ThermalLoop, HotChipRefreshesMoreAndConverges) {
+  // The §1 feedback: logic watts beside the DRAM raise Tj, retention
+  // drops, refresh overhead rises.
+  ThermalModel t;
+  t.ambient_c = 45.0;
+  t.theta_ja_c_per_w = 25.0;
+  const ThermalLoop loop(t, RetentionModel{});
+  const auto cold = loop.solve(1.0, 0.02, 0.01);
+  const auto hot = loop.solve(3.0, 0.02, 0.01);
+  EXPECT_TRUE(hot.converged);
+  EXPECT_GT(hot.junction_c, cold.junction_c);
+  EXPECT_LT(hot.retention_ms, cold.retention_ms);
+  EXPECT_LT(hot.refresh_scale, cold.refresh_scale);
+  EXPECT_GT(hot.refresh_overhead, cold.refresh_overhead);
+}
+
+TEST(ThermalLoop, FeedbackIsStableNotRunaway) {
+  // Even with a large refresh-power coefficient the fixpoint exists and
+  // overhead stays below 1.
+  const ThermalLoop loop(ThermalModel{45.0, 30.0}, RetentionModel{});
+  const auto op = loop.solve(4.0, 0.5, 0.05);
+  EXPECT_TRUE(op.converged);
+  EXPECT_LT(op.refresh_overhead, 1.0);
+  EXPECT_GT(op.refresh_overhead, 0.0);
+}
+
+TEST(ThermalLoop, RejectsBadInputs) {
+  const ThermalLoop loop(ThermalModel{}, RetentionModel{});
+  EXPECT_THROW(loop.solve(-1.0, 0.0, 0.0), edsim::ConfigError);
+  EXPECT_THROW(loop.solve(1.0, -0.1, 0.0), edsim::ConfigError);
+  EXPECT_THROW(loop.solve(1.0, 0.1, 1.0), edsim::ConfigError);
+}
+
+TEST(Retention, RejectsNonPositiveHalvingStep) {
+  RetentionModel r;
+  r.halving_step_c = 0.0;
+  EXPECT_THROW(r.retention_ms(90.0), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::power

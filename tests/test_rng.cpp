@@ -1,0 +1,104 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edsim {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBound)];
+  for (auto c : counts) {
+    EXPECT_GT(c, kSamples / static_cast<int>(kBound) * 0.9);
+    EXPECT_LT(c, kSamples / static_cast<int>(kBound) * 1.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 50'000; ++i)
+    if (rng.next_bool(0.3)) ++hits;
+  EXPECT_NEAR(hits / 50'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 50'000; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / 50'000, 5.0, 0.2);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(17);
+  constexpr int kSamples = 40'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.next_poisson(mean);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / kSamples;
+  const double var = sq / kSamples - m * m;
+  EXPECT_NEAR(m, mean, mean * 0.05 + 0.05);
+  // Poisson: variance == mean.
+  EXPECT_NEAR(var, mean, mean * 0.15 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoissonMeanTest,
+                         ::testing::Values(0.2, 1.0, 4.0, 20.0, 100.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_poisson(0.0), 0u);
+}
+
+TEST(SplitMix, KnownGoodSequence) {
+  // Reference values of SplitMix64 seeded with 0 (widely published).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ull);
+}
+
+}  // namespace
+}  // namespace edsim

@@ -1,0 +1,105 @@
+#include "dram/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edsim::dram {
+namespace {
+
+Candidate cand(std::size_t qidx, unsigned bank, Command cmd, bool hit,
+               bool issuable) {
+  Candidate c;
+  c.queue_index = qidx;
+  c.bank = bank;
+  c.cmd = cmd;
+  c.row_hit = hit;
+  c.issuable = issuable;
+  return c;
+}
+
+TEST(Fcfs, OnlyHeadMayIssue) {
+  FcfsScheduler s;
+  std::vector<Candidate> cs = {
+      cand(0, 0, Command::kActivate, false, false),
+      cand(1, 1, Command::kRead, true, true),
+  };
+  // Head not issuable: nothing issues even though a younger one could.
+  EXPECT_EQ(s.pick(cs, 0), Scheduler::kNone);
+  cs[0].issuable = true;
+  EXPECT_EQ(s.pick(cs, 0), 0u);
+}
+
+TEST(Fcfs, EmptyQueue) {
+  FcfsScheduler s;
+  EXPECT_EQ(s.pick({}, 0), Scheduler::kNone);
+}
+
+TEST(FcfsPerBank, HeadOfEachBankMayIssue) {
+  FcfsPerBankScheduler s;
+  std::vector<Candidate> cs = {
+      cand(0, 0, Command::kActivate, false, false),  // bank 0 head, stuck
+      cand(1, 0, Command::kRead, true, true),        // bank 0, behind head
+      cand(2, 1, Command::kRead, true, true),        // bank 1 head, ready
+  };
+  EXPECT_EQ(s.pick(cs, 0), 2u);  // bank 1's head proceeds independently
+}
+
+TEST(FcfsPerBank, InOrderWithinBank) {
+  FcfsPerBankScheduler s;
+  std::vector<Candidate> cs = {
+      cand(0, 0, Command::kActivate, false, true),
+      cand(1, 0, Command::kRead, true, true),
+  };
+  EXPECT_EQ(s.pick(cs, 0), 0u);  // never the younger one in the same bank
+}
+
+TEST(FrFcfs, PrefersRowHitsOverOlderMisses) {
+  FrFcfsScheduler s;
+  std::vector<Candidate> cs = {
+      cand(0, 0, Command::kActivate, false, true),  // oldest, row miss
+      cand(1, 1, Command::kRead, true, true),       // younger, row hit
+  };
+  EXPECT_EQ(s.pick(cs, 0), 1u);
+}
+
+TEST(FrFcfs, OldestAmongEqualPriority) {
+  FrFcfsScheduler s;
+  std::vector<Candidate> cs = {
+      cand(0, 0, Command::kRead, true, true),
+      cand(1, 1, Command::kRead, true, true),
+  };
+  EXPECT_EQ(s.pick(cs, 0), 0u);
+}
+
+TEST(FrFcfs, FallsBackToOldestIssuable) {
+  FrFcfsScheduler s;
+  std::vector<Candidate> cs = {
+      cand(0, 0, Command::kPrecharge, false, false),
+      cand(1, 1, Command::kActivate, false, true),
+  };
+  EXPECT_EQ(s.pick(cs, 0), 1u);
+}
+
+TEST(FrFcfs, StarvationGuardRevertsToAgeOrder) {
+  FrFcfsScheduler s(/*starvation_cap=*/100);
+  std::vector<Candidate> cs = {
+      cand(0, 0, Command::kPrecharge, false, true),  // old conflict victim
+      cand(1, 1, Command::kRead, true, true),        // young row hit
+  };
+  EXPECT_EQ(s.pick(cs, 50), 1u);   // normal: hit first
+  EXPECT_EQ(s.pick(cs, 101), 0u);  // starved: oldest first
+}
+
+TEST(SchedulerFactory, MakesRequestedKind) {
+  EXPECT_NE(dynamic_cast<FcfsScheduler*>(
+                Scheduler::make(SchedulerKind::kFcfs).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<FcfsPerBankScheduler*>(
+                Scheduler::make(SchedulerKind::kFcfsPerBank).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<FrFcfsScheduler*>(
+                Scheduler::make(SchedulerKind::kFrFcfs).get()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace edsim::dram

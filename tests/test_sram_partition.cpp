@@ -1,0 +1,105 @@
+#include "modulegen/sram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::modulegen {
+namespace {
+
+TEST(Sram, AreaArithmetic) {
+  SramModel s;
+  EXPECT_NEAR(s.area_mm2(Capacity::mbit(1)), 0.02 + 8.5, 1e-9);
+  EXPECT_NEAR(s.area_mm2(Capacity::kbit(64)), 0.02 + 8.5 / 16.0, 1e-9);
+}
+
+TEST(Sram, MinEdramAreaPaysFixedPeriphery) {
+  // Tiny buffers still pay a whole 256-Kbit module's periphery.
+  const double tiny = min_edram_area_mm2(Capacity::kbit(16));
+  const double block = min_edram_area_mm2(Capacity::kbit(256));
+  EXPECT_NEAR(tiny, block, 1e-9);  // both round to one block
+  EXPECT_GT(tiny, 1.0);            // dominated by periphery
+}
+
+TEST(Sram, CrossoverIsInTheExpectedDecade) {
+  // A standalone buffer flips from SRAM-cheaper to eDRAM-cheaper a bit
+  // above 100 Kbit: small FIFOs belong in SRAM, frame stores in DRAM —
+  // the §3 partitioning rule of thumb.
+  const Capacity c = sram_edram_crossover();
+  EXPECT_GT(c, Capacity::kbit(64));
+  EXPECT_LT(c, Capacity::mbit(1));
+  // Verify the defining property on both sides.
+  const SramModel s;
+  EXPECT_LT(s.area_mm2(Capacity::kbit(64)),
+            min_edram_area_mm2(Capacity::kbit(64)));
+  EXPECT_GT(s.area_mm2(Capacity::mbit(4)),
+            min_edram_area_mm2(Capacity::mbit(4)));
+}
+
+TEST(Partition, LatencyCriticalPinnedToSram) {
+  const auto plan = partition_buffers({
+      {"huge_but_critical", Capacity::mbit(2), true},
+  });
+  ASSERT_EQ(plan.buffers.size(), 1u);
+  EXPECT_EQ(plan.buffers[0].medium, Medium::kSram);
+}
+
+TEST(Partition, Mpeg2BufferSetSplitsAsExpected) {
+  // The §4.1 decoder with its small working FIFOs: big buffers to eDRAM,
+  // small ones to SRAM.
+  const auto plan = partition_buffers({
+      {"vbv_input", Capacity::mbit_d(1.75), false},
+      {"reference_0", Capacity::mbit_d(4.75), false},
+      {"reference_1", Capacity::mbit_d(4.75), false},
+      {"output_conversion", Capacity::mbit_d(4.75), false},
+      {"mc_line_fifo", Capacity::kbit(8), false},
+      {"vlc_fifo", Capacity::kbit(4), false},
+      {"display_fifo", Capacity::kbit(16), false},
+  });
+  unsigned sram = 0, edram = 0;
+  for (const auto& b : plan.buffers) {
+    (b.medium == Medium::kSram ? sram : edram)++;
+    if (b.spec.size >= Capacity::mbit(1)) {
+      EXPECT_EQ(b.medium, Medium::kEdram) << b.spec.name;
+    }
+    if (b.spec.size <= Capacity::kbit(16)) {
+      EXPECT_EQ(b.medium, Medium::kSram) << b.spec.name;
+    }
+  }
+  EXPECT_EQ(sram, 3u);
+  EXPECT_EQ(edram, 4u);
+  // The eDRAM residents share one module and 16 Mbit fits it.
+  EXPECT_GT(plan.edram_area_mm2, 10.0);
+  EXPECT_LT(plan.edram_area_mm2, 25.0);
+  EXPECT_LT(plan.sram_area_mm2, 0.6);
+}
+
+TEST(Partition, AllEdramWhenEverythingIsBig) {
+  const auto plan = partition_buffers({
+      {"a", Capacity::mbit(4), false},
+      {"b", Capacity::mbit(8), false},
+  });
+  for (const auto& b : plan.buffers)
+    EXPECT_EQ(b.medium, Medium::kEdram);
+  EXPECT_EQ(plan.edram_capacity(), Capacity::mbit(12));
+  EXPECT_EQ(plan.sram_capacity().bit_count(), 0u);
+}
+
+TEST(Partition, ApportionedAreasSumToPlanTotals) {
+  const auto plan = partition_buffers({
+      {"big", Capacity::mbit(8), false},
+      {"small", Capacity::kbit(8), false},
+      {"mid", Capacity::mbit(1), false},
+  });
+  double sum = 0.0;
+  for (const auto& b : plan.buffers) sum += b.area_mm2;
+  EXPECT_NEAR(sum, plan.total_area_mm2(), 1e-6);
+}
+
+TEST(Partition, Validation) {
+  EXPECT_THROW(partition_buffers({}), edsim::ConfigError);
+  EXPECT_THROW(min_edram_area_mm2(Capacity::bits(0)), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::modulegen

@@ -1,0 +1,92 @@
+#include "core/system_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::core {
+namespace {
+
+TEST(ProcessFactors, MatchParagraphThreeTradeoffs) {
+  const ProcessFactors dram = process_factors(BaseProcess::kDramBased);
+  const ProcessFactors logic = process_factors(BaseProcess::kLogicBased);
+  const ProcessFactors merged = process_factors(BaseProcess::kMerged);
+  // DRAM-base: dense memory, poor logic.
+  EXPECT_GT(dram.memory_density, logic.memory_density);
+  EXPECT_GT(dram.logic_area_factor, logic.logic_area_factor);
+  EXPECT_LT(dram.logic_speed, logic.logic_speed);
+  // Merged: best of both, most expensive wafers.
+  EXPECT_EQ(merged.memory_density, dram.memory_density);
+  EXPECT_EQ(merged.logic_speed, logic.logic_speed);
+  EXPECT_GT(merged.wafer_cost_factor, dram.wafer_cost_factor);
+  EXPECT_GT(merged.wafer_cost_factor, logic.wafer_cost_factor);
+}
+
+TEST(SystemConfig, EmbeddedDramConfigReflectsKnobs) {
+  SystemConfig s;
+  s.integration = Integration::kEmbedded;
+  s.required_memory = Capacity::mbit(16);
+  s.interface_bits = 256;
+  s.banks = 8;
+  s.page_bytes = 1024;
+  s.page_policy = dram::PagePolicy::kClosed;
+  const auto cfg = s.dram_config();
+  EXPECT_EQ(cfg.interface_bits, 256u);
+  EXPECT_EQ(cfg.banks, 8u);
+  EXPECT_EQ(cfg.page_bytes, 1024u);
+  EXPECT_EQ(cfg.page_policy, dram::PagePolicy::kClosed);
+  EXPECT_EQ(cfg.capacity(), Capacity::mbit(16));
+}
+
+TEST(SystemConfig, DiscreteRankConcatenatesChips) {
+  SystemConfig s;
+  s.integration = Integration::kDiscrete;
+  s.required_memory = Capacity::mbit(16);
+  s.interface_bits = 64;  // 4 x16 chips
+  const auto cfg = s.dram_config();
+  EXPECT_EQ(cfg.interface_bits, 64u);
+  EXPECT_EQ(cfg.clock.mhz, 100.0);
+  EXPECT_EQ(cfg.page_bytes, 512u * 4u);
+}
+
+TEST(SystemConfig, InstalledMemoryGranularity) {
+  // Embedded: 256-Kbit granules — a 4.75 Mbit requirement installs 4.75.
+  SystemConfig e;
+  e.integration = Integration::kEmbedded;
+  e.required_memory = Capacity::mbit_d(4.75);
+  EXPECT_EQ(e.installed_memory(), Capacity::mbit_d(4.75));
+
+  // Discrete: a 64-bit rank of 64-Mbit chips installs 256 Mbit minimum.
+  SystemConfig d;
+  d.integration = Integration::kDiscrete;
+  d.required_memory = Capacity::mbit(16);
+  d.interface_bits = 64;
+  EXPECT_EQ(d.installed_memory(), Capacity::mbit(256));
+}
+
+TEST(SystemConfig, EmbeddedGranuleRoundsUp) {
+  SystemConfig e;
+  e.integration = Integration::kEmbedded;
+  e.required_memory = Capacity::bits(Capacity::kbit(256).bit_count() + 1);
+  EXPECT_EQ(e.installed_memory(), Capacity::kbit(512));
+}
+
+TEST(SystemConfig, ValidationEnforcesEnvelope) {
+  SystemConfig s;
+  s.interface_bits = 1024;
+  EXPECT_THROW(s.validate(), edsim::ConfigError);
+  s = SystemConfig{};
+  s.required_memory = Capacity::bits(0);
+  EXPECT_THROW(s.validate(), edsim::ConfigError);
+  s = SystemConfig{};
+  s.logic_kgates = -5.0;
+  EXPECT_THROW(s.validate(), edsim::ConfigError);
+}
+
+TEST(SystemConfig, Names) {
+  EXPECT_STREQ(to_string(Integration::kDiscrete), "discrete");
+  EXPECT_STREQ(to_string(BaseProcess::kMerged), "merged");
+}
+
+}  // namespace
+}  // namespace edsim::core

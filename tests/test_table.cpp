@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace edsim {
+namespace {
+
+TEST(Table, RejectsEmptyHeaderAndRaggedRows) {
+  EXPECT_THROW(Table({}), ConfigError);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(Table, RowBuilderMixedTypes) {
+  Table t({"name", "value", "count"});
+  t.row().cell("x").num(3.14159, 2).integer(42);
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "x");
+  EXPECT_EQ(t.rows()[0][1], "3.14");
+  EXPECT_EQ(t.rows()[0][2], "42");
+}
+
+TEST(Table, PrintContainsAllCells) {
+  Table t({"col1", "col2"});
+  t.add_row({"hello", "world"});
+  std::ostringstream os;
+  t.print(os, "My Table");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  EXPECT_NE(s.find("world"), std::string::npos);
+  EXPECT_NE(s.find("col1"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fmt_ratio(9.77), "9.8x");
+}
+
+TEST(PrintClaim, VerdictBands) {
+  std::ostringstream os;
+  print_claim(os, "ratio", 10.0, 5.0, 20.0);
+  EXPECT_NE(os.str().find("SHAPE-OK"), std::string::npos);
+  std::ostringstream os2;
+  print_claim(os2, "ratio", 42.0, 5.0, 20.0);
+  EXPECT_NE(os2.str().find("CHECK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edsim

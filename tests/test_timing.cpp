@@ -1,0 +1,72 @@
+#include "dram/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::dram {
+namespace {
+
+TEST(Timing, PresetsAreSelfConsistent) {
+  EXPECT_NO_THROW(timing_pc100_sdram().validate());
+  EXPECT_NO_THROW(timing_edram_7ns().validate());
+}
+
+TEST(Timing, RejectsInconsistentRasRc) {
+  TimingParams t = timing_edram_7ns();
+  t.tRC = t.tRAS;  // tRC must cover tRAS + tRP
+  EXPECT_THROW(t.validate(), ConfigError);
+}
+
+TEST(Timing, RejectsRasBelowRcd) {
+  TimingParams t = timing_edram_7ns();
+  t.tRAS = t.tRCD - 1;
+  EXPECT_THROW(t.validate(), ConfigError);
+}
+
+TEST(Timing, RejectsRefiBelowRfc) {
+  TimingParams t = timing_edram_7ns();
+  t.tREFI = t.tRFC;
+  EXPECT_THROW(t.validate(), ConfigError);
+}
+
+TEST(Timing, RejectsZeroBurst) {
+  TimingParams t = timing_edram_7ns();
+  t.burst_length = 0;
+  EXPECT_THROW(t.validate(), ConfigError);
+}
+
+TEST(Timing, LatencyHelpers) {
+  TimingParams t;
+  t.tRCD = 3;
+  t.tCL = 3;
+  t.burst_length = 4;
+  EXPECT_EQ(t.row_hit_read_latency(), 7u);
+  EXPECT_EQ(t.row_miss_read_latency(), 10u);
+}
+
+TEST(Timing, Pc100MatchesDatasheetNanoseconds) {
+  // At 10 ns/cycle: tRCD 20 ns, tRP 20 ns, tRAS 50 ns, tRC 70 ns.
+  const TimingParams t = timing_pc100_sdram();
+  EXPECT_EQ(t.tRCD, 2u);
+  EXPECT_EQ(t.tRP, 2u);
+  EXPECT_EQ(t.tRAS, 5u);
+  EXPECT_EQ(t.tRC, 7u);
+}
+
+TEST(Timing, EdramKeepsAnalogLatencyInNs) {
+  // The eDRAM core runs the same storage technology: ~21 ns tRCD at 7 ns
+  // cycles is 3 cycles.
+  const TimingParams t = timing_edram_7ns();
+  EXPECT_NEAR(t.tRCD * 7.0, 21.0, 3.0);
+  EXPECT_NEAR(t.tRC * 7.0, 70.0, 7.0);
+}
+
+TEST(Timing, DescribeMentionsKeyParams) {
+  const std::string s = timing_pc100_sdram().describe();
+  EXPECT_NE(s.find("tRCD=2"), std::string::npos);
+  EXPECT_NE(s.find("BL=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edsim::dram

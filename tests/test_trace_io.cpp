@@ -1,0 +1,65 @@
+#include "clients/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace edsim::clients {
+namespace {
+
+TEST(TraceIo, ParsesBasicRecords) {
+  const auto t = parse_trace_text("0 R 0x100\n5 W 256\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].cycle, 0u);
+  EXPECT_EQ(t[0].addr, 0x100u);
+  EXPECT_EQ(t[0].type, dram::AccessType::kRead);
+  EXPECT_EQ(t[1].cycle, 5u);
+  EXPECT_EQ(t[1].addr, 256u);
+  EXPECT_EQ(t[1].type, dram::AccessType::kWrite);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  const auto t = parse_trace_text(
+      "# header comment\n"
+      "\n"
+      "10 r 0x0  # trailing comment\n"
+      "   \n"
+      "20 w 0x40\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].type, dram::AccessType::kRead);
+  EXPECT_EQ(t[1].type, dram::AccessType::kWrite);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  EXPECT_THROW(parse_trace_text("10 R\n"), edsim::ConfigError);
+  EXPECT_THROW(parse_trace_text("10 X 0x0\n"), edsim::ConfigError);
+  EXPECT_THROW(parse_trace_text("10 R zzz\n"), edsim::ConfigError);
+  EXPECT_THROW(parse_trace_text("banana\n"), edsim::ConfigError);
+}
+
+TEST(TraceIo, RejectsDecreasingCycles) {
+  EXPECT_THROW(parse_trace_text("10 R 0\n5 R 0\n"), edsim::ConfigError);
+}
+
+TEST(TraceIo, RoundTrips) {
+  const auto t = parse_trace_text("0 R 0x100\n7 W 0x2000\n7 R 0x0\n");
+  std::ostringstream os;
+  write_trace(os, t);
+  const auto t2 = parse_trace_text(os.str());
+  ASSERT_EQ(t2.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t2[i].cycle, t[i].cycle);
+    EXPECT_EQ(t2[i].addr, t[i].addr);
+    EXPECT_EQ(t2[i].type, t[i].type);
+  }
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/file.trace"),
+               edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::clients

@@ -1,0 +1,66 @@
+#include "cpu/trend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace edsim::cpu {
+namespace {
+
+TEST(Trend, BaseYearIsUnity) {
+  const auto table = performance_gap_table(TrendParams{}, 1980, 1980);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_DOUBLE_EQ(table[0].cpu_perf, 1.0);
+  EXPECT_DOUBLE_EQ(table[0].dram_perf, 1.0);
+  EXPECT_DOUBLE_EQ(table[0].gap, 1.0);
+}
+
+TEST(Trend, PaperGrowthRates) {
+  // §4.2: 60%/yr CPU vs 10%/yr DRAM.
+  const auto table = performance_gap_table(TrendParams{}, 1980, 1998);
+  const GapPoint& g98 = table.back();
+  EXPECT_EQ(g98.year, 1998);
+  EXPECT_NEAR(g98.cpu_perf, std::pow(1.6, 18), std::pow(1.6, 18) * 1e-9);
+  EXPECT_NEAR(g98.dram_perf, std::pow(1.1, 18), std::pow(1.1, 18) * 1e-9);
+  // By 1998 the gap is ~800x.
+  EXPECT_GT(g98.gap, 500.0);
+  EXPECT_LT(g98.gap, 1500.0);
+}
+
+TEST(Trend, GapGrowsMonotonically) {
+  const auto table = performance_gap_table(TrendParams{}, 1980, 2005);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GT(table[i].gap, table[i - 1].gap);
+  }
+}
+
+TEST(Trend, GapCompoundRateIsAboutFortyFivePercent) {
+  // 1.6/1.1 - 1 = 45.45%/yr gap growth.
+  const auto table = performance_gap_table(TrendParams{}, 1990, 1991);
+  EXPECT_NEAR(table[1].gap / table[0].gap, 1.6 / 1.1, 1e-12);
+}
+
+TEST(Trend, YearsToGapInvertsTable) {
+  const TrendParams p;
+  const double years = years_to_gap(p, 100.0);
+  const double rate = 1.6 / 1.1;
+  EXPECT_NEAR(std::pow(rate, years), 100.0, 1e-6);
+  EXPECT_NEAR(years, 12.3, 0.2);
+}
+
+TEST(Trend, Validation) {
+  TrendParams p;
+  p.cpu_growth = 0.05;
+  p.dram_growth = 0.10;  // gap requires cpu > dram
+  EXPECT_THROW(p.validate(), edsim::ConfigError);
+  EXPECT_THROW(performance_gap_table(TrendParams{}, 1990, 1980),
+               edsim::ConfigError);
+  EXPECT_THROW(performance_gap_table(TrendParams{}, 1970, 1990),
+               edsim::ConfigError);
+  EXPECT_THROW(years_to_gap(TrendParams{}, 0.5), edsim::ConfigError);
+}
+
+}  // namespace
+}  // namespace edsim::cpu

@@ -1,0 +1,27 @@
+// The umbrella header must compile standalone and expose the whole API.
+
+#include "edsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EverySubsystemReachable) {
+  // One symbol per library proves the include set is complete.
+  EXPECT_EQ(edsim::Capacity::mbit(1).bit_count(), 1024u * 1024u);
+  EXPECT_NO_THROW(edsim::dram::presets::edram_256bit_16mbit());
+  EXPECT_GT(edsim::phy::off_chip_board().load_pf, 0.0);
+  EXPECT_GT(edsim::power::RetentionModel{}.retention_ms(85.0), 0.0);
+  EXPECT_EQ(edsim::clients::Arbiter::kNone,
+            static_cast<std::size_t>(-1));
+  EXPECT_GT(edsim::modulegen::block_info(
+                edsim::modulegen::BlockKind::k1Mbit)
+                .array_area_mm2,
+            0.0);
+  EXPECT_EQ(edsim::bist::mats_plus().ops_per_cell(), 5u);
+  EXPECT_NEAR(edsim::mpeg::pal().frame_capacity().as_mbit(), 4.75, 0.01);
+  EXPECT_GT(edsim::cpu::TrendParams{}.cpu_growth, 0.0);
+  EXPECT_FALSE(edsim::core::paper_market_profiles().empty());
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edsim {
+namespace {
+
+TEST(Capacity, BinaryMbitConvention) {
+  EXPECT_EQ(Capacity::mbit(1).bit_count(), 1024u * 1024u);
+  EXPECT_EQ(Capacity::mbit(16).bit_count(), 16u * 1024u * 1024u);
+  EXPECT_EQ(Capacity::kbit(256).bit_count(), 256u * 1024u);
+}
+
+TEST(Capacity, ByteBitRoundTrip) {
+  const Capacity c = Capacity::bytes(12345);
+  EXPECT_EQ(c.bit_count(), 12345u * 8u);
+  EXPECT_EQ(c.byte_count(), 12345u);
+}
+
+TEST(Capacity, FractionalMbit) {
+  // A PAL 4:2:0 frame: 720*576*1.5 bytes = 4.746 binary Mbit.
+  const Capacity frame = Capacity::bytes(720 * 576 * 3 / 2);
+  EXPECT_NEAR(frame.as_mbit(), 4.75, 0.01);
+}
+
+TEST(Capacity, Arithmetic) {
+  const Capacity a = Capacity::mbit(4);
+  const Capacity b = Capacity::mbit(12);
+  EXPECT_EQ((a + b).as_mbit(), 16.0);
+  EXPECT_EQ((b - a).as_mbit(), 8.0);
+  EXPECT_EQ((a * 3).as_mbit(), 12.0);
+  EXPECT_LT(a, b);
+}
+
+TEST(Capacity, MbitDoubleRounding) {
+  EXPECT_EQ(Capacity::mbit_d(1.0), Capacity::mbit(1));
+  EXPECT_NEAR(Capacity::mbit_d(4.75).as_mbit(), 4.75, 1e-6);
+}
+
+TEST(Capacity, ToString) {
+  EXPECT_EQ(to_string(Capacity::mbit(64)), "64 Mbit");
+  EXPECT_EQ(to_string(Capacity::kbit(256)), "256 Kbit");
+  EXPECT_EQ(to_string(Capacity::bits(12)), "12 bit");
+}
+
+TEST(Frequency, PeriodInverse) {
+  const Frequency f{100.0};
+  EXPECT_DOUBLE_EQ(f.period_ns(), 10.0);
+  EXPECT_DOUBLE_EQ(f.hz(), 100e6);
+  EXPECT_DOUBLE_EQ(Frequency{143.0}.period_ns(), 1000.0 / 143.0);
+}
+
+TEST(Frequency, UserDefinedLiteral) {
+  EXPECT_EQ((100_MHz).mhz, 100.0);
+  EXPECT_EQ((66.5_MHz).mhz, 66.5);
+}
+
+TEST(Bandwidth, PeakOfSynchronousInterface) {
+  // The paper's §1 example: 256-bit internal interface. At 143 MHz that
+  // is ~4.6 GB/s — the "4 Gbyte/s class".
+  const Bandwidth bw = peak_bandwidth(256, Frequency{143.0});
+  EXPECT_NEAR(bw.as_gbyte_per_s(), 4.576, 0.001);
+}
+
+TEST(Bandwidth, SixteenBitSdram) {
+  const Bandwidth bw = peak_bandwidth(16, Frequency{100.0});
+  EXPECT_NEAR(bw.as_gbyte_per_s(), 0.2, 1e-9);
+  EXPECT_NEAR(bw.as_mbit_per_s(), 1600.0, 1e-6);
+}
+
+TEST(Bandwidth, DoubleDataRate) {
+  const Bandwidth sdr = peak_bandwidth(16, Frequency{100.0}, 1);
+  const Bandwidth ddr = peak_bandwidth(16, Frequency{100.0}, 2);
+  EXPECT_DOUBLE_EQ(ddr.bits_per_s, 2.0 * sdr.bits_per_s);
+}
+
+TEST(FillFrequency, PaperDefinition) {
+  // Footnote 2: fill frequency = bandwidth [Mbit/s] / size [Mbit].
+  // A 4-Mbit eDRAM with a 256-bit interface at 143 MHz refills itself
+  // ~8700 times per second.
+  const Bandwidth bw = peak_bandwidth(256, Frequency{143.0});
+  const double fill = fill_frequency_hz(bw, Capacity::mbit(4));
+  EXPECT_NEAR(fill, bw.bits_per_s / (4.0 * 1024 * 1024), 1e-6);
+  EXPECT_GT(fill, 8000.0);
+}
+
+TEST(FillFrequency, ScalesInverselyWithSize) {
+  const Bandwidth bw = peak_bandwidth(64, Frequency{100.0});
+  const double f4 = fill_frequency_hz(bw, Capacity::mbit(4));
+  const double f64 = fill_frequency_hz(bw, Capacity::mbit(64));
+  EXPECT_DOUBLE_EQ(f4, 16.0 * f64);
+}
+
+TEST(SwitchingEnergy, CVSquared) {
+  // 30 pF at 3.3 V: 326.7 pJ per transition.
+  EXPECT_NEAR(switching_energy_j(30e-12, 3.3), 326.7e-12, 0.1e-12);
+}
+
+TEST(BandwidthToString, Formats) {
+  EXPECT_EQ(to_string(Bandwidth::gbyte_per_s(4.0)), "4.00 GB/s");
+  EXPECT_EQ(to_string(Bandwidth::gbyte_per_s(0.2)), "200.0 MB/s");
+}
+
+}  // namespace
+}  // namespace edsim

@@ -1,0 +1,88 @@
+#include "bist/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace edsim::bist {
+namespace {
+
+TEST(Yield, PoissonAnalytic) {
+  EXPECT_DOUBLE_EQ(poisson_yield(0.0), 1.0);
+  EXPECT_NEAR(poisson_yield(1.0), 0.3679, 1e-4);
+  EXPECT_THROW(poisson_yield(-1.0), edsim::ConfigError);
+}
+
+TEST(Yield, NoSparesMatchesPoisson) {
+  const DefectMix mix{1.0, 0.0, 0.0};  // all single-cell
+  const YieldResult r = simulate_yield(1.5, mix, 0, 0, 200'000, 1);
+  // Without spares every defective chip dies: yield == P(0 defects).
+  EXPECT_NEAR(r.yield, poisson_yield(1.5), 0.01);
+  EXPECT_NEAR(r.raw_yield, r.yield, 1e-12);
+}
+
+TEST(Yield, RedundancyUpliftIsMonotone) {
+  const DefectMix mix{};
+  double prev = 0.0;
+  for (unsigned spares : {0u, 1u, 2u, 4u, 8u}) {
+    const YieldResult r =
+        simulate_yield(2.0, mix, spares, spares, 100'000, 2);
+    EXPECT_GE(r.yield, prev - 0.005) << spares;  // MC noise tolerance
+    prev = r.yield;
+  }
+  // And the uplift is substantial at this defect rate.
+  const double none = simulate_yield(2.0, mix, 0, 0, 100'000, 2).yield;
+  const double four = simulate_yield(2.0, mix, 4, 4, 100'000, 2).yield;
+  EXPECT_GT(four, none + 0.4);
+}
+
+TEST(Yield, DiminishingReturns) {
+  const DefectMix mix{};
+  const double y0 = simulate_yield(1.0, mix, 0, 0, 100'000, 3).yield;
+  const double y2 = simulate_yield(1.0, mix, 2, 2, 100'000, 3).yield;
+  const double y8 = simulate_yield(1.0, mix, 8, 8, 100'000, 3).yield;
+  EXPECT_GT(y2 - y0, y8 - y2);  // first spares buy the most
+  EXPECT_GT(y8, 0.99);          // saturates near 1 for lambda = 1
+}
+
+TEST(Yield, WordLineDefectsNeedRows) {
+  // All defects are word-line kills: spare columns alone are useless.
+  const DefectMix mix{0.0, 1.0, 0.0};
+  const double cols_only = simulate_yield(1.0, mix, 0, 8, 50'000, 4).yield;
+  const double rows_only = simulate_yield(1.0, mix, 8, 0, 50'000, 4).yield;
+  EXPECT_NEAR(cols_only, poisson_yield(1.0), 0.01);
+  EXPECT_GT(rows_only, 0.99);
+}
+
+TEST(Yield, SparesUsedTrackDefects) {
+  const DefectMix mix{};
+  const YieldResult r = simulate_yield(2.0, mix, 8, 8, 50'000, 5);
+  // Over repairable chips the average spare usage approaches the defect
+  // mean (slightly below: zero-defect chips pull it down).
+  EXPECT_GT(r.spares_used.mean(), 1.0);
+  EXPECT_LT(r.spares_used.mean(), 2.5);
+}
+
+TEST(Yield, HigherDefectDensityLowersYield) {
+  const DefectMix mix{};
+  const double low = simulate_yield(0.5, mix, 2, 2, 50'000, 6).yield;
+  const double high = simulate_yield(4.0, mix, 2, 2, 50'000, 6).yield;
+  EXPECT_GT(low, high);
+}
+
+TEST(Yield, Validation) {
+  DefectMix bad{0.5, 0.2, 0.2};  // sums to 0.9
+  EXPECT_THROW(bad.validate(), edsim::ConfigError);
+  EXPECT_THROW(simulate_yield(1.0, DefectMix{}, 1, 1, 0, 7),
+               edsim::ConfigError);
+}
+
+TEST(Yield, DeterministicPerSeed) {
+  const DefectMix mix{};
+  const YieldResult a = simulate_yield(1.0, mix, 2, 2, 10'000, 42);
+  const YieldResult b = simulate_yield(1.0, mix, 2, 2, 10'000, 42);
+  EXPECT_DOUBLE_EQ(a.yield, b.yield);
+}
+
+}  // namespace
+}  // namespace edsim::bist
