@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_address_mapping.dir/a1_address_mapping.cpp.o"
+  "CMakeFiles/a1_address_mapping.dir/a1_address_mapping.cpp.o.d"
+  "a1_address_mapping"
+  "a1_address_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_address_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_page_policy.dir/a2_page_policy.cpp.o"
+  "CMakeFiles/a2_page_policy.dir/a2_page_policy.cpp.o.d"
+  "a2_page_policy"
+  "a2_page_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_scheduler_latency.dir/a3_scheduler_latency.cpp.o"
+  "CMakeFiles/a3_scheduler_latency.dir/a3_scheduler_latency.cpp.o.d"
+  "a3_scheduler_latency"
+  "a3_scheduler_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_scheduler_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for a3_scheduler_latency.
+# This may be replaced when dependencies are built.

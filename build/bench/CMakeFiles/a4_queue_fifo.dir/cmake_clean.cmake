@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4_queue_fifo.dir/a4_queue_fifo.cpp.o"
+  "CMakeFiles/a4_queue_fifo.dir/a4_queue_fifo.cpp.o.d"
+  "a4_queue_fifo"
+  "a4_queue_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4_queue_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a5_thermal_feedback.dir/a5_thermal_feedback.cpp.o"
+  "CMakeFiles/a5_thermal_feedback.dir/a5_thermal_feedback.cpp.o.d"
+  "a5_thermal_feedback"
+  "a5_thermal_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a5_thermal_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a6_multichannel.dir/a6_multichannel.cpp.o"
+  "CMakeFiles/a6_multichannel.dir/a6_multichannel.cpp.o.d"
+  "a6_multichannel"
+  "a6_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a6_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

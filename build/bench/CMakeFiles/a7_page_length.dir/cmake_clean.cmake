@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a7_page_length.dir/a7_page_length.cpp.o"
+  "CMakeFiles/a7_page_length.dir/a7_page_length.cpp.o.d"
+  "a7_page_length"
+  "a7_page_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a7_page_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

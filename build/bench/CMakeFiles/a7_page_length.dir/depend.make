@@ -1,0 +1,2 @@
+# Empty dependencies file for a7_page_length.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a8_powerdown.dir/a8_powerdown.cpp.o"
+  "CMakeFiles/a8_powerdown.dir/a8_powerdown.cpp.o.d"
+  "a8_powerdown"
+  "a8_powerdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a8_powerdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a9_allocation.dir/a9_allocation.cpp.o"
+  "CMakeFiles/a9_allocation.dir/a9_allocation.cpp.o.d"
+  "a9_allocation"
+  "a9_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a9_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

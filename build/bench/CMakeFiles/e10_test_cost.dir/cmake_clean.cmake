@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_test_cost.dir/e10_test_cost.cpp.o"
+  "CMakeFiles/e10_test_cost.dir/e10_test_cost.cpp.o.d"
+  "e10_test_cost"
+  "e10_test_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_test_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

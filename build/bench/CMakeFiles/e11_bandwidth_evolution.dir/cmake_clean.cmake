@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_bandwidth_evolution.dir/e11_bandwidth_evolution.cpp.o"
+  "CMakeFiles/e11_bandwidth_evolution.dir/e11_bandwidth_evolution.cpp.o.d"
+  "e11_bandwidth_evolution"
+  "e11_bandwidth_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_bandwidth_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e12_design_space.cpp" "bench/CMakeFiles/e12_design_space.dir/e12_design_space.cpp.o" "gcc" "bench/CMakeFiles/e12_design_space.dir/e12_design_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_modulegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_mpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_design_space.dir/e12_design_space.cpp.o"
+  "CMakeFiles/e12_design_space.dir/e12_design_space.cpp.o.d"
+  "e12_design_space"
+  "e12_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_chip_feasibility.dir/e13_chip_feasibility.cpp.o"
+  "CMakeFiles/e13_chip_feasibility.dir/e13_chip_feasibility.cpp.o.d"
+  "e13_chip_feasibility"
+  "e13_chip_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_chip_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_fault_coverage.dir/e14_fault_coverage.cpp.o"
+  "CMakeFiles/e14_fault_coverage.dir/e14_fault_coverage.cpp.o.d"
+  "e14_fault_coverage"
+  "e14_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

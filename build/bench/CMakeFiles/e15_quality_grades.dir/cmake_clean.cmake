@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_quality_grades.dir/e15_quality_grades.cpp.o"
+  "CMakeFiles/e15_quality_grades.dir/e15_quality_grades.cpp.o.d"
+  "e15_quality_grades"
+  "e15_quality_grades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_quality_grades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

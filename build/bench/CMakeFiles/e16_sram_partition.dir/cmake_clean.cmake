@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e16_sram_partition.dir/e16_sram_partition.cpp.o"
+  "CMakeFiles/e16_sram_partition.dir/e16_sram_partition.cpp.o.d"
+  "e16_sram_partition"
+  "e16_sram_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e16_sram_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e17_volume_economics.dir/e17_volume_economics.cpp.o"
+  "CMakeFiles/e17_volume_economics.dir/e17_volume_economics.cpp.o.d"
+  "e17_volume_economics"
+  "e17_volume_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e17_volume_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

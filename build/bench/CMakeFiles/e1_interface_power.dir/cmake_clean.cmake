@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_interface_power.dir/e1_interface_power.cpp.o"
+  "CMakeFiles/e1_interface_power.dir/e1_interface_power.cpp.o.d"
+  "e1_interface_power"
+  "e1_interface_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_interface_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_fill_frequency.dir/e2_fill_frequency.cpp.o"
+  "CMakeFiles/e2_fill_frequency.dir/e2_fill_frequency.cpp.o.d"
+  "e2_fill_frequency"
+  "e2_fill_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_fill_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_granularity.dir/e3_granularity.cpp.o"
+  "CMakeFiles/e3_granularity.dir/e3_granularity.cpp.o.d"
+  "e3_granularity"
+  "e3_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

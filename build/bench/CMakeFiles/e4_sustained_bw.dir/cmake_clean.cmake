@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_sustained_bw.dir/e4_sustained_bw.cpp.o"
+  "CMakeFiles/e4_sustained_bw.dir/e4_sustained_bw.cpp.o.d"
+  "e4_sustained_bw"
+  "e4_sustained_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_sustained_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_mpeg2.dir/e5_mpeg2.cpp.o"
+  "CMakeFiles/e5_mpeg2.dir/e5_mpeg2.cpp.o.d"
+  "e5_mpeg2"
+  "e5_mpeg2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_mpeg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_perf_gap.dir/e6_perf_gap.cpp.o"
+  "CMakeFiles/e6_perf_gap.dir/e6_perf_gap.cpp.o.d"
+  "e6_perf_gap"
+  "e6_perf_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_perf_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

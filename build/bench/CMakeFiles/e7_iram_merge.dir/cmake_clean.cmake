@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_iram_merge.dir/e7_iram_merge.cpp.o"
+  "CMakeFiles/e7_iram_merge.dir/e7_iram_merge.cpp.o.d"
+  "e7_iram_merge"
+  "e7_iram_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_iram_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e7_iram_merge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_module_concept.dir/e8_module_concept.cpp.o"
+  "CMakeFiles/e8_module_concept.dir/e8_module_concept.cpp.o.d"
+  "e8_module_concept"
+  "e8_module_concept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_module_concept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_redundancy_yield.dir/e9_redundancy_yield.cpp.o"
+  "CMakeFiles/e9_redundancy_yield.dir/e9_redundancy_yield.cpp.o.d"
+  "e9_redundancy_yield"
+  "e9_redundancy_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_redundancy_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e9_redundancy_yield.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphics_framebuffer.dir/graphics_framebuffer.cpp.o"
+  "CMakeFiles/graphics_framebuffer.dir/graphics_framebuffer.cpp.o.d"
+  "graphics_framebuffer"
+  "graphics_framebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphics_framebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

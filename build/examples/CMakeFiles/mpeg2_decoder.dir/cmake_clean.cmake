@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg2_decoder.dir/mpeg2_decoder.cpp.o"
+  "CMakeFiles/mpeg2_decoder.dir/mpeg2_decoder.cpp.o.d"
+  "mpeg2_decoder"
+  "mpeg2_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg2_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_switch.dir/network_switch.cpp.o"
+  "CMakeFiles/network_switch.dir/network_switch.cpp.o.d"
+  "network_switch"
+  "network_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

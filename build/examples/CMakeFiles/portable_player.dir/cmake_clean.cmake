@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portable_player.dir/portable_player.cpp.o"
+  "CMakeFiles/portable_player.dir/portable_player.cpp.o.d"
+  "portable_player"
+  "portable_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portable_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/bist_controller.cpp" "src/CMakeFiles/edsim_bist.dir/bist/bist_controller.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/bist_controller.cpp.o.d"
+  "/root/repo/src/bist/faults.cpp" "src/CMakeFiles/edsim_bist.dir/bist/faults.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/faults.cpp.o.d"
+  "/root/repo/src/bist/march.cpp" "src/CMakeFiles/edsim_bist.dir/bist/march.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/march.cpp.o.d"
+  "/root/repo/src/bist/memory_array.cpp" "src/CMakeFiles/edsim_bist.dir/bist/memory_array.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/memory_array.cpp.o.d"
+  "/root/repo/src/bist/quality.cpp" "src/CMakeFiles/edsim_bist.dir/bist/quality.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/quality.cpp.o.d"
+  "/root/repo/src/bist/redundancy.cpp" "src/CMakeFiles/edsim_bist.dir/bist/redundancy.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/redundancy.cpp.o.d"
+  "/root/repo/src/bist/test_economics.cpp" "src/CMakeFiles/edsim_bist.dir/bist/test_economics.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/test_economics.cpp.o.d"
+  "/root/repo/src/bist/yield.cpp" "src/CMakeFiles/edsim_bist.dir/bist/yield.cpp.o" "gcc" "src/CMakeFiles/edsim_bist.dir/bist/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

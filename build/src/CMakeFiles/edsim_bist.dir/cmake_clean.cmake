@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_bist.dir/bist/bist_controller.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/bist_controller.cpp.o.d"
+  "CMakeFiles/edsim_bist.dir/bist/faults.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/faults.cpp.o.d"
+  "CMakeFiles/edsim_bist.dir/bist/march.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/march.cpp.o.d"
+  "CMakeFiles/edsim_bist.dir/bist/memory_array.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/memory_array.cpp.o.d"
+  "CMakeFiles/edsim_bist.dir/bist/quality.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/quality.cpp.o.d"
+  "CMakeFiles/edsim_bist.dir/bist/redundancy.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/redundancy.cpp.o.d"
+  "CMakeFiles/edsim_bist.dir/bist/test_economics.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/test_economics.cpp.o.d"
+  "CMakeFiles/edsim_bist.dir/bist/yield.cpp.o"
+  "CMakeFiles/edsim_bist.dir/bist/yield.cpp.o.d"
+  "libedsim_bist.a"
+  "libedsim_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clients/arbiter.cpp" "src/CMakeFiles/edsim_clients.dir/clients/arbiter.cpp.o" "gcc" "src/CMakeFiles/edsim_clients.dir/clients/arbiter.cpp.o.d"
+  "/root/repo/src/clients/client.cpp" "src/CMakeFiles/edsim_clients.dir/clients/client.cpp.o" "gcc" "src/CMakeFiles/edsim_clients.dir/clients/client.cpp.o.d"
+  "/root/repo/src/clients/extra_clients.cpp" "src/CMakeFiles/edsim_clients.dir/clients/extra_clients.cpp.o" "gcc" "src/CMakeFiles/edsim_clients.dir/clients/extra_clients.cpp.o.d"
+  "/root/repo/src/clients/multi_system.cpp" "src/CMakeFiles/edsim_clients.dir/clients/multi_system.cpp.o" "gcc" "src/CMakeFiles/edsim_clients.dir/clients/multi_system.cpp.o.d"
+  "/root/repo/src/clients/system.cpp" "src/CMakeFiles/edsim_clients.dir/clients/system.cpp.o" "gcc" "src/CMakeFiles/edsim_clients.dir/clients/system.cpp.o.d"
+  "/root/repo/src/clients/trace_io.cpp" "src/CMakeFiles/edsim_clients.dir/clients/trace_io.cpp.o" "gcc" "src/CMakeFiles/edsim_clients.dir/clients/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_clients.dir/clients/arbiter.cpp.o"
+  "CMakeFiles/edsim_clients.dir/clients/arbiter.cpp.o.d"
+  "CMakeFiles/edsim_clients.dir/clients/client.cpp.o"
+  "CMakeFiles/edsim_clients.dir/clients/client.cpp.o.d"
+  "CMakeFiles/edsim_clients.dir/clients/extra_clients.cpp.o"
+  "CMakeFiles/edsim_clients.dir/clients/extra_clients.cpp.o.d"
+  "CMakeFiles/edsim_clients.dir/clients/multi_system.cpp.o"
+  "CMakeFiles/edsim_clients.dir/clients/multi_system.cpp.o.d"
+  "CMakeFiles/edsim_clients.dir/clients/system.cpp.o"
+  "CMakeFiles/edsim_clients.dir/clients/system.cpp.o.d"
+  "CMakeFiles/edsim_clients.dir/clients/trace_io.cpp.o"
+  "CMakeFiles/edsim_clients.dir/clients/trace_io.cpp.o.d"
+  "libedsim_clients.a"
+  "libedsim_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

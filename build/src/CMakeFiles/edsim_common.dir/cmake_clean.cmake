@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_common.dir/common/args.cpp.o"
+  "CMakeFiles/edsim_common.dir/common/args.cpp.o.d"
+  "CMakeFiles/edsim_common.dir/common/rng.cpp.o"
+  "CMakeFiles/edsim_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/edsim_common.dir/common/stats.cpp.o"
+  "CMakeFiles/edsim_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/edsim_common.dir/common/table.cpp.o"
+  "CMakeFiles/edsim_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/edsim_common.dir/common/units.cpp.o"
+  "CMakeFiles/edsim_common.dir/common/units.cpp.o.d"
+  "libedsim_common.a"
+  "libedsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

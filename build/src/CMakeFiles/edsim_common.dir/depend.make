@@ -1,0 +1,2 @@
+# Empty dependencies file for edsim_common.
+# This may be replaced when dependencies are built.

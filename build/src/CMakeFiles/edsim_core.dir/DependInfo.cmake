@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/CMakeFiles/edsim_core.dir/core/advisor.cpp.o" "gcc" "src/CMakeFiles/edsim_core.dir/core/advisor.cpp.o.d"
+  "/root/repo/src/core/allocation.cpp" "src/CMakeFiles/edsim_core.dir/core/allocation.cpp.o" "gcc" "src/CMakeFiles/edsim_core.dir/core/allocation.cpp.o.d"
+  "/root/repo/src/core/business.cpp" "src/CMakeFiles/edsim_core.dir/core/business.cpp.o" "gcc" "src/CMakeFiles/edsim_core.dir/core/business.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/edsim_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/edsim_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/edsim_core.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/edsim_core.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/CMakeFiles/edsim_core.dir/core/pareto.cpp.o" "gcc" "src/CMakeFiles/edsim_core.dir/core/pareto.cpp.o.d"
+  "/root/repo/src/core/system_config.cpp" "src/CMakeFiles/edsim_core.dir/core/system_config.cpp.o" "gcc" "src/CMakeFiles/edsim_core.dir/core/system_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_modulegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_mpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

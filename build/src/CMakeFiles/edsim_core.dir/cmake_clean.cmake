@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_core.dir/core/advisor.cpp.o"
+  "CMakeFiles/edsim_core.dir/core/advisor.cpp.o.d"
+  "CMakeFiles/edsim_core.dir/core/allocation.cpp.o"
+  "CMakeFiles/edsim_core.dir/core/allocation.cpp.o.d"
+  "CMakeFiles/edsim_core.dir/core/business.cpp.o"
+  "CMakeFiles/edsim_core.dir/core/business.cpp.o.d"
+  "CMakeFiles/edsim_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/edsim_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/edsim_core.dir/core/evaluator.cpp.o"
+  "CMakeFiles/edsim_core.dir/core/evaluator.cpp.o.d"
+  "CMakeFiles/edsim_core.dir/core/pareto.cpp.o"
+  "CMakeFiles/edsim_core.dir/core/pareto.cpp.o.d"
+  "CMakeFiles/edsim_core.dir/core/system_config.cpp.o"
+  "CMakeFiles/edsim_core.dir/core/system_config.cpp.o.d"
+  "libedsim_core.a"
+  "libedsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

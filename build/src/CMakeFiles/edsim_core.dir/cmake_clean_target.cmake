@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedsim_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cpp" "src/CMakeFiles/edsim_cpu.dir/cpu/cache.cpp.o" "gcc" "src/CMakeFiles/edsim_cpu.dir/cpu/cache.cpp.o.d"
+  "/root/repo/src/cpu/core_model.cpp" "src/CMakeFiles/edsim_cpu.dir/cpu/core_model.cpp.o" "gcc" "src/CMakeFiles/edsim_cpu.dir/cpu/core_model.cpp.o.d"
+  "/root/repo/src/cpu/memory_backend.cpp" "src/CMakeFiles/edsim_cpu.dir/cpu/memory_backend.cpp.o" "gcc" "src/CMakeFiles/edsim_cpu.dir/cpu/memory_backend.cpp.o.d"
+  "/root/repo/src/cpu/trend.cpp" "src/CMakeFiles/edsim_cpu.dir/cpu/trend.cpp.o" "gcc" "src/CMakeFiles/edsim_cpu.dir/cpu/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_cpu.dir/cpu/cache.cpp.o"
+  "CMakeFiles/edsim_cpu.dir/cpu/cache.cpp.o.d"
+  "CMakeFiles/edsim_cpu.dir/cpu/core_model.cpp.o"
+  "CMakeFiles/edsim_cpu.dir/cpu/core_model.cpp.o.d"
+  "CMakeFiles/edsim_cpu.dir/cpu/memory_backend.cpp.o"
+  "CMakeFiles/edsim_cpu.dir/cpu/memory_backend.cpp.o.d"
+  "CMakeFiles/edsim_cpu.dir/cpu/trend.cpp.o"
+  "CMakeFiles/edsim_cpu.dir/cpu/trend.cpp.o.d"
+  "libedsim_cpu.a"
+  "libedsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cpp" "src/CMakeFiles/edsim_dram.dir/dram/address_map.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/address_map.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/edsim_dram.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/config.cpp" "src/CMakeFiles/edsim_dram.dir/dram/config.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/config.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/CMakeFiles/edsim_dram.dir/dram/controller.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/controller.cpp.o.d"
+  "/root/repo/src/dram/multi_channel.cpp" "src/CMakeFiles/edsim_dram.dir/dram/multi_channel.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/multi_channel.cpp.o.d"
+  "/root/repo/src/dram/presets.cpp" "src/CMakeFiles/edsim_dram.dir/dram/presets.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/presets.cpp.o.d"
+  "/root/repo/src/dram/protocol_checker.cpp" "src/CMakeFiles/edsim_dram.dir/dram/protocol_checker.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/protocol_checker.cpp.o.d"
+  "/root/repo/src/dram/refresh.cpp" "src/CMakeFiles/edsim_dram.dir/dram/refresh.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/refresh.cpp.o.d"
+  "/root/repo/src/dram/scheduler.cpp" "src/CMakeFiles/edsim_dram.dir/dram/scheduler.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/scheduler.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/CMakeFiles/edsim_dram.dir/dram/timing.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/timing.cpp.o.d"
+  "/root/repo/src/dram/trace_dump.cpp" "src/CMakeFiles/edsim_dram.dir/dram/trace_dump.cpp.o" "gcc" "src/CMakeFiles/edsim_dram.dir/dram/trace_dump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

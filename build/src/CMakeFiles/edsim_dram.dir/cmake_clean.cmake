@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_dram.dir/dram/address_map.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/address_map.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/config.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/config.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/controller.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/controller.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/multi_channel.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/multi_channel.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/presets.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/presets.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/protocol_checker.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/protocol_checker.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/refresh.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/refresh.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/scheduler.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/scheduler.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/timing.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/timing.cpp.o.d"
+  "CMakeFiles/edsim_dram.dir/dram/trace_dump.cpp.o"
+  "CMakeFiles/edsim_dram.dir/dram/trace_dump.cpp.o.d"
+  "libedsim_dram.a"
+  "libedsim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modulegen/area_model.cpp" "src/CMakeFiles/edsim_modulegen.dir/modulegen/area_model.cpp.o" "gcc" "src/CMakeFiles/edsim_modulegen.dir/modulegen/area_model.cpp.o.d"
+  "/root/repo/src/modulegen/building_block.cpp" "src/CMakeFiles/edsim_modulegen.dir/modulegen/building_block.cpp.o" "gcc" "src/CMakeFiles/edsim_modulegen.dir/modulegen/building_block.cpp.o.d"
+  "/root/repo/src/modulegen/floorplan.cpp" "src/CMakeFiles/edsim_modulegen.dir/modulegen/floorplan.cpp.o" "gcc" "src/CMakeFiles/edsim_modulegen.dir/modulegen/floorplan.cpp.o.d"
+  "/root/repo/src/modulegen/module_compiler.cpp" "src/CMakeFiles/edsim_modulegen.dir/modulegen/module_compiler.cpp.o" "gcc" "src/CMakeFiles/edsim_modulegen.dir/modulegen/module_compiler.cpp.o.d"
+  "/root/repo/src/modulegen/sram.cpp" "src/CMakeFiles/edsim_modulegen.dir/modulegen/sram.cpp.o" "gcc" "src/CMakeFiles/edsim_modulegen.dir/modulegen/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_modulegen.dir/modulegen/area_model.cpp.o"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/area_model.cpp.o.d"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/building_block.cpp.o"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/building_block.cpp.o.d"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/floorplan.cpp.o"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/floorplan.cpp.o.d"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/module_compiler.cpp.o"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/module_compiler.cpp.o.d"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/sram.cpp.o"
+  "CMakeFiles/edsim_modulegen.dir/modulegen/sram.cpp.o.d"
+  "libedsim_modulegen.a"
+  "libedsim_modulegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_modulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

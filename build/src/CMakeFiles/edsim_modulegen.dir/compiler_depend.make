@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edsim_modulegen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for edsim_modulegen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpeg/decoder_model.cpp" "src/CMakeFiles/edsim_mpeg.dir/mpeg/decoder_model.cpp.o" "gcc" "src/CMakeFiles/edsim_mpeg.dir/mpeg/decoder_model.cpp.o.d"
+  "/root/repo/src/mpeg/frame_geometry.cpp" "src/CMakeFiles/edsim_mpeg.dir/mpeg/frame_geometry.cpp.o" "gcc" "src/CMakeFiles/edsim_mpeg.dir/mpeg/frame_geometry.cpp.o.d"
+  "/root/repo/src/mpeg/memory_map.cpp" "src/CMakeFiles/edsim_mpeg.dir/mpeg/memory_map.cpp.o" "gcc" "src/CMakeFiles/edsim_mpeg.dir/mpeg/memory_map.cpp.o.d"
+  "/root/repo/src/mpeg/trace_gen.cpp" "src/CMakeFiles/edsim_mpeg.dir/mpeg/trace_gen.cpp.o" "gcc" "src/CMakeFiles/edsim_mpeg.dir/mpeg/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_clients.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_mpeg.dir/mpeg/decoder_model.cpp.o"
+  "CMakeFiles/edsim_mpeg.dir/mpeg/decoder_model.cpp.o.d"
+  "CMakeFiles/edsim_mpeg.dir/mpeg/frame_geometry.cpp.o"
+  "CMakeFiles/edsim_mpeg.dir/mpeg/frame_geometry.cpp.o.d"
+  "CMakeFiles/edsim_mpeg.dir/mpeg/memory_map.cpp.o"
+  "CMakeFiles/edsim_mpeg.dir/mpeg/memory_map.cpp.o.d"
+  "CMakeFiles/edsim_mpeg.dir/mpeg/trace_gen.cpp.o"
+  "CMakeFiles/edsim_mpeg.dir/mpeg/trace_gen.cpp.o.d"
+  "libedsim_mpeg.a"
+  "libedsim_mpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

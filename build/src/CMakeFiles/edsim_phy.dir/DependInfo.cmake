@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/discrete_system.cpp" "src/CMakeFiles/edsim_phy.dir/phy/discrete_system.cpp.o" "gcc" "src/CMakeFiles/edsim_phy.dir/phy/discrete_system.cpp.o.d"
+  "/root/repo/src/phy/fill_frequency.cpp" "src/CMakeFiles/edsim_phy.dir/phy/fill_frequency.cpp.o" "gcc" "src/CMakeFiles/edsim_phy.dir/phy/fill_frequency.cpp.o.d"
+  "/root/repo/src/phy/interface_model.cpp" "src/CMakeFiles/edsim_phy.dir/phy/interface_model.cpp.o" "gcc" "src/CMakeFiles/edsim_phy.dir/phy/interface_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

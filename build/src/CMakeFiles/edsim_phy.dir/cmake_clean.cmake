@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_phy.dir/phy/discrete_system.cpp.o"
+  "CMakeFiles/edsim_phy.dir/phy/discrete_system.cpp.o.d"
+  "CMakeFiles/edsim_phy.dir/phy/fill_frequency.cpp.o"
+  "CMakeFiles/edsim_phy.dir/phy/fill_frequency.cpp.o.d"
+  "CMakeFiles/edsim_phy.dir/phy/interface_model.cpp.o"
+  "CMakeFiles/edsim_phy.dir/phy/interface_model.cpp.o.d"
+  "libedsim_phy.a"
+  "libedsim_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsim_power.dir/power/energy_model.cpp.o"
+  "CMakeFiles/edsim_power.dir/power/energy_model.cpp.o.d"
+  "CMakeFiles/edsim_power.dir/power/retention.cpp.o"
+  "CMakeFiles/edsim_power.dir/power/retention.cpp.o.d"
+  "libedsim_power.a"
+  "libedsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cpp" "tests/CMakeFiles/edsim_tests.dir/test_address_map.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_address_map.cpp.o.d"
+  "/root/repo/tests/test_advisor.cpp" "tests/CMakeFiles/edsim_tests.dir/test_advisor.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_advisor.cpp.o.d"
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/edsim_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_arbiter.cpp" "tests/CMakeFiles/edsim_tests.dir/test_arbiter.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_arbiter.cpp.o.d"
+  "/root/repo/tests/test_args.cpp" "tests/CMakeFiles/edsim_tests.dir/test_args.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_args.cpp.o.d"
+  "/root/repo/tests/test_bank.cpp" "tests/CMakeFiles/edsim_tests.dir/test_bank.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_bank.cpp.o.d"
+  "/root/repo/tests/test_battery_prefetch.cpp" "tests/CMakeFiles/edsim_tests.dir/test_battery_prefetch.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_battery_prefetch.cpp.o.d"
+  "/root/repo/tests/test_bist_controller.cpp" "tests/CMakeFiles/edsim_tests.dir/test_bist_controller.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_bist_controller.cpp.o.d"
+  "/root/repo/tests/test_business.cpp" "tests/CMakeFiles/edsim_tests.dir/test_business.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_business.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/edsim_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_claims.cpp" "tests/CMakeFiles/edsim_tests.dir/test_claims.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_claims.cpp.o.d"
+  "/root/repo/tests/test_clients.cpp" "tests/CMakeFiles/edsim_tests.dir/test_clients.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_clients.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/edsim_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_core_model.cpp" "tests/CMakeFiles/edsim_tests.dir/test_core_model.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_core_model.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/edsim_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_crossvalidation.cpp" "tests/CMakeFiles/edsim_tests.dir/test_crossvalidation.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_crossvalidation.cpp.o.d"
+  "/root/repo/tests/test_ddr_and_readfirst.cpp" "tests/CMakeFiles/edsim_tests.dir/test_ddr_and_readfirst.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_ddr_and_readfirst.cpp.o.d"
+  "/root/repo/tests/test_decoder_model.cpp" "tests/CMakeFiles/edsim_tests.dir/test_decoder_model.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_decoder_model.cpp.o.d"
+  "/root/repo/tests/test_economics.cpp" "tests/CMakeFiles/edsim_tests.dir/test_economics.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_economics.cpp.o.d"
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/edsim_tests.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_extra_clients.cpp" "tests/CMakeFiles/edsim_tests.dir/test_extra_clients.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_extra_clients.cpp.o.d"
+  "/root/repo/tests/test_fill_frequency.cpp" "tests/CMakeFiles/edsim_tests.dir/test_fill_frequency.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_fill_frequency.cpp.o.d"
+  "/root/repo/tests/test_floorplan.cpp" "tests/CMakeFiles/edsim_tests.dir/test_floorplan.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_floorplan.cpp.o.d"
+  "/root/repo/tests/test_golden_models.cpp" "tests/CMakeFiles/edsim_tests.dir/test_golden_models.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_golden_models.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/edsim_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_march.cpp" "tests/CMakeFiles/edsim_tests.dir/test_march.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_march.cpp.o.d"
+  "/root/repo/tests/test_memory_array.cpp" "tests/CMakeFiles/edsim_tests.dir/test_memory_array.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_memory_array.cpp.o.d"
+  "/root/repo/tests/test_memory_system.cpp" "tests/CMakeFiles/edsim_tests.dir/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/test_modulegen.cpp" "tests/CMakeFiles/edsim_tests.dir/test_modulegen.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_modulegen.cpp.o.d"
+  "/root/repo/tests/test_mpeg_geometry.cpp" "tests/CMakeFiles/edsim_tests.dir/test_mpeg_geometry.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_mpeg_geometry.cpp.o.d"
+  "/root/repo/tests/test_multi_channel.cpp" "tests/CMakeFiles/edsim_tests.dir/test_multi_channel.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_multi_channel.cpp.o.d"
+  "/root/repo/tests/test_multi_system.cpp" "tests/CMakeFiles/edsim_tests.dir/test_multi_system.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_multi_system.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/edsim_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_phy.cpp" "tests/CMakeFiles/edsim_tests.dir/test_phy.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_phy.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/edsim_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_powerdown.cpp" "tests/CMakeFiles/edsim_tests.dir/test_powerdown.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_powerdown.cpp.o.d"
+  "/root/repo/tests/test_presets.cpp" "tests/CMakeFiles/edsim_tests.dir/test_presets.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_presets.cpp.o.d"
+  "/root/repo/tests/test_protocol_checker.cpp" "tests/CMakeFiles/edsim_tests.dir/test_protocol_checker.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_protocol_checker.cpp.o.d"
+  "/root/repo/tests/test_quality.cpp" "tests/CMakeFiles/edsim_tests.dir/test_quality.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_quality.cpp.o.d"
+  "/root/repo/tests/test_redundancy.cpp" "tests/CMakeFiles/edsim_tests.dir/test_redundancy.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_redundancy.cpp.o.d"
+  "/root/repo/tests/test_refresh.cpp" "tests/CMakeFiles/edsim_tests.dir/test_refresh.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_refresh.cpp.o.d"
+  "/root/repo/tests/test_retention.cpp" "tests/CMakeFiles/edsim_tests.dir/test_retention.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_retention.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/edsim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/edsim_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sram_partition.cpp" "tests/CMakeFiles/edsim_tests.dir/test_sram_partition.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_sram_partition.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/edsim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_system_config.cpp" "tests/CMakeFiles/edsim_tests.dir/test_system_config.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_system_config.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/edsim_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_timeout_policy_dump.cpp" "tests/CMakeFiles/edsim_tests.dir/test_timeout_policy_dump.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_timeout_policy_dump.cpp.o.d"
+  "/root/repo/tests/test_timing.cpp" "tests/CMakeFiles/edsim_tests.dir/test_timing.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_timing.cpp.o.d"
+  "/root/repo/tests/test_trace_gen.cpp" "tests/CMakeFiles/edsim_tests.dir/test_trace_gen.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_trace_gen.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/edsim_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_trend.cpp" "tests/CMakeFiles/edsim_tests.dir/test_trend.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_trend.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/edsim_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/edsim_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_yield.cpp" "tests/CMakeFiles/edsim_tests.dir/test_yield.cpp.o" "gcc" "tests/CMakeFiles/edsim_tests.dir/test_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_modulegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_mpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
