@@ -1,0 +1,161 @@
+// Reliability soak test: the §4.1 MPEG2 decoder's memory system under an
+// escalating transient-fault storm, with the runtime reliability layer
+// stepped through its presets (off / ecc / ecc+scrub / full graceful
+// degradation). Demonstrates:
+//   - without protection, faults reach the clients as corrupt data;
+//   - ECC + patrol scrub + remap let the same decode complete cleanly;
+//   - the fault accounting closes exactly
+//     (injected == corrected + uncorrected + remapped);
+//   - an identical seed reproduces an identical fault/repair log.
+
+#include <iostream>
+
+#include "clients/system.hpp"
+#include "common/table.hpp"
+#include "core/system_config.hpp"
+#include "dram/presets.hpp"
+#include "modulegen/module_compiler.hpp"
+#include "mpeg/trace_gen.hpp"
+#include "power/energy_model.hpp"
+#include "reliability/manager.hpp"
+
+namespace {
+
+using namespace edsim;
+
+struct SoakResult {
+  dram::ReliabilityCounters counters;
+  std::uint64_t client_data_errors = 0;
+  std::uint64_t client_corrected = 0;
+  std::uint64_t bursts = 0;
+  double scrub_coverage = 0.0;
+  std::vector<reliability::ReliabilityEvent> log;
+};
+
+SoakResult run_soak(core::ReliabilityPreset preset, double fault_rate,
+                    std::uint64_t seed, std::uint64_t cycles) {
+  dram::DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.ecc_enabled = preset != core::ReliabilityPreset::kOff;
+  cfg.watchdog_enabled = true;  // starvation policing rides along
+
+  reliability::ReliabilityConfig rc =
+      core::make_reliability_config(preset, seed);
+  rc.inject.transient_per_mbit_ms = fault_rate;
+  rc.inject.weak_cells = 12;       // plus a retention-weak tail
+  rc.spare_rows_per_bank = 8;      // provision for the weak rows
+  rc.remap_after_corrections = 32; // remap chronic rows, not noisy ones
+  reliability::ReliabilityManager mgr(cfg, rc);
+
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  sys.controller().attach_reliability(&mgr);
+
+  mpeg::DecoderConfig dc;
+  dc.format = mpeg::pal();
+  const mpeg::DecoderModel model(dc);
+  mpeg::add_decoder_clients(sys, model, model.build_memory_map());
+  sys.run(cycles);
+  mgr.finalize(sys.controller().cycle());
+
+  SoakResult r;
+  r.counters = mgr.counters();
+  for (std::size_t i = 0; i < sys.client_count(); ++i) {
+    r.client_data_errors += sys.client_stats(i).data_errors;
+    r.client_corrected += sys.client_stats(i).corrected_errors;
+    r.bursts += sys.client_stats(i).completed;
+  }
+  r.scrub_coverage = mgr.scrub_coverage();
+  r.log = mgr.event_log();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edsim;
+  using core::ReliabilityPreset;
+
+  constexpr std::uint64_t kSeed = 2026;
+  constexpr std::uint64_t kCycles = 400'000;  // ~2.6 ms of decode
+
+  // 1. Degradation curve: escalate the fault storm, compare unprotected
+  //    against the full reliability ladder.
+  Table t({"faults/Mbit/ms", "preset", "injected", "corrected", "uncorr",
+           "remapped", "client-visible errors", "balance"});
+  for (const double rate : {2.0, 10.0, 50.0, 200.0}) {
+    for (const auto preset : {ReliabilityPreset::kOff,
+                              ReliabilityPreset::kFull}) {
+      const SoakResult r = run_soak(preset, rate, kSeed, kCycles);
+      t.row()
+          .num(rate, 0)
+          .cell(core::to_string(preset))
+          .integer(static_cast<long long>(r.counters.injected))
+          .integer(static_cast<long long>(r.counters.corrected))
+          .integer(static_cast<long long>(r.counters.uncorrected))
+          .integer(static_cast<long long>(r.counters.remapped))
+          .integer(static_cast<long long>(r.client_data_errors))
+          .cell(r.counters.balanced() ? "exact" : "BROKEN");
+    }
+  }
+  t.print(std::cout, "MPEG2 decode under escalating fault rate");
+
+  // 2. The headline comparison at the harshest rate.
+  const SoakResult off = run_soak(ReliabilityPreset::kOff, 200.0, kSeed,
+                                  kCycles);
+  const SoakResult full = run_soak(ReliabilityPreset::kFull, 200.0, kSeed,
+                                   kCycles);
+  std::cout << "\nAt 200 faults/Mbit/ms the unprotected decode delivers "
+            << off.client_data_errors << " corrupt bursts of " << off.bursts
+            << "; with ECC+scrub+remap " << full.client_data_errors
+            << " corrupt bursts reach the clients ("
+            << full.counters.corrected << " corrected in flight, "
+            << full.counters.rows_remapped << " rows remapped, "
+            << full.counters.banks_retired << " banks retired, scrub swept "
+            << Table::fmt(full.scrub_coverage * 100.0, 1)
+            << "% of the array).\n";
+
+  // 3. The accounting identity and seed reproducibility.
+  const SoakResult replay = run_soak(ReliabilityPreset::kFull, 200.0, kSeed,
+                                     kCycles);
+  std::cout << "fault accounting: injected " << full.counters.injected
+            << " == corrected " << full.counters.corrected
+            << " + uncorrected " << full.counters.uncorrected
+            << " + remapped " << full.counters.remapped << " -> "
+            << (full.counters.balanced() ? "exact" : "BROKEN") << "\n";
+  std::cout << "seed " << kSeed << " replay: " << replay.log.size()
+            << " events, "
+            << (replay.log == full.log ? "identical to the first run"
+                                       : "DIVERGED")
+            << "\n\n";
+
+  // 4. What the protection costs: module area and channel power.
+  modulegen::ModuleCompiler compiler;
+  modulegen::ModuleSpec spec;
+  spec.capacity = Capacity::mbit(16);
+  spec.interface_bits = 64;
+  spec.banks = 4;
+  spec.page_bytes = 2048;
+  const modulegen::ModuleDesign plain = compiler.compile(spec);
+  spec.ecc = true;
+  const modulegen::ModuleDesign ecc = compiler.compile(spec);
+  std::cout << "module area " << Table::fmt(plain.total_area_mm2, 2)
+            << " -> " << Table::fmt(ecc.total_area_mm2, 2) << " mm^2 (+"
+            << Table::fmt((ecc.total_area_mm2 / plain.total_area_mm2 - 1.0) *
+                              100.0,
+                          1)
+            << "%) with SEC-DED storage and codec\n";
+
+  dram::DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.ecc_enabled = true;
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  mpeg::DecoderConfig dc;
+  dc.format = mpeg::pal();
+  const mpeg::DecoderModel model(dc);
+  mpeg::add_decoder_clients(sys, model, model.build_memory_map());
+  sys.run(kCycles);
+  const power::DramPowerModel pm(power::core_energy_sdram_025um(),
+                                 2.0e-12 /* on-chip J/bit */);
+  const power::PowerBreakdown pb =
+      pm.evaluate(sys.controller().stats(), cfg);
+  std::cout << "channel power with ECC: " << pb.describe() << "\n";
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Build and test under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Uses a separate build tree so the regular build stays untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -DEDSIM_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j"$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)"

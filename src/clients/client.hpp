@@ -17,6 +17,8 @@ struct ClientStats {
   std::uint64_t completed = 0;
   std::uint64_t bytes = 0;
   std::uint64_t stall_cycles = 0;  ///< had a request but could not enqueue
+  std::uint64_t corrected_errors = 0;  ///< completions ECC repaired in flight
+  std::uint64_t data_errors = 0;       ///< completions carrying corrupt data
   Accumulator latency;             ///< controller cycles, arrival -> done
   Accumulator outstanding;         ///< in-flight requests sampled per cycle
   SampleSet latency_samples;       ///< exact tail percentiles (p99 etc.)

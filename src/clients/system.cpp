@@ -24,6 +24,8 @@ void MemorySystem::step() {
   for (const dram::Request& r : controller_.drain_completed()) {
     const std::size_t i = r.client_id;
     stats_[i].completed++;
+    if (r.ecc_corrected) stats_[i].corrected_errors++;
+    if (r.data_error) stats_[i].data_errors++;
     stats_[i].latency.add(static_cast<double>(r.latency()));
     stats_[i].latency_samples.add(static_cast<double>(r.latency()));
     fifos_[i].on_complete();
@@ -39,7 +41,10 @@ void MemorySystem::step() {
     ready[i] = clients_[i]->has_request(cycle);
     any_ready = any_ready || ready[i];
   }
-  if (any_ready && !controller_.queue_full()) {
+  // A channel whose banks have all been retired by the reliability layer
+  // accepts nothing; treat it as permanent back-pressure, not a crash.
+  if (any_ready && !controller_.queue_full() &&
+      !controller_.all_banks_retired()) {
     const std::size_t win = arbiter_->pick(ready);
     if (win != Arbiter::kNone) {
       dram::Request r = clients_[win]->make_request(cycle);

@@ -1,9 +1,45 @@
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace edsim {
+
+/// Machine-readable classification of a structured runtime error.
+enum class ErrorKind : std::uint8_t {
+  kRequestTimeout,     ///< a queued request starved past its watchdog budget
+  kProtocolViolation,  ///< command trace broke a datasheet timing rule
+  kReliability,        ///< reliability layer hit an unrecoverable state
+};
+
+inline const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kRequestTimeout: return "request-timeout";
+    case ErrorKind::kProtocolViolation: return "protocol-violation";
+    case ErrorKind::kReliability: return "reliability";
+  }
+  return "?";
+}
+
+/// Structured simulation error: carries a kind and the cycle it occurred
+/// at, so harnesses can react programmatically (retry, log, degrade)
+/// instead of string-matching `what()`.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, std::uint64_t cycle, const std::string& what)
+      : std::runtime_error(std::string(to_string(kind)) + " at cycle " +
+                           std::to_string(cycle) + ": " + what),
+        kind_(kind),
+        cycle_(cycle) {}
+
+  ErrorKind kind() const { return kind_; }
+  std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  ErrorKind kind_;
+  std::uint64_t cycle_;
+};
 
 /// Thrown when a configuration struct fails validation at construction
 /// time. Simulation hot paths never throw; all parameter checking happens

@@ -19,6 +19,26 @@ const char* to_string(BaseProcess p) {
   return "?";
 }
 
+const char* to_string(ReliabilityPreset p) {
+  switch (p) {
+    case ReliabilityPreset::kOff: return "off";
+    case ReliabilityPreset::kEccOnly: return "ecc";
+    case ReliabilityPreset::kEccScrub: return "ecc+scrub";
+    case ReliabilityPreset::kFull: return "ecc+scrub+remap";
+  }
+  return "?";
+}
+
+reliability::ReliabilityConfig make_reliability_config(ReliabilityPreset p,
+                                                       std::uint64_t seed) {
+  reliability::ReliabilityConfig cfg;
+  cfg.inject.seed = seed;
+  cfg.scrub_enabled = p >= ReliabilityPreset::kEccScrub;
+  cfg.remap_enabled = p >= ReliabilityPreset::kFull;
+  cfg.retire_enabled = p >= ReliabilityPreset::kFull;
+  return cfg;
+}
+
 ProcessFactors process_factors(BaseProcess p) {
   switch (p) {
     case BaseProcess::kDramBased:
@@ -52,6 +72,7 @@ dram::DramConfig SystemConfig::dram_config() const {
         mbit < 1 ? 1 : mbit, interface_bits, banks, page_bytes);
     cfg.page_policy = page_policy;
     cfg.scheduler = scheduler;
+    cfg.ecc_enabled = reliability != ReliabilityPreset::kOff;
     return cfg;
   }
   // Discrete: a rank of 64-Mbit x16 SDRAM wide enough for the request,
@@ -64,6 +85,7 @@ dram::DramConfig SystemConfig::dram_config() const {
   rank.page_bytes = chip.page_bytes * chips;  // pages concatenate
   rank.page_policy = page_policy;
   rank.scheduler = scheduler;
+  rank.ecc_enabled = reliability != ReliabilityPreset::kOff;
   rank.validate();
   return rank;
 }

@@ -4,6 +4,7 @@
 
 #include "common/units.hpp"
 #include "dram/config.hpp"
+#include "reliability/manager.hpp"
 
 namespace edsim::core {
 
@@ -17,6 +18,24 @@ enum class BaseProcess { kDramBased, kLogicBased, kMerged };
 
 const char* to_string(Integration i);
 const char* to_string(BaseProcess p);
+
+/// How much of the runtime reliability layer a system point enables.
+/// Escalating ladder: nothing -> detect/correct -> also patrol-scrub ->
+/// also remap/retire (full graceful degradation).
+enum class ReliabilityPreset {
+  kOff,      ///< raw array, errors flow to the client unannotated
+  kEccOnly,  ///< SEC-DED on the datapath, no background repair
+  kEccScrub, ///< ECC + patrol scrubber behind refresh
+  kFull,     ///< ECC + scrub + row remap + bank retirement
+};
+
+const char* to_string(ReliabilityPreset p);
+
+/// Reliability-layer knobs for a preset, with the fault injector seeded
+/// deterministically. `kOff` still returns a valid config (for building a
+/// manager that only injects, to demonstrate unprotected behaviour).
+reliability::ReliabilityConfig make_reliability_config(ReliabilityPreset p,
+                                                       std::uint64_t seed);
 
 /// Process trade-off factors (§3): memory density, logic density and
 /// speed, and wafer-cost multiplier relative to a plain logic process.
@@ -41,6 +60,7 @@ struct SystemConfig {
   unsigned page_bytes = 2048;
   dram::PagePolicy page_policy = dram::PagePolicy::kOpen;
   dram::SchedulerKind scheduler = dram::SchedulerKind::kFrFcfs;
+  ReliabilityPreset reliability = ReliabilityPreset::kOff;
 
   double logic_kgates = 500.0;  ///< logic integrated beside the memory
 

@@ -43,6 +43,15 @@ void DramConfig::validate() const {
             "dram: powerdown_idle_cycles must be >= 1");
     require(tXP >= 1, "dram: tXP must be >= 1");
   }
+  if (ecc_enabled) {
+    require(ecc_word_bits >= 1 && ecc_word_bits <= 64,
+            "dram: ecc_word_bits must be 1..64");
+    require(static_cast<std::uint64_t>(page_bytes) * 8 % ecc_word_bits == 0,
+            "dram: page must hold a whole number of ECC words");
+  }
+  if (watchdog_enabled) {
+    require(watchdog_cycles >= 1, "dram: watchdog_cycles must be >= 1");
+  }
 }
 
 std::string DramConfig::describe() const {

@@ -61,6 +61,14 @@ struct DramConfig {
   bool powerdown_enabled = false;  ///< enter power-down when idle
   unsigned powerdown_idle_cycles = 32;  ///< idle streak before entry
   unsigned tXP = 3;  ///< power-down exit to first command
+  // --- reliability (runtime ECC datapath) ----------------------------------
+  bool ecc_enabled = false;        ///< SEC-DED on the column datapath
+  unsigned ecc_word_bits = 64;     ///< data bits per ECC word ((72,64) code)
+  unsigned ecc_latency_cycles = 1; ///< decode pipeline added to read latency
+  // --- watchdog (starvation detection) -------------------------------------
+  bool watchdog_enabled = false;   ///< police queued-request age
+  unsigned watchdog_cycles = 100'000;  ///< age budget before escalation
+  unsigned watchdog_retries = 3;   ///< priority-boost retries before error
 
   void validate() const;
 

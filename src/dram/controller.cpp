@@ -1,6 +1,7 @@
 #include "dram/controller.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.hpp"
 
@@ -18,6 +19,14 @@ Controller::Controller(const DramConfig& cfg)
   last_col_cycle_.assign(cfg_.banks, 0);
 }
 
+bool Controller::all_banks_retired() const {
+  if (hooks_ == nullptr) return false;
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (!hooks_->bank_retired(b)) return false;
+  }
+  return true;
+}
+
 bool Controller::enqueue(Request req) {
   if (queue_full()) return false;
   req.id = next_id_++;
@@ -25,6 +34,24 @@ bool Controller::enqueue(Request req) {
   QueueEntry e;
   e.coord = mapper_.decode(req.addr);
   e.req = req;
+  if (hooks_ != nullptr && hooks_->bank_retired(e.coord.bank)) {
+    // Graceful degradation: steer around the dead bank. Capacity is lost
+    // (aliasing into the fallback bank), but traffic keeps flowing.
+    unsigned fallback = e.coord.bank;
+    for (unsigned i = 1; i < cfg_.banks; ++i) {
+      const unsigned b = (e.coord.bank + i) % cfg_.banks;
+      if (!hooks_->bank_retired(b)) {
+        fallback = b;
+        break;
+      }
+    }
+    if (fallback == e.coord.bank) return false;  // every bank is gone
+    e.coord.bank = fallback;
+    ++stats_.redirected_requests;
+  }
+  if (cfg_.watchdog_enabled) {
+    e.wd_deadline = cycle_ + cfg_.watchdog_cycles;
+  }
   queue_.push_back(e);
   return true;
 }
@@ -110,6 +137,15 @@ void Controller::issue_column(QueueEntry& e, std::uint64_t cycle) {
   const bool is_read = e.req.type == AccessType::kRead;
   bank.issue(is_read ? Command::kRead : Command::kWrite, e.coord.row, cycle);
 
+  if (hooks_ != nullptr) {
+    const AccessOutcome o = hooks_->on_access(e.coord, e.req.type, cycle);
+    if (o == AccessOutcome::kCorrected) {
+      e.req.ecc_corrected = true;
+    } else if (o == AccessOutcome::kUncorrectable) {
+      e.req.data_error = true;
+    }
+  }
+
   const std::uint64_t data_start = cycle + (is_read ? t.tCL : t.tWL);
   const std::uint64_t data_end = data_start + cfg_.data_cycles_per_access();
   bus_busy_until_ = data_end;
@@ -131,7 +167,10 @@ void Controller::issue_column(QueueEntry& e, std::uint64_t cycle) {
     ++stats_.writes;
   }
 
-  e.req.done_cycle = data_end;
+  // ECC decode sits in the controller's return pipeline: it delays the
+  // data handed to the client, not the bus occupancy.
+  e.req.done_cycle =
+      data_end + (cfg_.ecc_enabled && is_read ? cfg_.ecc_latency_cycles : 0);
   inflight_.push_back(InFlight{e.req});
 
   last_col_cycle_[e.coord.bank] = cycle;
@@ -182,6 +221,7 @@ bool Controller::tick_refresh() {
   }
   for (Bank& b : banks_) b.issue(Command::kRefresh, 0, cycle_);
   refresh_.refresh_issued(cycle_);
+  if (hooks_ != nullptr) hooks_->on_refresh(cycle_);
   ++stats_.refreshes;
   if (command_log_ != nullptr) {
     command_log_->record(CommandRecord{cycle_, Command::kRefresh, 0, 0, false});
@@ -190,8 +230,32 @@ bool Controller::tick_refresh() {
   return true;
 }
 
+void Controller::tick_watchdog() {
+  if (!cfg_.watchdog_enabled || queue_.empty()) return;
+  // queue_ is age-ordered, so the front entry is the starvation candidate.
+  QueueEntry& oldest = queue_.front();
+  if (cycle_ < oldest.wd_deadline) return;
+  if (oldest.wd_retries >= cfg_.watchdog_retries) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "request id=%llu client=%u addr=0x%llx starved %llu cycles "
+                  "(%u retries exhausted)",
+                  static_cast<unsigned long long>(oldest.req.id),
+                  oldest.req.client_id,
+                  static_cast<unsigned long long>(oldest.req.addr),
+                  static_cast<unsigned long long>(
+                      cycle_ - oldest.req.arrival_cycle),
+                  oldest.wd_retries);
+    throw Error(ErrorKind::kRequestTimeout, cycle_, buf);
+  }
+  ++oldest.wd_retries;
+  oldest.wd_deadline = cycle_ + cfg_.watchdog_cycles;
+  ++stats_.watchdog_retries;
+}
+
 void Controller::tick() {
   stats_.queue_occupancy.add(static_cast<double>(queue_.size()));
+  if (hooks_ != nullptr) hooks_->on_cycle(cycle_);
 
   // --- power-down management -------------------------------------------------
   if (cfg_.powerdown_enabled) {
@@ -269,13 +333,24 @@ void Controller::tick() {
   // 2. Hardware auto-precharge (no command-bus cost).
   tick_autoprecharge();
 
+  // 2b. Watchdog: escalate or fail a starving request.
+  tick_watchdog();
+
   // 3. Refresh has absolute priority once due.
   if (!tick_refresh()) {
     // 4. Normal scheduling: one command this cycle.
     const auto candidates = build_candidates();
     const std::uint64_t oldest_wait =
         queue_.empty() ? 0 : cycle_ - queue_.front().req.arrival_cycle;
-    const std::size_t pick = scheduler_->pick(candidates, oldest_wait);
+    std::size_t pick;
+    if (cfg_.watchdog_enabled && !queue_.empty() &&
+        queue_.front().wd_retries > 0) {
+      // An escalated request owns the command slot until it completes:
+      // candidates are age-ordered, so its candidate is index 0.
+      pick = candidates.front().issuable ? 0 : Scheduler::kNone;
+    } else {
+      pick = scheduler_->pick(candidates, oldest_wait);
+    }
     if (pick == Scheduler::kNone &&
         cfg_.page_policy == PagePolicy::kTimeout) {
       // Idle command slot: close any row that has been open and unused
@@ -343,6 +418,7 @@ void Controller::tick() {
 
   ++cycle_;
   ++stats_.cycles;
+  if (hooks_ != nullptr) stats_.reliability = hooks_->counters();
 }
 
 std::vector<Request> Controller::drain_completed() {

@@ -11,6 +11,7 @@
 #include "dram/command_log.hpp"
 #include "dram/config.hpp"
 #include "dram/refresh.hpp"
+#include "dram/reliability_hooks.hpp"
 #include "dram/request.hpp"
 #include "dram/scheduler.hpp"
 
@@ -30,6 +31,9 @@ struct ControllerStats {
   std::uint64_t data_bus_busy_cycles = 0;
   std::uint64_t bytes_transferred = 0;
   std::uint64_t powerdown_cycles = 0;  ///< cycles spent in power-down
+  std::uint64_t redirected_requests = 0;  ///< steered around retired banks
+  std::uint64_t watchdog_retries = 0;     ///< starvation escalations fired
+  ReliabilityCounters reliability;        ///< mirrored from attached hooks
   Accumulator read_latency;   ///< cycles, arrival -> last beat
   Accumulator write_latency;
   Accumulator queue_occupancy;
@@ -104,11 +108,24 @@ class Controller {
   /// verification.
   void attach_command_log(CommandLog* log) { command_log_ = log; }
 
+  /// Attach the runtime reliability layer (nullptr detaches). The hooks
+  /// see every tick, column access, and refresh; the controller mirrors
+  /// their counters into `stats().reliability` and steers enqueues away
+  /// from banks the hooks report as retired.
+  void attach_reliability(ReliabilityHooks* hooks) { hooks_ = hooks; }
+  ReliabilityHooks* reliability_hooks() const { return hooks_; }
+
+  /// True when graceful degradation has retired every bank — the channel
+  /// can no longer accept traffic (multi_channel fails over on this).
+  bool all_banks_retired() const;
+
  private:
   struct QueueEntry {
     Request req;
     Coordinates coord;
     bool classified = false;  ///< row hit/miss/conflict already counted
+    unsigned wd_retries = 0;         ///< watchdog escalations so far
+    std::uint64_t wd_deadline = 0;   ///< next watchdog check cycle
   };
 
   struct InFlight {
@@ -121,6 +138,7 @@ class Controller {
   void issue_column(QueueEntry& e, std::uint64_t cycle);
   bool tick_refresh();
   bool tick_autoprecharge();
+  void tick_watchdog();
   std::vector<Candidate> build_candidates() const;
 
   DramConfig cfg_;
@@ -159,6 +177,7 @@ class Controller {
   bool was_idle_ = false;
 
   CommandLog* command_log_ = nullptr;
+  ReliabilityHooks* hooks_ = nullptr;
 
   ControllerStats stats_;
 };

@@ -41,8 +41,20 @@ unsigned MultiChannel::route(std::uint64_t addr) const {
   return static_cast<unsigned>((a / stripe_bytes_) % channels());
 }
 
+unsigned MultiChannel::effective_channel(std::uint64_t addr) const {
+  const unsigned home = route(addr);
+  if (!ctls_[home]->all_banks_retired()) return home;
+  for (unsigned off = 1; off < channels(); ++off) {
+    const unsigned c = (home + off) % channels();
+    if (!ctls_[c]->all_banks_retired()) return c;
+  }
+  return home;  // every channel dead: let the home controller reject it
+}
+
 bool MultiChannel::enqueue(Request req) {
-  Controller& ctl = *ctls_[route(req.addr)];
+  const unsigned ch = effective_channel(req.addr);
+  if (ch != route(req.addr)) ++failed_over_;
+  Controller& ctl = *ctls_[ch];
   // Strip the channel bits so each controller sees a dense local space:
   // global stripe index / channels -> local stripe index.
   const std::uint64_t total = channel_bytes_ * channels();
@@ -54,7 +66,7 @@ bool MultiChannel::enqueue(Request req) {
 }
 
 bool MultiChannel::queue_full_for(std::uint64_t addr) const {
-  return ctls_[route(addr)]->queue_full();
+  return ctls_[effective_channel(addr)]->queue_full();
 }
 
 void MultiChannel::tick() {

@@ -30,12 +30,19 @@ class MultiChannel {
   Capacity capacity() const;
   Bandwidth peak_bandwidth() const;
 
-  /// Which channel serves this address.
+  /// Which channel serves this address (by interleave alone).
   unsigned route(std::uint64_t addr) const;
+  /// Where the request actually goes: `route(addr)` unless that channel
+  /// has retired every bank, in which case the next healthy channel takes
+  /// over (graceful degradation across modules).
+  unsigned effective_channel(std::uint64_t addr) const;
 
   /// Enqueue into the owning channel; false on back-pressure there.
   bool enqueue(Request req);
   bool queue_full_for(std::uint64_t addr) const;
+
+  /// Requests steered away from a fully-retired home channel.
+  std::uint64_t failed_over_requests() const { return failed_over_; }
 
   void tick();
   bool idle() const;
@@ -54,6 +61,7 @@ class MultiChannel {
   std::vector<std::unique_ptr<Controller>> ctls_;
   std::uint64_t stripe_bytes_;   // interleave granule
   std::uint64_t channel_bytes_;  // capacity per channel
+  std::uint64_t failed_over_ = 0;
 };
 
 }  // namespace edsim::dram

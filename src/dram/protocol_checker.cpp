@@ -4,6 +4,8 @@
 #include <deque>
 #include <optional>
 
+#include "common/error.hpp"
+
 namespace edsim::dram {
 
 std::string Violation::describe() const {
@@ -13,7 +15,9 @@ std::string Violation::describe() const {
   return buf;
 }
 
-ProtocolChecker::ProtocolChecker(const DramConfig& cfg) : cfg_(cfg) {
+ProtocolChecker::ProtocolChecker(const DramConfig& cfg,
+                                 ViolationPolicy policy)
+    : cfg_(cfg), policy_(policy) {
   cfg_.validate();
 }
 
@@ -56,6 +60,9 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
   bool first = true;
 
   auto flag = [&](std::uint64_t cycle, const std::string& rule) {
+    if (policy_ == ViolationPolicy::kThrow) {
+      throw Error(ErrorKind::kProtocolViolation, cycle, rule);
+    }
     out.push_back(Violation{cycle, rule});
   };
 

@@ -16,6 +16,14 @@ struct Violation {
   std::string describe() const;
 };
 
+/// What the checker does when it finds a violation. Fault-injection and
+/// soak runs use kCount so one protocol upset is logged instead of
+/// aborting the whole simulation; strict test harnesses use kThrow.
+enum class ViolationPolicy : std::uint8_t {
+  kCount,  ///< collect and return every violation (the default)
+  kThrow,  ///< throw a structured edsim::Error at the first violation
+};
+
 /// Replays a captured command trace against the datasheet rules and
 /// reports every violation. This is an *independent* re-implementation of
 /// the constraints the controller is supposed to honour — the pair forms
@@ -23,13 +31,19 @@ struct Violation {
 /// equivalent of the §6 expected-value comparison, applied to ourselves).
 class ProtocolChecker {
  public:
-  explicit ProtocolChecker(const DramConfig& cfg);
+  explicit ProtocolChecker(const DramConfig& cfg,
+                           ViolationPolicy policy = ViolationPolicy::kCount);
 
-  /// Verify a whole trace; returns all violations (empty = clean).
+  /// Verify a whole trace. Under kCount, returns all violations (empty =
+  /// clean); under kThrow, raises edsim::Error{kProtocolViolation} at the
+  /// first one.
   std::vector<Violation> verify(const CommandLog& log) const;
+
+  ViolationPolicy policy() const { return policy_; }
 
  private:
   DramConfig cfg_;
+  ViolationPolicy policy_;
 };
 
 }  // namespace edsim::dram

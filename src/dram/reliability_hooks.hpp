@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dram/address_map.hpp"
+#include "dram/request.hpp"
+
+namespace edsim::dram {
+
+/// Result of pushing one column access through the reliability layer.
+enum class AccessOutcome : std::uint8_t {
+  kClean,          ///< no stored fault touched the access window
+  kCorrected,      ///< SEC repaired a single-bit error (or write re-encoded)
+  kUncorrectable,  ///< DED fired (or, without ECC, silent corruption)
+};
+
+/// Error-accounting counters for one channel. The invariant the soak test
+/// checks is `injected == corrected + uncorrected + remapped` — every
+/// injected fault is disposed exactly once:
+///   corrected   — removed by SEC (demand read, patrol scrub, or a write
+///                 re-encoding the word);
+///   uncorrected — present in a word when DED fired, or read without ECC;
+///   remapped    — still live in a row/bank when it was remapped/retired
+///                 (the spare resource starts clean, carrying them away).
+/// Faults not yet touched by any access are *latent*; `finalize()` on the
+/// manager sweeps them so the balance closes exactly at report time.
+struct ReliabilityCounters {
+  std::uint64_t injected = 0;     ///< fault-bits materialized in the array
+  std::uint64_t corrected = 0;    ///< fault-bits disposed by correction
+  std::uint64_t uncorrected = 0;  ///< fault-bits disposed as data loss
+  std::uint64_t remapped = 0;     ///< fault-bits disposed by remap/retire
+
+  std::uint64_t demand_corrections = 0;   ///< SEC events on demand reads
+  std::uint64_t scrub_corrections = 0;    ///< SEC events during patrol scrub
+  std::uint64_t write_repairs = 0;        ///< fault-bits cleared by re-encode
+  std::uint64_t uncorrectable_events = 0; ///< DED / no-ECC corruption events
+  std::uint64_t rows_remapped = 0;        ///< rows moved onto spare rows
+  std::uint64_t banks_retired = 0;        ///< banks taken out of service
+  std::uint64_t scrubbed_rows = 0;        ///< rows swept by the patrol scrubber
+
+  bool balanced() const {
+    return injected == corrected + uncorrected + remapped;
+  }
+};
+
+/// Runtime-reliability callbacks the controller drives from its datapath.
+/// Implemented by reliability::ReliabilityManager; the indirection keeps
+/// `dram/` free of a dependency on the reliability library.
+class ReliabilityHooks {
+ public:
+  virtual ~ReliabilityHooks() = default;
+
+  /// Called once per controller tick (fault-injection sampling point).
+  virtual void on_cycle(std::uint64_t cycle) = 0;
+
+  /// A column command touched `c`'s burst window. Returns what the ECC
+  /// path observed; the controller tags the request accordingly.
+  virtual AccessOutcome on_access(const Coordinates& c, AccessType type,
+                                  std::uint64_t cycle) = 0;
+
+  /// A REF command was issued (patrol-scrub piggyback point).
+  virtual void on_refresh(std::uint64_t cycle) = 0;
+
+  /// True when graceful degradation has retired this bank; the controller
+  /// steers new requests to a healthy bank.
+  virtual bool bank_retired(unsigned bank) const = 0;
+
+  virtual const ReliabilityCounters& counters() const = 0;
+};
+
+}  // namespace edsim::dram

@@ -16,6 +16,8 @@ struct Request {
   std::uint64_t arrival_cycle = 0;
   std::uint64_t done_cycle = 0;  ///< set when the last data beat completes
   std::uint64_t tag = 0;         ///< opaque client cookie (e.g. stream pos)
+  bool ecc_corrected = false;    ///< SEC repaired this access's data
+  bool data_error = false;       ///< uncorrectable error — payload is garbage
 
   std::uint64_t latency() const { return done_cycle - arrival_cycle; }
 };

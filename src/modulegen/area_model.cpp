@@ -18,7 +18,12 @@ double periphery_area_mm2(const ModuleSpec& spec) {
   const double per_bank = 0.28 * static_cast<double>(spec.banks);
   // Interface: secondary sense amps + routing scale with width.
   const double interface = 0.003 * static_cast<double>(spec.interface_bits);
-  return fixed + per_bank + interface;
+  // SEC-DED codec: XOR trees sized by the number of 64-bit lanes the
+  // interface carries, plus a fixed syndrome-decode/control block.
+  const double ecc_logic =
+      spec.ecc ? 0.12 + 0.0008 * static_cast<double>(spec.interface_bits)
+               : 0.0;
+  return fixed + per_bank + interface + ecc_logic;
 }
 
 double cycle_time_ns(const ModuleSpec& spec) {

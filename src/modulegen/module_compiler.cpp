@@ -72,6 +72,7 @@ ModuleDesign ModuleCompiler::compile(const ModuleSpec& spec) const {
   d.blocks = tile_capacity(spec.capacity);
   d.array_area_mm2 =
       d.blocks.array_area_mm2() * redundancy_area_factor(spec.redundancy);
+  if (spec.ecc) d.array_area_mm2 *= 72.0 / 64.0;  // check-bit columns
   d.periphery_area_mm2 = periphery_area_mm2(spec);
   d.total_area_mm2 = d.array_area_mm2 + d.periphery_area_mm2;
   d.area_efficiency_mbit_per_mm2 = spec.capacity.as_mbit() / d.total_area_mm2;

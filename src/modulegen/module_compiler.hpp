@@ -30,6 +30,10 @@ struct ModuleSpec {
   unsigned banks = 4;
   unsigned page_bytes = 2048;
   RedundancyLevel redundancy = RedundancyLevel::kStandard;
+  /// Store SEC-DED check bits alongside every 64-bit word and place the
+  /// codec next to the secondary sense amps. Widens the array by 8/64
+  /// and adds interface-width-proportional periphery logic.
+  bool ecc = false;
 
   void validate() const;
 };

@@ -9,7 +9,7 @@ MemoryMap::MemoryMap(std::uint64_t alignment) : alignment_(alignment) {
           "memory map: alignment must be a power of two");
 }
 
-const Region& MemoryMap::allocate(const std::string& name, Capacity size) {
+Region MemoryMap::allocate(const std::string& name, Capacity size) {
   require(size.bit_count() > 0, "memory map: empty allocation");
   require(find(name) == nullptr, "memory map: duplicate region name");
   Region r;

@@ -23,7 +23,9 @@ class MemoryMap {
  public:
   explicit MemoryMap(std::uint64_t alignment = 4096);
 
-  const Region& allocate(const std::string& name, Capacity size);
+  /// Returns a copy: a reference into regions_ would dangle as soon as
+  /// the next allocation grows the vector.
+  Region allocate(const std::string& name, Capacity size);
   const Region* find(const std::string& name) const;
 
   Capacity total_allocated() const { return Capacity::bytes(top_); }

@@ -14,10 +14,11 @@ CoreEnergy core_energy_sdram_025um() {
 }
 
 std::string PowerBreakdown::describe() const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "total %.1f mW (core %.1f, io %.1f, refresh %.1f, bg %.1f)",
-                total_mw(), core_mw, io_mw, refresh_mw, background_mw);
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "total %.1f mW (core %.1f, io %.1f, refresh %.1f, bg %.1f, ecc %.1f)",
+      total_mw(), core_mw, io_mw, refresh_mw, background_mw, ecc_mw);
   return buf;
 }
 
@@ -38,6 +39,19 @@ PowerBreakdown DramPowerModel::evaluate(const dram::ControllerStats& s,
   p.refresh_mw = ref_j / seconds * 1e3;
 
   p.io_mw = bits * io_energy_per_bit_j_ / seconds * 1e3;
+
+  if (cfg.ecc_enabled) {
+    // Codec logic per protected access, plus the column-path energy of
+    // the check bits themselves (8 extra bits per 64 stored).
+    const double accesses = static_cast<double>(s.reads + s.writes);
+    const double codec_j = accesses * core_.ecc_pj_per_access * 1e-12;
+    unsigned r = 0;
+    while ((1u << r) < cfg.ecc_word_bits + r + 1) ++r;  // Hamming bits
+    const double check_bits =
+        bits * (r + 1.0) / static_cast<double>(cfg.ecc_word_bits);
+    const double check_j = check_bits * core_.rdwr_pj_per_bit * 1e-12;
+    p.ecc_mw = (codec_j + check_j) / seconds * 1e3;
+  }
   // Background power scales down while the device sits in power-down.
   const double pd = s.powerdown_fraction();
   p.background_mw =

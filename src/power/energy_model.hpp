@@ -22,6 +22,9 @@ struct CoreEnergy {
   /// Fraction of the background power still drawn in power-down (input
   /// buffers off, DLL stopped; leakage remains).
   double powerdown_residual = 0.10;
+  /// SEC-DED encode/decode logic energy per protected access (XOR tree
+  /// plus syndrome decode); only spent when the channel enables ECC.
+  double ecc_pj_per_access = 1.2;
 
   double act_nj(unsigned page_bytes) const {
     return act_nj_per_kb_page * static_cast<double>(page_bytes) / 1024.0;
@@ -36,8 +39,9 @@ struct PowerBreakdown {
   double refresh_mw = 0.0;
   double io_mw = 0.0;
   double background_mw = 0.0;
+  double ecc_mw = 0.0;        ///< SEC-DED codec (0 when ECC disabled)
   double total_mw() const {
-    return core_mw + refresh_mw + io_mw + background_mw;
+    return core_mw + refresh_mw + io_mw + background_mw + ecc_mw;
   }
   std::string describe() const;
 };

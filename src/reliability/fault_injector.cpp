@@ -1,0 +1,127 @@
+#include "reliability/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace edsim::reliability {
+
+const char* to_string(FaultClass c) {
+  return c == FaultClass::kTransient ? "transient" : "retention";
+}
+
+FaultInjector::FaultInjector(const dram::DramConfig& dram_cfg,
+                             const FaultInjectorConfig& cfg)
+    : banks_(dram_cfg.banks),
+      rows_(dram_cfg.rows_per_bank),
+      page_bits_(dram_cfg.page_bytes * 8u),
+      rng_(cfg.seed) {
+  require(cfg.transient_per_mbit_ms >= 0.0,
+          "fault injector: negative transient rate");
+  require(cfg.weak_retention_min_frac > 0.0 &&
+              cfg.weak_retention_min_frac <= cfg.weak_retention_max_frac,
+          "fault injector: weak retention fraction range invalid");
+
+  const double cycles_per_ms = dram_cfg.clock.hz() * 1e-3;
+  retention_cycles_ =
+      cfg.retention.retention_ms(cfg.junction_c) * cycles_per_ms;
+
+  const double mbit = dram_cfg.capacity().as_mbit();
+  const double flips_per_cycle =
+      cfg.transient_per_mbit_ms * mbit / cycles_per_ms;
+  mean_interarrival_ = flips_per_cycle > 0.0 ? 1.0 / flips_per_cycle : 0.0;
+  if (mean_interarrival_ > 0.0) {
+    transient_armed_ = true;
+    next_transient_ = static_cast<std::uint64_t>(
+        rng_.next_exponential(mean_interarrival_));
+  }
+
+  // Sample the retention-weak tail. Duplicates are harmless (same cell
+  // drawn twice just shadows itself) but we avoid them for clean counts.
+  for (unsigned i = 0; i < cfg.weak_cells; ++i) {
+    const unsigned bank =
+        static_cast<unsigned>(rng_.next_below(banks_));
+    const unsigned row = static_cast<unsigned>(rng_.next_below(rows_));
+    const auto bit = static_cast<std::uint32_t>(rng_.next_below(page_bits_));
+    const double frac =
+        cfg.weak_retention_min_frac +
+        rng_.next_double() *
+            (cfg.weak_retention_max_frac - cfg.weak_retention_min_frac);
+    add_weak_cell(bank, row, bit, frac * retention_cycles_);
+  }
+}
+
+void FaultInjector::add_weak_cell(unsigned bank, unsigned row,
+                                  std::uint32_t bit,
+                                  double retention_cycles) {
+  auto& cells = weak_[row_key(bank, row)];
+  for (const WeakCell& c : cells) {
+    if (c.bit == bit) return;  // already weak
+  }
+  cells.push_back(WeakCell{bit, retention_cycles});
+}
+
+void FaultInjector::sample_transients(std::uint64_t cycle,
+                                      const std::vector<bool>& alive,
+                                      std::vector<InjectedFault>& out) {
+  if (!transient_armed_) return;
+  while (next_transient_ <= cycle) {
+    InjectedFault f;
+    f.cycle = cycle;
+    f.cls = FaultClass::kTransient;
+    f.bank = static_cast<unsigned>(rng_.next_below(banks_));
+    f.row = static_cast<unsigned>(rng_.next_below(rows_));
+    f.bit = static_cast<std::uint32_t>(rng_.next_below(page_bits_));
+    if (f.bank < alive.size() && alive[f.bank]) out.push_back(f);
+    next_transient_ += 1 + static_cast<std::uint64_t>(
+                               rng_.next_exponential(mean_interarrival_));
+  }
+}
+
+void FaultInjector::materialize_retention(unsigned bank, unsigned row,
+                                          std::uint64_t elapsed_cycles,
+                                          std::uint64_t cycle,
+                                          std::vector<InjectedFault>& out)
+    const {
+  const auto it = weak_.find(row_key(bank, row));
+  if (it == weak_.end()) return;
+  for (const WeakCell& c : it->second) {
+    if (static_cast<double>(elapsed_cycles) > c.retention_cycles) {
+      InjectedFault f;
+      f.cycle = cycle;
+      f.cls = FaultClass::kRetention;
+      f.bank = bank;
+      f.row = row;
+      f.bit = c.bit;
+      out.push_back(f);
+    }
+  }
+}
+
+void FaultInjector::import_fault_map(const bist::FailBitmap& bitmap,
+                                     unsigned bank, double retention_frac) {
+  require(bank < banks_, "fault injector: import bank out of range");
+  require(retention_frac > 0.0, "fault injector: retention_frac must be > 0");
+  for (const bist::CellAddr& cell : bitmap.fails) {
+    const unsigned row = cell.row % rows_;
+    // The BIST array column is a bit column; fold it into the page.
+    const auto bit = static_cast<std::uint32_t>(cell.col % page_bits_);
+    add_weak_cell(bank, row, bit, retention_frac * retention_cycles_);
+  }
+}
+
+void FaultInjector::drop_row(unsigned bank, unsigned row) {
+  weak_.erase(row_key(bank, row));
+}
+
+void FaultInjector::drop_bank(unsigned bank) {
+  for (unsigned r = 0; r < rows_; ++r) weak_.erase(row_key(bank, r));
+}
+
+std::size_t FaultInjector::weak_cell_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, cells] : weak_) n += cells.size();
+  return n;
+}
+
+}  // namespace edsim::reliability

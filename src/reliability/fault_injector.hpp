@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bist/redundancy.hpp"
+#include "common/rng.hpp"
+#include "dram/config.hpp"
+#include "power/retention.hpp"
+
+namespace edsim::reliability {
+
+/// How a fault entered the array at runtime.
+enum class FaultClass : std::uint8_t {
+  kTransient,  ///< particle strike / supply noise — random in space and time
+  kRetention,  ///< weak cell leaked past its retention time before restore
+};
+
+const char* to_string(FaultClass c);
+
+/// One materialized bit error, addressed as (bank, row, bit-within-row).
+struct InjectedFault {
+  std::uint64_t cycle = 0;
+  FaultClass cls = FaultClass::kTransient;
+  unsigned bank = 0;
+  unsigned row = 0;
+  std::uint32_t bit = 0;  ///< bit offset within the page (0..page_bits)
+};
+
+/// Fault-process parameters. Rates are physical, geometry-independent;
+/// the injector scales them by the channel's capacity and clock.
+struct FaultInjectorConfig {
+  std::uint64_t seed = 1;
+
+  /// Transient (soft-error) rate: expected bit flips per Mbit of array per
+  /// millisecond. 0 disables transient injection.
+  double transient_per_mbit_ms = 0.0;
+
+  /// Number of retention-weak cells sampled uniformly over the array at
+  /// construction (tail of the retention distribution the §6 retention
+  /// screens hunt for). Their retention time is drawn in
+  /// [weak_retention_min_frac, weak_retention_max_frac] x the nominal
+  /// retention at the operating temperature.
+  unsigned weak_cells = 0;
+  double weak_retention_min_frac = 0.05;
+  double weak_retention_max_frac = 0.60;
+
+  /// Retention-vs-temperature model and the thermal operating point
+  /// (junction temperature from power::ThermalLoop::solve).
+  power::RetentionModel retention{};
+  double junction_c = 85.0;
+};
+
+/// Samples the two runtime fault processes against a channel's geometry.
+/// All randomness flows through one explicitly seeded Rng, so a (seed,
+/// traffic) pair reproduces the identical fault sequence.
+class FaultInjector {
+ public:
+  FaultInjector(const dram::DramConfig& dram_cfg,
+                const FaultInjectorConfig& cfg);
+
+  /// Transient arrivals due by `cycle` (exponential inter-arrival times).
+  /// Appends to `out`; faults land only in non-retired banks per `alive`.
+  void sample_transients(std::uint64_t cycle, const std::vector<bool>& alive,
+                         std::vector<InjectedFault>& out);
+
+  /// Weak cells of (bank,row) that decayed during `elapsed_cycles` since
+  /// the row was last restored. Appends to `out`.
+  void materialize_retention(unsigned bank, unsigned row,
+                             std::uint64_t elapsed_cycles, std::uint64_t cycle,
+                             std::vector<InjectedFault>& out) const;
+
+  /// Import a BIST fail bitmap (e.g. cells the march tests flagged but
+  /// fuse repair did not cover) as weak cells of `bank` with the given
+  /// retention fraction.
+  void import_fault_map(const bist::FailBitmap& bitmap, unsigned bank,
+                        double retention_frac = 0.25);
+
+  /// A spare row replaced (bank,row): its weak cells go away.
+  void drop_row(unsigned bank, unsigned row);
+  /// The whole bank left service.
+  void drop_bank(unsigned bank);
+
+  std::size_t weak_cell_count() const;
+  /// Nominal retention at the operating point, in controller cycles.
+  double retention_cycles() const { return retention_cycles_; }
+
+ private:
+  struct WeakCell {
+    std::uint32_t bit = 0;
+    double retention_cycles = 0.0;
+  };
+
+  std::uint64_t row_key(unsigned bank, unsigned row) const {
+    return static_cast<std::uint64_t>(bank) * rows_ + row;
+  }
+  void add_weak_cell(unsigned bank, unsigned row, std::uint32_t bit,
+                     double retention_cycles);
+
+  unsigned banks_;
+  unsigned rows_;
+  std::uint32_t page_bits_;
+  double retention_cycles_;       // nominal retention at tj, in cycles
+  double mean_interarrival_;      // transient: cycles between flips (0=off)
+  Rng rng_;
+  std::uint64_t next_transient_ = 0;
+  bool transient_armed_ = false;
+  std::unordered_map<std::uint64_t, std::vector<WeakCell>> weak_;
+};
+
+}  // namespace edsim::reliability

@@ -1,0 +1,342 @@
+#include "reliability/manager.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace edsim::reliability {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kInject: return "inject";
+    case EventKind::kDemandCorrect: return "demand-correct";
+    case EventKind::kScrubCorrect: return "scrub-correct";
+    case EventKind::kWriteRepair: return "write-repair";
+    case EventKind::kUncorrectable: return "uncorrectable";
+    case EventKind::kRemap: return "remap";
+    case EventKind::kRetire: return "retire";
+  }
+  return "?";
+}
+
+std::string ReliabilityEvent::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "cycle %llu: %s bank %u row %u bit %u",
+                static_cast<unsigned long long>(cycle), to_string(kind), bank,
+                row, bit);
+  return buf;
+}
+
+void ReliabilityConfig::validate() const {
+  require(scrub_rows_per_refresh >= 1,
+          "reliability: scrub_rows_per_refresh must be >= 1");
+  require(remap_after_corrections >= 1,
+          "reliability: remap_after_corrections must be >= 1");
+  require(event_log_limit >= 1, "reliability: event_log_limit must be >= 1");
+}
+
+ReliabilityManager::ReliabilityManager(const dram::DramConfig& dram_cfg,
+                                       const ReliabilityConfig& cfg)
+    : banks_(dram_cfg.banks),
+      rows_(dram_cfg.rows_per_bank),
+      page_bits_(dram_cfg.page_bytes * 8u),
+      window_bits_(dram_cfg.bytes_per_access() * 8u),
+      interface_bits_(dram_cfg.interface_bits),
+      word_bits_(dram_cfg.ecc_word_bits),
+      ecc_enabled_(dram_cfg.ecc_enabled),
+      cfg_(cfg),
+      injector_(dram_cfg, cfg.inject) {
+  cfg_.validate();
+  dram_cfg.validate();
+  last_restore_.assign(static_cast<std::size_t>(banks_) * rows_, 0);
+  alive_.assign(banks_, true);
+  spares_left_.assign(banks_, cfg_.spare_rows_per_bank);
+  plans_.resize(banks_);
+  for (auto& p : plans_) p.feasible = true;
+}
+
+void ReliabilityManager::record(std::uint64_t cycle, EventKind kind,
+                                unsigned bank, unsigned row,
+                                std::uint32_t bit) {
+  if (log_.size() >= cfg_.event_log_limit) {
+    log_overflow_ = true;
+    return;
+  }
+  log_.push_back(ReliabilityEvent{cycle, kind, bank, row, bit});
+}
+
+void ReliabilityManager::apply_fault(const InjectedFault& f) {
+  if (!alive_[f.bank]) return;
+  RowState& st = faulty_rows_[row_key(f.bank, f.row)];
+  if (std::find(st.bad_bits.begin(), st.bad_bits.end(), f.bit) !=
+      st.bad_bits.end()) {
+    return;  // cell already holds a wrong value
+  }
+  st.bad_bits.push_back(f.bit);
+  ++counters_.injected;
+  record(f.cycle, EventKind::kInject, f.bank, f.row, f.bit);
+}
+
+void ReliabilityManager::materialize(unsigned bank, unsigned row,
+                                     std::uint64_t cycle) {
+  const std::uint64_t last = last_restore_[row_key(bank, row)];
+  scratch_.clear();
+  injector_.materialize_retention(bank, row, cycle - last, cycle, scratch_);
+  for (const InjectedFault& f : scratch_) apply_fault(f);
+}
+
+void ReliabilityManager::on_cycle(std::uint64_t cycle) {
+  scratch_.clear();
+  injector_.sample_transients(cycle, alive_, scratch_);
+  for (const InjectedFault& f : scratch_) apply_fault(f);
+}
+
+dram::AccessOutcome ReliabilityManager::evaluate_window(
+    unsigned bank, unsigned row, std::uint32_t lo_bit, std::uint32_t hi_bit,
+    std::uint64_t cycle, bool scrub, bool& wants_remap) {
+  const auto it = faulty_rows_.find(row_key(bank, row));
+  if (it == faulty_rows_.end()) return dram::AccessOutcome::kClean;
+  RowState& st = it->second;
+
+  // Collect live faults inside the window, grouped by ECC word.
+  std::vector<std::uint32_t> hit;
+  for (std::uint32_t b : st.bad_bits) {
+    if (b >= lo_bit && b < hi_bit) hit.push_back(b);
+  }
+  if (hit.empty()) return dram::AccessOutcome::kClean;
+
+  dram::AccessOutcome outcome = dram::AccessOutcome::kClean;
+
+  if (!ecc_enabled_) {
+    // No corrector: the access returns corrupted data, undetected by the
+    // hardware. We still dispose the faults (each counted once) and tag
+    // the request so harnesses can measure the data loss.
+    for (std::uint32_t b : hit) {
+      ++counters_.uncorrected;
+      record(cycle, EventKind::kUncorrectable, bank, row, b);
+    }
+    ++counters_.uncorrectable_events;
+    outcome = dram::AccessOutcome::kUncorrectable;
+  } else {
+    // SEC-DED per word: one bad bit is corrected (and scrub/demand writes
+    // the fix back); two or more in the same word are detect-only.
+    std::sort(hit.begin(), hit.end());
+    std::size_t i = 0;
+    while (i < hit.size()) {
+      const std::uint32_t word = hit[i] / word_bits_;
+      std::size_t j = i;
+      while (j < hit.size() && hit[j] / word_bits_ == word) ++j;
+      const std::size_t k = j - i;
+      if (k == 1) {
+        ++counters_.corrected;
+        ++st.corrections;
+        if (scrub) {
+          ++counters_.scrub_corrections;
+        } else {
+          ++counters_.demand_corrections;
+        }
+        record(cycle,
+               scrub ? EventKind::kScrubCorrect : EventKind::kDemandCorrect,
+               bank, row, hit[i]);
+        if (outcome == dram::AccessOutcome::kClean) {
+          outcome = dram::AccessOutcome::kCorrected;
+        }
+      } else {
+        for (std::size_t m = i; m < j; ++m) {
+          ++counters_.uncorrected;
+          record(cycle, EventKind::kUncorrectable, bank, row, hit[m]);
+        }
+        ++counters_.uncorrectable_events;
+        outcome = dram::AccessOutcome::kUncorrectable;
+        wants_remap = true;
+      }
+      i = j;
+    }
+    if (st.corrections >= cfg_.remap_after_corrections) wants_remap = true;
+  }
+
+  // Remove the disposed bits from the live set.
+  auto& bits = st.bad_bits;
+  bits.erase(std::remove_if(bits.begin(), bits.end(),
+                            [&](std::uint32_t b) {
+                              return b >= lo_bit && b < hi_bit;
+                            }),
+             bits.end());
+  if (bits.empty() && st.corrections == 0) {
+    faulty_rows_.erase(it);
+  }
+  return outcome;
+}
+
+dram::AccessOutcome ReliabilityManager::on_access(const dram::Coordinates& c,
+                                                  dram::AccessType type,
+                                                  std::uint64_t cycle) {
+  if (!alive_[c.bank]) return dram::AccessOutcome::kClean;
+  materialize(c.bank, c.row, cycle);
+
+  const std::uint32_t lo = c.column * interface_bits_;
+  const std::uint32_t hi =
+      std::min<std::uint32_t>(lo + window_bits_, page_bits_);
+
+  dram::AccessOutcome outcome = dram::AccessOutcome::kClean;
+  if (type == dram::AccessType::kWrite) {
+    // A write overwrites the window's cells with freshly encoded data:
+    // stored faults under it are gone regardless of ECC.
+    const auto it = faulty_rows_.find(row_key(c.bank, c.row));
+    if (it != faulty_rows_.end()) {
+      auto& bits = it->second.bad_bits;
+      for (std::uint32_t b : bits) {
+        if (b >= lo && b < hi) {
+          ++counters_.corrected;
+          ++counters_.write_repairs;
+          record(cycle, EventKind::kWriteRepair, c.bank, c.row, b);
+          outcome = dram::AccessOutcome::kCorrected;
+        }
+      }
+      bits.erase(std::remove_if(bits.begin(), bits.end(),
+                                [&](std::uint32_t b) {
+                                  return b >= lo && b < hi;
+                                }),
+                 bits.end());
+      if (bits.empty() && it->second.corrections == 0) {
+        faulty_rows_.erase(it);
+      }
+    }
+  } else {
+    bool wants_remap = false;
+    outcome = evaluate_window(c.bank, c.row, lo, hi, cycle, false,
+                              wants_remap);
+    if (wants_remap && cfg_.remap_enabled) remap_row(c.bank, c.row, cycle);
+  }
+
+  // The activation that opened this row sensed and rewrote the whole
+  // page, restarting its retention clock.
+  last_restore_[row_key(c.bank, c.row)] = cycle;
+  return outcome;
+}
+
+void ReliabilityManager::scrub_row(unsigned bank, unsigned row,
+                                   std::uint64_t cycle) {
+  materialize(bank, row, cycle);
+  bool wants_remap = false;
+  evaluate_window(bank, row, 0, page_bits_, cycle, true, wants_remap);
+  if (wants_remap && cfg_.remap_enabled) remap_row(bank, row, cycle);
+  last_restore_[row_key(bank, row)] = cycle;
+  ++counters_.scrubbed_rows;
+}
+
+void ReliabilityManager::on_refresh(std::uint64_t cycle) {
+  // One REF refreshes the next row (round robin) in every bank: weak
+  // cells that decayed during the elapsed window now hold wrong values
+  // (refresh faithfully rewrites the corrupted charge), and the row's
+  // retention clock restarts.
+  for (unsigned b = 0; b < banks_; ++b) {
+    if (!alive_[b]) continue;
+    materialize(b, refresh_ptr_, cycle);
+    last_restore_[row_key(b, refresh_ptr_)] = cycle;
+  }
+  refresh_ptr_ = (refresh_ptr_ + 1) % rows_;
+
+  // Patrol scrub piggybacks on the refresh slot: sweep the next rows
+  // through the ECC datapath and write corrections back.
+  if (!cfg_.scrub_enabled || !ecc_enabled_) return;
+  for (unsigned s = 0; s < cfg_.scrub_rows_per_refresh; ++s) {
+    for (unsigned b = 0; b < banks_; ++b) {
+      if (alive_[b]) scrub_row(b, scrub_ptr_, cycle);
+    }
+    scrub_ptr_ = (scrub_ptr_ + 1) % rows_;
+  }
+}
+
+void ReliabilityManager::remap_row(unsigned bank, unsigned row,
+                                   std::uint64_t cycle) {
+  if (!alive_[bank]) return;
+  const std::uint64_t key = row_key(bank, row);
+  if (spares_left_[bank] > 0) {
+    --spares_left_[bank];
+    ++counters_.rows_remapped;
+    plans_[bank].replaced_rows.push_back(row);
+    const auto it = faulty_rows_.find(key);
+    if (it != faulty_rows_.end()) {
+      // Faults still stored in the dead row leave the array with it.
+      counters_.remapped += it->second.bad_bits.size();
+      faulty_rows_.erase(it);
+    }
+    injector_.drop_row(bank, row);  // the spare row is healthy
+    last_restore_[key] = cycle;
+    record(cycle, EventKind::kRemap, bank, row, 0);
+  } else if (cfg_.retire_enabled) {
+    retire_bank(bank, cycle);
+  }
+  // Spares gone and retirement disabled: the row stays in service and
+  // keeps producing errors — the caller's counters show it.
+}
+
+void ReliabilityManager::retire_bank(unsigned bank, std::uint64_t cycle) {
+  if (!alive_[bank]) return;
+  alive_[bank] = false;
+  ++counters_.banks_retired;
+  plans_[bank].feasible = false;  // ran out of repair resources
+  for (unsigned r = 0; r < rows_; ++r) {
+    const auto it = faulty_rows_.find(row_key(bank, r));
+    if (it != faulty_rows_.end()) {
+      counters_.remapped += it->second.bad_bits.size();
+      faulty_rows_.erase(it);
+    }
+  }
+  injector_.drop_bank(bank);
+  record(cycle, EventKind::kRetire, bank, 0, 0);
+}
+
+void ReliabilityManager::inject_fault(unsigned bank, unsigned row,
+                                      std::uint32_t bit, std::uint64_t cycle,
+                                      FaultClass cls) {
+  require(bank < banks_ && row < rows_ && bit < page_bits_,
+          "reliability: inject_fault out of range");
+  InjectedFault f;
+  f.cycle = cycle;
+  f.cls = cls;
+  f.bank = bank;
+  f.row = row;
+  f.bit = bit;
+  apply_fault(f);
+}
+
+void ReliabilityManager::import_fault_map(const bist::FailBitmap& bitmap,
+                                          unsigned bank,
+                                          double retention_frac) {
+  injector_.import_fault_map(bitmap, bank, retention_frac);
+}
+
+void ReliabilityManager::finalize(std::uint64_t cycle) {
+  // Dispose every latent fault with one closing patrol pass (no new
+  // materialization — only what is already stored). Idempotent.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(faulty_rows_.size());
+  for (const auto& [key, st] : faulty_rows_) {
+    if (!st.bad_bits.empty()) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());  // deterministic order
+  for (const std::uint64_t key : keys) {
+    const auto bank = static_cast<unsigned>(key / rows_);
+    const auto row = static_cast<unsigned>(key % rows_);
+    if (!alive_[bank]) continue;
+    bool wants_remap = false;
+    evaluate_window(bank, row, 0, page_bits_, cycle, true, wants_remap);
+  }
+}
+
+std::uint64_t ReliabilityManager::live_faults() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, st] : faulty_rows_) n += st.bad_bits.size();
+  return n;
+}
+
+double ReliabilityManager::scrub_coverage() const {
+  const double total = static_cast<double>(banks_) * rows_;
+  return total > 0.0 ? static_cast<double>(counters_.scrubbed_rows) / total
+                     : 0.0;
+}
+
+}  // namespace edsim::reliability

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dram/controller.hpp"
 #include "dram/presets.hpp"
@@ -153,6 +154,34 @@ TEST(ProtocolChecker, FlagsDoubleCommandInOneCycle) {
   const auto v = ProtocolChecker(cfg).verify(log);
   ASSERT_FALSE(v.empty());
   EXPECT_NE(v[0].rule.find("single command bus"), std::string::npos);
+}
+
+TEST(ProtocolChecker, ThrowPolicyRaisesStructuredErrorAtFirstViolation) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  log.record({10, Command::kActivate, 0, 5, false});
+  log.record({10 + cfg.timing.tRCD - 1, Command::kRead, 0, 5, false});
+  const ProtocolChecker strict(cfg, ViolationPolicy::kThrow);
+  EXPECT_EQ(strict.policy(), ViolationPolicy::kThrow);
+  try {
+    strict.verify(log);
+    FAIL() << "expected kThrow to raise";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kProtocolViolation);
+    EXPECT_EQ(e.cycle(), 10u + cfg.timing.tRCD - 1);
+    EXPECT_NE(std::string(e.what()).find("tRCD"), std::string::npos);
+  }
+}
+
+TEST(ProtocolChecker, CountPolicyCollectsEveryViolation) {
+  const DramConfig cfg = presets::sdram_pc100_4mbit();
+  CommandLog log;
+  // Two independent violations: column to an idle bank, then an undrained
+  // second command in the same cycle.
+  log.record({4, Command::kRead, 0, 0, false});
+  log.record({4, Command::kRead, 1, 0, false});
+  const auto v = ProtocolChecker(cfg, ViolationPolicy::kCount).verify(log);
+  EXPECT_GE(v.size(), 2u);
 }
 
 TEST(ProtocolChecker, CleanHandwrittenSequencePasses) {

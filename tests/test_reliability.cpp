@@ -1,0 +1,403 @@
+// The runtime reliability layer: SEC-DED codec round-trips, fault
+// injection/disposition accounting, patrol scrub, graceful degradation
+// (remap -> retire -> redirect), and seed reproducibility.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/system_config.hpp"
+#include "dram/address_map.hpp"
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+#include "reliability/ecc.hpp"
+#include "reliability/manager.hpp"
+
+namespace edsim::reliability {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SEC-DED codec
+
+TEST(SecDed, RoundTripsRandomWords) {
+  Rng rng(42);
+  for (unsigned bits : {8u, 16u, 32u, 64u}) {
+    const SecDed code(bits);
+    const std::uint64_t mask =
+        bits == 64 ? ~0ull : (1ull << bits) - 1;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t data = rng.next_u64() & mask;
+      const CodeWord w = code.encode(data);
+      const DecodeResult r = code.decode(w);
+      EXPECT_EQ(r.status, DecodeStatus::kClean);
+      EXPECT_EQ(r.data, data);
+    }
+  }
+}
+
+TEST(SecDed, CorrectsEverySingleDataBitFlip) {
+  const SecDed code(64);
+  const std::uint64_t data = 0xDEADBEEFCAFEF00Dull;
+  const CodeWord clean = code.encode(data);
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    CodeWord w = clean;
+    w.data ^= 1ull << bit;
+    const DecodeResult r = code.decode(w);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected) << "bit " << bit;
+    EXPECT_EQ(r.data, data) << "bit " << bit;
+    EXPECT_EQ(r.corrected_bit, static_cast<int>(bit));
+  }
+}
+
+TEST(SecDed, CorrectsCheckBitFlips) {
+  const SecDed code(64);
+  const std::uint64_t data = 0x0123456789ABCDEFull;
+  const CodeWord clean = code.encode(data);
+  for (unsigned bit = 0; bit < code.check_bits(); ++bit) {
+    CodeWord w = clean;
+    w.check ^= static_cast<std::uint8_t>(1u << bit);
+    const DecodeResult r = code.decode(w);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected) << "check bit " << bit;
+    EXPECT_EQ(r.data, data) << "check bit " << bit;
+  }
+}
+
+TEST(SecDed, DetectsDoubleBitFlips) {
+  const SecDed code(64);
+  const std::uint64_t data = 0xA5A5A5A55A5A5A5Aull;
+  const CodeWord clean = code.encode(data);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const unsigned a = static_cast<unsigned>(rng.next_below(64));
+    unsigned b = static_cast<unsigned>(rng.next_below(64));
+    while (b == a) b = static_cast<unsigned>(rng.next_below(64));
+    CodeWord w = clean;
+    w.data ^= (1ull << a) ^ (1ull << b);
+    EXPECT_EQ(code.decode(w).status, DecodeStatus::kDetected)
+        << a << "," << b;
+  }
+}
+
+TEST(SecDed, ClassicOrganizationOverheads) {
+  const SecDed code(64);
+  EXPECT_EQ(code.check_bits(), 8u);  // (72,64)
+  EXPECT_DOUBLE_EQ(code.storage_overhead(), 0.125);
+  EXPECT_EQ(SecDed(32).check_bits(), 7u);  // (39,32)
+  EXPECT_EQ(SecDed(8).check_bits(), 5u);   // (13,8)
+}
+
+// ---------------------------------------------------------------------------
+// ReliabilityManager
+
+dram::DramConfig protected_cfg() {
+  dram::DramConfig cfg = dram::presets::edram_module(4, 64, 4, 1024);
+  cfg.ecc_enabled = true;
+  return cfg;
+}
+
+ReliabilityConfig quiet_reliability(std::uint64_t seed = 1) {
+  ReliabilityConfig cfg;
+  cfg.inject.seed = seed;
+  cfg.inject.transient_per_mbit_ms = 0.0;  // only hand-injected faults
+  cfg.inject.weak_cells = 0;
+  return cfg;
+}
+
+TEST(ReliabilityManager, DemandReadCorrectsSingleBitFault) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityManager mgr(cfg, quiet_reliability());
+  mgr.inject_fault(1, 10, 3, /*cycle=*/5);
+
+  const auto out = mgr.on_access(dram::Coordinates{1, 10, 0},
+                                 dram::AccessType::kRead, 20);
+  EXPECT_EQ(out, dram::AccessOutcome::kCorrected);
+  const auto& c = mgr.counters();
+  EXPECT_EQ(c.injected, 1u);
+  EXPECT_EQ(c.corrected, 1u);
+  EXPECT_EQ(c.demand_corrections, 1u);
+  EXPECT_EQ(c.uncorrected, 0u);
+  EXPECT_TRUE(c.balanced());
+  EXPECT_EQ(mgr.live_faults(), 0u);
+}
+
+TEST(ReliabilityManager, DoubleBitInOneWordIsUncorrectable) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability();
+  rc.remap_enabled = false;  // observe the raw outcome
+  ReliabilityManager mgr(cfg, rc);
+  mgr.inject_fault(0, 0, 4, 1);
+  mgr.inject_fault(0, 0, 9, 1);  // same 64-bit word
+
+  const auto out = mgr.on_access(dram::Coordinates{0, 0, 0},
+                                 dram::AccessType::kRead, 2);
+  EXPECT_EQ(out, dram::AccessOutcome::kUncorrectable);
+  const auto& c = mgr.counters();
+  EXPECT_EQ(c.injected, 2u);
+  EXPECT_EQ(c.uncorrected, 2u);
+  EXPECT_EQ(c.uncorrectable_events, 1u);
+  EXPECT_TRUE(c.balanced());
+}
+
+TEST(ReliabilityManager, WriteOverwritesStoredFaults) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityManager mgr(cfg, quiet_reliability());
+  mgr.inject_fault(2, 7, 0, 1);
+  mgr.inject_fault(2, 7, 1, 1);  // double-bit, but a write repairs anyway
+
+  const auto out = mgr.on_access(dram::Coordinates{2, 7, 0},
+                                 dram::AccessType::kWrite, 2);
+  EXPECT_EQ(out, dram::AccessOutcome::kCorrected);
+  const auto& c = mgr.counters();
+  EXPECT_EQ(c.write_repairs, 2u);
+  EXPECT_TRUE(c.balanced());
+  EXPECT_EQ(mgr.live_faults(), 0u);
+}
+
+TEST(ReliabilityManager, WithoutEccReadsReturnCorruptData) {
+  dram::DramConfig cfg = protected_cfg();
+  cfg.ecc_enabled = false;
+  ReliabilityManager mgr(cfg, quiet_reliability());
+  mgr.inject_fault(0, 3, 17, 1);
+
+  const auto out = mgr.on_access(dram::Coordinates{0, 3, 0},
+                                 dram::AccessType::kRead, 2);
+  EXPECT_EQ(out, dram::AccessOutcome::kUncorrectable);
+  EXPECT_EQ(mgr.counters().uncorrected, 1u);
+  EXPECT_TRUE(mgr.counters().balanced());
+}
+
+TEST(ReliabilityManager, ScrubSweepCoversEveryRowAndRepairs) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability();
+  rc.scrub_rows_per_refresh = 4;
+  ReliabilityManager mgr(cfg, rc);
+
+  // Seed faults scattered across banks and rows (single-bit each).
+  mgr.inject_fault(0, 0, 1, 1);
+  mgr.inject_fault(1, 5, 2, 1);
+  mgr.inject_fault(2, cfg.rows_per_bank - 1, 3, 1);
+  mgr.inject_fault(3, cfg.rows_per_bank / 2, 4, 1);
+
+  // Enough refreshes for a full patrol sweep.
+  const unsigned refreshes =
+      (cfg.rows_per_bank + rc.scrub_rows_per_refresh - 1) /
+      rc.scrub_rows_per_refresh;
+  for (unsigned i = 0; i < refreshes; ++i) {
+    mgr.on_refresh(100 + i);
+  }
+
+  const auto& c = mgr.counters();
+  EXPECT_GE(mgr.scrub_coverage(), 1.0);  // every (bank,row) visited
+  EXPECT_EQ(c.scrub_corrections, 4u);
+  EXPECT_EQ(c.corrected, 4u);
+  EXPECT_TRUE(c.balanced());
+  EXPECT_EQ(mgr.live_faults(), 0u);
+}
+
+TEST(ReliabilityManager, UncorrectableReadTriggersRowRemap) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability();
+  rc.spare_rows_per_bank = 2;
+  ReliabilityManager mgr(cfg, rc);
+  mgr.inject_fault(1, 4, 0, 1);
+  mgr.inject_fault(1, 4, 1, 1);  // same word -> DED
+
+  mgr.on_access(dram::Coordinates{1, 4, 0}, dram::AccessType::kRead, 2);
+  EXPECT_EQ(mgr.counters().rows_remapped, 1u);
+  EXPECT_EQ(mgr.spares_left(1), 1u);
+  const bist::RepairPlan& plan = mgr.repair_plan(1);
+  ASSERT_EQ(plan.replaced_rows.size(), 1u);
+  EXPECT_EQ(plan.replaced_rows[0], 4u);
+  EXPECT_TRUE(mgr.counters().balanced());
+}
+
+TEST(ReliabilityManager, ExhaustedSparesRetireTheBank) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability();
+  rc.spare_rows_per_bank = 1;
+  ReliabilityManager mgr(cfg, rc);
+
+  // First uncorrectable row consumes the only spare...
+  mgr.inject_fault(0, 1, 0, 1);
+  mgr.inject_fault(0, 1, 1, 1);
+  mgr.on_access(dram::Coordinates{0, 1, 0}, dram::AccessType::kRead, 2);
+  EXPECT_FALSE(mgr.bank_retired(0));
+
+  // ...the second retires the bank; its stored faults leave with it.
+  mgr.inject_fault(0, 2, 0, 3);
+  mgr.inject_fault(0, 2, 1, 3);
+  mgr.on_access(dram::Coordinates{0, 2, 0}, dram::AccessType::kRead, 4);
+  EXPECT_TRUE(mgr.bank_retired(0));
+  EXPECT_EQ(mgr.counters().banks_retired, 1u);
+  EXPECT_FALSE(mgr.repair_plan(0).feasible);
+  EXPECT_TRUE(mgr.counters().balanced());
+  EXPECT_EQ(mgr.live_faults(), 0u);
+}
+
+TEST(ReliabilityManager, ControllerRedirectsAroundRetiredBank) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability();
+  rc.spare_rows_per_bank = 0;  // first uncorrectable retires immediately
+  ReliabilityManager mgr(cfg, rc);
+  mgr.inject_fault(0, 1, 0, 1);
+  mgr.inject_fault(0, 1, 1, 1);
+  mgr.on_access(dram::Coordinates{0, 1, 0}, dram::AccessType::kRead, 2);
+  ASSERT_TRUE(mgr.bank_retired(0));
+
+  dram::Controller ctl(cfg);
+  ctl.attach_reliability(&mgr);
+  const dram::AddressMapper map(cfg);
+  dram::Request r;
+  r.addr = map.encode(dram::Coordinates{0, 9, 0});
+  ASSERT_TRUE(ctl.enqueue(r));
+  ctl.drain();
+  EXPECT_EQ(ctl.stats().redirected_requests, 1u);
+  EXPECT_EQ(ctl.stats().reads, 1u);  // traffic kept flowing
+  EXPECT_FALSE(ctl.all_banks_retired());
+}
+
+TEST(ReliabilityManager, RepeatedCorrectionsPromoteToRemap) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability();
+  rc.remap_after_corrections = 3;
+  ReliabilityManager mgr(cfg, rc);
+
+  for (unsigned i = 0; i < 3; ++i) {
+    mgr.inject_fault(2, 6, 5, 10 * i);  // same weak cell keeps flipping
+    mgr.on_access(dram::Coordinates{2, 6, 0}, dram::AccessType::kRead,
+                  10 * i + 1);
+  }
+  EXPECT_EQ(mgr.counters().corrected, 3u);
+  EXPECT_EQ(mgr.counters().rows_remapped, 1u);
+  EXPECT_TRUE(mgr.counters().balanced());
+}
+
+TEST(ReliabilityManager, FinalizeClosesTheAccountingIdentity) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability(99);
+  rc.inject.transient_per_mbit_ms = 50.0;  // storm
+  ReliabilityManager mgr(cfg, rc);
+
+  for (std::uint64_t cycle = 0; cycle < 20'000; ++cycle) {
+    mgr.on_cycle(cycle);
+    if (cycle % 64 == 0) {
+      mgr.on_access(dram::Coordinates{static_cast<unsigned>(cycle / 64) % 4,
+                                      static_cast<unsigned>(cycle) %
+                                          cfg.rows_per_bank,
+                                      0},
+                    cycle % 128 == 0 ? dram::AccessType::kRead
+                                     : dram::AccessType::kWrite,
+                    cycle);
+    }
+    if (cycle % 512 == 0) mgr.on_refresh(cycle);
+  }
+  EXPECT_GT(mgr.counters().injected, 0u);
+
+  mgr.finalize(20'000);
+  const auto& c = mgr.counters();
+  EXPECT_TRUE(c.balanced())
+      << "injected=" << c.injected << " corrected=" << c.corrected
+      << " uncorrected=" << c.uncorrected << " remapped=" << c.remapped;
+  EXPECT_EQ(mgr.live_faults(), 0u);
+  // finalize is idempotent.
+  const auto before = c;
+  mgr.finalize(20'001);
+  EXPECT_EQ(mgr.counters().injected, before.injected);
+  EXPECT_EQ(mgr.counters().corrected, before.corrected);
+}
+
+TEST(ReliabilityManager, IdenticalSeedsReproduceTheEventLogExactly) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityConfig rc = quiet_reliability(1234);
+  rc.inject.transient_per_mbit_ms = 20.0;
+  rc.inject.weak_cells = 32;
+
+  auto drive = [&](ReliabilityManager& mgr) {
+    for (std::uint64_t cycle = 0; cycle < 30'000; ++cycle) {
+      mgr.on_cycle(cycle);
+      if (cycle % 97 == 0) {
+        mgr.on_access(
+            dram::Coordinates{static_cast<unsigned>(cycle / 97) % 4,
+                              static_cast<unsigned>(cycle * 7) %
+                                  cfg.rows_per_bank,
+                              0},
+            dram::AccessType::kRead, cycle);
+      }
+      if (cycle % 700 == 0) mgr.on_refresh(cycle);
+    }
+    mgr.finalize(30'000);
+  };
+
+  ReliabilityManager a(cfg, rc);
+  ReliabilityManager b(cfg, rc);
+  drive(a);
+  drive(b);
+
+  ASSERT_FALSE(a.event_log().empty());
+  EXPECT_EQ(a.event_log(), b.event_log());
+  EXPECT_TRUE(a.counters().balanced());
+
+  // A different seed produces a different fault history.
+  ReliabilityConfig other = rc;
+  other.inject.seed = 4321;
+  ReliabilityManager d(cfg, other);
+  drive(d);
+  EXPECT_NE(a.event_log(), d.event_log());
+}
+
+TEST(ReliabilityManager, ImportedFaultMapMaterializesAsRetentionFaults) {
+  const dram::DramConfig cfg = protected_cfg();
+  ReliabilityManager mgr(cfg, quiet_reliability());
+  bist::FailBitmap map;
+  map.rows = cfg.rows_per_bank;
+  map.cols = cfg.page_bytes * 8;
+  map.fails.push_back(bist::CellAddr{3, 11});
+  mgr.import_fault_map(map, /*bank=*/1, /*retention_frac=*/0.001);
+  EXPECT_EQ(mgr.injector().weak_cell_count(), 1u);
+
+  // Long after the (scaled) retention time, a read finds the decayed cell.
+  const auto cycle = static_cast<std::uint64_t>(
+      0.001 * mgr.injector().retention_cycles() * 4.0 + 64.0);
+  const auto out = mgr.on_access(dram::Coordinates{1, 3, 0},
+                                 dram::AccessType::kRead, cycle);
+  EXPECT_EQ(out, dram::AccessOutcome::kCorrected);
+  EXPECT_TRUE(mgr.counters().balanced());
+}
+
+TEST(ReliabilityConfigTest, Validation) {
+  ReliabilityConfig rc;
+  rc.scrub_rows_per_refresh = 0;
+  EXPECT_THROW(rc.validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// System-level presets
+
+TEST(ReliabilityPresets, LadderEnablesLayersInOrder) {
+  using core::ReliabilityPreset;
+  const auto off = core::make_reliability_config(ReliabilityPreset::kOff, 1);
+  EXPECT_FALSE(off.remap_enabled);
+  const auto ecc =
+      core::make_reliability_config(ReliabilityPreset::kEccOnly, 1);
+  EXPECT_FALSE(ecc.scrub_enabled);
+  const auto scrub =
+      core::make_reliability_config(ReliabilityPreset::kEccScrub, 1);
+  EXPECT_TRUE(scrub.scrub_enabled);
+  EXPECT_FALSE(scrub.remap_enabled);
+  const auto full =
+      core::make_reliability_config(ReliabilityPreset::kFull, 7);
+  EXPECT_TRUE(full.scrub_enabled);
+  EXPECT_TRUE(full.remap_enabled);
+  EXPECT_TRUE(full.retire_enabled);
+  EXPECT_EQ(full.inject.seed, 7u);
+
+  core::SystemConfig sys;
+  sys.name = "reliability-ladder";
+  sys.reliability = core::ReliabilityPreset::kFull;
+  EXPECT_TRUE(sys.dram_config().ecc_enabled);
+  sys.reliability = core::ReliabilityPreset::kOff;
+  EXPECT_FALSE(sys.dram_config().ecc_enabled);
+}
+
+}  // namespace
+}  // namespace edsim::reliability

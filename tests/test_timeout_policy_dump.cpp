@@ -108,6 +108,66 @@ TEST(TimeoutPolicy, Validation) {
   EXPECT_THROW(c.validate(), ConfigError);
 }
 
+TEST(Watchdog, ThrowsStructuredErrorWhenBudgetExhausted) {
+  // A budget far below the natural service latency starves immediately:
+  // after the configured retries the controller raises a typed Error
+  // instead of hanging or silently dropping the request.
+  DramConfig cfg = timeout_cfg();
+  cfg.watchdog_enabled = true;
+  cfg.watchdog_cycles = 1;
+  cfg.watchdog_retries = 0;
+  Controller ctl(cfg);
+  ctl.enqueue(read_at(0));
+  try {
+    ctl.drain();
+    FAIL() << "expected the watchdog to fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kRequestTimeout);
+    EXPECT_GT(e.cycle(), 0u);
+    EXPECT_NE(std::string(e.what()).find("starved"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, GenerousBudgetNeverFires) {
+  DramConfig cfg = timeout_cfg();
+  cfg.watchdog_enabled = true;
+  cfg.watchdog_cycles = 10'000;
+  cfg.watchdog_retries = 3;
+  Controller ctl(cfg);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    if (!ctl.queue_full()) {
+      ctl.enqueue(read_at(addr));
+      addr += ctl.config().bytes_per_access();
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  EXPECT_EQ(ctl.stats().watchdog_retries, 0u);
+  EXPECT_GT(ctl.stats().reads, 0u);
+}
+
+TEST(Watchdog, RetriesEscalateBeforeFailing) {
+  // Budget below the first-access latency but with retries to spare: the
+  // watchdog escalates (counted) and the escalated request completes.
+  DramConfig cfg = timeout_cfg();
+  cfg.watchdog_enabled = true;
+  cfg.watchdog_cycles = 2;
+  cfg.watchdog_retries = 100;
+  Controller ctl(cfg);
+  ctl.enqueue(read_at(0));
+  ctl.drain();
+  EXPECT_GT(ctl.stats().watchdog_retries, 0u);
+  EXPECT_EQ(ctl.drain_completed().size(), 1u);
+}
+
+TEST(Watchdog, Validation) {
+  DramConfig cfg = timeout_cfg();
+  cfg.watchdog_enabled = true;
+  cfg.watchdog_cycles = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
 TEST(Waterfall, RendersCommandsInLanes) {
   CommandLog log;
   log.record({2, Command::kActivate, 0, 5, false});
