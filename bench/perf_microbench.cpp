@@ -4,11 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bist/march.hpp"
 #include "bist/redundancy.hpp"
 #include "bist/yield.hpp"
+#include "clients/client.hpp"
+#include "clients/system.hpp"
 #include "common/rng.hpp"
 #include "core/allocation.hpp"
+#include "core/evaluator.hpp"
 #include "dram/controller.hpp"
 #include "dram/multi_channel.hpp"
 #include "dram/presets.hpp"
@@ -81,13 +86,88 @@ void BM_RepairAllocator(benchmark::State& state) {
 BENCHMARK(BM_RepairAllocator);
 
 void BM_MonteCarloYield(benchmark::State& state) {
+  // Arg: worker threads (1 = serial, 0 = hardware default). Identical
+  // bits either way — only the wall clock moves.
+  const auto threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(bist::simulate_yield(
-        2.0, bist::DefectMix{}, 4, 4, 10'000, 11));
+        2.0, bist::DefectMix{}, 4, 4, 100'000, 11, threads));
   }
-  state.SetItemsProcessed(state.iterations() * 10'000);
+  state.SetItemsProcessed(state.iterations() * 100'000);
 }
-BENCHMARK(BM_MonteCarloYield);
+BENCHMARK(BM_MonteCarloYield)->Arg(1)->Arg(0);
+
+// --- event-driven fast-forward: before/after pairs -------------------------
+// The portable-player shape: a paced decode stream against a power-managed
+// channel, >90% of cycles idle. "PerCycle" steps every DRAM clock;
+// "FastForward" takes the event-driven path. Both produce identical stats.
+
+constexpr std::uint64_t kIdleWindow = 500'000;
+
+std::uint64_t run_idle_heavy(bool fast_forward) {
+  dram::DramConfig cfg = dram::presets::edram_module(8, 64, 4, 2048);
+  cfg.powerdown_enabled = true;
+  cfg.powerdown_idle_cycles = 32;
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  sys.set_fast_forward(fast_forward);
+  clients::StreamClient::Params p;
+  p.length = 1 << 20;
+  p.burst_bytes = cfg.bytes_per_access();
+  p.period_cycles = 400;  // ~8 Mbyte/s decode pacing at 143 MHz
+  sys.add_client(std::make_unique<clients::StreamClient>(0, "decode", p));
+  sys.run(kIdleWindow);
+  return sys.controller().stats().powerdown_cycles;
+}
+
+void BM_IdleHeavyPerCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_idle_heavy(false));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kIdleWindow));
+}
+BENCHMARK(BM_IdleHeavyPerCycle)->Unit(benchmark::kMillisecond);
+
+void BM_IdleHeavyFastForward(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_idle_heavy(true));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kIdleWindow));
+}
+BENCHMARK(BM_IdleHeavyFastForward)->Unit(benchmark::kMillisecond);
+
+// The e12 design-space sweep shape: independent config evaluations fanned
+// over the pool. Arg: threads (1 = serial baseline, 0 = hardware default).
+void BM_DesignSpaceSweep(benchmark::State& state) {
+  std::vector<core::SystemConfig> cfgs;
+  for (const core::BaseProcess p : {core::BaseProcess::kDramBased,
+                                    core::BaseProcess::kLogicBased,
+                                    core::BaseProcess::kMerged}) {
+    for (const unsigned width : {64u, 256u, 512u}) {
+      core::SystemConfig s;
+      s.name = std::string(to_string(p)) + "/" + std::to_string(width);
+      s.integration = core::Integration::kEmbedded;
+      s.process = p;
+      s.required_memory = Capacity::mbit(16);
+      s.interface_bits = width;
+      s.banks = 4;
+      s.page_bytes = 2048;
+      cfgs.push_back(s);
+    }
+  }
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  core::Evaluator ev;
+  ev.set_threads(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.sweep(cfgs, w));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+BENCHMARK(BM_DesignSpaceSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_MultiChannelTick(benchmark::State& state) {
   dram::MultiChannel mc(dram::presets::edram_module(16, 128, 4, 2048),

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Performance snapshot: build the Release (-O3) tree and run the simulator
+# microbenchmarks with JSON output. Writes BENCH_<n>.json at the repo root
+# (default n=2); the suite contains before/after pairs — per-cycle vs
+# fast-forward system runs, serial vs pooled sweeps — so one file holds
+# both sides of the comparison.
+#
+# Usage: scripts/bench.sh [n] [extra perf_microbench args...]
+#   scripts/bench.sh                 # writes BENCH_2.json
+#   scripts/bench.sh 3 --benchmark_filter='IdleHeavy|DesignSpace'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-2}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+cmake -B build-release -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$(nproc)" --target perf_microbench
+
+build-release/bench/perf_microbench \
+  --benchmark_out="BENCH_${N}.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+# Console summary of the headline before/after pairs, when python3 exists.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "BENCH_${N}.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+t = {b["name"]: b["real_time"] for b in data["benchmarks"]}
+def speedup(label, before, after):
+    if before in t and after in t and t[after] > 0:
+        print(f"  {label}: {t[before] / t[after]:.2f}x")
+print("speedups (before/after):")
+speedup("idle-heavy run (fast-forward)", "BM_IdleHeavyPerCycle",
+        "BM_IdleHeavyFastForward")
+speedup("design-space sweep (thread pool)", "BM_DesignSpaceSweep/1",
+        "BM_DesignSpaceSweep/0")
+speedup("Monte-Carlo yield (thread pool)", "BM_MonteCarloYield/1",
+        "BM_MonteCarloYield/0")
+EOF
+fi

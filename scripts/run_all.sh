@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment — the full reproduction
 # pipeline. Outputs land in test_output.txt and bench_output.txt.
+# EDSIM_SKIP_SANITIZE=1 / EDSIM_SKIP_PERF=1 skip the slow trailing stages.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,3 +23,11 @@ echo
 echo "claim summary:"
 grep -c "SHAPE-OK" bench_output.txt || true
 grep "CHECK" bench_output.txt || echo "  (no CHECK verdicts — all claims in band)"
+
+# Sanitizer sweep + Release perf snapshot (both use their own build trees).
+if [ -z "${EDSIM_SKIP_SANITIZE:-}" ]; then
+  scripts/sanitize.sh
+fi
+if [ -z "${EDSIM_SKIP_PERF:-}" ]; then
+  scripts/bench.sh
+fi

@@ -1,8 +1,11 @@
 #include "bist/yield.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace edsim::bist {
 
@@ -18,54 +21,93 @@ double poisson_yield(double mean_defects) {
   return std::exp(-mean_defects);
 }
 
+namespace {
+
+/// Per-chunk tallies; chunks are merged in index order so the totals are
+/// independent of how chunks were scheduled over threads.
+struct ChunkTally {
+  std::uint64_t good = 0;
+  std::uint64_t zero_defect = 0;
+  Accumulator spares;
+};
+
+/// One chip: draw defects, classify, decide repair feasibility. The RNG
+/// is derived per trial, so trial `t` behaves identically no matter which
+/// thread — or how many threads — run it.
+void run_trial(std::uint64_t trial, std::uint64_t seed, double mean_defects,
+               const DefectMix& mix, unsigned spare_rows, unsigned spare_cols,
+               ChunkTally& tally) {
+  Rng rng(derive_seed(seed, trial));
+  const unsigned defects = rng.next_poisson(mean_defects);
+  if (defects == 0) {
+    ++tally.zero_defect;
+    ++tally.good;
+    tally.spares.add(0.0);
+    return;
+  }
+  unsigned need_rows = 0;   // word-line defects
+  unsigned need_cols = 0;   // bit-line defects
+  unsigned singles = 0;
+  for (unsigned d = 0; d < defects; ++d) {
+    const double u = rng.next_double();
+    if (u < mix.word_line) {
+      ++need_rows;
+    } else if (u < mix.word_line + mix.bit_line) {
+      ++need_cols;
+    } else {
+      ++singles;
+    }
+  }
+  // Feasibility: line defects consume their dedicated spare type;
+  // single-cell defects take whatever is left (each needs one spare of
+  // either kind — distinct cells collide with vanishing probability in
+  // a megabit array, so no sharing credit is taken: conservative).
+  if (need_rows > spare_rows || need_cols > spare_cols) return;
+  const unsigned slack = (spare_rows - need_rows) + (spare_cols - need_cols);
+  if (singles > slack) return;
+  ++tally.good;
+  tally.spares.add(static_cast<double>(need_rows + need_cols + singles));
+}
+
+}  // namespace
+
 YieldResult simulate_yield(double mean_defects, const DefectMix& mix,
                            unsigned spare_rows, unsigned spare_cols,
-                           std::uint64_t trials, std::uint64_t seed) {
+                           std::uint64_t trials, std::uint64_t seed,
+                           unsigned threads) {
   mix.validate();
   require(trials > 0, "yield: need at least one trial");
-  Rng rng(seed);
 
   YieldResult result;
   result.mean_defects = mean_defects;
   result.trials = trials;
 
+  // Fixed chunk size: the chunk grid — and therefore the merge structure —
+  // never depends on the thread count, only on `trials`.
+  constexpr std::uint64_t kChunk = 8192;
+  const std::uint64_t chunks = (trials + kChunk - 1) / kChunk;
+  std::vector<ChunkTally> tallies(chunks);
+  parallel_for(
+      static_cast<std::size_t>(chunks),
+      [&](std::size_t c) {
+        const std::uint64_t begin = static_cast<std::uint64_t>(c) * kChunk;
+        const std::uint64_t end = std::min(trials, begin + kChunk);
+        ChunkTally& tally = tallies[c];
+        for (std::uint64_t t = begin; t < end; ++t) {
+          run_trial(t, seed, mean_defects, mix, spare_rows, spare_cols,
+                    tally);
+        }
+      },
+      threads);
+
   std::uint64_t good = 0;
   std::uint64_t zero_defect = 0;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    const unsigned defects = rng.next_poisson(mean_defects);
-    if (defects == 0) {
-      ++zero_defect;
-      ++good;
-      result.spares_used.add(0.0);
-      continue;
-    }
-    unsigned need_rows = 0;   // word-line defects
-    unsigned need_cols = 0;   // bit-line defects
-    unsigned singles = 0;
-    for (unsigned d = 0; d < defects; ++d) {
-      const double u = rng.next_double();
-      if (u < mix.word_line) {
-        ++need_rows;
-      } else if (u < mix.word_line + mix.bit_line) {
-        ++need_cols;
-      } else {
-        ++singles;
-      }
-    }
-    // Feasibility: line defects consume their dedicated spare type;
-    // single-cell defects take whatever is left (each needs one spare of
-    // either kind — distinct cells collide with vanishing probability in
-    // a megabit array, so no sharing credit is taken: conservative).
-    if (need_rows > spare_rows || need_cols > spare_cols) continue;
-    const unsigned slack =
-        (spare_rows - need_rows) + (spare_cols - need_cols);
-    if (singles > slack) continue;
-    ++good;
-    result.spares_used.add(
-        static_cast<double>(need_rows + need_cols + singles));
+  for (const ChunkTally& tally : tallies) {
+    good += tally.good;
+    zero_defect += tally.zero_defect;
+    result.spares_used.merge(tally.spares);
   }
-  result.yield =
-      static_cast<double>(good) / static_cast<double>(trials);
+  result.yield = static_cast<double>(good) / static_cast<double>(trials);
   result.raw_yield =
       static_cast<double>(zero_defect) / static_cast<double>(trials);
   return result;

@@ -35,8 +35,13 @@ struct YieldResult {
   Accumulator spares_used;       ///< over repairable chips
 };
 
+/// `threads` fans the trials out over the shared pool (0 = hardware
+/// default, 1 = serial). Each trial draws its own RNG from derive_seed(
+/// seed, trial) and trials are accumulated in fixed-size chunks merged in
+/// chunk order, so the result is bit-identical for every thread count.
 YieldResult simulate_yield(double mean_defects, const DefectMix& mix,
                            unsigned spare_rows, unsigned spare_cols,
-                           std::uint64_t trials, std::uint64_t seed);
+                           std::uint64_t trials, std::uint64_t seed,
+                           unsigned threads = 0);
 
 }  // namespace edsim::bist

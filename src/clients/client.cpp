@@ -1,5 +1,7 @@
 #include "clients/client.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace edsim::clients {
@@ -21,6 +23,11 @@ StreamClient::StreamClient(unsigned id, std::string name, const Params& p)
 
 bool StreamClient::has_request(std::uint64_t cycle) const {
   return !finished() && cycle >= next_allowed_;
+}
+
+std::uint64_t StreamClient::next_request_cycle(std::uint64_t now) const {
+  if (finished()) return dram::kNeverCycle;
+  return std::max(now, next_allowed_);
 }
 
 dram::Request StreamClient::make_request(std::uint64_t cycle) {
@@ -52,6 +59,11 @@ StridedClient::StridedClient(unsigned id, std::string name, const Params& p)
 
 bool StridedClient::has_request(std::uint64_t cycle) const {
   return !finished() && cycle >= next_allowed_;
+}
+
+std::uint64_t StridedClient::next_request_cycle(std::uint64_t now) const {
+  if (finished()) return dram::kNeverCycle;
+  return std::max(now, next_allowed_);
 }
 
 dram::Request StridedClient::make_request(std::uint64_t cycle) {
@@ -90,6 +102,11 @@ bool RandomClient::has_request(std::uint64_t cycle) const {
   return !finished() && cycle >= next_allowed_;
 }
 
+std::uint64_t RandomClient::next_request_cycle(std::uint64_t now) const {
+  if (finished()) return dram::kNeverCycle;
+  return std::max(now, next_allowed_);
+}
+
 dram::Request RandomClient::make_request(std::uint64_t cycle) {
   dram::Request r;
   r.type = rng_.next_bool(p_.read_fraction) ? dram::AccessType::kRead
@@ -122,6 +139,11 @@ TraceClient::TraceClient(unsigned id, std::string name,
 
 bool TraceClient::has_request(std::uint64_t cycle) const {
   return pos_ < trace_.size() && cycle >= trace_[pos_].cycle;
+}
+
+std::uint64_t TraceClient::next_request_cycle(std::uint64_t now) const {
+  if (pos_ >= trace_.size()) return dram::kNeverCycle;
+  return std::max(now, trace_[pos_].cycle);
 }
 
 dram::Request TraceClient::make_request(std::uint64_t /*cycle*/) {

@@ -45,6 +45,15 @@ class Client {
   /// Does the client want to issue a request at this cycle?
   virtual bool has_request(std::uint64_t cycle) const = 0;
 
+  /// Earliest cycle >= `now` at which has_request can become true without
+  /// any completion arriving first, or dram::kNeverCycle when it never
+  /// will (finished, or blocked until a completion that the memory system
+  /// tracks as a separate event). Used by the fast-forward path to leap
+  /// over pacing gaps; the conservative default disables skipping.
+  virtual std::uint64_t next_request_cycle(std::uint64_t now) const {
+    return now;
+  }
+
   /// Produce the request (only call when has_request is true). The front
   /// end fills in client_id.
   virtual dram::Request make_request(std::uint64_t cycle) = 0;
@@ -83,6 +92,7 @@ class StreamClient final : public Client {
   StreamClient(unsigned id, std::string name, const Params& p);
 
   bool has_request(std::uint64_t cycle) const override;
+  std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
 
@@ -109,6 +119,7 @@ class StridedClient final : public Client {
   StridedClient(unsigned id, std::string name, const Params& p);
 
   bool has_request(std::uint64_t cycle) const override;
+  std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
 
@@ -137,6 +148,7 @@ class RandomClient final : public Client {
   RandomClient(unsigned id, std::string name, const Params& p);
 
   bool has_request(std::uint64_t cycle) const override;
+  std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
 
@@ -160,6 +172,7 @@ class TraceClient final : public Client {
               unsigned burst_bytes);
 
   bool has_request(std::uint64_t cycle) const override;
+  std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
 

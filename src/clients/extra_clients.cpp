@@ -19,6 +19,14 @@ bool PointerChaseClient::has_request(std::uint64_t cycle) const {
   return !finished() && !outstanding_ && cycle >= ready_at_;
 }
 
+std::uint64_t PointerChaseClient::next_request_cycle(std::uint64_t now) const {
+  // While a load is outstanding the client is completion-blocked; the
+  // memory system bounds that skip by the controller's in-flight events,
+  // so "never" is safe here.
+  if (finished() || outstanding_) return dram::kNeverCycle;
+  return std::max(now, ready_at_);
+}
+
 dram::Request PointerChaseClient::make_request(std::uint64_t /*cycle*/) {
   dram::Request r;
   r.type = dram::AccessType::kRead;
@@ -51,6 +59,11 @@ BurstyClient::BurstyClient(unsigned id, std::string name, const Params& p)
 
 bool BurstyClient::has_request(std::uint64_t cycle) const {
   return !finished() && cycle >= next_burst_at_;
+}
+
+std::uint64_t BurstyClient::next_request_cycle(std::uint64_t now) const {
+  if (finished()) return dram::kNeverCycle;
+  return std::max(now, next_burst_at_);
 }
 
 dram::Request BurstyClient::make_request(std::uint64_t cycle) {

@@ -27,6 +27,14 @@ class FifoTracker {
     occupancy_.add(static_cast<double>(outstanding_));
   }
 
+  /// Bulk credit for `k` cycles in which outstanding_ did not change —
+  /// bit-identical to calling sample() k times (fast-forward path).
+  void sample_repeated(std::uint64_t k) {
+    if (k == 0) return;
+    if (outstanding_ > peak_) peak_ = outstanding_;
+    occupancy_.add_repeated(static_cast<double>(outstanding_), k);
+  }
+
   std::uint64_t outstanding_bytes() const { return outstanding_; }
   /// Required FIFO depth in bytes: peak in-flight plus one burst of slack.
   std::uint64_t required_depth_bytes() const { return peak_ + burst_bytes_; }

@@ -1,5 +1,7 @@
 #include "clients/multi_system.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace edsim::clients {
@@ -26,7 +28,8 @@ void MultiChannelSystem::step() {
   const unsigned burst = memory_.channel(0).config().bytes_per_access();
 
   // 1. Completions.
-  for (const dram::Request& r : memory_.drain_completed()) {
+  memory_.drain_completed_into(completed_scratch_);
+  for (const dram::Request& r : completed_scratch_) {
     const std::size_t i = r.client_id;
     stats_[i].completed++;
     stats_[i].latency.add(static_cast<double>(r.latency()));
@@ -39,10 +42,12 @@ void MultiChannelSystem::step() {
   //    (previously blocked) request offers that; otherwise its next
   //    request. Blocked requests park in pending_ and retry — nothing is
   //    dropped.
-  std::vector<bool> ready(clients_.size());
+  std::vector<bool>& ready = ready_;
+  ready.assign(clients_.size(), false);
   for (std::size_t i = 0; i < clients_.size(); ++i)
     ready[i] = pending_[i].has_value() || clients_[i]->has_request(cycle_);
-  std::vector<bool> channel_granted(memory_.channels(), false);
+  std::vector<bool>& channel_granted = channel_granted_;
+  channel_granted.assign(memory_.channels(), false);
   for (unsigned g = 0; g < memory_.channels(); ++g) {
     const std::size_t win = arbiter_->pick(ready);
     if (win == Arbiter::kNone) break;
@@ -77,8 +82,29 @@ void MultiChannelSystem::step() {
   ++cycle_;
 }
 
+void MultiChannelSystem::skip_quiet_stretch(std::uint64_t end) {
+  if (cycle_ >= end) return;
+  if (memory_.has_completions()) return;
+  std::uint64_t stop = std::min(end, memory_.next_event_cycle());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (pending_[i].has_value()) return;  // parked request retries each cycle
+    const std::uint64_t wake = clients_[i]->next_request_cycle(cycle_);
+    if (wake <= cycle_) return;
+    stop = std::min(stop, wake);
+  }
+  if (stop <= cycle_) return;
+  const std::uint64_t k = stop - cycle_;
+  for (std::size_t i = 0; i < clients_.size(); ++i) fifos_[i].sample_repeated(k);
+  memory_.advance_idle(k);
+  cycle_ += k;
+}
+
 void MultiChannelSystem::run(std::uint64_t cycles) {
-  for (std::uint64_t i = 0; i < cycles; ++i) step();
+  const std::uint64_t end = cycle_ + cycles;
+  while (cycle_ < end) {
+    step();
+    if (fast_forward_) skip_quiet_stretch(end);
+  }
 }
 
 }  // namespace edsim::clients

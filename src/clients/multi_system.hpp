@@ -41,8 +41,15 @@ class MultiChannelSystem {
     return peak > 0.0 ? aggregate_bandwidth().bits_per_s / peak : 0.0;
   }
 
+  /// Disable/enable the event-driven fast path (on by default; see
+  /// MemorySystem::set_fast_forward).
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+
  private:
   void step();
+  /// Fast-forward: bulk-credit quiet cycles up to `end` when no client is
+  /// ready, nothing is parked and no channel has an event pending.
+  void skip_quiet_stretch(std::uint64_t end);
 
   dram::MultiChannel memory_;
   std::unique_ptr<Arbiter> arbiter_;
@@ -53,6 +60,10 @@ class MultiChannelSystem {
   /// the client is asked for new work — nothing is ever dropped.
   std::vector<std::optional<dram::Request>> pending_;
   std::uint64_t cycle_ = 0;
+  std::vector<dram::Request> completed_scratch_;  // reused drain buffer
+  std::vector<bool> ready_;                       // reused arbitration mask
+  std::vector<bool> channel_granted_;             // reused grant mask
+  bool fast_forward_ = true;
 };
 
 }  // namespace edsim::clients

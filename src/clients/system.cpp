@@ -21,7 +21,8 @@ void MemorySystem::step() {
   const std::uint64_t cycle = controller_.cycle();
 
   // 1. Deliver completions.
-  for (const dram::Request& r : controller_.drain_completed()) {
+  controller_.drain_completed_into(completed_scratch_);
+  for (const dram::Request& r : completed_scratch_) {
     const std::size_t i = r.client_id;
     stats_[i].completed++;
     if (r.ecc_corrected) stats_[i].corrected_errors++;
@@ -35,7 +36,8 @@ void MemorySystem::step() {
 
   // 2. Arbitration: one enqueue attempt per cycle (the controller accepts
   //    at most one column command per cycle anyway).
-  std::vector<bool> ready(clients_.size());
+  std::vector<bool>& ready = ready_;
+  ready.assign(clients_.size(), false);
   bool any_ready = false;
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     ready[i] = clients_[i]->has_request(cycle);
@@ -77,21 +79,57 @@ void MemorySystem::step() {
   controller_.tick();
 }
 
+void MemorySystem::skip_quiet_stretch(std::uint64_t end) {
+  const std::uint64_t now = controller_.cycle();
+  if (now >= end) return;
+  // A pending completion means the very next step does real work
+  // (delivery + notify_complete at its exact cycle).
+  if (controller_.has_completions()) return;
+  std::uint64_t stop = std::min(end, controller_.next_event_cycle());
+  for (const auto& c : clients_) {
+    const std::uint64_t wake = c->next_request_cycle(now);
+    if (wake <= now) return;  // ready now (or conservative client): no skip
+    stop = std::min(stop, wake);
+  }
+  if (stop <= now) return;
+  // Every cycle in [now, stop) is quiet: no client ready, no completion,
+  // no controller event — a per-cycle step would only sample. Credit the
+  // whole stretch in bulk, bit-identically.
+  const std::uint64_t k = stop - now;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    fifos_[i].sample_repeated(k);
+    stats_[i].outstanding.add_repeated(static_cast<double>(outstanding_[i]),
+                                       k);
+  }
+  controller_.advance_idle(k);
+}
+
 void MemorySystem::run(std::uint64_t cycles) {
-  for (std::uint64_t i = 0; i < cycles; ++i) step();
+  const std::uint64_t end = controller_.cycle() + cycles;
+  while (controller_.cycle() < end) {
+    step();
+    if (fast_forward_) skip_quiet_stretch(end);
+  }
 }
 
 void MemorySystem::run_to_completion(std::uint64_t max_cycles) {
   const std::uint64_t limit = controller_.cycle() + max_cycles;
+  const auto all_done = [&] {
+    bool done = controller_.idle();
+    for (const auto& c : clients_) done = done && c->finished();
+    return done;
+  };
   while (controller_.cycle() < limit) {
-    bool all_done = controller_.idle();
-    for (const auto& c : clients_) all_done = all_done && c->finished();
-    if (all_done) {
+    if (all_done()) {
       // One more step to deliver completions retired on the final tick.
       step();
       return;
     }
     step();
+    // The done flag cannot change inside a quiet stretch (no issues, no
+    // retirements), but skipping past the step() that first observes it
+    // would shift the final cycle — so never skip once done.
+    if (fast_forward_ && !all_done()) skip_quiet_stretch(limit);
   }
   require(false, "memory system: run_to_completion hit the cycle bound");
 }

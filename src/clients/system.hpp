@@ -41,8 +41,17 @@ class MemorySystem {
   /// Achieved / peak.
   double bandwidth_efficiency() const;
 
+  /// Disable/enable the event-driven fast path (on by default). The fast
+  /// path is bit-identical to per-cycle stepping; turning it off exists
+  /// for the equivalence tests and for debugging with per-cycle traces.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+
  private:
   void step();
+  /// Fast-forward: if no client can issue, no completion is pending and
+  /// the controller sees no event, bulk-credit the quiet stretch up to
+  /// `end` (bit-identical to stepping through it cycle by cycle).
+  void skip_quiet_stretch(std::uint64_t end);
 
   dram::Controller controller_;
   std::unique_ptr<Arbiter> arbiter_;
@@ -50,6 +59,9 @@ class MemorySystem {
   std::vector<ClientStats> stats_;
   std::vector<FifoTracker> fifos_;
   std::vector<unsigned> outstanding_;  // in-flight per client
+  std::vector<dram::Request> completed_scratch_;  // reused drain buffer
+  std::vector<bool> ready_;                       // reused arbitration mask
+  bool fast_forward_ = true;
 };
 
 }  // namespace edsim::clients

@@ -18,6 +18,17 @@ struct SplitMix64 {
   }
 };
 
+/// Mix (root, stream) into an independent seed. Parallel Monte-Carlo
+/// derives one RNG per trial with this, so results depend only on (root,
+/// trial index) — never on how trials are distributed over threads. The
+/// two halves are mixed separately, so for a fixed root the map from
+/// stream to seed stays collision-free.
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  SplitMix64 a(root);
+  SplitMix64 b(stream ^ 0xd3833e804f4c574bull);
+  return a.next() ^ b.next();
+}
+
 /// Xoshiro256** — the workhorse PRNG. Deterministic given a seed; all
 /// simulator randomness flows through explicitly seeded instances so runs
 /// are reproducible and property tests can sweep seeds.

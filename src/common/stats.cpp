@@ -10,6 +10,8 @@ namespace edsim {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 void Accumulator::merge(const Accumulator& o) {
+  flush();
+  o.flush();
   if (o.n_ == 0) return;
   if (n_ == 0) {
     *this = o;

@@ -6,27 +6,40 @@
 
 namespace edsim {
 
-/// Streaming accumulator: count / sum / min / max / mean / variance
-/// (Welford). Used by every simulator object that reports a latency or
-/// occupancy distribution summary.
+/// Streaming accumulator: count / sum / min / max / mean / variance.
+/// Used by every simulator object that reports a latency or occupancy
+/// distribution summary.
+///
+/// Consecutive equal samples are coalesced into a run and folded in with
+/// the exact batch form of Welford's update (Chan et al.) when the value
+/// changes. This makes `add_repeated(x, k)` O(1) — the event-driven
+/// fast-forward credits millions of identical idle-cycle samples in one
+/// call — and, because add(x) is add_repeated(x, 1), a per-cycle ticked
+/// run and a fast-forwarded run build the identical run sequence and
+/// therefore the identical state, bit for bit.
 class Accumulator {
  public:
-  void add(double x) {
-    ++n_;
-    sum_ += x;
-    if (x < min_) min_ = x;
-    if (x > max_) max_ = x;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(n_);
-    m2_ += delta * (x - mean_);
+  void add(double x) { add_repeated(x, 1); }
+
+  /// Credit `k` consecutive samples of the same value `x`.
+  void add_repeated(double x, std::uint64_t k) {
+    if (k == 0) return;
+    if (run_k_ > 0 && x == run_x_) {
+      run_k_ += k;
+      return;
+    }
+    flush();
+    run_x_ = x;
+    run_k_ = k;
   }
 
-  std::uint64_t count() const { return n_; }
-  double sum() const { return sum_; }
-  double mean() const { return n_ ? mean_ : 0.0; }
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  std::uint64_t count() const { return n_ + run_k_; }
+  double sum() const { flush(); return sum_; }
+  double mean() const { flush(); return n_ ? mean_ : 0.0; }
+  double min() const { flush(); return n_ ? min_ : 0.0; }
+  double max() const { flush(); return n_ ? max_ : 0.0; }
   double variance() const {
+    flush();
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const;
@@ -35,12 +48,32 @@ class Accumulator {
   void reset() { *this = Accumulator{}; }
 
  private:
-  std::uint64_t n_ = 0;
-  double sum_ = 0.0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
+  /// Fold the pending run into the moments (batch Welford / Chan merge of
+  /// a sub-stream holding `run_k_` copies of `run_x_`). Logically const:
+  /// observable statistics do not change, only the representation.
+  void flush() const {
+    if (run_k_ == 0) return;
+    const double x = run_x_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const auto k = static_cast<double>(run_k_);
+    const auto total = static_cast<double>(n_ + run_k_);
+    const double delta = x - mean_;
+    m2_ += delta * delta * static_cast<double>(n_) * k / total;
+    mean_ += delta * k / total;
+    sum_ += x * k;
+    n_ += run_k_;
+    run_k_ = 0;
+  }
+
+  mutable std::uint64_t n_ = 0;
+  mutable double sum_ = 0.0;
+  mutable double mean_ = 0.0;
+  mutable double m2_ = 0.0;
+  mutable double min_ = std::numeric_limits<double>::infinity();
+  mutable double max_ = -std::numeric_limits<double>::infinity();
+  mutable double run_x_ = 0.0;
+  mutable std::uint64_t run_k_ = 0;
 };
 
 /// Fixed-bin histogram over [0, bin_width * bins); overflow bucketed at the

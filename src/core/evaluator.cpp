@@ -5,6 +5,7 @@
 
 #include "clients/system.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "modulegen/module_compiler.hpp"
 #include "phy/interface_model.hpp"
 #include "power/energy_model.hpp"
@@ -138,9 +139,10 @@ Metrics Evaluator::evaluate(const SystemConfig& cfg,
 
 std::vector<Metrics> Evaluator::sweep(const std::vector<SystemConfig>& cfgs,
                                       const EvalWorkload& w) const {
-  std::vector<Metrics> out;
-  out.reserve(cfgs.size());
-  for (const auto& c : cfgs) out.push_back(evaluate(c, w));
+  std::vector<Metrics> out(cfgs.size());
+  parallel_for(
+      cfgs.size(), [&](std::size_t i) { out[i] = evaluate(cfgs[i], w); },
+      threads_);
   return out;
 }
 

@@ -51,14 +51,21 @@ class Evaluator {
  public:
   explicit Evaluator(CostModel cost = CostModel{}) : cost_(cost) {}
 
+  /// Fan sweep() out over this many threads (0 = hardware default,
+  /// 1 = serial). evaluate() is self-contained and deterministic per
+  /// config, so the sweep result is identical at every thread count.
+  void set_threads(unsigned threads) { threads_ = threads; }
+
   Metrics evaluate(const SystemConfig& cfg, const EvalWorkload& w) const;
 
-  /// Evaluate a whole candidate list.
+  /// Evaluate a whole candidate list. Configs are scored independently
+  /// (in parallel when set_threads allows) and returned in input order.
   std::vector<Metrics> sweep(const std::vector<SystemConfig>& cfgs,
                              const EvalWorkload& w) const;
 
  private:
   CostModel cost_;
+  unsigned threads_ = 0;
 };
 
 }  // namespace edsim::core

@@ -1,6 +1,7 @@
 #include "core/pareto.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace edsim::core {
 
@@ -17,14 +18,25 @@ bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
 
 std::vector<std::size_t> pareto_front(
     const std::vector<ParetoPoint>& points) {
-  std::vector<std::size_t> front;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
-      if (i != j && dominates(points[j], points[i])) dominated = true;
+  // Dominance marks are independent per point, so the O(n^2) scan fans out
+  // over the pool for large sets; the front is then assembled in input
+  // order, making the result identical to the serial scan. Small sets stay
+  // serial — the pool handoff costs more than the scan.
+  constexpr std::size_t kParallelThreshold = 512;
+  std::vector<char> dominated(points.size(), 0);
+  const auto mark = [&](std::size_t i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i != j && dominates(points[j], points[i])) {
+        dominated[i] = 1;
+        return;
+      }
     }
-    if (!dominated) front.push_back(points[i].index);
-  }
+  };
+  parallel_for(points.size(), mark,
+               points.size() < kParallelThreshold ? 1u : 0u);
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (!dominated[i]) front.push_back(points[i].index);
   return front;
 }
 

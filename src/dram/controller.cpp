@@ -99,8 +99,9 @@ bool Controller::column_legal(AccessType type, std::uint64_t cycle) const {
   return true;
 }
 
-std::vector<Candidate> Controller::build_candidates() const {
-  std::vector<Candidate> out;
+const std::vector<Candidate>& Controller::build_candidates() {
+  std::vector<Candidate>& out = candidates_;
+  out.clear();
   out.reserve(queue_.size());
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const QueueEntry& e = queue_[i];
@@ -339,7 +340,7 @@ void Controller::tick() {
   // 3. Refresh has absolute priority once due.
   if (!tick_refresh()) {
     // 4. Normal scheduling: one command this cycle.
-    const auto candidates = build_candidates();
+    const auto& candidates = build_candidates();
     const std::uint64_t oldest_wait =
         queue_.empty() ? 0 : cycle_ - queue_.front().req.arrival_cycle;
     std::size_t pick;
@@ -423,13 +424,176 @@ void Controller::tick() {
 
 std::vector<Request> Controller::drain_completed() {
   std::vector<Request> out;
-  out.swap(completed_);
+  drain_completed_into(out);
   return out;
+}
+
+void Controller::drain_completed_into(std::vector<Request>& out) {
+  out.clear();
+  out.insert(out.end(), completed_.begin(), completed_.end());
+  completed_.clear();
+}
+
+namespace {
+/// a - b clamped at zero (timing releases saturate at cycle 0).
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+}  // namespace
+
+std::uint64_t Controller::next_event_cycle() const {
+  std::uint64_t ne = kNeverCycle;
+  const auto upd = [&](std::uint64_t c) {
+    ne = std::min(ne, std::max(c, cycle_));
+  };
+  const bool has_work = !queue_.empty() || !inflight_.empty();
+
+  if (cfg_.powerdown_enabled) {
+    if (powered_down_) {
+      // Only new work (caller-driven) or refresh urgency wakes the device.
+      if (has_work) return cycle_;
+      upd(refresh_.next_urgent_cycle(cycle_));
+      return ne;
+    }
+    if (cycle_ < wake_until_) {
+      // Exiting power-down: every tick until tXP elapses is bookkeeping
+      // (watchdog and refresh paths are behind the same early return).
+      return wake_until_;
+    }
+    if (!has_work) {
+      // Power-down entry fires once the idle streak reaches the threshold;
+      // if the streak has not started, the next tick starts it at cycle_.
+      upd((was_idle_ ? idle_since_ : cycle_) + cfg_.powerdown_idle_cycles);
+    }
+  }
+
+  // In-flight data completions.
+  for (const InFlight& f : inflight_) upd(f.req.done_cycle);
+
+  // Refresh urgency.
+  upd(refresh_.next_urgent_cycle(cycle_));
+
+  // Pending hardware auto-precharges.
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (autopre_pending_[b]) upd(banks_[b].earliest(Command::kPrecharge));
+  }
+
+  // Watchdog deadline of the oldest queued request.
+  if (cfg_.watchdog_enabled && !queue_.empty()) {
+    upd(queue_.front().wd_deadline);
+  }
+
+  // Page-timeout closes of idle open rows. Rows a queued request still
+  // wants are never closed by this policy, and the queue cannot change
+  // during a skip, so they contribute no event.
+  if (cfg_.page_policy == PagePolicy::kTimeout) {
+    for (unsigned b = 0; b < cfg_.banks; ++b) {
+      if (!banks_[b].has_open_row()) continue;
+      bool wanted = false;
+      for (const QueueEntry& e : queue_) {
+        wanted = wanted ||
+                 (e.coord.bank == b && e.coord.row == banks_[b].open_row());
+      }
+      if (wanted) continue;
+      upd(std::max(last_col_cycle_[b] + cfg_.page_timeout_cycles,
+                   banks_[b].earliest(Command::kPrecharge)));
+    }
+  }
+
+  // Earliest cycle each queued request's next command becomes legal. Bank
+  // and bus state are frozen during a skip (no commands issue), so these
+  // releases stay valid until the skip ends. The bound is conservative:
+  // the scheduler may still decline (e.g. FCFS head-of-line blocking),
+  // which only shortens the skip, never corrupts it.
+  const auto& t = cfg_.timing;
+  for (const QueueEntry& e : queue_) {
+    if (autopre_pending_[e.coord.bank]) continue;  // gated by autopre above
+    const Bank& bank = banks_[e.coord.bank];
+    if (bank.has_open_row() && bank.open_row() == e.coord.row) {
+      std::uint64_t rel = bank.earliest(
+          e.req.type == AccessType::kRead ? Command::kRead : Command::kWrite);
+      if (e.req.type == AccessType::kRead) {
+        rel = std::max(rel, sat_sub(bus_busy_until_, t.tCL));
+        if (any_data_yet_ && last_dir_ == AccessType::kWrite) {
+          rel = std::max(rel, last_data_end_ + t.tWTR);
+        }
+      } else {
+        rel = std::max(rel, sat_sub(bus_busy_until_, t.tWL));
+        if (any_data_yet_ && last_dir_ == AccessType::kRead) {
+          rel = std::max(rel, sat_sub(last_data_end_ + t.tRTW, t.tWL));
+        }
+      }
+      upd(rel);
+    } else if (!bank.has_open_row()) {
+      std::uint64_t rel = bank.earliest(Command::kActivate);
+      if (any_act_yet_) rel = std::max(rel, last_act_cycle_ + t.tRRD);
+      if (t.tFAW != 0 && recent_acts_.size() >= 4) {
+        rel = std::max(rel, recent_acts_[recent_acts_.size() - 4] + t.tFAW);
+      }
+      upd(rel);
+    } else {
+      upd(bank.earliest(Command::kPrecharge));
+    }
+  }
+
+  return ne;
+}
+
+void Controller::advance_idle(std::uint64_t count) {
+  if (count == 0) return;
+  stats_.queue_occupancy.add_repeated(static_cast<double>(queue_.size()),
+                                      count);
+  if (hooks_ != nullptr) hooks_->on_idle_cycles(cycle_, cycle_ + count);
+
+  // Replicate the per-tick power-down bookkeeping for a quiet stretch.
+  // The regime (powered down / waking / normal) is constant across it:
+  // every transition is an event, so skips never straddle one. The
+  // reliability-counter mirror matches tick()'s early returns — powered-
+  // down and waking ticks leave stats_.reliability stale, full ticks
+  // refresh it.
+  bool full_path = true;
+  if (cfg_.powerdown_enabled) {
+    const bool has_work = !queue_.empty() || !inflight_.empty();
+    if (powered_down_) {
+      stats_.powerdown_cycles += count;
+      full_path = false;
+    } else {
+      if (!has_work) {
+        if (!was_idle_) {
+          was_idle_ = true;
+          idle_since_ = cycle_;
+        }
+      } else {
+        was_idle_ = false;
+      }
+      if (cycle_ < wake_until_) full_path = false;
+    }
+  }
+
+  cycle_ += count;
+  stats_.cycles += count;
+  if (full_path && hooks_ != nullptr) stats_.reliability = hooks_->counters();
+}
+
+void Controller::tick_until(std::uint64_t target_cycle) {
+  while (cycle_ < target_cycle) {
+    // One real tick settles same-cycle transitions (idle-streak starts,
+    // scheduler hysteresis, lazy refresh batching) before any skip.
+    tick();
+    if (cycle_ >= target_cycle) break;
+    const std::uint64_t ne = next_event_cycle();
+    if (ne > cycle_) advance_idle(std::min(ne, target_cycle) - cycle_);
+  }
 }
 
 void Controller::drain(std::uint64_t max_cycles) {
   const std::uint64_t limit = cycle_ + max_cycles;
-  while (!idle() && cycle_ < limit) tick();
+  while (!idle() && cycle_ < limit) {
+    tick();
+    if (idle() || cycle_ >= limit) break;
+    const std::uint64_t ne = next_event_cycle();
+    if (ne > cycle_) advance_idle(std::min(ne, limit) - cycle_);
+  }
   require(idle(), "Controller::drain: did not converge (deadlock?)");
 }
 

@@ -84,9 +84,39 @@ class Controller {
   /// Advance one DRAM clock.
   void tick();
 
+  /// Event-driven fast-forward: advance to `target_cycle` with results
+  /// bit-identical to calling tick() in a loop. The controller always
+  /// executes one real tick (settling scheduler hysteresis and power-down
+  /// transitions), then bulk-credits the stretch up to the next event via
+  /// advance_idle(). No requests may be enqueued while this runs — the
+  /// caller leaps over dead time between its own arrivals.
+  void tick_until(std::uint64_t target_cycle);
+
+  /// Earliest cycle >= cycle() at which tick() might do more than
+  /// bookkeeping: min over in-flight completions, bank-timing releases of
+  /// queued requests, refresh urgency, pending auto-precharges, page-
+  /// timeout closes, watchdog deadlines, and power-down entry/exit.
+  /// Returns kNeverCycle when nothing is pending at all. Conservative:
+  /// may return a cycle whose tick turns out to be quiet (never the
+  /// reverse), so callers skip at most to the returned cycle.
+  std::uint64_t next_event_cycle() const;
+
+  /// Credit `count` quiet cycles in bulk — exactly what `count` bookkeeping
+  /// ticks would have recorded (queue-occupancy samples, power-down cycles,
+  /// reliability hook clocks). Only legal when next_event_cycle() >
+  /// cycle() + count - 1; tick_until and the client systems guarantee that.
+  void advance_idle(std::uint64_t count);
+
   /// Requests whose last data beat completed since the previous drain.
   /// Order is completion order.
   std::vector<Request> drain_completed();
+
+  /// Allocation-free variant: clears `out` and moves the completed
+  /// requests into it, reusing its capacity across calls.
+  void drain_completed_into(std::vector<Request>& out);
+
+  /// True when completed requests are waiting to be drained.
+  bool has_completions() const { return !completed_.empty(); }
 
   /// True when no request is queued or in flight.
   bool idle() const { return queue_.empty() && inflight_.empty(); }
@@ -139,7 +169,7 @@ class Controller {
   bool tick_refresh();
   bool tick_autoprecharge();
   void tick_watchdog();
-  std::vector<Candidate> build_candidates() const;
+  const std::vector<Candidate>& build_candidates();
 
   DramConfig cfg_;
   AddressMapper mapper_;
@@ -152,6 +182,7 @@ class Controller {
   std::vector<QueueEntry> queue_;  // age-ordered
   std::vector<InFlight> inflight_;
   std::vector<Request> completed_;
+  std::vector<Candidate> candidates_;  // scratch, rebuilt each tick
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_id_ = 0;

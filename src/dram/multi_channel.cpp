@@ -1,5 +1,7 @@
 #include "dram/multi_channel.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace edsim::dram {
@@ -73,6 +75,30 @@ void MultiChannel::tick() {
   for (auto& c : ctls_) c->tick();
 }
 
+void MultiChannel::tick_until(std::uint64_t target_cycle) {
+  // Channels never interact below the enqueue boundary, so ticking them
+  // in lockstep and fast-forwarding them one after another reach the same
+  // state; each channel leaps over its own dead time independently.
+  for (auto& c : ctls_) c->tick_until(target_cycle);
+}
+
+std::uint64_t MultiChannel::next_event_cycle() const {
+  std::uint64_t ne = kNeverCycle;
+  for (const auto& c : ctls_) ne = std::min(ne, c->next_event_cycle());
+  return ne;
+}
+
+void MultiChannel::advance_idle(std::uint64_t count) {
+  for (auto& c : ctls_) c->advance_idle(count);
+}
+
+bool MultiChannel::has_completions() const {
+  for (const auto& c : ctls_) {
+    if (c->has_completions()) return true;
+  }
+  return false;
+}
+
 bool MultiChannel::idle() const {
   for (const auto& c : ctls_) {
     if (!c->idle()) return false;
@@ -82,11 +108,16 @@ bool MultiChannel::idle() const {
 
 std::vector<Request> MultiChannel::drain_completed() {
   std::vector<Request> out;
-  for (auto& c : ctls_) {
-    auto part = c->drain_completed();
-    out.insert(out.end(), part.begin(), part.end());
-  }
+  drain_completed_into(out);
   return out;
+}
+
+void MultiChannel::drain_completed_into(std::vector<Request>& out) {
+  out.clear();
+  for (auto& c : ctls_) {
+    c->drain_completed_into(scratch_);
+    out.insert(out.end(), scratch_.begin(), scratch_.end());
+  }
 }
 
 ControllerStats MultiChannel::combined_stats() const {

@@ -47,9 +47,27 @@ class MultiChannel {
   void tick();
   bool idle() const;
 
+  /// Fast-forward all channels to `target_cycle`, bit-identical to
+  /// per-cycle tick()s. Channels are fully independent (own command and
+  /// data buses), so each advances on its own event list.
+  void tick_until(std::uint64_t target_cycle);
+
+  /// Min over the channels' next_event_cycle().
+  std::uint64_t next_event_cycle() const;
+
+  /// Bulk-credit `count` quiet cycles on every channel (see
+  /// Controller::advance_idle for the legality contract).
+  void advance_idle(std::uint64_t count);
+
+  /// True when any channel holds undrained completions.
+  bool has_completions() const;
+
   /// Completions from all channels since the last drain (per-channel
   /// completion order; channels concatenated in index order).
   std::vector<Request> drain_completed();
+
+  /// Allocation-free variant of drain_completed.
+  void drain_completed_into(std::vector<Request>& out);
 
   /// Summed statistics snapshot.
   ControllerStats combined_stats() const;
@@ -62,6 +80,7 @@ class MultiChannel {
   std::uint64_t stripe_bytes_;   // interleave granule
   std::uint64_t channel_bytes_;  // capacity per channel
   std::uint64_t failed_over_ = 0;
+  std::vector<Request> scratch_;  // reused per-channel drain buffer
 };
 
 }  // namespace edsim::dram

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "dram/request.hpp"
 #include "dram/timing.hpp"
 
 namespace edsim::dram {
@@ -35,6 +36,16 @@ class RefreshEngine {
       next_due_ += interval_ * burst_count_;
     }
     return pending_ > 0;
+  }
+
+  /// Earliest cycle >= `now` at which urgent() can first return true,
+  /// without mutating pacing state (fast-forward event bound). urgent()
+  /// batches lazily, so deferring its call across a skipped stretch and
+  /// re-asking at the returned cycle reaches the identical state.
+  std::uint64_t next_urgent_cycle(std::uint64_t now) const {
+    if (!enabled_) return kNeverCycle;
+    if (pending_ > 0) return now;
+    return next_due_ > now ? next_due_ : now;
   }
 
   /// Record that a REF command was issued at `cycle`.

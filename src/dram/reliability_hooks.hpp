@@ -53,6 +53,16 @@ class ReliabilityHooks {
   /// Called once per controller tick (fault-injection sampling point).
   virtual void on_cycle(std::uint64_t cycle) = 0;
 
+  /// Fast-forward bulk credit for the cycle range [first, last): the
+  /// controller skipped these ticks as eventless, so the hooks must apply
+  /// whatever on_cycle would have done for each of them — bit-identically.
+  /// The default replays on_cycle per cycle; implementations with lazy
+  /// clocks (e.g. exponential transient arrivals) override with an O(events)
+  /// version.
+  virtual void on_idle_cycles(std::uint64_t first, std::uint64_t last) {
+    for (std::uint64_t c = first; c < last; ++c) on_cycle(c);
+  }
+
   /// A column command touched `c`'s burst window. Returns what the ECC
   /// path observed; the controller tags the request accordingly.
   virtual AccessOutcome on_access(const Coordinates& c, AccessType type,

@@ -4,6 +4,11 @@
 
 namespace edsim::dram {
 
+/// "No upcoming event" sentinel for next-event queries (next_event_cycle,
+/// Client::next_request_cycle, RefreshEngine::next_urgent_cycle).
+inline constexpr std::uint64_t kNeverCycle =
+    static_cast<std::uint64_t>(-1);
+
 enum class AccessType : std::uint8_t { kRead, kWrite };
 
 /// One burst-granular memory access. Larger client transfers are split

@@ -67,7 +67,12 @@ void FaultInjector::sample_transients(std::uint64_t cycle,
   if (!transient_armed_) return;
   while (next_transient_ <= cycle) {
     InjectedFault f;
-    f.cycle = cycle;
+    // Stamp the arrival cycle, not the sampling cycle. Under per-cycle
+    // driving the two coincide (inter-arrival gaps are >= 1 cycle, so each
+    // arrival is consumed the cycle it lands); under fast-forward one call
+    // covers a whole skipped stretch, and arrival stamping is what keeps
+    // the event log byte-identical between the two.
+    f.cycle = next_transient_;
     f.cls = FaultClass::kTransient;
     f.bank = static_cast<unsigned>(rng_.next_below(banks_));
     f.row = static_cast<unsigned>(rng_.next_below(rows_));

@@ -92,6 +92,16 @@ void ReliabilityManager::on_cycle(std::uint64_t cycle) {
   for (const InjectedFault& f : scratch_) apply_fault(f);
 }
 
+void ReliabilityManager::on_idle_cycles(std::uint64_t first,
+                                        std::uint64_t last) {
+  if (last == first) return;
+  // One sampling call covers the whole skipped stretch. The injector
+  // stamps each transient with its arrival cycle and the stretch is
+  // access-free by construction, so the resulting apply_fault sequence —
+  // and therefore the event log — is identical to per-cycle sampling.
+  on_cycle(last - 1);
+}
+
 dram::AccessOutcome ReliabilityManager::evaluate_window(
     unsigned bank, unsigned row, std::uint32_t lo_bit, std::uint32_t hi_bit,
     std::uint64_t cycle, bool scrub, bool& wants_remap) {

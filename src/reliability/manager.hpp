@@ -73,6 +73,7 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
 
   // --- dram::ReliabilityHooks ---------------------------------------------
   void on_cycle(std::uint64_t cycle) override;
+  void on_idle_cycles(std::uint64_t first, std::uint64_t last) override;
   dram::AccessOutcome on_access(const dram::Coordinates& c,
                                 dram::AccessType type,
                                 std::uint64_t cycle) override;

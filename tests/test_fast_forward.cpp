@@ -1,0 +1,475 @@
+// Event-driven fast-forward equivalence: tick_until / advance_idle /
+// skip_quiet_stretch must be bit-identical to per-cycle ticking — same
+// ControllerStats, same completion times, byte-identical reliability
+// event log — and the parallel experiment harness must produce the same
+// bits at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bist/yield.hpp"
+#include "clients/client.hpp"
+#include "clients/multi_system.hpp"
+#include "clients/system.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "core/pareto.hpp"
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+#include "reliability/manager.hpp"
+
+namespace edsim {
+namespace {
+
+using dram::Controller;
+using dram::ControllerStats;
+using dram::DramConfig;
+using dram::Request;
+
+// ---------------------------------------------------------------------------
+// Comparison helpers. EXPECT_EQ on doubles is exact (operator==), which is
+// the point: fast-forward promises the same bits, not "close enough".
+
+void expect_acc_eq(const Accumulator& a, const Accumulator& b,
+                   const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.sum(), b.sum()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+}
+
+void expect_stats_eq(const ControllerStats& a, const ControllerStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+  EXPECT_EQ(a.row_misses, b.row_misses);
+  EXPECT_EQ(a.row_conflicts, b.row_conflicts);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.precharges, b.precharges);
+  EXPECT_EQ(a.refreshes, b.refreshes);
+  EXPECT_EQ(a.data_bus_busy_cycles, b.data_bus_busy_cycles);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_EQ(a.powerdown_cycles, b.powerdown_cycles);
+  EXPECT_EQ(a.redirected_requests, b.redirected_requests);
+  EXPECT_EQ(a.watchdog_retries, b.watchdog_retries);
+  EXPECT_EQ(a.reliability.injected, b.reliability.injected);
+  EXPECT_EQ(a.reliability.corrected, b.reliability.corrected);
+  EXPECT_EQ(a.reliability.uncorrected, b.reliability.uncorrected);
+  EXPECT_EQ(a.reliability.remapped, b.reliability.remapped);
+  EXPECT_EQ(a.reliability.scrubbed_rows, b.reliability.scrubbed_rows);
+  expect_acc_eq(a.read_latency, b.read_latency, "read_latency");
+  expect_acc_eq(a.write_latency, b.write_latency, "write_latency");
+  expect_acc_eq(a.queue_occupancy, b.queue_occupancy, "queue_occupancy");
+}
+
+void expect_client_stats_eq(const clients::ClientStats& a,
+                            const clients::ClientStats& b, std::size_t i) {
+  EXPECT_EQ(a.issued, b.issued) << "client " << i;
+  EXPECT_EQ(a.completed, b.completed) << "client " << i;
+  EXPECT_EQ(a.bytes, b.bytes) << "client " << i;
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles) << "client " << i;
+  EXPECT_EQ(a.corrected_errors, b.corrected_errors) << "client " << i;
+  EXPECT_EQ(a.data_errors, b.data_errors) << "client " << i;
+  expect_acc_eq(a.latency, b.latency, "client latency");
+  expect_acc_eq(a.outstanding, b.outstanding, "client outstanding");
+  EXPECT_EQ(a.latency_samples.count(), b.latency_samples.count());
+}
+
+// ---------------------------------------------------------------------------
+// Controller-level equivalence: drive two identical controllers with the
+// same arrival trace — one per-cycle, one through tick_until — and demand
+// identical stats and identical completion records.
+
+struct Arrival {
+  std::uint64_t cycle = 0;
+  std::uint64_t addr = 0;
+  dram::AccessType type = dram::AccessType::kRead;
+};
+
+struct Completion {
+  std::uint64_t addr = 0;
+  std::uint64_t arrival = 0;
+  std::uint64_t done = 0;
+
+  bool operator==(const Completion&) const = default;
+};
+
+/// Bursts of back-to-back requests separated by long idle gaps — the
+/// portable-player shape where fast-forward matters most.
+std::vector<Arrival> bursty_trace(const DramConfig& cfg,
+                                  std::uint64_t bursts,
+                                  std::uint64_t gap_cycles) {
+  std::vector<Arrival> out;
+  Rng rng(99);
+  std::uint64_t cycle = 5;
+  const std::uint64_t span = cfg.capacity().byte_count();
+  for (std::uint64_t b = 0; b < bursts; ++b) {
+    for (int i = 0; i < 6; ++i) {
+      Arrival a;
+      a.cycle = cycle;
+      a.addr = rng.next_below(span) & ~31ull;
+      a.type = (i % 3 == 0) ? dram::AccessType::kWrite
+                            : dram::AccessType::kRead;
+      out.push_back(a);
+      cycle += 2;
+    }
+    cycle += gap_cycles;
+  }
+  return out;
+}
+
+std::vector<Completion> drain_into(Controller& ctl,
+                                   std::vector<Completion>& sink) {
+  for (const Request& r : ctl.drain_completed()) {
+    sink.push_back({r.addr, r.arrival_cycle, r.done_cycle});
+  }
+  return sink;
+}
+
+std::vector<Completion> run_per_cycle(Controller& ctl,
+                                      const std::vector<Arrival>& trace,
+                                      std::uint64_t end) {
+  std::vector<Completion> done;
+  std::size_t idx = 0;
+  while (ctl.cycle() < end) {
+    while (idx < trace.size() && trace[idx].cycle == ctl.cycle()) {
+      Request r;
+      r.addr = trace[idx].addr;
+      r.type = trace[idx].type;
+      EXPECT_TRUE(ctl.enqueue(r));
+      ++idx;
+    }
+    ctl.tick();
+    drain_into(ctl, done);
+  }
+  return done;
+}
+
+std::vector<Completion> run_fast(Controller& ctl,
+                                 const std::vector<Arrival>& trace,
+                                 std::uint64_t end) {
+  std::vector<Completion> done;
+  std::size_t idx = 0;
+  while (true) {
+    while (idx < trace.size() && trace[idx].cycle == ctl.cycle()) {
+      Request r;
+      r.addr = trace[idx].addr;
+      r.type = trace[idx].type;
+      EXPECT_TRUE(ctl.enqueue(r));
+      ++idx;
+    }
+    if (ctl.cycle() >= end) break;
+    const std::uint64_t next =
+        idx < trace.size() ? trace[idx].cycle : end;
+    ctl.tick_until(std::min(next, end));
+    drain_into(ctl, done);
+  }
+  return done;
+}
+
+void expect_equivalent(const DramConfig& cfg, std::uint64_t gap_cycles,
+                       std::uint64_t end) {
+  const std::vector<Arrival> trace = bursty_trace(cfg, 10, gap_cycles);
+  Controller slow(cfg);
+  Controller fast(cfg);
+  const auto slow_done = run_per_cycle(slow, trace, end);
+  const auto fast_done = run_fast(fast, trace, end);
+  EXPECT_EQ(slow.cycle(), fast.cycle());
+  EXPECT_EQ(slow_done, fast_done);
+  expect_stats_eq(slow.stats(), fast.stats());
+}
+
+TEST(FastForward, MatchesPerCycleOpenPageEdram) {
+  expect_equivalent(dram::presets::edram_module(16, 128, 4, 2048), 900,
+                    20'000);
+}
+
+TEST(FastForward, MatchesPerCycleSdramWithPageTimeout) {
+  DramConfig cfg = dram::presets::sdram_pc100_4mbit();
+  cfg.page_policy = dram::PagePolicy::kTimeout;
+  cfg.page_timeout_cycles = 40;
+  expect_equivalent(cfg, 700, 20'000);
+}
+
+TEST(FastForward, MatchesPerCycleClosedPageWithWatchdog) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.page_policy = dram::PagePolicy::kClosed;
+  cfg.watchdog_enabled = true;
+  cfg.watchdog_cycles = 500;
+  expect_equivalent(cfg, 1'200, 25'000);
+}
+
+TEST(FastForward, MatchesPerCyclePowerDown) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.powerdown_enabled = true;
+  cfg.powerdown_idle_cycles = 16;
+  cfg.tXP = 3;
+  expect_equivalent(cfg, 2'000, 40'000);
+  // The gap is long enough that the fast path must cross power-down entry
+  // and wake boundaries, and most of the window is idle.
+  Controller probe(cfg);
+  run_fast(probe, bursty_trace(cfg, 10, 2'000), 40'000);
+  EXPECT_GT(probe.stats().powerdown_cycles, 10'000u);
+}
+
+TEST(FastForward, MatchesPerCycleWithRefreshDisabled) {
+  DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  cfg.refresh_enabled = false;
+  expect_equivalent(cfg, 1'500, 30'000);
+}
+
+// ---------------------------------------------------------------------------
+// Reliability equivalence: with fault injection, ECC and patrol scrub
+// attached, the event log — the layer's reproducibility artifact — must be
+// byte-identical between the two drive modes.
+
+reliability::ReliabilityConfig transient_config() {
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = 77;
+  rc.inject.transient_per_mbit_ms = 40.0;
+  rc.inject.weak_cells = 8;
+  rc.scrub_enabled = true;
+  return rc;
+}
+
+TEST(FastForward, ReliabilityEventLogByteIdentical) {
+  DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  cfg.ecc_enabled = true;
+  const std::vector<Arrival> trace = bursty_trace(cfg, 12, 1'000);
+  const std::uint64_t end = 30'000;
+
+  Controller slow(cfg);
+  reliability::ReliabilityManager slow_rel(cfg, transient_config());
+  slow.attach_reliability(&slow_rel);
+
+  Controller fast(cfg);
+  reliability::ReliabilityManager fast_rel(cfg, transient_config());
+  fast.attach_reliability(&fast_rel);
+
+  const auto slow_done = run_per_cycle(slow, trace, end);
+  const auto fast_done = run_fast(fast, trace, end);
+
+  EXPECT_EQ(slow_done, fast_done);
+  expect_stats_eq(slow.stats(), fast.stats());
+  ASSERT_GT(slow_rel.event_log().size(), 0u)
+      << "config must actually inject faults for this test to bite";
+  EXPECT_EQ(slow_rel.event_log(), fast_rel.event_log());
+  EXPECT_EQ(slow_rel.live_faults(), fast_rel.live_faults());
+}
+
+TEST(FastForward, ReliabilityWithPowerDownStillIdentical) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.ecc_enabled = true;
+  cfg.powerdown_enabled = true;
+  cfg.powerdown_idle_cycles = 24;
+  cfg.tXP = 3;
+  const std::vector<Arrival> trace = bursty_trace(cfg, 8, 2'500);
+  const std::uint64_t end = 35'000;
+
+  Controller slow(cfg);
+  reliability::ReliabilityManager slow_rel(cfg, transient_config());
+  slow.attach_reliability(&slow_rel);
+  Controller fast(cfg);
+  reliability::ReliabilityManager fast_rel(cfg, transient_config());
+  fast.attach_reliability(&fast_rel);
+
+  const auto slow_done = run_per_cycle(slow, trace, end);
+  const auto fast_done = run_fast(fast, trace, end);
+  EXPECT_EQ(slow_done, fast_done);
+  expect_stats_eq(slow.stats(), fast.stats());
+  EXPECT_EQ(slow_rel.event_log(), fast_rel.event_log());
+}
+
+// ---------------------------------------------------------------------------
+// System-level equivalence: MemorySystem / MultiChannelSystem with the
+// fast path on vs off (per-cycle stepping), identical clients.
+
+std::unique_ptr<clients::Client> paced_stream(unsigned id,
+                                              const DramConfig& cfg,
+                                              unsigned period,
+                                              std::uint64_t total) {
+  clients::StreamClient::Params p;
+  p.base = 0;
+  p.length = 1 << 20;
+  p.burst_bytes = cfg.bytes_per_access();
+  p.period_cycles = period;
+  p.total_requests = total;
+  return std::make_unique<clients::StreamClient>(id, "stream", p);
+}
+
+std::unique_ptr<clients::Client> paced_random(unsigned id,
+                                              const DramConfig& cfg,
+                                              unsigned period,
+                                              std::uint64_t total) {
+  clients::RandomClient::Params p;
+  p.base = 1 << 20;
+  p.length = 1 << 20;
+  p.burst_bytes = cfg.bytes_per_access();
+  p.period_cycles = period;
+  p.total_requests = total;
+  p.seed = 5;
+  return std::make_unique<clients::RandomClient>(id, "rand", p);
+}
+
+void fill_system(clients::MemorySystem& sys, const DramConfig& cfg) {
+  sys.add_client(paced_stream(0, cfg, 400, 60));
+  sys.add_client(paced_random(1, cfg, 650, 40));
+}
+
+TEST(FastForward, MemorySystemRunMatchesPerCycle) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.powerdown_enabled = true;
+  cfg.powerdown_idle_cycles = 16;
+  cfg.tXP = 3;
+
+  clients::MemorySystem slow(cfg, clients::ArbiterKind::kRoundRobin);
+  slow.set_fast_forward(false);
+  fill_system(slow, cfg);
+  clients::MemorySystem fast(cfg, clients::ArbiterKind::kRoundRobin);
+  fill_system(fast, cfg);
+
+  slow.run(60'000);
+  fast.run(60'000);
+
+  EXPECT_EQ(slow.controller().cycle(), fast.controller().cycle());
+  expect_stats_eq(slow.controller().stats(), fast.controller().stats());
+  for (std::size_t i = 0; i < slow.client_count(); ++i) {
+    expect_client_stats_eq(slow.client_stats(i), fast.client_stats(i), i);
+    EXPECT_EQ(slow.fifo(i).required_depth_bytes(),
+              fast.fifo(i).required_depth_bytes());
+    expect_acc_eq(slow.fifo(i).occupancy(), fast.fifo(i).occupancy(),
+                  "fifo occupancy");
+  }
+  // Sanity: the window really was idle-dominated (skipping had work to do).
+  EXPECT_GT(fast.controller().stats().powerdown_cycles, 20'000u);
+}
+
+TEST(FastForward, MemorySystemRunToCompletionMatchesPerCycle) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  clients::MemorySystem slow(cfg, clients::ArbiterKind::kRoundRobin);
+  slow.set_fast_forward(false);
+  fill_system(slow, cfg);
+  clients::MemorySystem fast(cfg, clients::ArbiterKind::kRoundRobin);
+  fill_system(fast, cfg);
+
+  slow.run_to_completion();
+  fast.run_to_completion();
+
+  EXPECT_EQ(slow.controller().cycle(), fast.controller().cycle());
+  expect_stats_eq(slow.controller().stats(), fast.controller().stats());
+  for (std::size_t i = 0; i < slow.client_count(); ++i)
+    expect_client_stats_eq(slow.client_stats(i), fast.client_stats(i), i);
+}
+
+TEST(FastForward, MultiChannelSystemMatchesPerCycle) {
+  const DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  const auto build = [&](clients::MultiChannelSystem& sys) {
+    sys.add_client(paced_stream(0, cfg, 300, 80));
+    sys.add_client(paced_random(1, cfg, 500, 50));
+    sys.add_client(paced_stream(2, cfg, 900, 25));
+  };
+  clients::MultiChannelSystem slow(cfg, 2, dram::ChannelInterleave::kBurst,
+                                   clients::ArbiterKind::kRoundRobin);
+  slow.set_fast_forward(false);
+  build(slow);
+  clients::MultiChannelSystem fast(cfg, 2, dram::ChannelInterleave::kBurst,
+                                   clients::ArbiterKind::kRoundRobin);
+  build(fast);
+
+  slow.run(80'000);
+  fast.run(80'000);
+
+  for (unsigned ch = 0; ch < 2; ++ch) {
+    expect_stats_eq(slow.memory().channel(ch).stats(),
+                    fast.memory().channel(ch).stats());
+  }
+  for (std::size_t i = 0; i < slow.client_count(); ++i)
+    expect_client_stats_eq(slow.client_stats(i), fast.client_stats(i), i);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel harness determinism: identical bits at every thread count.
+
+TEST(ParallelDeterminism, YieldIdenticalAcrossThreadCounts) {
+  const bist::DefectMix mix{};
+  const auto ref =
+      bist::simulate_yield(2.0, mix, 4, 4, 50'000, 11, /*threads=*/1);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    const auto got = bist::simulate_yield(2.0, mix, 4, 4, 50'000, 11, threads);
+    EXPECT_EQ(ref.yield, got.yield) << threads << " threads";
+    EXPECT_EQ(ref.raw_yield, got.raw_yield) << threads << " threads";
+    expect_acc_eq(ref.spares_used, got.spares_used, "spares_used");
+  }
+}
+
+TEST(ParallelDeterminism, EvaluatorSweepIdenticalAcrossThreadCounts) {
+  std::vector<core::SystemConfig> cfgs;
+  for (unsigned width : {64u, 128u, 256u}) {
+    core::SystemConfig s;
+    s.name = "w" + std::to_string(width);
+    s.integration = core::Integration::kEmbedded;
+    s.required_memory = Capacity::mbit(16);
+    s.interface_bits = width;
+    s.banks = 4;
+    s.page_bytes = 2048;
+    cfgs.push_back(s);
+  }
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 0.5;
+  w.sim_cycles = 20'000;
+
+  core::Evaluator serial;
+  serial.set_threads(1);
+  core::Evaluator parallel;
+  parallel.set_threads(4);
+  const auto a = serial.sweep(cfgs, w);
+  const auto b = parallel.sweep(cfgs, w);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].die_area_mm2, b[i].die_area_mm2);
+    EXPECT_EQ(a[i].sustained_gbyte_s, b[i].sustained_gbyte_s);
+    EXPECT_EQ(a[i].avg_read_latency_ns, b[i].avg_read_latency_ns);
+    EXPECT_EQ(a[i].total_power_mw, b[i].total_power_mw);
+    EXPECT_EQ(a[i].unit_cost_usd, b[i].unit_cost_usd);
+    EXPECT_EQ(a[i].junction_c, b[i].junction_c);
+    EXPECT_EQ(a[i].refresh_overhead, b[i].refresh_overhead);
+  }
+}
+
+TEST(ParallelDeterminism, ParetoFrontMatchesBruteForceOnLargeSet) {
+  // Above the internal parallel threshold (512): the fanned-out dominance
+  // scan must reproduce the serial O(n^2) result exactly, in input order.
+  Rng rng(21);
+  std::vector<core::ParetoPoint> pts;
+  for (std::size_t i = 0; i < 700; ++i) {
+    core::ParetoPoint p;
+    p.index = i;
+    p.objectives = {rng.next_double(), rng.next_double(), rng.next_double()};
+    pts.push_back(p);
+  }
+  std::vector<std::size_t> brute;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < pts.size() && !dominated; ++j)
+      if (i != j && core::dominates(pts[j], pts[i])) dominated = true;
+    if (!dominated) brute.push_back(pts[i].index);
+  }
+  EXPECT_EQ(core::pareto_front(pts), brute);
+}
+
+TEST(ParallelDeterminism, ParallelForCoversEveryIndexOnce) {
+  std::vector<int> hits(10'000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; }, 0);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+}  // namespace
+}  // namespace edsim

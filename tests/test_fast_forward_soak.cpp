@@ -1,0 +1,125 @@
+// Long-horizon fast-forward soaks (ctest -L slow). Same contract as
+// test_fast_forward.cpp — bit-identical to per-cycle ticking — but over
+// millions of cycles, so power-down residency, refresh trains, transient
+// fault arrivals and scrub sweeps all interleave many times.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bist/yield.hpp"
+#include "clients/client.hpp"
+#include "clients/system.hpp"
+#include "common/rng.hpp"
+#include "dram/controller.hpp"
+#include "dram/presets.hpp"
+#include "reliability/manager.hpp"
+
+namespace edsim {
+namespace {
+
+using clients::MemorySystem;
+using dram::Controller;
+using dram::DramConfig;
+
+void expect_acc_eq(const Accumulator& a, const Accumulator& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.variance(), b.variance());
+}
+
+void expect_stats_eq(const dram::ControllerStats& a,
+                     const dram::ControllerStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.precharges, b.precharges);
+  EXPECT_EQ(a.refreshes, b.refreshes);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_EQ(a.powerdown_cycles, b.powerdown_cycles);
+  EXPECT_EQ(a.reliability.injected, b.reliability.injected);
+  EXPECT_EQ(a.reliability.corrected, b.reliability.corrected);
+  EXPECT_EQ(a.reliability.scrubbed_rows, b.reliability.scrubbed_rows);
+  expect_acc_eq(a.read_latency, b.read_latency);
+  expect_acc_eq(a.write_latency, b.write_latency);
+  expect_acc_eq(a.queue_occupancy, b.queue_occupancy);
+}
+
+void build_player(MemorySystem& sys, const DramConfig& cfg) {
+  clients::StreamClient::Params decode;
+  decode.length = 1 << 20;
+  decode.burst_bytes = cfg.bytes_per_access();
+  decode.period_cycles = 700;
+  sys.add_client(std::make_unique<clients::StreamClient>(0, "decode", decode));
+  clients::RandomClient::Params ui;
+  ui.base = 1 << 20;
+  ui.length = 1 << 19;
+  ui.burst_bytes = cfg.bytes_per_access();
+  ui.period_cycles = 9'000;
+  ui.seed = 3;
+  sys.add_client(std::make_unique<clients::RandomClient>(1, "ui", ui));
+}
+
+TEST(FastForwardSoak, MillionCyclePowerDownRunIsIdentical) {
+  DramConfig cfg = dram::presets::edram_module(8, 64, 4, 2048);
+  cfg.powerdown_enabled = true;
+  cfg.powerdown_idle_cycles = 32;
+  cfg.ecc_enabled = true;
+
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = 41;
+  rc.inject.transient_per_mbit_ms = 6.0;
+  rc.inject.weak_cells = 16;
+
+  MemorySystem slow(cfg, clients::ArbiterKind::kRoundRobin);
+  slow.set_fast_forward(false);
+  reliability::ReliabilityManager slow_rel(cfg, rc);
+  slow.controller().attach_reliability(&slow_rel);
+  build_player(slow, cfg);
+
+  MemorySystem fast(cfg, clients::ArbiterKind::kRoundRobin);
+  reliability::ReliabilityManager fast_rel(cfg, rc);
+  fast.controller().attach_reliability(&fast_rel);
+  build_player(fast, cfg);
+
+  slow.run(2'000'000);
+  fast.run(2'000'000);
+
+  EXPECT_EQ(slow.controller().cycle(), fast.controller().cycle());
+  expect_stats_eq(slow.controller().stats(), fast.controller().stats());
+  ASSERT_GT(slow_rel.event_log().size(), 0u);
+  EXPECT_EQ(slow_rel.event_log(), fast_rel.event_log());
+  // The run is idle-dominated — the fast path had real work to skip.
+  EXPECT_GT(fast.controller().stats().powerdown_cycles, 1'000'000u);
+}
+
+TEST(FastForwardSoak, ControllerDrainLeapsOverRefreshTrains) {
+  // An empty controller ticking for a long stretch is pure refresh
+  // bookkeeping; tick_until must reproduce every REF exactly.
+  DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  Controller slow(cfg);
+  Controller fast(cfg);
+  for (std::uint64_t c = 0; c < 3'000'000; ++c) slow.tick();
+  fast.tick_until(3'000'000);
+  EXPECT_EQ(slow.cycle(), fast.cycle());
+  expect_stats_eq(slow.stats(), fast.stats());
+  EXPECT_GT(fast.stats().refreshes, 1'000u);
+}
+
+TEST(FastForwardSoak, YieldDeterministicAtScale) {
+  const auto ref = bist::simulate_yield(1.5, bist::DefectMix{}, 4, 4,
+                                        1'000'000, 23, /*threads=*/1);
+  const auto par = bist::simulate_yield(1.5, bist::DefectMix{}, 4, 4,
+                                        1'000'000, 23, /*threads=*/0);
+  EXPECT_EQ(ref.yield, par.yield);
+  EXPECT_EQ(ref.raw_yield, par.raw_yield);
+  expect_acc_eq(ref.spares_used, par.spares_used);
+}
+
+}  // namespace
+}  // namespace edsim
