@@ -18,10 +18,24 @@
 #include "dram/multi_channel.hpp"
 #include "dram/presets.hpp"
 #include "dram/protocol_checker.hpp"
+#include "telemetry/interval.hpp"
+#include "telemetry/multi_hooks.hpp"
+#include "telemetry/request_tracer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
 using namespace edsim;
+
+/// Sink that renders nothing: isolates probe + tracer bookkeeping cost
+/// from ostream formatting in the attached-telemetry benchmark.
+class NullTraceSink final : public telemetry::TraceSink {
+ public:
+  void emit(const telemetry::TraceEvent& ev) override {
+    benchmark::DoNotOptimize(ev.cycle);
+    ++events_;
+  }
+};
 
 void BM_ControllerStreamTick(benchmark::State& state) {
   dram::DramConfig cfg = dram::presets::edram_module(
@@ -202,6 +216,58 @@ void BM_BankAllocatorOptimal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BankAllocatorOptimal);
+
+// --- telemetry probe overhead: detached vs attached ------------------------
+// The §4.1 decode-window shape with the probe macro's disabled path
+// (Detached: one null check per probe site) against a live RequestTracer +
+// IntervalReporter stack (Attached). The acceptance budget is Detached
+// within 2% of the PR-2 controller throughput; Attached pays for what it
+// records.
+
+std::uint64_t run_decode_window(dram::TelemetryHooks* hooks) {
+  dram::DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  dram::Controller ctl(cfg);
+  ctl.attach_telemetry(hooks);
+  Rng rng(7);
+  const std::uint64_t cap = cfg.capacity().byte_count();
+  for (int i = 0; i < 50'000; ++i) {
+    if (i % 5 == 0 && !ctl.queue_full()) {
+      dram::Request r;
+      r.addr = rng.next_below(cap) & ~31ull;
+      r.type = (i % 10 == 0) ? dram::AccessType::kWrite
+                             : dram::AccessType::kRead;
+      ctl.enqueue(r);
+    }
+    ctl.tick();
+    ctl.drain_completed();
+  }
+  return ctl.stats().bytes_transferred;
+}
+
+void BM_TelemetryDetached(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_decode_window(nullptr));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_TelemetryDetached)->Unit(benchmark::kMillisecond);
+
+void BM_TelemetryAttached(benchmark::State& state) {
+  for (auto _ : state) {
+    NullTraceSink sink;
+    telemetry::RequestTracer tracer(sink);
+    telemetry::IntervalReporter intervals(10'000);
+    telemetry::FanoutHooks fan;
+    fan.add(&tracer);
+    fan.add(&intervals);
+    benchmark::DoNotOptimize(run_decode_window(&fan));
+    benchmark::DoNotOptimize(tracer.requests_traced());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_TelemetryAttached)->Unit(benchmark::kMillisecond);
 
 void BM_ProtocolChecker(benchmark::State& state) {
   // Capture once, verify repeatedly.

@@ -2,17 +2,32 @@
 // memory system on a 16-Mbit embedded DRAM. Prints the footprint budget
 // (PAL and NTSC), the output-buffer trade-off, and a cycle-level
 // simulation of the four decoder clients.
+//
+// Observability (see docs/observability.md):
+//   --trace PATH           Chrome trace_event JSON of the run (Perfetto)
+//   --trace-csv            write the trace as flat CSV instead of JSON
+//   --intervals PATH       per-interval bandwidth/page-hit time series CSV
+//   --interval-cycles N    interval length in DRAM cycles (default 10000)
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "clients/system.hpp"
+#include "common/args.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "dram/presets.hpp"
 #include "mpeg/trace_gen.hpp"
+#include "telemetry/interval.hpp"
+#include "telemetry/multi_hooks.hpp"
+#include "telemetry/request_tracer.hpp"
+#include "telemetry/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace edsim;
+
+  const Args args(argc, argv, {"trace-csv"});
 
   for (const mpeg::FrameFormat& fmt : {mpeg::pal(), mpeg::ntsc()}) {
     mpeg::DecoderConfig dc;
@@ -48,7 +63,52 @@ int main() {
   clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
   const mpeg::MemoryMap map = std_model.build_memory_map();
   mpeg::add_decoder_clients(sys, std_model, map);
+
+  // Optional observability taps, fanned into the single controller probe.
+  std::ofstream trace_out;
+  std::unique_ptr<telemetry::TraceSink> sink;
+  std::unique_ptr<telemetry::RequestTracer> tracer;
+  std::ofstream intervals_out;
+  std::unique_ptr<telemetry::IntervalReporter> intervals;
+  telemetry::FanoutHooks fan;
+  if (args.has("trace")) {
+    trace_out.open(args.get("trace"));
+    require(trace_out.is_open(),
+            "cannot open trace output: " + args.get("trace"));
+    if (args.has("trace-csv")) {
+      sink = std::make_unique<telemetry::CsvTraceSink>(trace_out);
+    } else {
+      sink = std::make_unique<telemetry::ChromeTraceSink>(trace_out,
+                                                          cfg.clock);
+    }
+    tracer = std::make_unique<telemetry::RequestTracer>(*sink);
+    fan.add(tracer.get());
+  }
+  if (args.has("intervals")) {
+    intervals_out.open(args.get("intervals"));
+    require(intervals_out.is_open(),
+            "cannot open interval output: " + args.get("intervals"));
+    intervals = std::make_unique<telemetry::IntervalReporter>(
+        args.get_u64("interval-cycles", 10'000));
+    fan.add(intervals.get());
+  }
+  if (!fan.empty()) sys.attach_telemetry(&fan);
+
   sys.run(1'000'000);  // ~7 ms of decode time
+
+  if (intervals) {
+    intervals->finish();
+    if (sink) intervals->emit_counters(*sink, cfg.clock);
+    intervals->write_csv(intervals_out, cfg.clock);
+    std::cout << "interval series: " << intervals->samples().size()
+              << " x " << intervals->interval_cycles() << " cycles -> "
+              << args.get("intervals") << "\n";
+  }
+  if (sink) {
+    sink->finish();
+    std::cout << "trace: " << sink->events_emitted() << " events -> "
+              << args.get("trace") << "\n";
+  }
 
   Table t({"client", "bursts", "mean lat (cyc)", "stalls"});
   for (std::size_t i = 0; i < sys.client_count(); ++i) {

@@ -7,10 +7,19 @@
 //   - the fault accounting closes exactly
 //     (injected == corrected + uncorrected + remapped);
 //   - an identical seed reproduces an identical fault/repair log.
+//
+// Pass `--intervals PATH` (and optionally `--interval-cycles N`, default
+// 10000) to write the full preset's headline run as a per-interval time
+// series CSV — bandwidth, page-hit rate and the reliability event bins,
+// with every event attributed to its exact cycle.
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "clients/system.hpp"
+#include "common/args.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/system_config.hpp"
 #include "dram/presets.hpp"
@@ -18,6 +27,8 @@
 #include "mpeg/trace_gen.hpp"
 #include "power/energy_model.hpp"
 #include "reliability/manager.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/interval.hpp"
 
 namespace {
 
@@ -33,7 +44,8 @@ struct SoakResult {
 };
 
 SoakResult run_soak(core::ReliabilityPreset preset, double fault_rate,
-                    std::uint64_t seed, std::uint64_t cycles) {
+                    std::uint64_t seed, std::uint64_t cycles,
+                    telemetry::IntervalReporter* intervals = nullptr) {
   dram::DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
   cfg.ecc_enabled = preset != core::ReliabilityPreset::kOff;
   cfg.watchdog_enabled = true;  // starvation policing rides along
@@ -48,6 +60,10 @@ SoakResult run_soak(core::ReliabilityPreset preset, double fault_rate,
 
   clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
   sys.controller().attach_reliability(&mgr);
+  if (intervals != nullptr) {
+    sys.attach_telemetry(intervals);
+    mgr.set_event_observer(telemetry::make_interval_observer(*intervals));
+  }
 
   mpeg::DecoderConfig dc;
   dc.format = mpeg::pal();
@@ -55,6 +71,7 @@ SoakResult run_soak(core::ReliabilityPreset preset, double fault_rate,
   mpeg::add_decoder_clients(sys, model, model.build_memory_map());
   sys.run(cycles);
   mgr.finalize(sys.controller().cycle());
+  if (intervals != nullptr) intervals->finish();
 
   SoakResult r;
   r.counters = mgr.counters();
@@ -70,9 +87,11 @@ SoakResult run_soak(core::ReliabilityPreset preset, double fault_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace edsim;
   using core::ReliabilityPreset;
+
+  const Args args(argc, argv);
 
   constexpr std::uint64_t kSeed = 2026;
   constexpr std::uint64_t kCycles = 400'000;  // ~2.6 ms of decode
@@ -98,11 +117,27 @@ int main() {
   }
   t.print(std::cout, "MPEG2 decode under escalating fault rate");
 
-  // 2. The headline comparison at the harshest rate.
+  // 2. The headline comparison at the harshest rate. The full run also
+  //    carries the interval reporter when a time series was requested.
+  std::unique_ptr<telemetry::IntervalReporter> intervals;
+  if (args.has("intervals")) {
+    intervals = std::make_unique<telemetry::IntervalReporter>(
+        args.get_u64("interval-cycles", 10'000));
+  }
   const SoakResult off = run_soak(ReliabilityPreset::kOff, 200.0, kSeed,
                                   kCycles);
   const SoakResult full = run_soak(ReliabilityPreset::kFull, 200.0, kSeed,
-                                   kCycles);
+                                   kCycles, intervals.get());
+  if (intervals) {
+    std::ofstream out(args.get("intervals"));
+    require(out.is_open(),
+            "cannot open interval output: " + args.get("intervals"));
+    const dram::DramConfig icfg = dram::presets::edram_module(16, 64, 4, 2048);
+    intervals->write_csv(out, icfg.clock);
+    std::cout << "interval series: " << intervals->samples().size() << " x "
+              << intervals->interval_cycles() << " cycles -> "
+              << args.get("intervals") << "\n\n";
+  }
   std::cout << "\nAt 200 faults/Mbit/ms the unprotected decode delivers "
             << off.client_data_errors << " corrupt bursts of " << off.bursts
             << "; with ECC+scrub+remap " << full.client_data_errors

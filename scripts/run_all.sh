@@ -24,6 +24,33 @@ echo "claim summary:"
 grep -c "SHAPE-OK" bench_output.txt || true
 grep "CHECK" bench_output.txt || echo "  (no CHECK verdicts — all claims in band)"
 
+# Telemetry smoke: the traced MPEG2 decode must emit loadable artifacts —
+# a Chrome trace_event JSON (Perfetto) and the §4.1 interval time series.
+echo
+echo "telemetry smoke:"
+ctest --test-dir build -L telemetry --output-on-failure
+build/examples/mpeg2_decoder \
+  --trace bench/mpeg2_trace.json \
+  --intervals bench/mpeg2_intervals.csv > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - <<'PY'
+import json
+with open("bench/mpeg2_trace.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace is empty"
+phases = {e["ph"] for e in events}
+assert "X" in phases, "no request-lifecycle slices"
+assert "i" in phases, "no command-bus instants"
+print(f"  trace OK: {len(events)} events, phases {sorted(phases)}")
+PY
+else
+  echo "  (python3 not found — skipped JSON validation)"
+fi
+rows=$(($(wc -l < bench/mpeg2_intervals.csv) - 1))
+[ "$rows" -gt 0 ] || { echo "  interval series is empty"; exit 1; }
+echo "  interval series OK: $rows intervals -> bench/mpeg2_intervals.csv"
+
 # Sanitizer sweep + Release perf snapshot (both use their own build trees).
 if [ -z "${EDSIM_SKIP_SANITIZE:-}" ]; then
   scripts/sanitize.sh

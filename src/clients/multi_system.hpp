@@ -45,6 +45,12 @@ class MultiChannelSystem {
   /// MemorySystem::set_fast_forward).
   void set_fast_forward(bool on) { fast_forward_ = on; }
 
+  /// Attach observability probes to channel `i` (nullptr detaches); see
+  /// dram::MultiChannel::attach_telemetry.
+  void attach_telemetry(unsigned i, dram::TelemetryHooks* hooks) {
+    memory_.attach_telemetry(i, hooks);
+  }
+
  private:
   void step();
   /// Fast-forward: bulk-credit quiet cycles up to `end` when no client is

@@ -46,6 +46,13 @@ class MemorySystem {
   /// for the equivalence tests and for debugging with per-cycle traces.
   void set_fast_forward(bool on) { fast_forward_ = on; }
 
+  /// Attach observability probes to the channel (nullptr detaches); see
+  /// dram::Controller::attach_telemetry. The front end's bulk skips drive
+  /// the same probe stream as per-cycle stepping.
+  void attach_telemetry(dram::TelemetryHooks* hooks) {
+    controller_.attach_telemetry(hooks);
+  }
+
  private:
   void step();
   /// Fast-forward: if no client can issue, no completion is pending and

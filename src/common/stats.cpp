@@ -42,6 +42,13 @@ void Histogram::add(double x) {
   ++counts_[idx];
 }
 
+void Histogram::merge(const Histogram& o) {
+  require(bin_width_ == o.bin_width_ && counts_.size() == o.counts_.size(),
+          "Histogram::merge: shape mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+}
+
 double Histogram::percentile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -85,6 +85,12 @@ class Histogram {
   void add(double x);
   std::uint64_t count() const { return total_; }
 
+  /// Fold another histogram of identical shape (bin width and count) into
+  /// this one; bin-wise integer addition, so merging is associative and
+  /// order-independent — what the telemetry registry's cross-thread merge
+  /// relies on.
+  void merge(const Histogram& o);
+
   /// Value below which fraction q (0..1] of samples fall (linear
   /// interpolation within the bin). Returns 0 for an empty histogram.
   double percentile(double q) const;

@@ -40,6 +40,12 @@ double logic_area(const SystemConfig& cfg) {
 
 Metrics Evaluator::evaluate(const SystemConfig& cfg,
                             const EvalWorkload& w) const {
+  return evaluate_into(cfg, w, metrics_);
+}
+
+Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
+                                 const EvalWorkload& w,
+                                 telemetry::MetricRegistry* reg) const {
   cfg.validate();
   require(w.sim_cycles > 0, "evaluator: need a simulation window");
 
@@ -134,15 +140,43 @@ Metrics Evaluator::evaluate(const SystemConfig& cfg,
   m.waste_mbit = m.installed_mbit - cfg.required_memory.as_mbit();
   m.unit_cost_usd =
       cost_.evaluate(cfg, m.memory_area_mm2, m.logic_area_mm2).total_usd();
+
+  // --- telemetry snapshot -----------------------------------------------------
+  if (reg != nullptr) {
+    const telemetry::MetricScope root(*reg, cfg.name);
+    telemetry::export_controller_stats(stats, root.scope("channel0"));
+    root.counter("evaluations").add();
+    root.gauge("die_area_mm2").set(m.die_area_mm2);
+    root.gauge("sustained_gbyte_s").set(m.sustained_gbyte_s);
+    root.gauge("peak_gbyte_s").set(m.peak_gbyte_s);
+    root.gauge("bandwidth_efficiency").set(m.bandwidth_efficiency);
+    root.gauge("avg_read_latency_ns").set(m.avg_read_latency_ns);
+    root.gauge("total_power_mw").set(m.total_power_mw);
+    root.gauge("junction_c").set(m.junction_c);
+    root.gauge("refresh_overhead").set(m.refresh_overhead);
+    root.gauge("unit_cost_usd").set(m.unit_cost_usd);
+  }
   return m;
 }
 
 std::vector<Metrics> Evaluator::sweep(const std::vector<SystemConfig>& cfgs,
                                       const EvalWorkload& w) const {
   std::vector<Metrics> out(cfgs.size());
+  if (metrics_ == nullptr) {
+    parallel_for(
+        cfgs.size(), [&](std::size_t i) { out[i] = evaluate(cfgs[i], w); },
+        threads_);
+    return out;
+  }
+  // One scratch registry per config, merged in input order after the
+  // barrier: the shared registry never sees concurrent writes and the
+  // merged totals are identical at every thread count.
+  std::vector<telemetry::MetricRegistry> regs(cfgs.size());
   parallel_for(
-      cfgs.size(), [&](std::size_t i) { out[i] = evaluate(cfgs[i], w); },
+      cfgs.size(),
+      [&](std::size_t i) { out[i] = evaluate_into(cfgs[i], w, &regs[i]); },
       threads_);
+  for (const auto& r : regs) metrics_->merge(r);
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/cost_model.hpp"
 #include "core/system_config.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace edsim::core {
 
@@ -56,6 +57,13 @@ class Evaluator {
   /// config, so the sweep result is identical at every thread count.
   void set_threads(unsigned threads) { threads_ = threads; }
 
+  /// Optional observability tap: when set, every evaluation snapshots its
+  /// channel statistics and score into the registry under the config's
+  /// name (e.g. `embedded-16.channel0.row_hits`). sweep() keeps this
+  /// deterministic under the thread pool by filling one scratch registry
+  /// per config and merging them in input order.
+  void set_metrics(telemetry::MetricRegistry* reg) { metrics_ = reg; }
+
   Metrics evaluate(const SystemConfig& cfg, const EvalWorkload& w) const;
 
   /// Evaluate a whole candidate list. Configs are scored independently
@@ -64,8 +72,12 @@ class Evaluator {
                              const EvalWorkload& w) const;
 
  private:
+  Metrics evaluate_into(const SystemConfig& cfg, const EvalWorkload& w,
+                        telemetry::MetricRegistry* reg) const;
+
   CostModel cost_;
   unsigned threads_ = 0;
+  telemetry::MetricRegistry* metrics_ = nullptr;
 };
 
 }  // namespace edsim::core

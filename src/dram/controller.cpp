@@ -19,6 +19,25 @@ Controller::Controller(const DramConfig& cfg)
   last_col_cycle_.assign(cfg_.banks, 0);
 }
 
+void Controller::log_command(const CommandRecord& rec) {
+  if (command_log_ != nullptr) command_log_->record(rec);
+  EDSIM_TELEMETRY(telemetry_, on_command(rec));
+}
+
+TickSample Controller::tick_sample() const {
+  TickSample s;
+  s.cycle = cycle_;
+  s.queue_depth = static_cast<std::uint32_t>(queue_.size());
+  std::uint32_t open = 0;
+  for (const Bank& b : banks_) open += b.has_open_row() ? 1u : 0u;
+  s.open_banks = open;
+  return s;
+}
+
+void Controller::notify_tick() {
+  if (telemetry_ != nullptr) telemetry_->on_cycle_advance(tick_sample(), stats_);
+}
+
 bool Controller::all_banks_retired() const {
   if (hooks_ == nullptr) return false;
   for (unsigned b = 0; b < cfg_.banks; ++b) {
@@ -53,6 +72,8 @@ bool Controller::enqueue(Request req) {
     e.wd_deadline = cycle_ + cfg_.watchdog_cycles;
   }
   queue_.push_back(e);
+  EDSIM_TELEMETRY(telemetry_, on_request_enqueued(queue_.back().req,
+                                                  queue_.back().coord, cycle_));
   return true;
 }
 
@@ -154,11 +175,9 @@ void Controller::issue_column(QueueEntry& e, std::uint64_t cycle) {
   last_dir_ = e.req.type;
   any_data_yet_ = true;
 
-  if (command_log_ != nullptr) {
-    command_log_->record(CommandRecord{
-        cycle, is_read ? Command::kRead : Command::kWrite, e.coord.bank,
-        e.coord.row, cfg_.page_policy == PagePolicy::kClosed});
-  }
+  log_command(CommandRecord{cycle, is_read ? Command::kRead : Command::kWrite,
+                            e.coord.bank, e.coord.row,
+                            cfg_.page_policy == PagePolicy::kClosed});
 
   stats_.data_bus_busy_cycles += cfg_.data_cycles_per_access();
   stats_.bytes_transferred += cfg_.bytes_per_access();
@@ -172,6 +191,8 @@ void Controller::issue_column(QueueEntry& e, std::uint64_t cycle) {
   // data handed to the client, not the bus occupancy.
   e.req.done_cycle =
       data_end + (cfg_.ecc_enabled && is_read ? cfg_.ecc_latency_cycles : 0);
+  EDSIM_TELEMETRY(telemetry_, on_request_issued(e.req, e.coord, cycle));
+  EDSIM_TELEMETRY(telemetry_, on_request_data(e.req, data_start, data_end));
   inflight_.push_back(InFlight{e.req});
 
   last_col_cycle_[e.coord.bank] = cycle;
@@ -208,10 +229,7 @@ bool Controller::tick_refresh() {
         banks_[b].issue(Command::kPrecharge, 0, cycle_);
         autopre_pending_[b] = false;
         ++stats_.precharges;
-        if (command_log_ != nullptr) {
-          command_log_->record(
-              CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
-        }
+        log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
       }
       return true;  // command slot consumed (or bank not yet ready)
     }
@@ -224,9 +242,7 @@ bool Controller::tick_refresh() {
   refresh_.refresh_issued(cycle_);
   if (hooks_ != nullptr) hooks_->on_refresh(cycle_);
   ++stats_.refreshes;
-  if (command_log_ != nullptr) {
-    command_log_->record(CommandRecord{cycle_, Command::kRefresh, 0, 0, false});
-  }
+  log_command(CommandRecord{cycle_, Command::kRefresh, 0, 0, false});
   refresh_draining_ = false;
   return true;
 }
@@ -270,6 +286,7 @@ void Controller::tick() {
         ++stats_.powerdown_cycles;
         ++cycle_;
         ++stats_.cycles;
+        notify_tick();
         return;
       }
     } else if (!has_work) {
@@ -289,10 +306,8 @@ void Controller::tick() {
               banks_[b].issue(Command::kPrecharge, 0, cycle_);
               autopre_pending_[b] = false;
               ++stats_.precharges;
-              if (command_log_ != nullptr) {
-                command_log_->record(
-                    CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
-              }
+              log_command(
+                  CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
             }
             break;  // one command per cycle
           }
@@ -301,6 +316,7 @@ void Controller::tick() {
         ++cycle_;
         ++stats_.cycles;
         if (powered_down_) ++stats_.powerdown_cycles;
+        notify_tick();
         return;
       }
     } else {
@@ -310,6 +326,7 @@ void Controller::tick() {
       // Exiting power-down: no commands yet.
       ++cycle_;
       ++stats_.cycles;
+      notify_tick();
       return;
     }
   }
@@ -323,6 +340,7 @@ void Controller::tick() {
         (r.type == AccessType::kRead ? stats_.read_latency
                                      : stats_.write_latency)
             .add(static_cast<double>(r.latency()));
+        EDSIM_TELEMETRY(telemetry_, on_request_complete(r, cycle_));
         completed_.push_back(r);
         it = inflight_.erase(it);
       } else {
@@ -369,10 +387,7 @@ void Controller::tick() {
           if (wanted) continue;
           banks_[b].issue(Command::kPrecharge, 0, cycle_);
           ++stats_.precharges;
-          if (command_log_ != nullptr) {
-            command_log_->record(
-                CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
-          }
+          log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
           break;  // one command per cycle
         }
       }
@@ -390,19 +405,15 @@ void Controller::tick() {
           any_act_yet_ = true;
           recent_acts_.push_back(cycle_);
           if (recent_acts_.size() > 8) recent_acts_.pop_front();
-          if (command_log_ != nullptr) {
-            command_log_->record(CommandRecord{cycle_, Command::kActivate,
-                                               e.coord.bank, e.coord.row,
-                                               false});
-          }
+          log_command(CommandRecord{cycle_, Command::kActivate, e.coord.bank,
+                                    e.coord.row, false});
           break;
         case Command::kPrecharge:
           bank.issue(Command::kPrecharge, 0, cycle_);
           ++stats_.precharges;
-          if (command_log_ != nullptr) {
-            command_log_->record(CommandRecord{cycle_, Command::kPrecharge,
-                                               e.coord.bank, 0, false});
-          }
+          log_command(
+              CommandRecord{cycle_, Command::kPrecharge, e.coord.bank, 0,
+                            false});
           break;
         case Command::kRead:
         case Command::kWrite: {
@@ -420,6 +431,7 @@ void Controller::tick() {
   ++cycle_;
   ++stats_.cycles;
   if (hooks_ != nullptr) stats_.reliability = hooks_->counters();
+  notify_tick();
 }
 
 std::vector<Request> Controller::drain_completed() {
@@ -570,9 +582,11 @@ void Controller::advance_idle(std::uint64_t count) {
     }
   }
 
+  const std::uint64_t from = cycle_;
   cycle_ += count;
   stats_.cycles += count;
   if (full_path && hooks_ != nullptr) stats_.reliability = hooks_->counters();
+  EDSIM_TELEMETRY(telemetry_, on_bulk_advance(from, tick_sample(), stats_));
 }
 
 void Controller::tick_until(std::uint64_t target_cycle) {

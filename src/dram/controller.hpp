@@ -14,6 +14,7 @@
 #include "dram/reliability_hooks.hpp"
 #include "dram/request.hpp"
 #include "dram/scheduler.hpp"
+#include "dram/telemetry_hooks.hpp"
 
 namespace edsim::dram {
 
@@ -149,6 +150,14 @@ class Controller {
   /// can no longer accept traffic (multi_channel fails over on this).
   bool all_banks_retired() const;
 
+  /// Attach observability probes (nullptr detaches). The hooks see the
+  /// request lifecycle (enqueue -> issue -> data -> complete), every bus
+  /// command, and every cycle advance (per-tick and bulk); they are pure
+  /// observers and never change simulation behaviour. Detached cost is
+  /// one null check per probe site.
+  void attach_telemetry(TelemetryHooks* hooks) { telemetry_ = hooks; }
+  TelemetryHooks* telemetry_hooks() const { return telemetry_; }
+
  private:
   struct QueueEntry {
     Request req;
@@ -163,6 +172,9 @@ class Controller {
   };
 
   void classify(QueueEntry& e, const Bank& bank);
+  void log_command(const CommandRecord& rec);
+  void notify_tick();
+  TickSample tick_sample() const;
   bool channel_act_legal(std::uint64_t cycle) const;
   bool column_legal(AccessType type, std::uint64_t cycle) const;
   void issue_column(QueueEntry& e, std::uint64_t cycle);
@@ -209,6 +221,7 @@ class Controller {
 
   CommandLog* command_log_ = nullptr;
   ReliabilityHooks* hooks_ = nullptr;
+  TelemetryHooks* telemetry_ = nullptr;
 
   ControllerStats stats_;
 };

@@ -44,6 +44,14 @@ class MultiChannel {
   /// Requests steered away from a fully-retired home channel.
   std::uint64_t failed_over_requests() const { return failed_over_; }
 
+  /// Attach observability probes to one channel (nullptr detaches).
+  /// Channels are independent clock domains with their own command/data
+  /// buses, so each gets its own hooks — e.g. a telemetry::RequestTracer
+  /// constructed with `process = i` to land on its own Perfetto track set.
+  void attach_telemetry(unsigned i, TelemetryHooks* hooks) {
+    ctls_[i]->attach_telemetry(hooks);
+  }
+
   void tick();
   bool idle() const;
 

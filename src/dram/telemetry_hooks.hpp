@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dram/address_map.hpp"
+#include "dram/command_log.hpp"
+#include "dram/request.hpp"
+
+namespace edsim::dram {
+
+struct ControllerStats;
+
+/// Per-tick channel state handed to telemetry probes alongside the
+/// statistics snapshot. Everything in here is frozen during an
+/// event-driven skip (no commands issue, the queue cannot change), which
+/// is what lets the interval reporter synthesize boundary samples across
+/// skipped stretches bit-identically to per-cycle ticking.
+struct TickSample {
+  std::uint64_t cycle = 0;       ///< cycle just completed (post-increment)
+  std::uint32_t queue_depth = 0; ///< requests parked in the queue
+  std::uint32_t open_banks = 0;  ///< banks currently holding an open row
+};
+
+/// Observability callbacks the controller drives from its datapath —
+/// the probe points of the `telemetry/` subsystem (request tracers,
+/// interval reporters, metric exporters). All hooks are read-only
+/// observers: attaching one never changes simulation behaviour.
+///
+/// Defaults are no-ops so implementations override only what they need.
+/// Like ReliabilityHooks, the indirection keeps `dram/` free of a
+/// dependency on the telemetry library.
+class TelemetryHooks {
+ public:
+  virtual ~TelemetryHooks() = default;
+
+  /// Request accepted into the queue (id and arrival_cycle assigned).
+  virtual void on_request_enqueued(const Request& /*req*/,
+                                   const Coordinates& /*coord*/,
+                                   std::uint64_t /*cycle*/) {}
+
+  /// Column command issued for the request; done_cycle is already set.
+  virtual void on_request_issued(const Request& /*req*/,
+                                 const Coordinates& /*coord*/,
+                                 std::uint64_t /*cycle*/) {}
+
+  /// Data-bus window the request occupies: [data_start, data_end).
+  virtual void on_request_data(const Request& /*req*/,
+                               std::uint64_t /*data_start*/,
+                               std::uint64_t /*data_end*/) {}
+
+  /// Request retired: last beat (plus ECC decode) done, handed to drain.
+  virtual void on_request_complete(const Request& /*req*/,
+                                   std::uint64_t /*cycle*/) {}
+
+  /// One command driven on the command bus (same records the CommandLog
+  /// captures, delivered live).
+  virtual void on_command(const CommandRecord& /*rec*/) {}
+
+  /// One tick finished; `stats` is the post-tick snapshot.
+  virtual void on_cycle_advance(const TickSample& /*sample*/,
+                                const ControllerStats& /*stats*/) {}
+
+  /// Bulk credit of the quiet stretch [from, sample.cycle): the
+  /// controller skipped these ticks as eventless. Only `cycles` and
+  /// `powerdown_cycles` moved (linearly) across the stretch; every other
+  /// statistic is frozen at its value from `from`.
+  virtual void on_bulk_advance(std::uint64_t /*from*/,
+                               const TickSample& /*sample*/,
+                               const ControllerStats& /*stats*/) {}
+};
+
+/// Probe gate: compiled in unconditionally, a single well-predicted null
+/// check when no telemetry is attached — the ≤2% disabled-overhead budget
+/// the bench pair (BM_TelemetryDetached/Attached) polices.
+#define EDSIM_TELEMETRY(hooks, call)        \
+  do {                                      \
+    if ((hooks) != nullptr) (hooks)->call;  \
+  } while (0)
+
+}  // namespace edsim::dram

@@ -59,11 +59,13 @@ ReliabilityManager::ReliabilityManager(const dram::DramConfig& dram_cfg,
 void ReliabilityManager::record(std::uint64_t cycle, EventKind kind,
                                 unsigned bank, unsigned row,
                                 std::uint32_t bit) {
+  const ReliabilityEvent ev{cycle, kind, bank, row, bit};
+  if (observer_) observer_(ev);
   if (log_.size() >= cfg_.event_log_limit) {
     log_overflow_ = true;
     return;
   }
-  log_.push_back(ReliabilityEvent{cycle, kind, bank, row, bit});
+  log_.push_back(ev);
 }
 
 void ReliabilityManager::apply_fault(const InjectedFault& f) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -99,6 +100,13 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
   /// `injected == corrected + uncorrected + remapped` closes exactly.
   void finalize(std::uint64_t cycle);
 
+  /// Live event tap: called for every event as it happens, before the
+  /// log-limit check — so an observer (e.g. a telemetry IntervalReporter)
+  /// sees the exact-cycle stream even after the bounded log saturates.
+  void set_event_observer(std::function<void(const ReliabilityEvent&)> obs) {
+    observer_ = std::move(obs);
+  }
+
   // --- inspection -----------------------------------------------------------
   std::uint64_t live_faults() const;
   const std::vector<ReliabilityEvent>& event_log() const { return log_; }
@@ -160,6 +168,7 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
   unsigned scrub_ptr_ = 0;    ///< next row the patrol scrubber sweeps
 
   std::vector<ReliabilityEvent> log_;
+  std::function<void(const ReliabilityEvent&)> observer_;
   bool log_overflow_ = false;
   std::vector<InjectedFault> scratch_;  ///< reused sampling buffer
 };

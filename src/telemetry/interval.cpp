@@ -1,0 +1,196 @@
+#include "telemetry/interval.hpp"
+
+#include <ostream>
+
+#include "dram/controller.hpp"
+#include "telemetry/trace.hpp"
+
+namespace edsim::telemetry {
+
+double IntervalSample::bandwidth_gbyte_s(Frequency clock) const {
+  if (cycles() == 0) return 0.0;
+  const double seconds = static_cast<double>(cycles()) / clock.hz();
+  return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+double IntervalSample::page_hit_rate() const {
+  const std::uint64_t total = row_hits + row_misses + row_conflicts;
+  return total ? static_cast<double>(row_hits) / static_cast<double>(total)
+               : 0.0;
+}
+
+double IntervalSample::bus_utilization() const {
+  return cycles() ? static_cast<double>(busy_cycles) /
+                        static_cast<double>(cycles())
+                  : 0.0;
+}
+
+double IntervalSample::powerdown_fraction() const {
+  return cycles() ? static_cast<double>(powerdown_cycles) /
+                        static_cast<double>(cycles())
+                  : 0.0;
+}
+
+IntervalReporter::IntervalReporter(std::uint64_t interval_cycles)
+    : interval_(interval_cycles ? interval_cycles : 1), next_boundary_(interval_) {}
+
+IntervalReporter::Totals IntervalReporter::extract(
+    const dram::ControllerStats& stats) {
+  Totals t;
+  t.reads = stats.reads;
+  t.writes = stats.writes;
+  t.bytes = stats.bytes_transferred;
+  t.row_hits = stats.row_hits;
+  t.row_misses = stats.row_misses;
+  t.row_conflicts = stats.row_conflicts;
+  t.activations = stats.activations;
+  t.precharges = stats.precharges;
+  t.refreshes = stats.refreshes;
+  t.busy_cycles = stats.data_bus_busy_cycles;
+  t.powerdown_cycles = stats.powerdown_cycles;
+  return t;
+}
+
+void IntervalReporter::emit_boundary(std::uint64_t boundary,
+                                     const Totals& at_boundary,
+                                     std::uint32_t queue_depth,
+                                     std::uint32_t open_banks) {
+  IntervalSample s;
+  s.start_cycle = last_emitted_;
+  s.end_cycle = boundary;
+  s.reads = at_boundary.reads - baseline_.reads;
+  s.writes = at_boundary.writes - baseline_.writes;
+  s.bytes = at_boundary.bytes - baseline_.bytes;
+  s.row_hits = at_boundary.row_hits - baseline_.row_hits;
+  s.row_misses = at_boundary.row_misses - baseline_.row_misses;
+  s.row_conflicts = at_boundary.row_conflicts - baseline_.row_conflicts;
+  s.activations = at_boundary.activations - baseline_.activations;
+  s.precharges = at_boundary.precharges - baseline_.precharges;
+  s.refreshes = at_boundary.refreshes - baseline_.refreshes;
+  s.busy_cycles = at_boundary.busy_cycles - baseline_.busy_cycles;
+  s.powerdown_cycles =
+      at_boundary.powerdown_cycles - baseline_.powerdown_cycles;
+  s.queue_depth = queue_depth;
+  s.open_banks = open_banks;
+
+  // Drain reliability events whose exact cycle falls in this interval.
+  // Binning is by cycle / interval, so per-cycle and fast-forward runs
+  // attribute every event to the same row.
+  const std::uint64_t lo = last_emitted_ / interval_;
+  const std::uint64_t hi = (boundary - 1) / interval_;
+  for (auto it = pending_events_.lower_bound(lo);
+       it != pending_events_.end() && it->first <= hi;) {
+    s.injected += it->second.injected;
+    s.corrected += it->second.corrected;
+    s.uncorrected += it->second.uncorrected;
+    s.remaps += it->second.remaps;
+    it = pending_events_.erase(it);
+  }
+
+  samples_.push_back(s);
+  last_emitted_ = boundary;
+  baseline_ = at_boundary;
+}
+
+void IntervalReporter::on_cycle_advance(const dram::TickSample& sample,
+                                        const dram::ControllerStats& stats) {
+  last_totals_ = extract(stats);
+  last_tick_ = sample;
+  while (sample.cycle >= next_boundary_) {
+    emit_boundary(next_boundary_, last_totals_, sample.queue_depth,
+                  sample.open_banks);
+    next_boundary_ += interval_;
+  }
+}
+
+void IntervalReporter::on_bulk_advance(std::uint64_t from,
+                                       const dram::TickSample& sample,
+                                       const dram::ControllerStats& stats) {
+  const Totals now = extract(stats);
+  const std::uint64_t to = sample.cycle;
+  const std::uint64_t span = to - from;
+  // Across a skipped stretch only power-down residency accrues, and it
+  // accrues at exactly 0 or 1 cycles per cycle — so boundary values
+  // interpolate without rounding and match the per-cycle run bit for bit.
+  const std::uint64_t pd_delta =
+      now.powerdown_cycles - last_totals_.powerdown_cycles;
+  while (next_boundary_ <= to) {
+    Totals at = last_totals_;
+    if (span != 0) {
+      at.powerdown_cycles += pd_delta * (next_boundary_ - from) / span;
+    }
+    emit_boundary(next_boundary_, at, sample.queue_depth, sample.open_banks);
+    next_boundary_ += interval_;
+  }
+  last_totals_ = now;
+  last_tick_ = sample;
+}
+
+void IntervalReporter::note_reliability_event(std::uint64_t cycle,
+                                              ReliabilityClass cls) {
+  EventBin& bin = pending_events_[cycle / interval_];
+  switch (cls) {
+    case ReliabilityClass::kInjected: ++bin.injected; break;
+    case ReliabilityClass::kCorrected: ++bin.corrected; break;
+    case ReliabilityClass::kUncorrected: ++bin.uncorrected; break;
+    case ReliabilityClass::kRemap: ++bin.remaps; break;
+  }
+}
+
+void IntervalReporter::finish() {
+  if (last_tick_.cycle > last_emitted_) {
+    emit_boundary(last_tick_.cycle, last_totals_, last_tick_.queue_depth,
+                  last_tick_.open_banks);
+    next_boundary_ = (last_tick_.cycle / interval_ + 1) * interval_;
+  }
+}
+
+void IntervalReporter::write_csv(std::ostream& out, Frequency clock) const {
+  out << "interval,start_cycle,end_cycle,start_ms,reads,writes,bytes,"
+         "bandwidth_gbyte_s,row_hits,row_misses,row_conflicts,page_hit_rate,"
+         "activations,precharges,refreshes,bus_utilization,"
+         "powerdown_fraction,queue_depth,open_banks,injected,corrected,"
+         "uncorrected,remaps\n";
+  std::size_t idx = 0;
+  for (const IntervalSample& s : samples_) {
+    const double start_ms =
+        static_cast<double>(s.start_cycle) * clock.period_ns() / 1e6;
+    out << idx++ << "," << s.start_cycle << "," << s.end_cycle << ","
+        << start_ms << "," << s.reads << "," << s.writes << "," << s.bytes
+        << "," << s.bandwidth_gbyte_s(clock) << "," << s.row_hits << ","
+        << s.row_misses << "," << s.row_conflicts << "," << s.page_hit_rate()
+        << "," << s.activations << "," << s.precharges << "," << s.refreshes
+        << "," << s.bus_utilization() << "," << s.powerdown_fraction() << ","
+        << s.queue_depth << "," << s.open_banks << "," << s.injected << ","
+        << s.corrected << "," << s.uncorrected << "," << s.remaps << "\n";
+  }
+}
+
+void IntervalReporter::emit_counters(TraceSink& sink, Frequency clock,
+                                     unsigned process) const {
+  for (const IntervalSample& s : samples_) {
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::kCounter;
+    ev.category = "interval";
+    ev.process = process;
+    ev.cycle = s.start_cycle;
+
+    ev.name = "bandwidth (Gbyte/s)";
+    ev.args = {arg_double("value", s.bandwidth_gbyte_s(clock))};
+    sink.emit(ev);
+
+    ev.name = "page hit rate";
+    ev.args = {arg_double("value", s.page_hit_rate())};
+    sink.emit(ev);
+
+    ev.name = "queue depth";
+    ev.args = {arg_u64("value", s.queue_depth)};
+    sink.emit(ev);
+
+    ev.name = "power-down fraction";
+    ev.args = {arg_double("value", s.powerdown_fraction())};
+    sink.emit(ev);
+  }
+}
+
+}  // namespace edsim::telemetry

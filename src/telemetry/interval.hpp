@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/telemetry_hooks.hpp"
+
+namespace edsim::telemetry {
+
+class TraceSink;
+
+/// One per-interval row of the time series: counter deltas over
+/// [start_cycle, end_cycle) plus the instantaneous channel state at the
+/// closing boundary. This is what turns the paper's sustained-vs-peak
+/// bandwidth claims into plottable curves instead of end-of-run scalars.
+struct IntervalSample {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t row_conflicts = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t busy_cycles = 0;       ///< data-bus busy
+  std::uint64_t powerdown_cycles = 0;  ///< power-state residency
+  std::uint32_t queue_depth = 0;       ///< at end_cycle
+  std::uint32_t open_banks = 0;        ///< at end_cycle
+  // Reliability events binned by their exact cycle (fed by the manager's
+  // event observer, so fast-forwarded stretches bin identically).
+  std::uint64_t injected = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrected = 0;
+  std::uint64_t remaps = 0;
+
+  bool operator==(const IntervalSample&) const = default;
+
+  std::uint64_t cycles() const { return end_cycle - start_cycle; }
+  double bandwidth_gbyte_s(Frequency clock) const;
+  double page_hit_rate() const;
+  double bus_utilization() const;
+  double powerdown_fraction() const;
+};
+
+/// Emits one IntervalSample every `interval_cycles` DRAM clocks, fed by
+/// the controller's telemetry probes. Works identically under per-cycle
+/// ticking and event-driven fast-forward: when a bulk advance skips over
+/// one or more interval boundaries, the reporter synthesizes the boundary
+/// samples exactly — during a quiet stretch every statistic is frozen
+/// except the cycle count and (linearly) power-down residency, so the
+/// synthesized rows are bit-identical to the per-cycle ones. The
+/// equivalence is pinned by tests/test_telemetry.cpp.
+class IntervalReporter final : public dram::TelemetryHooks {
+ public:
+  explicit IntervalReporter(std::uint64_t interval_cycles);
+
+  void on_cycle_advance(const dram::TickSample& sample,
+                        const dram::ControllerStats& stats) override;
+  void on_bulk_advance(std::uint64_t from, const dram::TickSample& sample,
+                       const dram::ControllerStats& stats) override;
+
+  /// Reliability-event probe (wire via
+  /// ReliabilityManager::set_event_observer, e.g. through
+  /// make_interval_observer in telemetry/exporters.hpp). `cycle` is the
+  /// event's exact cycle, which may lie inside a not-yet-emitted interval.
+  enum class ReliabilityClass { kInjected, kCorrected, kUncorrected, kRemap };
+  void note_reliability_event(std::uint64_t cycle, ReliabilityClass cls);
+
+  /// Close the trailing partial interval (no-op when empty). Call after
+  /// the run; the reporter stays attachable for a follow-up window.
+  void finish();
+
+  std::uint64_t interval_cycles() const { return interval_; }
+  const std::vector<IntervalSample>& samples() const { return samples_; }
+
+  /// The time series as CSV (one row per interval, derived rates
+  /// included). `clock` converts cycles to ms and bandwidth to Gbyte/s.
+  void write_csv(std::ostream& out, Frequency clock) const;
+
+  /// Replay the series into a trace sink as Perfetto counter tracks
+  /// (bandwidth, page-hit rate, queue depth, power-down residency).
+  void emit_counters(TraceSink& sink, Frequency clock,
+                     unsigned process = 0) const;
+
+ private:
+  /// Monotone counters mirrored out of ControllerStats.
+  struct Totals {
+    std::uint64_t reads = 0, writes = 0, bytes = 0;
+    std::uint64_t row_hits = 0, row_misses = 0, row_conflicts = 0;
+    std::uint64_t activations = 0, precharges = 0, refreshes = 0;
+    std::uint64_t busy_cycles = 0, powerdown_cycles = 0;
+  };
+  struct EventBin {
+    std::uint64_t injected = 0, corrected = 0, uncorrected = 0, remaps = 0;
+  };
+
+  static Totals extract(const dram::ControllerStats& stats);
+  void emit_boundary(std::uint64_t boundary, const Totals& at_boundary,
+                     std::uint32_t queue_depth, std::uint32_t open_banks);
+
+  std::uint64_t interval_;
+  std::uint64_t next_boundary_;
+  std::uint64_t last_emitted_ = 0;  ///< start of the open interval
+  Totals baseline_;                 ///< totals at last_emitted_
+  Totals last_totals_;              ///< totals at the last probe
+  dram::TickSample last_tick_;      ///< state at the last probe
+  std::map<std::uint64_t, EventBin> pending_events_;  ///< by interval index
+  std::vector<IntervalSample> samples_;
+};
+
+}  // namespace edsim::telemetry

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "dram/telemetry_hooks.hpp"
+
+namespace edsim::telemetry {
+
+/// Forwards every probe to a list of hooks, so one controller can feed a
+/// RequestTracer and an IntervalReporter (and anything else) at once —
+/// `Controller::attach_telemetry` takes a single pointer by design, to
+/// keep the disabled path one null check.
+class FanoutHooks final : public dram::TelemetryHooks {
+ public:
+  void add(dram::TelemetryHooks* hooks) {
+    if (hooks != nullptr) hooks_.push_back(hooks);
+  }
+  bool empty() const { return hooks_.empty(); }
+
+  void on_request_enqueued(const dram::Request& req,
+                           const dram::Coordinates& coord,
+                           std::uint64_t cycle) override {
+    for (auto* h : hooks_) h->on_request_enqueued(req, coord, cycle);
+  }
+  void on_request_issued(const dram::Request& req,
+                         const dram::Coordinates& coord,
+                         std::uint64_t cycle) override {
+    for (auto* h : hooks_) h->on_request_issued(req, coord, cycle);
+  }
+  void on_request_data(const dram::Request& req, std::uint64_t data_start,
+                       std::uint64_t data_end) override {
+    for (auto* h : hooks_) h->on_request_data(req, data_start, data_end);
+  }
+  void on_request_complete(const dram::Request& req,
+                           std::uint64_t cycle) override {
+    for (auto* h : hooks_) h->on_request_complete(req, cycle);
+  }
+  void on_command(const dram::CommandRecord& rec) override {
+    for (auto* h : hooks_) h->on_command(rec);
+  }
+  void on_cycle_advance(const dram::TickSample& sample,
+                        const dram::ControllerStats& stats) override {
+    for (auto* h : hooks_) h->on_cycle_advance(sample, stats);
+  }
+  void on_bulk_advance(std::uint64_t from, const dram::TickSample& sample,
+                       const dram::ControllerStats& stats) override {
+    for (auto* h : hooks_) h->on_bulk_advance(from, sample, stats);
+  }
+
+ private:
+  std::vector<dram::TelemetryHooks*> hooks_;
+};
+
+}  // namespace edsim::telemetry

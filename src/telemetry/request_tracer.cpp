@@ -1,0 +1,118 @@
+#include "telemetry/request_tracer.hpp"
+
+#include <cstdio>
+
+namespace edsim::telemetry {
+
+namespace {
+constexpr unsigned kCommandTrack = 0;
+
+std::string request_label(const dram::Request& req) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s 0x%llx",
+                req.type == dram::AccessType::kRead ? "R" : "W",
+                static_cast<unsigned long long>(req.addr));
+  return buf;
+}
+}  // namespace
+
+RequestTracer::RequestTracer(TraceSink& sink, unsigned process,
+                             const std::string& channel_name)
+    : sink_(sink), process_(process) {
+  sink_.set_process_name(process_, channel_name);
+  sink_.set_track_name(process_, kCommandTrack, "command bus");
+}
+
+unsigned RequestTracer::client_track(unsigned client_id) {
+  const unsigned track = 1 + client_id;
+  if (client_id < 64 && (named_tracks_ & (1ull << client_id)) == 0) {
+    named_tracks_ |= 1ull << client_id;
+    sink_.set_track_name(process_, track,
+                         "client " + std::to_string(client_id) + " requests");
+  }
+  return track;
+}
+
+void RequestTracer::on_request_enqueued(const dram::Request& req,
+                                        const dram::Coordinates& coord,
+                                        std::uint64_t cycle) {
+  Pending p;
+  p.arrival = cycle;
+  p.bank = coord.bank;
+  p.row = coord.row;
+  pending_[req.id] = p;
+}
+
+void RequestTracer::on_request_issued(const dram::Request& req,
+                                      const dram::Coordinates& /*coord*/,
+                                      std::uint64_t cycle) {
+  const auto it = pending_.find(req.id);
+  if (it == pending_.end()) return;  // attached mid-flight
+  it->second.issue = cycle;
+  it->second.issued = true;
+}
+
+void RequestTracer::on_request_complete(const dram::Request& req,
+                                        std::uint64_t cycle) {
+  const auto it = pending_.find(req.id);
+  if (it == pending_.end()) return;
+  const Pending p = it->second;
+  pending_.erase(it);
+  const unsigned track = client_track(req.client_id);
+
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kSlice;
+  ev.category = "request";
+  ev.process = process_;
+  ev.track = track;
+  ev.name = request_label(req);
+  ev.cycle = p.arrival;
+  ev.duration = cycle - p.arrival;
+  ev.args = {arg_u64("id", req.id), arg_u64("bank", p.bank),
+             arg_u64("row", p.row), arg_u64("arrival", p.arrival),
+             arg_u64("done", req.done_cycle)};
+  if (req.ecc_corrected) ev.args.push_back(arg_str("ecc", "corrected"));
+  if (req.data_error) ev.args.push_back(arg_str("ecc", "uncorrectable"));
+  sink_.emit(ev);
+
+  if (p.issued) {
+    TraceEvent queued;
+    queued.phase = TraceEvent::Phase::kSlice;
+    queued.category = "lifecycle";
+    queued.process = process_;
+    queued.track = track;
+    queued.name = "queued";
+    queued.cycle = p.arrival;
+    queued.duration = p.issue - p.arrival;
+    sink_.emit(queued);
+
+    TraceEvent xfer;
+    xfer.phase = TraceEvent::Phase::kSlice;
+    xfer.category = "lifecycle";
+    xfer.process = process_;
+    xfer.track = track;
+    xfer.name = "xfer";
+    xfer.cycle = p.issue;
+    xfer.duration = cycle - p.issue;
+    sink_.emit(xfer);
+  }
+  ++requests_traced_;
+}
+
+void RequestTracer::on_command(const dram::CommandRecord& rec) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.category = "command";
+  ev.process = process_;
+  ev.track = kCommandTrack;
+  ev.name = dram::to_string(rec.cmd);
+  ev.cycle = rec.cycle;
+  ev.args = {arg_u64("bank", rec.bank)};
+  if (rec.cmd == dram::Command::kActivate) {
+    ev.args.push_back(arg_u64("row", rec.row));
+  }
+  if (rec.auto_precharge) ev.args.push_back(arg_str("ap", "1"));
+  sink_.emit(ev);
+}
+
+}  // namespace edsim::telemetry

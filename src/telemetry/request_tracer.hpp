@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dram/telemetry_hooks.hpp"
+#include "telemetry/trace.hpp"
+
+namespace edsim::telemetry {
+
+/// Turns the controller's request-lifecycle probes into Perfetto-ready
+/// trace slices. Track layout inside process `process` (one process per
+/// channel):
+///
+///     track 0            command bus (instant per ACT/PRE/RD/WR/REF)
+///     track 1 + client   request slices for that client:
+///                          "R 0x..." / "W 0x..."  arrival -> done
+///                            "queued"               arrival -> issue
+///                            "xfer"                 issue -> done
+///
+/// The nested slices use Chrome's ts/dur containment nesting, so one
+/// request renders as a lifecycle stack. Attach with
+/// `Controller::attach_telemetry` (or through the front ends).
+class RequestTracer final : public dram::TelemetryHooks {
+ public:
+  RequestTracer(TraceSink& sink, unsigned process = 0,
+                const std::string& channel_name = "channel0");
+
+  void on_request_enqueued(const dram::Request& req,
+                           const dram::Coordinates& coord,
+                           std::uint64_t cycle) override;
+  void on_request_issued(const dram::Request& req,
+                         const dram::Coordinates& coord,
+                         std::uint64_t cycle) override;
+  void on_request_complete(const dram::Request& req,
+                           std::uint64_t cycle) override;
+  void on_command(const dram::CommandRecord& rec) override;
+
+  std::uint64_t requests_traced() const { return requests_traced_; }
+
+ private:
+  struct Pending {
+    std::uint64_t arrival = 0;
+    std::uint64_t issue = 0;
+    unsigned bank = 0;
+    unsigned row = 0;
+    bool issued = false;
+  };
+
+  unsigned client_track(unsigned client_id);
+
+  TraceSink& sink_;
+  unsigned process_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t named_tracks_ = 0;  ///< bitmap of client tracks named so far
+  std::uint64_t requests_traced_ = 0;
+};
+
+}  // namespace edsim::telemetry

@@ -1,0 +1,166 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace edsim::telemetry {
+
+TraceArg arg_str(std::string name, std::string value) {
+  return TraceArg{std::move(name), std::move(value), true};
+}
+
+TraceArg arg_u64(std::string name, std::uint64_t value) {
+  return TraceArg{std::move(name), std::to_string(value), false};
+}
+
+TraceArg arg_double(std::string name, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return TraceArg{std::move(name), buf, false};
+}
+
+namespace {
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out << buf;
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+void json_number(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out << buf;
+}
+
+}  // namespace
+
+// --- ChromeTraceSink --------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out, Frequency clock)
+    : out_(out), clock_(clock) {
+  out_ << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { finish(); }
+
+void ChromeTraceSink::begin_event() {
+  if (!first_) out_ << ",";
+  first_ = false;
+  out_ << "\n";
+}
+
+void ChromeTraceSink::write_args(const std::vector<TraceArg>& args) {
+  out_ << ", \"args\": {";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out_ << ", ";
+    first = false;
+    json_string(out_, a.name);
+    out_ << ": ";
+    if (a.quoted) {
+      json_string(out_, a.text);
+    } else {
+      out_ << a.text;
+    }
+  }
+  out_ << "}";
+}
+
+void ChromeTraceSink::emit(const TraceEvent& ev) {
+  begin_event();
+  out_ << "{\"name\": ";
+  json_string(out_, ev.name);
+  out_ << ", \"cat\": ";
+  json_string(out_, ev.category.empty() ? std::string("edsim") : ev.category);
+  out_ << ", \"ph\": \"";
+  switch (ev.phase) {
+    case TraceEvent::Phase::kSlice: out_ << "X"; break;
+    case TraceEvent::Phase::kInstant: out_ << "i"; break;
+    case TraceEvent::Phase::kCounter: out_ << "C"; break;
+  }
+  out_ << "\", \"ts\": ";
+  json_number(out_, ts_us(ev.cycle));
+  if (ev.phase == TraceEvent::Phase::kSlice) {
+    out_ << ", \"dur\": ";
+    json_number(out_, ts_us(ev.cycle + ev.duration) - ts_us(ev.cycle));
+  }
+  if (ev.phase == TraceEvent::Phase::kInstant) out_ << ", \"s\": \"t\"";
+  out_ << ", \"pid\": " << ev.process << ", \"tid\": " << ev.track;
+  write_args(ev.args);
+  out_ << "}";
+  ++events_;
+}
+
+void ChromeTraceSink::set_process_name(unsigned process,
+                                       const std::string& name) {
+  begin_event();
+  out_ << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << process
+       << ", \"tid\": 0, \"args\": {\"name\": ";
+  json_string(out_, name);
+  out_ << "}}";
+}
+
+void ChromeTraceSink::set_track_name(unsigned process, unsigned track,
+                                     const std::string& name) {
+  begin_event();
+  out_ << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << process
+       << ", \"tid\": " << track << ", \"args\": {\"name\": ";
+  json_string(out_, name);
+  out_ << "}}";
+}
+
+void ChromeTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "\n]}\n";
+  out_.flush();
+}
+
+// --- CsvTraceSink -----------------------------------------------------------
+
+CsvTraceSink::CsvTraceSink(std::ostream& out) : out_(out) {
+  out_ << "cycle,duration_cycles,phase,category,name,process,track,args\n";
+}
+
+CsvTraceSink::~CsvTraceSink() { finish(); }
+
+void CsvTraceSink::emit(const TraceEvent& ev) {
+  const char* phase = "instant";
+  if (ev.phase == TraceEvent::Phase::kSlice) phase = "slice";
+  if (ev.phase == TraceEvent::Phase::kCounter) phase = "counter";
+  out_ << ev.cycle << "," << ev.duration << "," << phase << ","
+       << ev.category << "," << ev.name << "," << ev.process << ","
+       << ev.track << ",";
+  bool first = true;
+  for (const TraceArg& a : ev.args) {
+    if (!first) out_ << ";";
+    first = false;
+    out_ << a.name << "=" << a.text;
+  }
+  out_ << "\n";
+  ++events_;
+}
+
+void CsvTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.flush();
+}
+
+}  // namespace edsim::telemetry

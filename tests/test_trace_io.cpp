@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "clients/system.hpp"
 #include "common/error.hpp"
+#include "dram/presets.hpp"
 
 namespace edsim::clients {
 namespace {
@@ -59,6 +63,57 @@ TEST(TraceIo, RoundTrips) {
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_trace_file("/nonexistent/file.trace"),
                edsim::ConfigError);
+}
+
+TEST(TraceIo, FileRoundTrips) {
+  const auto t =
+      parse_trace_text("0 R 0x100\n9 W 0x2000\n9 R 0\n31 w 0x80\n");
+  const std::string path =
+      testing::TempDir() + "edsim_trace_roundtrip.trace";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open());
+    write_trace(out, t);
+  }
+  const auto t2 = load_trace_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(t2.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t2[i].cycle, t[i].cycle);
+    EXPECT_EQ(t2[i].addr, t[i].addr);
+    EXPECT_EQ(t2[i].type, t[i].type);
+  }
+}
+
+// A trace and its write->parse round-trip must drive the memory system to
+// the same place: the serialized form is a faithful workload, not just a
+// field-level copy.
+TEST(TraceIo, RoundTrippedTraceReplaysIdentically) {
+  std::ostringstream gen;
+  for (int i = 0; i < 64; ++i) {
+    gen << i * 7 << (i % 3 == 0 ? " W 0x" : " R 0x") << std::hex << i * 1024
+        << std::dec << "\n";
+  }
+  const auto original = parse_trace_text(gen.str());
+  std::ostringstream os;
+  write_trace(os, original);
+  const auto reparsed = parse_trace_text(os.str());
+
+  const auto cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  auto run = [&](const std::vector<TraceRecord>& trace) {
+    MemorySystem sys(cfg, ArbiterKind::kRoundRobin);
+    sys.add_client(std::make_unique<TraceClient>(0, "t", trace,
+                                                 cfg.bytes_per_access()));
+    sys.run_to_completion();
+    return sys.controller().stats();
+  };
+  const auto a = run(original);
+  const auto b = run(reparsed);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.row_hits, b.row_hits);
 }
 
 }  // namespace
