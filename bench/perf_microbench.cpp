@@ -183,6 +183,100 @@ void BM_DesignSpaceSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DesignSpaceSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// --- incremental scheduling: before/after pair -----------------------------
+// Deep queue, bursty arrivals, event-driven drive: every round rebuilds the
+// candidate list and every bulk step asks next_event_cycle, so this is the
+// shape where the rescan path's O(queue x banks) work hurts most.
+// "Baseline" forces the from-scratch rescans; "Incremental" uses the
+// maintained candidate list + release heaps. Identical stats either way.
+
+std::uint64_t run_deep_queue(bool incremental) {
+  dram::DramConfig cfg = dram::presets::edram_module(64, 128, 16, 2048);
+  cfg.queue_depth = 512;
+  dram::Controller ctl(cfg);
+  ctl.set_incremental_scheduling(incremental);
+  Rng rng(11);
+  // Random traffic spread over 16 banks with the queue riding near its
+  // 512-entry cap: a bank event (issue, precharge, refresh) re-evaluates
+  // only that bank's ~Q/16 queued entries on the incremental path, while
+  // the rescan baseline re-derives all 512 every scheduling round and on
+  // every next-event query.
+  const std::uint64_t cap = cfg.capacity().byte_count();
+  std::uint64_t target = 0;
+  std::vector<dram::Request> sink;
+  for (int burst = 0; burst < 150; ++burst) {
+    for (int i = 0; i < 512; ++i) {
+      if (ctl.queue_full()) break;
+      dram::Request r;
+      r.addr = rng.next_below(cap) & ~127ull;
+      r.type = (i % 4 == 0) ? dram::AccessType::kWrite
+                            : dram::AccessType::kRead;
+      ctl.enqueue(r);
+    }
+    target += 400;
+    ctl.tick_until(target);
+    ctl.drain_completed_into(sink);
+  }
+  return ctl.stats().reads + ctl.stats().writes;
+}
+
+void BM_BuildCandidatesBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_deep_queue(false));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 150 * 400);
+}
+BENCHMARK(BM_BuildCandidatesBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_BuildCandidatesIncremental(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_deep_queue(true));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 150 * 400);
+}
+BENCHMARK(BM_BuildCandidatesIncremental)->Unit(benchmark::kMillisecond);
+
+// --- multi-channel tick_until: serial vs fanned-out ------------------------
+// Args: (channels, tick threads); threads=1 forces the serial walk, 0 uses
+// the pool default. Channels stay busy for most of each window so the
+// measurement is honest about compute scaling, not skip-length.
+
+void BM_MultiChannelTickUntil(benchmark::State& state) {
+  const auto channels = static_cast<unsigned>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  dram::MultiChannel mc(dram::presets::edram_module(16, 128, 4, 2048),
+                        channels, dram::ChannelInterleave::kBurst);
+  mc.set_tick_threads(threads);
+  Rng rng(13);
+  const std::uint64_t cap = mc.capacity().byte_count();
+  std::uint64_t target = 0;
+  std::vector<dram::Request> sink;
+  for (auto _ : state) {
+    for (int rep = 0; rep < 8; ++rep) {
+      for (unsigned i = 0; i < 32 * channels; ++i) {
+        dram::Request r;
+        r.addr = rng.next_below(cap) & ~127ull;
+        if (!mc.queue_full_for(r.addr)) mc.enqueue(r);
+      }
+      target += 400;
+      mc.tick_until(target);
+      mc.drain_completed_into(sink);
+      benchmark::DoNotOptimize(sink.size());
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 8 * 400);
+}
+BENCHMARK(BM_MultiChannelTickUntil)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MultiChannelTick(benchmark::State& state) {
   dram::MultiChannel mc(dram::presets::edram_module(16, 128, 4, 2048),
                         static_cast<unsigned>(state.range(0)),

@@ -34,6 +34,12 @@ def speedup(label, before, after):
 print("speedups (before/after):")
 speedup("idle-heavy run (fast-forward)", "BM_IdleHeavyPerCycle",
         "BM_IdleHeavyFastForward")
+speedup("deep-queue scheduling (incremental)", "BM_BuildCandidatesBaseline",
+        "BM_BuildCandidatesIncremental")
+speedup("4-channel tick_until (thread fan-out)",
+        "BM_MultiChannelTickUntil/4/1", "BM_MultiChannelTickUntil/4/0")
+speedup("8-channel tick_until (thread fan-out)",
+        "BM_MultiChannelTickUntil/8/1", "BM_MultiChannelTickUntil/8/0")
 speedup("design-space sweep (thread pool)", "BM_DesignSpaceSweep/1",
         "BM_DesignSpaceSweep/0")
 speedup("Monte-Carlo yield (thread pool)", "BM_MonteCarloYield/1",

@@ -16,6 +16,14 @@ struct CommandRecord {
   unsigned bank = 0;   ///< kRefresh: unused (all banks)
   unsigned row = 0;    ///< kActivate only
   bool auto_precharge = false;  ///< column command with implicit PRE
+
+  friend bool operator==(const CommandRecord& a, const CommandRecord& b) {
+    return a.cycle == b.cycle && a.cmd == b.cmd && a.bank == b.bank &&
+           a.row == b.row && a.auto_precharge == b.auto_precharge;
+  }
+  friend bool operator!=(const CommandRecord& a, const CommandRecord& b) {
+    return !(a == b);
+  }
 };
 
 /// Capture buffer the controller can be pointed at. Append-only by

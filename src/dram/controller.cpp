@@ -7,6 +7,13 @@
 
 namespace edsim::dram {
 
+namespace {
+/// a - b clamped at zero (timing releases saturate at cycle 0).
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+}  // namespace
+
 Controller::Controller(const DramConfig& cfg)
     : cfg_(cfg),
       mapper_(cfg),
@@ -17,6 +24,7 @@ Controller::Controller(const DramConfig& cfg)
   for (unsigned b = 0; b < cfg_.banks; ++b) banks_.emplace_back(cfg_.timing);
   autopre_pending_.assign(cfg_.banks, false);
   last_col_cycle_.assign(cfg_.banks, 0);
+  bank_entries_.assign(cfg_.banks, {});
 }
 
 void Controller::log_command(const CommandRecord& rec) {
@@ -36,6 +44,15 @@ TickSample Controller::tick_sample() const {
 
 void Controller::notify_tick() {
   if (telemetry_ != nullptr) telemetry_->on_cycle_advance(tick_sample(), stats_);
+}
+
+void Controller::attach_reliability(ReliabilityHooks* hooks) {
+  hooks_ = hooks;
+  reliability_events_seen_ = 0;
+  if (hooks_ != nullptr) {
+    const ReliabilityCounters c = hooks_->counters();
+    reliability_events_seen_ = c.rows_remapped + c.banks_retired;
+  }
 }
 
 bool Controller::all_banks_retired() const {
@@ -72,6 +89,13 @@ bool Controller::enqueue(Request req) {
     e.wd_deadline = cycle_ + cfg_.watchdog_cycles;
   }
   queue_.push_back(e);
+  if (incremental_) {
+    const auto pos = static_cast<std::uint32_t>(queue_.size() - 1);
+    pos_of_id_[queue_.back().req.id] = pos;
+    bank_entries_[queue_.back().coord.bank].push_back(pos);
+    candidates_.push_back(Candidate{});
+    refresh_entry(pos);
+  }
   EDSIM_TELEMETRY(telemetry_, on_request_enqueued(queue_.back().req,
                                                   queue_.back().coord, cycle_));
   return true;
@@ -93,34 +117,260 @@ void Controller::classify(QueueEntry& e, const Bank& bank) {
   }
 }
 
-bool Controller::channel_act_legal(std::uint64_t cycle) const {
-  if (any_act_yet_ && cycle < last_act_cycle_ + cfg_.timing.tRRD) return false;
-  if (cfg_.timing.tFAW != 0 && recent_acts_.size() >= 4 &&
-      cycle < recent_acts_[recent_acts_.size() - 4] + cfg_.timing.tFAW) {
-    return false;
+std::uint64_t Controller::channel_act_release() const {
+  const auto& t = cfg_.timing;
+  std::uint64_t rel = 0;
+  if (any_act_yet_) rel = last_act_cycle_ + t.tRRD;
+  if (t.tFAW != 0 && recent_acts_.size() >= 4) {
+    rel = std::max(rel, recent_acts_[recent_acts_.size() - 4] + t.tFAW);
   }
-  return true;
+  return rel;
+}
+
+std::uint64_t Controller::channel_column_release(AccessType type) const {
+  const auto& t = cfg_.timing;
+  if (type == AccessType::kRead) {
+    std::uint64_t rel = sat_sub(bus_busy_until_, t.tCL);
+    if (any_data_yet_ && last_dir_ == AccessType::kWrite) {
+      rel = std::max(rel, last_data_end_ + t.tWTR);
+    }
+    return rel;
+  }
+  std::uint64_t rel = sat_sub(bus_busy_until_, t.tWL);
+  if (any_data_yet_ && last_dir_ == AccessType::kRead) {
+    rel = std::max(rel, sat_sub(last_data_end_ + t.tRTW, t.tWL));
+  }
+  return rel;
+}
+
+bool Controller::channel_act_legal(std::uint64_t cycle) const {
+  return cycle >= channel_act_release();
 }
 
 bool Controller::column_legal(AccessType type, std::uint64_t cycle) const {
-  const auto& t = cfg_.timing;
-  if (type == AccessType::kRead) {
-    if (cycle + t.tCL < bus_busy_until_) return false;
-    if (any_data_yet_ && last_dir_ == AccessType::kWrite &&
-        cycle < last_data_end_ + t.tWTR) {
-      return false;
-    }
-  } else {
-    if (cycle + t.tWL < bus_busy_until_) return false;
-    if (any_data_yet_ && last_dir_ == AccessType::kRead &&
-        cycle + t.tWL < last_data_end_ + t.tRTW) {
-      return false;
-    }
-  }
-  return true;
+  return cycle >= channel_column_release(type);
 }
 
+// --- incremental scheduling cache -------------------------------------------
+
+unsigned Controller::class_of(Command cmd) {
+  switch (cmd) {
+    case Command::kActivate:
+      return kClassAct;
+    case Command::kPrecharge:
+      return kClassPre;
+    case Command::kRead:
+      return kClassColRead;
+    case Command::kWrite:
+      return kClassColWrite;
+    case Command::kRefresh:
+      break;
+  }
+  return kClassNone;  // uncached sentinel
+}
+
+bool Controller::release_entry_live(unsigned cls, const ReleaseEntry& r) const {
+  const auto it = pos_of_id_.find(r.id);
+  if (it == pos_of_id_.end()) return false;  // issued or never registered
+  const QueueEntry& e = queue_[it->second];
+  return class_of(e.cached_cmd) == cls && e.bank_release == r.cycle;
+}
+
+void Controller::compact_heap(unsigned cls) const {
+  auto& h = release_heaps_[cls];
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (release_entry_live(cls, h[i])) h[keep++] = h[i];
+  }
+  h.resize(keep);
+  std::make_heap(h.begin(), h.end(), [](const ReleaseEntry& a,
+                                        const ReleaseEntry& b) {
+    return a.cycle > b.cycle;
+  });
+}
+
+void Controller::push_release(unsigned cls, std::uint64_t rel,
+                              std::uint64_t id) const {
+  auto& h = release_heaps_[cls];
+  h.push_back(ReleaseEntry{rel, id});
+  std::push_heap(h.begin(), h.end(), [](const ReleaseEntry& a,
+                                        const ReleaseEntry& b) {
+    return a.cycle > b.cycle;
+  });
+  // Dead records accumulate lazily; compact when they dominate.
+  if (h.size() > 64 && h.size() > 4 * (queue_.size() + 1)) compact_heap(cls);
+}
+
+void Controller::refresh_entry(std::size_t pos) {
+  QueueEntry& e = queue_[pos];
+  const Bank& bank = banks_[e.coord.bank];
+  const unsigned old_cls = class_of(e.cached_cmd);
+  const std::uint64_t old_rel = e.bank_release;
+  Command cmd;
+  bool row_hit = false;
+  if (bank.has_open_row() && bank.open_row() == e.coord.row) {
+    cmd = e.req.type == AccessType::kRead ? Command::kRead : Command::kWrite;
+    row_hit = true;
+  } else if (!bank.has_open_row()) {
+    cmd = Command::kActivate;
+  } else {
+    cmd = Command::kPrecharge;
+  }
+  // While an auto-precharge gates the bank the entry cannot lead a round;
+  // the autopre term of next_event_cycle() covers the wake-up instead.
+  const std::uint64_t rel =
+      autopre_pending_[e.coord.bank] ? kNeverCycle : bank.earliest(cmd);
+  e.cached_cmd = cmd;
+  e.cached_row_hit = row_hit;
+  e.bank_release = rel;
+  const unsigned cls = class_of(cmd);
+  if (rel != kNeverCycle && (cls != old_cls || rel != old_rel)) {
+    push_release(cls, rel, e.req.id);
+  }
+  Candidate& c = candidates_[pos];
+  c.queue_index = pos;
+  c.bank = e.coord.bank;
+  c.cmd = cmd;
+  c.row_hit = row_hit;
+  c.issuable = false;  // per-round bit, set by build_candidates()
+  c.is_write = e.req.type == AccessType::kWrite;
+}
+
+void Controller::invalidate_bank(unsigned b) {
+  if (!incremental_) return;
+  for (const std::uint32_t pos : bank_entries_[b]) refresh_entry(pos);
+}
+
+void Controller::invalidate_all_banks() {
+  if (!incremental_) return;
+  for (unsigned b = 0; b < cfg_.banks; ++b) invalidate_bank(b);
+}
+
+void Controller::rebuild_sched_cache() {
+  for (auto& h : release_heaps_) h.clear();
+  pos_of_id_.clear();
+  for (auto& v : bank_entries_) v.clear();
+  candidates_.assign(queue_.size(), Candidate{});
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    pos_of_id_[queue_[i].req.id] = static_cast<std::uint32_t>(i);
+    bank_entries_[queue_[i].coord.bank].push_back(
+        static_cast<std::uint32_t>(i));
+    queue_[i].cached_cmd = Command::kRefresh;  // sentinel: force re-push
+    queue_[i].bank_release = kNeverCycle;
+    refresh_entry(i);
+  }
+}
+
+void Controller::erase_queue_entry(std::size_t pos) {
+  if (!incremental_) {
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
+    return;
+  }
+  pos_of_id_.erase(queue_[pos].req.id);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
+  candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t i = pos; i < queue_.size(); ++i) {
+    pos_of_id_[queue_[i].req.id] = static_cast<std::uint32_t>(i);
+    candidates_[i].queue_index = i;
+  }
+  for (auto& v : bank_entries_) v.clear();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    bank_entries_[queue_[i].coord.bank].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+bool Controller::open_row_wanted(unsigned b) const {
+  if (incremental_) {
+    // cached_row_hit mirrors "open row == entry row" and is refreshed on
+    // every bank event, so the per-bank position list answers this without
+    // walking the whole queue.
+    for (const std::uint32_t pos : bank_entries_[b]) {
+      if (queue_[pos].cached_row_hit) return true;
+    }
+    return false;
+  }
+  for (const QueueEntry& e : queue_) {
+    if (e.coord.bank == b && e.coord.row == banks_[b].open_row()) return true;
+  }
+  return false;
+}
+
+void Controller::set_autopre(unsigned b) {
+  if (!autopre_pending_[b]) {
+    autopre_pending_[b] = true;
+    ++autopre_count_;
+  }
+}
+
+void Controller::clear_autopre(unsigned b) {
+  if (autopre_pending_[b]) {
+    autopre_pending_[b] = false;
+    --autopre_count_;
+  }
+}
+
+void Controller::maybe_reliability_refresh() {
+  if (hooks_ == nullptr) return;
+  const ReliabilityCounters c = hooks_->counters();
+  const std::uint64_t events = c.rows_remapped + c.banks_retired;
+  if (events != reliability_events_seen_) {
+    // Graceful-degradation events (row remap, bank retire) can change
+    // steering and row mappings out from under the cache; rebuilding on
+    // the dirty flag is cheap because the events are rare.
+    reliability_events_seen_ = events;
+    if (incremental_) rebuild_sched_cache();
+  }
+}
+
+void Controller::set_incremental_scheduling(bool on) {
+  if (on == incremental_) return;
+  incremental_ = on;
+  if (on) {
+    rebuild_sched_cache();
+  } else {
+    for (auto& h : release_heaps_) h.clear();
+    pos_of_id_.clear();
+    for (auto& v : bank_entries_) v.clear();
+    candidates_.clear();
+  }
+}
+
+// --- candidate construction -------------------------------------------------
+
 const std::vector<Candidate>& Controller::build_candidates() {
+  if (!incremental_) return build_candidates_rescan();
+  // Structural fields (cmd / row_hit / bank) are maintained by
+  // refresh_entry on the events that change them; each round only flips
+  // the per-cycle issuable bits: one bank-release compare plus the three
+  // channel-level releases computed once.
+  const bool act_ok = cycle_ >= channel_act_release();
+  const bool rd_ok = cycle_ >= channel_column_release(AccessType::kRead);
+  const bool wr_ok = cycle_ >= channel_column_release(AccessType::kWrite);
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const QueueEntry& e = queue_[i];
+    bool ok = e.bank_release != kNeverCycle && cycle_ >= e.bank_release;
+    if (ok) {
+      switch (e.cached_cmd) {
+        case Command::kRead:
+          ok = rd_ok;
+          break;
+        case Command::kWrite:
+          ok = wr_ok;
+          break;
+        case Command::kActivate:
+          ok = act_ok;
+          break;
+        default:
+          break;  // kPrecharge: bank-local only
+      }
+    }
+    candidates_[i].issuable = ok;
+  }
+  return candidates_;
+}
+
+const std::vector<Candidate>& Controller::build_candidates_rescan() {
   std::vector<Candidate>& out = candidates_;
   out.clear();
   out.reserve(queue_.size());
@@ -194,22 +444,25 @@ void Controller::issue_column(QueueEntry& e, std::uint64_t cycle) {
   EDSIM_TELEMETRY(telemetry_, on_request_issued(e.req, e.coord, cycle));
   EDSIM_TELEMETRY(telemetry_, on_request_data(e.req, data_start, data_end));
   inflight_.push_back(InFlight{e.req});
+  inflight_min_done_ = std::min(inflight_min_done_, e.req.done_cycle);
 
   last_col_cycle_[e.coord.bank] = cycle;
   if (cfg_.page_policy == PagePolicy::kClosed) {
-    autopre_pending_[e.coord.bank] = true;
+    set_autopre(e.coord.bank);
   }
 }
 
 bool Controller::tick_autoprecharge() {
   // Auto-precharge does not occupy the command bus (it is encoded in the
   // column command on real parts); apply it as soon as it becomes legal.
+  if (autopre_count_ == 0) return false;
   bool any = false;
   for (unsigned b = 0; b < cfg_.banks; ++b) {
     if (autopre_pending_[b] && banks_[b].can_issue(Command::kPrecharge, cycle_)) {
       banks_[b].issue(Command::kPrecharge, 0, cycle_);
       ++stats_.precharges;
-      autopre_pending_[b] = false;
+      clear_autopre(b);
+      invalidate_bank(b);
       any = true;
     }
   }
@@ -227,9 +480,10 @@ bool Controller::tick_refresh() {
     if (banks_[b].has_open_row()) {
       if (banks_[b].can_issue(Command::kPrecharge, cycle_)) {
         banks_[b].issue(Command::kPrecharge, 0, cycle_);
-        autopre_pending_[b] = false;
+        clear_autopre(b);
         ++stats_.precharges;
         log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+        invalidate_bank(b);
       }
       return true;  // command slot consumed (or bank not yet ready)
     }
@@ -244,6 +498,7 @@ bool Controller::tick_refresh() {
   ++stats_.refreshes;
   log_command(CommandRecord{cycle_, Command::kRefresh, 0, 0, false});
   refresh_draining_ = false;
+  invalidate_all_banks();
   return true;
 }
 
@@ -304,10 +559,11 @@ void Controller::tick() {
             all_idle = false;
             if (banks_[b].can_issue(Command::kPrecharge, cycle_)) {
               banks_[b].issue(Command::kPrecharge, 0, cycle_);
-              autopre_pending_[b] = false;
+              clear_autopre(b);
               ++stats_.precharges;
               log_command(
                   CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+              invalidate_bank(b);
             }
             break;  // one command per cycle
           }
@@ -331,8 +587,9 @@ void Controller::tick() {
     }
   }
 
-  // 1. Retire in-flight requests whose data finished.
-  if (!inflight_.empty()) {
+  // 1. Retire in-flight requests whose data finished. The cached minimum
+  // makes the common nothing-finished cycle a single compare.
+  if (!inflight_.empty() && inflight_min_done_ <= cycle_) {
     auto it = inflight_.begin();
     while (it != inflight_.end()) {
       if (it->req.done_cycle <= cycle_) {
@@ -347,6 +604,10 @@ void Controller::tick() {
         ++it;
       }
     }
+    inflight_min_done_ = kNeverCycle;
+    for (const InFlight& f : inflight_) {
+      inflight_min_done_ = std::min(inflight_min_done_, f.req.done_cycle);
+    }
   }
 
   // 2. Hardware auto-precharge (no command-bus cost).
@@ -354,6 +615,9 @@ void Controller::tick() {
 
   // 2b. Watchdog: escalate or fail a starving request.
   tick_watchdog();
+
+  // 2c. Reliability dirty flag: remap/retire invalidates the cache wholesale.
+  maybe_reliability_refresh();
 
   // 3. Refresh has absolute priority once due.
   if (!tick_refresh()) {
@@ -379,21 +643,17 @@ void Controller::tick() {
             cycle_ >= last_col_cycle_[b] + cfg_.page_timeout_cycles &&
             banks_[b].can_issue(Command::kPrecharge, cycle_)) {
           // Only close rows no queued request still wants.
-          bool wanted = false;
-          for (const QueueEntry& e : queue_) {
-            wanted = wanted || (e.coord.bank == b &&
-                                e.coord.row == banks_[b].open_row());
-          }
-          if (wanted) continue;
+          if (open_row_wanted(b)) continue;
           banks_[b].issue(Command::kPrecharge, 0, cycle_);
           ++stats_.precharges;
           log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+          invalidate_bank(b);
           break;  // one command per cycle
         }
       }
     }
     if (pick != Scheduler::kNone) {
-      const Candidate& c = candidates[pick];
+      const Candidate c = candidates[pick];  // copy: issue paths edit the list
       QueueEntry& e = queue_[c.queue_index];
       Bank& bank = banks_[e.coord.bank];
       classify(e, bank);
@@ -407,6 +667,7 @@ void Controller::tick() {
           if (recent_acts_.size() > 8) recent_acts_.pop_front();
           log_command(CommandRecord{cycle_, Command::kActivate, e.coord.bank,
                                     e.coord.row, false});
+          invalidate_bank(c.bank);
           break;
         case Command::kPrecharge:
           bank.issue(Command::kPrecharge, 0, cycle_);
@@ -414,12 +675,13 @@ void Controller::tick() {
           log_command(
               CommandRecord{cycle_, Command::kPrecharge, e.coord.bank, 0,
                             false});
+          invalidate_bank(c.bank);
           break;
         case Command::kRead:
         case Command::kWrite: {
           issue_column(e, cycle_);
-          queue_.erase(queue_.begin() +
-                       static_cast<std::ptrdiff_t>(c.queue_index));
+          erase_queue_entry(c.queue_index);
+          invalidate_bank(c.bank);
           break;
         }
         case Command::kRefresh:
@@ -446,14 +708,96 @@ void Controller::drain_completed_into(std::vector<Request>& out) {
   completed_.clear();
 }
 
-namespace {
-/// a - b clamped at zero (timing releases saturate at cycle 0).
-std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
-  return a > b ? a - b : 0;
-}
-}  // namespace
-
 std::uint64_t Controller::next_event_cycle() const {
+  if (!incremental_) return next_event_cycle_rescan();
+  std::uint64_t ne = kNeverCycle;
+  const auto upd = [&](std::uint64_t c) {
+    ne = std::min(ne, std::max(c, cycle_));
+  };
+  const bool has_work = !queue_.empty() || !inflight_.empty();
+
+  if (cfg_.powerdown_enabled) {
+    if (powered_down_) {
+      // Only new work (caller-driven) or refresh urgency wakes the device.
+      if (has_work) return cycle_;
+      upd(refresh_.next_urgent_cycle(cycle_));
+      return ne;
+    }
+    if (cycle_ < wake_until_) {
+      // Exiting power-down: every tick until tXP elapses is bookkeeping
+      // (watchdog and refresh paths are behind the same early return).
+      return wake_until_;
+    }
+    if (!has_work) {
+      // Power-down entry fires once the idle streak reaches the threshold;
+      // if the streak has not started, the next tick starts it at cycle_.
+      upd((was_idle_ ? idle_since_ : cycle_) + cfg_.powerdown_idle_cycles);
+    }
+  }
+
+  // In-flight data completions (cached minimum, kNeverCycle when empty).
+  if (inflight_min_done_ != kNeverCycle) upd(inflight_min_done_);
+
+  // Refresh urgency.
+  upd(refresh_.next_urgent_cycle(cycle_));
+
+  // Pending hardware auto-precharges (skipped outright when none pending).
+  if (autopre_count_ != 0) {
+    for (unsigned b = 0; b < cfg_.banks; ++b) {
+      if (autopre_pending_[b]) upd(banks_[b].earliest(Command::kPrecharge));
+    }
+  }
+
+  // Watchdog deadline of the oldest queued request.
+  if (cfg_.watchdog_enabled && !queue_.empty()) {
+    upd(queue_.front().wd_deadline);
+  }
+
+  // Page-timeout closes of idle open rows (per-bank position lists answer
+  // the "still wanted" test without walking the whole queue).
+  if (cfg_.page_policy == PagePolicy::kTimeout) {
+    for (unsigned b = 0; b < cfg_.banks; ++b) {
+      if (!banks_[b].has_open_row()) continue;
+      if (open_row_wanted(b)) continue;
+      upd(std::max(last_col_cycle_[b] + cfg_.page_timeout_cycles,
+                   banks_[b].earliest(Command::kPrecharge)));
+    }
+  }
+
+  // Queue releases: min over entries of max(bank release, channel release)
+  // equals max(min bank release, channel release) within each command
+  // class, so four cached heap minima replace the per-entry rescan.
+  const auto cmp = [](const ReleaseEntry& a, const ReleaseEntry& b) {
+    return a.cycle > b.cycle;
+  };
+  for (unsigned cls = 0; cls < kClassCount; ++cls) {
+    auto& h = release_heaps_[cls];
+    while (!h.empty() && !release_entry_live(cls, h.front())) {
+      std::pop_heap(h.begin(), h.end(), cmp);
+      h.pop_back();
+    }
+    if (h.empty()) continue;
+    std::uint64_t rel = h.front().cycle;
+    switch (cls) {
+      case kClassAct:
+        rel = std::max(rel, channel_act_release());
+        break;
+      case kClassColRead:
+        rel = std::max(rel, channel_column_release(AccessType::kRead));
+        break;
+      case kClassColWrite:
+        rel = std::max(rel, channel_column_release(AccessType::kWrite));
+        break;
+      default:
+        break;  // kClassPre: bank-local only
+    }
+    upd(rel);
+  }
+
+  return ne;
+}
+
+std::uint64_t Controller::next_event_cycle_rescan() const {
   std::uint64_t ne = kNeverCycle;
   const auto upd = [&](std::uint64_t c) {
     ne = std::min(ne, std::max(c, cycle_));

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -143,7 +145,7 @@ class Controller {
   /// see every tick, column access, and refresh; the controller mirrors
   /// their counters into `stats().reliability` and steers enqueues away
   /// from banks the hooks report as retired.
-  void attach_reliability(ReliabilityHooks* hooks) { hooks_ = hooks; }
+  void attach_reliability(ReliabilityHooks* hooks);
   ReliabilityHooks* reliability_hooks() const { return hooks_; }
 
   /// True when graceful degradation has retired every bank — the channel
@@ -158,6 +160,19 @@ class Controller {
   void attach_telemetry(TelemetryHooks* hooks) { telemetry_ = hooks; }
   TelemetryHooks* telemetry_hooks() const { return telemetry_; }
 
+  /// Currently attached command log (nullptr when detached).
+  CommandLog* command_log() const { return command_log_; }
+
+  /// Toggle incremental scheduling state (on by default). When on, the
+  /// candidate list and the per-class release minima are maintained
+  /// across rounds — inserted on enqueue, refreshed on the bank events
+  /// that can change them, removed on issue — instead of being recomputed
+  /// from scratch every round. Both modes are bit-identical; the rescan
+  /// path is kept as the reference for the differential tests and as the
+  /// "before" side of the microbenchmark pairs.
+  void set_incremental_scheduling(bool on);
+  bool incremental_scheduling() const { return incremental_; }
+
  private:
   struct QueueEntry {
     Request req;
@@ -165,11 +180,39 @@ class Controller {
     bool classified = false;  ///< row hit/miss/conflict already counted
     unsigned wd_retries = 0;         ///< watchdog escalations so far
     std::uint64_t wd_deadline = 0;   ///< next watchdog check cycle
+    // Incrementally maintained scheduling cache — valid whenever the
+    // entry's bank state is unchanged since the last refresh_entry().
+    // kRefresh doubles as the "never refreshed" sentinel (no candidate
+    // ever needs it).
+    Command cached_cmd = Command::kRefresh;
+    bool cached_row_hit = false;
+    /// Earliest cycle the bank-local constraints allow cached_cmd;
+    /// kNeverCycle while a pending auto-precharge gates the bank.
+    std::uint64_t bank_release = kNeverCycle;
   };
 
   struct InFlight {
     Request req;
   };
+
+  /// Release-minimum bookkeeping: one lazy min-heap per candidate class,
+  /// keyed by the bank-local release cycle. Entries are pushed whenever a
+  /// queue entry's cached release changes and invalidated lazily on pop
+  /// (the id left the queue, changed class, or carries a newer release).
+  enum ReleaseClass : unsigned {
+    kClassAct = 0,
+    kClassPre,
+    kClassColRead,
+    kClassColWrite,
+    kClassCount,
+    kClassNone = kClassCount,  ///< uncached sentinel
+  };
+  struct ReleaseEntry {
+    std::uint64_t cycle = 0;
+    std::uint64_t id = 0;
+  };
+
+  static unsigned class_of(Command cmd);
 
   void classify(QueueEntry& e, const Bank& bank);
   void log_command(const CommandRecord& rec);
@@ -177,11 +220,43 @@ class Controller {
   TickSample tick_sample() const;
   bool channel_act_legal(std::uint64_t cycle) const;
   bool column_legal(AccessType type, std::uint64_t cycle) const;
+  /// Earliest cycle the channel-level constraints (tRRD/tFAW) allow an
+  /// ACT; the per-bank window is tracked separately.
+  std::uint64_t channel_act_release() const;
+  /// Earliest cycle the shared data-bus constraints (occupancy plus
+  /// turnaround) allow a column command of `type`.
+  std::uint64_t channel_column_release(AccessType type) const;
   void issue_column(QueueEntry& e, std::uint64_t cycle);
   bool tick_refresh();
   bool tick_autoprecharge();
   void tick_watchdog();
   const std::vector<Candidate>& build_candidates();
+  const std::vector<Candidate>& build_candidates_rescan();
+  std::uint64_t next_event_cycle_rescan() const;
+
+  // --- incremental scheduling cache maintenance ---------------------------
+  /// Recompute one entry's cached command / row-hit / bank release from
+  /// the live bank state and push a fresh heap record when it moved.
+  void refresh_entry(std::size_t pos);
+  /// Bank `b`'s state or auto-precharge gate changed: refresh every
+  /// queued entry targeting it.
+  void invalidate_bank(unsigned b);
+  void invalidate_all_banks();
+  /// Rebuild heaps and every cached entry (mode toggle, reliability
+  /// dirty-flag fallback).
+  void rebuild_sched_cache();
+  /// Remove queue_[pos] and re-index the per-bank position lists.
+  void erase_queue_entry(std::size_t pos);
+  void push_release(unsigned cls, std::uint64_t rel, std::uint64_t id) const;
+  bool release_entry_live(unsigned cls, const ReleaseEntry& r) const;
+  void compact_heap(unsigned cls) const;
+  /// True when a queued request still wants bank `b`'s open row.
+  bool open_row_wanted(unsigned b) const;
+  void set_autopre(unsigned b);
+  void clear_autopre(unsigned b);
+  /// Reliability remap/retire fallback: refresh the whole cache when the
+  /// hooks report graceful-degradation events since the last round.
+  void maybe_reliability_refresh();
 
   DramConfig cfg_;
   AddressMapper mapper_;
@@ -194,7 +269,18 @@ class Controller {
   std::vector<QueueEntry> queue_;  // age-ordered
   std::vector<InFlight> inflight_;
   std::vector<Request> completed_;
-  std::vector<Candidate> candidates_;  // scratch, rebuilt each tick
+  std::vector<Candidate> candidates_;  // scratch, refreshed each round
+
+  // Incremental scheduling state (see docs/performance.md).
+  bool incremental_ = true;
+  std::vector<std::vector<std::uint32_t>> bank_entries_;  // queue positions
+  std::unordered_map<std::uint64_t, std::uint32_t> pos_of_id_;
+  /// Lazy min-heaps (std::greater order via push/pop_heap); mutable so
+  /// next_event_cycle() can drop stale tops — a pure cache operation.
+  mutable std::array<std::vector<ReleaseEntry>, kClassCount> release_heaps_;
+  std::uint64_t inflight_min_done_ = kNeverCycle;
+  unsigned autopre_count_ = 0;
+  std::uint64_t reliability_events_seen_ = 0;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_id_ = 0;

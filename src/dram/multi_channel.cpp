@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace edsim::dram {
 
@@ -75,10 +76,41 @@ void MultiChannel::tick() {
   for (auto& c : ctls_) c->tick();
 }
 
+bool MultiChannel::parallel_tick_safe() const {
+  // Distinct observer objects have distinct addresses, so a duplicate
+  // pointer within a category means two channels share a sink.
+  std::vector<const void*> tel, rel, log;
+  const auto shared = [](std::vector<const void*>& seen, const void* p) {
+    if (p == nullptr) return false;
+    if (std::find(seen.begin(), seen.end(), p) != seen.end()) return true;
+    seen.push_back(p);
+    return false;
+  };
+  for (const auto& c : ctls_) {
+    if (shared(tel, c->telemetry_hooks()) ||
+        shared(rel, c->reliability_hooks()) || shared(log, c->command_log())) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void MultiChannel::tick_until(std::uint64_t target_cycle) {
   // Channels never interact below the enqueue boundary, so ticking them
   // in lockstep and fast-forwarding them one after another reach the same
-  // state; each channel leaps over its own dead time independently.
+  // state; each channel leaps over its own dead time independently. The
+  // fan-out keeps that guarantee: worker i touches only channel i (the
+  // pool's placement-determinism contract), and per-channel observers fire
+  // in their channel's own cycle order exactly as in the serial walk.
+  const unsigned threads =
+      tick_threads_ == 0 ? default_threads() : tick_threads_;
+  if (threads > 1 && channels() >= kParallelChannelThreshold &&
+      parallel_tick_safe()) {
+    parallel_for(
+        channels(),
+        [&](std::size_t i) { ctls_[i]->tick_until(target_cycle); }, threads);
+    return;
+  }
   for (auto& c : ctls_) c->tick_until(target_cycle);
 }
 

@@ -57,8 +57,28 @@ class MultiChannel {
 
   /// Fast-forward all channels to `target_cycle`, bit-identical to
   /// per-cycle tick()s. Channels are fully independent (own command and
-  /// data buses), so each advances on its own event list.
+  /// data buses), so each advances on its own event list; with
+  /// `channels() >= kParallelChannelThreshold`, more than one tick thread,
+  /// and no observer shared between channels, the walk fans out over the
+  /// shared ThreadPool — each worker touches only its own channel, so the
+  /// end state is identical at every thread count.
   void tick_until(std::uint64_t target_cycle);
+
+  /// Channel count below which tick_until never fans out (the per-job
+  /// synchronization costs more than a short serial walk saves).
+  static constexpr unsigned kParallelChannelThreshold = 2;
+
+  /// Worker threads for tick_until's channel fan-out: 0 picks
+  /// default_threads() (EDSIM_THREADS / hardware), 1 forces the serial
+  /// walk. Results are bit-identical either way.
+  void set_tick_threads(unsigned threads) { tick_threads_ = threads; }
+  unsigned tick_threads() const { return tick_threads_; }
+
+  /// True when no telemetry hooks, reliability hooks, or command log is
+  /// attached to more than one channel. Observers fire from worker
+  /// threads during a parallel tick_until, so a shared sink would race;
+  /// tick_until falls back to the serial walk when this is false.
+  bool parallel_tick_safe() const;
 
   /// Min over the channels' next_event_cycle().
   std::uint64_t next_event_cycle() const;
@@ -88,6 +108,7 @@ class MultiChannel {
   std::uint64_t stripe_bytes_;   // interleave granule
   std::uint64_t channel_bytes_;  // capacity per channel
   std::uint64_t failed_over_ = 0;
+  unsigned tick_threads_ = 0;    // 0 = default_threads()
   std::vector<Request> scratch_;  // reused per-channel drain buffer
 };
 

@@ -9,6 +9,7 @@
 
 namespace edsim::dram {
 struct ControllerStats;
+class MultiChannel;
 }
 
 namespace edsim::telemetry {
@@ -124,5 +125,13 @@ class MetricScope {
 /// once per run per scope — counters accumulate.
 void export_controller_stats(const dram::ControllerStats& stats,
                              const MetricScope& scope);
+
+/// Snapshot every channel of a MultiChannel under `scope` ("channel0",
+/// "channel1", ...) plus the combined view under "combined". Each channel
+/// is exported into its own scratch registry and folded in with
+/// MetricRegistry::merge in channel-index order, so the result is
+/// identical whether tick_until ran serial or fanned over the pool.
+void export_multi_channel_stats(const dram::MultiChannel& mc,
+                                const MetricScope& scope);
 
 }  // namespace edsim::telemetry

@@ -1,0 +1,449 @@
+// Randomized differential testing for the fast-forward fast paths: every
+// generated configuration must produce bit-identical final stats, command
+// logs, and interval telemetry between (a) the per-cycle reference with
+// from-scratch candidate rescans, (b) per-cycle ticking with incremental
+// scheduling, and (c) event-driven fast-forward with incremental
+// scheduling — and, for multi-channel, at 1, 2 and 8 tick threads. Any
+// failure prints the reproducer seed and the full config so the trial can
+// be replayed in isolation.
+//
+// The same source builds two binaries: the quick tier (part of the default
+// ctest run) and a `slow`-labelled soak with EDSIM_FUZZ_SOAK defined.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clients/client.hpp"
+#include "clients/system.hpp"
+#include "common/rng.hpp"
+#include "dram/command_log.hpp"
+#include "dram/controller.hpp"
+#include "dram/multi_channel.hpp"
+#include "reliability/manager.hpp"
+#include "telemetry/interval.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace edsim {
+namespace {
+
+using dram::Controller;
+using dram::ControllerStats;
+using dram::DramConfig;
+using dram::Request;
+
+#ifdef EDSIM_FUZZ_SOAK
+constexpr int kSystemTrials = 400;
+constexpr int kChannelTrials = 100;
+#else
+constexpr int kSystemTrials = 18;
+constexpr int kChannelTrials = 7;
+#endif
+
+/// Root of the per-trial seed tree (derive_seed(kRootSeed, trial)): fixed
+/// so failures reproduce, arbitrary otherwise.
+constexpr std::uint64_t kRootSeed = 0x0d1ff5eedULL;
+
+// ---------------------------------------------------------------------------
+// Bit-exact comparison helpers (same discipline as test_fast_forward.cpp:
+// EXPECT_EQ on doubles on purpose — the contract is identical bits).
+
+void expect_acc_eq(const Accumulator& a, const Accumulator& b,
+                   const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.sum(), b.sum()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+}
+
+void expect_stats_eq(const ControllerStats& a, const ControllerStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+  EXPECT_EQ(a.row_misses, b.row_misses);
+  EXPECT_EQ(a.row_conflicts, b.row_conflicts);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.precharges, b.precharges);
+  EXPECT_EQ(a.refreshes, b.refreshes);
+  EXPECT_EQ(a.data_bus_busy_cycles, b.data_bus_busy_cycles);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_EQ(a.powerdown_cycles, b.powerdown_cycles);
+  EXPECT_EQ(a.redirected_requests, b.redirected_requests);
+  EXPECT_EQ(a.watchdog_retries, b.watchdog_retries);
+  EXPECT_EQ(a.reliability.injected, b.reliability.injected);
+  EXPECT_EQ(a.reliability.corrected, b.reliability.corrected);
+  EXPECT_EQ(a.reliability.uncorrected, b.reliability.uncorrected);
+  EXPECT_EQ(a.reliability.remapped, b.reliability.remapped);
+  EXPECT_EQ(a.reliability.scrubbed_rows, b.reliability.scrubbed_rows);
+  expect_acc_eq(a.read_latency, b.read_latency, "read_latency");
+  expect_acc_eq(a.write_latency, b.write_latency, "write_latency");
+  expect_acc_eq(a.queue_occupancy, b.queue_occupancy, "queue_occupancy");
+}
+
+void expect_command_logs_eq(const dram::CommandLog& a,
+                            const dram::CommandLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  const auto& ra = a.records();
+  const auto& rb = b.records();
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i], rb[i])
+        << "command log diverges at record " << i << ": cycle " << ra[i].cycle
+        << " vs " << rb[i].cycle;
+  }
+}
+
+void expect_intervals_eq(const telemetry::IntervalReporter& a,
+                         const telemetry::IntervalReporter& b) {
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i], b.samples()[i]) << "interval row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized configuration generator.
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> options) {
+  return options.begin()[rng.next_below(options.size())];
+}
+
+DramConfig random_config(Rng& rng) {
+  DramConfig cfg;
+  cfg.banks = pick(rng, {2u, 4u, 8u, 16u});
+  cfg.rows_per_bank = pick(rng, {256u, 512u, 1024u});
+  cfg.page_bytes = pick(rng, {512u, 1024u, 2048u});
+  cfg.interface_bits = pick(rng, {16u, 32u, 64u, 128u});
+  cfg.transfers_per_clock = pick(rng, {1u, 2u});
+  cfg.timing.burst_length = pick(rng, {2u, 4u, 8u});
+  if (rng.next_bool(0.3)) cfg.timing.tFAW = cfg.timing.tRRD * 4;
+  cfg.page_policy = pick(rng, {dram::PagePolicy::kOpen,
+                               dram::PagePolicy::kClosed,
+                               dram::PagePolicy::kTimeout});
+  cfg.page_timeout_cycles = 16 + static_cast<unsigned>(rng.next_below(64));
+  cfg.scheduler = pick(rng, {dram::SchedulerKind::kFcfs,
+                             dram::SchedulerKind::kFcfsPerBank,
+                             dram::SchedulerKind::kFrFcfs,
+                             dram::SchedulerKind::kReadFirst});
+  cfg.mapping = pick(rng, {dram::AddressMapping::kRowBankCol,
+                           dram::AddressMapping::kBankRowCol,
+                           dram::AddressMapping::kRowColBank,
+                           dram::AddressMapping::kPermutedBank});
+  cfg.queue_depth = pick(rng, {4u, 8u, 16u, 32u});
+  cfg.refresh_enabled = rng.next_bool(0.8);
+  cfg.refresh_burst = pick(rng, {1u, 2u, 4u});
+  if (rng.next_bool(0.4)) {
+    cfg.powerdown_enabled = true;
+    cfg.powerdown_idle_cycles = 8 + static_cast<unsigned>(rng.next_below(56));
+    cfg.tXP = 2 + static_cast<unsigned>(rng.next_below(3));
+  }
+  if (rng.next_bool(0.3)) {
+    cfg.ecc_enabled = true;
+    cfg.ecc_word_bits = 64;
+    cfg.ecc_latency_cycles = 1 + static_cast<unsigned>(rng.next_below(2));
+  }
+  if (rng.next_bool(0.3)) {
+    // Generous budget: escalations may fire (and must match bit-for-bit),
+    // retry exhaustion (a thrown Error) must not.
+    cfg.watchdog_enabled = true;
+    cfg.watchdog_cycles = 5'000 + static_cast<unsigned>(rng.next_below(5'000));
+    cfg.watchdog_retries = 10;
+  }
+  return cfg;
+}
+
+std::string describe_trial(int trial, std::uint64_t seed,
+                           const DramConfig& cfg) {
+  std::ostringstream os;
+  os << "trial=" << trial << " seed=0x" << std::hex << seed << std::dec
+     << " cfg={" << cfg.describe() << "}";
+  return os.str();
+}
+
+/// Random paced client mix over [0, span). Burst size always matches the
+/// controller access granularity; pacing keeps idle stretches in the run
+/// so the fast path actually skips.
+void add_random_clients(clients::MemorySystem& sys, const DramConfig& cfg,
+                        std::uint64_t span, std::uint64_t seed) {
+  Rng rng(seed);
+  const unsigned n = 1 + static_cast<unsigned>(rng.next_below(3));
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned period = 60 + static_cast<unsigned>(rng.next_below(840));
+    const std::uint64_t total = 20 + rng.next_below(60);
+    const std::uint64_t base =
+        (rng.next_below(span / 2) / cfg.page_bytes) * cfg.page_bytes;
+    const std::uint64_t length = std::min<std::uint64_t>(span - base, 1 << 18);
+    switch (rng.next_below(3)) {
+      case 0: {
+        clients::StreamClient::Params p;
+        p.base = base;
+        p.length = length;
+        p.burst_bytes = cfg.bytes_per_access();
+        p.type = rng.next_bool(0.25) ? dram::AccessType::kWrite
+                                     : dram::AccessType::kRead;
+        p.period_cycles = period;
+        p.total_requests = total;
+        sys.add_client(std::make_unique<clients::StreamClient>(
+            i, "stream" + std::to_string(i), p));
+        break;
+      }
+      case 1: {
+        clients::StridedClient::Params p;
+        p.base = base;
+        p.length = length;
+        p.burst_bytes = cfg.bytes_per_access();
+        p.stride_bytes = cfg.page_bytes * (1 + rng.next_below(4));
+        p.type = rng.next_bool(0.25) ? dram::AccessType::kWrite
+                                     : dram::AccessType::kRead;
+        p.period_cycles = period;
+        p.total_requests = total;
+        sys.add_client(std::make_unique<clients::StridedClient>(
+            i, "strided" + std::to_string(i), p));
+        break;
+      }
+      default: {
+        clients::RandomClient::Params p;
+        p.base = base;
+        p.length = length;
+        p.burst_bytes = cfg.bytes_per_access();
+        p.read_fraction = 0.5 + rng.next_double() * 0.5;
+        p.period_cycles = period;
+        p.total_requests = total;
+        p.seed = derive_seed(seed, 1000 + i);
+        sys.add_client(std::make_unique<clients::RandomClient>(
+            i, "rand" + std::to_string(i), p));
+        break;
+      }
+    }
+  }
+}
+
+reliability::ReliabilityConfig random_reliability(std::uint64_t seed) {
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = seed;
+  rc.inject.transient_per_mbit_ms = 30.0;
+  rc.inject.weak_cells = 6;
+  rc.scrub_enabled = true;
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// System-level differential: per-cycle/rescan reference vs per-cycle/
+// incremental vs fast-forward/incremental, all three bit-identical.
+
+struct SystemRun {
+  clients::MemorySystem sys;
+  dram::CommandLog log;
+  telemetry::IntervalReporter intervals;
+  std::unique_ptr<reliability::ReliabilityManager> rel;
+
+  SystemRun(const DramConfig& cfg, std::uint64_t client_seed,
+            std::uint64_t span, bool with_reliability, std::uint64_t rel_seed,
+            bool fast_forward, bool incremental, std::uint64_t window)
+      : sys(cfg, clients::ArbiterKind::kRoundRobin), intervals(512) {
+    sys.set_fast_forward(fast_forward);
+    sys.controller().set_incremental_scheduling(incremental);
+    sys.controller().attach_command_log(&log);
+    sys.attach_telemetry(&intervals);
+    if (with_reliability) {
+      rel = std::make_unique<reliability::ReliabilityManager>(
+          cfg, random_reliability(rel_seed));
+      sys.controller().attach_reliability(rel.get());
+    }
+    add_random_clients(sys, cfg, span, client_seed);
+    sys.run(window);
+    intervals.finish();
+  }
+};
+
+void expect_system_runs_eq(const SystemRun& a, const SystemRun& b) {
+  EXPECT_EQ(a.sys.controller().cycle(), b.sys.controller().cycle());
+  expect_stats_eq(a.sys.controller().stats(), b.sys.controller().stats());
+  for (std::size_t i = 0; i < a.sys.client_count(); ++i) {
+    const auto& ca = a.sys.client_stats(i);
+    const auto& cb = b.sys.client_stats(i);
+    EXPECT_EQ(ca.issued, cb.issued) << "client " << i;
+    EXPECT_EQ(ca.completed, cb.completed) << "client " << i;
+    EXPECT_EQ(ca.bytes, cb.bytes) << "client " << i;
+    EXPECT_EQ(ca.stall_cycles, cb.stall_cycles) << "client " << i;
+    EXPECT_EQ(ca.corrected_errors, cb.corrected_errors) << "client " << i;
+    EXPECT_EQ(ca.data_errors, cb.data_errors) << "client " << i;
+    expect_acc_eq(ca.latency, cb.latency, "client latency");
+  }
+  expect_command_logs_eq(a.log, b.log);
+  expect_intervals_eq(a.intervals, b.intervals);
+  if (a.rel != nullptr && b.rel != nullptr) {
+    EXPECT_EQ(a.rel->event_log(), b.rel->event_log());
+    EXPECT_EQ(a.rel->live_faults(), b.rel->live_faults());
+  }
+}
+
+TEST(DifferentialFuzz, SystemLevelThreeWayBitIdentical) {
+  for (int trial = 0; trial < kSystemTrials; ++trial) {
+    const std::uint64_t seed =
+        derive_seed(kRootSeed, static_cast<std::uint64_t>(trial));
+    Rng rng(seed);
+    const DramConfig cfg = random_config(rng);
+    SCOPED_TRACE(describe_trial(trial, seed, cfg));
+    const std::uint64_t span = cfg.capacity().byte_count();
+    const std::uint64_t window = 20'000 + rng.next_below(30'000);
+    const bool with_rel = rng.next_bool(0.35);
+    const std::uint64_t client_seed = derive_seed(seed, 1);
+    const std::uint64_t rel_seed = derive_seed(seed, 2);
+
+    const SystemRun reference(cfg, client_seed, span, with_rel, rel_seed,
+                              /*fast_forward=*/false, /*incremental=*/false,
+                              window);
+    const SystemRun incremental(cfg, client_seed, span, with_rel, rel_seed,
+                                /*fast_forward=*/false, /*incremental=*/true,
+                                window);
+    const SystemRun fast(cfg, client_seed, span, with_rel, rel_seed,
+                         /*fast_forward=*/true, /*incremental=*/true, window);
+
+    expect_system_runs_eq(reference, incremental);
+    expect_system_runs_eq(reference, fast);
+    if (HasFailure()) {
+      // One reproducer is enough; later trials would only add noise.
+      FAIL() << "reproduce with " << describe_trial(trial, seed, cfg);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-channel thread sweep: a direct MultiChannel drive (enqueue +
+// tick_until) must be bit-identical at 1, 2 and 8 tick threads, per
+// channel and in the merged metric registry.
+
+struct ChannelArrival {
+  std::uint64_t cycle = 0;
+  std::uint64_t addr = 0;
+  dram::AccessType type = dram::AccessType::kRead;
+};
+
+std::vector<ChannelArrival> random_channel_trace(Rng& rng,
+                                                 std::uint64_t span,
+                                                 std::uint64_t window) {
+  std::vector<ChannelArrival> out;
+  std::uint64_t cycle = 1;
+  while (cycle < window) {
+    const unsigned burst = 2 + static_cast<unsigned>(rng.next_below(8));
+    for (unsigned i = 0; i < burst && cycle < window; ++i) {
+      ChannelArrival a;
+      a.cycle = cycle;
+      a.addr = rng.next_below(span) & ~31ull;
+      a.type = rng.next_bool(0.3) ? dram::AccessType::kWrite
+                                  : dram::AccessType::kRead;
+      out.push_back(a);
+      cycle += 1 + rng.next_below(3);
+    }
+    cycle += 200 + rng.next_below(1'500);
+  }
+  return out;
+}
+
+struct ChannelRun {
+  dram::MultiChannel mc;
+  std::vector<std::unique_ptr<dram::CommandLog>> logs;
+  std::vector<std::unique_ptr<telemetry::IntervalReporter>> intervals;
+  std::vector<Request> completions;
+
+  ChannelRun(const DramConfig& cfg, unsigned channels,
+             dram::ChannelInterleave il, unsigned threads, bool incremental,
+             const std::vector<ChannelArrival>& trace, std::uint64_t window)
+      : mc(cfg, channels, il) {
+    mc.set_tick_threads(threads);
+    for (unsigned c = 0; c < channels; ++c) {
+      logs.push_back(std::make_unique<dram::CommandLog>());
+      intervals.push_back(std::make_unique<telemetry::IntervalReporter>(512));
+      mc.channel(c).attach_command_log(logs.back().get());
+      mc.channel(c).set_incremental_scheduling(incremental);
+      mc.attach_telemetry(c, intervals.back().get());
+    }
+    std::vector<Request> scratch;
+    std::size_t idx = 0;
+    std::uint64_t now = 0;
+    while (now < window) {
+      const std::uint64_t next =
+          idx < trace.size() ? std::min(trace[idx].cycle, window) : window;
+      mc.tick_until(next);
+      now = next;
+      while (idx < trace.size() && trace[idx].cycle == now) {
+        Request r;
+        r.addr = trace[idx].addr;
+        r.type = trace[idx].type;
+        if (!mc.queue_full_for(r.addr)) mc.enqueue(r);
+        ++idx;
+      }
+      mc.drain_completed_into(scratch);
+      completions.insert(completions.end(), scratch.begin(), scratch.end());
+    }
+    for (auto& ir : intervals) ir->finish();
+  }
+
+  /// The merged registry snapshot (CSV form) — one string to compare.
+  std::string metrics_csv() const {
+    telemetry::MetricRegistry reg;
+    telemetry::export_multi_channel_stats(
+        mc, telemetry::MetricScope(reg, "mc"));
+    std::ostringstream os;
+    reg.write_csv(os);
+    return os.str();
+  }
+};
+
+void expect_channel_runs_eq(const ChannelRun& a, const ChannelRun& b) {
+  ASSERT_EQ(a.mc.channels(), b.mc.channels());
+  for (unsigned c = 0; c < a.mc.channels(); ++c) {
+    EXPECT_EQ(a.mc.channel(c).cycle(), b.mc.channel(c).cycle());
+    expect_stats_eq(a.mc.channel(c).stats(), b.mc.channel(c).stats());
+    expect_command_logs_eq(*a.logs[c], *b.logs[c]);
+    expect_intervals_eq(*a.intervals[c], *b.intervals[c]);
+  }
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i].addr, b.completions[i].addr) << "completion " << i;
+    EXPECT_EQ(a.completions[i].done_cycle, b.completions[i].done_cycle)
+        << "completion " << i;
+  }
+  EXPECT_EQ(a.metrics_csv(), b.metrics_csv());
+}
+
+TEST(DifferentialFuzz, MultiChannelBitIdenticalAcrossThreadCounts) {
+  for (int trial = 0; trial < kChannelTrials; ++trial) {
+    const std::uint64_t seed =
+        derive_seed(kRootSeed, 10'000 + static_cast<std::uint64_t>(trial));
+    Rng rng(seed);
+    const DramConfig cfg = random_config(rng);
+    SCOPED_TRACE(describe_trial(trial, seed, cfg));
+    const unsigned channels = pick(rng, {2u, 4u, 8u});
+    const auto il = pick(rng, {dram::ChannelInterleave::kBurst,
+                               dram::ChannelInterleave::kPage,
+                               dram::ChannelInterleave::kRegion});
+    const std::uint64_t span = cfg.capacity().byte_count() * channels;
+    const std::uint64_t window = 15'000 + rng.next_below(20'000);
+    const std::vector<ChannelArrival> trace =
+        random_channel_trace(rng, span, window);
+
+    // Reference: serial walk, from-scratch rescan scheduling.
+    const ChannelRun reference(cfg, channels, il, /*threads=*/1,
+                               /*incremental=*/false, trace, window);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const ChannelRun run(cfg, channels, il, threads, /*incremental=*/true,
+                           trace, window);
+      SCOPED_TRACE("tick_threads=" + std::to_string(threads));
+      expect_channel_runs_eq(reference, run);
+    }
+    if (HasFailure()) {
+      FAIL() << "reproduce with " << describe_trial(trial, seed, cfg);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edsim

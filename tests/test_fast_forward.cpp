@@ -287,6 +287,177 @@ TEST(FastForward, ReliabilityWithPowerDownStillIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental-scheduling regressions: the cached candidate list and
+// release heaps must survive the awkward cases — arrivals landing inside
+// a stretch the fast path would otherwise skip, and reliability events
+// (row remap, bank retire) mutating bank state behind the scheduler's
+// back. Reference is always the per-cycle walk with from-scratch rescans
+// (set_incremental_scheduling(false)).
+
+/// Arrivals clustered around every refresh deadline (one just before, one
+/// at, one just after) — the cycles where a stale cached release or a
+/// missed wake-up would first diverge. Rows alternate to keep ACT/PRE
+/// traffic in the mix.
+std::vector<Arrival> boundary_probe_trace(const DramConfig& cfg,
+                                          std::uint64_t end) {
+  std::vector<Arrival> out;
+  const std::uint64_t refi = cfg.timing.tREFI;
+  const std::uint64_t span = cfg.capacity().byte_count();
+  std::uint64_t n = 0;
+  for (std::uint64_t c = refi; c + 2 < end; c += refi) {
+    for (const std::uint64_t cycle : {c - 1, c, c + 1}) {
+      Arrival a;
+      a.cycle = cycle;
+      a.addr = (n * 3 * cfg.page_bytes + (n % 2) * 64) % span & ~31ull;
+      a.type = (n % 4 == 0) ? dram::AccessType::kWrite
+                            : dram::AccessType::kRead;
+      out.push_back(a);
+      ++n;
+    }
+  }
+  return out;
+}
+
+TEST(FastForwardRegression, ArrivalsInsideSkippedStretch) {
+  // Power-down plus timeout close: between arrival clusters the controller
+  // enters power-down and (in per-cycle mode) walks timeout closes, so the
+  // fast path must re-prime the candidate cache for requests that land
+  // right after a long bulk advance.
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.page_policy = dram::PagePolicy::kTimeout;
+  cfg.page_timeout_cycles = 24;
+  cfg.powerdown_enabled = true;
+  cfg.powerdown_idle_cycles = 16;
+  cfg.tXP = 3;
+  const std::uint64_t end = 30'000;
+  const std::vector<Arrival> trace = boundary_probe_trace(cfg, end);
+  ASSERT_GT(trace.size(), 10u);
+
+  Controller reference(cfg);
+  reference.set_incremental_scheduling(false);
+  Controller incremental(cfg);
+  Controller fast(cfg);
+  const auto ref_done = run_per_cycle(reference, trace, end);
+  const auto inc_done = run_per_cycle(incremental, trace, end);
+  const auto fast_done = run_fast(fast, trace, end);
+
+  EXPECT_EQ(ref_done, inc_done);
+  EXPECT_EQ(ref_done, fast_done);
+  expect_stats_eq(reference.stats(), incremental.stats());
+  expect_stats_eq(reference.stats(), fast.stats());
+  // Sanity: the stretches really were skipped-over power-down territory.
+  EXPECT_GT(fast.stats().powerdown_cycles, 1'000u);
+}
+
+/// kBankRowCol keeps a linear address stream inside one bank, so row r of
+/// bank 0 lives at r * page_bytes — lets the tests plant faults under a
+/// known traffic pattern.
+std::vector<Arrival> bank0_row_sweep(const DramConfig& cfg,
+                                     unsigned rows, unsigned passes) {
+  std::vector<Arrival> out;
+  std::uint64_t cycle = 5;
+  for (unsigned p = 0; p < passes; ++p) {
+    for (unsigned r = 0; r < rows; ++r) {
+      Arrival a;
+      a.cycle = cycle;
+      a.addr = static_cast<std::uint64_t>(r) * cfg.page_bytes;
+      out.push_back(a);
+      cycle += 3;
+    }
+    cycle += 400;
+  }
+  return out;
+}
+
+/// Deterministic reliability layer: no random injection, faults only where
+/// the test plants them.
+reliability::ReliabilityConfig quiet_reliability(unsigned spares) {
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = 1;
+  rc.inject.transient_per_mbit_ms = 0.0;
+  rc.inject.weak_cells = 0;
+  rc.spare_rows_per_bank = spares;
+  return rc;
+}
+
+TEST(FastForwardRegression, RowRemapInvalidatesCachedCandidate) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.ecc_enabled = true;
+  cfg.mapping = dram::AddressMapping::kBankRowCol;
+  const std::uint64_t end = 25'000;
+  const std::vector<Arrival> trace = bank0_row_sweep(cfg, 4, 8);
+
+  // Two fault bits in the same ECC word of bank 0 row 0: the first access
+  // sees a DED (uncorrectable) and the ladder remaps the row onto a spare
+  // while later requests to the same bank sit in the queue with cached
+  // schedule state.
+  const auto plant = [](reliability::ReliabilityManager& rel) {
+    rel.inject_fault(0, 0, 3, 0);
+    rel.inject_fault(0, 0, 5, 0);
+  };
+
+  Controller reference(cfg);
+  reference.set_incremental_scheduling(false);
+  reliability::ReliabilityManager ref_rel(cfg, quiet_reliability(4));
+  plant(ref_rel);
+  reference.attach_reliability(&ref_rel);
+
+  Controller fast(cfg);
+  reliability::ReliabilityManager fast_rel(cfg, quiet_reliability(4));
+  plant(fast_rel);
+  fast.attach_reliability(&fast_rel);
+
+  const auto ref_done = run_per_cycle(reference, trace, end);
+  const auto fast_done = run_fast(fast, trace, end);
+
+  ASSERT_GT(ref_rel.counters().rows_remapped, 0u)
+      << "the planted double-bit fault must actually trigger a remap";
+  EXPECT_EQ(ref_done, fast_done);
+  expect_stats_eq(reference.stats(), fast.stats());
+  EXPECT_EQ(ref_rel.event_log(), fast_rel.event_log());
+}
+
+TEST(FastForwardRegression, BankRetireMidBurst) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.ecc_enabled = true;
+  cfg.mapping = dram::AddressMapping::kBankRowCol;
+  const std::uint64_t end = 25'000;
+  const std::vector<Arrival> trace = bank0_row_sweep(cfg, 4, 8);
+
+  // One spare row and double-bit faults in two rows: the first
+  // uncorrectable consumes the spare, the second retires bank 0 while the
+  // sweep still has requests queued for it — enqueue-time redirection and
+  // the scheduler's cached per-bank state must both follow.
+  const auto plant = [](reliability::ReliabilityManager& rel) {
+    rel.inject_fault(0, 0, 3, 0);
+    rel.inject_fault(0, 0, 5, 0);
+    rel.inject_fault(0, 1, 9, 0);
+    rel.inject_fault(0, 1, 11, 0);
+  };
+
+  Controller reference(cfg);
+  reference.set_incremental_scheduling(false);
+  reliability::ReliabilityManager ref_rel(cfg, quiet_reliability(1));
+  plant(ref_rel);
+  reference.attach_reliability(&ref_rel);
+
+  Controller fast(cfg);
+  reliability::ReliabilityManager fast_rel(cfg, quiet_reliability(1));
+  plant(fast_rel);
+  fast.attach_reliability(&fast_rel);
+
+  const auto ref_done = run_per_cycle(reference, trace, end);
+  const auto fast_done = run_fast(fast, trace, end);
+
+  ASSERT_TRUE(ref_rel.bank_retired(0))
+      << "the planted faults must actually retire bank 0";
+  EXPECT_GT(reference.stats().redirected_requests, 0u);
+  EXPECT_EQ(ref_done, fast_done);
+  expect_stats_eq(reference.stats(), fast.stats());
+  EXPECT_EQ(ref_rel.event_log(), fast_rel.event_log());
+}
+
+// ---------------------------------------------------------------------------
 // System-level equivalence: MemorySystem / MultiChannelSystem with the
 // fast path on vs off (per-cycle stepping), identical clients.
 
