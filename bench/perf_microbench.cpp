@@ -4,16 +4,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bist/march.hpp"
 #include "bist/redundancy.hpp"
 #include "bist/yield.hpp"
 #include "clients/client.hpp"
+#include "clients/compiled_trace.hpp"
 #include "clients/system.hpp"
+#include "clients/trace_io.hpp"
 #include "common/rng.hpp"
 #include "core/allocation.hpp"
 #include "core/evaluator.hpp"
+#include "core/system_config.hpp"
 #include "dram/controller.hpp"
 #include "dram/multi_channel.hpp"
 #include "dram/presets.hpp"
@@ -151,9 +158,9 @@ void BM_IdleHeavyFastForward(benchmark::State& state) {
 }
 BENCHMARK(BM_IdleHeavyFastForward)->Unit(benchmark::kMillisecond);
 
-// The e12 design-space sweep shape: independent config evaluations fanned
-// over the pool. Arg: threads (1 = serial baseline, 0 = hardware default).
-void BM_DesignSpaceSweep(benchmark::State& state) {
+// Nine-point candidate list shared by the sweep benchmarks: three base
+// processes crossed with three interface widths.
+std::vector<core::SystemConfig> sweep_candidates() {
   std::vector<core::SystemConfig> cfgs;
   for (const core::BaseProcess p : {core::BaseProcess::kDramBased,
                                     core::BaseProcess::kLogicBased,
@@ -170,11 +177,21 @@ void BM_DesignSpaceSweep(benchmark::State& state) {
       cfgs.push_back(s);
     }
   }
+  return cfgs;
+}
+
+// The e12 design-space sweep shape: independent config evaluations fanned
+// over the pool. Arg: threads (1 = serial baseline, 0 = hardware default).
+// Memoization is off so repeated benchmark iterations keep simulating
+// (the point here is parallel scaling, not cache lookups).
+void BM_DesignSpaceSweep(benchmark::State& state) {
+  const auto cfgs = sweep_candidates();
   core::EvalWorkload w;
   w.demand_gbyte_s = 2.0;
   w.sim_cycles = 50'000;
   core::Evaluator ev;
   ev.set_threads(static_cast<unsigned>(state.range(0)));
+  ev.set_memoize(false);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ev.sweep(cfgs, w));
   }
@@ -182,6 +199,106 @@ void BM_DesignSpaceSweep(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * cfgs.size()));
 }
 BENCHMARK(BM_DesignSpaceSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// --- workload compilation: before/after pairs ------------------------------
+// "Regenerate" is the old shape: every trial re-parses the trace text and
+// rebuilds its client from scratch. "Arena" parses + compiles once into a
+// shared immutable arena and replays through zero-copy cursors. Identical
+// controller stats either way; only the workload handling cost moves.
+
+std::string make_trace_text() {
+  std::vector<clients::TraceRecord> records;
+  records.reserve(20'000);
+  Rng rng(17);
+  std::uint64_t cycle = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    clients::TraceRecord r;
+    r.cycle = cycle;
+    r.addr = rng.next_below(1u << 22) & ~31ull;
+    r.type = rng.next_bool(0.3) ? dram::AccessType::kWrite
+                                : dram::AccessType::kRead;
+    records.push_back(r);
+    cycle += rng.next_below(4);
+  }
+  std::ostringstream os;
+  clients::write_trace(os, records);
+  return os.str();
+}
+
+std::uint64_t replay_trial(const dram::DramConfig& cfg,
+                           std::unique_ptr<clients::Client> client) {
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  sys.add_client(std::move(client));
+  sys.run(30'000);
+  return sys.controller().stats().bytes_transferred;
+}
+
+void BM_WorkloadRegenerate(benchmark::State& state) {
+  const dram::DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  const std::string text = make_trace_text();
+  for (auto _ : state) {
+    // Per-trial text parse + per-client record copy: the old cost.
+    auto records = clients::parse_trace_text(text);
+    benchmark::DoNotOptimize(replay_trial(
+        cfg, std::make_unique<clients::TraceClient>(
+                 0, "trace", std::move(records), cfg.bytes_per_access())));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadRegenerate)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadArena(benchmark::State& state) {
+  const dram::DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  const std::string text = make_trace_text();
+  const auto arena = clients::compile_trace_records(
+      clients::parse_trace_text(text), cfg.bytes_per_access());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay_trial(
+        cfg,
+        std::make_unique<clients::ArenaReplayClient>(0, "trace", arena)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadArena)->Unit(benchmark::kMillisecond);
+
+// --- evaluation memoization: before/after pair -----------------------------
+// The design_explorer re-score shape: the same candidate list is swept
+// repeatedly (refinement passes, pareto re-runs). "Cold" is the
+// regenerate-per-point path with both caches off; "Memoized" re-sweeps a
+// warmed evaluator, so every point is a content-hash lookup.
+
+void BM_SweepCold(benchmark::State& state) {
+  const auto cfgs = sweep_candidates();
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  core::Evaluator ev;
+  ev.set_threads(1);
+  ev.set_workload_arena(false);
+  ev.set_memoize(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.sweep(cfgs, w));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+BENCHMARK(BM_SweepCold)->Unit(benchmark::kMillisecond);
+
+void BM_SweepMemoized(benchmark::State& state) {
+  const auto cfgs = sweep_candidates();
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  core::Evaluator ev;  // arena + memo on by default
+  ev.set_threads(1);
+  benchmark::DoNotOptimize(ev.sweep(cfgs, w));  // warm the caches once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.sweep(cfgs, w));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+BENCHMARK(BM_SweepMemoized)->Unit(benchmark::kMillisecond);
 
 // --- incremental scheduling: before/after pair -----------------------------
 // Deep queue, bursty arrivals, event-driven drive: every round rebuilds the

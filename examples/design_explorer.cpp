@@ -45,6 +45,16 @@ int main() {
   w.sim_cycles = 50'000;
   const auto metrics = ev.sweep(cfgs, w);
 
+  // Re-score the same candidates, as a refinement loop would: every
+  // point is now a memo hit, and the workload arenas compiled above are
+  // shared rather than regenerated.
+  ev.sweep(cfgs, w);
+  std::cout << "workload cache: " << ev.workload_cache().entries()
+            << " arenas (" << ev.workload_cache().arena_bytes()
+            << " bytes), " << ev.workload_cache().hits()
+            << " hits\nevaluation memo: " << ev.memo_entries()
+            << " entries, " << ev.memo_hits() << " hits on re-sweep\n";
+
   Table t({"design", "area mm2", "sust GB/s", "power mW", "cost $",
            "waste Mbit", "logic speed"});
   for (const auto& m : metrics) {

@@ -8,6 +8,9 @@
 //   --trace-csv            write the trace as flat CSV instead of JSON
 //   --intervals PATH       per-interval bandwidth/page-hit time series CSV
 //   --interval-cycles N    interval length in DRAM cycles (default 10000)
+//   --arena                compile the four decoder clients once into
+//                          shared immutable arenas and replay them
+//                          (bit-identical stats, no per-run generators)
 
 #include <fstream>
 #include <iostream>
@@ -27,7 +30,7 @@
 int main(int argc, char** argv) {
   using namespace edsim;
 
-  const Args args(argc, argv, {"trace-csv"});
+  const Args args(argc, argv, {"trace-csv", "arena"});
 
   for (const mpeg::FrameFormat& fmt : {mpeg::pal(), mpeg::ntsc()}) {
     mpeg::DecoderConfig dc;
@@ -62,7 +65,13 @@ int main(int argc, char** argv) {
   const dram::DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
   clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
   const mpeg::MemoryMap map = std_model.build_memory_map();
-  mpeg::add_decoder_clients(sys, std_model, map);
+  constexpr std::uint64_t kWindow = 1'000'000;  // ~7 ms of decode time
+  if (args.has("arena")) {
+    mpeg::add_compiled_decoder_clients(sys, std_model, map, kWindow);
+    std::cout << "replaying precompiled client arenas\n\n";
+  } else {
+    mpeg::add_decoder_clients(sys, std_model, map);
+  }
 
   // Optional observability taps, fanned into the single controller probe.
   std::ofstream trace_out;
@@ -94,7 +103,7 @@ int main(int argc, char** argv) {
   }
   if (!fan.empty()) sys.attach_telemetry(&fan);
 
-  sys.run(1'000'000);  // ~7 ms of decode time
+  sys.run(kWindow);
 
   if (intervals) {
     intervals->finish();

@@ -10,14 +10,19 @@
 //     --banks N --page BYTES   organization          (edram preset only)
 //     --scheduler fcfs|frfcfs|readfirst
 //     --policy open|closed
+//     --binary PATH            also save the trace as binary .edtrc
 //
-// Trace format: one record per line, `<cycle> <R|W> <address>`; '#'
-// comments. Without a file argument a built-in demo trace runs.
+// Input may be the text format (one record per line, `<cycle> <R|W>
+// <address>`; '#' comments) or the binary `.edtrc` form — the loader
+// auto-detects by magic. `--binary out.edtrc` converts the input and
+// replays from the converted file, so the round trip is exercised in
+// the same run. Without a file argument a built-in demo trace runs.
 
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "clients/compiled_trace.hpp"
 #include "clients/system.hpp"
 #include "clients/trace_io.hpp"
 #include "common/args.hpp"
@@ -50,17 +55,6 @@ int main(int argc, char** argv) try {
   using namespace edsim;
   const Args args(argc, argv);
 
-  std::vector<clients::TraceRecord> trace;
-  if (!args.positional().empty()) {
-    trace = clients::load_trace_file(args.positional().front());
-    std::cout << "loaded " << trace.size() << " records from "
-              << args.positional().front() << "\n";
-  } else {
-    trace = clients::parse_trace_text(kDemoTrace);
-    std::cout << "no trace file given; running the built-in demo ("
-              << trace.size() << " records)\n";
-  }
-
   dram::DramConfig cfg;
   if (args.get("preset", "edram") == "sdram") {
     cfg = dram::presets::sdram_pc100_64mbit();
@@ -78,13 +72,37 @@ int main(int argc, char** argv) try {
   cfg.page_policy = args.get("policy", "open") == "closed"
                         ? dram::PagePolicy::kClosed
                         : dram::PagePolicy::kOpen;
+  // Parse + compile the workload once into a shared immutable arena; the
+  // replay client walks it zero-copy. Text or .edtrc input both work.
+  std::unique_ptr<clients::ArenaReplayClient> client;
+  if (!args.positional().empty()) {
+    std::string path = args.positional().front();
+    if (args.has("binary")) {
+      const std::string out = args.get("binary", "");
+      clients::save_trace_file_binary(out, clients::load_trace_auto(path));
+      std::cout << "converted " << path << " -> " << out << " (.edtrc)\n";
+      path = out;
+    }
+    client = std::make_unique<clients::TraceFileClient>(
+        0, "trace", path, cfg.bytes_per_access());
+    std::cout << "loaded " << client->trace()->size() << " records from "
+              << path << (clients::is_binary_trace_file(path) ? " (binary)"
+                                                              : " (text)")
+              << ", arena " << client->trace()->arena_bytes() << " bytes\n";
+  } else {
+    client = std::make_unique<clients::ArenaReplayClient>(
+        0, "trace", clients::compile_trace_records(
+                        clients::parse_trace_text(kDemoTrace),
+                        cfg.bytes_per_access()));
+    std::cout << "no trace file given; running the built-in demo ("
+              << client->trace()->size() << " records)\n";
+  }
   std::cout << "channel: " << cfg.describe() << "\n\n";
 
   clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
   dram::CommandLog log;
   sys.controller().attach_command_log(&log);
-  sys.add_client(std::make_unique<clients::TraceClient>(
-      0, "trace", trace, cfg.bytes_per_access()));
+  sys.add_client(std::move(client));
   sys.run_to_completion();
 
   const auto& st = sys.controller().stats();

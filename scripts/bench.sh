@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Performance snapshot: build the Release (-O3) tree and run the simulator
 # microbenchmarks with JSON output. Writes BENCH_<n>.json at the repo root
-# (default n=2); the suite contains before/after pairs — per-cycle vs
-# fast-forward system runs, serial vs pooled sweeps — so one file holds
-# both sides of the comparison.
+# (default n=5); the suite contains before/after pairs — per-cycle vs
+# fast-forward system runs, serial vs pooled sweeps, regenerated vs
+# arena-replayed workloads, cold vs memoized evaluation — so one file
+# holds both sides of each comparison.
 #
 # Usage: scripts/bench.sh [n] [extra perf_microbench args...]
-#   scripts/bench.sh                 # writes BENCH_2.json
+#   scripts/bench.sh                 # writes BENCH_5.json
 #   scripts/bench.sh 3 --benchmark_filter='IdleHeavy|DesignSpace'
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-2}"
+N="${1:-5}"
 shift $(( $# > 0 ? 1 : 0 ))
 
 cmake -B build-release -DCMAKE_BUILD_TYPE=Release
@@ -44,5 +45,9 @@ speedup("design-space sweep (thread pool)", "BM_DesignSpaceSweep/1",
         "BM_DesignSpaceSweep/0")
 speedup("Monte-Carlo yield (thread pool)", "BM_MonteCarloYield/1",
         "BM_MonteCarloYield/0")
+speedup("trace workload (shared arena replay)", "BM_WorkloadRegenerate",
+        "BM_WorkloadArena")
+speedup("repeated sweep (evaluation memoization)", "BM_SweepCold",
+        "BM_SweepMemoized")
 EOF
 fi

@@ -17,6 +17,14 @@ echo
 echo "differential fuzz (quick tier):"
 build/tests/edsim_fuzz_tests
 
+# Workload-compilation gate: the binary .edtrc reader/writer, compiled
+# arena replay vs live generators, and evaluation memoization all carry
+# the `trace_format` label; a broken trace path fails here before the
+# benchmark stages replay anything.
+echo
+echo "trace format / workload compilation:"
+ctest --test-dir build -L trace_format --output-on-failure
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

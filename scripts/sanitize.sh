@@ -15,3 +15,9 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 # ctest run above too; the explicit invocation keeps the gate obvious and
 # fails loudly if the binary ever drops out of the suite.)
 build-asan/tests/edsim_fuzz_tests
+
+# Binary trace reader hardening: the trace_format suite includes a
+# byte-corruption fuzz over the .edtrc decoder (every offset, three XOR
+# masks), so out-of-bounds reads or integer UB in the varint/delta
+# decoding paths surface here under ASan/UBSan.
+build-asan/tests/edsim_trace_format_tests

@@ -1,14 +1,42 @@
 #include "clients/trace_io.hpp"
 
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/varint.hpp"
 
 namespace edsim::clients {
 
+namespace {
+
+/// Remaining byte count of a seekable stream (0 when not seekable) —
+/// used to pre-size record vectors so read paths never reallocate
+/// element-by-element.
+std::size_t remaining_bytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return 0;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) return 0;
+  return static_cast<std::size_t>(end - here);
+}
+
+[[noreturn]] void throw_format(std::uint64_t record_index,
+                               const std::string& what) {
+  throw Error(ErrorKind::kTraceFormat, record_index, what);
+}
+
+}  // namespace
+
 std::vector<TraceRecord> parse_trace(std::istream& in) {
   std::vector<TraceRecord> out;
+  // A text record line is ~12-24 bytes; err low so we never over-reserve
+  // by more than ~2x, while a dense trace still loads with one allocation.
+  out.reserve(remaining_bytes(in) / 12 + 1);
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -68,6 +96,175 @@ void write_trace(std::ostream& out, const std::vector<TraceRecord>& trace) {
         << (r.type == dram::AccessType::kRead ? 'R' : 'W') << " 0x"
         << std::hex << r.addr << std::dec << '\n';
   }
+}
+
+// --- binary .edtrc v2 -------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kRecordMarker = 0x01;
+constexpr std::uint8_t kEndMarker = 0x00;
+constexpr std::uint8_t kRecordFlagWrite = 0x01;
+
+void put_varint(std::ostream& out, std::uint64_t v) {
+  char buf[10];  // LEB128 of a u64 is at most 10 bytes
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  out.write(buf, static_cast<std::streamsize>(n));
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out) : out_(out) {
+  out_.write(kBinaryTraceMagic.data(), kBinaryTraceMagic.size());
+  const std::uint8_t ver[2] = {
+      static_cast<std::uint8_t>(kBinaryTraceVersion & 0xffu),
+      static_cast<std::uint8_t>(kBinaryTraceVersion >> 8)};
+  out_.write(reinterpret_cast<const char*>(ver), 2);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  if (!finished_) finish();
+}
+
+void BinaryTraceWriter::write(const TraceRecord& r) {
+  require(!finished_, "binary trace writer: already finished");
+  require(r.cycle >= prev_cycle_,
+          "binary trace writer: cycles must be non-decreasing");
+  std::uint8_t head[2] = {kRecordMarker, 0};
+  if (r.type == dram::AccessType::kWrite) head[1] |= kRecordFlagWrite;
+  out_.write(reinterpret_cast<const char*>(head), 2);
+  put_varint(out_, r.cycle - prev_cycle_);
+  put_varint(out_, r.addr);
+  prev_cycle_ = r.cycle;
+  ++count_;
+}
+
+void BinaryTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.put(static_cast<char>(kEndMarker));
+  out_.flush();
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
+  std::array<char, 6> magic{};
+  in_.read(magic.data(), magic.size());
+  if (in_.gcount() != static_cast<std::streamsize>(magic.size()) ||
+      magic != kBinaryTraceMagic) {
+    throw_format(0, "binary trace: bad magic (not an .edtrc stream)");
+  }
+  std::uint8_t ver[2] = {0, 0};
+  in_.read(reinterpret_cast<char*>(ver), 2);
+  if (in_.gcount() != 2) throw_format(0, "binary trace: truncated header");
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(ver[0] | (ver[1] << 8));
+  if (version != kBinaryTraceVersion) {
+    throw_format(0, "binary trace: unsupported version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kBinaryTraceVersion) + ")");
+  }
+}
+
+std::uint8_t BinaryTraceReader::read_byte(const char* what) {
+  const int c = in_.get();
+  if (c == std::istream::traits_type::eof()) {
+    throw_format(count_, std::string("binary trace: truncated ") + what);
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+bool BinaryTraceReader::next(TraceRecord& r) {
+  if (done_) return false;
+  const std::uint8_t marker = read_byte("record marker");
+  if (marker == kEndMarker) {
+    done_ = true;
+    return false;
+  }
+  if (marker != kRecordMarker) {
+    throw_format(count_, "binary trace: unknown record marker " +
+                             std::to_string(marker));
+  }
+  const std::uint8_t flags = read_byte("record flags");
+  if ((flags & ~kRecordFlagWrite) != 0) {
+    throw_format(count_, "binary trace: reserved flag bits set");
+  }
+  // Inline LEB128 decode over the stream (delta, then address).
+  std::uint64_t fields[2] = {0, 0};
+  for (std::uint64_t& v : fields) {
+    unsigned shift = 0;
+    for (;;) {
+      const std::uint8_t b = read_byte("varint");
+      if (shift == 63 && (b & 0x7eu) != 0) {
+        throw_format(count_, "binary trace: varint overflows 64 bits");
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7fu) << shift;
+      if ((b & 0x80u) == 0) break;
+      shift += 7;
+      if (shift > 63) {
+        throw_format(count_, "binary trace: varint overflows 64 bits");
+      }
+    }
+  }
+  if (prev_cycle_ + fields[0] < prev_cycle_) {
+    throw_format(count_, "binary trace: cycle delta overflows 64 bits");
+  }
+  prev_cycle_ += fields[0];
+  r.cycle = prev_cycle_;
+  r.addr = fields[1];
+  r.type = (flags & kRecordFlagWrite) ? dram::AccessType::kWrite
+                                      : dram::AccessType::kRead;
+  ++count_;
+  return true;
+}
+
+void write_trace_binary(std::ostream& out,
+                        const std::vector<TraceRecord>& trace) {
+  BinaryTraceWriter w(out);
+  for (const TraceRecord& r : trace) w.write(r);
+  w.finish();
+}
+
+std::vector<TraceRecord> parse_trace_binary(std::istream& in) {
+  // Header is 8 bytes, each record at least 4: a safe, tight pre-size.
+  const std::size_t bytes = remaining_bytes(in);
+  std::vector<TraceRecord> out;
+  out.reserve(bytes > 8 ? (bytes - 8) / 4 + 1 : 1);
+  BinaryTraceReader reader(in);
+  TraceRecord r;
+  while (reader.next(r)) out.push_back(r);
+  return out;
+}
+
+std::vector<TraceRecord> load_trace_file_binary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  require(f.is_open(), "trace: cannot open '" + path + "'");
+  return parse_trace_binary(f);
+}
+
+void save_trace_file_binary(const std::string& path,
+                            const std::vector<TraceRecord>& trace) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  require(f.is_open(), "trace: cannot open '" + path + "' for writing");
+  write_trace_binary(f, trace);
+}
+
+bool is_binary_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return false;
+  std::array<char, 6> magic{};
+  f.read(magic.data(), magic.size());
+  return f.gcount() == static_cast<std::streamsize>(magic.size()) &&
+         magic == kBinaryTraceMagic;
+}
+
+std::vector<TraceRecord> load_trace_auto(const std::string& path) {
+  return is_binary_trace_file(path) ? load_trace_file_binary(path)
+                                    : load_trace_file(path);
 }
 
 }  // namespace edsim::clients

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -33,5 +35,78 @@ std::vector<TraceRecord> load_trace_file(const std::string& path);
 
 /// Write records back out in the same format (round-trip capable).
 void write_trace(std::ostream& out, const std::vector<TraceRecord>& trace);
+
+/// Binary trace format `.edtrc` v2. Layout:
+///
+///     magic    6 bytes   "EDTRC\0"
+///     version  u16 LE    2
+///     records  repeated  0x01, flags (bit0 = write),
+///                        varint cycle-delta (from previous record),
+///                        varint byte-address
+///     end      1 byte    0x00
+///
+/// Cycle deltas + LEB128 varints make dense traces ~5 bytes/record vs
+/// ~20 for text. The stream needs no seeking, so readers and writers can
+/// run over pipes. Corrupt or truncated input is rejected with a
+/// structured `edsim::Error` of kind `kTraceFormat` whose cycle field
+/// carries the index of the offending record.
+inline constexpr std::array<char, 6> kBinaryTraceMagic = {'E', 'D', 'T', 'R',
+                                                          'C', '\0'};
+inline constexpr std::uint16_t kBinaryTraceVersion = 2;
+
+/// Streaming `.edtrc` writer: header on construction, one record per
+/// `write()`, end marker on `finish()` (idempotent; also runs at
+/// destruction). Records must arrive cycle-ordered, as in the text form.
+class BinaryTraceWriter {
+ public:
+  explicit BinaryTraceWriter(std::ostream& out);
+  ~BinaryTraceWriter();
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  void write(const TraceRecord& r);
+  void finish();
+
+ private:
+  std::ostream& out_;
+  std::uint64_t prev_cycle_ = 0;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming `.edtrc` reader: validates the header on construction,
+/// then yields one record per `next()` until the end marker.
+class BinaryTraceReader {
+ public:
+  explicit BinaryTraceReader(std::istream& in);
+
+  /// Fill `r` with the next record; false once the end marker is seen.
+  /// Throws `edsim::Error{kTraceFormat}` on corrupt or truncated input.
+  bool next(TraceRecord& r);
+
+  std::uint64_t records_read() const { return count_; }
+
+ private:
+  std::uint8_t read_byte(const char* what);
+
+  std::istream& in_;
+  std::uint64_t prev_cycle_ = 0;
+  std::uint64_t count_ = 0;
+  bool done_ = false;
+};
+
+/// Whole-trace binary round-trip helpers over the streaming classes.
+void write_trace_binary(std::ostream& out, const std::vector<TraceRecord>& trace);
+std::vector<TraceRecord> parse_trace_binary(std::istream& in);
+std::vector<TraceRecord> load_trace_file_binary(const std::string& path);
+void save_trace_file_binary(const std::string& path,
+                            const std::vector<TraceRecord>& trace);
+
+/// True when the file starts with the `.edtrc` magic.
+bool is_binary_trace_file(const std::string& path);
+
+/// Load a trace from `path`, auto-detecting text vs binary by magic.
+std::vector<TraceRecord> load_trace_auto(const std::string& path);
 
 }  // namespace edsim::clients

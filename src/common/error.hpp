@@ -11,6 +11,7 @@ enum class ErrorKind : std::uint8_t {
   kRequestTimeout,     ///< a queued request starved past its watchdog budget
   kProtocolViolation,  ///< command trace broke a datasheet timing rule
   kReliability,        ///< reliability layer hit an unrecoverable state
+  kTraceFormat,        ///< binary trace stream is corrupt or truncated
 };
 
 inline const char* to_string(ErrorKind k) {
@@ -18,6 +19,7 @@ inline const char* to_string(ErrorKind k) {
     case ErrorKind::kRequestTimeout: return "request-timeout";
     case ErrorKind::kProtocolViolation: return "protocol-violation";
     case ErrorKind::kReliability: return "reliability";
+    case ErrorKind::kTraceFormat: return "trace-format";
   }
   return "?";
 }

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace edsim {
+
+/// Incremental 64-bit content hash (FNV-1a core with a SplitMix64-style
+/// finalizer per field). Used to key the workload-compilation and
+/// evaluation-memoization caches: two value sets hash equal iff they are
+/// field-for-field identical (modulo the usual 64-bit collision odds,
+/// negligible at design-sweep scales). NOT cryptographic.
+class ContentHasher {
+ public:
+  ContentHasher& mix(std::uint64_t v) {
+    // Pre-mix the field so that adjacent small integers do not produce
+    // adjacent hashes, then fold byte-wise FNV-1a style.
+    std::uint64_t z = v + 0x9e3779b97f4a7c15ull + count_++;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ ((z >> (i * 8)) & 0xff)) * kPrime;
+    }
+    return *this;
+  }
+
+  ContentHasher& mix(std::int64_t v) {
+    return mix(static_cast<std::uint64_t>(v));
+  }
+  ContentHasher& mix(unsigned v) { return mix(static_cast<std::uint64_t>(v)); }
+  ContentHasher& mix(int v) { return mix(static_cast<std::int64_t>(v)); }
+  ContentHasher& mix(bool v) { return mix(static_cast<std::uint64_t>(v)); }
+
+  /// Doubles are hashed by bit pattern: memoization must distinguish any
+  /// two values that could produce different simulation results.
+  ContentHasher& mix(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return mix(bits);
+  }
+
+  ContentHasher& mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) {
+      h_ = (h_ ^ static_cast<unsigned char>(c)) * kPrime;
+    }
+    return *this;
+  }
+
+  ContentHasher& mix_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) h_ = (h_ ^ p[i]) * kPrime;
+    return *this;
+  }
+
+  std::uint64_t digest() const {
+    // Final avalanche so truncated digests stay well distributed.
+    std::uint64_t z = h_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV offset basis
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace edsim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edsim {
+
+/// LEB128 unsigned varint append. 1 byte for values < 128; at most 10
+/// bytes for a full 64-bit value. Shared by the compiled-trace arena and
+/// the `.edtrc` binary trace format.
+inline void encode_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decode a varint from `data[off..n)`. Advances `off` past the varint
+/// and returns true on success; returns false (leaving `off` and `out`
+/// unspecified) on truncation or a >64-bit encoding.
+inline bool decode_varint(const std::uint8_t* data, std::size_t n,
+                          std::size_t& off, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (off < n) {
+    const std::uint8_t b = data[off++];
+    if (shift == 63 && (b & 0x7eu) != 0) return false;  // overflows 64 bits
+    v |= static_cast<std::uint64_t>(b & 0x7fu) << shift;
+    if ((b & 0x80u) == 0) {
+      out = v;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) return false;
+  }
+  return false;  // ran off the end mid-varint
+}
+
+}  // namespace edsim

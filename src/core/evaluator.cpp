@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <memory>
 
+#include "clients/compiled_trace.hpp"
 #include "clients/system.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "modulegen/module_compiler.hpp"
 #include "phy/interface_model.hpp"
 #include "power/energy_model.hpp"
@@ -43,11 +45,45 @@ Metrics Evaluator::evaluate(const SystemConfig& cfg,
   return evaluate_into(cfg, w, metrics_);
 }
 
+std::uint64_t Evaluator::memo_hits() const {
+  std::lock_guard<std::mutex> lock(caches_->memo_mu);
+  return caches_->memo_hits;
+}
+
+std::size_t Evaluator::memo_entries() const {
+  std::lock_guard<std::mutex> lock(caches_->memo_mu);
+  return caches_->memo.size();
+}
+
+void Evaluator::clear_caches() const {
+  {
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    caches_->memo.clear();
+    caches_->memo_hits = 0;
+  }
+  caches_->arenas.clear();
+}
+
 Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
                                  const EvalWorkload& w,
                                  telemetry::MetricRegistry* reg) const {
   cfg.validate();
   require(w.sim_cycles > 0, "evaluator: need a simulation window");
+
+  // Memoization: a (config, workload) pair fully determines the metric
+  // vector, so an identical re-score is a table lookup. Bypassed when a
+  // registry is attached — a hit could not replay the telemetry export.
+  const bool use_memo = memoize_ && reg == nullptr;
+  std::uint64_t memo_key = 0;
+  if (use_memo) {
+    memo_key = derive_seed(cfg.content_hash(), w.content_hash());
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    auto it = caches_->memo.find(memo_key);
+    if (it != caches_->memo.end()) {
+      ++caches_->memo_hits;
+      return it->second;
+    }
+  }
 
   Metrics m;
   m.name = cfg.name;
@@ -72,6 +108,11 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
   const auto period = std::max<unsigned>(
       1, static_cast<unsigned>(static_cast<double>(burst) / bytes_per_cycle));
 
+  // Endless clients paced `period` apart issue at most sim_cycles/period
+  // + 1 requests inside the window; one extra record makes the compiled
+  // prefix provably inexhaustible, so replay is bit-identical to the
+  // live generators.
+  const std::uint64_t budget = w.sim_cycles / period + 2;
   unsigned id = 0;
   for (unsigned i = 0; i < w.stream_clients; ++i) {
     clients::StreamClient::Params p;
@@ -80,8 +121,16 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
     p.burst_bytes = burst;
     p.type = i % 2 == 0 ? dram::AccessType::kRead : dram::AccessType::kWrite;
     p.period_cycles = period;
-    sys.add_client(std::make_unique<clients::StreamClient>(
-        id, "stream" + std::to_string(i), p));
+    const std::string cname = "stream" + std::to_string(i);
+    if (use_arena_) {
+      auto arena = caches_->arenas.get_or_compile(
+          clients::compile_key(p, budget),
+          [&] { return clients::compile_stream(p, budget); });
+      sys.add_client(std::make_unique<clients::ArenaReplayClient>(
+          id, cname, std::move(arena)));
+    } else {
+      sys.add_client(std::make_unique<clients::StreamClient>(id, cname, p));
+    }
     ++id;
   }
   for (unsigned i = 0; i < w.random_clients; ++i) {
@@ -91,8 +140,16 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
     p.burst_bytes = burst;
     p.period_cycles = period;
     p.seed = w.seed + i;
-    sys.add_client(std::make_unique<clients::RandomClient>(
-        id, "random" + std::to_string(i), p));
+    const std::string cname = "random" + std::to_string(i);
+    if (use_arena_) {
+      auto arena = caches_->arenas.get_or_compile(
+          clients::compile_key(p, budget),
+          [&] { return clients::compile_random(p, budget); });
+      sys.add_client(std::make_unique<clients::ArenaReplayClient>(
+          id, cname, std::move(arena)));
+    } else {
+      sys.add_client(std::make_unique<clients::RandomClient>(id, cname, p));
+    }
     ++id;
   }
   sys.run(w.sim_cycles);
@@ -155,6 +212,13 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
     root.gauge("junction_c").set(m.junction_c);
     root.gauge("refresh_overhead").set(m.refresh_overhead);
     root.gauge("unit_cost_usd").set(m.unit_cost_usd);
+  }
+
+  if (use_memo) {
+    // First-insert-wins: concurrent sweep threads scoring the same point
+    // computed identical metrics, so a lost race changes nothing.
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    caches_->memo.emplace(memo_key, m);
   }
   return m;
 }

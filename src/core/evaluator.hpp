@@ -1,8 +1,14 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "clients/workload_cache.hpp"
+#include "common/hash.hpp"
 #include "core/cost_model.hpp"
 #include "core/system_config.hpp"
 #include "telemetry/metrics.hpp"
@@ -20,6 +26,20 @@ struct EvalWorkload {
   /// Power dissipated by the co-located logic (embedded designs heat the
   /// DRAM; §1's junction-temperature caveat). Watts.
   double logic_power_w = 1.0;
+
+  /// Content hash over every field; keys workload arenas and the
+  /// evaluation-memoization map (seed and demand included, so any change
+  /// that could alter results invalidates both caches).
+  std::uint64_t content_hash() const {
+    ContentHasher h;
+    h.mix(demand_gbyte_s)
+        .mix(stream_clients)
+        .mix(random_clients)
+        .mix(sim_cycles)
+        .mix(seed)
+        .mix(logic_power_w);
+    return h.digest();
+  }
 };
 
 /// Full metric vector for one design point (§3's dimensions made
@@ -48,9 +68,22 @@ struct Metrics {
 
 /// Evaluates design points by simulation (bandwidth/latency), analytical
 /// models (area, power) and the cost model.
+///
+/// Two caches accelerate repeated scoring (both on by default, both
+/// bit-identical to the uncached path — enforced by the differential
+/// fuzz suite):
+///  * a WorkloadCache of compiled client arenas keyed by (client params,
+///    seed, budget), so sweep points sharing a workload shape replay one
+///    immutable arena instead of regenerating clients per config/thread;
+///  * an evaluation-memoization map keyed by (SystemConfig::content_hash,
+///    EvalWorkload::content_hash), so re-scoring an identical point
+///    (design_explorer refinement passes, pareto re-runs) is a lookup.
+/// Memoization is bypassed whenever a MetricRegistry is attached: a memo
+/// hit could not replay the per-evaluation telemetry export.
 class Evaluator {
  public:
-  explicit Evaluator(CostModel cost = CostModel{}) : cost_(cost) {}
+  explicit Evaluator(CostModel cost = CostModel{})
+      : cost_(cost), caches_(std::make_shared<Caches>()) {}
 
   /// Fan sweep() out over this many threads (0 = hardware default,
   /// 1 = serial). evaluate() is self-contained and deterministic per
@@ -64,6 +97,17 @@ class Evaluator {
   /// per config and merging them in input order.
   void set_metrics(telemetry::MetricRegistry* reg) { metrics_ = reg; }
 
+  /// Replay evaluation clients from shared compiled arenas instead of
+  /// regenerating them per call (default on). Off = the reference
+  /// regenerate-per-point path, kept for differential testing.
+  void set_workload_arena(bool on) { use_arena_ = on; }
+  bool workload_arena() const { return use_arena_; }
+
+  /// Memoize full evaluations by (config, workload) content hash
+  /// (default on). Bypassed while a MetricRegistry is attached.
+  void set_memoize(bool on) { memoize_ = on; }
+  bool memoize() const { return memoize_; }
+
   Metrics evaluate(const SystemConfig& cfg, const EvalWorkload& w) const;
 
   /// Evaluate a whole candidate list. Configs are scored independently
@@ -71,13 +115,35 @@ class Evaluator {
   std::vector<Metrics> sweep(const std::vector<SystemConfig>& cfgs,
                              const EvalWorkload& w) const;
 
+  /// Cache observability (shared across copies of this evaluator).
+  std::uint64_t memo_hits() const;
+  std::size_t memo_entries() const;
+  const clients::WorkloadCache& workload_cache() const {
+    return caches_->arenas;
+  }
+  void clear_caches() const;
+
  private:
+  /// Shared mutable cache state, held behind a shared_ptr so that
+  /// `const` evaluate() can fill caches and Evaluator stays copyable
+  /// (copies share the caches — compilation and memoization are pure, so
+  /// sharing never changes results).
+  struct Caches {
+    clients::WorkloadCache arenas;
+    mutable std::mutex memo_mu;
+    std::unordered_map<std::uint64_t, Metrics> memo;
+    std::uint64_t memo_hits = 0;
+  };
+
   Metrics evaluate_into(const SystemConfig& cfg, const EvalWorkload& w,
                         telemetry::MetricRegistry* reg) const;
 
   CostModel cost_;
   unsigned threads_ = 0;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  bool use_arena_ = true;
+  bool memoize_ = true;
+  std::shared_ptr<Caches> caches_;
 };
 
 }  // namespace edsim::core

@@ -1,6 +1,7 @@
 #include "core/system_config.hpp"
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "dram/presets.hpp"
 #include "phy/discrete_system.hpp"
 
@@ -61,6 +62,22 @@ void SystemConfig::validate() const {
     require(interface_bits >= 16 && interface_bits <= 512,
             "system: embedded width must be 16..512 (§5)");
   }
+}
+
+std::uint64_t SystemConfig::content_hash() const {
+  ContentHasher h;
+  h.mix(name)
+      .mix(static_cast<std::uint64_t>(integration))
+      .mix(static_cast<std::uint64_t>(process))
+      .mix(required_memory.bit_count())
+      .mix(interface_bits)
+      .mix(banks)
+      .mix(page_bytes)
+      .mix(static_cast<std::uint64_t>(page_policy))
+      .mix(static_cast<std::uint64_t>(scheduler))
+      .mix(static_cast<std::uint64_t>(reliability))
+      .mix(logic_kgates);
+  return h.digest();
 }
 
 dram::DramConfig SystemConfig::dram_config() const {

@@ -66,6 +66,11 @@ struct SystemConfig {
 
   void validate() const;
 
+  /// Content hash over every field that can influence evaluation results
+  /// (including `name`, which flows into Metrics). Keys the evaluation
+  /// memoization map together with EvalWorkload::content_hash().
+  std::uint64_t content_hash() const;
+
   /// Simulator channel for this configuration. For discrete systems this
   /// is the rank of commodity chips behind the shared bus; for embedded
   /// systems it is the compiled module.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace edsim::mpeg {
 
@@ -69,12 +70,10 @@ std::uint64_t period_for(Bandwidth bw, Frequency clock, unsigned burst_bytes) {
 
 }  // namespace
 
-DecoderClientIds add_decoder_clients(clients::MemorySystem& system,
-                                     const DecoderModel& model,
-                                     const MemoryMap& map) {
-  const auto& cfg = system.controller().config();
-  const unsigned burst = cfg.bytes_per_access();
-  const Frequency clock = cfg.clock;
+DecoderClientParams derive_decoder_client_params(unsigned burst_bytes,
+                                                 Frequency clock,
+                                                 const DecoderModel& model,
+                                                 const MemoryMap& map) {
   const auto demands = model.bandwidth();
   require(demands.size() == 4, "decoder clients: unexpected demand count");
 
@@ -85,72 +84,201 @@ DecoderClientIds add_decoder_clients(clients::MemorySystem& system,
   require(vbv && ref0 && ref1 && out,
           "decoder clients: memory map missing decoder regions");
 
-  DecoderClientIds ids;
-  unsigned next_id = static_cast<unsigned>(system.client_count());
+  DecoderClientParams cp;
 
   // VBV: modelled as a write stream at the full in+out rate (the read
   // side is tiny and strictly sequential; folding it keeps one client).
-  {
-    clients::StreamClient::Params p;
-    p.base = vbv->base;
-    p.length = vbv->bytes;
-    p.burst_bytes = burst;
-    p.type = dram::AccessType::kWrite;
-    p.period_cycles = static_cast<unsigned>(
-        period_for(demands[0].total(), clock, burst));
-    ids.vbv = system.client_count();
-    system.add_client(std::make_unique<clients::StreamClient>(
-        next_id++, "vbv_input", p));
-  }
+  cp.vbv.base = vbv->base;
+  cp.vbv.length = vbv->bytes;
+  cp.vbv.burst_bytes = burst_bytes;
+  cp.vbv.type = dram::AccessType::kWrite;
+  cp.vbv.period_cycles = static_cast<unsigned>(
+      period_for(demands[0].total(), clock, burst_bytes));
 
   // Motion compensation: block reads over both reference frames.
-  {
-    McClient::Params p;
-    p.region_base = ref0->base;
-    p.region_bytes = ref1->end() - ref0->base;
-    p.pitch_bytes = model.config().format.width;
-    p.rows_per_block = 17;
-    p.bytes_per_row = 17;
-    p.burst_bytes = burst;
-    // Pace blocks so MC's *useful* rate matches the analytic demand:
-    // each block moves rows_per_block bursts.
-    const double preds_per_s =
-        static_cast<double>(model.config().format.macroblocks()) *
-        model.config().format.fps * model.predictions_per_macroblock();
-    const double cycles_per_block = clock.hz() / preds_per_s;
-    p.block_period_cycles =
-        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(cycles_per_block));
-    ids.mc = system.client_count();
-    system.add_client(std::make_unique<McClient>(next_id++, p));
-  }
+  cp.mc.region_base = ref0->base;
+  cp.mc.region_bytes = ref1->end() - ref0->base;
+  cp.mc.pitch_bytes = model.config().format.width;
+  cp.mc.rows_per_block = 17;
+  cp.mc.bytes_per_row = 17;
+  cp.mc.burst_bytes = burst_bytes;
+  // Pace blocks so MC's *useful* rate matches the analytic demand:
+  // each block moves rows_per_block bursts.
+  const double preds_per_s =
+      static_cast<double>(model.config().format.macroblocks()) *
+      model.config().format.fps * model.predictions_per_macroblock();
+  const double cycles_per_block = clock.hz() / preds_per_s;
+  cp.mc.block_period_cycles =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(cycles_per_block));
 
   // Reconstruction: sequential writes of decoded pictures.
-  {
-    clients::StreamClient::Params p;
-    p.base = ref0->base;
-    p.length = ref1->end() - ref0->base;
-    p.burst_bytes = burst;
-    p.type = dram::AccessType::kWrite;
-    p.period_cycles = static_cast<unsigned>(
-        period_for(demands[2].total(), clock, burst));
-    ids.reconstruction = system.client_count();
-    system.add_client(std::make_unique<clients::StreamClient>(
-        next_id++, "reconstruction", p));
-  }
+  cp.reconstruction.base = ref0->base;
+  cp.reconstruction.length = ref1->end() - ref0->base;
+  cp.reconstruction.burst_bytes = burst_bytes;
+  cp.reconstruction.type = dram::AccessType::kWrite;
+  cp.reconstruction.period_cycles = static_cast<unsigned>(
+      period_for(demands[2].total(), clock, burst_bytes));
 
   // Display: sequential reads from the output-conversion buffer.
-  {
-    clients::StreamClient::Params p;
-    p.base = out->base;
-    p.length = out->bytes;
-    p.burst_bytes = burst;
-    p.type = dram::AccessType::kRead;
-    p.period_cycles = static_cast<unsigned>(
-        period_for(demands[3].total(), clock, burst));
-    ids.display = system.client_count();
-    system.add_client(std::make_unique<clients::StreamClient>(
-        next_id++, "display", p));
+  cp.display.base = out->base;
+  cp.display.length = out->bytes;
+  cp.display.burst_bytes = burst_bytes;
+  cp.display.type = dram::AccessType::kRead;
+  cp.display.period_cycles = static_cast<unsigned>(
+      period_for(demands[3].total(), clock, burst_bytes));
+
+  return cp;
+}
+
+DecoderClientIds add_decoder_clients(clients::MemorySystem& system,
+                                     const DecoderModel& model,
+                                     const MemoryMap& map) {
+  const auto& cfg = system.controller().config();
+  const DecoderClientParams cp =
+      derive_decoder_client_params(cfg.bytes_per_access(), cfg.clock, model,
+                                   map);
+
+  DecoderClientIds ids;
+  unsigned next_id = static_cast<unsigned>(system.client_count());
+
+  ids.vbv = system.client_count();
+  system.add_client(std::make_unique<clients::StreamClient>(
+      next_id++, "vbv_input", cp.vbv));
+
+  ids.mc = system.client_count();
+  system.add_client(std::make_unique<McClient>(next_id++, cp.mc));
+
+  ids.reconstruction = system.client_count();
+  system.add_client(std::make_unique<clients::StreamClient>(
+      next_id++, "reconstruction", cp.reconstruction));
+
+  ids.display = system.client_count();
+  system.add_client(std::make_unique<clients::StreamClient>(
+      next_id++, "display", cp.display));
+
+  return ids;
+}
+
+std::shared_ptr<const clients::CompiledTrace> compile_mc(
+    const McClient::Params& p, std::uint64_t max_blocks) {
+  const std::uint64_t blocks = p.total_blocks != 0 ? p.total_blocks
+                                                   : max_blocks;
+  require(blocks > 0, "compile mc: endless params need a max_blocks budget");
+  McClient source(0, p);
+  clients::CompiledTraceBuilder b;
+  b.reserve(blocks * p.rows_per_block);
+  for (std::uint64_t blk = 0; blk < blocks; ++blk) {
+    for (unsigned row = 0; row < p.rows_per_block; ++row) {
+      // The address/tag sequence depends only on the per-block RNG draws,
+      // never on issue cycles, so driving the client at cycle 0 captures
+      // the exact sequence the live client would produce.
+      const dram::Request req = source.make_request(0);
+      clients::CompiledRecord r;
+      r.addr = req.addr;
+      r.type = req.type;
+      r.tag = req.tag;  // = 1-based block number, constant across rows
+      if (row == 0) {
+        r.pacing = clients::PacingKind::kPacedClock;
+        r.param = p.block_period_cycles;
+      } else {
+        r.pacing = clients::PacingKind::kImmediate;
+      }
+      b.add(r);
+    }
   }
+  return b.build();
+}
+
+std::uint64_t compile_key(const McClient::Params& p, std::uint64_t max_blocks) {
+  ContentHasher h;
+  h.mix(std::uint64_t{4})  // client-kind discriminator (see clients::compile_key)
+      .mix(p.region_base)
+      .mix(p.region_bytes)
+      .mix(p.pitch_bytes)
+      .mix(p.rows_per_block)
+      .mix(p.bytes_per_row)
+      .mix(p.burst_bytes)
+      .mix(p.block_period_cycles)
+      .mix(p.total_blocks)
+      .mix(p.seed)
+      .mix(max_blocks);
+  return h.digest();
+}
+
+namespace {
+
+/// A client accepting at least `gap` apart issues at most W/gap + 1
+/// requests in a window of W cycles; +1 more makes the compiled prefix
+/// provably inexhaustible within the window.
+std::uint64_t budget_for(std::uint64_t window_cycles, std::uint64_t gap) {
+  return window_cycles / std::max<std::uint64_t>(1, gap) + 2;
+}
+
+std::shared_ptr<const clients::CompiledTrace> through_cache(
+    clients::WorkloadCache* cache, std::uint64_t key,
+    const clients::WorkloadCache::CompileFn& compile) {
+  return cache ? cache->get_or_compile(key, compile) : compile();
+}
+
+}  // namespace
+
+CompiledDecoderWorkload compile_decoder_clients(
+    unsigned burst_bytes, Frequency clock, const DecoderModel& model,
+    const MemoryMap& map, std::uint64_t window_cycles,
+    clients::WorkloadCache* cache) {
+  const DecoderClientParams cp =
+      derive_decoder_client_params(burst_bytes, clock, model, map);
+
+  CompiledDecoderWorkload w;
+  const std::uint64_t vbv_n = budget_for(window_cycles, cp.vbv.period_cycles);
+  w.vbv = through_cache(cache, clients::compile_key(cp.vbv, vbv_n),
+                        [&] { return clients::compile_stream(cp.vbv, vbv_n); });
+  const std::uint64_t mc_n =
+      budget_for(window_cycles, cp.mc.block_period_cycles);
+  w.mc = through_cache(cache, compile_key(cp.mc, mc_n),
+                       [&] { return compile_mc(cp.mc, mc_n); });
+  const std::uint64_t rec_n =
+      budget_for(window_cycles, cp.reconstruction.period_cycles);
+  w.reconstruction =
+      through_cache(cache, clients::compile_key(cp.reconstruction, rec_n), [&] {
+        return clients::compile_stream(cp.reconstruction, rec_n);
+      });
+  const std::uint64_t dis_n =
+      budget_for(window_cycles, cp.display.period_cycles);
+  w.display =
+      through_cache(cache, clients::compile_key(cp.display, dis_n), [&] {
+        return clients::compile_stream(cp.display, dis_n);
+      });
+  return w;
+}
+
+DecoderClientIds add_compiled_decoder_clients(
+    clients::MemorySystem& system, const DecoderModel& model,
+    const MemoryMap& map, std::uint64_t window_cycles,
+    clients::WorkloadCache* cache) {
+  const auto& cfg = system.controller().config();
+  const CompiledDecoderWorkload w = compile_decoder_clients(
+      cfg.bytes_per_access(), cfg.clock, model, map, window_cycles, cache);
+
+  DecoderClientIds ids;
+  unsigned next_id = static_cast<unsigned>(system.client_count());
+
+  ids.vbv = system.client_count();
+  system.add_client(std::make_unique<clients::ArenaReplayClient>(
+      next_id++, "vbv_input", w.vbv));
+
+  ids.mc = system.client_count();
+  system.add_client(std::make_unique<clients::ArenaReplayClient>(
+      next_id++, "motion_comp", w.mc));
+
+  ids.reconstruction = system.client_count();
+  system.add_client(std::make_unique<clients::ArenaReplayClient>(
+      next_id++, "reconstruction", w.reconstruction));
+
+  ids.display = system.client_count();
+  system.add_client(std::make_unique<clients::ArenaReplayClient>(
+      next_id++, "display", w.display));
+
   return ids;
 }
 

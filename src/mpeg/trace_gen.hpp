@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "clients/compiled_trace.hpp"
 #include "clients/system.hpp"
+#include "clients/workload_cache.hpp"
 #include "mpeg/decoder_model.hpp"
 
 namespace edsim::mpeg {
@@ -60,5 +63,58 @@ struct DecoderClientIds {
 DecoderClientIds add_decoder_clients(clients::MemorySystem& system,
                                      const DecoderModel& model,
                                      const MemoryMap& map);
+
+/// The four decoder client parameter sets, derived once from the analytic
+/// bandwidth demands, the channel clock, and the memory map — shared by
+/// the live-generator path (`add_decoder_clients`) and the compiled
+/// replay path so the two can never drift apart.
+struct DecoderClientParams {
+  clients::StreamClient::Params vbv;
+  McClient::Params mc;
+  clients::StreamClient::Params reconstruction;
+  clients::StreamClient::Params display;
+};
+
+DecoderClientParams derive_decoder_client_params(unsigned burst_bytes,
+                                                 Frequency clock,
+                                                 const DecoderModel& model,
+                                                 const MemoryMap& map);
+
+/// Compile the motion-compensation client: drive a real McClient through
+/// `max_blocks` prediction blocks (or `p.total_blocks` when finite),
+/// recording one kPacedClock record per block start and kImmediate
+/// records for the remaining rows — bit-identical replay of the paced
+/// block fetch under any backpressure.
+std::shared_ptr<const clients::CompiledTrace> compile_mc(
+    const McClient::Params& p, std::uint64_t max_blocks = 0);
+
+/// Content-hash key for `compile_mc` results (see clients::compile_key).
+std::uint64_t compile_key(const McClient::Params& p, std::uint64_t max_blocks);
+
+/// The compiled decoder workload: four shared arenas sized so that a
+/// replay window of `window_cycles` can never exhaust them.
+struct CompiledDecoderWorkload {
+  std::shared_ptr<const clients::CompiledTrace> vbv;
+  std::shared_ptr<const clients::CompiledTrace> mc;
+  std::shared_ptr<const clients::CompiledTrace> reconstruction;
+  std::shared_ptr<const clients::CompiledTrace> display;
+};
+
+/// Compile the §4.1 decoder client mix once for replay windows up to
+/// `window_cycles`. When `cache` is non-null, arenas are shared through
+/// it across calls/threads keyed by content hash.
+CompiledDecoderWorkload compile_decoder_clients(
+    unsigned burst_bytes, Frequency clock, const DecoderModel& model,
+    const MemoryMap& map, std::uint64_t window_cycles,
+    clients::WorkloadCache* cache = nullptr);
+
+/// Drop-in replacement for `add_decoder_clients` that adds zero-copy
+/// ArenaReplayClients over a compiled workload instead of live
+/// generators. Controller stats are bit-identical to the generator path
+/// for runs of at most `window_cycles` cycles.
+DecoderClientIds add_compiled_decoder_clients(
+    clients::MemorySystem& system, const DecoderModel& model,
+    const MemoryMap& map, std::uint64_t window_cycles,
+    clients::WorkloadCache* cache = nullptr);
 
 }  // namespace edsim::mpeg

@@ -17,9 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "bist/yield.hpp"
 #include "clients/client.hpp"
 #include "clients/system.hpp"
 #include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "core/pareto.hpp"
 #include "dram/command_log.hpp"
 #include "dram/controller.hpp"
 #include "dram/multi_channel.hpp"
@@ -38,9 +41,11 @@ using dram::Request;
 #ifdef EDSIM_FUZZ_SOAK
 constexpr int kSystemTrials = 400;
 constexpr int kChannelTrials = 100;
+constexpr int kEvaluatorTrials = 20;
 #else
 constexpr int kSystemTrials = 18;
 constexpr int kChannelTrials = 7;
+constexpr int kEvaluatorTrials = 3;
 #endif
 
 /// Root of the per-trial seed tree (derive_seed(kRootSeed, trial)): fixed
@@ -441,6 +446,138 @@ TEST(DifferentialFuzz, MultiChannelBitIdenticalAcrossThreadCounts) {
     }
     if (HasFailure()) {
       FAIL() << "reproduce with " << describe_trial(trial, seed, cfg);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator differential: the regenerate-per-point reference vs the
+// shared-arena + memoized path must produce bit-identical sweep metrics,
+// pareto fronts, and yield curves at 1, 2 and 8 threads — including on a
+// warm (fully memoized) re-sweep.
+
+core::SystemConfig random_system_config(Rng& rng, int index) {
+  core::SystemConfig c;
+  c.name = "fuzz-cfg-" + std::to_string(index);
+  c.integration = pick(rng, {core::Integration::kEmbedded,
+                             core::Integration::kDiscrete});
+  c.process = pick(rng, {core::BaseProcess::kDramBased,
+                         core::BaseProcess::kLogicBased,
+                         core::BaseProcess::kMerged});
+  c.required_memory = Capacity::mbit(pick(rng, {8u, 16u, 32u}));
+  c.interface_bits = pick(rng, {64u, 128u, 256u});
+  c.banks = pick(rng, {2u, 4u, 8u});
+  c.page_bytes = pick(rng, {1024u, 2048u});
+  c.page_policy = pick(rng, {dram::PagePolicy::kOpen,
+                             dram::PagePolicy::kClosed});
+  c.scheduler = pick(rng, {dram::SchedulerKind::kFcfs,
+                           dram::SchedulerKind::kFrFcfs,
+                           dram::SchedulerKind::kReadFirst});
+  c.reliability = pick(rng, {core::ReliabilityPreset::kOff,
+                             core::ReliabilityPreset::kEccOnly});
+  c.logic_kgates = 200.0 + static_cast<double>(rng.next_below(800));
+  return c;
+}
+
+void expect_metrics_eq(const core::Metrics& a, const core::Metrics& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.die_area_mm2, b.die_area_mm2);
+  EXPECT_EQ(a.memory_area_mm2, b.memory_area_mm2);
+  EXPECT_EQ(a.logic_area_mm2, b.logic_area_mm2);
+  EXPECT_EQ(a.sustained_gbyte_s, b.sustained_gbyte_s);
+  EXPECT_EQ(a.peak_gbyte_s, b.peak_gbyte_s);
+  EXPECT_EQ(a.bandwidth_efficiency, b.bandwidth_efficiency);
+  EXPECT_EQ(a.avg_read_latency_ns, b.avg_read_latency_ns);
+  EXPECT_EQ(a.io_power_mw, b.io_power_mw);
+  EXPECT_EQ(a.total_power_mw, b.total_power_mw);
+  EXPECT_EQ(a.installed_mbit, b.installed_mbit);
+  EXPECT_EQ(a.waste_mbit, b.waste_mbit);
+  EXPECT_EQ(a.unit_cost_usd, b.unit_cost_usd);
+  EXPECT_EQ(a.logic_speed, b.logic_speed);
+  EXPECT_EQ(a.junction_c, b.junction_c);
+  EXPECT_EQ(a.retention_ms, b.retention_ms);
+  EXPECT_EQ(a.refresh_overhead, b.refresh_overhead);
+}
+
+std::vector<core::ParetoPoint> project(const std::vector<core::Metrics>& ms) {
+  std::vector<core::ParetoPoint> pts(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    pts[i].index = i;
+    pts[i].objectives = {ms[i].unit_cost_usd, -ms[i].sustained_gbyte_s,
+                         ms[i].total_power_mw};
+  }
+  return pts;
+}
+
+TEST(DifferentialFuzz, EvaluatorArenaMemoBitIdenticalAcrossThreadCounts) {
+  for (int trial = 0; trial < kEvaluatorTrials; ++trial) {
+    const std::uint64_t seed =
+        derive_seed(kRootSeed, 20'000 + static_cast<std::uint64_t>(trial));
+    Rng rng(seed);
+    SCOPED_TRACE("trial=" + std::to_string(trial) + " seed=" +
+                 std::to_string(seed));
+
+    std::vector<core::SystemConfig> cfgs;
+    const int n_cfgs = 4 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < n_cfgs; ++i) {
+      cfgs.push_back(random_system_config(rng, i));
+    }
+    core::EvalWorkload w;
+    w.demand_gbyte_s = 0.5 + rng.next_double() * 3.0;
+    w.stream_clients = 1 + static_cast<unsigned>(rng.next_below(3));
+    w.random_clients = 1 + static_cast<unsigned>(rng.next_below(3));
+    w.sim_cycles = 20'000 + rng.next_below(20'000);
+    w.seed = derive_seed(seed, 3);
+
+    // Reference: regenerate clients per point, no memoization, serial.
+    core::Evaluator ref;
+    ref.set_workload_arena(false);
+    ref.set_memoize(false);
+    ref.set_threads(1);
+    const std::vector<core::Metrics> want = ref.sweep(cfgs, w);
+    const std::vector<std::size_t> want_front = core::pareto_front(
+        project(want));
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      core::Evaluator ev;  // arena + memo on by default
+      ev.set_threads(threads);
+      const std::vector<core::Metrics> cold = ev.sweep(cfgs, w);
+      ASSERT_EQ(cold.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i) + " (cold)");
+        expect_metrics_eq(want[i], cold[i]);
+      }
+      // Warm re-sweep: every point must come from the memo, unchanged.
+      const std::vector<core::Metrics> warm = ev.sweep(cfgs, w);
+      EXPECT_GE(ev.memo_hits(), cfgs.size());
+      // The arena cache populated during the cold sweep (hits only occur
+      // when configs share workload geometry, which random configs need
+      // not; the memo short-circuits the warm pass before arena lookup).
+      EXPECT_GT(ev.workload_cache().entries(), 0u);
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i) + " (warm)");
+        expect_metrics_eq(want[i], warm[i]);
+      }
+      EXPECT_EQ(core::pareto_front(project(cold)), want_front);
+      EXPECT_EQ(core::pareto_front(project(warm)), want_front);
+    }
+
+    // Yield trials ride the same thread-count contract (chunked per-trial
+    // seeds; no workload to compile, but the sweep pipeline calls it).
+    const bist::DefectMix mix;
+    const auto y1 = bist::simulate_yield(1.3, mix, 2, 2, 20'000,
+                                         derive_seed(seed, 4), 1);
+    for (const unsigned threads : {2u, 8u}) {
+      const auto yn = bist::simulate_yield(1.3, mix, 2, 2, 20'000,
+                                           derive_seed(seed, 4), threads);
+      EXPECT_EQ(y1.yield, yn.yield) << "threads=" << threads;
+      EXPECT_EQ(y1.raw_yield, yn.raw_yield) << "threads=" << threads;
+      EXPECT_EQ(y1.trials, yn.trials) << "threads=" << threads;
+      expect_acc_eq(y1.spares_used, yn.spares_used, "yield spares_used");
+    }
+    if (HasFailure()) {
+      FAIL() << "reproduce with trial=" << trial << " seed=" << seed;
     }
   }
 }
