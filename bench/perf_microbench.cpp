@@ -25,6 +25,7 @@
 #include "dram/multi_channel.hpp"
 #include "dram/presets.hpp"
 #include "dram/protocol_checker.hpp"
+#include "reliability/manager.hpp"
 #include "telemetry/interval.hpp"
 #include "telemetry/multi_hooks.hpp"
 #include "telemetry/request_tracer.hpp"
@@ -157,6 +158,53 @@ void BM_IdleHeavyFastForward(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * kIdleWindow));
 }
 BENCHMARK(BM_IdleHeavyFastForward)->Unit(benchmark::kMillisecond);
+
+// --- self-managed maintenance: before/after pair ----------------------------
+// The same paced decode stream against a channel with a retention-weak
+// tail: "RefreshBaseline" runs the controller's uniform tREFI sweep,
+// "SelfManagedMaintenance" swaps in the retention-bin/RowHammer engine
+// with its idle-slot claims. The pair quantifies the arbitration cost
+// (both run event-driven fast-forward).
+
+constexpr std::uint64_t kMaintWindow = 500'000;
+
+std::uint64_t run_maintained(bool self_managed) {
+  dram::DramConfig cfg = dram::presets::edram_module(8, 64, 4, 2048);
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = 9;
+  rc.inject.weak_cells = 16;
+  rc.maintenance.enabled = self_managed;
+  reliability::ReliabilityManager mgr(cfg, rc);
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  sys.controller().attach_reliability(&mgr);
+  sys.set_fast_forward(true);
+  clients::StreamClient::Params p;
+  p.length = 1 << 20;
+  p.burst_bytes = cfg.bytes_per_access();
+  p.period_cycles = 400;
+  sys.add_client(std::make_unique<clients::StreamClient>(0, "decode", p));
+  sys.run(kMaintWindow);
+  return sys.controller().stats().refreshes +
+         sys.controller().stats().maintenance_ops;
+}
+
+void BM_RefreshBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_maintained(false));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kMaintWindow));
+}
+BENCHMARK(BM_RefreshBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_SelfManagedMaintenance(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_maintained(true));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kMaintWindow));
+}
+BENCHMARK(BM_SelfManagedMaintenance)->Unit(benchmark::kMillisecond);
 
 // Nine-point candidate list shared by the sweep benchmarks: three base
 // processes crossed with three interface widths.

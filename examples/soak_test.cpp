@@ -12,7 +12,13 @@
 // 10000) to write the full preset's headline run as a per-interval time
 // series CSV — bandwidth, page-hit rate and the reliability event bins,
 // with every event attributed to its exact cycle.
+//
+// Pass `--rowhammer` to run the aggressor-storm demo (defended vs
+// undefended victim-row corruption counts) and `--retention-bins` to run
+// the leaky-cell demo (uniform tREFI sweep vs retention-aware binned
+// sweeps), both on the self-managed maintenance engine.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +28,8 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/system_config.hpp"
+#include "dram/address_map.hpp"
+#include "dram/controller.hpp"
 #include "dram/presets.hpp"
 #include "modulegen/module_compiler.hpp"
 #include "mpeg/trace_gen.hpp"
@@ -85,13 +93,139 @@ SoakResult run_soak(core::ReliabilityPreset preset, double fault_rate,
   return r;
 }
 
+// --- self-managed maintenance demos -----------------------------------------
+
+struct HammerResult {
+  dram::ReliabilityCounters counters;
+  std::uint32_t max_disturbance = 0;
+  std::uint64_t maintenance_ops = 0;
+  std::uint64_t refreshes = 0;
+};
+
+/// Double-sided hammer on one bank: alternate reads of the victim's two
+/// neighbor rows, each a fresh ACT. No ECC, no transients — every error
+/// in the result is a RowHammer bit flip.
+HammerResult run_hammer(bool defended, std::uint64_t cycles) {
+  const dram::DramConfig cfg = dram::presets::edram_module(4, 64, 4, 1024);
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = 2026;
+  rc.inject.hammer_flip_threshold = 128;
+  rc.scrub_enabled = false;
+  rc.maintenance.enabled = defended;
+  rc.maintenance.hammer_threshold = 32;  // 4x margin under the flip point
+  rc.maintenance.hammer_table_rows = 4;
+  rc.maintenance.base_window_cycles = 500'000;
+  reliability::ReliabilityManager mgr(cfg, rc);
+
+  dram::Controller ctl(cfg);
+  ctl.attach_reliability(&mgr);
+  const dram::AddressMapper map(cfg);
+  const std::uint64_t agg[2] = {
+      map.encode(dram::Coordinates{1, 9, 0}),
+      map.encode(dram::Coordinates{1, 11, 0}),
+  };
+  unsigned flip = 0;
+  std::uint64_t arrival = 5;
+  while (ctl.cycle() < cycles) {
+    while (arrival == ctl.cycle() && arrival < cycles) {
+      dram::Request r;
+      r.addr = agg[flip];
+      flip ^= 1u;
+      r.type = dram::AccessType::kRead;
+      ctl.enqueue(r);
+      arrival += 24;
+    }
+    ctl.tick_until(std::min<std::uint64_t>(arrival, cycles));
+    ctl.drain_completed();
+  }
+  mgr.finalize(ctl.cycle());
+
+  HammerResult r;
+  r.counters = mgr.counters();
+  r.max_disturbance = mgr.max_disturbance();
+  r.maintenance_ops = ctl.stats().maintenance_ops;
+  r.refreshes = ctl.stats().refreshes;
+  return r;
+}
+
+void rowhammer_demo() {
+  constexpr std::uint64_t kStorm = 200'000;
+  Table t({"config", "peak disturbance", "victim flips", "uncorrected",
+           "neighbor refreshes", "maint ops", "REF cmds"});
+  for (const bool defended : {false, true}) {
+    const HammerResult r = run_hammer(defended, kStorm);
+    t.row()
+        .cell(defended ? "graphene-defended" : "undefended")
+        .integer(static_cast<long long>(r.max_disturbance))
+        .integer(static_cast<long long>(r.counters.disturb_flips))
+        .integer(static_cast<long long>(r.counters.uncorrected))
+        .integer(static_cast<long long>(r.counters.neighbor_rows))
+        .integer(static_cast<long long>(r.maintenance_ops))
+        .integer(static_cast<long long>(r.refreshes));
+  }
+  t.print(std::cout,
+          "RowHammer storm (flip threshold 128, defense threshold 32)");
+  std::cout << "The tracker refreshes an aggressor's neighbors before any "
+               "victim can cross\nthe flip threshold: defended runs end "
+               "with zero corrupt rows.\n\n";
+}
+
+/// Leaky-cell sweep comparison: the uniform tREFI walk revisits a row
+/// every rows x tREFI cycles, far beyond the weak tail's retention; the
+/// binned schedule sweeps exactly as often as each row's weakest cell
+/// requires.
+void retention_demo() {
+  constexpr std::uint64_t kHorizon = 400'000;
+  const dram::DramConfig cfg = dram::presets::edram_module(4, 64, 4, 1024);
+  Table t({"schedule", "retention faults", "maint rows", "REF cmds",
+           "bin windows (cycles)"});
+  for (const bool binned : {false, true}) {
+    reliability::ReliabilityConfig rc;
+    rc.inject.seed = 2026;
+    rc.inject.weak_cells = 12;
+    rc.inject.weak_retention_min_frac = 0.0005;
+    rc.inject.weak_retention_max_frac = 0.0010;
+    rc.scrub_enabled = false;
+    rc.maintenance.enabled = binned;
+    rc.maintenance.bins = 3;
+    reliability::ReliabilityManager mgr(cfg, rc);
+    dram::Controller ctl(cfg);
+    ctl.attach_reliability(&mgr);
+    ctl.tick_until(kHorizon);
+    mgr.finalize(kHorizon);
+
+    std::string windows = "uniform tREFI";
+    if (binned) {
+      const auto* engine = mgr.maintenance_engine();
+      windows.clear();
+      for (unsigned i = 0; i < engine->bins(); ++i) {
+        if (i != 0) windows += " / ";
+        windows += std::to_string(engine->bin_window(i));
+      }
+    }
+    t.row()
+        .cell(binned ? "retention bins" : "uniform tREFI")
+        .integer(static_cast<long long>(mgr.counters().injected))
+        .integer(static_cast<long long>(mgr.counters().maint_rows))
+        .integer(static_cast<long long>(ctl.stats().refreshes))
+        .cell(windows);
+  }
+  t.print(std::cout, "retention-weak tail vs refresh schedule");
+  std::cout << "Binned sweeps hold every leaky cell inside its retention "
+               "window; the uniform\nsweep provably cannot.\n\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace edsim;
   using core::ReliabilityPreset;
 
-  const Args args(argc, argv);
+  const Args args(argc, argv, {"rowhammer", "retention-bins"});
+
+  if (args.has("rowhammer")) rowhammer_demo();
+  if (args.has("retention-bins")) retention_demo();
+  if (args.has("rowhammer") || args.has("retention-bins")) return 0;
 
   constexpr std::uint64_t kSeed = 2026;
   constexpr std::uint64_t kCycles = 400'000;  // ~2.6 ms of decode

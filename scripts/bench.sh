@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Performance snapshot: build the Release (-O3) tree and run the simulator
 # microbenchmarks with JSON output. Writes BENCH_<n>.json at the repo root
-# (default n=5); the suite contains before/after pairs — per-cycle vs
+# (default n=6); the suite contains before/after pairs — per-cycle vs
 # fast-forward system runs, serial vs pooled sweeps, regenerated vs
-# arena-replayed workloads, cold vs memoized evaluation — so one file
-# holds both sides of each comparison.
+# arena-replayed workloads, cold vs memoized evaluation, uniform-tREFI
+# vs self-managed maintenance — so one file holds both sides of each
+# comparison.
 #
 # Usage: scripts/bench.sh [n] [extra perf_microbench args...]
-#   scripts/bench.sh                 # writes BENCH_5.json
+#   scripts/bench.sh                 # writes BENCH_6.json
 #   scripts/bench.sh 3 --benchmark_filter='IdleHeavy|DesignSpace'
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-5}"
+N="${1:-6}"
 shift $(( $# > 0 ? 1 : 0 ))
 
 cmake -B build-release -DCMAKE_BUILD_TYPE=Release
@@ -49,5 +50,7 @@ speedup("trace workload (shared arena replay)", "BM_WorkloadRegenerate",
         "BM_WorkloadArena")
 speedup("repeated sweep (evaluation memoization)", "BM_SweepCold",
         "BM_SweepMemoized")
+speedup("refresh path (uniform tREFI vs self-managed)", "BM_RefreshBaseline",
+        "BM_SelfManagedMaintenance")
 EOF
 fi

@@ -25,6 +25,15 @@ echo
 echo "trace format / workload compilation:"
 ctest --test-dir build -L trace_format --output-on-failure
 
+# Self-managed maintenance gate: retention-bin refresh, RowHammer defense
+# and the lock-region arbitration protocol. The defended-vs-undefended
+# victim demos must both run: the defense keeps every victim clean and
+# the undefended config provably corrupts.
+echo
+echo "self-managed maintenance:"
+ctest --test-dir build -L maintenance --output-on-failure
+build/examples/soak_test --rowhammer --retention-bins
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

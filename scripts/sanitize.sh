@@ -21,3 +21,9 @@ build-asan/tests/edsim_fuzz_tests
 # masks), so out-of-bounds reads or integer UB in the varint/delta
 # decoding paths surface here under ASan/UBSan.
 build-asan/tests/edsim_trace_format_tests
+
+# Maintenance replay: the bounded hammer counters, bin rotation pointers
+# and lock bookkeeping all index by (bank, row, bin) — exactly the kind
+# of arithmetic ASan/UBSan catch. The fuzz binary above already ran the
+# self-managed differential trials; this adds the directed suite.
+build-asan/tests/edsim_maintenance_tests

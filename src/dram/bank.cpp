@@ -11,6 +11,8 @@ const char* to_string(Command c) {
     case Command::kRead: return "RD";
     case Command::kWrite: return "WR";
     case Command::kRefresh: return "REF";
+    case Command::kMaintStart: return "MAINT";
+    case Command::kMaintEnd: return "MAINT-END";
   }
   return "?";
 }
@@ -29,9 +31,13 @@ bool Bank::can_issue(Command cmd, std::uint64_t cycle) const {
     case Command::kWrite:
       return state_ == State::kActive && cycle >= next_col_;
     case Command::kRefresh:
+    case Command::kMaintStart:
       // Refresh is issued channel-wide; per-bank requirement is "idle and
-      // past tRP", i.e. the same window as an ACT.
+      // past tRP", i.e. the same window as an ACT. A maintenance lock has
+      // the identical entry condition on its one bank.
       return state_ == State::kIdle && cycle >= next_act_;
+    case Command::kMaintEnd:
+      return true;  // lock release, no timing of its own
   }
   return false;
 }
@@ -40,12 +46,15 @@ std::uint64_t Bank::earliest(Command cmd) const {
   switch (cmd) {
     case Command::kActivate:
     case Command::kRefresh:
+    case Command::kMaintStart:
       return next_act_;
     case Command::kPrecharge:
       return next_pre_;
     case Command::kRead:
     case Command::kWrite:
       return next_col_;
+    case Command::kMaintEnd:
+      break;
   }
   return 0;
 }
@@ -83,6 +92,9 @@ void Bank::issue(Command cmd, unsigned row, std::uint64_t cycle) {
       state_ = State::kIdle;
       next_act_ = cycle + t_->tRFC;
       break;
+    case Command::kMaintStart:
+    case Command::kMaintEnd:
+      break;  // lock bookkeeping is block_until / controller state
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "dram/request.hpp"
@@ -29,6 +30,15 @@ class Bank {
 
   /// Cycle at which the earliest future issue of `cmd` becomes legal.
   std::uint64_t earliest(Command cmd) const;
+
+  /// Self-managed maintenance lock: the device works on this bank until
+  /// `cycle`; no command may start before then. Raises every release
+  /// window without ever regressing an earlier constraint.
+  void block_until(std::uint64_t cycle) {
+    next_act_ = std::max(next_act_, cycle);
+    next_pre_ = std::max(next_pre_, cycle);
+    next_col_ = std::max(next_col_, cycle);
+  }
 
   // --- per-bank statistics ------------------------------------------------
   std::uint64_t activations() const { return acts_; }

@@ -14,7 +14,7 @@ struct CommandRecord {
   std::uint64_t cycle = 0;
   Command cmd = Command::kActivate;
   unsigned bank = 0;   ///< kRefresh: unused (all banks)
-  unsigned row = 0;    ///< kActivate only
+  unsigned row = 0;    ///< kActivate: row; kMaintStart: lock duration
   bool auto_precharge = false;  ///< column command with implicit PRE
 
   friend bool operator==(const CommandRecord& a, const CommandRecord& b) {

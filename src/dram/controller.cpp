@@ -25,6 +25,7 @@ Controller::Controller(const DramConfig& cfg)
   autopre_pending_.assign(cfg_.banks, false);
   last_col_cycle_.assign(cfg_.banks, 0);
   bank_entries_.assign(cfg_.banks, {});
+  maint_until_.assign(cfg_.banks, 0);
 }
 
 void Controller::log_command(const CommandRecord& rec) {
@@ -53,6 +54,10 @@ void Controller::attach_reliability(ReliabilityHooks* hooks) {
     const ReliabilityCounters c = hooks_->counters();
     reliability_events_seen_ = c.rows_remapped + c.banks_retired;
   }
+  // Self-managed maintenance replaces the tREFI REF sweep. The flag is
+  // sampled once here (toggle the hooks' switch before attaching).
+  self_managed_ = hooks_ != nullptr && hooks_->self_managed();
+  refresh_.set_self_managed(self_managed_);
 }
 
 bool Controller::all_banks_retired() const {
@@ -164,6 +169,8 @@ unsigned Controller::class_of(Command cmd) {
     case Command::kWrite:
       return kClassColWrite;
     case Command::kRefresh:
+    case Command::kMaintStart:
+    case Command::kMaintEnd:
       break;
   }
   return kClassNone;  // uncached sentinel
@@ -502,6 +509,107 @@ bool Controller::tick_refresh() {
   return true;
 }
 
+bool Controller::bank_has_queued(unsigned b) const {
+  if (incremental_) return !bank_entries_[b].empty();
+  for (const QueueEntry& e : queue_) {
+    if (e.coord.bank == b) return true;
+  }
+  return false;
+}
+
+bool Controller::maintenance_any_urgent() const {
+  if (!self_managed_) return false;
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (maint_until_[b] == 0 && hooks_->maintenance_urgent(b, cycle_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Controller::expire_maintenance_locks() {
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (maint_until_[b] != 0 && maint_until_[b] <= cycle_) {
+      maint_until_[b] = 0;
+      --maint_locked_;
+      // No invalidate: block_until already left the bank's releases at
+      // exactly the lock end, so cached entries stay correct.
+      log_command(CommandRecord{cycle_, Command::kMaintEnd, b, 0, false});
+    }
+  }
+}
+
+bool Controller::tick_maintenance() {
+  // SMD-style arbitration: maintenance takes *bank* slots, not the
+  // channel. Banks with nothing queued donate idle slots as soon as work
+  // is pending; past the deadline an op may preempt (close an open row
+  // and take the bank). Claims are not bus commands, so several banks can
+  // start maintenance in one cycle; only a preempting PRE costs the slot.
+  bool slot_used = false;
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (maint_until_[b] != 0) continue;  // already under maintenance
+    if (hooks_->bank_retired(b)) continue;
+    const bool urg = hooks_->maintenance_urgent(b, cycle_);
+    if (!urg && !hooks_->maintenance_pending(b, cycle_)) continue;
+    Bank& bank = banks_[b];
+    if (bank.has_open_row()) {
+      // Only a past-deadline op may close an open row (one PRE per cycle
+      // on the command bus, mirroring the refresh drain).
+      if (urg && !slot_used &&
+          bank.can_issue(Command::kPrecharge, cycle_)) {
+        bank.issue(Command::kPrecharge, 0, cycle_);
+        clear_autopre(b);
+        ++stats_.precharges;
+        log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+        invalidate_bank(b);
+        slot_used = true;
+      }
+      continue;
+    }
+    if (!urg && bank_has_queued(b)) continue;  // traffic keeps priority
+    if (!bank.can_issue(Command::kMaintStart, cycle_)) continue;  // tRP/tRFC
+    const unsigned dur = hooks_->maintenance_claim(b, cycle_);
+    if (dur == 0) continue;
+    // Lock region: the device owns the bank until cycle_ + dur. In-flight
+    // data of earlier column commands is untouched — the lock only gates
+    // future commands to this bank.
+    bank.block_until(cycle_ + dur);
+    maint_until_[b] = cycle_ + dur;
+    ++maint_locked_;
+    ++stats_.maintenance_ops;
+    // CommandRecord.row carries the lock duration for kMaintStart (the
+    // protocol checker derives the lock region from it).
+    log_command(CommandRecord{cycle_, Command::kMaintStart, b, dur, false});
+    invalidate_bank(b);
+  }
+  return slot_used;
+}
+
+std::uint64_t Controller::maintenance_event_bound() const {
+  std::uint64_t ne = kNeverCycle;
+  const auto upd = [&](std::uint64_t c) {
+    ne = std::min(ne, std::max(c, cycle_));
+  };
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (maint_until_[b] != 0) {
+      upd(maint_until_[b]);  // lock expiry (kMaintEnd record)
+      continue;
+    }
+    if (hooks_->bank_retired(b)) continue;
+    if (hooks_->maintenance_urgent(b, cycle_)) {
+      upd(banks_[b].has_open_row()
+              ? banks_[b].earliest(Command::kPrecharge)
+              : banks_[b].earliest(Command::kMaintStart));
+    } else if (hooks_->maintenance_pending(b, cycle_) &&
+               !banks_[b].has_open_row() && !bank_has_queued(b)) {
+      upd(banks_[b].earliest(Command::kMaintStart));
+    }
+  }
+  // Schedule changes on their own (bin due / deadline crossings).
+  upd(hooks_->next_maintenance_cycle(cycle_));
+  return ne;
+}
+
 void Controller::tick_watchdog() {
   if (!cfg_.watchdog_enabled || queue_.empty()) return;
   // queue_ is age-ordered, so the front entry is the starvation candidate.
@@ -529,12 +637,17 @@ void Controller::tick() {
   stats_.queue_occupancy.add(static_cast<double>(queue_.size()));
   if (hooks_ != nullptr) hooks_->on_cycle(cycle_);
 
+  // Maintenance locks expire before anything else can consult bank state
+  // (including the power-down block), so a stale lock never gates a tick.
+  if (maint_locked_ != 0) expire_maintenance_locks();
+
   // --- power-down management -------------------------------------------------
   if (cfg_.powerdown_enabled) {
     const bool has_work = !queue_.empty() || !inflight_.empty();
     if (powered_down_) {
-      // Refresh urgency or new work wakes the device after tXP.
-      if (has_work || refresh_.urgent(cycle_)) {
+      // Refresh urgency, maintenance deadlines or new work wake the
+      // device after tXP.
+      if (has_work || refresh_.urgent(cycle_) || maintenance_any_urgent()) {
         powered_down_ = false;
         wake_until_ = cycle_ + cfg_.tXP;
       } else {
@@ -550,9 +663,12 @@ void Controller::tick() {
         idle_since_ = cycle_;
       }
       // All banks must be precharged before entry; close any open row
-      // (this consumes the command slot, like an explicit PRE).
+      // (this consumes the command slot, like an explicit PRE). Never
+      // enter while a maintenance op runs or is overdue — non-urgent
+      // pending work simply defers to its deadline, which wakes us.
       if (cycle_ - idle_since_ >= cfg_.powerdown_idle_cycles &&
-          !refresh_.urgent(cycle_)) {
+          !refresh_.urgent(cycle_) && maint_locked_ == 0 &&
+          !maintenance_any_urgent()) {
         bool all_idle = true;
         for (unsigned b = 0; b < cfg_.banks; ++b) {
           if (banks_[b].has_open_row()) {
@@ -619,8 +735,9 @@ void Controller::tick() {
   // 2c. Reliability dirty flag: remap/retire invalidates the cache wholesale.
   maybe_reliability_refresh();
 
-  // 3. Refresh has absolute priority once due.
-  if (!tick_refresh()) {
+  // 3. Refresh has absolute priority once due. In self-managed mode the
+  // REF sweep is replaced by maintenance arbitration over idle bank slots.
+  if (!(self_managed_ ? tick_maintenance() : tick_refresh())) {
     // 4. Normal scheduling: one command this cycle.
     const auto& candidates = build_candidates();
     const std::uint64_t oldest_wait =
@@ -667,6 +784,9 @@ void Controller::tick() {
           if (recent_acts_.size() > 8) recent_acts_.pop_front();
           log_command(CommandRecord{cycle_, Command::kActivate, e.coord.bank,
                                     e.coord.row, false});
+          if (hooks_ != nullptr) {
+            hooks_->on_activate(e.coord.bank, e.coord.row, cycle_);
+          }
           invalidate_bank(c.bank);
           break;
         case Command::kPrecharge:
@@ -685,7 +805,9 @@ void Controller::tick() {
           break;
         }
         case Command::kRefresh:
-          break;  // unreachable: refresh handled above
+        case Command::kMaintStart:
+        case Command::kMaintEnd:
+          break;  // unreachable: never scheduler candidates
       }
     }
   }
@@ -718,9 +840,11 @@ std::uint64_t Controller::next_event_cycle() const {
 
   if (cfg_.powerdown_enabled) {
     if (powered_down_) {
-      // Only new work (caller-driven) or refresh urgency wakes the device.
+      // Only new work (caller-driven), refresh urgency or a maintenance
+      // deadline wakes the device (locks are never live while down).
       if (has_work) return cycle_;
       upd(refresh_.next_urgent_cycle(cycle_));
+      if (self_managed_) upd(hooks_->next_maintenance_cycle(cycle_));
       return ne;
     }
     if (cycle_ < wake_until_) {
@@ -738,8 +862,9 @@ std::uint64_t Controller::next_event_cycle() const {
   // In-flight data completions (cached minimum, kNeverCycle when empty).
   if (inflight_min_done_ != kNeverCycle) upd(inflight_min_done_);
 
-  // Refresh urgency.
+  // Refresh urgency / self-managed maintenance deadlines and claims.
   upd(refresh_.next_urgent_cycle(cycle_));
+  if (self_managed_) upd(maintenance_event_bound());
 
   // Pending hardware auto-precharges (skipped outright when none pending).
   if (autopre_count_ != 0) {
@@ -806,9 +931,11 @@ std::uint64_t Controller::next_event_cycle_rescan() const {
 
   if (cfg_.powerdown_enabled) {
     if (powered_down_) {
-      // Only new work (caller-driven) or refresh urgency wakes the device.
+      // Only new work (caller-driven), refresh urgency or a maintenance
+      // deadline wakes the device (locks are never live while down).
       if (has_work) return cycle_;
       upd(refresh_.next_urgent_cycle(cycle_));
+      if (self_managed_) upd(hooks_->next_maintenance_cycle(cycle_));
       return ne;
     }
     if (cycle_ < wake_until_) {
@@ -826,8 +953,9 @@ std::uint64_t Controller::next_event_cycle_rescan() const {
   // In-flight data completions.
   for (const InFlight& f : inflight_) upd(f.req.done_cycle);
 
-  // Refresh urgency.
+  // Refresh urgency / self-managed maintenance deadlines and claims.
   upd(refresh_.next_urgent_cycle(cycle_));
+  if (self_managed_) upd(maintenance_event_bound());
 
   // Pending hardware auto-precharges.
   for (unsigned b = 0; b < cfg_.banks; ++b) {

@@ -36,6 +36,7 @@ struct ControllerStats {
   std::uint64_t powerdown_cycles = 0;  ///< cycles spent in power-down
   std::uint64_t redirected_requests = 0;  ///< steered around retired banks
   std::uint64_t watchdog_retries = 0;     ///< starvation escalations fired
+  std::uint64_t maintenance_ops = 0;      ///< self-managed slots claimed
   ReliabilityCounters reliability;        ///< mirrored from attached hooks
   Accumulator read_latency;   ///< cycles, arrival -> last beat
   Accumulator write_latency;
@@ -228,6 +229,19 @@ class Controller {
   std::uint64_t channel_column_release(AccessType type) const;
   void issue_column(QueueEntry& e, std::uint64_t cycle);
   bool tick_refresh();
+  /// Self-managed replacement for tick_refresh: offer idle precharged
+  /// banks to the reliability hooks (SMD-style arbitration). Returns true
+  /// when the command slot was consumed (urgent drain PRE).
+  bool tick_maintenance();
+  /// Release expired maintenance locks (runs at the top of tick so lazy
+  /// expiries can never wedge the event bound).
+  void expire_maintenance_locks();
+  /// Maintenance term of the next-event bound (locks, urgent drains,
+  /// idle-slot claims, schedule changes). Shared by both next-event paths.
+  std::uint64_t maintenance_event_bound() const;
+  bool bank_has_queued(unsigned b) const;
+  /// Any unlocked bank with past-deadline maintenance (power-down gate).
+  bool maintenance_any_urgent() const;
   bool tick_autoprecharge();
   void tick_watchdog();
   const std::vector<Candidate>& build_candidates();
@@ -298,6 +312,12 @@ class Controller {
 
   // Refresh draining state.
   bool refresh_draining_ = false;
+
+  // Self-managed maintenance lock regions (cycle the bank unlocks; 0 =
+  // unlocked). Sampled from the hooks at attach_reliability.
+  bool self_managed_ = false;
+  std::vector<std::uint64_t> maint_until_;
+  unsigned maint_locked_ = 0;  ///< live lock count (fast skip)
 
   // Power-down state (config.powerdown_enabled).
   bool powered_down_ = false;

@@ -33,6 +33,8 @@ struct BankState {
   std::optional<std::uint64_t> last_wr_data_end;  // for tWR
   std::optional<std::uint64_t> last_rd;           // for read-to-precharge
   std::optional<std::uint64_t> ref_end;           // tRFC window
+  std::uint64_t lock_until = 0;                   // maintenance lock region
+  bool maint_open = false;                        // MAINT without MAINT-END
 };
 
 bool too_soon(const std::optional<std::uint64_t>& past, std::uint64_t now,
@@ -58,6 +60,7 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
   bool any_data = false;
   std::uint64_t prev_cycle = 0;
   bool first = true;
+  std::optional<std::uint64_t> last_bus_cycle;
 
   auto flag = [&](std::uint64_t cycle, const std::string& rule) {
     if (policy_ == ViolationPolicy::kThrow) {
@@ -70,11 +73,18 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
     if (!first && r.cycle < prev_cycle) {
       flag(r.cycle, "command log not time-ordered");
     }
-    if (!first && r.cycle == prev_cycle) {
-      flag(r.cycle, "two commands in one cycle (single command bus)");
-    }
     first = false;
     prev_cycle = r.cycle;
+    // Maintenance lock markers are not bus commands; only real commands
+    // contend for the single command bus.
+    const bool bus_cmd =
+        r.cmd != Command::kMaintStart && r.cmd != Command::kMaintEnd;
+    if (bus_cmd) {
+      if (last_bus_cycle && r.cycle == *last_bus_cycle) {
+        flag(r.cycle, "two commands in one cycle (single command bus)");
+      }
+      last_bus_cycle = r.cycle;
+    }
 
     if (r.cmd != Command::kRefresh && r.bank >= cfg_.banks) {
       flag(r.cycle, "bank index out of range");
@@ -99,6 +109,8 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
         }
         if (r.row >= cfg_.rows_per_bank)
           flag(r.cycle, "row index out of range");
+        if (r.cycle < b.lock_until)
+          flag(r.cycle, "ACT to bank under maintenance (lock region)");
         b.active = true;
         b.last_act = r.cycle;
         last_act_any = r.cycle;
@@ -115,6 +127,8 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
           flag(r.cycle, "read-to-precharge (burst not drained)");
         if (b.last_wr_data_end && r.cycle < *b.last_wr_data_end + t.tWR)
           flag(r.cycle, "tWR (write recovery)");
+        if (r.cycle < b.lock_until)
+          flag(r.cycle, "PRE to bank under maintenance (lock region)");
         b.active = false;
         b.last_pre = r.cycle;
         break;
@@ -124,6 +138,8 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
         BankState& b = banks[r.bank];
         const bool is_write = r.cmd == Command::kWrite;
         if (!b.active) flag(r.cycle, "column command to idle bank");
+        if (r.cycle < b.lock_until)
+          flag(r.cycle, "column command to bank under maintenance");
         if (too_soon(b.last_act, r.cycle, t.tRCD))
           flag(r.cycle, "tRCD (ACT->column)");
         if (too_soon(b.last_col, r.cycle, t.tCCD)) flag(r.cycle, "tCCD");
@@ -174,6 +190,30 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
           b.ref_end = r.cycle + t.tRFC;
           b.last_act.reset();  // refresh resets the row timing chain
         }
+        break;
+      }
+      case Command::kMaintStart: {
+        // CommandRecord.row carries the lock duration.
+        BankState& b = banks[r.bank];
+        if (b.active) flag(r.cycle, "maintenance start on active bank");
+        if (b.maint_open || r.cycle < b.lock_until)
+          flag(r.cycle, "maintenance start on already-locked bank");
+        if (too_soon(b.last_pre, r.cycle, t.tRP))
+          flag(r.cycle, "tRP before maintenance start");
+        if (b.ref_end && r.cycle < *b.ref_end)
+          flag(r.cycle, "maintenance start during refresh (tRFC)");
+        b.lock_until = r.cycle + r.row;
+        b.maint_open = true;
+        b.last_act.reset();  // internal ops reset the row timing chain
+        break;
+      }
+      case Command::kMaintEnd: {
+        BankState& b = banks[r.bank];
+        if (!b.maint_open)
+          flag(r.cycle, "maintenance end without matching start");
+        if (r.cycle < b.lock_until)
+          flag(r.cycle, "maintenance end before its lock expires");
+        b.maint_open = false;
         break;
       }
     }

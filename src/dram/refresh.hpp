@@ -30,7 +30,7 @@ class RefreshEngine {
   /// True when at least one refresh is due and the controller must
   /// start draining.
   bool urgent(std::uint64_t cycle) {
-    if (!enabled_) return false;
+    if (!enabled_ || self_managed_) return false;
     if (pending_ == 0 && cycle >= next_due_) {
       pending_ = burst_count_;
       next_due_ += interval_ * burst_count_;
@@ -43,7 +43,7 @@ class RefreshEngine {
   /// batches lazily, so deferring its call across a skipped stretch and
   /// re-asking at the returned cycle reaches the identical state.
   std::uint64_t next_urgent_cycle(std::uint64_t now) const {
-    if (!enabled_) return kNeverCycle;
+    if (!enabled_ || self_managed_) return kNeverCycle;
     if (pending_ > 0) return now;
     return next_due_ > now ? next_due_ : now;
   }
@@ -58,6 +58,13 @@ class RefreshEngine {
   /// retention model; factor < 1 means more frequent refresh.
   void scale_interval(double factor);
 
+  /// Self-managed maintenance (reliability layer) replaces the controller
+  /// REF sweep: urgency is suppressed — but the pacing state is left in
+  /// place, so toggling back re-anchors on the original schedule. Set by
+  /// Controller::attach_reliability from the hooks' self_managed() flag.
+  void set_self_managed(bool on) { self_managed_ = on; }
+  bool self_managed() const { return self_managed_; }
+
   std::uint64_t interval() const { return interval_; }
   unsigned burst_count() const { return burst_count_; }
   std::uint64_t count() const { return count_; }
@@ -66,6 +73,7 @@ class RefreshEngine {
  private:
   const TimingParams* t_;
   bool enabled_;
+  bool self_managed_ = false;
   unsigned burst_count_;
   unsigned pending_ = 0;
   std::uint64_t next_due_;

@@ -38,6 +38,12 @@ struct ReliabilityCounters {
   std::uint64_t banks_retired = 0;        ///< banks taken out of service
   std::uint64_t scrubbed_rows = 0;        ///< rows swept by the patrol scrubber
 
+  // Self-managed maintenance (retention-bin sweeps + RowHammer defense).
+  std::uint64_t maint_ops = 0;       ///< idle bank slots claimed
+  std::uint64_t maint_rows = 0;      ///< rows refreshed by bin sweeps
+  std::uint64_t neighbor_rows = 0;   ///< victim rows refreshed by the defense
+  std::uint64_t disturb_flips = 0;   ///< disturbance flip events (attack model)
+
   bool balanced() const {
     return injected == corrected + uncorrected + remapped;
   }
@@ -70,6 +76,42 @@ class ReliabilityHooks {
 
   /// A REF command was issued (patrol-scrub piggyback point).
   virtual void on_refresh(std::uint64_t cycle) = 0;
+
+  /// An ACT opened (bank, row) — the RowHammer disturbance accounting
+  /// point. Default is a no-op so non-maintenance hooks stay unchanged.
+  virtual void on_activate(unsigned /*bank*/, unsigned /*row*/,
+                           std::uint64_t /*cycle*/) {}
+
+  // --- self-managed maintenance (SMD-style idle-slot arbitration) ----------
+  // When self_managed() is true the controller suppresses its tREFI REF
+  // sweep and instead offers precharged, unlocked banks to the hooks:
+  // maintenance_claim returns a lock duration (0 declines) and the
+  // controller fences the bank for that many cycles. pending/urgent and
+  // next_maintenance_cycle are pure queries so the fast-forward event
+  // bound can consult them without perturbing state.
+  virtual bool self_managed() const { return false; }
+  /// Maintenance work is queued for `bank` (an idle slot would be used).
+  virtual bool maintenance_pending(unsigned /*bank*/,
+                                   std::uint64_t /*cycle*/) const {
+    return false;
+  }
+  /// Maintenance for `bank` has passed its deadline (may preempt traffic).
+  virtual bool maintenance_urgent(unsigned /*bank*/,
+                                  std::uint64_t /*cycle*/) const {
+    return false;
+  }
+  /// Offer `bank` (idle, unlocked, past tRP) to the hooks at `cycle`.
+  /// Returns the lock duration in cycles, 0 to decline; row restores,
+  /// events and counters happen inside.
+  virtual unsigned maintenance_claim(unsigned /*bank*/,
+                                     std::uint64_t /*cycle*/) {
+    return 0;
+  }
+  /// Earliest cycle >= `now` at which the maintenance schedule can change
+  /// on its own (next bin due or deadline); kNeverCycle when none.
+  virtual std::uint64_t next_maintenance_cycle(std::uint64_t /*now*/) const {
+    return kNeverCycle;
+  }
 
   /// True when graceful degradation has retired this bank; the controller
   /// steers new requests to a healthy bank.

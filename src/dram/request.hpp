@@ -27,13 +27,19 @@ struct Request {
   std::uint64_t latency() const { return done_cycle - arrival_cycle; }
 };
 
-/// DRAM command set.
+/// DRAM command set. kMaintStart/kMaintEnd are not bus commands: they
+/// bracket a self-managed maintenance lock region on one bank (the device
+/// refreshes rows internally; the controller must not command the bank
+/// until the region ends). They appear in the command log so the protocol
+/// checker can assert the lock discipline.
 enum class Command : std::uint8_t {
   kActivate,
   kPrecharge,
   kRead,
   kWrite,
   kRefresh,
+  kMaintStart,
+  kMaintEnd,
 };
 
 const char* to_string(Command c);

@@ -15,6 +15,8 @@ char glyph(Command c) {
     case Command::kRead: return 'R';
     case Command::kWrite: return 'W';
     case Command::kRefresh: return 'F';
+    case Command::kMaintStart: return 'M';
+    case Command::kMaintEnd: return 'm';
   }
   return '?';
 }

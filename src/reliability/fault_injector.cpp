@@ -7,7 +7,12 @@
 namespace edsim::reliability {
 
 const char* to_string(FaultClass c) {
-  return c == FaultClass::kTransient ? "transient" : "retention";
+  switch (c) {
+    case FaultClass::kTransient: return "transient";
+    case FaultClass::kRetention: return "retention";
+    case FaultClass::kDisturb: return "disturb";
+  }
+  return "?";
 }
 
 FaultInjector::FaultInjector(const dram::DramConfig& dram_cfg,
@@ -15,6 +20,8 @@ FaultInjector::FaultInjector(const dram::DramConfig& dram_cfg,
     : banks_(dram_cfg.banks),
       rows_(dram_cfg.rows_per_bank),
       page_bits_(dram_cfg.page_bytes * 8u),
+      hammer_flip_threshold_(cfg.hammer_flip_threshold),
+      seed_(cfg.seed),
       rng_(cfg.seed) {
   require(cfg.transient_per_mbit_ms >= 0.0,
           "fault injector: negative transient rate");
@@ -121,6 +128,34 @@ void FaultInjector::drop_row(unsigned bank, unsigned row) {
 
 void FaultInjector::drop_bank(unsigned bank) {
   for (unsigned r = 0; r < rows_; ++r) weak_.erase(row_key(bank, r));
+}
+
+std::uint32_t FaultInjector::hammer_bit(unsigned bank, unsigned row,
+                                        std::uint32_t n) const {
+  std::uint64_t x = seed_ ^ (static_cast<std::uint64_t>(bank) << 40) ^
+                    (static_cast<std::uint64_t>(row) << 16) ^ n;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % page_bits_);
+}
+
+void FaultInjector::for_each_weak_row(
+    const std::function<void(unsigned, unsigned, double)>& fn) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(weak_.size());
+  for (const auto& [key, cells] : weak_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    const auto& cells = weak_.at(key);
+    double min_ret = cells.front().retention_cycles;
+    for (const WeakCell& c : cells) {
+      min_ret = std::min(min_ret, c.retention_cycles);
+    }
+    fn(static_cast<unsigned>(key / rows_), static_cast<unsigned>(key % rows_),
+       min_ret);
+  }
 }
 
 std::size_t FaultInjector::weak_cell_count() const {

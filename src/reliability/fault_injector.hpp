@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +16,7 @@ namespace edsim::reliability {
 enum class FaultClass : std::uint8_t {
   kTransient,  ///< particle strike / supply noise — random in space and time
   kRetention,  ///< weak cell leaked past its retention time before restore
+  kDisturb,    ///< RowHammer: neighbor-row activations flipped a victim bit
 };
 
 const char* to_string(FaultClass c);
@@ -50,6 +52,13 @@ struct FaultInjectorConfig {
   /// (junction temperature from power::ThermalLoop::solve).
   power::RetentionModel retention{};
   double junction_c = 85.0;
+
+  /// RowHammer attack model: disturbance accumulated on a victim row
+  /// (one unit per neighbor activation since the victim's last restore)
+  /// before a bit flips. 0 disables the attack model. The flipped bit is
+  /// chosen by a stateless hash — never the shared Rng — so defended and
+  /// undefended runs consume identical random streams.
+  unsigned hammer_flip_threshold = 0;
 };
 
 /// Samples the two runtime fault processes against a channel's geometry.
@@ -86,6 +95,22 @@ class FaultInjector {
   /// Nominal retention at the operating point, in controller cycles.
   double retention_cycles() const { return retention_cycles_; }
 
+  /// Disturbance units on a victim row before a bit flips (0 = attack
+  /// model off).
+  unsigned hammer_flip_threshold() const { return hammer_flip_threshold_; }
+
+  /// The bit the n-th disturbance flip lands on in (bank, row). Stateless
+  /// SplitMix64-style hash of (seed, bank, row, n): deterministic, and
+  /// independent of the shared Rng draw order.
+  std::uint32_t hammer_bit(unsigned bank, unsigned row,
+                           std::uint32_t n) const;
+
+  /// Invoke `fn(bank, row, min_retention_cycles)` for every row holding at
+  /// least one weak cell, in ascending (bank, row) order — the retention
+  /// binner's deterministic feed.
+  void for_each_weak_row(
+      const std::function<void(unsigned, unsigned, double)>& fn) const;
+
  private:
   struct WeakCell {
     std::uint32_t bit = 0;
@@ -103,6 +128,8 @@ class FaultInjector {
   std::uint32_t page_bits_;
   double retention_cycles_;       // nominal retention at tj, in cycles
   double mean_interarrival_;      // transient: cycles between flips (0=off)
+  unsigned hammer_flip_threshold_;
+  std::uint64_t seed_;            // for the stateless hammer_bit hash
   Rng rng_;
   std::uint64_t next_transient_ = 0;
   bool transient_armed_ = false;

@@ -1,0 +1,258 @@
+#include "reliability/maintenance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "reliability/fault_injector.hpp"
+
+namespace edsim::reliability {
+
+void MaintenanceConfig::validate() const {
+  require(bins >= 1 && bins <= 16, "maintenance: bins must be in [1, 16]");
+  require(rows_per_op >= 1, "maintenance: rows_per_op must be >= 1");
+  require(hammer_table_rows >= 1,
+          "maintenance: hammer_table_rows must be >= 1");
+}
+
+// --- HammerTracker ----------------------------------------------------------
+
+std::uint32_t HammerTracker::record(unsigned row) {
+  Entry* free_slot = nullptr;
+  for (Entry& e : entries_) {
+    if (e.used && e.row == row) return ++e.count;
+    if (!e.used && free_slot == nullptr) free_slot = &e;
+  }
+  if (free_slot != nullptr) {
+    free_slot->used = true;
+    free_slot->row = row;
+    free_slot->count = spill_ + 1;
+    return free_slot->count;
+  }
+  // Space-saving replacement: only an entry sitting at the spill floor may
+  // be stolen (its history is fully covered by the floor). Otherwise the
+  // activation goes to the floor itself, raising every untracked row's
+  // estimate — that is what makes undercounting impossible.
+  for (Entry& e : entries_) {
+    if (e.count == spill_) {
+      e.row = row;
+      e.count = spill_ + 1;
+      return e.count;
+    }
+  }
+  return ++spill_;
+}
+
+std::uint32_t HammerTracker::estimate(unsigned row) const {
+  for (const Entry& e : entries_) {
+    if (e.used && e.row == row) return e.count;
+  }
+  return spill_;
+}
+
+void HammerTracker::reset_row(unsigned row) {
+  for (Entry& e : entries_) {
+    if (e.used && e.row == row) {
+      e.count = spill_;
+      return;
+    }
+  }
+}
+
+void HammerTracker::reset_epoch() {
+  for (Entry& e : entries_) e = Entry{};
+  spill_ = 0;
+}
+
+// --- MaintenanceEngine ------------------------------------------------------
+
+MaintenanceEngine::MaintenanceEngine(const dram::DramConfig& dram_cfg,
+                                     const MaintenanceConfig& cfg,
+                                     const FaultInjector& injector)
+    : cfg_(cfg),
+      banks_(dram_cfg.banks),
+      rows_(dram_cfg.rows_per_bank) {
+  cfg_.validate();
+  row_cycles_ = cfg_.op_cycles_per_row != 0
+                    ? cfg_.op_cycles_per_row
+                    : static_cast<unsigned>(dram_cfg.timing.tRC);
+  if (row_cycles_ == 0) row_cycles_ = 1;
+
+  std::uint64_t base = cfg_.base_window_cycles;
+  if (base == 0) {
+    // 80% of the weakest cell's retention (nominal when none is weak):
+    // bin 0 then always sweeps inside the tightest retention budget.
+    double weakest = injector.retention_cycles();
+    injector.for_each_weak_row(
+        [&](unsigned, unsigned, double min_ret) {
+          weakest = std::min(weakest, min_ret);
+        });
+    base = static_cast<std::uint64_t>(0.8 * weakest);
+  }
+  if (base == 0) base = 1;
+
+  windows_.resize(cfg_.bins);
+  for (unsigned i = 0; i < cfg_.bins; ++i) windows_[i] = base << i;
+  slack_ = cfg_.op_slack_cycles != 0 ? cfg_.op_slack_cycles
+                                     : std::max<std::uint64_t>(1, base / 32);
+  reset_window_ = cfg_.hammer_reset_window != 0 ? cfg_.hammer_reset_window
+                                                : windows_.back();
+
+  trackers_.assign(banks_, HammerTracker(cfg_.hammer_table_rows));
+  tracker_epoch_.assign(banks_, 0);
+  neighbor_q_.assign(banks_, {});
+  queued_.assign(banks_, std::vector<bool>(rows_, false));
+  bank_dropped_.assign(banks_, false);
+  rebuild_bins(injector);
+}
+
+void MaintenanceEngine::rebuild_bins(const FaultInjector& injector) {
+  // Rows without a weak cell need only the most relaxed sweep; weak rows
+  // drop to the largest bin whose window still undercuts their weakest
+  // cell's retention by the 80% margin (bin 0 catches the rest).
+  row_bin_.assign(static_cast<std::size_t>(banks_) * rows_,
+                  static_cast<std::uint8_t>(cfg_.bins - 1));
+  injector.for_each_weak_row([&](unsigned bank, unsigned row,
+                                 double min_ret) {
+    unsigned bin = 0;
+    while (bin + 1 < cfg_.bins &&
+           static_cast<double>(windows_[bin + 1]) <= 0.8 * min_ret) {
+      ++bin;
+    }
+    row_bin_[static_cast<std::size_t>(bank) * rows_ + row] =
+        static_cast<std::uint8_t>(bin);
+  });
+
+  bin_state_.assign(static_cast<std::size_t>(banks_) * cfg_.bins,
+                    BinState{});
+  for (unsigned b = 0; b < banks_; ++b) {
+    for (unsigned r = 0; r < rows_; ++r) {
+      bin_state_[bin_index(b, row_bin_[static_cast<std::size_t>(b) * rows_ +
+                                       r])]
+          .rows.push_back(r);
+    }
+  }
+  for (unsigned b = 0; b < banks_; ++b) {
+    for (unsigned i = 0; i < cfg_.bins; ++i) {
+      BinState& st = bin_state_[bin_index(b, i)];
+      if (st.rows.empty() || bank_dropped_[b]) continue;
+      const std::uint64_t ops =
+          (st.rows.size() + cfg_.rows_per_op - 1) / cfg_.rows_per_op;
+      st.period = std::max<std::uint64_t>(1, windows_[i] / ops);
+      // Stagger the first due cycles so banks and bins do not all claim
+      // slots on the same cycle (deterministic in the geometry).
+      st.next_due = 1 + (b * 131ull + i * 37ull) % st.period;
+    }
+  }
+}
+
+bool MaintenanceEngine::pending(unsigned bank, std::uint64_t cycle) const {
+  if (bank_dropped_[bank]) return false;
+  if (!neighbor_q_[bank].empty()) return true;
+  for (unsigned i = 0; i < cfg_.bins; ++i) {
+    const BinState& st = bin_state_[bin_index(bank, i)];
+    if (st.next_due != dram::kNeverCycle && st.next_due <= cycle) return true;
+  }
+  return false;
+}
+
+bool MaintenanceEngine::urgent(unsigned bank, std::uint64_t cycle) const {
+  if (bank_dropped_[bank]) return false;
+  if (!neighbor_q_[bank].empty()) return true;
+  for (unsigned i = 0; i < cfg_.bins; ++i) {
+    const BinState& st = bin_state_[bin_index(bank, i)];
+    if (st.next_due != dram::kNeverCycle && st.next_due + slack_ <= cycle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t MaintenanceEngine::next_cycle(std::uint64_t now) const {
+  std::uint64_t ne = dram::kNeverCycle;
+  for (unsigned b = 0; b < banks_; ++b) {
+    if (bank_dropped_[b]) continue;
+    if (!neighbor_q_[b].empty()) return now;
+    for (unsigned i = 0; i < cfg_.bins; ++i) {
+      const BinState& st = bin_state_[bin_index(b, i)];
+      if (st.next_due == dram::kNeverCycle) continue;
+      // Future due: the schedule changes at the due cycle. Already due:
+      // the next intrinsic change is the deadline (urgency flip).
+      const std::uint64_t at = st.next_due > now
+                                   ? st.next_due
+                                   : std::max(now, st.next_due + slack_);
+      ne = std::min(ne, at);
+    }
+  }
+  return ne;
+}
+
+MaintenanceEngine::Claim MaintenanceEngine::claim(unsigned bank,
+                                                  std::uint64_t cycle) {
+  Claim c;
+  if (bank_dropped_[bank]) return c;
+
+  if (!neighbor_q_[bank].empty()) {
+    const unsigned agg = neighbor_q_[bank].front();
+    neighbor_q_[bank].pop_front();
+    queued_[bank][agg] = false;
+    trackers_[bank].reset_row(agg);
+    c.kind = Claim::Kind::kNeighbor;
+    c.aggressor = agg;
+    if (agg > 0) c.rows.push_back(agg - 1);
+    if (agg + 1 < rows_) c.rows.push_back(agg + 1);
+  } else {
+    // Most-overdue due bin, ties to the lowest (tightest) bin.
+    unsigned best = cfg_.bins;
+    std::uint64_t best_due = dram::kNeverCycle;
+    for (unsigned i = 0; i < cfg_.bins; ++i) {
+      const BinState& st = bin_state_[bin_index(bank, i)];
+      if (st.next_due == dram::kNeverCycle || st.next_due > cycle) continue;
+      if (st.next_due < best_due) {
+        best = i;
+        best_due = st.next_due;
+      }
+    }
+    if (best == cfg_.bins) return c;
+    BinState& st = bin_state_[bin_index(bank, best)];
+    c.kind = Claim::Kind::kBinSweep;
+    c.bin = best;
+    const std::size_t take =
+        std::min<std::size_t>(cfg_.rows_per_op, st.rows.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      c.rows.push_back(st.rows[st.ptr]);
+      st.ptr = (st.ptr + 1) % st.rows.size();
+    }
+    // Fixed cadence: overload shows up as lag (urgency), not as a
+    // silently stretched window.
+    st.next_due += st.period;
+  }
+  c.duration = static_cast<unsigned>(
+      std::max<std::size_t>(1, c.rows.size()) * row_cycles_);
+  return c;
+}
+
+void MaintenanceEngine::record_activation(unsigned bank, unsigned row,
+                                          std::uint64_t cycle) {
+  if (cfg_.hammer_threshold == 0 || bank_dropped_[bank]) return;
+  const std::uint64_t epoch = cycle / reset_window_;
+  if (epoch != tracker_epoch_[bank]) {
+    tracker_epoch_[bank] = epoch;
+    trackers_[bank].reset_epoch();
+  }
+  const std::uint32_t est = trackers_[bank].record(row);
+  if (est >= cfg_.hammer_threshold && !queued_[bank][row]) {
+    queued_[bank][row] = true;
+    neighbor_q_[bank].push_back(row);
+  }
+}
+
+void MaintenanceEngine::drop_bank(unsigned bank) {
+  bank_dropped_[bank] = true;
+  neighbor_q_[bank].clear();
+  std::fill(queued_[bank].begin(), queued_[bank].end(), false);
+  for (unsigned i = 0; i < cfg_.bins; ++i) {
+    bin_state_[bin_index(bank, i)].next_due = dram::kNeverCycle;
+  }
+}
+
+}  // namespace edsim::reliability

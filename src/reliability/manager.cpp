@@ -16,6 +16,8 @@ const char* to_string(EventKind k) {
     case EventKind::kUncorrectable: return "uncorrectable";
     case EventKind::kRemap: return "remap";
     case EventKind::kRetire: return "retire";
+    case EventKind::kNeighborRefresh: return "neighbor-refresh";
+    case EventKind::kBinSweep: return "bin-sweep";
   }
   return "?";
 }
@@ -34,6 +36,7 @@ void ReliabilityConfig::validate() const {
   require(remap_after_corrections >= 1,
           "reliability: remap_after_corrections must be >= 1");
   require(event_log_limit >= 1, "reliability: event_log_limit must be >= 1");
+  if (maintenance.enabled) maintenance.validate();
 }
 
 ReliabilityManager::ReliabilityManager(const dram::DramConfig& dram_cfg,
@@ -54,6 +57,16 @@ ReliabilityManager::ReliabilityManager(const dram::DramConfig& dram_cfg,
   spares_left_.assign(banks_, cfg_.spare_rows_per_bank);
   plans_.resize(banks_);
   for (auto& p : plans_) p.feasible = true;
+  if (cfg_.maintenance.enabled) {
+    engine_ = std::make_unique<MaintenanceEngine>(dram_cfg, cfg_.maintenance,
+                                                  injector_);
+  }
+}
+
+void ReliabilityManager::restore_row(unsigned bank, unsigned row,
+                                     std::uint64_t cycle) {
+  last_restore_[row_key(bank, row)] = cycle;
+  if (!disturb_.empty()) disturb_.erase(row_key(bank, row));
 }
 
 void ReliabilityManager::record(std::uint64_t cycle, EventKind kind,
@@ -223,8 +236,8 @@ dram::AccessOutcome ReliabilityManager::on_access(const dram::Coordinates& c,
   }
 
   // The activation that opened this row sensed and rewrote the whole
-  // page, restarting its retention clock.
-  last_restore_[row_key(c.bank, c.row)] = cycle;
+  // page, restarting its retention clock (and clearing disturbance).
+  restore_row(c.bank, c.row, cycle);
   return outcome;
 }
 
@@ -234,7 +247,7 @@ void ReliabilityManager::scrub_row(unsigned bank, unsigned row,
   bool wants_remap = false;
   evaluate_window(bank, row, 0, page_bits_, cycle, true, wants_remap);
   if (wants_remap && cfg_.remap_enabled) remap_row(bank, row, cycle);
-  last_restore_[row_key(bank, row)] = cycle;
+  restore_row(bank, row, cycle);
   ++counters_.scrubbed_rows;
 }
 
@@ -246,7 +259,7 @@ void ReliabilityManager::on_refresh(std::uint64_t cycle) {
   for (unsigned b = 0; b < banks_; ++b) {
     if (!alive_[b]) continue;
     materialize(b, refresh_ptr_, cycle);
-    last_restore_[row_key(b, refresh_ptr_)] = cycle;
+    restore_row(b, refresh_ptr_, cycle);
   }
   refresh_ptr_ = (refresh_ptr_ + 1) % rows_;
 
@@ -276,7 +289,7 @@ void ReliabilityManager::remap_row(unsigned bank, unsigned row,
       faulty_rows_.erase(it);
     }
     injector_.drop_row(bank, row);  // the spare row is healthy
-    last_restore_[key] = cycle;
+    restore_row(bank, row, cycle);
     record(cycle, EventKind::kRemap, bank, row, 0);
   } else if (cfg_.retire_enabled) {
     retire_bank(bank, cycle);
@@ -298,7 +311,76 @@ void ReliabilityManager::retire_bank(unsigned bank, std::uint64_t cycle) {
     }
   }
   injector_.drop_bank(bank);
+  if (engine_) engine_->drop_bank(bank);
   record(cycle, EventKind::kRetire, bank, 0, 0);
+}
+
+void ReliabilityManager::on_activate(unsigned bank, unsigned row,
+                                     std::uint64_t cycle) {
+  if (!alive_[bank]) return;
+  const unsigned flip_t = injector_.hammer_flip_threshold();
+  if (flip_t != 0) {
+    // Each ACT disturbs the two physically adjacent rows; a victim's
+    // accumulated disturbance resets whenever its cells are rewritten
+    // (restore_row). Crossing a multiple of the flip threshold flips one
+    // deterministically chosen bit.
+    for (int d = -1; d <= 1; d += 2) {
+      if (d < 0 && row == 0) continue;
+      const unsigned victim = d < 0 ? row - 1 : row + 1;
+      if (victim >= rows_) continue;
+      const std::uint32_t n = ++disturb_[row_key(bank, victim)];
+      max_disturb_ = std::max(max_disturb_, n);
+      if (n % flip_t == 0) {
+        InjectedFault f;
+        f.cycle = cycle;
+        f.cls = FaultClass::kDisturb;
+        f.bank = bank;
+        f.row = victim;
+        f.bit = injector_.hammer_bit(bank, victim, n);
+        ++counters_.disturb_flips;
+        apply_fault(f);
+        if (cfg_.hammer_remap_after_flips != 0 && cfg_.remap_enabled &&
+            n / flip_t >= cfg_.hammer_remap_after_flips) {
+          // Chronic victim: escalate to the graceful-degradation ladder.
+          remap_row(bank, victim, cycle);
+        }
+      }
+    }
+  }
+  if (engine_ && self_managed_) engine_->record_activation(bank, row, cycle);
+}
+
+unsigned ReliabilityManager::maintenance_claim(unsigned bank,
+                                               std::uint64_t cycle) {
+  if (!self_managed() || !alive_[bank]) return 0;
+  const MaintenanceEngine::Claim c = engine_->claim(bank, cycle);
+  if (c.kind == MaintenanceEngine::Claim::Kind::kNone) return 0;
+  ++counters_.maint_ops;
+  if (c.kind == MaintenanceEngine::Claim::Kind::kNeighbor) {
+    for (const unsigned v : c.rows) {
+      // The defense rewrites the victim before its disturbance can reach
+      // the flip threshold; like any refresh it latches cells that had
+      // already decayed.
+      materialize(bank, v, cycle);
+      restore_row(bank, v, cycle);
+      ++counters_.neighbor_rows;
+      record(cycle, EventKind::kNeighborRefresh, bank, v, 0);
+    }
+  } else {
+    for (const unsigned r : c.rows) {
+      if (cfg_.scrub_enabled && ecc_enabled_) {
+        scrub_row(bank, r, cycle);  // sweep doubles as patrol scrub
+      } else {
+        materialize(bank, r, cycle);
+        restore_row(bank, r, cycle);
+      }
+    }
+    counters_.maint_rows += c.rows.size();
+    record(cycle, EventKind::kBinSweep, bank,
+           c.rows.empty() ? 0 : c.rows.front(),
+           static_cast<std::uint32_t>(c.rows.size()));
+  }
+  return c.duration;
 }
 
 void ReliabilityManager::inject_fault(unsigned bank, unsigned row,
@@ -319,6 +401,7 @@ void ReliabilityManager::import_fault_map(const bist::FailBitmap& bitmap,
                                           unsigned bank,
                                           double retention_frac) {
   injector_.import_fault_map(bitmap, bank, retention_frac);
+  if (engine_) engine_->rebuild_bins(injector_);
 }
 
 void ReliabilityManager::finalize(std::uint64_t cycle) {

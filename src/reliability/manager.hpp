@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "dram/config.hpp"
 #include "dram/reliability_hooks.hpp"
 #include "reliability/fault_injector.hpp"
+#include "reliability/maintenance.hpp"
 
 namespace edsim::reliability {
 
@@ -23,6 +25,8 @@ enum class EventKind : std::uint8_t {
   kUncorrectable,  ///< DED fired (or corruption was read without ECC)
   kRemap,          ///< row moved onto a spare row
   kRetire,         ///< bank taken out of service
+  kNeighborRefresh,  ///< RowHammer defense refreshed an aggressor's victim
+  kBinSweep,       ///< retention-bin sweep op (bit = rows refreshed)
 };
 
 const char* to_string(EventKind k);
@@ -57,6 +61,15 @@ struct ReliabilityConfig {
   unsigned remap_after_corrections = 8;  ///< SEC events before precautionary remap
   bool retire_enabled = true;
 
+  /// Self-managed maintenance (retention bins + RowHammer defense + idle
+  /// slot arbitration). Off by default: the controller's tREFI REF sweep
+  /// stays the reference behaviour.
+  MaintenanceConfig maintenance{};
+  /// RowHammer escalation: disturbance flips on one victim row before it
+  /// is remapped to a spare (0 = never escalate). Counts flips since the
+  /// victim's last restore, in units of the injector's flip threshold.
+  unsigned hammer_remap_after_flips = 0;
+
   std::size_t event_log_limit = 1u << 20;
 
   void validate() const;
@@ -79,12 +92,33 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
                                 dram::AccessType type,
                                 std::uint64_t cycle) override;
   void on_refresh(std::uint64_t cycle) override;
+  void on_activate(unsigned bank, unsigned row, std::uint64_t cycle) override;
   bool bank_retired(unsigned bank) const override {
     return !alive_[bank];
   }
   const dram::ReliabilityCounters& counters() const override {
     return counters_;
   }
+  bool self_managed() const override {
+    return engine_ != nullptr && self_managed_;
+  }
+  bool maintenance_pending(unsigned bank,
+                           std::uint64_t cycle) const override {
+    return self_managed() && alive_[bank] && engine_->pending(bank, cycle);
+  }
+  bool maintenance_urgent(unsigned bank, std::uint64_t cycle) const override {
+    return self_managed() && alive_[bank] && engine_->urgent(bank, cycle);
+  }
+  unsigned maintenance_claim(unsigned bank, std::uint64_t cycle) override;
+  std::uint64_t next_maintenance_cycle(std::uint64_t now) const override {
+    return self_managed() ? engine_->next_cycle(now) : dram::kNeverCycle;
+  }
+
+  /// Differential baseline switch: false reverts to the PR-1
+  /// controller-REF path (the engine's schedule freezes but keeps its
+  /// state). Toggle *before* attaching to a controller — the controller
+  /// samples the flag at attach time.
+  void set_self_managed(bool on) { self_managed_ = on; }
 
   // --- direct manipulation (tests, imported fault maps) --------------------
   /// Force one fault bit into the array (counted as injected).
@@ -120,6 +154,12 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
   /// Full-array sweeps the patrol scrubber has completed (fractional).
   double scrub_coverage() const;
   const FaultInjector& injector() const { return injector_; }
+  /// The maintenance engine, nullptr when maintenance is disabled.
+  const MaintenanceEngine* maintenance_engine() const { return engine_.get(); }
+  /// Peak disturbance any victim row accumulated between restores — the
+  /// defense-coverage witness: defended runs keep this under the
+  /// injector's flip threshold.
+  std::uint32_t max_disturbance() const { return max_disturb_; }
 
  private:
   struct RowState {
@@ -144,6 +184,10 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
   void scrub_row(unsigned bank, unsigned row, std::uint64_t cycle);
   void remap_row(unsigned bank, unsigned row, std::uint64_t cycle);
   void retire_bank(unsigned bank, std::uint64_t cycle);
+  /// The row's cells were rewritten (access, refresh, scrub, remap or a
+  /// maintenance op): restart its retention clock and clear accumulated
+  /// disturbance.
+  void restore_row(unsigned bank, unsigned row, std::uint64_t cycle);
 
   // Geometry / ECC shape (from DramConfig).
   unsigned banks_;
@@ -166,6 +210,12 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
 
   unsigned refresh_ptr_ = 0;  ///< next row refreshed by REF (round robin)
   unsigned scrub_ptr_ = 0;    ///< next row the patrol scrubber sweeps
+
+  // Self-managed maintenance + RowHammer attack state.
+  std::unique_ptr<MaintenanceEngine> engine_;
+  bool self_managed_ = true;  ///< effective only with an engine
+  std::unordered_map<std::uint64_t, std::uint32_t> disturb_;  ///< by row key
+  std::uint32_t max_disturb_ = 0;
 
   std::vector<ReliabilityEvent> log_;
   std::function<void(const ReliabilityEvent&)> observer_;

@@ -54,6 +54,7 @@ make_interval_observer(IntervalReporter& reporter) {
   return [&reporter](const reliability::ReliabilityEvent& e) {
     using RC = IntervalReporter::ReliabilityClass;
     RC cls = RC::kInjected;
+    std::uint64_t count = 1;
     switch (e.kind) {
       case reliability::EventKind::kInject:
         cls = RC::kInjected;
@@ -70,8 +71,16 @@ make_interval_observer(IntervalReporter& reporter) {
       case reliability::EventKind::kRetire:
         cls = RC::kRemap;
         break;
+      case reliability::EventKind::kNeighborRefresh:
+        cls = RC::kNeighbor;
+        break;
+      case reliability::EventKind::kBinSweep:
+        // The sweep event's bit field carries the rows refreshed by the op.
+        cls = RC::kMaintenance;
+        count = e.bit ? e.bit : 1;
+        break;
     }
-    reporter.note_reliability_event(e.cycle, cls);
+    reporter.note_reliability_event(e.cycle, cls, count);
   };
 }
 

@@ -84,6 +84,8 @@ void IntervalReporter::emit_boundary(std::uint64_t boundary,
     s.corrected += it->second.corrected;
     s.uncorrected += it->second.uncorrected;
     s.remaps += it->second.remaps;
+    s.maint_rows += it->second.maint_rows;
+    s.neighbor_refreshes += it->second.neighbor_refreshes;
     it = pending_events_.erase(it);
   }
 
@@ -127,13 +129,16 @@ void IntervalReporter::on_bulk_advance(std::uint64_t from,
 }
 
 void IntervalReporter::note_reliability_event(std::uint64_t cycle,
-                                              ReliabilityClass cls) {
+                                              ReliabilityClass cls,
+                                              std::uint64_t count) {
   EventBin& bin = pending_events_[cycle / interval_];
   switch (cls) {
-    case ReliabilityClass::kInjected: ++bin.injected; break;
-    case ReliabilityClass::kCorrected: ++bin.corrected; break;
-    case ReliabilityClass::kUncorrected: ++bin.uncorrected; break;
-    case ReliabilityClass::kRemap: ++bin.remaps; break;
+    case ReliabilityClass::kInjected: bin.injected += count; break;
+    case ReliabilityClass::kCorrected: bin.corrected += count; break;
+    case ReliabilityClass::kUncorrected: bin.uncorrected += count; break;
+    case ReliabilityClass::kRemap: bin.remaps += count; break;
+    case ReliabilityClass::kMaintenance: bin.maint_rows += count; break;
+    case ReliabilityClass::kNeighbor: bin.neighbor_refreshes += count; break;
   }
 }
 
@@ -150,7 +155,7 @@ void IntervalReporter::write_csv(std::ostream& out, Frequency clock) const {
          "bandwidth_gbyte_s,row_hits,row_misses,row_conflicts,page_hit_rate,"
          "activations,precharges,refreshes,bus_utilization,"
          "powerdown_fraction,queue_depth,open_banks,injected,corrected,"
-         "uncorrected,remaps\n";
+         "uncorrected,remaps,maint_rows,neighbor_refreshes\n";
   std::size_t idx = 0;
   for (const IntervalSample& s : samples_) {
     const double start_ms =
@@ -162,7 +167,8 @@ void IntervalReporter::write_csv(std::ostream& out, Frequency clock) const {
         << "," << s.activations << "," << s.precharges << "," << s.refreshes
         << "," << s.bus_utilization() << "," << s.powerdown_fraction() << ","
         << s.queue_depth << "," << s.open_banks << "," << s.injected << ","
-        << s.corrected << "," << s.uncorrected << "," << s.remaps << "\n";
+        << s.corrected << "," << s.uncorrected << "," << s.remaps << ","
+        << s.maint_rows << "," << s.neighbor_refreshes << "\n";
   }
 }
 

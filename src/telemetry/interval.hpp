@@ -38,6 +38,8 @@ struct IntervalSample {
   std::uint64_t corrected = 0;
   std::uint64_t uncorrected = 0;
   std::uint64_t remaps = 0;
+  std::uint64_t maint_rows = 0;          ///< rows swept by bin maintenance
+  std::uint64_t neighbor_refreshes = 0;  ///< RowHammer victim refreshes
 
   bool operator==(const IntervalSample&) const = default;
 
@@ -69,8 +71,16 @@ class IntervalReporter final : public dram::TelemetryHooks {
   /// ReliabilityManager::set_event_observer, e.g. through
   /// make_interval_observer in telemetry/exporters.hpp). `cycle` is the
   /// event's exact cycle, which may lie inside a not-yet-emitted interval.
-  enum class ReliabilityClass { kInjected, kCorrected, kUncorrected, kRemap };
-  void note_reliability_event(std::uint64_t cycle, ReliabilityClass cls);
+  enum class ReliabilityClass {
+    kInjected,
+    kCorrected,
+    kUncorrected,
+    kRemap,
+    kMaintenance,  ///< bin-sweep rows (count = rows in the op)
+    kNeighbor,     ///< RowHammer neighbor refreshes
+  };
+  void note_reliability_event(std::uint64_t cycle, ReliabilityClass cls,
+                              std::uint64_t count = 1);
 
   /// Close the trailing partial interval (no-op when empty). Call after
   /// the run; the reporter stays attachable for a follow-up window.
@@ -98,6 +108,7 @@ class IntervalReporter final : public dram::TelemetryHooks {
   };
   struct EventBin {
     std::uint64_t injected = 0, corrected = 0, uncorrected = 0, remaps = 0;
+    std::uint64_t maint_rows = 0, neighbor_refreshes = 0;
   };
 
   static Totals extract(const dram::ControllerStats& stats);

@@ -86,6 +86,11 @@ void expect_stats_eq(const ControllerStats& a, const ControllerStats& b) {
   EXPECT_EQ(a.reliability.uncorrected, b.reliability.uncorrected);
   EXPECT_EQ(a.reliability.remapped, b.reliability.remapped);
   EXPECT_EQ(a.reliability.scrubbed_rows, b.reliability.scrubbed_rows);
+  EXPECT_EQ(a.maintenance_ops, b.maintenance_ops);
+  EXPECT_EQ(a.reliability.maint_ops, b.reliability.maint_ops);
+  EXPECT_EQ(a.reliability.maint_rows, b.reliability.maint_rows);
+  EXPECT_EQ(a.reliability.neighbor_rows, b.reliability.neighbor_rows);
+  EXPECT_EQ(a.reliability.disturb_flips, b.reliability.disturb_flips);
   expect_acc_eq(a.read_latency, b.read_latency, "read_latency");
   expect_acc_eq(a.write_latency, b.write_latency, "write_latency");
   expect_acc_eq(a.queue_occupancy, b.queue_occupancy, "queue_occupancy");
@@ -235,6 +240,22 @@ reliability::ReliabilityConfig random_reliability(std::uint64_t seed) {
   rc.inject.transient_per_mbit_ms = 30.0;
   rc.inject.weak_cells = 6;
   rc.scrub_enabled = true;
+  // Half the reliability trials run self-managed: retention-bin sweeps,
+  // RowHammer tracking and idle-slot claims must all stay bit-identical
+  // across the three execution modes.
+  if (seed % 2 == 0) {
+    Rng mrng(derive_seed(seed, 77));
+    rc.maintenance.enabled = true;
+    rc.maintenance.bins = 2 + static_cast<unsigned>(mrng.next_below(3));
+    rc.maintenance.base_window_cycles = 3'000 + mrng.next_below(6'000);
+    rc.maintenance.rows_per_op =
+        2 + static_cast<unsigned>(mrng.next_below(8));
+    rc.maintenance.op_slack_cycles = 200 + mrng.next_below(800);
+    rc.maintenance.hammer_threshold = 24;
+    rc.maintenance.hammer_table_rows = 4;
+    rc.inject.hammer_flip_threshold = 96;
+    rc.hammer_remap_after_flips = 2;
+  }
   return rc;
 }
 

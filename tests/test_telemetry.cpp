@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/evaluator.hpp"
+#include "dram/address_map.hpp"
 #include "dram/command_log.hpp"
 #include "dram/controller.hpp"
 #include "dram/presets.hpp"
@@ -470,6 +471,57 @@ TEST(IntervalReporter, ReliabilityEventsBinnedIdenticallyAcrossModes) {
               slow_samples[i].uncorrected;
   }
   EXPECT_GT(events, 0u) << "config must inject faults for this test to bite";
+}
+
+TEST(IntervalReporter, MaintenanceEventsReachTheSeriesAndCsv) {
+  // Self-managed channel with a leaky weak tail and a hammered bank:
+  // bin sweeps and neighbor refreshes must flow through the observer
+  // into the interval bins (by exact cycle) and into the CSV columns.
+  const DramConfig cfg = dram::presets::edram_module(4, 64, 4, 1024);
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = 31;
+  rc.inject.weak_cells = 10;
+  rc.inject.weak_retention_min_frac = 0.0005;
+  rc.inject.weak_retention_max_frac = 0.0010;
+  rc.inject.hammer_flip_threshold = 128;
+  rc.scrub_enabled = false;
+  rc.maintenance.enabled = true;
+  rc.maintenance.hammer_threshold = 32;
+
+  // Alternate reads of rows 9/11 in bank 1: a double-sided hammer.
+  std::vector<Arrival> trace;
+  const dram::AddressMapper map(cfg);
+  for (std::uint64_t cycle = 5; cycle < 40'000; cycle += 24) {
+    Arrival a;
+    a.cycle = cycle;
+    a.addr = map.encode(
+        dram::Coordinates{1, (cycle / 24) % 2 == 0 ? 9u : 11u, 0});
+    trace.push_back(a);
+  }
+
+  Controller ctl(cfg);
+  reliability::ReliabilityManager rel(cfg, rc);
+  ctl.attach_reliability(&rel);
+  IntervalReporter iv(1'024);
+  ctl.attach_telemetry(&iv);
+  rel.set_event_observer(telemetry::make_interval_observer(iv));
+  drive_fast(ctl, trace, 60'000);
+  iv.finish();
+
+  std::uint64_t maint_rows = 0, neighbor = 0;
+  for (const auto& s : iv.samples()) {
+    maint_rows += s.maint_rows;
+    neighbor += s.neighbor_refreshes;
+  }
+  EXPECT_GT(maint_rows, 0u);
+  EXPECT_GT(neighbor, 0u);
+  EXPECT_EQ(maint_rows, rel.counters().maint_rows);
+  EXPECT_EQ(neighbor, rel.counters().neighbor_rows);
+
+  std::ostringstream os;
+  iv.write_csv(os, cfg.clock);
+  EXPECT_NE(os.str().find("maint_rows"), std::string::npos);
+  EXPECT_NE(os.str().find("neighbor_refreshes"), std::string::npos);
 }
 
 TEST(IntervalReporter, SeriesSumsToControllerTotals) {
