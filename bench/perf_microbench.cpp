@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <sstream>
@@ -347,6 +348,123 @@ void BM_SweepMemoized(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * cfgs.size()));
 }
 BENCHMARK(BM_SweepMemoized)->Unit(benchmark::kMillisecond);
+
+// --- checkpoint-and-fan-out: before/after pair -----------------------------
+// The warm-up amortization shape: nine config variants share one channel
+// shape (process and logic_kgates move cost/area/power but not the
+// simulated DRAM), so their measured windows can all fan out from one
+// checkpointed warm state. "ColdWarmup" re-simulates the warm-up prefix
+// for every variant (checkpointing off: N x (W + M) cycles);
+// "CheckpointFanout" warms once, snapshots in-memory, and restores for
+// the other variants (W + N x M). Serial threads so the wall clock
+// measures the amortization, not pool scaling; identical metrics either
+// way (the differential fuzz enforces bit-identity).
+
+constexpr std::uint64_t kFanoutWarmup = 200'000;
+constexpr std::uint64_t kFanoutMeasure = 50'000;
+
+std::vector<core::SystemConfig> fanout_candidates() {
+  std::vector<core::SystemConfig> cfgs;
+  for (const core::BaseProcess p : {core::BaseProcess::kDramBased,
+                                    core::BaseProcess::kLogicBased,
+                                    core::BaseProcess::kMerged}) {
+    for (const double kgates : {250.0, 500.0, 1000.0}) {
+      core::SystemConfig s;
+      s.name = std::string(to_string(p)) + "/" +
+               std::to_string(static_cast<int>(kgates)) + "kG";
+      s.integration = core::Integration::kEmbedded;
+      s.process = p;
+      s.required_memory = Capacity::mbit(16);
+      s.logic_kgates = kgates;
+      cfgs.push_back(s);
+    }
+  }
+  return cfgs;
+}
+
+void run_fanout_sweep(benchmark::State& state, bool checkpoint) {
+  const auto cfgs = fanout_candidates();
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.warmup_cycles = kFanoutWarmup;
+  w.sim_cycles = kFanoutMeasure;
+  for (auto _ : state) {
+    // Fresh evaluator per iteration: each round pays its own warm-up(s).
+    core::Evaluator ev;
+    ev.set_threads(1);
+    ev.set_memoize(false);
+    ev.set_checkpoint(checkpoint);
+    benchmark::DoNotOptimize(ev.sweep(cfgs, w));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+
+void BM_SweepColdWarmup(benchmark::State& state) {
+  run_fanout_sweep(state, false);
+}
+BENCHMARK(BM_SweepColdWarmup)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCheckpointFanout(benchmark::State& state) {
+  run_fanout_sweep(state, true);
+}
+BENCHMARK(BM_SweepCheckpointFanout)->Unit(benchmark::kMillisecond);
+
+// --- SMARTS-style sampled simulation: before/after pair --------------------
+// "FullRun" measures the whole window; "SampledRun" alternates 20 short
+// measured windows with client-paused fast-forwarded stretches. The pair
+// reports the sampled bandwidth's relative error against the full run
+// and the 95% confidence half-width the sampler itself claims — the
+// error should sit inside the CI.
+
+constexpr std::uint64_t kSampleWindow = 1'000'000;
+
+core::Metrics run_sampled_shape(bool sampled) {
+  core::SystemConfig cfg;
+  cfg.name = "sampling-bench";
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = kSampleWindow;
+  core::Evaluator ev;
+  ev.set_threads(1);
+  ev.set_memoize(false);
+  ev.set_sampling(sampled);
+  return ev.evaluate(cfg, w);
+}
+
+void BM_FullRun(benchmark::State& state) {
+  core::Metrics m;
+  for (auto _ : state) {
+    m = run_sampled_shape(false);
+    benchmark::DoNotOptimize(m.sustained_gbyte_s);
+  }
+  state.counters["sust_gbs"] = m.sustained_gbyte_s;
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kSampleWindow));
+}
+BENCHMARK(BM_FullRun)->Unit(benchmark::kMillisecond);
+
+void BM_SampledRun(benchmark::State& state) {
+  core::Metrics m;
+  for (auto _ : state) {
+    m = run_sampled_shape(true);
+    benchmark::DoNotOptimize(m.sustained_gbyte_s);
+  }
+  const core::Metrics full = run_sampled_shape(false);
+  state.counters["sust_gbs"] = m.sustained_gbyte_s;
+  state.counters["rel_error"] =
+      full.sustained_gbyte_s > 0.0
+          ? std::abs(m.sustained_gbyte_s - full.sustained_gbyte_s) /
+                full.sustained_gbyte_s
+          : 0.0;
+  state.counters["ci95_rel"] = m.sustained_gbyte_s > 0.0
+                                   ? m.sustained_gbyte_s_ci /
+                                         m.sustained_gbyte_s
+                                   : 0.0;
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kSampleWindow));
+}
+BENCHMARK(BM_SampledRun)->Unit(benchmark::kMillisecond);
 
 // --- incremental scheduling: before/after pair -----------------------------
 // Deep queue, bursty arrivals, event-driven drive: every round rebuilds the

@@ -5,14 +5,17 @@
 
 #include <iostream>
 
+#include "common/args.hpp"
 #include "common/table.hpp"
 #include "core/advisor.hpp"
 #include "core/evaluator.hpp"
 #include "core/pareto.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace edsim;
   using namespace edsim::core;
+
+  const Args args(argc, argv, {"cache-stats"});
 
   std::vector<SystemConfig> cfgs;
   for (const BaseProcess p :
@@ -43,6 +46,9 @@ int main() {
   EvalWorkload w;
   w.demand_gbyte_s = 2.0;
   w.sim_cycles = 50'000;
+  // Warm the memory system before measuring; variants sharing a channel
+  // shape fan out from one checkpointed warm-up (visible in --cache-stats).
+  w.warmup_cycles = 10'000;
   const auto metrics = ev.sweep(cfgs, w);
 
   // Re-score the same candidates, as a refinement loop would: every
@@ -54,6 +60,32 @@ int main() {
             << " bytes), " << ev.workload_cache().hits()
             << " hits\nevaluation memo: " << ev.memo_entries()
             << " entries, " << ev.memo_hits() << " hits on re-sweep\n";
+
+  // --cache-stats: the one-call counter snapshot across all three shared
+  // caches (workload arenas, evaluation memo, warm-up checkpoints).
+  if (args.has("cache-stats")) {
+    const Evaluator::CacheStats cs = ev.cache_stats();
+    Table ct({"cache", "hits", "misses", "entries", "bytes"});
+    ct.row()
+        .cell("workload arenas")
+        .integer(static_cast<long long>(cs.arena_hits))
+        .integer(static_cast<long long>(cs.arena_misses))
+        .integer(static_cast<long long>(cs.arena_entries))
+        .integer(static_cast<long long>(cs.arena_bytes));
+    ct.row()
+        .cell("evaluation memo")
+        .integer(static_cast<long long>(cs.memo_hits))
+        .cell("-")
+        .integer(static_cast<long long>(cs.memo_entries))
+        .cell("-");
+    ct.row()
+        .cell("warm-up checkpoints")
+        .integer(static_cast<long long>(cs.checkpoint_hits))
+        .cell("-")
+        .integer(static_cast<long long>(cs.checkpoint_entries))
+        .integer(static_cast<long long>(cs.checkpoint_bytes));
+    ct.print(std::cout, "Evaluator cache statistics (--cache-stats)");
+  }
 
   Table t({"design", "area mm2", "sust GB/s", "power mW", "cost $",
            "waste Mbit", "logic speed"});

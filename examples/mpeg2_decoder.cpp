@@ -11,10 +11,20 @@
 //   --arena                compile the four decoder clients once into
 //                          shared immutable arenas and replay them
 //                          (bit-identical stats, no per-run generators)
+//   --snapshot PATH        after the run, serialize the full simulator
+//                          state (versioned, checksummed) to PATH
+//   --restore PATH         before the run, restore state from PATH and
+//                          continue — a restored run is bit-identical to
+//                          one long uninterrupted run. Build the same
+//                          roster both times (pass --arena to both runs
+//                          or to neither).
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
+#include <vector>
 
 #include "clients/system.hpp"
 #include "common/args.hpp"
@@ -103,7 +113,30 @@ int main(int argc, char** argv) {
   }
   if (!fan.empty()) sys.attach_telemetry(&fan);
 
+  if (args.has("restore")) {
+    std::ifstream in(args.get("restore"), std::ios::binary);
+    require(in.is_open(), "cannot open snapshot: " + args.get("restore"));
+    const std::vector<std::uint8_t> blob(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    sys.restore_snapshot(blob);
+    std::cout << "restored " << blob.size() << " snapshot bytes (cycle "
+              << sys.controller().cycle() << ") from " << args.get("restore")
+              << "\n\n";
+  }
+
   sys.run(kWindow);
+
+  if (args.has("snapshot")) {
+    const std::vector<std::uint8_t> blob = sys.save_snapshot();
+    std::ofstream out(args.get("snapshot"), std::ios::binary);
+    require(out.is_open(), "cannot open snapshot output: " + args.get("snapshot"));
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    require(out.good(), "short write: " + args.get("snapshot"));
+    std::cout << "snapshot: " << blob.size() << " bytes (cycle "
+              << sys.controller().cycle() << ") -> " << args.get("snapshot")
+              << "\n";
+  }
 
   if (intervals) {
     intervals->finish();

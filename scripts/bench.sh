@@ -8,12 +8,26 @@
 # comparison.
 #
 # Usage: scripts/bench.sh [n] [extra perf_microbench args...]
-#   scripts/bench.sh                 # writes BENCH_6.json
+#   scripts/bench.sh                 # writes BENCH_<next>.json
 #   scripts/bench.sh 3 --benchmark_filter='IdleHeavy|DesignSpace'
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-6}"
+# Default n: one past the highest BENCH_<n>.json already present, so
+# repeated runs never clobber an earlier snapshot.
+next_bench_index() {
+  local max=-1 f n
+  for f in BENCH_*.json; do
+    [[ -e "$f" ]] || continue
+    n="${f#BENCH_}"
+    n="${n%.json}"
+    [[ "$n" =~ ^[0-9]+$ ]] || continue
+    (( n > max )) && max=$n
+  done
+  echo $(( max + 1 ))
+}
+
+N="${1:-$(next_bench_index)}"
 shift $(( $# > 0 ? 1 : 0 ))
 
 cmake -B build-release -DCMAKE_BUILD_TYPE=Release
@@ -52,5 +66,12 @@ speedup("repeated sweep (evaluation memoization)", "BM_SweepCold",
         "BM_SweepMemoized")
 speedup("refresh path (uniform tREFI vs self-managed)", "BM_RefreshBaseline",
         "BM_SelfManagedMaintenance")
+speedup("warm-up fan-out (checkpoint restore)", "BM_SweepColdWarmup",
+        "BM_SweepCheckpointFanout")
+speedup("sampled simulation (SMARTS windows)", "BM_FullRun", "BM_SampledRun")
+for b in data["benchmarks"]:
+    if b["name"] == "BM_SampledRun" and "rel_error" in b:
+        print(f"  sampled bandwidth error: {b['rel_error'] * 100:.2f}% "
+              f"(claimed 95% CI half-width: {b['ci95_rel'] * 100:.2f}%)")
 EOF
 fi

@@ -17,6 +17,13 @@ echo
 echo "differential fuzz (quick tier):"
 build/tests/edsim_fuzz_tests
 
+# Snapshot/restore gate: versioned serialization of the full simulator
+# state. Round trips must resume bit-identically and the corruption fuzz
+# (every truncation, every byte flip) must fail with a structured error.
+echo
+echo "snapshot/restore:"
+ctest --test-dir build -L snapshot --output-on-failure
+
 # Workload-compilation gate: the binary .edtrc reader/writer, compiled
 # arena replay vs live generators, and evaluation memoization all carry
 # the `trace_format` label; a broken trace path fails here before the

@@ -22,6 +22,12 @@ build-asan/tests/edsim_fuzz_tests
 # decoding paths surface here under ASan/UBSan.
 build-asan/tests/edsim_trace_format_tests
 
+# Snapshot hardening: the snapshot suite's corruption fuzz decodes every
+# truncation and every byte flip of a sealed simulator snapshot, plus
+# random garbage behind a valid envelope — the varint decoder, bounds
+# guards and container-size checks all get exercised under ASan/UBSan.
+build-asan/tests/edsim_snapshot_tests
+
 # Maintenance replay: the bounded hammer counters, bin rotation pointers
 # and lock bookkeeping all index by (bank, row, bin) — exactly the kind
 # of arithmetic ASan/UBSan catch. The fuzz binary above already ran the

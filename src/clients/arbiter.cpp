@@ -1,6 +1,7 @@
 #include "clients/arbiter.hpp"
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::clients {
 
@@ -27,6 +28,12 @@ std::size_t RoundRobinArbiter::pick(const std::vector<bool>& ready) {
     }
   }
   return kNone;
+}
+
+void RoundRobinArbiter::save(SnapshotWriter& w) const { w.u64(next_); }
+
+void RoundRobinArbiter::load(SnapshotReader& r) {
+  next_ = static_cast<std::size_t>(r.u64());
 }
 
 std::size_t FixedPriorityArbiter::pick(const std::vector<bool>& ready) {
@@ -63,6 +70,14 @@ void WeightedArbiter::granted(std::size_t index, std::uint64_t bytes) {
   for (std::size_t i = 0; i < weights_.size(); ++i)
     credit_[i] += weights_[i] * static_cast<double>(bytes);
   credit_[index] -= static_cast<double>(bytes);
+}
+
+void WeightedArbiter::save(SnapshotWriter& w) const {
+  for (const double c : credit_) w.f64(c);
+}
+
+void WeightedArbiter::load(SnapshotReader& r) {
+  for (double& c : credit_) c = r.f64();
 }
 
 }  // namespace edsim::clients

@@ -4,6 +4,11 @@
 #include <memory>
 #include <vector>
 
+namespace edsim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace edsim
+
 namespace edsim::clients {
 
 /// Arbitration policy among clients that all have a request ready this
@@ -28,6 +33,11 @@ class Arbiter {
   /// Weighted arbiters consume budget when a grant succeeds.
   virtual void granted(std::size_t /*index*/, std::uint64_t /*bytes*/) {}
 
+  /// Persist / restore policy state (rotation pointer, credits). Fixed
+  /// priority is stateless and keeps the no-op defaults.
+  virtual void save(SnapshotWriter& /*w*/) const {}
+  virtual void load(SnapshotReader& /*r*/) {}
+
   static std::unique_ptr<Arbiter> make(ArbiterKind kind,
                                        std::vector<double> weights = {});
 };
@@ -35,6 +45,8 @@ class Arbiter {
 class RoundRobinArbiter final : public Arbiter {
  public:
   std::size_t pick(const std::vector<bool>& ready) override;
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   std::size_t next_ = 0;
@@ -54,6 +66,8 @@ class WeightedArbiter final : public Arbiter {
 
   std::size_t pick(const std::vector<bool>& ready) override;
   void granted(std::size_t index, std::uint64_t bytes) override;
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   std::vector<double> weights_;

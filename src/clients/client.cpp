@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::clients {
 
@@ -11,6 +12,32 @@ std::uint64_t align_down(std::uint64_t v, std::uint64_t a) {
   return v - v % a;
 }
 }  // namespace
+
+// --- ClientStats ------------------------------------------------------------
+
+void ClientStats::save(SnapshotWriter& w) const {
+  w.u64(issued);
+  w.u64(completed);
+  w.u64(bytes);
+  w.u64(stall_cycles);
+  w.u64(corrected_errors);
+  w.u64(data_errors);
+  latency.save(w);
+  outstanding.save(w);
+  latency_samples.save(w);
+}
+
+void ClientStats::load(SnapshotReader& r) {
+  issued = r.u64();
+  completed = r.u64();
+  bytes = r.u64();
+  stall_cycles = r.u64();
+  corrected_errors = r.u64();
+  data_errors = r.u64();
+  latency.load(r);
+  outstanding.load(r);
+  latency_samples.load(r);
+}
 
 // --- StreamClient -----------------------------------------------------------
 
@@ -44,6 +71,18 @@ dram::Request StreamClient::make_request(std::uint64_t cycle) {
 
 bool StreamClient::finished() const {
   return p_.total_requests != 0 && issued_ >= p_.total_requests;
+}
+
+void StreamClient::save_state(SnapshotWriter& w) const {
+  w.u64(pos_);
+  w.u64(issued_);
+  w.u64(next_allowed_);
+}
+
+void StreamClient::load_state(SnapshotReader& r) {
+  pos_ = r.u64();
+  issued_ = r.u64();
+  next_allowed_ = r.u64();
 }
 
 // --- StridedClient -----------------------------------------------------------
@@ -87,6 +126,20 @@ bool StridedClient::finished() const {
   return p_.total_requests != 0 && issued_ >= p_.total_requests;
 }
 
+void StridedClient::save_state(SnapshotWriter& w) const {
+  w.u64(offset_);
+  w.u64(lane_);
+  w.u64(issued_);
+  w.u64(next_allowed_);
+}
+
+void StridedClient::load_state(SnapshotReader& r) {
+  offset_ = r.u64();
+  lane_ = r.u64();
+  issued_ = r.u64();
+  next_allowed_ = r.u64();
+}
+
 // --- RandomClient ------------------------------------------------------------
 
 RandomClient::RandomClient(unsigned id, std::string name, const Params& p)
@@ -123,6 +176,18 @@ bool RandomClient::finished() const {
   return p_.total_requests != 0 && issued_ >= p_.total_requests;
 }
 
+void RandomClient::save_state(SnapshotWriter& w) const {
+  rng_.save(w);
+  w.u64(issued_);
+  w.u64(next_allowed_);
+}
+
+void RandomClient::load_state(SnapshotReader& r) {
+  rng_.load(r);
+  issued_ = r.u64();
+  next_allowed_ = r.u64();
+}
+
 // --- TraceClient -------------------------------------------------------------
 
 TraceClient::TraceClient(unsigned id, std::string name,
@@ -156,5 +221,13 @@ dram::Request TraceClient::make_request(std::uint64_t /*cycle*/) {
 }
 
 bool TraceClient::finished() const { return pos_ >= trace_.size(); }
+
+void TraceClient::save_state(SnapshotWriter& w) const { w.u64(pos_); }
+
+void TraceClient::load_state(SnapshotReader& r) {
+  const std::uint64_t pos = r.u64();
+  if (pos > trace_.size()) r.fail("trace cursor out of range");
+  pos_ = static_cast<std::size_t>(pos);
+}
 
 }  // namespace edsim::clients

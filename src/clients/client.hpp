@@ -25,6 +25,9 @@ struct ClientStats {
 
   double mean_latency() const { return latency.mean(); }
   double p99_latency() const { return latency_samples.percentile(0.99); }
+
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 };
 
 /// A memory client: produces burst-granular requests at its own pace.
@@ -69,6 +72,13 @@ class Client {
   /// True when the client has generated everything it ever will.
   virtual bool finished() const { return false; }
 
+  /// Persist / restore the client's evolving registers (positions, pacing
+  /// state, RNG streams). The kind and parameters come from the caller's
+  /// reconstruction recipe — only what mutates during a run is stored.
+  /// Stateless clients keep the no-op defaults.
+  virtual void save_state(SnapshotWriter& /*w*/) const {}
+  virtual void load_state(SnapshotReader& /*r*/) {}
+
  private:
   unsigned id_;
   std::string name_;
@@ -95,6 +105,8 @@ class StreamClient final : public Client {
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   Params p_;
@@ -122,6 +134,8 @@ class StridedClient final : public Client {
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   Params p_;
@@ -151,6 +165,8 @@ class RandomClient final : public Client {
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   Params p_;
@@ -175,6 +191,8 @@ class TraceClient final : public Client {
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   std::size_t position() const { return pos_; }
 

@@ -6,6 +6,7 @@
 #include "clients/trace_io.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/snapshot.hpp"
 #include "common/varint.hpp"
 
 namespace edsim::clients {
@@ -280,6 +281,25 @@ void ArenaReplayClient::reset() {
   cursor_.rewind();
   gate_ = trace_->start_gate();
   pclock_ = 0;
+}
+
+void ArenaReplayClient::save_state(SnapshotWriter& w) const {
+  w.u64(trace_->content_hash());
+  w.u64(cursor_.index());
+  w.u64(gate_);
+  w.u64(pclock_);
+}
+
+void ArenaReplayClient::load_state(SnapshotReader& r) {
+  if (r.u64() != trace_->content_hash()) {
+    r.fail("arena replay snapshot: compiled-trace content hash mismatch");
+  }
+  const std::uint64_t idx = r.u64();
+  if (idx > trace_->size()) r.fail("arena replay cursor out of range");
+  cursor_.rewind();
+  for (std::uint64_t i = 0; i < idx; ++i) cursor_.advance();
+  gate_ = r.u64();
+  pclock_ = r.u64();
 }
 
 // --- TraceFileClient --------------------------------------------------------

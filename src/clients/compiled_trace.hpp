@@ -185,6 +185,13 @@ class ArenaReplayClient : public Client {
   /// arena itself is immutable and stays shared.
   void reset();
 
+  /// Snapshot state: the arena content hash (validated on load — the
+  /// restore recipe must hand the client the same compiled workload),
+  /// the cursor index (the seek re-decodes from the front; the arena is
+  /// the source of truth) and the two pacing registers.
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
+
   const std::shared_ptr<const CompiledTrace>& trace() const { return trace_; }
   std::size_t position() const { return cursor_.index(); }
 

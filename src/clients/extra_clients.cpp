@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::clients {
 
@@ -49,6 +50,20 @@ bool PointerChaseClient::finished() const {
          !outstanding_;
 }
 
+void PointerChaseClient::save_state(SnapshotWriter& w) const {
+  rng_.save(w);
+  w.boolean(outstanding_);
+  w.u64(ready_at_);
+  w.u64(issued_);
+}
+
+void PointerChaseClient::load_state(SnapshotReader& r) {
+  rng_.load(r);
+  outstanding_ = r.boolean();
+  ready_at_ = r.u64();
+  issued_ = r.u64();
+}
+
 BurstyClient::BurstyClient(unsigned id, std::string name, const Params& p)
     : Client(id, std::move(name)), p_(p), rng_(p.seed),
       left_in_burst_(p.on_requests) {
@@ -89,6 +104,22 @@ dram::Request BurstyClient::make_request(std::uint64_t cycle) {
 
 bool BurstyClient::finished() const {
   return p_.total_requests != 0 && issued_ >= p_.total_requests;
+}
+
+void BurstyClient::save_state(SnapshotWriter& w) const {
+  rng_.save(w);
+  w.u64(pos_);
+  w.u32(left_in_burst_);
+  w.u64(next_burst_at_);
+  w.u64(issued_);
+}
+
+void BurstyClient::load_state(SnapshotReader& r) {
+  rng_.load(r);
+  pos_ = r.u64();
+  left_in_burst_ = r.u32();
+  next_burst_at_ = r.u64();
+  issued_ = r.u64();
 }
 
 }  // namespace edsim::clients

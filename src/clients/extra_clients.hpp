@@ -27,6 +27,8 @@ class PointerChaseClient final : public Client {
   void notify_complete(const dram::Request& req,
                        std::uint64_t cycle) override;
   bool finished() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   Params p_;
@@ -60,6 +62,8 @@ class BurstyClient final : public Client {
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   Params p_;

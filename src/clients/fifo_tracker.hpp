@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hpp"
 #include "common/stats.hpp"
 
 namespace edsim::clients {
@@ -39,6 +40,25 @@ class FifoTracker {
   /// Required FIFO depth in bytes: peak in-flight plus one burst of slack.
   std::uint64_t required_depth_bytes() const { return peak_ + burst_bytes_; }
   const Accumulator& occupancy() const { return occupancy_; }
+
+  /// Start a fresh measurement window: the in-flight count carries over
+  /// (those bytes are real), the peak re-anchors on it and the occupancy
+  /// history is dropped.
+  void reset_measurement() {
+    peak_ = outstanding_;
+    occupancy_ = Accumulator{};
+  }
+
+  void save(SnapshotWriter& w) const {
+    w.u64(outstanding_);
+    w.u64(peak_);
+    occupancy_.save(w);
+  }
+  void load(SnapshotReader& r) {
+    outstanding_ = r.u64();
+    peak_ = r.u64();
+    occupancy_.load(r);
+  }
 
  private:
   unsigned burst_bytes_;

@@ -1,6 +1,7 @@
 #include "clients/system.hpp"
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::clients {
 
@@ -39,9 +40,11 @@ void MemorySystem::step() {
   std::vector<bool>& ready = ready_;
   ready.assign(clients_.size(), false);
   bool any_ready = false;
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    ready[i] = clients_[i]->has_request(cycle);
-    any_ready = any_ready || ready[i];
+  if (!clients_paused_) {
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      ready[i] = clients_[i]->has_request(cycle);
+      any_ready = any_ready || ready[i];
+    }
   }
   // A channel whose banks have all been retired by the reliability layer
   // accepts nothing; treat it as permanent back-pressure, not a crash.
@@ -86,10 +89,12 @@ void MemorySystem::skip_quiet_stretch(std::uint64_t end) {
   // (delivery + notify_complete at its exact cycle).
   if (controller_.has_completions()) return;
   std::uint64_t stop = std::min(end, controller_.next_event_cycle());
-  for (const auto& c : clients_) {
-    const std::uint64_t wake = c->next_request_cycle(now);
-    if (wake <= now) return;  // ready now (or conservative client): no skip
-    stop = std::min(stop, wake);
+  if (!clients_paused_) {
+    for (const auto& c : clients_) {
+      const std::uint64_t wake = c->next_request_cycle(now);
+      if (wake <= now) return;  // ready now (or conservative client): no skip
+      stop = std::min(stop, wake);
+    }
   }
   if (stop <= now) return;
   // Every cycle in [now, stop) is quiet: no client ready, no completion,
@@ -132,6 +137,53 @@ void MemorySystem::run_to_completion(std::uint64_t max_cycles) {
     if (fast_forward_ && !all_done()) skip_quiet_stretch(limit);
   }
   require(false, "memory system: run_to_completion hit the cycle bound");
+}
+
+void MemorySystem::save(SnapshotWriter& w) const {
+  w.u64(clients_.size());
+  controller_.save(w);
+  arbiter_->save(w);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->save_state(w);
+    stats_[i].save(w);
+    fifos_[i].save(w);
+    w.u32(outstanding_[i]);
+  }
+}
+
+void MemorySystem::load(SnapshotReader& r) {
+  if (r.u64() != clients_.size()) {
+    r.fail("memory-system snapshot client count mismatch");
+  }
+  controller_.load(r);
+  arbiter_->load(r);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->load_state(r);
+    stats_[i].load(r);
+    fifos_[i].load(r);
+    outstanding_[i] = r.u32();
+  }
+}
+
+std::vector<std::uint8_t> MemorySystem::save_snapshot() const {
+  SnapshotWriter w;
+  save(w);
+  return w.seal();
+}
+
+void MemorySystem::restore_snapshot(const std::uint8_t* data,
+                                    std::size_t size) {
+  SnapshotReader r(data, size);
+  load(r);
+  r.expect_end();
+}
+
+void MemorySystem::reset_measurement() {
+  controller_.reset_stats();
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    stats_[i] = ClientStats{};
+    fifos_[i].reset_measurement();
+  }
 }
 
 Bandwidth MemorySystem::aggregate_bandwidth() const {

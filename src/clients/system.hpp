@@ -53,6 +53,46 @@ class MemorySystem {
     controller_.attach_telemetry(hooks);
   }
 
+  /// Serialize the complete dynamic state — channel, arbiter, every
+  /// client's generator registers, per-client stats / FIFO trackers /
+  /// in-flight counts — into a sealed snapshot envelope ("EDSS" magic,
+  /// version byte, payload checksum). Attached observers (command log,
+  /// telemetry, reliability hooks) are NOT included: snapshot the
+  /// ReliabilityManager alongside and re-attach live observers before
+  /// restoring. Continuing from a restored snapshot is bit-identical to
+  /// never having snapshotted.
+  std::vector<std::uint8_t> save_snapshot() const;
+
+  /// Restore from save_snapshot() output. The receiving system must be
+  /// built from the same recipe (same DramConfig, arbiter kind/weights,
+  /// client roster over the same compiled workloads); re-attach
+  /// reliability hooks BEFORE calling this. Corrupt, truncated, or
+  /// mismatched input throws Error{kSnapshotFormat} and never invokes
+  /// undefined behaviour.
+  void restore_snapshot(const std::uint8_t* data, std::size_t size);
+  void restore_snapshot(const std::vector<std::uint8_t>& blob) {
+    restore_snapshot(blob.data(), blob.size());
+  }
+
+  /// Unsealed variants for embedding this system in a larger snapshot
+  /// stream (multi-system harnesses append their own sections).
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
+
+  /// Start a fresh measurement window at the current cycle: controller
+  /// stats, per-client stats and FIFO peaks/occupancy reset; simulation
+  /// state (queues, in-flight requests, client cursors) is untouched.
+  /// The checkpoint-and-fan-out evaluator calls this after warm-up.
+  void reset_measurement();
+
+  /// Pause / resume every client (SMARTS-style sampling): while paused no
+  /// client issues, so once in-flight traffic drains the event-driven fast
+  /// path leaps over the stretch in one bulk credit. Completions still
+  /// deliver and sampling still runs — pausing changes which requests
+  /// exist, so it is a sampling approximation, not a bit-identical mode.
+  void set_clients_paused(bool on) { clients_paused_ = on; }
+  bool clients_paused() const { return clients_paused_; }
+
  private:
   void step();
   /// Fast-forward: if no client can issue, no completion is pending and
@@ -69,6 +109,7 @@ class MemorySystem {
   std::vector<dram::Request> completed_scratch_;  // reused drain buffer
   std::vector<bool> ready_;                       // reused arbitration mask
   bool fast_forward_ = true;
+  bool clients_paused_ = false;
 };
 
 }  // namespace edsim::clients

@@ -12,6 +12,7 @@ enum class ErrorKind : std::uint8_t {
   kProtocolViolation,  ///< command trace broke a datasheet timing rule
   kReliability,        ///< reliability layer hit an unrecoverable state
   kTraceFormat,        ///< binary trace stream is corrupt or truncated
+  kSnapshotFormat,     ///< simulator-state snapshot is corrupt or truncated
 };
 
 inline const char* to_string(ErrorKind k) {
@@ -20,6 +21,7 @@ inline const char* to_string(ErrorKind k) {
     case ErrorKind::kProtocolViolation: return "protocol-violation";
     case ErrorKind::kReliability: return "reliability";
     case ErrorKind::kTraceFormat: return "trace-format";
+    case ErrorKind::kSnapshotFormat: return "snapshot-format";
   }
   return "?";
 }

@@ -2,7 +2,17 @@
 
 #include <cmath>
 
+#include "common/snapshot.hpp"
+
 namespace edsim {
+
+void Rng::save(SnapshotWriter& w) const {
+  for (const std::uint64_t word : s_) w.u64(word);
+}
+
+void Rng::load(SnapshotReader& r) {
+  for (std::uint64_t& word : s_) word = r.u64();
+}
 
 double Rng::next_exponential(double mean) {
   // Inverse-CDF; guard against log(0).

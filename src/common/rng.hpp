@@ -4,6 +4,9 @@
 
 namespace edsim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// SplitMix64 — used to seed Xoshiro and for cheap stateless hashing.
 struct SplitMix64 {
   std::uint64_t state;
@@ -82,6 +85,11 @@ class Rng {
   /// Poisson variate with given mean (Knuth for small mean, normal
   /// approximation above 64 — adequate for defect-count modelling).
   unsigned next_poisson(double mean);
+
+  /// Persist / restore the Xoshiro state words, so a restored stream
+  /// continues exactly where the snapshotted one left off.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim {
 
@@ -26,6 +27,28 @@ void Accumulator::merge(const Accumulator& o) {
   sum_ += o.sum_;
   min_ = std::min(min_, o.min_);
   max_ = std::max(max_, o.max_);
+}
+
+void Accumulator::save(SnapshotWriter& w) const {
+  w.u64(n_);
+  w.f64(sum_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(min_);
+  w.f64(max_);
+  w.f64(run_x_);
+  w.u64(run_k_);
+}
+
+void Accumulator::load(SnapshotReader& r) {
+  n_ = r.u64();
+  sum_ = r.f64();
+  mean_ = r.f64();
+  m2_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
+  run_x_ = r.f64();
+  run_k_ = r.u64();
 }
 
 Histogram::Histogram(double bin_width, std::size_t bins)
@@ -88,6 +111,20 @@ double SampleSet::max() const {
   if (samples_.empty()) return 0.0;
   ensure_sorted();
   return samples_.back();
+}
+
+void SampleSet::save(SnapshotWriter& w) const {
+  w.u64(samples_.size());
+  for (const double x : samples_) w.f64(x);
+  w.boolean(sorted_);
+}
+
+void SampleSet::load(SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  samples_.clear();
+  samples_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) samples_.push_back(r.f64());
+  sorted_ = r.boolean();
 }
 
 }  // namespace edsim

@@ -6,6 +6,9 @@
 
 namespace edsim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Streaming accumulator: count / sum / min / max / mean / variance.
 /// Used by every simulator object that reports a latency or occupancy
 /// distribution summary.
@@ -46,6 +49,13 @@ class Accumulator {
 
   void merge(const Accumulator& o);
   void reset() { *this = Accumulator{}; }
+
+  /// Serialize the raw representation — including the *unflushed* pending
+  /// run. Folding the run early would change the batch-Welford fold
+  /// sequence relative to a never-snapshotted accumulator, breaking the
+  /// restore(snapshot(S)) bit-identity contract.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   /// Fold the pending run into the moments (batch Welford / Chan merge of
@@ -117,6 +127,10 @@ class SampleSet {
   std::size_t count() const { return samples_.size(); }
   double percentile(double q) const;  // q in (0,1]; exact nearest-rank
   double max() const;
+
+  /// Samples persist in insertion order (sorting stays lazy on restore).
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   void ensure_sorted() const;

@@ -1,6 +1,8 @@
 #include "core/evaluator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <memory>
 
 #include "clients/compiled_trace.hpp"
@@ -38,6 +40,34 @@ double logic_area(const SystemConfig& cfg) {
          process_factors(cfg.process).logic_area_factor;
 }
 
+/// Fold one measured window's integer counters into the aggregate the
+/// power model is fed (accumulators and reliability mirrors stay at their
+/// defaults — the evaluator attaches no reliability layer).
+void add_counters(dram::ControllerStats& dst, const dram::ControllerStats& s) {
+  dst.cycles += s.cycles;
+  dst.reads += s.reads;
+  dst.writes += s.writes;
+  dst.row_hits += s.row_hits;
+  dst.row_misses += s.row_misses;
+  dst.row_conflicts += s.row_conflicts;
+  dst.activations += s.activations;
+  dst.precharges += s.precharges;
+  dst.refreshes += s.refreshes;
+  dst.data_bus_busy_cycles += s.data_bus_busy_cycles;
+  dst.bytes_transferred += s.bytes_transferred;
+  dst.powerdown_cycles += s.powerdown_cycles;
+  dst.redirected_requests += s.redirected_requests;
+  dst.watchdog_retries += s.watchdog_retries;
+  dst.maintenance_ops += s.maintenance_ops;
+}
+
+/// 95% confidence half-width of the mean over the window samples.
+double confidence95(const Accumulator& a) {
+  if (a.count() < 2) return 0.0;
+  return 1.96 * a.stddev() /
+         std::sqrt(static_cast<double>(a.count()));
+}
+
 }  // namespace
 
 Metrics Evaluator::evaluate(const SystemConfig& cfg,
@@ -61,7 +91,70 @@ void Evaluator::clear_caches() const {
     caches_->memo.clear();
     caches_->memo_hits = 0;
   }
+  {
+    std::lock_guard<std::mutex> lock(caches_->ckpt_mu);
+    caches_->ckpt.clear();
+    caches_->ckpt_hits = 0;
+  }
   caches_->arenas.clear();
+}
+
+Evaluator::CacheStats Evaluator::cache_stats() const {
+  CacheStats s;
+  s.arena_hits = caches_->arenas.hits();
+  s.arena_misses = caches_->arenas.misses();
+  s.arena_entries = caches_->arenas.entries();
+  s.arena_bytes = caches_->arenas.arena_bytes();
+  {
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    s.memo_hits = caches_->memo_hits;
+    s.memo_entries = caches_->memo.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(caches_->ckpt_mu);
+    s.checkpoint_hits = caches_->ckpt_hits;
+    s.checkpoint_entries = caches_->ckpt.size();
+    for (const auto& [key, fut] : caches_->ckpt) {
+      if (fut.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        if (const auto blob = fut.get()) s.checkpoint_bytes += blob->size();
+      }
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> Evaluator::checkpoint_blob(
+    std::uint64_t key,
+    const std::function<std::shared_ptr<const std::vector<std::uint8_t>>()>&
+        warm) const {
+  std::promise<std::shared_ptr<const std::vector<std::uint8_t>>> promise;
+  std::shared_future<std::shared_ptr<const std::vector<std::uint8_t>>> fut;
+  {
+    std::lock_guard<std::mutex> lock(caches_->ckpt_mu);
+    const auto it = caches_->ckpt.find(key);
+    if (it != caches_->ckpt.end()) {
+      ++caches_->ckpt_hits;
+      fut = it->second;  // copy: wait outside the lock
+    } else {
+      caches_->ckpt.emplace(key, promise.get_future().share());
+    }
+  }
+  if (fut.valid()) return fut.get();
+  // This thread owns the warm-up; peers block on the shared future.
+  try {
+    auto blob = warm();
+    promise.set_value(blob);
+    return blob;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      // Drop the poisoned entry so a later call can retry.
+      std::lock_guard<std::mutex> lock(caches_->ckpt_mu);
+      caches_->ckpt.erase(key);
+    }
+    throw;
+  }
 }
 
 Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
@@ -69,14 +162,29 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
                                  telemetry::MetricRegistry* reg) const {
   cfg.validate();
   require(w.sim_cycles > 0, "evaluator: need a simulation window");
+  if (sampling_) {
+    require(sample_windows_ >= 2, "evaluator: sampling needs >= 2 windows");
+    require(w.sim_cycles / sample_windows_ >= 2,
+            "evaluator: sampling windows exceed the simulation window");
+  }
 
   // Memoization: a (config, workload) pair fully determines the metric
   // vector, so an identical re-score is a table lookup. Bypassed when a
   // registry is attached — a hit could not replay the telemetry export.
+  // Sampled runs estimate rather than measure, so they memoize under a
+  // key salted with the sampling shape — a full-run score is never
+  // answered from a sampled one or vice versa.
   const bool use_memo = memoize_ && reg == nullptr;
   std::uint64_t memo_key = 0;
   if (use_memo) {
     memo_key = derive_seed(cfg.content_hash(), w.content_hash());
+    if (sampling_) {
+      ContentHasher salt;
+      salt.mix(std::uint64_t{0x5a4d9})  // sampled-run namespace
+          .mix(sample_windows_)
+          .mix(sample_measure_cycles_);
+      memo_key = derive_seed(memo_key, salt.digest());
+    }
     std::lock_guard<std::mutex> lock(caches_->memo_mu);
     auto it = caches_->memo.find(memo_key);
     if (it != caches_->memo.end()) {
@@ -94,7 +202,6 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
 
   // --- simulate the workload ------------------------------------------------
   const dram::DramConfig dcfg = cfg.dram_config();
-  clients::MemorySystem sys(dcfg, clients::ArbiterKind::kRoundRobin);
   const unsigned burst = dcfg.bytes_per_access();
   const std::uint64_t region =
       std::min<std::uint64_t>(cfg.installed_memory().byte_count(), 8u << 20);
@@ -108,59 +215,138 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
   const auto period = std::max<unsigned>(
       1, static_cast<unsigned>(static_cast<double>(burst) / bytes_per_cycle));
 
-  // Endless clients paced `period` apart issue at most sim_cycles/period
-  // + 1 requests inside the window; one extra record makes the compiled
-  // prefix provably inexhaustible, so replay is bit-identical to the
-  // live generators.
-  const std::uint64_t budget = w.sim_cycles / period + 2;
-  unsigned id = 0;
-  for (unsigned i = 0; i < w.stream_clients; ++i) {
-    clients::StreamClient::Params p;
-    p.base = region / n_clients * id;
-    p.length = region / n_clients;
-    p.burst_bytes = burst;
-    p.type = i % 2 == 0 ? dram::AccessType::kRead : dram::AccessType::kWrite;
-    p.period_cycles = period;
-    const std::string cname = "stream" + std::to_string(i);
-    if (use_arena_) {
-      auto arena = caches_->arenas.get_or_compile(
-          clients::compile_key(p, budget),
-          [&] { return clients::compile_stream(p, budget); });
-      sys.add_client(std::make_unique<clients::ArenaReplayClient>(
-          id, cname, std::move(arena)));
-    } else {
-      sys.add_client(std::make_unique<clients::StreamClient>(id, cname, p));
+  // Endless clients paced `period` apart issue at most cycles/period + 1
+  // requests inside the driven window (warm-up plus measurement); one
+  // extra record makes the compiled prefix provably inexhaustible, so
+  // replay is bit-identical to the live generators.
+  const std::uint64_t budget =
+      (w.warmup_cycles + w.sim_cycles) / period + 2;
+  const auto build_system = [&] {
+    auto sys = std::make_unique<clients::MemorySystem>(
+        dcfg, clients::ArbiterKind::kRoundRobin);
+    unsigned id = 0;
+    for (unsigned i = 0; i < w.stream_clients; ++i) {
+      clients::StreamClient::Params p;
+      p.base = region / n_clients * id;
+      p.length = region / n_clients;
+      p.burst_bytes = burst;
+      p.type = i % 2 == 0 ? dram::AccessType::kRead : dram::AccessType::kWrite;
+      p.period_cycles = period;
+      const std::string cname = "stream" + std::to_string(i);
+      if (use_arena_) {
+        auto arena = caches_->arenas.get_or_compile(
+            clients::compile_key(p, budget),
+            [&] { return clients::compile_stream(p, budget); });
+        sys->add_client(std::make_unique<clients::ArenaReplayClient>(
+            id, cname, std::move(arena)));
+      } else {
+        sys->add_client(std::make_unique<clients::StreamClient>(id, cname, p));
+      }
+      ++id;
     }
-    ++id;
-  }
-  for (unsigned i = 0; i < w.random_clients; ++i) {
-    clients::RandomClient::Params p;
-    p.base = region / n_clients * id;
-    p.length = region / n_clients;
-    p.burst_bytes = burst;
-    p.period_cycles = period;
-    p.seed = w.seed + i;
-    const std::string cname = "random" + std::to_string(i);
-    if (use_arena_) {
-      auto arena = caches_->arenas.get_or_compile(
-          clients::compile_key(p, budget),
-          [&] { return clients::compile_random(p, budget); });
-      sys.add_client(std::make_unique<clients::ArenaReplayClient>(
-          id, cname, std::move(arena)));
-    } else {
-      sys.add_client(std::make_unique<clients::RandomClient>(id, cname, p));
+    for (unsigned i = 0; i < w.random_clients; ++i) {
+      clients::RandomClient::Params p;
+      p.base = region / n_clients * id;
+      p.length = region / n_clients;
+      p.burst_bytes = burst;
+      p.period_cycles = period;
+      p.seed = w.seed + i;
+      const std::string cname = "random" + std::to_string(i);
+      if (use_arena_) {
+        auto arena = caches_->arenas.get_or_compile(
+            clients::compile_key(p, budget),
+            [&] { return clients::compile_random(p, budget); });
+        sys->add_client(std::make_unique<clients::ArenaReplayClient>(
+            id, cname, std::move(arena)));
+      } else {
+        sys->add_client(std::make_unique<clients::RandomClient>(id, cname, p));
+      }
+      ++id;
     }
-    ++id;
-  }
-  sys.run(w.sim_cycles);
+    return sys;
+  };
 
-  const auto& stats = sys.controller().stats();
-  m.sustained_gbyte_s =
-      stats.sustained_bandwidth(dcfg.clock).as_gbyte_per_s();
-  m.peak_gbyte_s = dcfg.peak_bandwidth().as_gbyte_per_s();
-  m.bandwidth_efficiency = sys.bandwidth_efficiency();
-  m.avg_read_latency_ns =
-      stats.read_latency.mean() * dcfg.clock.period_ns();
+  const std::unique_ptr<clients::MemorySystem> sys_ptr = build_system();
+  clients::MemorySystem& sys = *sys_ptr;
+
+  // Warm-up prefix. With checkpointing on, the first evaluation of this
+  // channel shape simulates it and seals a snapshot; every other variant
+  // (and every sweep thread) restores the bytes instead — bit-identical
+  // to warming in place, which set_checkpoint(false) falls back to.
+  if (w.warmup_cycles > 0) {
+    if (checkpoint_) {
+      ContentHasher ck;
+      ck.mix(dcfg.content_hash())
+          .mix(region)
+          .mix(use_arena_)
+          .mix(w.content_hash());
+      const auto blob = checkpoint_blob(ck.digest(), [&] {
+        const auto warm = build_system();
+        warm->run(w.warmup_cycles);
+        return std::make_shared<const std::vector<std::uint8_t>>(
+            warm->save_snapshot());
+      });
+      sys.restore_snapshot(*blob);
+    } else {
+      sys.run(w.warmup_cycles);
+    }
+    sys.reset_measurement();
+  }
+
+  dram::ControllerStats sampled_agg;
+  if (!sampling_) {
+    sys.run(w.sim_cycles);
+    const auto& stats = sys.controller().stats();
+    m.sustained_gbyte_s =
+        stats.sustained_bandwidth(dcfg.clock).as_gbyte_per_s();
+    m.peak_gbyte_s = dcfg.peak_bandwidth().as_gbyte_per_s();
+    m.bandwidth_efficiency = sys.bandwidth_efficiency();
+    m.avg_read_latency_ns =
+        stats.read_latency.mean() * dcfg.clock.period_ns();
+  } else {
+    // SMARTS-style sampling: measure k short windows spread evenly over
+    // sim_cycles; between windows the clients pause so the event-driven
+    // fast path leaps the drained stretch. Per-metric mean and 95% CI
+    // come from the per-window deltas; the power model is fed the summed
+    // counters (average power over the measured cycles).
+    const unsigned k = sample_windows_;
+    const std::uint64_t stride = w.sim_cycles / k;
+    std::uint64_t measure =
+        sample_measure_cycles_ != 0
+            ? sample_measure_cycles_
+            : std::max<std::uint64_t>(1, stride / 10);
+    measure = std::min(measure, stride);
+    Accumulator bw_gbs;
+    Accumulator read_lat_cycles;
+    for (unsigned i = 0; i < k; ++i) {
+      sys.reset_measurement();
+      sys.run(measure);
+      const auto& ws = sys.controller().stats();
+      add_counters(sampled_agg, ws);
+      bw_gbs.add(ws.sustained_bandwidth(dcfg.clock).as_gbyte_per_s());
+      if (ws.read_latency.count() > 0) {
+        read_lat_cycles.add(ws.read_latency.mean());
+      }
+      if (i + 1 < k) {
+        sys.set_clients_paused(true);
+        sys.run(stride - measure);
+        sys.set_clients_paused(false);
+      }
+    }
+    m.sampled = true;
+    m.sample_windows = k;
+    m.sustained_gbyte_s = bw_gbs.mean();
+    m.sustained_gbyte_s_ci = confidence95(bw_gbs);
+    m.peak_gbyte_s = dcfg.peak_bandwidth().as_gbyte_per_s();
+    m.bandwidth_efficiency =
+        m.peak_gbyte_s > 0.0 ? m.sustained_gbyte_s / m.peak_gbyte_s : 0.0;
+    m.avg_read_latency_ns =
+        read_lat_cycles.mean() * dcfg.clock.period_ns();
+    m.avg_read_latency_ns_ci =
+        confidence95(read_lat_cycles) * dcfg.clock.period_ns();
+  }
+  const dram::ControllerStats& stats =
+      sampling_ ? sampled_agg : sys.controller().stats();
 
   // --- power -----------------------------------------------------------------
   const phy::IoElectricals io = cfg.integration == Integration::kEmbedded

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +25,11 @@ struct EvalWorkload {
   unsigned random_clients = 2;
   std::uint64_t sim_cycles = 200'000;
   std::uint64_t seed = 17;
+  /// Warm-up prefix simulated before the measured window (cache/bank
+  /// warm-up, client ramp). Measurement counters reset at the boundary;
+  /// with checkpointing enabled the warm state is snapshot once per
+  /// channel shape and restored for every config variant sharing it.
+  std::uint64_t warmup_cycles = 0;
   /// Power dissipated by the co-located logic (embedded designs heat the
   /// DRAM; §1's junction-temperature caveat). Watts.
   double logic_power_w = 1.0;
@@ -37,6 +44,7 @@ struct EvalWorkload {
         .mix(random_clients)
         .mix(sim_cycles)
         .mix(seed)
+        .mix(warmup_cycles)
         .mix(logic_power_w);
     return h.digest();
   }
@@ -64,6 +72,14 @@ struct Metrics {
   double junction_c = 0.0;
   double retention_ms = 0.0;
   double refresh_overhead = 0.0;  ///< fraction of cycles refreshing
+  // SMARTS-style sampled simulation (set_sampling): the bandwidth /
+  // latency figures are means over the measured windows and carry a 95%
+  // confidence half-width each; full runs leave sampled == false and the
+  // half-widths at 0.
+  bool sampled = false;
+  unsigned sample_windows = 0;         ///< measured windows averaged
+  double sustained_gbyte_s_ci = 0.0;   ///< 95% CI half-width
+  double avg_read_latency_ns_ci = 0.0; ///< 95% CI half-width
 };
 
 /// Evaluates design points by simulation (bandwidth/latency), analytical
@@ -108,6 +124,35 @@ class Evaluator {
   void set_memoize(bool on) { memoize_ = on; }
   bool memoize() const { return memoize_; }
 
+  /// Checkpoint-and-fan-out (default on, inert while warmup_cycles == 0):
+  /// the warm-up prefix is simulated once per channel shape, snapshot
+  /// in-memory, and every config variant sharing that shape restores the
+  /// snapshot instead of re-running the warm-up — sweep threads block on
+  /// one warm-up computation and fan out from its bytes. Bit-identical to
+  /// the warm-every-point path (the differential reference under
+  /// `set_checkpoint(false)`).
+  void set_checkpoint(bool on) { checkpoint_ = on; }
+  bool checkpoint() const { return checkpoint_; }
+
+  /// SMARTS-style sampled simulation (default off): instead of measuring
+  /// the whole sim_cycles window, alternate short measured windows with
+  /// fast-forwarded skip stretches (clients paused, so the event-driven
+  /// path leaps them). Bandwidth / latency become means over the windows
+  /// with a 95% confidence half-width in the Metrics CI fields. A
+  /// sampling approximation — skipped stretches issue no traffic — so
+  /// `set_sampling(false)` keeps the full run as the differential
+  /// reference, and sampled results memoize under a distinct key.
+  void set_sampling(bool on) { sampling_ = on; }
+  bool sampling() const { return sampling_; }
+  /// Sampling shape: `windows` measured windows of `measure_cycles` each,
+  /// spread evenly over sim_cycles (0 measure_cycles derives a tenth of
+  /// the inter-window period).
+  void set_sampling_windows(unsigned windows,
+                            std::uint64_t measure_cycles = 0) {
+    sample_windows_ = windows;
+    sample_measure_cycles_ = measure_cycles;
+  }
+
   Metrics evaluate(const SystemConfig& cfg, const EvalWorkload& w) const;
 
   /// Evaluate a whole candidate list. Configs are scored independently
@@ -123,6 +168,21 @@ class Evaluator {
   }
   void clear_caches() const;
 
+  /// One-call counter snapshot across all three shared caches (workload
+  /// arenas, evaluation memoization, warm-up checkpoints).
+  struct CacheStats {
+    std::uint64_t arena_hits = 0;
+    std::uint64_t arena_misses = 0;
+    std::size_t arena_entries = 0;
+    std::size_t arena_bytes = 0;
+    std::uint64_t memo_hits = 0;
+    std::size_t memo_entries = 0;
+    std::uint64_t checkpoint_hits = 0;
+    std::size_t checkpoint_entries = 0;
+    std::size_t checkpoint_bytes = 0;
+  };
+  CacheStats cache_stats() const;
+
  private:
   /// Shared mutable cache state, held behind a shared_ptr so that
   /// `const` evaluate() can fill caches and Evaluator stays copyable
@@ -133,16 +193,36 @@ class Evaluator {
     mutable std::mutex memo_mu;
     std::unordered_map<std::uint64_t, Metrics> memo;
     std::uint64_t memo_hits = 0;
+    // Warm-up checkpoints: sealed MemorySystem snapshots keyed by the
+    // simulation-shape hash. Entries hold a shared_future so concurrent
+    // sweep threads block on the single warm-up computation instead of
+    // each re-warming.
+    mutable std::mutex ckpt_mu;
+    std::unordered_map<std::uint64_t,
+                       std::shared_future<
+                           std::shared_ptr<const std::vector<std::uint8_t>>>>
+        ckpt;
+    std::uint64_t ckpt_hits = 0;
   };
 
   Metrics evaluate_into(const SystemConfig& cfg, const EvalWorkload& w,
                         telemetry::MetricRegistry* reg) const;
+  /// The warm snapshot for one simulation shape, computing it (once) via
+  /// `warm` on a miss.
+  std::shared_ptr<const std::vector<std::uint8_t>> checkpoint_blob(
+      std::uint64_t key,
+      const std::function<std::shared_ptr<const std::vector<std::uint8_t>>()>&
+          warm) const;
 
   CostModel cost_;
   unsigned threads_ = 0;
   telemetry::MetricRegistry* metrics_ = nullptr;
   bool use_arena_ = true;
   bool memoize_ = true;
+  bool checkpoint_ = true;
+  bool sampling_ = false;
+  unsigned sample_windows_ = 20;
+  std::uint64_t sample_measure_cycles_ = 0;
   std::shared_ptr<Caches> caches_;
 };
 

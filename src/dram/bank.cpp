@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/snapshot.hpp"
+
 namespace edsim::dram {
 
 const char* to_string(Command c) {
@@ -96,6 +98,30 @@ void Bank::issue(Command cmd, unsigned row, std::uint64_t cycle) {
     case Command::kMaintEnd:
       break;  // lock bookkeeping is block_until / controller state
   }
+}
+
+void Bank::save(SnapshotWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(state_));
+  w.u64(open_row_);
+  w.u64(next_act_);
+  w.u64(next_pre_);
+  w.u64(next_col_);
+  w.u64(acts_);
+  w.u64(pres_);
+}
+
+void Bank::load(SnapshotReader& r) {
+  const std::uint64_t st = r.u64();
+  if (st > static_cast<std::uint64_t>(State::kActive)) {
+    r.fail("bank state out of range");
+  }
+  state_ = static_cast<State>(st);
+  open_row_ = static_cast<unsigned>(r.u64());
+  next_act_ = r.u64();
+  next_pre_ = r.u64();
+  next_col_ = r.u64();
+  acts_ = r.u64();
+  pres_ = r.u64();
 }
 
 }  // namespace edsim::dram

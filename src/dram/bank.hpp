@@ -6,6 +6,11 @@
 #include "dram/request.hpp"
 #include "dram/timing.hpp"
 
+namespace edsim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace edsim
+
 namespace edsim::dram {
 
 /// One DRAM bank: row-buffer state machine plus the per-bank timing
@@ -43,6 +48,11 @@ class Bank {
   // --- per-bank statistics ------------------------------------------------
   std::uint64_t activations() const { return acts_; }
   std::uint64_t precharges() const { return pres_; }
+
+  /// Persist / restore the dynamic state (row buffer + timing windows);
+  /// the timing table stays bound to the owning controller's config.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   const TimingParams* t_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace edsim::dram {
 
@@ -52,6 +53,48 @@ void DramConfig::validate() const {
   if (watchdog_enabled) {
     require(watchdog_cycles >= 1, "dram: watchdog_cycles must be >= 1");
   }
+}
+
+std::uint64_t DramConfig::content_hash() const {
+  ContentHasher h;
+  h.mix(banks)
+      .mix(rows_per_bank)
+      .mix(page_bytes)
+      .mix(interface_bits)
+      .mix(transfers_per_clock)
+      .mix(timing.tRCD)
+      .mix(timing.tRP)
+      .mix(timing.tCL)
+      .mix(timing.tWL)
+      .mix(timing.tRAS)
+      .mix(timing.tRC)
+      .mix(timing.tRRD)
+      .mix(timing.tFAW)
+      .mix(timing.tCCD)
+      .mix(timing.tWR)
+      .mix(timing.tWTR)
+      .mix(timing.tRTW)
+      .mix(timing.tRFC)
+      .mix(timing.tREFI)
+      .mix(timing.burst_length)
+      .mix(clock.mhz)
+      .mix(static_cast<unsigned>(page_policy))
+      .mix(page_timeout_cycles)
+      .mix(static_cast<unsigned>(scheduler))
+      .mix(static_cast<unsigned>(mapping))
+      .mix(queue_depth)
+      .mix(refresh_enabled)
+      .mix(refresh_burst)
+      .mix(powerdown_enabled)
+      .mix(powerdown_idle_cycles)
+      .mix(tXP)
+      .mix(ecc_enabled)
+      .mix(ecc_word_bits)
+      .mix(ecc_latency_cycles)
+      .mix(watchdog_enabled)
+      .mix(watchdog_cycles)
+      .mix(watchdog_retries);
+  return h.digest();
 }
 
 std::string DramConfig::describe() const {

@@ -72,6 +72,11 @@ struct DramConfig {
 
   void validate() const;
 
+  /// Content hash over every field that can influence simulation
+  /// behaviour. Two configs hash equal iff a simulation driven by them is
+  /// cycle-for-cycle identical; keys the evaluator's checkpoint cache.
+  std::uint64_t content_hash() const;
+
   // --- derived quantities --------------------------------------------------
   unsigned bytes_per_beat() const { return interface_bits / 8; }
   unsigned bytes_per_access() const {

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::dram {
 
@@ -1081,6 +1082,223 @@ void Controller::drain(std::uint64_t max_cycles) {
     if (ne > cycle_) advance_idle(std::min(ne, limit) - cycle_);
   }
   require(idle(), "Controller::drain: did not converge (deadlock?)");
+}
+
+// --- snapshot serialization -------------------------------------------------
+
+namespace {
+
+void save_request(SnapshotWriter& w, const Request& q) {
+  w.u64(q.id);
+  w.u32(q.client_id);
+  w.boolean(q.type == AccessType::kWrite);
+  w.u64(q.addr);
+  w.u64(q.arrival_cycle);
+  w.u64(q.done_cycle);
+  w.u64(q.tag);
+  w.boolean(q.ecc_corrected);
+  w.boolean(q.data_error);
+}
+
+Request load_request(SnapshotReader& r) {
+  Request q;
+  q.id = r.u64();
+  q.client_id = r.u32();
+  q.type = r.boolean() ? AccessType::kWrite : AccessType::kRead;
+  q.addr = r.u64();
+  q.arrival_cycle = r.u64();
+  q.done_cycle = r.u64();
+  q.tag = r.u64();
+  q.ecc_corrected = r.boolean();
+  q.data_error = r.boolean();
+  return q;
+}
+
+void save_controller_stats(SnapshotWriter& w, const ControllerStats& s) {
+  w.u64(s.cycles);
+  w.u64(s.reads);
+  w.u64(s.writes);
+  w.u64(s.row_hits);
+  w.u64(s.row_misses);
+  w.u64(s.row_conflicts);
+  w.u64(s.activations);
+  w.u64(s.precharges);
+  w.u64(s.refreshes);
+  w.u64(s.data_bus_busy_cycles);
+  w.u64(s.bytes_transferred);
+  w.u64(s.powerdown_cycles);
+  w.u64(s.redirected_requests);
+  w.u64(s.watchdog_retries);
+  w.u64(s.maintenance_ops);
+  s.reliability.save(w);
+  s.read_latency.save(w);
+  s.write_latency.save(w);
+  s.queue_occupancy.save(w);
+}
+
+void load_controller_stats(SnapshotReader& r, ControllerStats& s) {
+  s.cycles = r.u64();
+  s.reads = r.u64();
+  s.writes = r.u64();
+  s.row_hits = r.u64();
+  s.row_misses = r.u64();
+  s.row_conflicts = r.u64();
+  s.activations = r.u64();
+  s.precharges = r.u64();
+  s.refreshes = r.u64();
+  s.data_bus_busy_cycles = r.u64();
+  s.bytes_transferred = r.u64();
+  s.powerdown_cycles = r.u64();
+  s.redirected_requests = r.u64();
+  s.watchdog_retries = r.u64();
+  s.maintenance_ops = r.u64();
+  s.reliability.load(r);
+  s.read_latency.load(r);
+  s.write_latency.load(r);
+  s.queue_occupancy.load(r);
+}
+
+}  // namespace
+
+void Controller::save(SnapshotWriter& w) const {
+  // Geometry guard: restore requires a controller built from the same
+  // DramConfig; the bank count catches the gross mismatches cheaply.
+  w.u32(cfg_.banks);
+
+  for (const Bank& b : banks_) b.save(w);
+  for (unsigned b = 0; b < cfg_.banks; ++b) w.boolean(autopre_pending_[b]);
+  for (const std::uint64_t c : last_col_cycle_) w.u64(c);
+  scheduler_->save(w);
+  refresh_.save(w);
+
+  w.u64(queue_.size());
+  for (const QueueEntry& e : queue_) {
+    save_request(w, e.req);
+    w.u32(e.coord.bank);
+    w.u32(e.coord.row);
+    w.u32(e.coord.column);
+    w.boolean(e.classified);
+    w.u32(e.wd_retries);
+    w.u64(e.wd_deadline);
+    // cached_cmd / cached_row_hit / bank_release are rebuilt on load.
+  }
+  w.u64(inflight_.size());
+  for (const InFlight& f : inflight_) save_request(w, f.req);
+  w.u64(completed_.size());
+  for (const Request& q : completed_) save_request(w, q);
+
+  w.u64(reliability_events_seen_);
+  w.u64(cycle_);
+  w.u64(next_id_);
+
+  w.u64(last_act_cycle_);
+  w.boolean(any_act_yet_);
+  w.u64(recent_acts_.size());
+  for (const std::uint64_t c : recent_acts_) w.u64(c);
+
+  w.u64(bus_busy_until_);
+  w.u64(last_data_end_);
+  w.boolean(last_dir_ == AccessType::kWrite);
+  w.boolean(any_data_yet_);
+
+  w.boolean(refresh_draining_);
+  for (const std::uint64_t c : maint_until_) w.u64(c);
+  w.u32(maint_locked_);
+
+  w.boolean(powered_down_);
+  w.u64(idle_since_);
+  w.u64(wake_until_);
+  w.boolean(was_idle_);
+
+  save_controller_stats(w, stats_);
+}
+
+void Controller::load(SnapshotReader& r) {
+  if (r.u32() != cfg_.banks) {
+    r.fail("controller snapshot bank count mismatch");
+  }
+
+  for (Bank& b : banks_) b.load(r);
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    autopre_pending_[b] = r.boolean();
+  }
+  for (std::uint64_t& c : last_col_cycle_) c = r.u64();
+  scheduler_->load(r);
+  refresh_.load(r);
+
+  queue_.clear();
+  const std::uint64_t queued = r.u64();
+  if (queued > cfg_.queue_depth) r.fail("queued request count out of range");
+  queue_.reserve(queued);
+  for (std::uint64_t i = 0; i < queued; ++i) {
+    QueueEntry e;
+    e.req = load_request(r);
+    e.coord.bank = r.u32();
+    e.coord.row = r.u32();
+    e.coord.column = r.u32();
+    if (e.coord.bank >= cfg_.banks) r.fail("queued bank out of range");
+    e.classified = r.boolean();
+    e.wd_retries = r.u32();
+    e.wd_deadline = r.u64();
+    queue_.push_back(e);
+  }
+  inflight_.clear();
+  const std::uint64_t inflight = r.u64();
+  inflight_.reserve(inflight);
+  for (std::uint64_t i = 0; i < inflight; ++i) {
+    inflight_.push_back(InFlight{load_request(r)});
+  }
+  completed_.clear();
+  const std::uint64_t completed = r.u64();
+  completed_.reserve(completed);
+  for (std::uint64_t i = 0; i < completed; ++i) {
+    completed_.push_back(load_request(r));
+  }
+
+  reliability_events_seen_ = r.u64();
+  cycle_ = r.u64();
+  next_id_ = r.u64();
+
+  last_act_cycle_ = r.u64();
+  any_act_yet_ = r.boolean();
+  recent_acts_.clear();
+  const std::uint64_t acts = r.u64();
+  if (acts > 8) r.fail("recent-activate window out of range");
+  for (std::uint64_t i = 0; i < acts; ++i) recent_acts_.push_back(r.u64());
+
+  bus_busy_until_ = r.u64();
+  last_data_end_ = r.u64();
+  last_dir_ = r.boolean() ? AccessType::kWrite : AccessType::kRead;
+  any_data_yet_ = r.boolean();
+
+  refresh_draining_ = r.boolean();
+  for (std::uint64_t& c : maint_until_) c = r.u64();
+  maint_locked_ = r.u32();
+
+  powered_down_ = r.boolean();
+  idle_since_ = r.u64();
+  wake_until_ = r.u64();
+  was_idle_ = r.boolean();
+
+  load_controller_stats(r, stats_);
+
+  // Derived caches: recompute rather than trust the stream.
+  autopre_count_ = 0;
+  for (unsigned b = 0; b < cfg_.banks; ++b) {
+    if (autopre_pending_[b]) ++autopre_count_;
+  }
+  inflight_min_done_ = kNeverCycle;
+  for (const InFlight& f : inflight_) {
+    inflight_min_done_ = std::min(inflight_min_done_, f.req.done_cycle);
+  }
+  if (incremental_) {
+    rebuild_sched_cache();
+  } else {
+    for (auto& h : release_heaps_) h.clear();
+    pos_of_id_.clear();
+    for (auto& v : bank_entries_) v.clear();
+    candidates_.clear();
+  }
 }
 
 }  // namespace edsim::dram

@@ -174,6 +174,18 @@ class Controller {
   void set_incremental_scheduling(bool on);
   bool incremental_scheduling() const { return incremental_; }
 
+  /// Serialize / restore the full dynamic channel state: banks, refresh
+  /// pacing, scheduler hysteresis, queued and in-flight requests, bus and
+  /// channel constraints, power-down and maintenance-lock state, stats.
+  /// Attached observers (command log, telemetry, reliability hooks) are
+  /// NOT serialized — the caller reconstructs a controller with the same
+  /// DramConfig, re-attaches its observers (attach_reliability BEFORE
+  /// load, so the attach-derived flags are in place and load then restores
+  /// the counters attach reset), and calls load(). The incremental
+  /// scheduling caches are rebuilt on load, not stored.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
+
  private:
   struct QueueEntry {
     Request req;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::dram {
 
@@ -172,6 +173,20 @@ ControllerStats MultiChannel::combined_stats() const {
     sum.queue_occupancy.merge(s.queue_occupancy);
   }
   return sum;
+}
+
+void MultiChannel::save(SnapshotWriter& w) const {
+  w.u32(channels());
+  w.u64(failed_over_);
+  for (const auto& c : ctls_) c->save(w);
+}
+
+void MultiChannel::load(SnapshotReader& r) {
+  if (r.u32() != channels()) {
+    r.fail("multi-channel snapshot channel count mismatch");
+  }
+  failed_over_ = r.u64();
+  for (auto& c : ctls_) c->load(r);
 }
 
 Bandwidth MultiChannel::sustained_bandwidth() const {

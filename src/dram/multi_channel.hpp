@@ -101,6 +101,12 @@ class MultiChannel {
   ControllerStats combined_stats() const;
   Bandwidth sustained_bandwidth() const;
 
+  /// Serialize / restore every channel plus the fail-over counter. Same
+  /// contract as Controller::save/load: same-shape reconstruction,
+  /// observers re-attached by the caller before load.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
+
  private:
   DramConfig cfg_;
   ChannelInterleave interleave_;

@@ -4,8 +4,23 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::dram {
+
+void RefreshEngine::save(SnapshotWriter& w) const {
+  w.u64(pending_);
+  w.u64(next_due_);
+  w.u64(interval_);
+  w.u64(count_);
+}
+
+void RefreshEngine::load(SnapshotReader& r) {
+  pending_ = static_cast<unsigned>(r.u64());
+  next_due_ = r.u64();
+  interval_ = r.u64();
+  count_ = r.u64();
+}
 
 void RefreshEngine::scale_interval(double factor) {
   require(factor > 0.0, "refresh: interval scale factor must be positive");

@@ -5,6 +5,11 @@
 #include "dram/request.hpp"
 #include "dram/timing.hpp"
 
+namespace edsim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace edsim
+
 namespace edsim::dram {
 
 /// Refresh pacing. Two knobs:
@@ -69,6 +74,11 @@ class RefreshEngine {
   unsigned burst_count() const { return burst_count_; }
   std::uint64_t count() const { return count_; }
   bool enabled() const { return enabled_; }
+
+  /// Pacing state (pending batch, next due cycle, scaled interval, count).
+  /// enabled/burst come from the config; self_managed from attach.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   const TimingParams* t_;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hpp"
 #include "dram/address_map.hpp"
 #include "dram/request.hpp"
 
@@ -46,6 +47,41 @@ struct ReliabilityCounters {
 
   bool balanced() const {
     return injected == corrected + uncorrected + remapped;
+  }
+
+  void save(SnapshotWriter& w) const {
+    w.u64(injected);
+    w.u64(corrected);
+    w.u64(uncorrected);
+    w.u64(remapped);
+    w.u64(demand_corrections);
+    w.u64(scrub_corrections);
+    w.u64(write_repairs);
+    w.u64(uncorrectable_events);
+    w.u64(rows_remapped);
+    w.u64(banks_retired);
+    w.u64(scrubbed_rows);
+    w.u64(maint_ops);
+    w.u64(maint_rows);
+    w.u64(neighbor_rows);
+    w.u64(disturb_flips);
+  }
+  void load(SnapshotReader& r) {
+    injected = r.u64();
+    corrected = r.u64();
+    uncorrected = r.u64();
+    remapped = r.u64();
+    demand_corrections = r.u64();
+    scrub_corrections = r.u64();
+    write_repairs = r.u64();
+    uncorrectable_events = r.u64();
+    rows_remapped = r.u64();
+    banks_retired = r.u64();
+    scrubbed_rows = r.u64();
+    maint_ops = r.u64();
+    maint_rows = r.u64();
+    neighbor_rows = r.u64();
+    disturb_flips = r.u64();
   }
 };
 

@@ -1,6 +1,7 @@
 #include "dram/scheduler.hpp"
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::dram {
 
@@ -103,5 +104,11 @@ std::size_t ReadFirstScheduler::pick(const std::vector<Candidate>& candidates,
   }
   return kNone;
 }
+
+void ReadFirstScheduler::save(SnapshotWriter& w) const {
+  w.boolean(draining_);
+}
+
+void ReadFirstScheduler::load(SnapshotReader& r) { draining_ = r.boolean(); }
 
 }  // namespace edsim::dram

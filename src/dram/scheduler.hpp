@@ -7,6 +7,11 @@
 #include "dram/config.hpp"
 #include "dram/request.hpp"
 
+namespace edsim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace edsim
+
 namespace edsim::dram {
 
 /// One schedulable action the controller could take this cycle, derived
@@ -33,6 +38,12 @@ class Scheduler {
   /// for starvation control.
   virtual std::size_t pick(const std::vector<Candidate>& candidates,
                            std::uint64_t oldest_wait) const = 0;
+
+  /// Persist / restore policy-internal state. Most policies are pure
+  /// functions of the candidate list (nothing to save); ReadFirst carries
+  /// its write-drain hysteresis flag across cycles and overrides these.
+  virtual void save(SnapshotWriter& /*w*/) const {}
+  virtual void load(SnapshotReader& /*r*/) {}
 
   static std::unique_ptr<Scheduler> make(SchedulerKind kind);
 };
@@ -82,6 +93,9 @@ class ReadFirstScheduler final : public Scheduler {
                    std::uint64_t oldest_wait) const override;
 
   bool draining() const { return draining_; }
+
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   unsigned high_watermark_;

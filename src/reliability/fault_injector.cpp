@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::reliability {
 
@@ -155,6 +156,49 @@ void FaultInjector::for_each_weak_row(
     }
     fn(static_cast<unsigned>(key / rows_), static_cast<unsigned>(key % rows_),
        min_ret);
+  }
+}
+
+void FaultInjector::save(SnapshotWriter& w) const {
+  rng_.save(w);
+  w.u64(next_transient_);
+  w.boolean(transient_armed_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(weak_.size());
+  for (const auto& [key, cells] : weak_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const std::uint64_t key : keys) {
+    const auto& cells = weak_.at(key);
+    w.u64(key);
+    w.u64(cells.size());
+    for (const WeakCell& c : cells) {
+      w.u32(c.bit);
+      w.f64(c.retention_cycles);
+    }
+  }
+}
+
+void FaultInjector::load(SnapshotReader& r) {
+  rng_.load(r);
+  next_transient_ = r.u64();
+  transient_armed_ = r.boolean();
+  weak_.clear();
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t key_end =
+      static_cast<std::uint64_t>(banks_) * rows_;
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    const std::uint64_t key = r.u64();
+    if (key >= key_end) r.fail("weak-cell row key out of range");
+    const std::uint64_t n = r.u64();
+    auto& cells = weak_[key];
+    cells.reserve(n);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      WeakCell c;
+      c.bit = r.u32();
+      c.retention_cycles = r.f64();
+      cells.push_back(c);
+    }
   }
 }
 

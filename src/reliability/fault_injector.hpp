@@ -10,6 +10,11 @@
 #include "dram/config.hpp"
 #include "power/retention.hpp"
 
+namespace edsim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace edsim
+
 namespace edsim::reliability {
 
 /// How a fault entered the array at runtime.
@@ -110,6 +115,14 @@ class FaultInjector {
   /// binner's deterministic feed.
   void for_each_weak_row(
       const std::function<void(unsigned, unsigned, double)>& fn) const;
+
+  /// Snapshot the evolving fault-process state: the RNG stream, the armed
+  /// transient arrival, and the weak-cell population (which import /
+  /// drop_row / drop_bank mutate). Geometry and rates are ctor-derived.
+  /// Maps are dumped in sorted-key order so equal states serialize to
+  /// equal bytes.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   struct WeakCell {

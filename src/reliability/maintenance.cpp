@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 #include "reliability/fault_injector.hpp"
 
 namespace edsim::reliability {
@@ -61,6 +62,24 @@ void HammerTracker::reset_row(unsigned row) {
 void HammerTracker::reset_epoch() {
   for (Entry& e : entries_) e = Entry{};
   spill_ = 0;
+}
+
+void HammerTracker::save(SnapshotWriter& w) const {
+  for (const Entry& e : entries_) {
+    w.boolean(e.used);
+    w.u32(e.row);
+    w.u32(e.count);
+  }
+  w.u32(spill_);
+}
+
+void HammerTracker::load(SnapshotReader& r) {
+  for (Entry& e : entries_) {
+    e.used = r.boolean();
+    e.row = r.u32();
+    e.count = r.u32();
+  }
+  spill_ = r.u32();
 }
 
 // --- MaintenanceEngine ------------------------------------------------------
@@ -243,6 +262,70 @@ void MaintenanceEngine::record_activation(unsigned bank, unsigned row,
   if (est >= cfg_.hammer_threshold && !queued_[bank][row]) {
     queued_[bank][row] = true;
     neighbor_q_[bank].push_back(row);
+  }
+}
+
+void MaintenanceEngine::save(SnapshotWriter& w) const {
+  w.u64(row_bin_.size());
+  for (const std::uint8_t b : row_bin_) w.u32(b);
+  w.u64(bin_state_.size());
+  for (const BinState& st : bin_state_) {
+    w.u64(st.rows.size());
+    for (const unsigned row : st.rows) w.u32(row);
+    w.u64(st.ptr);
+    w.u64(st.next_due);
+    w.u64(st.period);
+  }
+  for (const HammerTracker& t : trackers_) t.save(w);
+  for (const std::uint64_t e : tracker_epoch_) w.u64(e);
+  for (unsigned b = 0; b < banks_; ++b) {
+    w.u64(neighbor_q_[b].size());
+    for (const unsigned agg : neighbor_q_[b]) w.u32(agg);
+  }
+  for (unsigned b = 0; b < banks_; ++b) w.boolean(bank_dropped_[b]);
+}
+
+void MaintenanceEngine::load(SnapshotReader& r) {
+  if (r.u64() != row_bin_.size()) {
+    r.fail("maintenance snapshot row-bin table size mismatch");
+  }
+  for (std::uint8_t& b : row_bin_) {
+    const std::uint32_t bin = r.u32();
+    if (bin >= cfg_.bins) r.fail("row bin out of range");
+    b = static_cast<std::uint8_t>(bin);
+  }
+  if (r.u64() != bin_state_.size()) {
+    r.fail("maintenance snapshot bin-state size mismatch");
+  }
+  for (BinState& st : bin_state_) {
+    st.rows.clear();
+    const std::uint64_t n = r.u64();
+    if (n > rows_) r.fail("bin membership out of range");
+    st.rows.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) st.rows.push_back(r.u32());
+    st.ptr = r.u64();
+    if (st.ptr >= std::max<std::size_t>(1, st.rows.size())) {
+      r.fail("bin sweep pointer out of range");
+    }
+    st.next_due = r.u64();
+    st.period = r.u64();
+  }
+  for (HammerTracker& t : trackers_) t.load(r);
+  for (std::uint64_t& e : tracker_epoch_) e = r.u64();
+  for (unsigned b = 0; b < banks_; ++b) {
+    neighbor_q_[b].clear();
+    std::fill(queued_[b].begin(), queued_[b].end(), false);
+    const std::uint64_t n = r.u64();
+    if (n > rows_) r.fail("neighbor queue out of range");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const unsigned agg = r.u32();
+      if (agg >= rows_) r.fail("neighbor aggressor row out of range");
+      neighbor_q_[b].push_back(agg);
+      queued_[b][agg] = true;  // dedup mask mirrors the queue
+    }
+  }
+  for (unsigned b = 0; b < banks_; ++b) {
+    bank_dropped_[b] = r.boolean();
   }
 }
 

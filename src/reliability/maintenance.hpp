@@ -7,6 +7,11 @@
 #include "dram/config.hpp"
 #include "dram/request.hpp"
 
+namespace edsim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace edsim
+
 namespace edsim::reliability {
 
 class FaultInjector;
@@ -70,6 +75,10 @@ class HammerTracker {
   /// New epoch: all counters and the spill floor restart from zero.
   void reset_epoch();
   std::uint32_t spill() const { return spill_; }
+
+  /// Snapshot the counter table + spill floor (table size is ctor-fixed).
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   struct Entry {
@@ -138,6 +147,13 @@ class MaintenanceEngine {
     return trackers_[bank];
   }
   unsigned hammer_threshold() const { return cfg_.hammer_threshold; }
+
+  /// Snapshot the evolving schedule: bin membership and sweep positions,
+  /// tracker tables and epochs, the neighbor-refresh queues, and dropped
+  /// banks. Windows / slack / geometry are ctor-derived and not stored;
+  /// the queued_ dedup masks are rebuilt from the queues on load.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   struct BinState {

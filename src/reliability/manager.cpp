@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/snapshot.hpp"
 
 namespace edsim::reliability {
 
@@ -426,6 +427,140 @@ std::uint64_t ReliabilityManager::live_faults() const {
   std::uint64_t n = 0;
   for (const auto& [key, st] : faulty_rows_) n += st.bad_bits.size();
   return n;
+}
+
+void ReliabilityManager::save(SnapshotWriter& w) const {
+  counters_.save(w);
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(faulty_rows_.size());
+  for (const auto& [key, st] : faulty_rows_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const std::uint64_t key : keys) {
+    const RowState& st = faulty_rows_.at(key);
+    w.u64(key);
+    w.u64(st.bad_bits.size());
+    for (const std::uint32_t b : st.bad_bits) w.u32(b);
+    w.u32(st.corrections);
+  }
+
+  for (const std::uint64_t c : last_restore_) w.u64(c);
+  for (unsigned b = 0; b < banks_; ++b) w.boolean(alive_[b]);
+  for (const unsigned s : spares_left_) w.u32(s);
+  for (const bist::RepairPlan& p : plans_) {
+    w.boolean(p.feasible);
+    w.u64(p.replaced_rows.size());
+    for (const unsigned r : p.replaced_rows) w.u32(r);
+    w.u64(p.replaced_cols.size());
+    for (const unsigned c : p.replaced_cols) w.u32(c);
+  }
+
+  w.u32(refresh_ptr_);
+  w.u32(scrub_ptr_);
+
+  w.boolean(engine_ != nullptr);
+  if (engine_) engine_->save(w);
+
+  keys.clear();
+  keys.reserve(disturb_.size());
+  for (const auto& [key, n] : disturb_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const std::uint64_t key : keys) {
+    w.u64(key);
+    w.u32(disturb_.at(key));
+  }
+  w.u32(max_disturb_);
+
+  w.u64(log_.size());
+  for (const ReliabilityEvent& ev : log_) {
+    w.u64(ev.cycle);
+    w.u32(static_cast<std::uint32_t>(ev.kind));
+    w.u32(ev.bank);
+    w.u32(ev.row);
+    w.u32(ev.bit);
+  }
+  w.boolean(log_overflow_);
+
+  injector_.save(w);
+}
+
+void ReliabilityManager::load(SnapshotReader& r) {
+  counters_.load(r);
+
+  const std::uint64_t key_end = static_cast<std::uint64_t>(banks_) * rows_;
+  faulty_rows_.clear();
+  const std::uint64_t n_rows = r.u64();
+  for (std::uint64_t i = 0; i < n_rows; ++i) {
+    const std::uint64_t key = r.u64();
+    if (key >= key_end) r.fail("faulty-row key out of range");
+    RowState& st = faulty_rows_[key];
+    const std::uint64_t n_bits = r.u64();
+    st.bad_bits.reserve(n_bits);
+    for (std::uint64_t j = 0; j < n_bits; ++j) {
+      const std::uint32_t b = r.u32();
+      if (b >= page_bits_) r.fail("faulty bit out of range");
+      st.bad_bits.push_back(b);
+    }
+    st.corrections = r.u32();
+  }
+
+  for (std::uint64_t& c : last_restore_) c = r.u64();
+  for (unsigned b = 0; b < banks_; ++b) alive_[b] = r.boolean();
+  for (unsigned& s : spares_left_) s = r.u32();
+  for (bist::RepairPlan& p : plans_) {
+    p.feasible = r.boolean();
+    p.replaced_rows.clear();
+    const std::uint64_t nr = r.u64();
+    p.replaced_rows.reserve(nr);
+    for (std::uint64_t i = 0; i < nr; ++i) p.replaced_rows.push_back(r.u32());
+    p.replaced_cols.clear();
+    const std::uint64_t nc = r.u64();
+    p.replaced_cols.reserve(nc);
+    for (std::uint64_t i = 0; i < nc; ++i) p.replaced_cols.push_back(r.u32());
+  }
+
+  refresh_ptr_ = r.u32();
+  if (refresh_ptr_ >= rows_) r.fail("refresh pointer out of range");
+  scrub_ptr_ = r.u32();
+  if (scrub_ptr_ >= rows_) r.fail("scrub pointer out of range");
+
+  const bool has_engine = r.boolean();
+  if (has_engine != (engine_ != nullptr)) {
+    r.fail("maintenance engine presence mismatch");
+  }
+  if (engine_) engine_->load(r);
+
+  disturb_.clear();
+  const std::uint64_t n_disturb = r.u64();
+  for (std::uint64_t i = 0; i < n_disturb; ++i) {
+    const std::uint64_t key = r.u64();
+    if (key >= key_end) r.fail("disturbance row key out of range");
+    disturb_[key] = r.u32();
+  }
+  max_disturb_ = r.u32();
+
+  log_.clear();
+  const std::uint64_t n_events = r.u64();
+  log_.reserve(n_events);
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    ReliabilityEvent ev;
+    ev.cycle = r.u64();
+    const std::uint32_t kind = r.u32();
+    if (kind > static_cast<std::uint32_t>(EventKind::kBinSweep)) {
+      r.fail("reliability event kind out of range");
+    }
+    ev.kind = static_cast<EventKind>(kind);
+    ev.bank = r.u32();
+    ev.row = r.u32();
+    ev.bit = r.u32();
+    log_.push_back(ev);
+  }
+  log_overflow_ = r.boolean();
+
+  injector_.load(r);
+  scratch_.clear();
 }
 
 double ReliabilityManager::scrub_coverage() const {

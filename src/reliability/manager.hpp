@@ -161,6 +161,17 @@ class ReliabilityManager final : public dram::ReliabilityHooks {
   /// injector's flip threshold.
   std::uint32_t max_disturbance() const { return max_disturb_; }
 
+  /// Serialize / restore the full fault state of the array: counters,
+  /// faulty rows, retention clocks, degradation ladder (alive banks,
+  /// spares, repair plans), scrub/refresh pointers, disturbance state,
+  /// the event log, the injector's RNG stream, and the maintenance
+  /// engine's schedule. The receiving manager must be built from the same
+  /// (DramConfig, ReliabilityConfig) recipe; the event observer and the
+  /// self-managed toggle are attach-time concerns and not stored. Maps
+  /// serialize in sorted-key order so equal states yield equal bytes.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
+
  private:
   struct RowState {
     std::vector<std::uint32_t> bad_bits;  ///< live fault bit positions

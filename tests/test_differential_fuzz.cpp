@@ -21,6 +21,7 @@
 #include "clients/client.hpp"
 #include "clients/system.hpp"
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "core/evaluator.hpp"
 #include "core/pareto.hpp"
 #include "dram/command_log.hpp"
@@ -286,14 +287,77 @@ struct SystemRun {
     sys.run(window);
     intervals.finish();
   }
+
+  const clients::MemorySystem& system() const { return sys; }
 };
 
-void expect_system_runs_eq(const SystemRun& a, const SystemRun& b) {
-  EXPECT_EQ(a.sys.controller().cycle(), b.sys.controller().cycle());
-  expect_stats_eq(a.sys.controller().stats(), b.sys.controller().stats());
-  for (std::size_t i = 0; i < a.sys.client_count(); ++i) {
-    const auto& ca = a.sys.client_stats(i);
-    const auto& cb = b.sys.client_stats(i);
+/// Like SystemRun, but the run is interrupted at `cut`: the whole dynamic
+/// state (system + reliability manager) is serialized, a *fresh*
+/// same-recipe system is built, the ORIGINAL observers (command log,
+/// interval reporter) are re-attached, the snapshot is restored, and the
+/// run continues to `window`. The result must be bit-identical to never
+/// having snapshotted.
+struct SnapshotRun {
+  std::unique_ptr<clients::MemorySystem> sys;
+  dram::CommandLog log;
+  telemetry::IntervalReporter intervals;
+  std::unique_ptr<reliability::ReliabilityManager> rel;
+
+  SnapshotRun(const DramConfig& cfg, std::uint64_t client_seed,
+              std::uint64_t span, bool with_reliability,
+              std::uint64_t rel_seed, bool incremental, std::uint64_t cut,
+              std::uint64_t window)
+      : intervals(512) {
+    const auto build = [&] {
+      auto s = std::make_unique<clients::MemorySystem>(
+          cfg, clients::ArbiterKind::kRoundRobin);
+      s->controller().set_incremental_scheduling(incremental);
+      s->controller().attach_command_log(&log);
+      s->attach_telemetry(&intervals);
+      add_random_clients(*s, cfg, span, client_seed);
+      return s;
+    };
+    sys = build();
+    if (with_reliability) {
+      rel = std::make_unique<reliability::ReliabilityManager>(
+          cfg, random_reliability(rel_seed));
+      sys->controller().attach_reliability(rel.get());
+    }
+    sys->run(cut);
+
+    // Reliability section first: on restore it must be rebuilt and
+    // attached before the controller loads (attach samples the manager).
+    SnapshotWriter w;
+    if (rel) rel->save(w);
+    sys->save(w);
+    const std::vector<std::uint8_t> blob = w.seal();
+
+    sys = build();
+    SnapshotReader r(blob);
+    if (with_reliability) {
+      rel = std::make_unique<reliability::ReliabilityManager>(
+          cfg, random_reliability(rel_seed));
+      rel->load(r);
+      sys->controller().attach_reliability(rel.get());
+    }
+    sys->load(r);
+    r.expect_end();
+
+    sys->run(window - cut);
+    intervals.finish();
+  }
+
+  const clients::MemorySystem& system() const { return *sys; }
+};
+
+template <typename RunA, typename RunB>
+void expect_system_runs_eq(const RunA& a, const RunB& b) {
+  EXPECT_EQ(a.system().controller().cycle(), b.system().controller().cycle());
+  expect_stats_eq(a.system().controller().stats(),
+                  b.system().controller().stats());
+  for (std::size_t i = 0; i < a.system().client_count(); ++i) {
+    const auto& ca = a.system().client_stats(i);
+    const auto& cb = b.system().client_stats(i);
     EXPECT_EQ(ca.issued, cb.issued) << "client " << i;
     EXPECT_EQ(ca.completed, cb.completed) << "client " << i;
     EXPECT_EQ(ca.bytes, cb.bytes) << "client " << i;
@@ -337,6 +401,51 @@ TEST(DifferentialFuzz, SystemLevelThreeWayBitIdentical) {
     if (HasFailure()) {
       // One reproducer is enough; later trials would only add noise.
       FAIL() << "reproduce with " << describe_trial(trial, seed, cfg);
+    }
+  }
+}
+
+// Snapshot/restore mid-trial: serialize the full simulator state at a
+// random cut cycle, rebuild a fresh same-recipe system, restore, continue
+// — the completed run must be bit-identical to the straight-through run
+// (stats, per-client stats, command log, intervals, reliability log), and
+// both final states must re-serialize to the identical bytes.
+TEST(DifferentialFuzz, MidTrialSnapshotRestoreBitIdentical) {
+  for (int trial = 0; trial < kSystemTrials; ++trial) {
+    const std::uint64_t seed =
+        derive_seed(kRootSeed, 30'000 + static_cast<std::uint64_t>(trial));
+    Rng rng(seed);
+    const DramConfig cfg = random_config(rng);
+    SCOPED_TRACE(describe_trial(trial, seed, cfg));
+    const std::uint64_t span = cfg.capacity().byte_count();
+    const std::uint64_t window = 20'000 + rng.next_below(30'000);
+    const bool with_rel = rng.next_bool(0.5);
+    const std::uint64_t cut = 1 + rng.next_below(window - 1);
+    const bool incremental = trial % 2 == 0;
+    const std::uint64_t client_seed = derive_seed(seed, 1);
+    const std::uint64_t rel_seed = derive_seed(seed, 2);
+
+    const SystemRun straight(cfg, client_seed, span, with_rel, rel_seed,
+                             /*fast_forward=*/true, incremental, window);
+    const SnapshotRun resumed(cfg, client_seed, span, with_rel, rel_seed,
+                              incremental, cut, window);
+    expect_system_runs_eq(straight, resumed);
+
+    // Equal states must serialize to equal bytes (sorted-map dumps make
+    // the encoding canonical).
+    EXPECT_EQ(straight.system().save_snapshot(),
+              resumed.system().save_snapshot());
+    if (with_rel) {
+      SnapshotWriter wa;
+      SnapshotWriter wb;
+      straight.rel->save(wa);
+      resumed.rel->save(wb);
+      EXPECT_EQ(wa.payload(), wb.payload());
+    }
+
+    if (HasFailure()) {
+      FAIL() << "reproduce with " << describe_trial(trial, seed, cfg)
+             << " cut=" << cut;
     }
   }
 }
@@ -549,11 +658,17 @@ TEST(DifferentialFuzz, EvaluatorArenaMemoBitIdenticalAcrossThreadCounts) {
     w.random_clients = 1 + static_cast<unsigned>(rng.next_below(3));
     w.sim_cycles = 20'000 + rng.next_below(20'000);
     w.seed = derive_seed(seed, 3);
+    // A third of the trials exercise the checkpoint-and-fan-out path: the
+    // reference warms every point in place, the candidates restore the
+    // shared warm snapshot — bit-identical by contract.
+    w.warmup_cycles = trial % 3 == 0 ? 4'000 + rng.next_below(8'000) : 0;
 
-    // Reference: regenerate clients per point, no memoization, serial.
+    // Reference: regenerate clients per point, no memoization, no warm-up
+    // checkpointing, serial.
     core::Evaluator ref;
     ref.set_workload_arena(false);
     ref.set_memoize(false);
+    ref.set_checkpoint(false);
     ref.set_threads(1);
     const std::vector<core::Metrics> want = ref.sweep(cfgs, w);
     const std::vector<std::size_t> want_front = core::pareto_front(

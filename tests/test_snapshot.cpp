@@ -1,0 +1,424 @@
+// Snapshot/restore suite: deterministic round trips for every serialized
+// layer (memory system, multi-channel, reliability manager incl. the
+// maintenance engine), canonical-bytes checks, and the corruption fuzz —
+// every single-byte flip and every truncation of a sealed snapshot must
+// yield a structured Error{kSnapshotFormat}, never undefined behaviour
+// (the same discipline as the .edtrc trace-format corruption fuzz).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clients/compiled_trace.hpp"
+#include "clients/extra_clients.hpp"
+#include "clients/system.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/snapshot.hpp"
+#include "common/stats.hpp"
+#include "dram/multi_channel.hpp"
+#include "reliability/manager.hpp"
+
+namespace edsim {
+namespace {
+
+dram::DramConfig small_config() {
+  dram::DramConfig cfg;
+  cfg.banks = 4;
+  cfg.rows_per_bank = 256;
+  cfg.page_bytes = 1024;
+  cfg.interface_bits = 32;
+  cfg.queue_depth = 8;
+  cfg.powerdown_enabled = true;
+  cfg.powerdown_idle_cycles = 16;
+  cfg.ecc_enabled = true;
+  return cfg;
+}
+
+/// Mixed roster covering every serialized client kind, including an
+/// arena-replay client over a compiled stream.
+void add_roster(clients::MemorySystem& sys, const dram::DramConfig& cfg) {
+  const unsigned burst = cfg.bytes_per_access();
+  const std::uint64_t span = cfg.capacity().byte_count();
+  {
+    clients::StreamClient::Params p;
+    p.length = span / 2;
+    p.burst_bytes = burst;
+    p.period_cycles = 90;
+    sys.add_client(std::make_unique<clients::StreamClient>(0, "stream", p));
+  }
+  {
+    clients::RandomClient::Params p;
+    p.length = span / 2;
+    p.burst_bytes = burst;
+    p.period_cycles = 130;
+    p.seed = 42;
+    sys.add_client(std::make_unique<clients::RandomClient>(1, "rand", p));
+  }
+  {
+    clients::StridedClient::Params p;
+    p.length = span / 2;
+    p.burst_bytes = burst;
+    p.stride_bytes = cfg.page_bytes;
+    p.period_cycles = 170;
+    sys.add_client(std::make_unique<clients::StridedClient>(2, "strided", p));
+  }
+  {
+    clients::PointerChaseClient::Params p;
+    p.length = span / 2;
+    p.burst_bytes = burst;
+    p.think_cycles = 40;
+    sys.add_client(
+        std::make_unique<clients::PointerChaseClient>(3, "chase", p));
+  }
+  {
+    clients::BurstyClient::Params p;
+    p.length = span / 2;
+    p.burst_bytes = burst;
+    p.on_requests = 6;
+    p.off_cycles = 400;
+    sys.add_client(std::make_unique<clients::BurstyClient>(4, "bursty", p));
+  }
+  {
+    clients::StreamClient::Params p;
+    p.base = span / 2;
+    p.length = span / 4;
+    p.burst_bytes = burst;
+    p.period_cycles = 110;
+    auto arena = clients::compile_stream(p, 2'000);
+    sys.add_client(std::make_unique<clients::ArenaReplayClient>(
+        5, "arena", std::move(arena)));
+  }
+}
+
+std::unique_ptr<clients::MemorySystem> build_system(
+    const dram::DramConfig& cfg) {
+  auto sys = std::make_unique<clients::MemorySystem>(
+      cfg, clients::ArbiterKind::kRoundRobin);
+  add_roster(*sys, cfg);
+  return sys;
+}
+
+reliability::ReliabilityConfig reliability_recipe() {
+  reliability::ReliabilityConfig rc;
+  rc.inject.seed = 7;
+  rc.inject.transient_per_mbit_ms = 40.0;
+  rc.inject.weak_cells = 8;
+  rc.inject.hammer_flip_threshold = 96;
+  rc.maintenance.enabled = true;
+  rc.maintenance.bins = 3;
+  rc.maintenance.base_window_cycles = 4'000;
+  rc.maintenance.rows_per_op = 4;
+  rc.maintenance.hammer_threshold = 24;
+  rc.maintenance.hammer_table_rows = 4;
+  rc.hammer_remap_after_flips = 2;
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(Snapshot, MemorySystemRoundTripBitIdentical) {
+  const dram::DramConfig cfg = small_config();
+  auto straight = build_system(cfg);
+  straight->run(7'000);
+  const std::vector<std::uint8_t> blob = straight->save_snapshot();
+  straight->run(7'000);
+
+  auto resumed = build_system(cfg);
+  resumed->restore_snapshot(blob);
+  resumed->run(7'000);
+
+  EXPECT_EQ(straight->controller().cycle(), resumed->controller().cycle());
+  // Equal final states serialize to equal bytes — covers every counter,
+  // accumulator, queue entry and client register in one comparison.
+  EXPECT_EQ(straight->save_snapshot(), resumed->save_snapshot());
+}
+
+TEST(Snapshot, RestoreIsIdempotentOnTheSameBytes) {
+  const dram::DramConfig cfg = small_config();
+  auto sys = build_system(cfg);
+  sys->run(5'000);
+  const std::vector<std::uint8_t> blob = sys->save_snapshot();
+
+  auto other = build_system(cfg);
+  other->restore_snapshot(blob);
+  EXPECT_EQ(other->save_snapshot(), blob);
+  other->restore_snapshot(blob);  // restoring twice is harmless
+  EXPECT_EQ(other->save_snapshot(), blob);
+}
+
+TEST(Snapshot, MultiChannelRoundTrip) {
+  const dram::DramConfig cfg = small_config();
+  const auto drive = [&](dram::MultiChannel& mc, std::uint64_t from,
+                         std::uint64_t to) {
+    Rng rng(11);
+    std::vector<dram::Request> scratch;
+    for (std::uint64_t c = 0; c < to; c += 50) {
+      dram::Request r;
+      r.addr = rng.next_below(cfg.capacity().byte_count() * 2) & ~31ull;
+      r.type = rng.next_bool(0.3) ? dram::AccessType::kWrite
+                                  : dram::AccessType::kRead;
+      if (c >= from) {
+        mc.tick_until(c);
+        if (!mc.queue_full_for(r.addr)) mc.enqueue(r);
+        mc.drain_completed_into(scratch);
+      }
+    }
+    mc.tick_until(to);
+    mc.drain_completed_into(scratch);
+  };
+
+  dram::MultiChannel straight(cfg, 2, dram::ChannelInterleave::kPage);
+  drive(straight, 0, 4'000);
+  SnapshotWriter w;
+  straight.save(w);
+  const std::vector<std::uint8_t> blob = w.seal();
+  drive(straight, 4'000, 8'000);
+
+  dram::MultiChannel resumed(cfg, 2, dram::ChannelInterleave::kPage);
+  SnapshotReader r(blob);
+  resumed.load(r);
+  r.expect_end();
+  drive(resumed, 4'000, 8'000);
+
+  for (unsigned c = 0; c < straight.channels(); ++c) {
+    EXPECT_EQ(straight.channel(c).cycle(), resumed.channel(c).cycle());
+    EXPECT_EQ(straight.channel(c).stats().reads,
+              resumed.channel(c).stats().reads);
+    EXPECT_EQ(straight.channel(c).stats().bytes_transferred,
+              resumed.channel(c).stats().bytes_transferred);
+  }
+  SnapshotWriter wa;
+  SnapshotWriter wb;
+  straight.save(wa);
+  resumed.save(wb);
+  EXPECT_EQ(wa.payload(), wb.payload());
+}
+
+TEST(Snapshot, ReliabilityManagerRoundTripWithMaintenance) {
+  const dram::DramConfig cfg = small_config();
+  const auto build = [&] {
+    auto sys = build_system(cfg);
+    auto rel = std::make_unique<reliability::ReliabilityManager>(
+        cfg, reliability_recipe());
+    sys->controller().attach_reliability(rel.get());
+    return std::pair{std::move(sys), std::move(rel)};
+  };
+
+  auto [sys_a, rel_a] = build();
+  sys_a->run(9'000);
+  SnapshotWriter w;
+  rel_a->save(w);
+  sys_a->save(w);
+  const std::vector<std::uint8_t> blob = w.seal();
+  sys_a->run(9'000);
+
+  auto [sys_b, rel_b] = build();
+  SnapshotReader r(blob);
+  rel_b->load(r);
+  sys_b->controller().attach_reliability(rel_b.get());
+  sys_b->load(r);
+  r.expect_end();
+  sys_b->run(9'000);
+
+  EXPECT_EQ(rel_a->event_log(), rel_b->event_log());
+  EXPECT_EQ(rel_a->live_faults(), rel_b->live_faults());
+  EXPECT_EQ(rel_a->max_disturbance(), rel_b->max_disturbance());
+  EXPECT_EQ(rel_a->counters().injected, rel_b->counters().injected);
+  EXPECT_EQ(rel_a->counters().corrected, rel_b->counters().corrected);
+  SnapshotWriter wa;
+  SnapshotWriter wb;
+  rel_a->save(wa);
+  rel_b->save(wb);
+  EXPECT_EQ(wa.payload(), wb.payload());
+}
+
+TEST(Snapshot, AccumulatorPreservesUnflushedRun) {
+  Accumulator a;
+  a.add_repeated(3.5, 1'000);
+  a.add(2.0);
+  a.add_repeated(2.0, 7);  // leave a pending run unflushed
+  SnapshotWriter w;
+  a.save(w);
+  Accumulator b;
+  const std::vector<std::uint8_t> blob = w.seal();
+  SnapshotReader rs(blob);
+  b.load(rs);
+  rs.expect_end();
+  // Continue both with the same folds; derived statistics stay bit-equal.
+  a.add_repeated(2.0, 5);
+  b.add_repeated(2.0, 5);
+  a.add(9.0);
+  b.add(9.0);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+TEST(Snapshot, RngStreamResumes) {
+  Rng a(123);
+  for (int i = 0; i < 57; ++i) a.next_u64();
+  SnapshotWriter w;
+  a.save(w);
+  const std::vector<std::uint8_t> blob = w.seal();
+  Rng b(999);  // different seed: load must fully overwrite
+  SnapshotReader r(blob);
+  b.load(r);
+  r.expect_end();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation: mismatched recipes are rejected, not mangled.
+
+TEST(Snapshot, ClientCountMismatchRejected) {
+  const dram::DramConfig cfg = small_config();
+  auto sys = build_system(cfg);
+  sys->run(1'000);
+  const std::vector<std::uint8_t> blob = sys->save_snapshot();
+
+  clients::MemorySystem other(cfg, clients::ArbiterKind::kRoundRobin);
+  try {
+    other.restore_snapshot(blob);
+    FAIL() << "restore into a different roster must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSnapshotFormat);
+  }
+}
+
+TEST(Snapshot, ArenaContentHashMismatchRejected) {
+  const dram::DramConfig cfg = small_config();
+  clients::StreamClient::Params p;
+  p.length = 1 << 16;
+  p.burst_bytes = cfg.bytes_per_access();
+  p.period_cycles = 50;
+  auto arena_a = clients::compile_stream(p, 500);
+  p.period_cycles = 60;  // different workload, different content hash
+  auto arena_b = clients::compile_stream(p, 500);
+
+  clients::ArenaReplayClient a(0, "a", arena_a);
+  SnapshotWriter w;
+  a.save_state(w);
+  const std::vector<std::uint8_t> blob = w.seal();
+
+  clients::ArenaReplayClient b(0, "b", arena_b);
+  SnapshotReader r(blob);
+  try {
+    b.load_state(r);
+    FAIL() << "restore over a different arena must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSnapshotFormat);
+  }
+}
+
+TEST(Snapshot, BankCountMismatchRejected) {
+  dram::DramConfig cfg = small_config();
+  auto sys = build_system(cfg);
+  sys->run(1'000);
+  const std::vector<std::uint8_t> blob = sys->save_snapshot();
+
+  cfg.banks = 8;
+  auto other = build_system(cfg);
+  try {
+    other->restore_snapshot(blob);
+    FAIL() << "restore into a different geometry must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSnapshotFormat);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzz: the envelope checksum plus bounds-checked decode must
+// turn EVERY truncation and EVERY byte flip into Error{kSnapshotFormat}.
+
+std::vector<std::uint8_t> corpus_blob() {
+  dram::DramConfig cfg = small_config();
+  cfg.rows_per_bank = 128;  // keep the blob small: the fuzz is O(size^2)
+  auto sys = build_system(cfg);
+  auto rel = std::make_unique<reliability::ReliabilityManager>(
+      cfg, reliability_recipe());
+  sys->controller().attach_reliability(rel.get());
+  sys->run(3'000);
+  SnapshotWriter w;
+  rel->save(w);
+  sys->save(w);
+  return w.seal();
+}
+
+TEST(SnapshotCorruption, EveryTruncationRejected) {
+  const std::vector<std::uint8_t> blob = corpus_blob();
+  ASSERT_GT(blob.size(), 16u);
+  for (std::size_t n = 0; n < blob.size(); ++n) {
+    try {
+      SnapshotReader r(blob.data(), n);
+      // Construction may legitimately succeed only for n == blob.size().
+      FAIL() << "truncation to " << n << " bytes accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kSnapshotFormat)
+          << "truncation to " << n << " bytes";
+    }
+  }
+}
+
+TEST(SnapshotCorruption, EveryByteFlipRejected) {
+  const std::vector<std::uint8_t> blob = corpus_blob();
+  std::vector<std::uint8_t> mutant = blob;
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0xff}}) {
+      mutant[i] = blob[i] ^ mask;
+      try {
+        SnapshotReader r(mutant);
+        FAIL() << "flip at byte " << i << " (mask " << int{mask}
+               << ") accepted";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::kSnapshotFormat)
+            << "flip at byte " << i;
+      }
+    }
+    mutant[i] = blob[i];
+  }
+}
+
+TEST(SnapshotCorruption, VersionMismatchRejected) {
+  SnapshotWriter w;
+  w.u64(1234);
+  std::vector<std::uint8_t> blob = w.seal();
+  blob[4] ^= 0x10;  // version byte sits after the 4-byte magic
+  try {
+    SnapshotReader r(blob);
+    FAIL() << "future-version snapshot accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSnapshotFormat);
+  }
+}
+
+TEST(SnapshotCorruption, GarbagePayloadNeverUb) {
+  // Decoding random bytes through a *valid* envelope must fail with a
+  // structured error at the field layer (out-of-range counts, key guards)
+  // — the checksum only protects transport, not semantics.
+  const dram::DramConfig cfg = small_config();
+  Rng rng(31337);
+  auto scratch = build_system(cfg);
+  for (int round = 0; round < 200; ++round) {
+    SnapshotWriter w;
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(64));
+    for (unsigned i = 0; i < n; ++i) w.u64(rng.next_u64());
+    const std::vector<std::uint8_t> blob = w.seal();
+    try {
+      scratch->restore_snapshot(blob);
+      // Vanishingly unlikely, but not UB — a fresh system absorbs it.
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kSnapshotFormat) << "round " << round;
+    }
+    // The scratch system may now hold arbitrary (but structurally valid)
+    // state; rebuild it for the next round.
+    scratch = build_system(cfg);
+  }
+}
+
+}  // namespace
+}  // namespace edsim

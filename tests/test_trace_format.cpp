@@ -572,6 +572,50 @@ TEST(EvaluatorMemo, SecondEvaluationIsAMemoHit) {
   EXPECT_EQ(ev.workload_cache().entries(), 0u);
 }
 
+TEST(EvaluatorMemo, CacheStatsTracksAllThreeCaches) {
+  core::SystemConfig cfg;
+  cfg.name = "stats-test";
+  core::EvalWorkload w;
+  w.sim_cycles = 8'000;
+  w.warmup_cycles = 4'000;  // exercises the checkpoint cache too
+
+  core::Evaluator ev;
+  ev.evaluate(cfg, w);
+  core::Evaluator::CacheStats cs = ev.cache_stats();
+  // First evaluation: every arena and the warm-up checkpoint are misses.
+  EXPECT_EQ(cs.arena_hits, ev.workload_cache().hits());
+  EXPECT_EQ(cs.arena_misses, ev.workload_cache().misses());
+  EXPECT_GT(cs.arena_entries, 0u);
+  EXPECT_GT(cs.arena_bytes, 0u);
+  EXPECT_EQ(cs.memo_hits, 0u);
+  EXPECT_EQ(cs.memo_entries, 1u);
+  EXPECT_EQ(cs.checkpoint_hits, 0u);
+  EXPECT_EQ(cs.checkpoint_entries, 1u);
+  EXPECT_GT(cs.checkpoint_bytes, 0u);
+
+  ev.evaluate(cfg, w);  // pure memo hit: no new arena/checkpoint traffic
+  cs = ev.cache_stats();
+  EXPECT_EQ(cs.memo_hits, 1u);
+  EXPECT_EQ(cs.memo_entries, 1u);
+  EXPECT_EQ(cs.checkpoint_entries, 1u);
+
+  // A config variant sharing the channel shape hits the checkpoint.
+  core::SystemConfig variant = cfg;
+  variant.name = "stats-test-variant";
+  ev.evaluate(variant, w);
+  cs = ev.cache_stats();
+  EXPECT_EQ(cs.checkpoint_hits, 1u);
+  EXPECT_EQ(cs.checkpoint_entries, 1u);
+  EXPECT_EQ(cs.memo_entries, 2u);
+
+  ev.clear_caches();
+  cs = ev.cache_stats();
+  EXPECT_EQ(cs.arena_entries, 0u);
+  EXPECT_EQ(cs.memo_entries, 0u);
+  EXPECT_EQ(cs.checkpoint_entries, 0u);
+  EXPECT_EQ(cs.checkpoint_bytes, 0u);
+}
+
 TEST(EvaluatorMemo, ContentHashesSeparateConfigsAndWorkloads) {
   core::SystemConfig a;
   a.name = "a";
