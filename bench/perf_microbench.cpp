@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -27,6 +28,8 @@
 #include "dram/presets.hpp"
 #include "dram/protocol_checker.hpp"
 #include "reliability/manager.hpp"
+#include "service/batch.hpp"
+#include "service/result_store.hpp"
 #include "telemetry/interval.hpp"
 #include "telemetry/multi_hooks.hpp"
 #include "telemetry/request_tracer.hpp"
@@ -348,6 +351,111 @@ void BM_SweepMemoized(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * cfgs.size()));
 }
 BENCHMARK(BM_SweepMemoized)->Unit(benchmark::kMillisecond);
+
+// --- persistent result store: before/after pair ----------------------------
+// The cross-process warm-start shape: a new process (fresh memo, fresh
+// arenas) sweeps a candidate list that an earlier run already evaluated.
+// "ColdStore" simulates every point against an empty .edrs file (the
+// first run's cost, store appends included); "WarmStore" re-opens a
+// populated file in a fresh evaluator, so every point resolves from the
+// replayed log without simulating.
+
+const std::string& bench_store_path() {
+  static const std::string path = [] {
+    return (std::filesystem::temp_directory_path() / "bench_sweep.edrs")
+        .string();
+  }();
+  return path;
+}
+
+void BM_SweepColdStore(benchmark::State& state) {
+  const auto cfgs = sweep_candidates();
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(bench_store_path());
+    state.ResumeTiming();
+    core::Evaluator ev;  // fresh process: empty memo and arenas
+    ev.set_threads(1);
+    ev.set_result_store(
+        std::make_shared<service::ResultStore>(bench_store_path()));
+    benchmark::DoNotOptimize(ev.sweep(cfgs, w));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+BENCHMARK(BM_SweepColdStore)->Unit(benchmark::kMillisecond);
+
+void BM_SweepWarmStore(benchmark::State& state) {
+  const auto cfgs = sweep_candidates();
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  {
+    // The earlier run that populated the store.
+    std::filesystem::remove(bench_store_path());
+    core::Evaluator seed;
+    seed.set_threads(1);
+    seed.set_result_store(
+        std::make_shared<service::ResultStore>(bench_store_path()));
+    benchmark::DoNotOptimize(seed.sweep(cfgs, w));
+  }
+  for (auto _ : state) {
+    core::Evaluator ev;  // fresh process: only the .edrs file is warm
+    ev.set_threads(1);
+    ev.set_result_store(
+        std::make_shared<service::ResultStore>(bench_store_path()));
+    benchmark::DoNotOptimize(ev.sweep(cfgs, w));
+  }
+  std::filesystem::remove(bench_store_path());
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+BENCHMARK(BM_SweepWarmStore)->Unit(benchmark::kMillisecond);
+
+// --- sharded batch evaluation: before/after pair ---------------------------
+// The exploration-service fan-out: the same deduplicated batch evaluated
+// serially in-process versus sharded across forked worker processes
+// (warm-up snapshots shipped per task; results streamed back). Store-less
+// on both sides so the comparison isolates the sharding win.
+
+void BM_BatchSerial(benchmark::State& state) {
+  const auto cfgs = sweep_candidates();
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  for (auto _ : state) {
+    core::Evaluator ev;
+    ev.set_threads(1);
+    service::BatchEvaluator batch(ev, service::BatchOptions{});
+    for (const auto& c : cfgs) batch.submit(c, w);
+    benchmark::DoNotOptimize(batch.run());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+BENCHMARK(BM_BatchSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BatchSharded(benchmark::State& state) {
+  const auto cfgs = sweep_candidates();
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 2.0;
+  w.sim_cycles = 50'000;
+  for (auto _ : state) {
+    core::Evaluator ev;
+    ev.set_threads(1);
+    service::BatchOptions bo;
+    bo.workers = static_cast<unsigned>(state.range(0));
+    service::BatchEvaluator batch(ev, bo);
+    for (const auto& c : cfgs) batch.submit(c, w);
+    benchmark::DoNotOptimize(batch.run());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfgs.size()));
+}
+BENCHMARK(BM_BatchSharded)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // --- checkpoint-and-fan-out: before/after pair -----------------------------
 // The warm-up amortization shape: nine config variants share one channel

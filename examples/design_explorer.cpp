@@ -2,20 +2,32 @@
 // choice and interface width for a 16-Mbit application, evaluate each
 // point (simulation + models), extract the cost/bandwidth/power Pareto
 // front, and print the §2 advisor's verdicts for the paper's markets.
+//
+// Exploration-as-a-service options:
+//   --store <path>   attach a persistent result store (.edrs append log);
+//                    re-running against a populated store skips straight
+//                    to cache hits (see docs/service.md)
+//   --workers <n>    shard the sweep across n forked worker processes
+//                    via service::BatchEvaluator (0 = in-process)
 
 #include <iostream>
+#include <memory>
 
 #include "common/args.hpp"
 #include "common/table.hpp"
 #include "core/advisor.hpp"
 #include "core/evaluator.hpp"
 #include "core/pareto.hpp"
+#include "service/batch.hpp"
+#include "service/result_store.hpp"
 
 int main(int argc, char** argv) {
   using namespace edsim;
   using namespace edsim::core;
 
   const Args args(argc, argv, {"cache-stats"});
+  const std::string store_path = args.get("store");
+  const unsigned workers = static_cast<unsigned>(args.get_u64("workers", 0));
 
   std::vector<SystemConfig> cfgs;
   for (const BaseProcess p :
@@ -43,13 +55,38 @@ int main(int argc, char** argv) {
   }
 
   Evaluator ev;
+  std::shared_ptr<service::ResultStore> store;
+  if (!store_path.empty()) {
+    store = std::make_shared<service::ResultStore>(store_path);
+    ev.set_result_store(store);
+  }
+
   EvalWorkload w;
   w.demand_gbyte_s = 2.0;
   w.sim_cycles = 50'000;
   // Warm the memory system before measuring; variants sharing a channel
   // shape fan out from one checkpointed warm-up (visible in --cache-stats).
   w.warmup_cycles = 10'000;
-  const auto metrics = ev.sweep(cfgs, w);
+
+  std::vector<Metrics> metrics;
+  if (workers > 0) {
+    // Sharded batch evaluation: dedup against the store, ship warm-up
+    // snapshots to forked workers, stream results back. Bit-identical to
+    // ev.sweep at every worker count.
+    service::BatchOptions bo;
+    bo.workers = workers;
+    bo.progress = &std::cout;
+    service::BatchEvaluator batch(ev, bo);
+    for (const auto& c : cfgs) batch.submit(c, w);
+    metrics = batch.run();
+    const service::BatchProgress& bp = batch.progress();
+    std::cout << "batch: " << bp.queued << " queued, " << bp.deduped
+              << " deduped, " << bp.store_hits << " cache/store hits, "
+              << bp.done << " done on " << workers << " workers ("
+              << bp.workers_lost << " lost)\n";
+  } else {
+    metrics = ev.sweep(cfgs, w);
+  }
 
   // Re-score the same candidates, as a refinement loop would: every
   // point is now a memo hit, and the workload arenas compiled above are
@@ -61,8 +98,9 @@ int main(int argc, char** argv) {
             << " hits\nevaluation memo: " << ev.memo_entries()
             << " entries, " << ev.memo_hits() << " hits on re-sweep\n";
 
-  // --cache-stats: the one-call counter snapshot across all three shared
-  // caches (workload arenas, evaluation memo, warm-up checkpoints).
+  // --cache-stats: the one-call counter snapshot across all four cache
+  // layers (workload arenas, evaluation memo, warm-up checkpoints, and
+  // the persistent result store when attached).
   if (args.has("cache-stats")) {
     const Evaluator::CacheStats cs = ev.cache_stats();
     Table ct({"cache", "hits", "misses", "entries", "bytes"});
@@ -84,7 +122,28 @@ int main(int argc, char** argv) {
         .cell("-")
         .integer(static_cast<long long>(cs.checkpoint_entries))
         .integer(static_cast<long long>(cs.checkpoint_bytes));
+    if (cs.store_attached) {
+      ct.row()
+          .cell("persistent store")
+          .integer(static_cast<long long>(cs.store.hits))
+          .integer(static_cast<long long>(cs.store.misses))
+          .integer(static_cast<long long>(cs.store.entries))
+          .integer(static_cast<long long>(cs.store.bytes_written));
+    }
     ct.print(std::cout, "Evaluator cache statistics (--cache-stats)");
+    if (cs.store_attached) {
+      const std::uint64_t probes = cs.store.hits + cs.store.misses;
+      std::cout << "persistent store: " << cs.store.bytes_read
+                << " bytes replayed, " << cs.store.bytes_written
+                << " appended, " << cs.store.recovered_tail_records
+                << " torn records recovered";
+      if (probes > 0) {
+        std::cout << ", " << (100.0 * static_cast<double>(cs.store.hits) /
+                              static_cast<double>(probes))
+                  << "% hit rate";
+      }
+      std::cout << "\n";
+    }
   }
 
   Table t({"design", "area mm2", "sust GB/s", "power mW", "cost $",

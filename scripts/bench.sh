@@ -69,6 +69,10 @@ speedup("refresh path (uniform tREFI vs self-managed)", "BM_RefreshBaseline",
 speedup("warm-up fan-out (checkpoint restore)", "BM_SweepColdWarmup",
         "BM_SweepCheckpointFanout")
 speedup("sampled simulation (SMARTS windows)", "BM_FullRun", "BM_SampledRun")
+speedup("cross-process sweep (persistent result store)", "BM_SweepColdStore",
+        "BM_SweepWarmStore")
+speedup("batch evaluation (4 forked workers)", "BM_BatchSerial",
+        "BM_BatchSharded/4")
 for b in data["benchmarks"]:
     if b["name"] == "BM_SampledRun" and "rel_error" in b:
         print(f"  sampled bandwidth error: {b['rel_error'] * 100:.2f}% "

@@ -41,6 +41,15 @@ echo "self-managed maintenance:"
 ctest --test-dir build -L maintenance --output-on-failure
 build/examples/soak_test --rowhammer --retention-bins
 
+# Exploration-service gate: the persistent EDRS result store (round
+# trips, torn-tail crash recovery, corruption fuzz), the fork-based
+# worker pool, and the sharded batch differentials (results bit-identical
+# to the in-process reference at every worker count, including with a
+# worker killed mid-batch).
+echo
+echo "exploration service (result store + sharded batch):"
+ctest --test-dir build -L service --output-on-failure
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

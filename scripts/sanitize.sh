@@ -33,3 +33,10 @@ build-asan/tests/edsim_snapshot_tests
 # of arithmetic ASan/UBSan catch. The fuzz binary above already ran the
 # self-managed differential trials; this adds the directed suite.
 build-asan/tests/edsim_maintenance_tests
+
+# Result-store hardening: the service suite decodes every truncation and
+# every byte flip of an EDRS append log (varint length prefixes, sealed
+# record envelopes, torn-tail truncation via resize_file), and drives the
+# fork/pipe worker protocol — buffer handling on both sides of the frame
+# framing gets exercised under ASan/UBSan.
+build-asan/tests/edsim_service_tests

@@ -68,6 +68,104 @@ double confidence95(const Accumulator& a) {
          std::sqrt(static_cast<double>(a.count()));
 }
 
+/// Everything the simulated part of an evaluation is shaped by: the
+/// channel, the driven region, and the client pacing/budget derived from
+/// the workload. Two (config, workload) pairs with equal shapes build
+/// bit-identical memory systems, which is what the warm-up checkpoint
+/// key hashes over.
+struct SimShape {
+  dram::DramConfig dcfg;
+  std::uint64_t region = 0;
+  unsigned burst = 0;
+  unsigned period = 1;
+  std::uint64_t budget = 0;
+};
+
+SimShape make_shape(const SystemConfig& cfg, const EvalWorkload& w) {
+  SimShape s;
+  s.dcfg = cfg.dram_config();
+  s.burst = s.dcfg.bytes_per_access();
+  s.region =
+      std::min<std::uint64_t>(cfg.installed_memory().byte_count(), 8u << 20);
+
+  // Split the demand evenly across clients; period from bytes/cycle.
+  const unsigned n_clients = w.stream_clients + w.random_clients;
+  require(n_clients > 0, "evaluator: need at least one client");
+  const double bytes_per_s =
+      w.demand_gbyte_s * 1e9 / static_cast<double>(n_clients);
+  const double bytes_per_cycle = bytes_per_s / s.dcfg.clock.hz();
+  s.period = std::max<unsigned>(
+      1,
+      static_cast<unsigned>(static_cast<double>(s.burst) / bytes_per_cycle));
+
+  // Endless clients paced `period` apart issue at most cycles/period + 1
+  // requests inside the driven window (warm-up plus measurement); one
+  // extra record makes the compiled prefix provably inexhaustible, so
+  // replay is bit-identical to the live generators.
+  s.budget = (w.warmup_cycles + w.sim_cycles) / s.period + 2;
+  return s;
+}
+
+std::unique_ptr<clients::MemorySystem> build_eval_system(
+    const SimShape& sh, const EvalWorkload& w, bool use_arena,
+    clients::WorkloadCache& arenas) {
+  const unsigned n_clients = w.stream_clients + w.random_clients;
+  auto sys = std::make_unique<clients::MemorySystem>(
+      sh.dcfg, clients::ArbiterKind::kRoundRobin);
+  unsigned id = 0;
+  for (unsigned i = 0; i < w.stream_clients; ++i) {
+    clients::StreamClient::Params p;
+    p.base = sh.region / n_clients * id;
+    p.length = sh.region / n_clients;
+    p.burst_bytes = sh.burst;
+    p.type = i % 2 == 0 ? dram::AccessType::kRead : dram::AccessType::kWrite;
+    p.period_cycles = sh.period;
+    const std::string cname = "stream" + std::to_string(i);
+    if (use_arena) {
+      auto arena = arenas.get_or_compile(
+          clients::compile_key(p, sh.budget),
+          [&] { return clients::compile_stream(p, sh.budget); });
+      sys->add_client(std::make_unique<clients::ArenaReplayClient>(
+          id, cname, std::move(arena)));
+    } else {
+      sys->add_client(std::make_unique<clients::StreamClient>(id, cname, p));
+    }
+    ++id;
+  }
+  for (unsigned i = 0; i < w.random_clients; ++i) {
+    clients::RandomClient::Params p;
+    p.base = sh.region / n_clients * id;
+    p.length = sh.region / n_clients;
+    p.burst_bytes = sh.burst;
+    p.period_cycles = sh.period;
+    p.seed = w.seed + i;
+    const std::string cname = "random" + std::to_string(i);
+    if (use_arena) {
+      auto arena = arenas.get_or_compile(
+          clients::compile_key(p, sh.budget),
+          [&] { return clients::compile_random(p, sh.budget); });
+      sys->add_client(std::make_unique<clients::ArenaReplayClient>(
+          id, cname, std::move(arena)));
+    } else {
+      sys->add_client(std::make_unique<clients::RandomClient>(id, cname, p));
+    }
+    ++id;
+  }
+  return sys;
+}
+
+/// The checkpoint-cache key for one simulation shape (channel config,
+/// driven region, arena mode, workload). Mirrored by warmup_key().
+std::uint64_t shape_key(const SimShape& sh, const EvalWorkload& w,
+                        bool use_arena) {
+  ContentHasher ck;
+  ck.mix(sh.dcfg.content_hash())
+      .mix(sh.region)
+      .mix(use_arena)
+      .mix(w.content_hash());
+  return ck.digest();
+}
+
 }  // namespace
 
 Metrics Evaluator::evaluate(const SystemConfig& cfg,
@@ -83,6 +181,93 @@ std::uint64_t Evaluator::memo_hits() const {
 std::size_t Evaluator::memo_entries() const {
   std::lock_guard<std::mutex> lock(caches_->memo_mu);
   return caches_->memo.size();
+}
+
+void Evaluator::set_result_store(std::shared_ptr<ResultStoreBase> store) {
+  std::lock_guard<std::mutex> lock(caches_->memo_mu);
+  caches_->store = std::move(store);
+}
+
+std::shared_ptr<ResultStoreBase> Evaluator::result_store() const {
+  std::lock_guard<std::mutex> lock(caches_->memo_mu);
+  return caches_->store;
+}
+
+std::uint64_t Evaluator::result_key(const SystemConfig& cfg,
+                                    const EvalWorkload& w) const {
+  std::uint64_t key = derive_seed(cfg.content_hash(), w.content_hash());
+  if (sampling_) {
+    // Sampled runs estimate rather than measure, so they address under a
+    // key salted with the sampling shape — a full-run score is never
+    // answered from a sampled one or vice versa.
+    ContentHasher salt;
+    salt.mix(std::uint64_t{0x5a4d9})  // sampled-run namespace
+        .mix(sample_windows_)
+        .mix(sample_measure_cycles_);
+    key = derive_seed(key, salt.digest());
+  }
+  return key;
+}
+
+bool Evaluator::lookup_result(std::uint64_t key, Metrics* out) const {
+  std::shared_ptr<ResultStoreBase> store;
+  {
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    const auto it = caches_->memo.find(key);
+    if (it != caches_->memo.end()) {
+      ++caches_->memo_hits;
+      *out = it->second;
+      return true;
+    }
+    store = caches_->store;
+  }
+  if (store != nullptr && store->find(key, out)) {
+    // Promote into the memo so repeats inside this process stay lookups.
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    caches_->memo.emplace(key, *out);
+    return true;
+  }
+  return false;
+}
+
+void Evaluator::preload_result(std::uint64_t key, const Metrics& m) const {
+  std::shared_ptr<ResultStoreBase> store;
+  {
+    std::lock_guard<std::mutex> lock(caches_->memo_mu);
+    caches_->memo.emplace(key, m);
+    store = caches_->store;
+  }
+  if (store != nullptr) store->put(key, m);
+}
+
+std::uint64_t Evaluator::warmup_key(const SystemConfig& cfg,
+                                    const EvalWorkload& w) const {
+  cfg.validate();
+  return shape_key(make_shape(cfg, w), w, use_arena_);
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> Evaluator::warmup_checkpoint(
+    const SystemConfig& cfg, const EvalWorkload& w) const {
+  cfg.validate();
+  if (w.warmup_cycles == 0) return nullptr;
+  const SimShape sh = make_shape(cfg, w);
+  return checkpoint_blob(shape_key(sh, w, use_arena_), [&] {
+    const auto warm = build_eval_system(sh, w, use_arena_, caches_->arenas);
+    warm->run(w.warmup_cycles);
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        warm->save_snapshot());
+  });
+}
+
+void Evaluator::import_checkpoint(std::uint64_t key,
+                                  std::vector<std::uint8_t> blob) const {
+  std::promise<std::shared_ptr<const std::vector<std::uint8_t>>> promise;
+  promise.set_value(std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(blob)));
+  std::lock_guard<std::mutex> lock(caches_->ckpt_mu);
+  // First-insert-wins: an already-present (possibly in-flight) warm-up
+  // produces identical bytes, so the import is dropped.
+  caches_->ckpt.emplace(key, promise.get_future().share());
 }
 
 void Evaluator::clear_caches() const {
@@ -105,10 +290,16 @@ Evaluator::CacheStats Evaluator::cache_stats() const {
   s.arena_misses = caches_->arenas.misses();
   s.arena_entries = caches_->arenas.entries();
   s.arena_bytes = caches_->arenas.arena_bytes();
+  std::shared_ptr<ResultStoreBase> store;
   {
     std::lock_guard<std::mutex> lock(caches_->memo_mu);
     s.memo_hits = caches_->memo_hits;
     s.memo_entries = caches_->memo.size();
+    store = caches_->store;
+  }
+  if (store != nullptr) {
+    s.store_attached = true;
+    s.store = store->stats();
   }
   {
     std::lock_guard<std::mutex> lock(caches_->ckpt_mu);
@@ -169,28 +360,16 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
   }
 
   // Memoization: a (config, workload) pair fully determines the metric
-  // vector, so an identical re-score is a table lookup. Bypassed when a
+  // vector, so an identical re-score is a table lookup — first in the
+  // in-memory memo, then (when attached) in the persistent result store,
+  // so a fresh process warm-starts from earlier runs. Bypassed when a
   // registry is attached — a hit could not replay the telemetry export.
-  // Sampled runs estimate rather than measure, so they memoize under a
-  // key salted with the sampling shape — a full-run score is never
-  // answered from a sampled one or vice versa.
   const bool use_memo = memoize_ && reg == nullptr;
   std::uint64_t memo_key = 0;
   if (use_memo) {
-    memo_key = derive_seed(cfg.content_hash(), w.content_hash());
-    if (sampling_) {
-      ContentHasher salt;
-      salt.mix(std::uint64_t{0x5a4d9})  // sampled-run namespace
-          .mix(sample_windows_)
-          .mix(sample_measure_cycles_);
-      memo_key = derive_seed(memo_key, salt.digest());
-    }
-    std::lock_guard<std::mutex> lock(caches_->memo_mu);
-    auto it = caches_->memo.find(memo_key);
-    if (it != caches_->memo.end()) {
-      ++caches_->memo_hits;
-      return it->second;
-    }
+    memo_key = result_key(cfg, w);
+    Metrics cached;
+    if (lookup_result(memo_key, &cached)) return cached;
   }
 
   Metrics m;
@@ -201,72 +380,11 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
   m.logic_speed = process_factors(cfg.process).logic_speed;
 
   // --- simulate the workload ------------------------------------------------
-  const dram::DramConfig dcfg = cfg.dram_config();
-  const unsigned burst = dcfg.bytes_per_access();
-  const std::uint64_t region =
-      std::min<std::uint64_t>(cfg.installed_memory().byte_count(), 8u << 20);
+  const SimShape shape = make_shape(cfg, w);
+  const dram::DramConfig& dcfg = shape.dcfg;
 
-  // Split the demand evenly across clients; period from bytes/cycle.
-  const unsigned n_clients = w.stream_clients + w.random_clients;
-  require(n_clients > 0, "evaluator: need at least one client");
-  const double bytes_per_s = w.demand_gbyte_s * 1e9 /
-                             static_cast<double>(n_clients);
-  const double bytes_per_cycle = bytes_per_s / dcfg.clock.hz();
-  const auto period = std::max<unsigned>(
-      1, static_cast<unsigned>(static_cast<double>(burst) / bytes_per_cycle));
-
-  // Endless clients paced `period` apart issue at most cycles/period + 1
-  // requests inside the driven window (warm-up plus measurement); one
-  // extra record makes the compiled prefix provably inexhaustible, so
-  // replay is bit-identical to the live generators.
-  const std::uint64_t budget =
-      (w.warmup_cycles + w.sim_cycles) / period + 2;
-  const auto build_system = [&] {
-    auto sys = std::make_unique<clients::MemorySystem>(
-        dcfg, clients::ArbiterKind::kRoundRobin);
-    unsigned id = 0;
-    for (unsigned i = 0; i < w.stream_clients; ++i) {
-      clients::StreamClient::Params p;
-      p.base = region / n_clients * id;
-      p.length = region / n_clients;
-      p.burst_bytes = burst;
-      p.type = i % 2 == 0 ? dram::AccessType::kRead : dram::AccessType::kWrite;
-      p.period_cycles = period;
-      const std::string cname = "stream" + std::to_string(i);
-      if (use_arena_) {
-        auto arena = caches_->arenas.get_or_compile(
-            clients::compile_key(p, budget),
-            [&] { return clients::compile_stream(p, budget); });
-        sys->add_client(std::make_unique<clients::ArenaReplayClient>(
-            id, cname, std::move(arena)));
-      } else {
-        sys->add_client(std::make_unique<clients::StreamClient>(id, cname, p));
-      }
-      ++id;
-    }
-    for (unsigned i = 0; i < w.random_clients; ++i) {
-      clients::RandomClient::Params p;
-      p.base = region / n_clients * id;
-      p.length = region / n_clients;
-      p.burst_bytes = burst;
-      p.period_cycles = period;
-      p.seed = w.seed + i;
-      const std::string cname = "random" + std::to_string(i);
-      if (use_arena_) {
-        auto arena = caches_->arenas.get_or_compile(
-            clients::compile_key(p, budget),
-            [&] { return clients::compile_random(p, budget); });
-        sys->add_client(std::make_unique<clients::ArenaReplayClient>(
-            id, cname, std::move(arena)));
-      } else {
-        sys->add_client(std::make_unique<clients::RandomClient>(id, cname, p));
-      }
-      ++id;
-    }
-    return sys;
-  };
-
-  const std::unique_ptr<clients::MemorySystem> sys_ptr = build_system();
+  const std::unique_ptr<clients::MemorySystem> sys_ptr =
+      build_eval_system(shape, w, use_arena_, caches_->arenas);
   clients::MemorySystem& sys = *sys_ptr;
 
   // Warm-up prefix. With checkpointing on, the first evaluation of this
@@ -275,18 +393,7 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
   // to warming in place, which set_checkpoint(false) falls back to.
   if (w.warmup_cycles > 0) {
     if (checkpoint_) {
-      ContentHasher ck;
-      ck.mix(dcfg.content_hash())
-          .mix(region)
-          .mix(use_arena_)
-          .mix(w.content_hash());
-      const auto blob = checkpoint_blob(ck.digest(), [&] {
-        const auto warm = build_system();
-        warm->run(w.warmup_cycles);
-        return std::make_shared<const std::vector<std::uint8_t>>(
-            warm->save_snapshot());
-      });
-      sys.restore_snapshot(*blob);
+      sys.restore_snapshot(*warmup_checkpoint(cfg, w));
     } else {
       sys.run(w.warmup_cycles);
     }
@@ -402,9 +509,9 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
 
   if (use_memo) {
     // First-insert-wins: concurrent sweep threads scoring the same point
-    // computed identical metrics, so a lost race changes nothing.
-    std::lock_guard<std::mutex> lock(caches_->memo_mu);
-    caches_->memo.emplace(memo_key, m);
+    // computed identical metrics, so a lost race changes nothing. Also
+    // appends to the persistent store when one is attached.
+    preload_result(memo_key, m);
   }
   return m;
 }

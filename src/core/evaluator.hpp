@@ -82,6 +82,36 @@ struct Metrics {
   double avg_read_latency_ns_ci = 0.0; ///< 95% CI half-width
 };
 
+/// Counter snapshot of a persistent result store (the fourth cache tier;
+/// see service::ResultStore for the on-disk implementation).
+struct ResultStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_read = 0;     ///< log bytes scanned on open
+  std::uint64_t bytes_written = 0;  ///< record bytes appended
+  std::uint64_t recovered_tail_records = 0;  ///< torn records dropped on open
+  std::size_t entries = 0;
+};
+
+/// Interface of a persistent, content-addressed evaluation cache keyed by
+/// Evaluator::result_key (the (SystemConfig, EvalWorkload) content-hash
+/// pair, salted for sampled runs). The Evaluator consults it behind the
+/// in-memory memo, so sweeps warm-start across processes and machines.
+/// Implementations must be thread-safe (sweep threads share one store)
+/// and must only ever return metrics that were stored bit-exactly — a
+/// corrupt backing file is a structured error, never a wrong answer.
+class ResultStoreBase {
+ public:
+  virtual ~ResultStoreBase() = default;
+  /// Fetch the metrics stored under `key` into `*out`; false on miss.
+  virtual bool find(std::uint64_t key, Metrics* out) = 0;
+  /// Persist `m` under `key`. Idempotent: re-putting a present key is a
+  /// no-op (the metrics for a key are deterministic, so values never
+  /// conflict).
+  virtual void put(std::uint64_t key, const Metrics& m) = 0;
+  virtual ResultStoreStats stats() const = 0;
+};
+
 /// Evaluates design points by simulation (bandwidth/latency), analytical
 /// models (area, power) and the cost model.
 ///
@@ -124,6 +154,33 @@ class Evaluator {
   void set_memoize(bool on) { memoize_ = on; }
   bool memoize() const { return memoize_; }
 
+  /// Attach a persistent result store as the tier behind the in-memory
+  /// memo: a memo miss consults the store before simulating, and every
+  /// computed result is appended to it. Shared across copies of this
+  /// evaluator (it lives with the other caches). nullptr detaches; the
+  /// store-less path is the differential reference. Like the memo, the
+  /// store is bypassed while a MetricRegistry is attached.
+  void set_result_store(std::shared_ptr<ResultStoreBase> store);
+  std::shared_ptr<ResultStoreBase> result_store() const;
+
+  /// The content-address of one evaluation: derive_seed over the config
+  /// and workload content hashes, salted with the sampling shape when
+  /// sampling is on. Keys both the in-memory memo and the persistent
+  /// store, so the address is stable across processes and machines.
+  std::uint64_t result_key(const SystemConfig& cfg,
+                           const EvalWorkload& w) const;
+
+  /// Cache-only lookup (memo, then store): fills `*out` and returns true
+  /// without simulating, or returns false leaving `*out` untouched. The
+  /// batch front end uses this to deduplicate queued requests against
+  /// the store before sharding the residual.
+  bool lookup_result(std::uint64_t key, Metrics* out) const;
+
+  /// Insert an externally computed result (e.g. one streamed back from a
+  /// sharded worker) into the memo and, when attached, the store — the
+  /// caller asserts it equals what evaluate() would have produced.
+  void preload_result(std::uint64_t key, const Metrics& m) const;
+
   /// Checkpoint-and-fan-out (default on, inert while warmup_cycles == 0):
   /// the warm-up prefix is simulated once per channel shape, snapshot
   /// in-memory, and every config variant sharing that shape restores the
@@ -153,6 +210,19 @@ class Evaluator {
     sample_measure_cycles_ = measure_cycles;
   }
 
+  /// Warm-up checkpoints as the unit of work migration: the shape key a
+  /// (config, workload) pair checkpoints under, the sealed warm snapshot
+  /// for it (computed once through the checkpoint cache; nullptr when
+  /// warmup_cycles == 0), and an import that pre-seeds the cache so a
+  /// worker process restores a shipped snapshot instead of re-warming.
+  /// import_checkpoint is first-insert-wins, like the cache itself.
+  std::uint64_t warmup_key(const SystemConfig& cfg,
+                           const EvalWorkload& w) const;
+  std::shared_ptr<const std::vector<std::uint8_t>> warmup_checkpoint(
+      const SystemConfig& cfg, const EvalWorkload& w) const;
+  void import_checkpoint(std::uint64_t key,
+                         std::vector<std::uint8_t> blob) const;
+
   Metrics evaluate(const SystemConfig& cfg, const EvalWorkload& w) const;
 
   /// Evaluate a whole candidate list. Configs are scored independently
@@ -168,8 +238,9 @@ class Evaluator {
   }
   void clear_caches() const;
 
-  /// One-call counter snapshot across all three shared caches (workload
-  /// arenas, evaluation memoization, warm-up checkpoints).
+  /// One-call counter snapshot across all four cache layers (workload
+  /// arenas, evaluation memoization, warm-up checkpoints, and — when
+  /// attached — the persistent result store).
   struct CacheStats {
     std::uint64_t arena_hits = 0;
     std::uint64_t arena_misses = 0;
@@ -180,6 +251,8 @@ class Evaluator {
     std::uint64_t checkpoint_hits = 0;
     std::size_t checkpoint_entries = 0;
     std::size_t checkpoint_bytes = 0;
+    bool store_attached = false;
+    ResultStoreStats store;
   };
   CacheStats cache_stats() const;
 
@@ -203,6 +276,9 @@ class Evaluator {
                            std::shared_ptr<const std::vector<std::uint8_t>>>>
         ckpt;
     std::uint64_t ckpt_hits = 0;
+    // Persistent tier behind the memo (guarded by memo_mu; the store
+    // itself is thread-safe, the lock only covers the pointer).
+    std::shared_ptr<ResultStoreBase> store;
   };
 
   Metrics evaluate_into(const SystemConfig& cfg, const EvalWorkload& w,

@@ -1,0 +1,328 @@
+#include "service/batch.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/snapshot.hpp"
+#include "service/wire.hpp"
+#include "telemetry/progress.hpp"
+
+namespace edsim::service {
+
+namespace {
+
+/// Request frame shipped to a worker: the task's unique index and result
+/// key, the design point itself, and (optionally) the pre-computed
+/// warm-up snapshot so the worker restores instead of re-warming.
+std::vector<std::uint8_t> encode_task(
+    std::uint64_t task, std::uint64_t key, const core::SystemConfig& cfg,
+    const core::EvalWorkload& wl, std::uint64_t ckpt_key,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& ckpt) {
+  SnapshotWriter w;
+  w.u64(task);
+  w.u64(key);
+  encode_system_config(w, cfg);
+  encode_workload(w, wl);
+  w.boolean(ckpt != nullptr);
+  if (ckpt != nullptr) {
+    w.u64(ckpt_key);
+    w.u64(ckpt->size());
+    w.bytes(ckpt->data(), ckpt->size());
+  }
+  return w.seal();
+}
+
+/// Worker-side decoded response.
+struct TaskResponse {
+  std::uint64_t task = 0;
+  std::uint64_t key = 0;
+  bool ok = false;
+  core::Metrics metrics;
+  std::string error;
+};
+
+TaskResponse decode_response(const std::vector<std::uint8_t>& frame) {
+  SnapshotReader r(frame);
+  TaskResponse resp;
+  resp.task = r.u64();
+  resp.key = r.u64();
+  resp.ok = r.boolean();
+  if (resp.ok) {
+    resp.metrics = decode_metrics(r);
+  } else {
+    resp.error = r.str();
+  }
+  r.expect_end();
+  return resp;
+}
+
+/// The child-side request loop body: decode a task, evaluate it with the
+/// forked evaluator copy, encode the result. Built once in the
+/// coordinator and invoked only inside worker processes.
+ProcessPool::Handler make_handler(const core::Evaluator& base) {
+  core::Evaluator ev = base;  // fork-time copy travels into the children
+  bool initialized = false;
+  return [ev, initialized](
+             const std::vector<std::uint8_t>& req) mutable
+             -> std::vector<std::uint8_t> {
+    if (!initialized) {
+      initialized = true;
+      // We are a forked copy now, so these mutations stay in this
+      // process: detach the persistent store (its file offset is shared
+      // with the coordinator — only the coordinator appends), drop any
+      // registry pointer, and evaluate single-threaded (only the forking
+      // thread survived; the sharding itself is the parallelism).
+      ev.set_result_store(nullptr);
+      ev.set_metrics(nullptr);
+      ev.set_threads(1);
+    }
+    SnapshotReader r(req);
+    const std::uint64_t task = r.u64();
+    const std::uint64_t key = r.u64();
+    const core::SystemConfig cfg = decode_system_config(r);
+    const core::EvalWorkload wl = decode_workload(r);
+    if (r.boolean()) {
+      const std::uint64_t ckpt_key = r.u64();
+      std::vector<std::uint8_t> blob(static_cast<std::size_t>(r.u64()));
+      r.bytes(blob.data(), blob.size());
+      ev.import_checkpoint(ckpt_key, std::move(blob));
+    }
+    r.expect_end();
+    SnapshotWriter out;
+    out.u64(task);
+    out.u64(key);
+    try {
+      const core::Metrics m = ev.evaluate(cfg, wl);
+      out.boolean(true);
+      encode_metrics(out, m);
+    } catch (const std::exception& e) {
+      SnapshotWriter err;
+      err.u64(task);
+      err.u64(key);
+      err.boolean(false);
+      err.str(e.what());
+      return err.seal();
+    }
+    return out.seal();
+  };
+}
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(core::Evaluator ev, BatchOptions opt)
+    : ev_(std::move(ev)), opt_(opt) {}
+
+std::size_t BatchEvaluator::submit(const core::SystemConfig& cfg,
+                                   const core::EvalWorkload& w) {
+  const std::size_t index = requests_.size();
+  requests_.push_back(Request{cfg, w, ev_.result_key(cfg, w)});
+  return index;
+}
+
+void BatchEvaluator::resolve(std::size_t request_index, const core::Metrics& m,
+                             std::vector<core::Metrics>& results,
+                             std::vector<bool>& resolved) {
+  results[request_index] = m;
+  resolved[request_index] = true;
+  if (on_result_) on_result_(request_index, m);
+}
+
+std::vector<core::Metrics> BatchEvaluator::run() {
+  progress_ = BatchProgress{};
+  progress_.queued = requests_.size();
+  std::vector<core::Metrics> results(requests_.size());
+  std::vector<bool> resolved(requests_.size(), false);
+
+  // Collapse duplicate submissions: one task per unique result key, in
+  // first-seen order so the task list (and thus every downstream
+  // decision) is a pure function of the submission sequence.
+  Plan plan;
+  std::unordered_map<std::uint64_t, std::size_t> first;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const auto [it, fresh] = first.emplace(requests_[i].key, plan.rep.size());
+    if (fresh) {
+      plan.rep.push_back(i);
+      plan.fan.emplace_back(1, i);
+    } else {
+      plan.fan[it->second].push_back(i);
+      ++progress_.deduped;
+    }
+  }
+
+  // Cache pre-pass: anything already in the memo or the persistent store
+  // resolves without simulating (or forking).
+  std::vector<std::size_t> residual;
+  for (std::size_t u = 0; u < plan.rep.size(); ++u) {
+    core::Metrics m;
+    if (ev_.lookup_result(requests_[plan.rep[u]].key, &m)) {
+      ++progress_.store_hits;
+      ++progress_.done;
+      for (const std::size_t i : plan.fan[u]) resolve(i, m, results, resolved);
+    } else {
+      residual.push_back(u);
+    }
+  }
+
+  if (!residual.empty()) {
+    if (opt_.workers == 0) {
+      // In-process reference path: evaluate() populates the memo and the
+      // store itself.
+      for (const std::size_t u : residual) {
+        const Request& rq = requests_[plan.rep[u]];
+        const core::Metrics m = ev_.evaluate(rq.cfg, rq.w);
+        ++progress_.done;
+        for (const std::size_t i : plan.fan[u]) {
+          resolve(i, m, results, resolved);
+        }
+      }
+    } else {
+      run_sharded(plan, residual, results, resolved);
+    }
+  }
+
+  // Leave the queue ready for a follow-up batch.
+  requests_.clear();
+  return results;
+}
+
+void BatchEvaluator::run_sharded(const Plan& plan,
+                                 const std::vector<std::size_t>& residual,
+                                 std::vector<core::Metrics>& results,
+                                 std::vector<bool>& resolved) {
+  // Warm-up snapshots are computed HERE, once per simulation shape, and
+  // shipped inside the task frames — the unit of work migration. Tasks
+  // sharing a shape ship the same blob (the checkpoint cache hands back
+  // one shared pointer).
+  std::vector<std::vector<std::uint8_t>> frames(plan.rep.size());
+  for (const std::size_t u : residual) {
+    const Request& rq = requests_[plan.rep[u]];
+    frames[u] = encode_task(u, rq.key, rq.cfg, rq.w,
+                            ev_.warmup_key(rq.cfg, rq.w),
+                            ev_.warmup_checkpoint(rq.cfg, rq.w));
+  }
+
+  ProcessPool pool(opt_.workers, make_handler(ev_));
+  pool_ = &pool;
+
+  telemetry::ProgressLog log(opt_.progress,
+                             {"queued", "deduped", "store-hit", "sent",
+                              "in-flight", "done", "retried", "lost"});
+  const std::size_t stride =
+      opt_.progress_stride != 0
+          ? opt_.progress_stride
+          : std::max<std::size_t>(1, residual.size() / 20);
+  const auto emit_row = [&](bool final_row) {
+    const std::vector<std::uint64_t> vals{
+        progress_.queued,     progress_.deduped, progress_.store_hits,
+        progress_.dispatched, progress_.in_flight, progress_.done,
+        progress_.retried,    progress_.workers_lost};
+    if (final_row) {
+      log.finish(vals);
+    } else {
+      log.row(vals);
+    }
+  };
+  emit_row(false);
+
+  std::deque<std::size_t> pending(residual.begin(), residual.end());
+  // Which unique task each worker currently holds (-1 = idle).
+  std::vector<std::ptrdiff_t> holding(pool.size(), -1);
+  std::vector<bool> task_done(plan.rep.size(), false);
+  std::size_t shard_done = 0;
+
+  const auto dispatch_idle = [&] {
+    for (unsigned w = 0; w < pool.size(); ++w) {
+      if (pending.empty()) break;
+      if (!pool.alive(w) || holding[w] >= 0) continue;
+      const std::size_t u = pending.front();
+      if (!pool.send(w, frames[u])) continue;  // death lands in wait()
+      pending.pop_front();
+      holding[w] = static_cast<std::ptrdiff_t>(u);
+      ++progress_.dispatched;
+      ++progress_.in_flight;
+    }
+  };
+  const auto drop_held = [&](unsigned w) {
+    if (holding[w] < 0) return;
+    pending.push_front(static_cast<std::size_t>(holding[w]));
+    holding[w] = -1;
+    ++progress_.retried;
+    --progress_.in_flight;
+  };
+
+  dispatch_idle();
+  while (shard_done < residual.size()) {
+    ProcessPool::Event ev;
+    if (!pool.wait(ev)) break;  // every worker is gone
+    if (ev.exited) {
+      ++progress_.workers_lost;
+      drop_held(ev.worker);
+      dispatch_idle();
+      continue;
+    }
+    TaskResponse resp;
+    try {
+      resp = decode_response(ev.payload);
+      if (resp.task >= plan.rep.size() || task_done[resp.task]) {
+        throw Error(ErrorKind::kWorkerProtocol, resp.task,
+                    "worker answered an unknown or finished task");
+      }
+    } catch (const Error&) {
+      // Desynced or corrupt worker stream: kill the worker; its held
+      // task is requeued when wait() reports the death.
+      pool.terminate(ev.worker);
+      continue;
+    }
+    holding[ev.worker] = -1;
+    --progress_.in_flight;
+    const std::size_t u = static_cast<std::size_t>(resp.task);
+    const Request& rq = requests_[plan.rep[u]];
+    core::Metrics m;
+    if (resp.ok) {
+      m = resp.metrics;
+      // Streamed result becomes cache state (and a store record) exactly
+      // as if evaluate() had computed it here.
+      ev_.preload_result(rq.key, m);
+    } else {
+      // The worker's evaluation failed. Re-run in-process so the
+      // genuine exception propagates to the caller (or, if it somehow
+      // succeeds here, use the result).
+      m = ev_.evaluate(rq.cfg, rq.w);
+    }
+    task_done[u] = true;
+    ++shard_done;
+    ++progress_.done;
+    for (const std::size_t i : plan.fan[u]) resolve(i, m, results, resolved);
+    dispatch_idle();
+    if (shard_done % stride == 0) emit_row(false);
+  }
+  pool_ = nullptr;
+
+  // All workers died with work outstanding: finish in-process. Held
+  // tasks come back to pending first.
+  for (unsigned w = 0; w < pool.size(); ++w) drop_held(w);
+  while (!pending.empty()) {
+    const std::size_t u = pending.front();
+    pending.pop_front();
+    if (task_done[u]) continue;
+    const Request& rq = requests_[plan.rep[u]];
+    const core::Metrics m = ev_.evaluate(rq.cfg, rq.w);
+    task_done[u] = true;
+    ++shard_done;
+    ++progress_.done;
+    for (const std::size_t i : plan.fan[u]) resolve(i, m, results, resolved);
+  }
+  emit_row(true);
+}
+
+void BatchEvaluator::terminate_worker(unsigned w) {
+  if (pool_ != nullptr) static_cast<ProcessPool*>(pool_)->terminate(w);
+}
+
+}  // namespace edsim::service

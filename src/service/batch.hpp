@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace edsim::service {
+
+/// Knobs for one batch run.
+struct BatchOptions {
+  /// Worker processes to shard across. 0 evaluates in-process (the
+  /// differential reference path — no forking at all).
+  unsigned workers = 0;
+  /// Progress rows (telemetry::ProgressLog) go here; nullptr is silent.
+  std::ostream* progress = nullptr;
+  /// Completions between progress rows; 0 picks ~20 rows per batch.
+  std::size_t progress_stride = 0;
+};
+
+/// Coordinator-side counters, updated as the batch drains. `queued`
+/// counts submissions; `deduped` the submissions merged into an earlier
+/// identical request; `store_hits` the unique keys satisfied from the
+/// memo/persistent store without simulating; `retried` tasks requeued
+/// after their worker died.
+struct BatchProgress {
+  std::uint64_t queued = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t done = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t workers_lost = 0;
+};
+
+/// Design-space exploration as a service: accepts a queue of evaluation
+/// requests, deduplicates them against each other and against the
+/// evaluator's caches (memo + persistent result store), computes warm-up
+/// checkpoints once in the coordinator, and shards the residual
+/// simulations across forked worker processes — shipping each task as
+/// (config, workload, warm-up snapshot) so workers restore instead of
+/// re-warming. Results stream back in completion order, are preloaded
+/// into the evaluator's caches (and thus persisted when a store is
+/// attached), and are returned in submission order.
+///
+/// Determinism contract: evaluate() is deterministic per (config,
+/// workload), so run() returns bit-identical metrics at every worker
+/// count — including 0 (in-process) — and regardless of completion
+/// order or mid-batch worker deaths (dead workers' tasks are requeued).
+/// Pinned by tests/test_result_store.cpp.
+class BatchEvaluator {
+ public:
+  /// The evaluator is copied; copies share caches, so results computed
+  /// here land in the caller's memo and result store too.
+  explicit BatchEvaluator(core::Evaluator ev, BatchOptions opt = {});
+
+  /// Queue one request; returns its index (run()'s result order).
+  std::size_t submit(const core::SystemConfig& cfg,
+                     const core::EvalWorkload& w);
+  std::size_t size() const { return requests_.size(); }
+
+  /// Observer fired once per *request* as it resolves — cache hits during
+  /// the dedup pre-pass first, then worker results in completion order.
+  /// Runs on the coordinator; safe to call terminate_worker() from it
+  /// (the kill-a-worker-mid-batch test does).
+  using ResultFn = std::function<void(std::size_t index,
+                                      const core::Metrics& m)>;
+  void set_on_result(ResultFn fn) { on_result_ = std::move(fn); }
+
+  /// Drain the queue and return metrics in submission order. Callable
+  /// once per submitted batch; submit() may be called again afterwards
+  /// for a follow-up run.
+  std::vector<core::Metrics> run();
+
+  const BatchProgress& progress() const { return progress_; }
+
+  /// Chaos hook: SIGKILL worker `w` of the pool currently inside run().
+  /// No-op outside a sharded run.
+  void terminate_worker(unsigned w);
+
+ private:
+  struct Request {
+    core::SystemConfig cfg;
+    core::EvalWorkload w;
+    std::uint64_t key = 0;
+  };
+  /// Dedup plan: one entry per unique result key, in first-seen order.
+  struct Plan {
+    std::vector<std::size_t> rep;               ///< representative request
+    std::vector<std::vector<std::size_t>> fan;  ///< all requests sharing it
+  };
+
+  void run_sharded(const Plan& plan, const std::vector<std::size_t>& residual,
+                   std::vector<core::Metrics>& results,
+                   std::vector<bool>& resolved);
+  void resolve(std::size_t request_index, const core::Metrics& m,
+               std::vector<core::Metrics>& results,
+               std::vector<bool>& resolved);
+
+  core::Evaluator ev_;
+  BatchOptions opt_;
+  std::vector<Request> requests_;
+  BatchProgress progress_;
+  ResultFn on_result_;
+  void* pool_ = nullptr;  ///< live ProcessPool during run_sharded only
+};
+
+}  // namespace edsim::service

@@ -1,0 +1,44 @@
+#include "telemetry/progress.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace edsim::telemetry {
+
+ProgressLog::ProgressLog(std::ostream* out, std::vector<std::string> columns)
+    : out_(out), columns_(std::move(columns)) {
+  widths_.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    widths_.push_back(std::max<std::size_t>(c.size(), 9));
+  }
+}
+
+void ProgressLog::emit(const std::vector<std::uint64_t>& values) {
+  if (!header_done_) {
+    header_done_ = true;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      *out_ << (i ? "  " : "") << std::setw(static_cast<int>(widths_[i]))
+            << columns_[i];
+    }
+    *out_ << '\n';
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const std::uint64_t v = i < values.size() ? values[i] : 0;
+    *out_ << (i ? "  " : "") << std::setw(static_cast<int>(widths_[i])) << v;
+  }
+  *out_ << '\n';
+}
+
+void ProgressLog::row(const std::vector<std::uint64_t>& values) {
+  if (out_ == nullptr) return;
+  emit(values);
+}
+
+void ProgressLog::finish(const std::vector<std::uint64_t>& values) {
+  if (out_ == nullptr) return;
+  emit(values);
+  out_->flush();
+}
+
+}  // namespace edsim::telemetry

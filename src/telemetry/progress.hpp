@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edsim::telemetry {
+
+/// Incremental fixed-width progress rows for long-running batch jobs, in
+/// the IntervalReporter spirit but for coordinator-side counters instead
+/// of DRAM statistics: a header line once, then one row per report. The
+/// batch front end emits a row every progress-stride completions, so a
+/// multi-thousand-point sweep shows queued/deduped/in-flight/done moving
+/// while workers stream results back.
+class ProgressLog {
+ public:
+  /// Rows go to `out`; nullptr disables the log (row() becomes free).
+  ProgressLog(std::ostream* out, std::vector<std::string> columns);
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Emit one row (header first, on the first call). Values align with
+  /// the column list; missing trailing values print as 0.
+  void row(const std::vector<std::uint64_t>& values);
+
+  /// Emit a final row unconditionally (even mid-stride) and flush.
+  void finish(const std::vector<std::uint64_t>& values);
+
+ private:
+  void emit(const std::vector<std::uint64_t>& values);
+
+  std::ostream* out_;
+  std::vector<std::string> columns_;
+  std::vector<std::size_t> widths_;
+  bool header_done_ = false;
+};
+
+}  // namespace edsim::telemetry

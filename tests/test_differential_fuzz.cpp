@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -28,6 +29,8 @@
 #include "dram/controller.hpp"
 #include "dram/multi_channel.hpp"
 #include "reliability/manager.hpp"
+#include "service/batch.hpp"
+#include "service/result_store.hpp"
 #include "telemetry/interval.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -627,6 +630,10 @@ void expect_metrics_eq(const core::Metrics& a, const core::Metrics& b) {
   EXPECT_EQ(a.junction_c, b.junction_c);
   EXPECT_EQ(a.retention_ms, b.retention_ms);
   EXPECT_EQ(a.refresh_overhead, b.refresh_overhead);
+  EXPECT_EQ(a.sampled, b.sampled);
+  EXPECT_EQ(a.sample_windows, b.sample_windows);
+  EXPECT_EQ(a.sustained_gbyte_s_ci, b.sustained_gbyte_s_ci);
+  EXPECT_EQ(a.avg_read_latency_ns_ci, b.avg_read_latency_ns_ci);
 }
 
 std::vector<core::ParetoPoint> project(const std::vector<core::Metrics>& ms) {
@@ -697,6 +704,57 @@ TEST(DifferentialFuzz, EvaluatorArenaMemoBitIdenticalAcrossThreadCounts) {
       }
       EXPECT_EQ(core::pareto_front(project(cold)), want_front);
       EXPECT_EQ(core::pareto_front(project(warm)), want_front);
+    }
+
+    // Persistent-store tier: a store-backed cold sweep must match the
+    // reference, and a fresh evaluator re-opening the same .edrs file
+    // ("new process") must serve every point from the store, bit-exact.
+    {
+      const std::string store_path =
+          (std::filesystem::temp_directory_path() /
+           ("fuzz_trial_" + std::to_string(trial) + ".edrs"))
+              .string();
+      std::filesystem::remove(store_path);
+      {
+        core::Evaluator ev;
+        ev.set_threads(1);
+        ev.set_result_store(
+            std::make_shared<service::ResultStore>(store_path));
+        const std::vector<core::Metrics> cold = ev.sweep(cfgs, w);
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          SCOPED_TRACE("config " + std::to_string(i) + " (store cold)");
+          expect_metrics_eq(want[i], cold[i]);
+        }
+      }
+      core::Evaluator fresh;
+      fresh.set_threads(1);
+      fresh.set_result_store(
+          std::make_shared<service::ResultStore>(store_path));
+      const std::vector<core::Metrics> replayed = fresh.sweep(cfgs, w);
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i) + " (store warm)");
+        expect_metrics_eq(want[i], replayed[i]);
+      }
+      EXPECT_EQ(fresh.cache_stats().store.hits, cfgs.size());
+      std::filesystem::remove(store_path);
+    }
+
+    // Sharded batch evaluation must be bit-identical to the in-process
+    // reference too (2 forked workers; warm-up snapshots shipped whenever
+    // this trial has warmup_cycles > 0).
+    {
+      core::Evaluator ev;
+      ev.set_threads(1);
+      service::BatchOptions bo;
+      bo.workers = 2;
+      service::BatchEvaluator batch(ev, bo);
+      for (const auto& c : cfgs) batch.submit(c, w);
+      const std::vector<core::Metrics> sharded = batch.run();
+      ASSERT_EQ(sharded.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i) + " (sharded)");
+        expect_metrics_eq(want[i], sharded[i]);
+      }
     }
 
     // Yield trials ride the same thread-count contract (chunked per-trial

@@ -1,0 +1,591 @@
+// Exploration-service tests: the persistent content-addressed result
+// store (EDRS append log — round trips, reopen replay, idempotent puts,
+// torn-tail crash recovery, every-truncation and every-byte-flip
+// corruption fuzz), the wire codec, the fork-based ProcessPool, and the
+// sharded BatchEvaluator (bit-identical to the in-process store-less
+// reference at worker counts {0,1,2,8}, including with warm-up snapshot
+// shipping and a worker SIGKILLed mid-batch). Carries the `service`
+// ctest label; scripts/sanitize.sh replays the corruption fuzz under
+// ASan/UBSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/snapshot.hpp"
+#include "core/evaluator.hpp"
+#include "service/batch.hpp"
+#include "service/result_store.hpp"
+#include "service/wire.hpp"
+#include "telemetry/progress.hpp"
+
+namespace edsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_store_path(const std::string& stem) {
+  return (fs::temp_directory_path() / (stem + ".edrs")).string();
+}
+
+/// A recognizable, fully populated metrics vector (distinct per `i`).
+core::Metrics sample_metrics(int i) {
+  core::Metrics m;
+  m.name = "point-" + std::to_string(i);
+  m.die_area_mm2 = 30.0 + i;
+  m.memory_area_mm2 = 10.5 + i;
+  m.logic_area_mm2 = 7.25 * (i + 1);
+  m.sustained_gbyte_s = 1.0 + 0.125 * i;
+  m.peak_gbyte_s = 3.2 + i;
+  m.bandwidth_efficiency = 0.5 + 0.01 * i;
+  m.avg_read_latency_ns = 42.0 + i;
+  m.io_power_mw = 100.0 + i;
+  m.total_power_mw = 400.0 + i;
+  m.installed_mbit = 16.0;
+  m.waste_mbit = static_cast<double>(i);
+  m.unit_cost_usd = 7.77 + 0.01 * i;
+  m.logic_speed = 0.7;
+  m.junction_c = 85.0 + i;
+  m.retention_ms = 64.0;
+  m.refresh_overhead = 0.015;
+  m.sampled = i % 2 == 0;
+  m.sample_windows = static_cast<unsigned>(i);
+  m.sustained_gbyte_s_ci = 0.001 * i;
+  m.avg_read_latency_ns_ci = 0.002 * i;
+  return m;
+}
+
+void expect_metrics_exact(const core::Metrics& a, const core::Metrics& b) {
+  // EXPECT_EQ on doubles on purpose: the store contract is identical bits.
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.die_area_mm2, b.die_area_mm2);
+  EXPECT_EQ(a.memory_area_mm2, b.memory_area_mm2);
+  EXPECT_EQ(a.logic_area_mm2, b.logic_area_mm2);
+  EXPECT_EQ(a.sustained_gbyte_s, b.sustained_gbyte_s);
+  EXPECT_EQ(a.peak_gbyte_s, b.peak_gbyte_s);
+  EXPECT_EQ(a.bandwidth_efficiency, b.bandwidth_efficiency);
+  EXPECT_EQ(a.avg_read_latency_ns, b.avg_read_latency_ns);
+  EXPECT_EQ(a.io_power_mw, b.io_power_mw);
+  EXPECT_EQ(a.total_power_mw, b.total_power_mw);
+  EXPECT_EQ(a.installed_mbit, b.installed_mbit);
+  EXPECT_EQ(a.waste_mbit, b.waste_mbit);
+  EXPECT_EQ(a.unit_cost_usd, b.unit_cost_usd);
+  EXPECT_EQ(a.logic_speed, b.logic_speed);
+  EXPECT_EQ(a.junction_c, b.junction_c);
+  EXPECT_EQ(a.retention_ms, b.retention_ms);
+  EXPECT_EQ(a.refresh_overhead, b.refresh_overhead);
+  EXPECT_EQ(a.sampled, b.sampled);
+  EXPECT_EQ(a.sample_windows, b.sample_windows);
+  EXPECT_EQ(a.sustained_gbyte_s_ci, b.sustained_gbyte_s_ci);
+  EXPECT_EQ(a.avg_read_latency_ns_ci, b.avg_read_latency_ns_ci);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Small deterministic candidate list for evaluator/batch tests.
+std::vector<core::SystemConfig> small_design_space() {
+  std::vector<core::SystemConfig> cfgs;
+  for (const unsigned width : {64u, 128u}) {
+    for (const core::BaseProcess p :
+         {core::BaseProcess::kDramBased, core::BaseProcess::kMerged}) {
+      core::SystemConfig c;
+      c.name = "svc-" + std::to_string(width) + "-" +
+               std::to_string(static_cast<int>(p));
+      c.integration = core::Integration::kEmbedded;
+      c.process = p;
+      c.required_memory = Capacity::mbit(16);
+      c.interface_bits = width;
+      c.banks = 4;
+      c.page_bytes = 2048;
+      cfgs.push_back(c);
+    }
+  }
+  core::SystemConfig d;
+  d.name = "svc-discrete-32";
+  d.integration = core::Integration::kDiscrete;
+  d.required_memory = Capacity::mbit(16);
+  d.interface_bits = 32;
+  cfgs.push_back(d);
+  return cfgs;
+}
+
+core::EvalWorkload small_workload(std::uint64_t warmup = 0) {
+  core::EvalWorkload w;
+  w.demand_gbyte_s = 1.5;
+  w.stream_clients = 1;
+  w.random_clients = 1;
+  w.sim_cycles = 8'000;
+  w.seed = 99;
+  w.warmup_cycles = warmup;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+TEST(ServiceWire, MetricsRoundTripBitExact) {
+  for (int i = 0; i < 4; ++i) {
+    const core::Metrics in = sample_metrics(i);
+    SnapshotWriter w;
+    service::encode_metrics(w, in);
+    const auto blob = w.seal();
+    SnapshotReader r(blob);
+    const core::Metrics out = service::decode_metrics(r);
+    r.expect_end();
+    expect_metrics_exact(in, out);
+  }
+}
+
+TEST(ServiceWire, ConfigAndWorkloadRoundTripPreservesContentHash) {
+  for (const auto& cfg : small_design_space()) {
+    SnapshotWriter w;
+    service::encode_system_config(w, cfg);
+    const auto blob = w.seal();
+    SnapshotReader r(blob);
+    const core::SystemConfig back = service::decode_system_config(r);
+    r.expect_end();
+    EXPECT_EQ(back.content_hash(), cfg.content_hash()) << cfg.name;
+    EXPECT_EQ(back.name, cfg.name);
+  }
+  const core::EvalWorkload wl = small_workload(3'000);
+  SnapshotWriter w;
+  service::encode_workload(w, wl);
+  const auto blob = w.seal();
+  SnapshotReader r(blob);
+  const core::EvalWorkload back = service::decode_workload(r);
+  r.expect_end();
+  EXPECT_EQ(back.content_hash(), wl.content_hash());
+}
+
+TEST(ServiceWire, CorruptEnumRejectedStructurally) {
+  core::SystemConfig cfg = small_design_space().front();
+  SnapshotWriter w;
+  service::encode_system_config(w, cfg);
+  // Re-encode with an out-of-range scheduler enum spliced in.
+  SnapshotWriter bad;
+  bad.str(cfg.name);
+  bad.u64(static_cast<std::uint64_t>(cfg.integration));
+  bad.u64(static_cast<std::uint64_t>(cfg.process));
+  bad.u64(cfg.required_memory.bit_count());
+  bad.u64(cfg.interface_bits);
+  bad.u64(cfg.banks);
+  bad.u64(cfg.page_bytes);
+  bad.u64(static_cast<std::uint64_t>(cfg.page_policy));
+  bad.u64(250);  // scheduler: out of range
+  bad.u64(static_cast<std::uint64_t>(cfg.reliability));
+  bad.f64(cfg.logic_kgates);
+  const auto blob = bad.seal();
+  SnapshotReader r(blob);
+  EXPECT_THROW(service::decode_system_config(r), Error);
+}
+
+// ---------------------------------------------------------------------------
+// ResultStore: round trips, reopen, idempotence.
+
+TEST(ResultStore, PutFindReopenBitExact) {
+  const std::string path = temp_store_path("rs_roundtrip");
+  fs::remove(path);
+  constexpr int kN = 12;
+  {
+    service::ResultStore store(path);
+    for (int i = 0; i < kN; ++i) {
+      store.put(1000 + static_cast<std::uint64_t>(i), sample_metrics(i));
+    }
+    EXPECT_EQ(store.entries(), static_cast<std::size_t>(kN));
+    core::Metrics m;
+    ASSERT_TRUE(store.find(1005, &m));
+    expect_metrics_exact(sample_metrics(5), m);
+    EXPECT_FALSE(store.find(1, &m));
+    const auto st = store.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_GT(st.bytes_written, 0u);
+  }
+  // Fresh object replays the log; every record comes back bit-exact.
+  service::ResultStore again(path);
+  EXPECT_EQ(again.entries(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(again.stats().recovered_tail_records, 0u);
+  EXPECT_GT(again.stats().bytes_read, 0u);
+  for (int i = 0; i < kN; ++i) {
+    core::Metrics m;
+    ASSERT_TRUE(again.find(1000 + static_cast<std::uint64_t>(i), &m)) << i;
+    expect_metrics_exact(sample_metrics(i), m);
+  }
+  fs::remove(path);
+}
+
+TEST(ResultStore, PutIsIdempotent) {
+  const std::string path = temp_store_path("rs_idempotent");
+  fs::remove(path);
+  service::ResultStore store(path);
+  store.put(7, sample_metrics(0));
+  const std::uint64_t once = store.stats().bytes_written;
+  store.put(7, sample_metrics(0));
+  store.put(7, sample_metrics(0));
+  EXPECT_EQ(store.stats().bytes_written, once);
+  EXPECT_EQ(store.entries(), 1u);
+  fs::remove(path);
+}
+
+TEST(ResultStore, RejectsForeignAndVersionSkewedFiles) {
+  const std::string path = temp_store_path("rs_foreign");
+  write_file(path, {'N', 'O', 'P', 'E', 1});
+  EXPECT_THROW(
+      {
+        try {
+          service::ResultStore store(path);
+        } catch (const Error& e) {
+          EXPECT_EQ(e.kind(), ErrorKind::kStoreFormat);
+          throw;
+        }
+      },
+      Error);
+  write_file(path, {'E', 'D', 'R', 'S', 99});
+  EXPECT_THROW(service::ResultStore{path}, Error);
+  // Too short to even hold the header.
+  write_file(path, {'E', 'D'});
+  EXPECT_THROW(service::ResultStore{path}, Error);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safety: torn tails and corruption fuzz.
+
+TEST(ResultStore, EveryTruncationRecoversOrRejectsStructurally) {
+  const std::string path = temp_store_path("rs_trunc");
+  fs::remove(path);
+  constexpr int kN = 5;
+  {
+    service::ResultStore store(path);
+    for (int i = 0; i < kN; ++i) {
+      store.put(static_cast<std::uint64_t>(i), sample_metrics(i));
+    }
+  }
+  const std::vector<std::uint8_t> full = read_file(path);
+  ASSERT_GT(full.size(), 5u);
+
+  for (std::size_t cut = 5; cut < full.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    write_file(path, {full.begin(), full.begin() + cut});
+    // A truncated tail is exactly what a crash mid-append leaves: open
+    // must always succeed, drop at most the torn record, and keep every
+    // record before it bit-exact.
+    service::ResultStore store(path);
+    EXPECT_LE(store.entries(), static_cast<std::size_t>(kN));
+    for (std::uint64_t k = 0; k < store.entries(); ++k) {
+      core::Metrics m;
+      ASSERT_TRUE(store.find(k, &m)) << "surviving prefix must stay intact";
+      expect_metrics_exact(sample_metrics(static_cast<int>(k)), m);
+    }
+    if (cut < full.size()) {
+      // Appending after recovery lands on a clean boundary.
+      store.put(777, sample_metrics(9));
+      core::Metrics m;
+      EXPECT_TRUE(store.find(777, &m));
+    }
+  }
+  // Truncations inside the header are rejected (no store to salvage).
+  for (std::size_t cut = 1; cut < 5; ++cut) {
+    write_file(path, {full.begin(), full.begin() + cut});
+    EXPECT_THROW(service::ResultStore{path}, Error) << "cut=" << cut;
+  }
+  fs::remove(path);
+}
+
+TEST(ResultStore, EveryByteFlipRecoversOrRejectsStructurally) {
+  const std::string path = temp_store_path("rs_flip");
+  fs::remove(path);
+  constexpr int kN = 4;
+  {
+    service::ResultStore store(path);
+    for (int i = 0; i < kN; ++i) {
+      store.put(static_cast<std::uint64_t>(i), sample_metrics(i));
+    }
+  }
+  const std::vector<std::uint8_t> full = read_file(path);
+
+  for (std::size_t pos = 0; pos < full.size(); ++pos) {
+    SCOPED_TRACE("flip at " + std::to_string(pos));
+    std::vector<std::uint8_t> bytes = full;
+    bytes[pos] ^= 0x41;
+    write_file(path, bytes);
+    // Contract: open either succeeds — and then every record it serves
+    // is one that was actually put, bit-exact — or raises a structured
+    // kStoreFormat error. Never UB, never silently wrong metrics.
+    try {
+      service::ResultStore store(path);
+      for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(kN); ++k) {
+        core::Metrics m;
+        if (store.find(k, &m)) {
+          expect_metrics_exact(sample_metrics(static_cast<int>(k)), m);
+        }
+      }
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kStoreFormat);
+    }
+  }
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Store tier inside the Evaluator.
+
+TEST(ResultStore, EvaluatorWarmStartsAcrossProcessesBitExact) {
+  const std::string path = temp_store_path("rs_evaluator");
+  fs::remove(path);
+  const auto cfgs = small_design_space();
+  const core::EvalWorkload w = small_workload();
+
+  // Store-less reference.
+  core::Evaluator ref;
+  ref.set_threads(1);
+  const auto want = ref.sweep(cfgs, w);
+
+  // Cold store-backed sweep populates the log.
+  {
+    core::Evaluator ev;
+    ev.set_threads(1);
+    ev.set_result_store(std::make_shared<service::ResultStore>(path));
+    const auto got = ev.sweep(cfgs, w);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_metrics_exact(want[i], got[i]);
+    }
+    const auto cs = ev.cache_stats();
+    ASSERT_TRUE(cs.store_attached);
+    EXPECT_EQ(cs.store.entries, cfgs.size());
+    EXPECT_EQ(cs.store.hits, 0u);
+  }
+
+  // "Fresh process": new evaluator, reopened store — every point must be
+  // a store hit (no simulation: the workload cache stays empty).
+  core::Evaluator warm;
+  warm.set_threads(1);
+  warm.set_result_store(std::make_shared<service::ResultStore>(path));
+  const auto got = warm.sweep(cfgs, w);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_metrics_exact(want[i], got[i]);
+  }
+  const auto cs = warm.cache_stats();
+  EXPECT_EQ(cs.store.hits, cfgs.size());
+  EXPECT_EQ(cs.store.misses, 0u);
+  EXPECT_EQ(cs.arena_entries, 0u) << "store hits must not compile workloads";
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// ProcessPool.
+
+TEST(ProcessPool, FramedEchoAndCleanShutdown) {
+  ProcessPool pool(2, [](const std::vector<std::uint8_t>& req) {
+    std::vector<std::uint8_t> resp = req;
+    for (auto& b : resp) b ^= 0xff;
+    return resp;
+  });
+  ASSERT_EQ(pool.alive_count(), 2u);
+  const std::vector<std::uint8_t> ping{1, 2, 3, 0x80};
+  ASSERT_TRUE(pool.send(0, ping));
+  ASSERT_TRUE(pool.send(1, {}));
+  for (int i = 0; i < 2; ++i) {
+    ProcessPool::Event ev;
+    ASSERT_TRUE(pool.wait(ev));
+    ASSERT_FALSE(ev.exited);
+    if (ev.worker == 0) {
+      ASSERT_EQ(ev.payload.size(), ping.size());
+      for (std::size_t j = 0; j < ping.size(); ++j) {
+        EXPECT_EQ(ev.payload[j], static_cast<std::uint8_t>(ping[j] ^ 0xff));
+      }
+    } else {
+      EXPECT_TRUE(ev.payload.empty());
+    }
+  }
+}
+
+TEST(ProcessPool, TerminateSurfacesAsExitEvent) {
+  ProcessPool pool(2, [](const std::vector<std::uint8_t>& req) {
+    return req;
+  });
+  ASSERT_EQ(pool.alive_count(), 2u);
+  pool.terminate(0);
+  ProcessPool::Event ev;
+  ASSERT_TRUE(pool.wait(ev));
+  EXPECT_TRUE(ev.exited);
+  EXPECT_EQ(ev.worker, 0u);
+  EXPECT_EQ(pool.alive_count(), 1u);
+  // The survivor still serves.
+  ASSERT_TRUE(pool.send(1, {9}));
+  ASSERT_TRUE(pool.wait(ev));
+  EXPECT_FALSE(ev.exited);
+  EXPECT_EQ(ev.worker, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchEvaluator: sharded results bit-identical to the reference.
+
+TEST(BatchEvaluator, BitIdenticalAcrossWorkerCounts) {
+  const auto cfgs = small_design_space();
+  const core::EvalWorkload w = small_workload();
+
+  core::Evaluator ref;
+  ref.set_threads(1);
+  const auto want = ref.sweep(cfgs, w);
+
+  for (const unsigned workers : {0u, 1u, 2u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    core::Evaluator ev;
+    ev.set_threads(1);
+    service::BatchOptions bo;
+    bo.workers = workers;
+    service::BatchEvaluator batch(ev, bo);
+    for (const auto& c : cfgs) batch.submit(c, w);
+    const auto got = batch.run();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      SCOPED_TRACE("config " + std::to_string(i));
+      expect_metrics_exact(want[i], got[i]);
+    }
+    EXPECT_EQ(batch.progress().done, cfgs.size());
+    EXPECT_EQ(batch.progress().queued, cfgs.size());
+  }
+}
+
+TEST(BatchEvaluator, WarmupSnapshotShippingBitIdentical) {
+  const auto cfgs = small_design_space();
+  const core::EvalWorkload w = small_workload(/*warmup=*/4'000);
+
+  // Reference warms every point in place, no checkpointing at all.
+  core::Evaluator ref;
+  ref.set_threads(1);
+  ref.set_checkpoint(false);
+  const auto want = ref.sweep(cfgs, w);
+
+  core::Evaluator ev;
+  ev.set_threads(1);
+  service::BatchOptions bo;
+  bo.workers = 2;
+  service::BatchEvaluator batch(ev, bo);
+  for (const auto& c : cfgs) batch.submit(c, w);
+  const auto got = batch.run();
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("config " + std::to_string(i));
+    expect_metrics_exact(want[i], got[i]);
+  }
+  // The coordinator computed the warm-ups (one per channel shape) and
+  // shipped them; the checkpoint cache proves it ran here.
+  EXPECT_GT(ev.cache_stats().checkpoint_entries, 0u);
+}
+
+TEST(BatchEvaluator, DeduplicatesAgainstQueueAndStore) {
+  const std::string path = temp_store_path("rs_dedup");
+  fs::remove(path);
+  const auto cfgs = small_design_space();
+  const core::EvalWorkload w = small_workload();
+
+  {
+    // Pre-populate the store with the first two points.
+    core::Evaluator seed_ev;
+    seed_ev.set_threads(1);
+    seed_ev.set_result_store(std::make_shared<service::ResultStore>(path));
+    seed_ev.evaluate(cfgs[0], w);
+    seed_ev.evaluate(cfgs[1], w);
+  }
+
+  core::Evaluator ev;
+  ev.set_threads(1);
+  ev.set_result_store(std::make_shared<service::ResultStore>(path));
+  service::BatchEvaluator batch(ev, service::BatchOptions{});
+  // Submit everything twice: duplicates must merge, stored points must
+  // resolve without evaluation.
+  for (const auto& c : cfgs) batch.submit(c, w);
+  for (const auto& c : cfgs) batch.submit(c, w);
+  const auto got = batch.run();
+  ASSERT_EQ(got.size(), 2 * cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    expect_metrics_exact(got[i], got[i + cfgs.size()]);
+  }
+  const auto& bp = batch.progress();
+  EXPECT_EQ(bp.queued, 2 * cfgs.size());
+  EXPECT_EQ(bp.deduped, cfgs.size());
+  EXPECT_EQ(bp.store_hits, 2u);
+  EXPECT_EQ(bp.done, cfgs.size());
+  fs::remove(path);
+}
+
+TEST(BatchEvaluator, SurvivesWorkerKilledMidBatch) {
+  const auto cfgs = small_design_space();
+  const core::EvalWorkload w = small_workload();
+
+  core::Evaluator ref;
+  ref.set_threads(1);
+  const auto want = ref.sweep(cfgs, w);
+
+  core::Evaluator ev;
+  ev.set_threads(1);
+  service::BatchOptions bo;
+  bo.workers = 2;
+  service::BatchEvaluator batch(ev, bo);
+  bool killed = false;
+  batch.set_on_result([&](std::size_t, const core::Metrics&) {
+    if (!killed) {
+      killed = true;
+      // SIGKILL both workers' colleague — whatever it held must be
+      // requeued and the batch must still complete, bit-identically.
+      batch.terminate_worker(0);
+    }
+  });
+  for (const auto& c : cfgs) batch.submit(c, w);
+  const auto got = batch.run();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("config " + std::to_string(i));
+    expect_metrics_exact(want[i], got[i]);
+  }
+  EXPECT_TRUE(killed);
+  EXPECT_GE(batch.progress().workers_lost, 1u);
+  EXPECT_EQ(batch.progress().done, cfgs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Progress rows.
+
+TEST(ProgressLog, HeaderOnceThenAlignedRows) {
+  std::ostringstream os;
+  telemetry::ProgressLog log(&os, {"queued", "done"});
+  log.row({10, 0});
+  log.row({10, 5});
+  log.finish({10, 10});
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  ASSERT_EQ(all.size(), 4u);  // header + three rows
+  EXPECT_NE(all[0].find("queued"), std::string::npos);
+  EXPECT_NE(all[0].find("done"), std::string::npos);
+  EXPECT_NE(all[3].find("10"), std::string::npos);
+  // Disabled log costs nothing and writes nothing.
+  telemetry::ProgressLog off(nullptr, {"a"});
+  off.row({1});
+  off.finish({2});
+}
+
+}  // namespace
+}  // namespace edsim
