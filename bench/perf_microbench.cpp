@@ -17,12 +17,14 @@
 #include "bist/yield.hpp"
 #include "clients/client.hpp"
 #include "clients/compiled_trace.hpp"
+#include "clients/strided_gen.hpp"
 #include "clients/system.hpp"
 #include "clients/trace_io.hpp"
 #include "common/rng.hpp"
 #include "core/allocation.hpp"
 #include "core/evaluator.hpp"
 #include "core/system_config.hpp"
+#include "core/wcet.hpp"
 #include "dram/controller.hpp"
 #include "dram/multi_channel.hpp"
 #include "dram/presets.hpp"
@@ -753,6 +755,68 @@ void BM_TelemetryAttached(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) * 50'000);
 }
 BENCHMARK(BM_TelemetryAttached)->Unit(benchmark::kMillisecond);
+
+// --- scheduler policies: simulated vs analytical WCET bound -----------------
+// Arg: SchedulerKind index (0=fcfs .. 4=tdm). Each run drives the same
+// three paced strided clients (the scheduler_tournament mix) and reports
+// simulated bandwidth / worst read latency next to the core/wcet.hpp
+// bounds as counters, so one BENCH json holds every policy's
+// simulated-vs-bound pair alongside its wall-clock cost.
+
+constexpr std::uint64_t kWcetWindow = 100'000;
+
+void BM_SchedulerPolicyWcet(benchmark::State& state) {
+  dram::DramConfig cfg;
+  cfg.interface_bits = 32;
+  cfg.scheduler = static_cast<dram::SchedulerKind>(state.range(0));
+  cfg.tdm_slot_cycles = 64;
+  cfg.tdm_clients = 3;
+  const std::vector<core::WcetClient> wclients = {{0, 24, 0},
+                                                  {1, 48, 0},
+                                                  {2, 96, 0}};
+  const clients::StridePattern patterns[] = {
+      clients::StridePattern::kRowMajor, clients::StridePattern::kColumnMajor,
+      clients::StridePattern::kTiled};
+  std::uint64_t bytes = 0;
+  double worst_cycles = 0.0;
+  for (auto _ : state) {
+    clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+    for (unsigned i = 0; i < 3; ++i) {
+      clients::SimdStridedClient::Params p;
+      p.base = i * (1u << 20);
+      p.width_bytes = 4096;
+      p.height = 64;
+      p.burst_bytes = cfg.bytes_per_access();
+      p.tile_width_bytes = 512;
+      p.tile_height = 8;
+      p.pattern = patterns[i];
+      p.period_cycles = wclients[i].period_cycles;
+      sys.add_client(std::make_unique<clients::SimdStridedClient>(
+          i, "simd", p));
+    }
+    sys.run(kWcetWindow);
+    bytes = sys.controller().stats().bytes_transferred;
+    worst_cycles = sys.controller().stats().read_latency.max();
+    benchmark::DoNotOptimize(bytes);
+  }
+  const core::WcetAnalysis wa = core::analyze_wcet(cfg, wclients);
+  const double window_ns = kWcetWindow * cfg.clock.period_ns();
+  state.counters["sim_gbs"] = static_cast<double>(bytes) / window_ns;
+  state.counters["bound_gbs"] =
+      static_cast<double>(core::wcet_max_bytes(cfg, wclients, kWcetWindow)) /
+      window_ns;
+  state.counters["sim_worst_ns"] = worst_cycles * cfg.clock.period_ns();
+  state.counters["bound_ns"] = wa.latency_bounded ? wa.latency_ns : 0.0;
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kWcetWindow));
+}
+BENCHMARK(BM_SchedulerPolicyWcet)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ProtocolChecker(benchmark::State& state) {
   // Capture once, verify repeatedly.

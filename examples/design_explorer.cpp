@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   using namespace edsim;
   using namespace edsim::core;
 
-  const Args args(argc, argv, {"cache-stats"});
+  const Args args(argc, argv, {"cache-stats", "wcet"});
   const std::string store_path = args.get("store");
   const unsigned workers = static_cast<unsigned>(args.get_u64("workers", 0));
 
@@ -159,6 +159,36 @@ int main(int argc, char** argv) {
         .num(m.logic_speed, 2);
   }
   t.print(std::cout, "Design space: 16-Mbit application @ 2 GB/s demand");
+
+  // --wcet: the predictable-performance view of the same sweep — each
+  // design's simulated worst case next to the analytical WCET bound the
+  // evaluator computed for it (core/wcet.hpp). A bound of "unbounded"
+  // means the workload is inadmissible on that design, i.e. no
+  // worst-case latency can be promised at all.
+  if (args.has("wcet")) {
+    Table wt({"design", "worst lat ns", "WCET bound ns", "sust GB/s",
+              "WCET BW GB/s", "verdict"});
+    bool all_ok = true;
+    for (const auto& m : metrics) {
+      const bool bounded = m.wcet_read_latency_ns > 0.0;
+      const bool ok = !bounded || m.worst_read_latency_ns <=
+                                      m.wcet_read_latency_ns;
+      all_ok = all_ok && ok;
+      wt.row()
+          .cell(m.name)
+          .num(m.worst_read_latency_ns, 1)
+          .cell(bounded ? Table::fmt(m.wcet_read_latency_ns, 1)
+                        : "unbounded")
+          .num(m.sustained_gbyte_s, 2)
+          .num(m.wcet_bandwidth_gbyte_s, 2)
+          .cell(bounded ? (ok ? "OK" : "VIOLATION") : "-");
+    }
+    wt.print(std::cout, "Worst-case bounds (--wcet)");
+    if (!all_ok) {
+      std::cerr << "WCET bound violation in design sweep\n";
+      return 1;
+    }
+  }
 
   // Pareto: minimize cost and power, maximize sustained bandwidth.
   std::vector<ParetoPoint> pts;

@@ -68,6 +68,7 @@ int main(int argc, char** argv) try {
   const std::string sched = args.get("scheduler", "frfcfs");
   cfg.scheduler = sched == "fcfs" ? dram::SchedulerKind::kFcfs
                   : sched == "readfirst" ? dram::SchedulerKind::kReadFirst
+                  : sched == "tdm"       ? dram::SchedulerKind::kTdm
                                          : dram::SchedulerKind::kFrFcfs;
   cfg.page_policy = args.get("policy", "open") == "closed"
                         ? dram::PagePolicy::kClosed

@@ -5,7 +5,8 @@
 # fast-forward system runs, serial vs pooled sweeps, regenerated vs
 # arena-replayed workloads, cold vs memoized evaluation, uniform-tREFI
 # vs self-managed maintenance — so one file holds both sides of each
-# comparison.
+# comparison, plus the per-scheduler-policy runs whose counters pair the
+# simulated bandwidth/latency with the analytical WCET bound.
 #
 # Usage: scripts/bench.sh [n] [extra perf_microbench args...]
 #   scripts/bench.sh                 # writes BENCH_<next>.json
@@ -77,5 +78,20 @@ for b in data["benchmarks"]:
     if b["name"] == "BM_SampledRun" and "rel_error" in b:
         print(f"  sampled bandwidth error: {b['rel_error'] * 100:.2f}% "
               f"(claimed 95% CI half-width: {b['ci95_rel'] * 100:.2f}%)")
+policies = ["fcfs", "fcfs-per-bank", "fr-fcfs", "read-first", "tdm"]
+rows = [b for b in data["benchmarks"]
+        if b["name"].startswith("BM_SchedulerPolicyWcet/") and "sim_gbs" in b]
+if rows:
+    print("scheduler policies, simulated vs WCET bound:")
+    for b in rows:
+        idx = int(b["name"].rsplit("/", 1)[1])
+        bound = (f"{b['bound_ns']:.0f} ns" if b["bound_ns"] > 0
+                 else "unbounded")
+        ok = b["bound_ns"] <= 0 or b["sim_worst_ns"] <= b["bound_ns"]
+        bw_ok = b["sim_gbs"] <= b["bound_gbs"] + 1e-9
+        verdict = "OK" if (ok and bw_ok) else "VIOLATION"
+        print(f"  {policies[idx]:>13}: {b['sim_gbs']:.3f} GB/s "
+              f"(bound {b['bound_gbs']:.3f}), worst "
+              f"{b['sim_worst_ns']:.0f} ns (bound {bound}) [{verdict}]")
 EOF
 fi

@@ -41,6 +41,16 @@ echo "self-managed maintenance:"
 ctest --test-dir build -L maintenance --output-on-failure
 build/examples/soak_test --rowhammer --retention-bins
 
+# Predictable-performance gate: the analytical WCET bounds must hold as
+# oracles over the policy x mapping grid (including TDM slot-ownership
+# protocol rules and the bound-tightness claim on bank-privatized strided
+# sweeps), and the scheduler tournament must print OK in every row — it
+# exits non-zero on any simulated > bound violation.
+echo
+echo "predictable performance (WCET bounds + scheduler tournament):"
+ctest --test-dir build -L wcet --output-on-failure
+build/examples/scheduler_tournament
+
 # Exploration-service gate: the persistent EDRS result store (round
 # trips, torn-tail crash recovery, corruption fuzz), the fork-based
 # worker pool, and the sharded batch differentials (results bit-identical

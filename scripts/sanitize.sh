@@ -34,6 +34,13 @@ build-asan/tests/edsim_snapshot_tests
 # self-managed differential trials; this adds the directed suite.
 build-asan/tests/edsim_maintenance_tests
 
+# Predictable-performance replay: the wcet suite sweeps the full policy x
+# mapping grid with three client types (stream, strided, random) and
+# replays the strided generator's arena/live/fast-forward parity runs —
+# the TDM slot arithmetic, stride address decomposition, and the WCET
+# fixed-point iteration all run under ASan/UBSan here.
+build-asan/tests/edsim_wcet_tests
+
 # Result-store hardening: the service suite decodes every truncation and
 # every byte flip of an EDRS append log (varint length prefixes, sealed
 # record envelopes, torn-tail truncation via resize_file), and drives the

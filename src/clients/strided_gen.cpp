@@ -1,0 +1,154 @@
+#include "clients/strided_gen.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/snapshot.hpp"
+
+namespace edsim::clients {
+
+const char* to_string(StridePattern p) {
+  switch (p) {
+    case StridePattern::kRowMajor: return "row-major";
+    case StridePattern::kColumnMajor: return "column-major";
+    case StridePattern::kTiled: return "tiled";
+  }
+  return "?";
+}
+
+SimdStridedClient::SimdStridedClient(unsigned id, std::string name,
+                                     const Params& p)
+    : Client(id, std::move(name)), p_(p) {
+  require(p_.burst_bytes > 0, "simd strided client: burst_bytes must be > 0");
+  require(p_.width_bytes > 0 && p_.height > 0,
+          "simd strided client: surface must be non-empty");
+  require(p_.width_bytes % p_.burst_bytes == 0,
+          "simd strided client: burst must divide the surface width");
+  if (p_.pitch_bytes == 0) p_.pitch_bytes = p_.width_bytes;
+  require(p_.pitch_bytes >= p_.width_bytes,
+          "simd strided client: pitch shorter than the surface width");
+  if (p_.pattern == StridePattern::kTiled) {
+    require(p_.tile_width_bytes > 0 && p_.tile_height > 0,
+            "simd strided client: tiles must be non-empty");
+    require(p_.tile_width_bytes % p_.burst_bytes == 0,
+            "simd strided client: burst must divide the tile width");
+    require(p_.width_bytes % p_.tile_width_bytes == 0,
+            "simd strided client: tile width must divide the surface width");
+    require(p_.height % p_.tile_height == 0,
+            "simd strided client: tile height must divide the surface height");
+  }
+  per_pass_ = static_cast<std::uint64_t>(p_.width_bytes / p_.burst_bytes) *
+              p_.height;
+}
+
+std::uint64_t SimdStridedClient::address_of(std::uint64_t index) const {
+  const std::uint64_t k = index % per_pass_;
+  const std::uint64_t bursts_per_row = p_.width_bytes / p_.burst_bytes;
+  std::uint64_t row = 0;
+  std::uint64_t col = 0;  // in bursts
+  switch (p_.pattern) {
+    case StridePattern::kRowMajor:
+      row = k / bursts_per_row;
+      col = k % bursts_per_row;
+      break;
+    case StridePattern::kColumnMajor:
+      row = k % p_.height;
+      col = k / p_.height;
+      break;
+    case StridePattern::kTiled: {
+      const std::uint64_t tile_cols = p_.tile_width_bytes / p_.burst_bytes;
+      const std::uint64_t bursts_per_tile = tile_cols * p_.tile_height;
+      const std::uint64_t tiles_per_row = p_.width_bytes / p_.tile_width_bytes;
+      const std::uint64_t tile = k / bursts_per_tile;
+      const std::uint64_t within = k % bursts_per_tile;
+      const std::uint64_t tile_row = tile / tiles_per_row;
+      const std::uint64_t tile_col = tile % tiles_per_row;
+      row = tile_row * p_.tile_height + within / tile_cols;
+      col = tile_col * tile_cols + within % tile_cols;
+      break;
+    }
+  }
+  return p_.base + row * p_.pitch_bytes +
+         col * static_cast<std::uint64_t>(p_.burst_bytes);
+}
+
+bool SimdStridedClient::has_request(std::uint64_t cycle) const {
+  return !finished() && cycle >= next_allowed_;
+}
+
+std::uint64_t SimdStridedClient::next_request_cycle(std::uint64_t now) const {
+  if (finished()) return dram::kNeverCycle;
+  return std::max(now, next_allowed_);
+}
+
+dram::Request SimdStridedClient::make_request(std::uint64_t cycle) {
+  dram::Request r;
+  r.type = p_.type;
+  r.addr = address_of(issued_);
+  r.tag = issued_;
+  ++issued_;
+  next_allowed_ = cycle + (p_.period_cycles ? p_.period_cycles : 1);
+  return r;
+}
+
+bool SimdStridedClient::finished() const {
+  return p_.total_requests != 0 && issued_ >= p_.total_requests;
+}
+
+void SimdStridedClient::save_state(SnapshotWriter& w) const {
+  w.u64(issued_);
+  w.u64(next_allowed_);
+}
+
+void SimdStridedClient::load_state(SnapshotReader& r) {
+  issued_ = r.u64();
+  next_allowed_ = r.u64();
+}
+
+std::shared_ptr<const CompiledTrace> compile_simd_strided(
+    const SimdStridedClient::Params& p, std::uint64_t max_requests) {
+  // Drive a live client, recording the (addr, type, tag) sequence — a pure
+  // function of the issue index — with the params' kAfterAccept pacing
+  // (the compile_stream / compile_random recipe).
+  const std::uint64_t n =
+      p.total_requests != 0 ? p.total_requests : max_requests;
+  require(n > 0,
+          "compile client: endless params need a max_requests budget > 0");
+  const std::uint64_t gap = p.period_cycles ? p.period_cycles : 1;
+  SimdStridedClient client(0, "compile", p);
+  CompiledTraceBuilder b(0);
+  b.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const dram::Request req = client.make_request(0);
+    CompiledRecord r;
+    r.addr = req.addr;
+    r.type = req.type;
+    r.tag = req.tag;
+    r.pacing = PacingKind::kAfterAccept;
+    r.param = gap;
+    b.add(r);
+  }
+  return b.build();
+}
+
+std::uint64_t compile_key(const SimdStridedClient::Params& p,
+                          std::uint64_t max_requests) {
+  ContentHasher h;
+  h.mix(std::uint64_t{4})  // client-kind discriminator (1..3 taken)
+      .mix(p.base)
+      .mix(p.width_bytes)
+      .mix(p.height)
+      .mix(p.pitch_bytes)
+      .mix(p.burst_bytes)
+      .mix(p.tile_width_bytes)
+      .mix(p.tile_height)
+      .mix(static_cast<unsigned>(p.pattern))
+      .mix(p.type == dram::AccessType::kWrite)
+      .mix(p.period_cycles)
+      .mix(p.total_requests)
+      .mix(max_requests);
+  return h.digest();
+}
+
+}  // namespace edsim::clients

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/wcet.hpp"
 #include "modulegen/module_compiler.hpp"
 #include "phy/interface_model.hpp"
 #include "power/energy_model.hpp"
@@ -410,6 +411,8 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
     m.bandwidth_efficiency = sys.bandwidth_efficiency();
     m.avg_read_latency_ns =
         stats.read_latency.mean() * dcfg.clock.period_ns();
+    m.worst_read_latency_ns =
+        stats.read_latency.max() * dcfg.clock.period_ns();
   } else {
     // SMARTS-style sampling: measure k short windows spread evenly over
     // sim_cycles; between windows the clients pause so the event-driven
@@ -425,6 +428,7 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
     measure = std::min(measure, stride);
     Accumulator bw_gbs;
     Accumulator read_lat_cycles;
+    double worst_lat_cycles = 0.0;
     for (unsigned i = 0; i < k; ++i) {
       sys.reset_measurement();
       sys.run(measure);
@@ -433,6 +437,7 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
       bw_gbs.add(ws.sustained_bandwidth(dcfg.clock).as_gbyte_per_s());
       if (ws.read_latency.count() > 0) {
         read_lat_cycles.add(ws.read_latency.mean());
+        worst_lat_cycles = std::max(worst_lat_cycles, ws.read_latency.max());
       }
       if (i + 1 < k) {
         sys.set_clients_paused(true);
@@ -451,9 +456,26 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
         read_lat_cycles.mean() * dcfg.clock.period_ns();
     m.avg_read_latency_ns_ci =
         confidence95(read_lat_cycles) * dcfg.clock.period_ns();
+    m.worst_read_latency_ns = worst_lat_cycles * dcfg.clock.period_ns();
   }
   const dram::ControllerStats& stats =
       sampling_ ? sampled_agg : sys.controller().stats();
+
+  // --- analytical worst-case bounds (core/wcet.hpp) ---------------------------
+  // The eval client set as the analysis sees it: every client paced
+  // shape.period apart, endless. Reported next to the simulated figures —
+  // the predictability column of the scheduler tournament.
+  {
+    std::vector<WcetClient> wclients;
+    const unsigned n_clients = w.stream_clients + w.random_clients;
+    wclients.reserve(n_clients);
+    for (unsigned i = 0; i < n_clients; ++i) {
+      wclients.push_back(WcetClient{i, shape.period, 0});
+    }
+    const WcetAnalysis wa = analyze_wcet(dcfg, wclients);
+    m.wcet_read_latency_ns = wa.latency_bounded ? wa.latency_ns : 0.0;
+    m.wcet_bandwidth_gbyte_s = wa.bandwidth_gbyte_s;
+  }
 
   // --- power -----------------------------------------------------------------
   const phy::IoElectricals io = cfg.integration == Integration::kEmbedded
@@ -501,6 +523,9 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
     root.gauge("peak_gbyte_s").set(m.peak_gbyte_s);
     root.gauge("bandwidth_efficiency").set(m.bandwidth_efficiency);
     root.gauge("avg_read_latency_ns").set(m.avg_read_latency_ns);
+    root.gauge("worst_read_latency_ns").set(m.worst_read_latency_ns);
+    root.gauge("wcet_read_latency_ns").set(m.wcet_read_latency_ns);
+    root.gauge("wcet_bandwidth_gbyte_s").set(m.wcet_bandwidth_gbyte_s);
     root.gauge("total_power_mw").set(m.total_power_mw);
     root.gauge("junction_c").set(m.junction_c);
     root.gauge("refresh_overhead").set(m.refresh_overhead);

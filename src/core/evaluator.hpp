@@ -61,6 +61,13 @@ struct Metrics {
   double peak_gbyte_s = 0.0;
   double bandwidth_efficiency = 0.0;
   double avg_read_latency_ns = 0.0;
+  double worst_read_latency_ns = 0.0; ///< simulated maximum over the run
+  // Analytical worst-case bounds for the eval client set (core/wcet.hpp):
+  // the predictability column next to every simulated average. A zero
+  // wcet_read_latency_ns means the client set is inadmissible for the
+  // chosen scheduler (no latency bound exists).
+  double wcet_read_latency_ns = 0.0;
+  double wcet_bandwidth_gbyte_s = 0.0;
   double io_power_mw = 0.0;
   double total_power_mw = 0.0;
   double installed_mbit = 0.0;

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.hpp"
+
+namespace edsim::core {
+
+/// One client as the worst-case analysis sees it: its slot identity (TDM)
+/// and its request pacing. The bound is a function of
+/// (policy, address map, client set) — exactly the tuple the scheduler
+/// tournament sweeps.
+struct WcetClient {
+  unsigned client_id = 0;
+  unsigned period_cycles = 1;        ///< min cycles between requests (>= 1)
+  std::uint64_t total_requests = 0;  ///< 0 = endless
+};
+
+/// Analytical worst-case bounds derived purely from the timing parameters
+/// — no simulation. Two uses: reporting (a predictability column next to
+/// every simulated average) and oracles (`simulated <= bound` is asserted
+/// by the differential fuzz and the wcet test suite on every trial).
+///
+/// Assumptions under which the latency bound is sound:
+///  * the client set is admissible (the interference fixed point below
+///    converges; otherwise `latency_bounded` is false and no claim is
+///    made),
+///  * self-managed maintenance is off (its lock durations are
+///    workload-defined and unbounded from the config alone; callers skip
+///    the latency oracle when a reliability manager self-manages).
+/// The bandwidth bound is an upper bound on what the channel can move and
+/// holds unconditionally — refresh, maintenance and power-down only ever
+/// reduce the achieved figure.
+struct WcetAnalysis {
+  /// Worst-case service: cycles from reaching the head of the queue to
+  /// data returned, for one request, all conflicts against it.
+  double service_cycles = 0;
+
+  /// Worst-case time any single request can remain the oldest in the
+  /// queue (policy-dependent: starvation caps, TDM rotations,
+  /// interference inflation).
+  double front_cycles = 0;
+
+  bool latency_bounded = false;  ///< fixed points converged
+  double latency_cycles = 0;     ///< bound on arrival -> data, any request
+  double latency_ns = 0;
+  double refresh_inflation = 1.0;  ///< >= 1, fixed-point refresh blocking
+
+  /// Upper bound on sustained aggregate bandwidth for this client set.
+  double bandwidth_gbyte_s = 0;
+};
+
+WcetAnalysis analyze_wcet(const dram::DramConfig& cfg,
+                          const std::vector<WcetClient>& clients);
+
+/// Hard integer upper bound on the bytes the channel can transfer in any
+/// measurement window of `window_cycles` cycles for this client set —
+/// the exact oracle form the differential fuzz asserts against
+/// `ControllerStats::bytes_transferred` (a backlog of up to `queue_depth`
+/// pre-window requests is included). Holds for every policy, with or
+/// without refresh, maintenance and power-down.
+std::uint64_t wcet_max_bytes(const dram::DramConfig& cfg,
+                             const std::vector<WcetClient>& clients,
+                             std::uint64_t window_cycles);
+
+}  // namespace edsim::core

@@ -11,15 +11,21 @@ namespace edsim::dram {
 /// One command as driven on the command bus, with full decode info —
 /// what a logic analyzer on the DRAM interface would capture.
 struct CommandRecord {
+  /// `client` for housekeeping commands the controller issues on its own
+  /// behalf (refresh drains, power-down, page-timeout closes, maintenance).
+  static constexpr unsigned kNoClient = ~0u;
+
   std::uint64_t cycle = 0;
   Command cmd = Command::kActivate;
   unsigned bank = 0;   ///< kRefresh: unused (all banks)
   unsigned row = 0;    ///< kActivate: row; kMaintStart: lock duration
+  unsigned client = kNoClient;  ///< owning client (TDM slot accounting)
   bool auto_precharge = false;  ///< column command with implicit PRE
 
   friend bool operator==(const CommandRecord& a, const CommandRecord& b) {
     return a.cycle == b.cycle && a.cmd == b.cmd && a.bank == b.bank &&
-           a.row == b.row && a.auto_precharge == b.auto_precharge;
+           a.row == b.row && a.client == b.client &&
+           a.auto_precharge == b.auto_precharge;
   }
   friend bool operator!=(const CommandRecord& a, const CommandRecord& b) {
     return !(a == b);

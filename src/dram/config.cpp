@@ -53,6 +53,10 @@ void DramConfig::validate() const {
   if (watchdog_enabled) {
     require(watchdog_cycles >= 1, "dram: watchdog_cycles must be >= 1");
   }
+  if (scheduler == SchedulerKind::kTdm) {
+    require(tdm_slot_cycles >= 1, "dram: tdm_slot_cycles must be >= 1");
+    require(tdm_clients >= 1, "dram: tdm_clients must be >= 1");
+  }
 }
 
 std::uint64_t DramConfig::content_hash() const {
@@ -83,6 +87,8 @@ std::uint64_t DramConfig::content_hash() const {
       .mix(static_cast<unsigned>(scheduler))
       .mix(static_cast<unsigned>(mapping))
       .mix(queue_depth)
+      .mix(tdm_slot_cycles)
+      .mix(tdm_clients)
       .mix(refresh_enabled)
       .mix(refresh_burst)
       .mix(powerdown_enabled)
@@ -97,14 +103,36 @@ std::uint64_t DramConfig::content_hash() const {
   return h.digest();
 }
 
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return "fcfs";
+    case SchedulerKind::kFcfsPerBank: return "fcfs-per-bank";
+    case SchedulerKind::kFrFcfs: return "fr-fcfs";
+    case SchedulerKind::kReadFirst: return "read-first";
+    case SchedulerKind::kTdm: return "tdm";
+  }
+  return "?";
+}
+
+const char* to_string(AddressMapping mapping) {
+  switch (mapping) {
+    case AddressMapping::kRowBankCol: return "row:bank:col";
+    case AddressMapping::kBankRowCol: return "bank:row:col";
+    case AddressMapping::kRowColBank: return "row:col:bank";
+    case AddressMapping::kPermutedBank: return "permuted-bank";
+  }
+  return "?";
+}
+
 std::string DramConfig::describe() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
                 "%s, %u banks x %u rows x %uB pages, %u-bit @ %.0f MHz, "
-                "peak %.2f GB/s",
+                "peak %.2f GB/s, %s/%s",
                 to_string(capacity()).c_str(), banks, rows_per_bank,
                 page_bytes, interface_bits, clock.mhz,
-                peak_bandwidth().as_gbyte_per_s());
+                peak_bandwidth().as_gbyte_per_s(), to_string(scheduler),
+                to_string(mapping));
   return buf;
 }
 

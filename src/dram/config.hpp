@@ -24,7 +24,11 @@ enum class SchedulerKind {
   kFcfsPerBank,  ///< in-order per bank, banks proceed independently
   kFrFcfs,       ///< first-ready FCFS: row hits first, then oldest
   kReadFirst,    ///< FR-FCFS with read priority and write-drain bursts
+  kTdm,          ///< real-time TDM: fixed client time slots, starvation-free
 };
+
+/// Human-readable policy / mapping names (fuzz reproducer lines, tables).
+const char* to_string(SchedulerKind kind);
 
 /// How a flat byte address is split into (bank, row, column).
 enum class AddressMapping {
@@ -34,6 +38,8 @@ enum class AddressMapping {
   kPermutedBank, ///< row:bank:col with bank XOR-hashed by low row bits —
                  ///< breaks power-of-two stride pathologies
 };
+
+const char* to_string(AddressMapping mapping);
 
 /// Full description of one DRAM channel (device or embedded macro).
 ///
@@ -55,6 +61,9 @@ struct DramConfig {
   SchedulerKind scheduler = SchedulerKind::kFrFcfs;
   AddressMapping mapping = AddressMapping::kRowBankCol;
   unsigned queue_depth = 32;
+  // --- TDM arbitration (kTdm only) -----------------------------------------
+  unsigned tdm_slot_cycles = 64;  ///< length of one client time slot
+  unsigned tdm_clients = 4;       ///< slots per rotation; owner = id % slots
   bool refresh_enabled = true;
   unsigned refresh_burst = 1;  ///< REFs issued back to back (1 = distributed)
   // --- power management (§2: portables adopt eDRAM first) ------------------

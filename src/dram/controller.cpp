@@ -18,7 +18,7 @@ std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
 Controller::Controller(const DramConfig& cfg)
     : cfg_(cfg),
       mapper_(cfg),
-      scheduler_(Scheduler::make(cfg.scheduler)),
+      scheduler_(Scheduler::make(cfg)),
       refresh_(cfg_.timing, cfg.refresh_enabled, cfg.refresh_burst) {
   cfg_.validate();
   banks_.reserve(cfg_.banks);
@@ -238,6 +238,7 @@ void Controller::refresh_entry(std::size_t pos) {
   Candidate& c = candidates_[pos];
   c.queue_index = pos;
   c.bank = e.coord.bank;
+  c.client_id = e.req.client_id;
   c.cmd = cmd;
   c.row_hit = row_hit;
   c.issuable = false;  // per-round bit, set by build_candidates()
@@ -388,6 +389,7 @@ const std::vector<Candidate>& Controller::build_candidates_rescan() {
     Candidate c;
     c.queue_index = i;
     c.bank = e.coord.bank;
+    c.client_id = e.req.client_id;
     c.is_write = e.req.type == AccessType::kWrite;
     if (bank.has_open_row() && bank.open_row() == e.coord.row) {
       c.cmd = e.req.type == AccessType::kRead ? Command::kRead
@@ -434,7 +436,7 @@ void Controller::issue_column(QueueEntry& e, std::uint64_t cycle) {
   any_data_yet_ = true;
 
   log_command(CommandRecord{cycle, is_read ? Command::kRead : Command::kWrite,
-                            e.coord.bank, e.coord.row,
+                            e.coord.bank, e.coord.row, e.req.client_id,
                             cfg_.page_policy == PagePolicy::kClosed});
 
   stats_.data_bus_busy_cycles += cfg_.data_cycles_per_access();
@@ -490,7 +492,8 @@ bool Controller::tick_refresh() {
         banks_[b].issue(Command::kPrecharge, 0, cycle_);
         clear_autopre(b);
         ++stats_.precharges;
-        log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+        log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0,
+                                  CommandRecord::kNoClient, false});
         invalidate_bank(b);
       }
       return true;  // command slot consumed (or bank not yet ready)
@@ -504,7 +507,8 @@ bool Controller::tick_refresh() {
   refresh_.refresh_issued(cycle_);
   if (hooks_ != nullptr) hooks_->on_refresh(cycle_);
   ++stats_.refreshes;
-  log_command(CommandRecord{cycle_, Command::kRefresh, 0, 0, false});
+  log_command(CommandRecord{cycle_, Command::kRefresh, 0, 0,
+                            CommandRecord::kNoClient, false});
   refresh_draining_ = false;
   invalidate_all_banks();
   return true;
@@ -535,7 +539,8 @@ void Controller::expire_maintenance_locks() {
       --maint_locked_;
       // No invalidate: block_until already left the bank's releases at
       // exactly the lock end, so cached entries stay correct.
-      log_command(CommandRecord{cycle_, Command::kMaintEnd, b, 0, false});
+      log_command(CommandRecord{cycle_, Command::kMaintEnd, b, 0,
+                                CommandRecord::kNoClient, false});
     }
   }
 }
@@ -561,7 +566,8 @@ bool Controller::tick_maintenance() {
         bank.issue(Command::kPrecharge, 0, cycle_);
         clear_autopre(b);
         ++stats_.precharges;
-        log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+        log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0,
+                                  CommandRecord::kNoClient, false});
         invalidate_bank(b);
         slot_used = true;
       }
@@ -580,7 +586,8 @@ bool Controller::tick_maintenance() {
     ++stats_.maintenance_ops;
     // CommandRecord.row carries the lock duration for kMaintStart (the
     // protocol checker derives the lock region from it).
-    log_command(CommandRecord{cycle_, Command::kMaintStart, b, dur, false});
+    log_command(CommandRecord{cycle_, Command::kMaintStart, b, dur,
+                              CommandRecord::kNoClient, false});
     invalidate_bank(b);
   }
   return slot_used;
@@ -678,8 +685,8 @@ void Controller::tick() {
               banks_[b].issue(Command::kPrecharge, 0, cycle_);
               clear_autopre(b);
               ++stats_.precharges;
-              log_command(
-                  CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+              log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0,
+                                        CommandRecord::kNoClient, false});
               invalidate_bank(b);
             }
             break;  // one command per cycle
@@ -745,12 +752,16 @@ void Controller::tick() {
         queue_.empty() ? 0 : cycle_ - queue_.front().req.arrival_cycle;
     std::size_t pick;
     if (cfg_.watchdog_enabled && !queue_.empty() &&
-        queue_.front().wd_retries > 0) {
+        queue_.front().wd_retries > 0 &&
+        cfg_.scheduler != SchedulerKind::kTdm) {
       // An escalated request owns the command slot until it completes:
-      // candidates are age-ordered, so its candidate is index 0.
+      // candidates are age-ordered, so its candidate is index 0. Under TDM
+      // the escalation still routes through the scheduler — slot ownership
+      // is inviolate (that isolation is the policy's entire guarantee), and
+      // the rotation itself bounds how long the front entry can wait.
       pick = candidates.front().issuable ? 0 : Scheduler::kNone;
     } else {
-      pick = scheduler_->pick(candidates, oldest_wait);
+      pick = scheduler_->pick(candidates, cycle_, oldest_wait);
     }
     if (pick == Scheduler::kNone &&
         cfg_.page_policy == PagePolicy::kTimeout) {
@@ -764,7 +775,8 @@ void Controller::tick() {
           if (open_row_wanted(b)) continue;
           banks_[b].issue(Command::kPrecharge, 0, cycle_);
           ++stats_.precharges;
-          log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0, false});
+          log_command(CommandRecord{cycle_, Command::kPrecharge, b, 0,
+                                    CommandRecord::kNoClient, false});
           invalidate_bank(b);
           break;  // one command per cycle
         }
@@ -784,7 +796,7 @@ void Controller::tick() {
           recent_acts_.push_back(cycle_);
           if (recent_acts_.size() > 8) recent_acts_.pop_front();
           log_command(CommandRecord{cycle_, Command::kActivate, e.coord.bank,
-                                    e.coord.row, false});
+                                    e.coord.row, e.req.client_id, false});
           if (hooks_ != nullptr) {
             hooks_->on_activate(e.coord.bank, e.coord.row, cycle_);
           }
@@ -795,7 +807,7 @@ void Controller::tick() {
           ++stats_.precharges;
           log_command(
               CommandRecord{cycle_, Command::kPrecharge, e.coord.bank, 0,
-                            false});
+                            e.req.client_id, false});
           invalidate_bank(c.bank);
           break;
         case Command::kRead:

@@ -91,6 +91,23 @@ std::vector<Violation> ProtocolChecker::verify(const CommandLog& log) const {
       continue;
     }
 
+    // TDM slot ownership: every client-attributed command must fall inside
+    // its client's time slot. Housekeeping commands (refresh drains,
+    // power-down, page-timeout closes, maintenance) carry kNoClient and are
+    // exempt — they only use slots the arbitration left idle.
+    if (cfg_.scheduler == SchedulerKind::kTdm &&
+        r.client != CommandRecord::kNoClient) {
+      const unsigned owner = static_cast<unsigned>(
+          (r.cycle / cfg_.tdm_slot_cycles) % cfg_.tdm_clients);
+      if (r.client % cfg_.tdm_clients != owner) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "TDM slot violation (client %u issued in slot %u)",
+                      r.client, owner);
+        flag(r.cycle, buf);
+      }
+    }
+
     switch (r.cmd) {
       case Command::kActivate: {
         BankState& b = banks[r.bank];

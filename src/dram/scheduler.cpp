@@ -15,11 +15,22 @@ std::unique_ptr<Scheduler> Scheduler::make(SchedulerKind kind) {
       return std::make_unique<FrFcfsScheduler>();
     case SchedulerKind::kReadFirst:
       return std::make_unique<ReadFirstScheduler>();
+    case SchedulerKind::kTdm:
+      return std::make_unique<TdmScheduler>(64, 4);
   }
   return std::make_unique<FrFcfsScheduler>();
 }
 
+std::unique_ptr<Scheduler> Scheduler::make(const DramConfig& cfg) {
+  if (cfg.scheduler == SchedulerKind::kTdm) {
+    return std::make_unique<TdmScheduler>(cfg.tdm_slot_cycles,
+                                          cfg.tdm_clients);
+  }
+  return make(cfg.scheduler);
+}
+
 std::size_t FcfsScheduler::pick(const std::vector<Candidate>& candidates,
+                                std::uint64_t /*cycle*/,
                                 std::uint64_t /*oldest_wait*/) const {
   // Only the head of the queue may issue; everything else waits behind it.
   if (!candidates.empty() && candidates.front().queue_index == 0 &&
@@ -31,6 +42,7 @@ std::size_t FcfsScheduler::pick(const std::vector<Candidate>& candidates,
 
 std::size_t FcfsPerBankScheduler::pick(
     const std::vector<Candidate>& candidates,
+    std::uint64_t /*cycle*/,
     std::uint64_t /*oldest_wait*/) const {
   // The oldest candidate per bank may issue; pick the oldest issuable one.
   std::uint64_t seen_banks = 0;
@@ -45,6 +57,7 @@ std::size_t FcfsPerBankScheduler::pick(
 }
 
 std::size_t FrFcfsScheduler::pick(const std::vector<Candidate>& candidates,
+                                  std::uint64_t /*cycle*/,
                                   std::uint64_t oldest_wait) const {
   if (oldest_wait > starvation_cap_) {
     // Starvation guard: serve strictly oldest-first until the queue drains
@@ -75,6 +88,7 @@ ReadFirstScheduler::ReadFirstScheduler(unsigned high_watermark,
 }
 
 std::size_t ReadFirstScheduler::pick(const std::vector<Candidate>& candidates,
+                                     std::uint64_t /*cycle*/,
                                      std::uint64_t oldest_wait) const {
   unsigned writes = 0;
   for (const Candidate& c : candidates)
@@ -110,5 +124,29 @@ void ReadFirstScheduler::save(SnapshotWriter& w) const {
 }
 
 void ReadFirstScheduler::load(SnapshotReader& r) { draining_ = r.boolean(); }
+
+TdmScheduler::TdmScheduler(unsigned slot_cycles, unsigned num_slots)
+    : slot_cycles_(slot_cycles), num_slots_(num_slots) {
+  require(slot_cycles_ >= 1, "tdm scheduler: slot_cycles must be >= 1");
+  require(num_slots_ >= 1, "tdm scheduler: num_slots must be >= 1");
+}
+
+std::size_t TdmScheduler::pick(const std::vector<Candidate>& candidates,
+                               std::uint64_t cycle,
+                               std::uint64_t /*oldest_wait*/) const {
+  // Hard slot isolation: only the slot owner's requests may issue, no
+  // matter how long anyone else has waited — the rotation itself is the
+  // starvation guard. Within the slot, FR-FCFS order.
+  const unsigned own = owner(cycle);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    if (c.issuable && c.row_hit && c.client_id % num_slots_ == own) return i;
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    if (c.issuable && c.client_id % num_slots_ == own) return i;
+  }
+  return kNone;
+}
 
 }  // namespace edsim::dram

@@ -19,6 +19,7 @@ namespace edsim::dram {
 struct Candidate {
   std::size_t queue_index = 0;
   unsigned bank = 0;
+  unsigned client_id = 0;            ///< issuing client (TDM slot ownership)
   Command cmd = Command::kActivate;  ///< next command this request needs
   bool row_hit = false;              ///< cmd is a column command to an open row
   bool issuable = false;             ///< all timing constraints met this cycle
@@ -26,7 +27,8 @@ struct Candidate {
 };
 
 /// Scheduling policy: picks which candidate to issue. Pure function of the
-/// candidate list so policies are trivially testable.
+/// candidate list (plus the current cycle, for time-sliced policies) so
+/// policies are trivially testable.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -34,9 +36,11 @@ class Scheduler {
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
   /// Returns an index into `candidates` (not the queue), or kNone.
+  /// `cycle` is the current controller cycle (TDM slot selection);
   /// `oldest_wait` is the age in cycles of the oldest queued request, used
   /// for starvation control.
   virtual std::size_t pick(const std::vector<Candidate>& candidates,
+                           std::uint64_t cycle,
                            std::uint64_t oldest_wait) const = 0;
 
   /// Persist / restore policy-internal state. Most policies are pure
@@ -46,6 +50,8 @@ class Scheduler {
   virtual void load(SnapshotReader& /*r*/) {}
 
   static std::unique_ptr<Scheduler> make(SchedulerKind kind);
+  /// Config-aware factory: kTdm reads its slot geometry from `cfg`.
+  static std::unique_ptr<Scheduler> make(const DramConfig& cfg);
 };
 
 /// Strict in-order service: only the oldest request may advance. Exhibits
@@ -54,6 +60,7 @@ class Scheduler {
 class FcfsScheduler final : public Scheduler {
  public:
   std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t cycle,
                    std::uint64_t oldest_wait) const override;
 };
 
@@ -61,6 +68,7 @@ class FcfsScheduler final : public Scheduler {
 class FcfsPerBankScheduler final : public Scheduler {
  public:
   std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t cycle,
                    std::uint64_t oldest_wait) const override;
 };
 
@@ -73,7 +81,10 @@ class FrFcfsScheduler final : public Scheduler {
       : starvation_cap_(starvation_cap) {}
 
   std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t cycle,
                    std::uint64_t oldest_wait) const override;
+
+  std::uint64_t starvation_cap() const { return starvation_cap_; }
 
  private:
   std::uint64_t starvation_cap_;
@@ -90,9 +101,11 @@ class ReadFirstScheduler final : public Scheduler {
                      std::uint64_t starvation_cap = 512);
 
   std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t cycle,
                    std::uint64_t oldest_wait) const override;
 
   bool draining() const { return draining_; }
+  std::uint64_t starvation_cap() const { return starvation_cap_; }
 
   void save(SnapshotWriter& w) const override;
   void load(SnapshotReader& r) override;
@@ -102,6 +115,35 @@ class ReadFirstScheduler final : public Scheduler {
   unsigned low_watermark_;
   std::uint64_t starvation_cap_;
   mutable bool draining_ = false;  // hysteresis state across cycles
+};
+
+/// Real-time TDM arbitration: the command bus rotates through `num_slots`
+/// fixed time slots of `slot_cycles` each; during slot s only clients with
+/// `client_id % num_slots == s` may issue. Within the owner's slot the
+/// policy is FR-FCFS (row hits first, then oldest). Starvation-free by
+/// construction — every client's worst-case service is a pure function of
+/// the timing parameters (see core/wcet.hpp) — at the cost of leaving
+/// slots idle when their owner has no work. Pair with kBankRowCol and
+/// per-client disjoint regions for full bank privatization.
+class TdmScheduler final : public Scheduler {
+ public:
+  TdmScheduler(unsigned slot_cycles, unsigned num_slots);
+
+  std::size_t pick(const std::vector<Candidate>& candidates,
+                   std::uint64_t cycle,
+                   std::uint64_t oldest_wait) const override;
+
+  /// Which slot (and thus which client-id class) owns `cycle`.
+  unsigned owner(std::uint64_t cycle) const {
+    return static_cast<unsigned>((cycle / slot_cycles_) %
+                                 num_slots_);
+  }
+  unsigned slot_cycles() const { return slot_cycles_; }
+  unsigned num_slots() const { return num_slots_; }
+
+ private:
+  unsigned slot_cycles_;
+  unsigned num_slots_;
 };
 
 }  // namespace edsim::dram

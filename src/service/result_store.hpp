@@ -14,7 +14,7 @@ namespace edsim::service {
 /// record payload layout (it covers the wire.hpp Metrics encoding); the
 /// reader rejects mismatches with Error{kStoreFormat} instead of
 /// misinterpreting bytes.
-inline constexpr std::uint8_t kResultStoreVersion = 1;
+inline constexpr std::uint8_t kResultStoreVersion = 2;
 
 /// Content-addressed, on-disk evaluation cache: an append log of
 /// (result_key, Metrics) records behind the in-memory memo, so design

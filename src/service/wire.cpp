@@ -27,6 +27,9 @@ void encode_metrics(SnapshotWriter& w, const core::Metrics& m) {
   w.f64(m.peak_gbyte_s);
   w.f64(m.bandwidth_efficiency);
   w.f64(m.avg_read_latency_ns);
+  w.f64(m.worst_read_latency_ns);
+  w.f64(m.wcet_read_latency_ns);
+  w.f64(m.wcet_bandwidth_gbyte_s);
   w.f64(m.io_power_mw);
   w.f64(m.total_power_mw);
   w.f64(m.installed_mbit);
@@ -52,6 +55,9 @@ core::Metrics decode_metrics(SnapshotReader& r) {
   m.peak_gbyte_s = r.f64();
   m.bandwidth_efficiency = r.f64();
   m.avg_read_latency_ns = r.f64();
+  m.worst_read_latency_ns = r.f64();
+  m.wcet_read_latency_ns = r.f64();
+  m.wcet_bandwidth_gbyte_s = r.f64();
   m.io_power_mw = r.f64();
   m.total_power_mw = r.f64();
   m.installed_mbit = r.f64();
@@ -93,7 +99,7 @@ core::SystemConfig decode_system_config(SnapshotReader& r) {
   cfg.banks = r.u32();
   cfg.page_bytes = r.u32();
   cfg.page_policy = decode_enum(r, dram::PagePolicy::kTimeout, "page_policy");
-  cfg.scheduler = decode_enum(r, dram::SchedulerKind::kReadFirst, "scheduler");
+  cfg.scheduler = decode_enum(r, dram::SchedulerKind::kTdm, "scheduler");
   cfg.reliability = decode_enum(r, core::ReliabilityPreset::kFull,
                                 "reliability");
   cfg.logic_kgates = r.f64();

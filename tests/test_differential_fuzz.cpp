@@ -11,6 +11,7 @@
 // ctest run) and a `slow`-labelled soak with EDSIM_FUZZ_SOAK defined.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <memory>
@@ -20,11 +21,13 @@
 
 #include "bist/yield.hpp"
 #include "clients/client.hpp"
+#include "clients/strided_gen.hpp"
 #include "clients/system.hpp"
 #include "common/rng.hpp"
 #include "common/snapshot.hpp"
 #include "core/evaluator.hpp"
 #include "core/pareto.hpp"
+#include "core/wcet.hpp"
 #include "dram/command_log.hpp"
 #include "dram/controller.hpp"
 #include "dram/multi_channel.hpp"
@@ -144,7 +147,10 @@ DramConfig random_config(Rng& rng) {
   cfg.scheduler = pick(rng, {dram::SchedulerKind::kFcfs,
                              dram::SchedulerKind::kFcfsPerBank,
                              dram::SchedulerKind::kFrFcfs,
-                             dram::SchedulerKind::kReadFirst});
+                             dram::SchedulerKind::kReadFirst,
+                             dram::SchedulerKind::kTdm});
+  cfg.tdm_slot_cycles = 16 + static_cast<unsigned>(rng.next_below(113));
+  cfg.tdm_clients = 2 + static_cast<unsigned>(rng.next_below(3));
   cfg.mapping = pick(rng, {dram::AddressMapping::kRowBankCol,
                            dram::AddressMapping::kBankRowCol,
                            dram::AddressMapping::kRowColBank,
@@ -182,10 +188,14 @@ std::string describe_trial(int trial, std::uint64_t seed,
 
 /// Random paced client mix over [0, span). Burst size always matches the
 /// controller access granularity; pacing keeps idle stretches in the run
-/// so the fast path actually skips.
-void add_random_clients(clients::MemorySystem& sys, const DramConfig& cfg,
-                        std::uint64_t span, std::uint64_t seed) {
+/// so the fast path actually skips. Returns the client set as the WCET
+/// analysis sees it, so trials can assert `simulated <= analytical bound`.
+std::vector<core::WcetClient> add_random_clients(clients::MemorySystem& sys,
+                                                 const DramConfig& cfg,
+                                                 std::uint64_t span,
+                                                 std::uint64_t seed) {
   Rng rng(seed);
+  std::vector<core::WcetClient> wclients;
   const unsigned n = 1 + static_cast<unsigned>(rng.next_below(3));
   for (unsigned i = 0; i < n; ++i) {
     const unsigned period = 60 + static_cast<unsigned>(rng.next_below(840));
@@ -193,7 +203,8 @@ void add_random_clients(clients::MemorySystem& sys, const DramConfig& cfg,
     const std::uint64_t base =
         (rng.next_below(span / 2) / cfg.page_bytes) * cfg.page_bytes;
     const std::uint64_t length = std::min<std::uint64_t>(span - base, 1 << 18);
-    switch (rng.next_below(3)) {
+    wclients.push_back(core::WcetClient{i, period, total});
+    switch (rng.next_below(4)) {
       case 0: {
         clients::StreamClient::Params p;
         p.base = base;
@@ -221,7 +232,7 @@ void add_random_clients(clients::MemorySystem& sys, const DramConfig& cfg,
             i, "strided" + std::to_string(i), p));
         break;
       }
-      default: {
+      case 2: {
         clients::RandomClient::Params p;
         p.base = base;
         p.length = length;
@@ -234,8 +245,26 @@ void add_random_clients(clients::MemorySystem& sys, const DramConfig& cfg,
             i, "rand" + std::to_string(i), p));
         break;
       }
+      default: {
+        clients::SimdStridedClient::Params p;
+        p.base = base;
+        p.width_bytes = cfg.page_bytes * (1 + static_cast<unsigned>(
+                                                  rng.next_below(2)));
+        p.height = 8 + static_cast<unsigned>(rng.next_below(24));
+        p.burst_bytes = cfg.bytes_per_access();
+        p.pattern = pick(rng, {clients::StridePattern::kRowMajor,
+                               clients::StridePattern::kColumnMajor});
+        p.type = rng.next_bool(0.25) ? dram::AccessType::kWrite
+                                     : dram::AccessType::kRead;
+        p.period_cycles = period;
+        p.total_requests = total;
+        sys.add_client(std::make_unique<clients::SimdStridedClient>(
+            i, "simd" + std::to_string(i), p));
+        break;
+      }
     }
   }
+  return wclients;
 }
 
 reliability::ReliabilityConfig random_reliability(std::uint64_t seed) {
@@ -272,6 +301,7 @@ struct SystemRun {
   dram::CommandLog log;
   telemetry::IntervalReporter intervals;
   std::unique_ptr<reliability::ReliabilityManager> rel;
+  std::vector<core::WcetClient> wclients;
 
   SystemRun(const DramConfig& cfg, std::uint64_t client_seed,
             std::uint64_t span, bool with_reliability, std::uint64_t rel_seed,
@@ -286,7 +316,7 @@ struct SystemRun {
           cfg, random_reliability(rel_seed));
       sys.controller().attach_reliability(rel.get());
     }
-    add_random_clients(sys, cfg, span, client_seed);
+    wclients = add_random_clients(sys, cfg, span, client_seed);
     sys.run(window);
     intervals.finish();
   }
@@ -401,6 +431,23 @@ TEST(DifferentialFuzz, SystemLevelThreeWayBitIdentical) {
 
     expect_system_runs_eq(reference, incremental);
     expect_system_runs_eq(reference, fast);
+
+    // WCET oracles (core/wcet.hpp): the run can never move more bytes
+    // than the analytical channel bound, and — when the fixed points
+    // converge and no self-managed maintenance can lock banks for
+    // workload-defined stretches — the worst simulated read latency
+    // respects the analytical latency bound.
+    const dram::ControllerStats& st = reference.system().controller().stats();
+    EXPECT_LE(st.bytes_transferred,
+              core::wcet_max_bytes(cfg, reference.wclients, window))
+        << "bytes bound violated";
+    const core::WcetAnalysis wa = core::analyze_wcet(cfg, reference.wclients);
+    const bool self_managed_maint = with_rel && rel_seed % 2 == 0;
+    if (wa.latency_bounded && !self_managed_maint) {
+      EXPECT_LE(st.read_latency.max(), wa.latency_cycles)
+          << "latency bound violated (bound=" << wa.latency_cycles << ")";
+    }
+
     if (HasFailure()) {
       // One reproducer is enough; later trials would only add noise.
       FAIL() << "reproduce with " << describe_trial(trial, seed, cfg);
@@ -605,7 +652,8 @@ core::SystemConfig random_system_config(Rng& rng, int index) {
                              dram::PagePolicy::kClosed});
   c.scheduler = pick(rng, {dram::SchedulerKind::kFcfs,
                            dram::SchedulerKind::kFrFcfs,
-                           dram::SchedulerKind::kReadFirst});
+                           dram::SchedulerKind::kReadFirst,
+                           dram::SchedulerKind::kTdm});
   c.reliability = pick(rng, {core::ReliabilityPreset::kOff,
                              core::ReliabilityPreset::kEccOnly});
   c.logic_kgates = 200.0 + static_cast<double>(rng.next_below(800));
@@ -621,6 +669,9 @@ void expect_metrics_eq(const core::Metrics& a, const core::Metrics& b) {
   EXPECT_EQ(a.peak_gbyte_s, b.peak_gbyte_s);
   EXPECT_EQ(a.bandwidth_efficiency, b.bandwidth_efficiency);
   EXPECT_EQ(a.avg_read_latency_ns, b.avg_read_latency_ns);
+  EXPECT_EQ(a.worst_read_latency_ns, b.worst_read_latency_ns);
+  EXPECT_EQ(a.wcet_read_latency_ns, b.wcet_read_latency_ns);
+  EXPECT_EQ(a.wcet_bandwidth_gbyte_s, b.wcet_bandwidth_gbyte_s);
   EXPECT_EQ(a.io_power_mw, b.io_power_mw);
   EXPECT_EQ(a.total_power_mw, b.total_power_mw);
   EXPECT_EQ(a.installed_mbit, b.installed_mbit);
@@ -710,9 +761,13 @@ TEST(DifferentialFuzz, EvaluatorArenaMemoBitIdenticalAcrossThreadCounts) {
     // reference, and a fresh evaluator re-opening the same .edrs file
     // ("new process") must serve every point from the store, bit-exact.
     {
+      // Process-unique path: the quick and soak binaries run the same
+      // trial numbers concurrently under ctest -j and must not share a
+      // store file.
       const std::string store_path =
           (std::filesystem::temp_directory_path() /
-           ("fuzz_trial_" + std::to_string(trial) + ".edrs"))
+           ("fuzz_trial_" + std::to_string(::getpid()) + "_" +
+            std::to_string(trial) + ".edrs"))
               .string();
       std::filesystem::remove(store_path);
       {

@@ -48,6 +48,9 @@ core::Metrics sample_metrics(int i) {
   m.peak_gbyte_s = 3.2 + i;
   m.bandwidth_efficiency = 0.5 + 0.01 * i;
   m.avg_read_latency_ns = 42.0 + i;
+  m.worst_read_latency_ns = 180.0 + i;
+  m.wcet_read_latency_ns = 250.0 + i;
+  m.wcet_bandwidth_gbyte_s = 2.5 + 0.1 * i;
   m.io_power_mw = 100.0 + i;
   m.total_power_mw = 400.0 + i;
   m.installed_mbit = 16.0;
@@ -74,6 +77,9 @@ void expect_metrics_exact(const core::Metrics& a, const core::Metrics& b) {
   EXPECT_EQ(a.peak_gbyte_s, b.peak_gbyte_s);
   EXPECT_EQ(a.bandwidth_efficiency, b.bandwidth_efficiency);
   EXPECT_EQ(a.avg_read_latency_ns, b.avg_read_latency_ns);
+  EXPECT_EQ(a.worst_read_latency_ns, b.worst_read_latency_ns);
+  EXPECT_EQ(a.wcet_read_latency_ns, b.wcet_read_latency_ns);
+  EXPECT_EQ(a.wcet_bandwidth_gbyte_s, b.wcet_bandwidth_gbyte_s);
   EXPECT_EQ(a.io_power_mw, b.io_power_mw);
   EXPECT_EQ(a.total_power_mw, b.total_power_mw);
   EXPECT_EQ(a.installed_mbit, b.installed_mbit);

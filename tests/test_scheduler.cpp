@@ -23,14 +23,14 @@ TEST(Fcfs, OnlyHeadMayIssue) {
       cand(1, 1, Command::kRead, true, true),
   };
   // Head not issuable: nothing issues even though a younger one could.
-  EXPECT_EQ(s.pick(cs, 0), Scheduler::kNone);
+  EXPECT_EQ(s.pick(cs, 0, 0), Scheduler::kNone);
   cs[0].issuable = true;
-  EXPECT_EQ(s.pick(cs, 0), 0u);
+  EXPECT_EQ(s.pick(cs, 0, 0), 0u);
 }
 
 TEST(Fcfs, EmptyQueue) {
   FcfsScheduler s;
-  EXPECT_EQ(s.pick({}, 0), Scheduler::kNone);
+  EXPECT_EQ(s.pick({}, 0, 0), Scheduler::kNone);
 }
 
 TEST(FcfsPerBank, HeadOfEachBankMayIssue) {
@@ -40,7 +40,7 @@ TEST(FcfsPerBank, HeadOfEachBankMayIssue) {
       cand(1, 0, Command::kRead, true, true),        // bank 0, behind head
       cand(2, 1, Command::kRead, true, true),        // bank 1 head, ready
   };
-  EXPECT_EQ(s.pick(cs, 0), 2u);  // bank 1's head proceeds independently
+  EXPECT_EQ(s.pick(cs, 0, 0), 2u);  // bank 1's head proceeds independently
 }
 
 TEST(FcfsPerBank, InOrderWithinBank) {
@@ -49,7 +49,7 @@ TEST(FcfsPerBank, InOrderWithinBank) {
       cand(0, 0, Command::kActivate, false, true),
       cand(1, 0, Command::kRead, true, true),
   };
-  EXPECT_EQ(s.pick(cs, 0), 0u);  // never the younger one in the same bank
+  EXPECT_EQ(s.pick(cs, 0, 0), 0u);  // never the younger one in the same bank
 }
 
 TEST(FrFcfs, PrefersRowHitsOverOlderMisses) {
@@ -58,7 +58,7 @@ TEST(FrFcfs, PrefersRowHitsOverOlderMisses) {
       cand(0, 0, Command::kActivate, false, true),  // oldest, row miss
       cand(1, 1, Command::kRead, true, true),       // younger, row hit
   };
-  EXPECT_EQ(s.pick(cs, 0), 1u);
+  EXPECT_EQ(s.pick(cs, 0, 0), 1u);
 }
 
 TEST(FrFcfs, OldestAmongEqualPriority) {
@@ -67,7 +67,7 @@ TEST(FrFcfs, OldestAmongEqualPriority) {
       cand(0, 0, Command::kRead, true, true),
       cand(1, 1, Command::kRead, true, true),
   };
-  EXPECT_EQ(s.pick(cs, 0), 0u);
+  EXPECT_EQ(s.pick(cs, 0, 0), 0u);
 }
 
 TEST(FrFcfs, FallsBackToOldestIssuable) {
@@ -76,7 +76,7 @@ TEST(FrFcfs, FallsBackToOldestIssuable) {
       cand(0, 0, Command::kPrecharge, false, false),
       cand(1, 1, Command::kActivate, false, true),
   };
-  EXPECT_EQ(s.pick(cs, 0), 1u);
+  EXPECT_EQ(s.pick(cs, 0, 0), 1u);
 }
 
 TEST(FrFcfs, StarvationGuardRevertsToAgeOrder) {
@@ -85,8 +85,8 @@ TEST(FrFcfs, StarvationGuardRevertsToAgeOrder) {
       cand(0, 0, Command::kPrecharge, false, true),  // old conflict victim
       cand(1, 1, Command::kRead, true, true),        // young row hit
   };
-  EXPECT_EQ(s.pick(cs, 50), 1u);   // normal: hit first
-  EXPECT_EQ(s.pick(cs, 101), 0u);  // starved: oldest first
+  EXPECT_EQ(s.pick(cs, 0, 50), 1u);   // normal: hit first
+  EXPECT_EQ(s.pick(cs, 0, 101), 0u);  // starved: oldest first
 }
 
 TEST(SchedulerFactory, MakesRequestedKind) {
@@ -99,6 +99,72 @@ TEST(SchedulerFactory, MakesRequestedKind) {
   EXPECT_NE(dynamic_cast<FrFcfsScheduler*>(
                 Scheduler::make(SchedulerKind::kFrFcfs).get()),
             nullptr);
+  EXPECT_NE(dynamic_cast<TdmScheduler*>(
+                Scheduler::make(SchedulerKind::kTdm).get()),
+            nullptr);
+}
+
+TEST(SchedulerFactory, TdmReadsSlotGeometryFromConfig) {
+  DramConfig cfg;
+  cfg.scheduler = SchedulerKind::kTdm;
+  cfg.tdm_slot_cycles = 17;
+  cfg.tdm_clients = 3;
+  auto s = Scheduler::make(cfg);
+  const auto* tdm = dynamic_cast<TdmScheduler*>(s.get());
+  ASSERT_NE(tdm, nullptr);
+  EXPECT_EQ(tdm->slot_cycles(), 17u);
+  EXPECT_EQ(tdm->num_slots(), 3u);
+}
+
+Candidate tdm_cand(std::size_t qidx, unsigned client, bool hit,
+                   bool issuable) {
+  Candidate c = cand(qidx, 0, hit ? Command::kRead : Command::kActivate, hit,
+                     issuable);
+  c.client_id = client;
+  return c;
+}
+
+TEST(Tdm, OnlySlotOwnerMayIssue) {
+  TdmScheduler s(/*slot_cycles=*/10, /*num_slots=*/2);
+  std::vector<Candidate> cs = {
+      tdm_cand(0, 0, true, true),   // client 0, ready row hit
+      tdm_cand(1, 1, true, true),   // client 1, ready row hit
+  };
+  EXPECT_EQ(s.pick(cs, 5, 0), 0u);    // cycles 0..9: slot 0
+  EXPECT_EQ(s.pick(cs, 15, 0), 1u);   // cycles 10..19: slot 1
+  EXPECT_EQ(s.pick(cs, 25, 0), 0u);   // rotation wraps
+}
+
+TEST(Tdm, IdleSlotStaysIdleEvenUnderStarvation) {
+  TdmScheduler s(/*slot_cycles=*/10, /*num_slots=*/2);
+  std::vector<Candidate> cs = {
+      tdm_cand(0, 1, true, true),   // only client 1 has work
+  };
+  // Slot 0 stays idle no matter how long client 1 has waited: the
+  // rotation, not an age cap, is the starvation guard.
+  EXPECT_EQ(s.pick(cs, 3, 1'000'000), Scheduler::kNone);
+  EXPECT_EQ(s.pick(cs, 13, 0), 0u);
+}
+
+TEST(Tdm, FrFcfsOrderWithinSlot) {
+  TdmScheduler s(/*slot_cycles=*/100, /*num_slots=*/2);
+  std::vector<Candidate> cs = {
+      tdm_cand(0, 0, false, true),  // owner, older, row miss
+      tdm_cand(1, 0, true, true),   // owner, younger, row hit
+      tdm_cand(2, 1, true, true),   // not the owner: invisible this slot
+  };
+  EXPECT_EQ(s.pick(cs, 0, 0), 1u);  // hit first within the owner's work
+  cs[1].issuable = false;
+  EXPECT_EQ(s.pick(cs, 0, 0), 0u);  // then oldest issuable
+}
+
+TEST(Tdm, ClientIdsFoldOntoSlots) {
+  TdmScheduler s(/*slot_cycles=*/10, /*num_slots=*/2);
+  std::vector<Candidate> cs = {
+      tdm_cand(0, 2, true, true),  // 2 % 2 == 0: shares slot 0
+  };
+  EXPECT_EQ(s.pick(cs, 0, 0), 0u);
+  EXPECT_EQ(s.pick(cs, 10, 0), Scheduler::kNone);
 }
 
 }  // namespace
