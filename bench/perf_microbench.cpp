@@ -165,6 +165,84 @@ void BM_IdleHeavyFastForward(benchmark::State& state) {
 }
 BENCHMARK(BM_IdleHeavyFastForward)->Unit(benchmark::kMillisecond);
 
+// --- dense-traffic burst issue: before/after pairs -------------------------
+// The saturated-channel shape: 100%-duty demand keeps the controller
+// queue full with single-bank row-hit streaks — the opposite regime from
+// the idle-heavy pair above. "Baseline" steps every DRAM clock through
+// the dense stretch; "Burst" proves the steady state and retires the
+// issue sequence in closed form (bit-identical stats, command log and
+// telemetry — the differential fuzz enforces it).
+
+constexpr std::uint64_t kDenseWindow = 400'000;
+
+std::uint64_t run_saturated_stream(bool burst) {
+  dram::DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  sys.set_burst_issue(burst);
+  clients::StreamClient::Params p;
+  p.length = cfg.page_bytes;  // wraps inside one row: a pure hit streak
+  p.burst_bytes = cfg.bytes_per_access();
+  p.period_cycles = 0;  // always another burst ready
+  sys.add_client(std::make_unique<clients::StreamClient>(0, "duty", p));
+  sys.run(kDenseWindow);
+  return sys.controller().stats().bytes_transferred;
+}
+
+void BM_SaturatedStreamBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_saturated_stream(false));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kDenseWindow));
+}
+BENCHMARK(BM_SaturatedStreamBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_SaturatedStreamBurst(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_saturated_stream(true));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kDenseWindow));
+}
+BENCHMARK(BM_SaturatedStreamBurst)->Unit(benchmark::kMillisecond);
+
+// Row-major sweep over a multi-row surface in one bank: hit streaks the
+// length of a row, broken by an activate at every row boundary — the
+// burst path re-proves the steady state after each miss.
+std::uint64_t run_strided_sweep(bool burst) {
+  dram::DramConfig cfg = dram::presets::edram_module(16, 128, 4, 2048);
+  cfg.mapping = dram::AddressMapping::kBankRowCol;  // surface in one bank
+  clients::MemorySystem sys(cfg, clients::ArbiterKind::kRoundRobin);
+  sys.set_burst_issue(burst);
+  clients::SimdStridedClient::Params p;
+  p.width_bytes = 4096;
+  p.height = 64;
+  p.burst_bytes = cfg.bytes_per_access();
+  p.pattern = clients::StridePattern::kRowMajor;
+  p.period_cycles = 0;
+  sys.add_client(std::make_unique<clients::SimdStridedClient>(0, "sweep", p));
+  sys.run(kDenseWindow);
+  return sys.controller().stats().bytes_transferred;
+}
+
+void BM_StridedSweepBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_strided_sweep(false));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kDenseWindow));
+}
+BENCHMARK(BM_StridedSweepBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_StridedSweepBurst(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_strided_sweep(true));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kDenseWindow));
+}
+BENCHMARK(BM_StridedSweepBurst)->Unit(benchmark::kMillisecond);
+
 // --- self-managed maintenance: before/after pair ----------------------------
 // The same paced decode stream against a channel with a retention-weak
 // tail: "RefreshBaseline" runs the controller's uniform tREFI sweep,

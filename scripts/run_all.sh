@@ -107,4 +107,7 @@ if [ -z "${EDSIM_SKIP_SANITIZE:-}" ]; then
 fi
 if [ -z "${EDSIM_SKIP_PERF:-}" ]; then
   scripts/bench.sh
+  # Regression gate: the snapshot just recorded vs the previous one —
+  # non-zero exit if any before/after pair speedup regressed >15%.
+  scripts/bench.sh --check
 fi

@@ -57,6 +57,13 @@ std::uint64_t StreamClient::next_request_cycle(std::uint64_t now) const {
   return std::max(now, next_allowed_);
 }
 
+std::uint64_t StreamClient::pending_run_length(std::uint64_t now) const {
+  if (finished() || now < next_allowed_) return 0;
+  if (p_.period_cycles > 1) return 1;  // pacing lapses after each accept
+  return p_.total_requests == 0 ? dram::kNeverCycle
+                                : p_.total_requests - issued_;
+}
+
 dram::Request StreamClient::make_request(std::uint64_t cycle) {
   dram::Request r;
   r.type = p_.type;
@@ -103,6 +110,13 @@ bool StridedClient::has_request(std::uint64_t cycle) const {
 std::uint64_t StridedClient::next_request_cycle(std::uint64_t now) const {
   if (finished()) return dram::kNeverCycle;
   return std::max(now, next_allowed_);
+}
+
+std::uint64_t StridedClient::pending_run_length(std::uint64_t now) const {
+  if (finished() || now < next_allowed_) return 0;
+  if (p_.period_cycles > 1) return 1;
+  return p_.total_requests == 0 ? dram::kNeverCycle
+                                : p_.total_requests - issued_;
 }
 
 dram::Request StridedClient::make_request(std::uint64_t cycle) {
@@ -160,6 +174,13 @@ std::uint64_t RandomClient::next_request_cycle(std::uint64_t now) const {
   return std::max(now, next_allowed_);
 }
 
+std::uint64_t RandomClient::pending_run_length(std::uint64_t now) const {
+  if (finished() || now < next_allowed_) return 0;
+  if (p_.period_cycles > 1) return 1;
+  return p_.total_requests == 0 ? dram::kNeverCycle
+                                : p_.total_requests - issued_;
+}
+
 dram::Request RandomClient::make_request(std::uint64_t cycle) {
   dram::Request r;
   r.type = rng_.next_bool(p_.read_fraction) ? dram::AccessType::kRead
@@ -209,6 +230,13 @@ bool TraceClient::has_request(std::uint64_t cycle) const {
 std::uint64_t TraceClient::next_request_cycle(std::uint64_t now) const {
   if (pos_ >= trace_.size()) return dram::kNeverCycle;
   return std::max(now, trace_[pos_].cycle);
+}
+
+std::uint64_t TraceClient::pending_run_length(std::uint64_t now) const {
+  // A trace record is pending once its cycle has passed and stays pending
+  // until granted; the next record may sit arbitrarily far ahead, so only
+  // one grant is ever promised.
+  return (pos_ < trace_.size() && trace_[pos_].cycle <= now) ? 1 : 0;
 }
 
 dram::Request TraceClient::make_request(std::uint64_t /*cycle*/) {

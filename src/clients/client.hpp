@@ -57,6 +57,17 @@ class Client {
     return now;
   }
 
+  /// Dense-traffic hint: the largest n such that, starting at `now`, the
+  /// client keeps a request pending every cycle until n of them have been
+  /// accepted (dram::kNeverCycle = unbounded). Clients that claim n > 0
+  /// promise readiness does not lapse mid-run and must keep the default
+  /// (no-op) notify_rejected, so arbitration losses cannot perturb their
+  /// pacing. The conservative default claims nothing, which disables the
+  /// memory system's dense-stretch burst path for this client.
+  virtual std::uint64_t pending_run_length(std::uint64_t /*now*/) const {
+    return 0;
+  }
+
   /// Produce the request (only call when has_request is true). The front
   /// end fills in client_id.
   virtual dram::Request make_request(std::uint64_t cycle) = 0;
@@ -103,6 +114,7 @@ class StreamClient final : public Client {
 
   bool has_request(std::uint64_t cycle) const override;
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
+  std::uint64_t pending_run_length(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
   void save_state(SnapshotWriter& w) const override;
@@ -132,6 +144,7 @@ class StridedClient final : public Client {
 
   bool has_request(std::uint64_t cycle) const override;
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
+  std::uint64_t pending_run_length(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
   void save_state(SnapshotWriter& w) const override;
@@ -163,6 +176,7 @@ class RandomClient final : public Client {
 
   bool has_request(std::uint64_t cycle) const override;
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
+  std::uint64_t pending_run_length(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
   void save_state(SnapshotWriter& w) const override;
@@ -189,6 +203,7 @@ class TraceClient final : public Client {
 
   bool has_request(std::uint64_t cycle) const override;
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
+  std::uint64_t pending_run_length(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
   void save_state(SnapshotWriter& w) const override;

@@ -242,6 +242,13 @@ bool ArenaReplayClient::has_request(std::uint64_t cycle) const {
   return false;
 }
 
+std::uint64_t ArenaReplayClient::pending_run_length(std::uint64_t now) const {
+  // Readiness is monotone in `cycle` for every pacing kind, so one grant
+  // is always safe to promise; the next record's eligibility depends on
+  // the accept cycle, so nothing beyond that is.
+  return has_request(now) ? 1 : 0;
+}
+
 std::uint64_t ArenaReplayClient::next_request_cycle(std::uint64_t now) const {
   if (cursor_.at_end()) return dram::kNeverCycle;
   const CompiledRecord& r = cursor_.record();

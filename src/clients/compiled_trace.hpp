@@ -178,6 +178,7 @@ class ArenaReplayClient : public Client {
 
   bool has_request(std::uint64_t cycle) const override;
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
+  std::uint64_t pending_run_length(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
 

@@ -82,6 +82,13 @@ std::uint64_t SimdStridedClient::next_request_cycle(std::uint64_t now) const {
   return std::max(now, next_allowed_);
 }
 
+std::uint64_t SimdStridedClient::pending_run_length(std::uint64_t now) const {
+  if (finished() || now < next_allowed_) return 0;
+  if (p_.period_cycles > 1) return 1;  // pacing lapses after each accept
+  return p_.total_requests == 0 ? dram::kNeverCycle
+                                : p_.total_requests - issued_;
+}
+
 dram::Request SimdStridedClient::make_request(std::uint64_t cycle) {
   dram::Request r;
   r.type = p_.type;

@@ -45,6 +45,7 @@ class SimdStridedClient final : public Client {
 
   bool has_request(std::uint64_t cycle) const override;
   std::uint64_t next_request_cycle(std::uint64_t now) const override;
+  std::uint64_t pending_run_length(std::uint64_t now) const override;
   dram::Request make_request(std::uint64_t cycle) override;
   bool finished() const override;
   void save_state(SnapshotWriter& w) const override;

@@ -18,10 +18,7 @@ Client& MemorySystem::add_client(std::unique_ptr<Client> client) {
   return *clients_.back();
 }
 
-void MemorySystem::step() {
-  const std::uint64_t cycle = controller_.cycle();
-
-  // 1. Deliver completions.
+void MemorySystem::deliver_completions(std::uint64_t cycle) {
   controller_.drain_completed_into(completed_scratch_);
   for (const dram::Request& r : completed_scratch_) {
     const std::size_t i = r.client_id;
@@ -34,6 +31,13 @@ void MemorySystem::step() {
     if (outstanding_[i] > 0) --outstanding_[i];
     clients_[i]->notify_complete(r, cycle);
   }
+}
+
+void MemorySystem::step() {
+  const std::uint64_t cycle = controller_.cycle();
+
+  // 1. Deliver completions.
+  deliver_completions(cycle);
 
   // 2. Arbitration: one enqueue attempt per cycle (the controller accepts
   //    at most one column command per cycle anyway).
@@ -109,11 +113,103 @@ void MemorySystem::skip_quiet_stretch(std::uint64_t end) {
   controller_.advance_idle(k);
 }
 
+void MemorySystem::dense_stretch(std::uint64_t end) {
+  // Saturated steady state: each iteration executes one boundary cycle's
+  // full step inline (delivery, then at most one arbitration grant that
+  // tops the queue back off) and bulk-credits the stall/sample-only
+  // cycles up to the next controller event. The loop only returns to
+  // per-cycle step() when demand lapses or the shape stops being provably
+  // dense — so a saturated stream never pays step()'s per-cycle overhead.
+  while (true) {
+    const std::uint64_t now = controller_.cycle();
+    if (now >= end || clients_paused_) return;
+    // Completions retired by the last covered tick deliver here — the
+    // same cycle the next per-cycle step would deliver them. Safe even
+    // when the loop bails below: step() then drains an empty list.
+    if (controller_.has_completions()) deliver_completions(now);
+    // Readiness must provably persist across the stretch; a client that
+    // claims nothing falls back to per-cycle stepping. Scan after the
+    // delivery so notify_complete-driven state is visible, as in step().
+    ready_.assign(clients_.size(), false);
+    std::uint64_t wake = dram::kNeverCycle;
+    bool any_ready = false;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (clients_[i]->has_request(now)) {
+        if (clients_[i]->pending_run_length(now) == 0) return;
+        ready_[i] = true;
+        any_ready = true;
+      } else {
+        const std::uint64_t w = clients_[i]->next_request_cycle(now);
+        if (w <= now) return;  // conservative client: no claim either way
+        wake = std::min(wake, w);
+      }
+    }
+    if (!any_ready) return;  // quiet shape — skip_quiet_stretch's job
+    // Cycle `now` must end with a full queue: either it already is, or
+    // this cycle's single arbitration grant tops it off. Anything deeper
+    // (fill/drain transients, retired banks) is per-cycle territory.
+    const bool full = controller_.queue_full();
+    std::size_t win = Arbiter::kNone;
+    if (!full) {
+      if (controller_.queue_size() + 1 < controller_.config().queue_depth ||
+          controller_.all_banks_retired()) {
+        return;
+      }
+      // Execute cycle `now`'s arbitration exactly as step() would. With
+      // any_ready set every arbiter returns a winner (and a kNone pick
+      // mutates nothing, so handing the cycle back to step() is safe).
+      win = arbiter_->pick(ready_);
+      if (win == Arbiter::kNone) return;
+      dram::Request r = clients_[win]->make_request(now);
+      r.client_id = static_cast<unsigned>(win);
+      const bool ok = controller_.enqueue(r);
+      require(ok, "memory system: enqueue failed after queue_full check");
+      arbiter_->granted(win, controller_.config().bytes_per_access());
+      stats_[win].issued++;
+      stats_[win].bytes += controller_.config().bytes_per_access();
+      fifos_[win].on_issue();
+      ++outstanding_[win];
+      // The grant consumed the winner's claim: re-establish it (the
+      // stall credit below counts on it) or learn its wake-up instead.
+      if (clients_[win]->has_request(now + 1)) {
+        if (clients_[win]->pending_run_length(now + 1) == 0) {
+          wake = std::min(wake, now + 1);
+          ready_[win] = false;
+        }
+      } else {
+        const std::uint64_t w = clients_[win]->next_request_cycle(now + 1);
+        wake = std::min(wake, std::max(w, now + 1));
+        ready_[win] = false;
+      }
+    }
+    // Advance the channel to just past its next front-end-visible event
+    // (first freed queue slot or retirement), bounded by the demand
+    // horizon: until then, the queue stays full — every covered step
+    // would only stall-count and sample — and no delivery is pending.
+    // Crediting the stretch afterwards is safe: the client-side
+    // accumulators are disjoint from the controller's own state.
+    controller_.dense_advance(std::min(end, wake));
+    const std::uint64_t k = controller_.cycle() - now;
+    const bool granted_now = win != Arbiter::kNone;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (ready_[i]) {
+        // Ready clients stall on every covered back-pressure cycle; a
+        // grant cycle is not one (step() skips the stall branch on grant).
+        stats_[i].stall_cycles += k - (granted_now ? 1 : 0);
+      }
+      fifos_[i].sample_repeated(k);
+      stats_[i].outstanding.add_repeated(static_cast<double>(outstanding_[i]),
+                                         k);
+    }
+  }
+}
+
 void MemorySystem::run(std::uint64_t cycles) {
   const std::uint64_t end = controller_.cycle() + cycles;
   while (controller_.cycle() < end) {
     step();
     if (fast_forward_) skip_quiet_stretch(end);
+    if (burst_issue_) dense_stretch(end);
   }
 }
 
@@ -135,6 +231,9 @@ void MemorySystem::run_to_completion(std::uint64_t max_cycles) {
     // retirements), but skipping past the step() that first observes it
     // would shift the final cycle — so never skip once done.
     if (fast_forward_ && !all_done()) skip_quiet_stretch(limit);
+    // A dense stretch needs a full queue, which a finished system cannot
+    // have — the guard only mirrors the fast-forward one above.
+    if (burst_issue_ && !all_done()) dense_stretch(limit);
   }
   require(false, "memory system: run_to_completion hit the cycle bound");
 }

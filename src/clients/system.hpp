@@ -46,6 +46,19 @@ class MemorySystem {
   /// for the equivalence tests and for debugging with per-cycle traces.
   void set_fast_forward(bool on) { fast_forward_ = on; }
 
+  /// Disable/enable the dense-traffic burst path (on by default): when the
+  /// controller queue is full and every ready client promises persistent
+  /// demand (pending_run_length), front-end steps between controller
+  /// events are pure stall/sample bookkeeping and are credited in bulk
+  /// while the controller advances via its own burst-issue fast path.
+  /// Bit-identical to per-cycle stepping; off is the differential
+  /// reference for the equivalence and fuzz suites.
+  void set_burst_issue(bool on) {
+    burst_issue_ = on;
+    controller_.set_burst_issue(on);
+  }
+  bool burst_issue() const { return burst_issue_; }
+
   /// Attach observability probes to the channel (nullptr detaches); see
   /// dram::Controller::attach_telemetry. The front end's bulk skips drive
   /// the same probe stream as per-cycle stepping.
@@ -95,10 +108,19 @@ class MemorySystem {
 
  private:
   void step();
+  /// step()'s delivery block, shared with dense_stretch: drain retired
+  /// requests and credit each to its client at `cycle`.
+  void deliver_completions(std::uint64_t cycle);
   /// Fast-forward: if no client can issue, no completion is pending and
   /// the controller sees no event, bulk-credit the quiet stretch up to
   /// `end` (bit-identical to stepping through it cycle by cycle).
   void skip_quiet_stretch(std::uint64_t end);
+  /// Dense traffic: the saturated dual of skip_quiet_stretch. While
+  /// demand keeps the queue full, the loop executes each boundary cycle's
+  /// step inline — delivery, then at most one arbitration grant — and
+  /// bulk-credits the stall/sample-only cycles between controller events,
+  /// never returning to per-cycle step() (bit-identical).
+  void dense_stretch(std::uint64_t end);
 
   dram::Controller controller_;
   std::unique_ptr<Arbiter> arbiter_;
@@ -109,6 +131,7 @@ class MemorySystem {
   std::vector<dram::Request> completed_scratch_;  // reused drain buffer
   std::vector<bool> ready_;                       // reused arbitration mask
   bool fast_forward_ = true;
+  bool burst_issue_ = true;
   bool clients_paused_ = false;
 };
 

@@ -254,6 +254,7 @@ std::shared_ptr<const std::vector<std::uint8_t>> Evaluator::warmup_checkpoint(
   const SimShape sh = make_shape(cfg, w);
   return checkpoint_blob(shape_key(sh, w, use_arena_), [&] {
     const auto warm = build_eval_system(sh, w, use_arena_, caches_->arenas);
+    warm->set_burst_issue(burst_issue_);
     warm->run(w.warmup_cycles);
     return std::make_shared<const std::vector<std::uint8_t>>(
         warm->save_snapshot());
@@ -387,6 +388,7 @@ Metrics Evaluator::evaluate_into(const SystemConfig& cfg,
   const std::unique_ptr<clients::MemorySystem> sys_ptr =
       build_eval_system(shape, w, use_arena_, caches_->arenas);
   clients::MemorySystem& sys = *sys_ptr;
+  sys.set_burst_issue(burst_issue_);
 
   // Warm-up prefix. With checkpointing on, the first evaluation of this
   // channel shape simulates it and seals a snapshot; every other variant

@@ -198,6 +198,13 @@ class Evaluator {
   void set_checkpoint(bool on) { checkpoint_ = on; }
   bool checkpoint() const { return checkpoint_; }
 
+  /// Dense-traffic burst fast path inside the simulated systems (default
+  /// on). Bit-identical to per-cycle stepping — see
+  /// clients::MemorySystem::set_burst_issue — so results (and cache keys)
+  /// do not depend on it; off is the differential reference.
+  void set_burst_issue(bool on) { burst_issue_ = on; }
+  bool burst_issue() const { return burst_issue_; }
+
   /// SMARTS-style sampled simulation (default off): instead of measuring
   /// the whole sim_cycles window, alternate short measured windows with
   /// fast-forwarded skip stretches (clients paused, so the event-driven
@@ -303,6 +310,7 @@ class Evaluator {
   bool use_arena_ = true;
   bool memoize_ = true;
   bool checkpoint_ = true;
+  bool burst_issue_ = true;
   bool sampling_ = false;
   unsigned sample_windows_ = 20;
   std::uint64_t sample_measure_cycles_ = 0;

@@ -95,7 +95,13 @@ bool Controller::enqueue(Request req) {
     e.wd_deadline = cycle_ + cfg_.watchdog_cycles;
   }
   queue_.push_back(e);
-  if (incremental_) {
+  // Pre-decoded SoA mirror for the burst-issue streak probe.
+  streak_key_.push_back((static_cast<std::uint64_t>(e.coord.bank) << 33) |
+                        (static_cast<std::uint64_t>(e.coord.row) << 1) |
+                        (e.req.type == AccessType::kWrite ? 1u : 0u));
+  streak_client_.push_back(e.req.client_id);
+  if (e.req.type == AccessType::kWrite) ++queued_writes_;
+  if (incremental_ && !sched_cache_stale_) {
     const auto pos = static_cast<std::uint32_t>(queue_.size() - 1);
     pos_of_id_[queue_.back().req.id] = pos;
     bank_entries_[queue_.back().coord.bank].push_back(pos);
@@ -256,6 +262,7 @@ void Controller::invalidate_all_banks() {
 }
 
 void Controller::rebuild_sched_cache() {
+  sched_cache_stale_ = false;
   for (auto& h : release_heaps_) h.clear();
   pos_of_id_.clear();
   for (auto& v : bank_entries_) v.clear();
@@ -271,7 +278,11 @@ void Controller::rebuild_sched_cache() {
 }
 
 void Controller::erase_queue_entry(std::size_t pos) {
-  if (!incremental_) {
+  if (queue_[pos].req.type == AccessType::kWrite) --queued_writes_;
+  streak_key_.erase(streak_key_.begin() + static_cast<std::ptrdiff_t>(pos));
+  streak_client_.erase(streak_client_.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+  if (!incremental_ || sched_cache_stale_) {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
     return;
   }
@@ -290,7 +301,7 @@ void Controller::erase_queue_entry(std::size_t pos) {
 }
 
 bool Controller::open_row_wanted(unsigned b) const {
-  if (incremental_) {
+  if (incremental_ && !sched_cache_stale_) {
     // cached_row_hit mirrors "open row == entry row" and is refreshed on
     // every bank event, so the per-bank position list answers this without
     // walking the whole queue.
@@ -515,7 +526,7 @@ bool Controller::tick_refresh() {
 }
 
 bool Controller::bank_has_queued(unsigned b) const {
-  if (incremental_) return !bank_entries_[b].empty();
+  if (incremental_ && !sched_cache_stale_) return !bank_entries_[b].empty();
   for (const QueueEntry& e : queue_) {
     if (e.coord.bank == b) return true;
   }
@@ -641,7 +652,63 @@ void Controller::tick_watchdog() {
   ++stats_.watchdog_retries;
 }
 
+void Controller::retire_due_inflight() {
+  auto it = inflight_.begin();
+  while (it != inflight_.end()) {
+    if (it->req.done_cycle <= cycle_) {
+      Request& r = it->req;
+      (r.type == AccessType::kRead ? stats_.read_latency
+                                   : stats_.write_latency)
+          .add(static_cast<double>(r.latency()));
+      EDSIM_TELEMETRY(telemetry_, on_request_complete(r, cycle_));
+      completed_.push_back(r);
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  inflight_min_done_ = kNeverCycle;
+  for (const InFlight& f : inflight_) {
+    inflight_min_done_ = std::min(inflight_min_done_, f.req.done_cycle);
+  }
+}
+
+std::size_t Controller::dispatch_pick(const std::vector<Candidate>& candidates,
+                                      std::uint64_t oldest_wait) const {
+  // Every policy class is final: the static type makes each call below a
+  // direct (inlinable) call instead of a per-round virtual dispatch.
+  switch (cfg_.scheduler) {
+    case SchedulerKind::kFcfs:
+      return static_cast<const FcfsScheduler&>(*scheduler_)
+          .pick(candidates, cycle_, oldest_wait);
+    case SchedulerKind::kFcfsPerBank:
+      return static_cast<const FcfsPerBankScheduler&>(*scheduler_)
+          .pick(candidates, cycle_, oldest_wait);
+    case SchedulerKind::kFrFcfs:
+      return static_cast<const FrFcfsScheduler&>(*scheduler_)
+          .pick(candidates, cycle_, oldest_wait);
+    case SchedulerKind::kReadFirst:
+      return static_cast<const ReadFirstScheduler&>(*scheduler_)
+          .pick(candidates, cycle_, oldest_wait);
+    case SchedulerKind::kTdm:
+      return static_cast<const TdmScheduler&>(*scheduler_)
+          .pick(candidates, cycle_, oldest_wait);
+  }
+  return scheduler_->pick(candidates, cycle_, oldest_wait);
+}
+
+void Controller::scheduler_note_pick() const {
+  if (cfg_.scheduler == SchedulerKind::kReadFirst) {
+    static_cast<const ReadFirstScheduler&>(*scheduler_)
+        .note_writes(queued_writes_);
+  }
+}
+
 void Controller::tick() {
+  // Re-arm the incremental caches if a burst stretch left them stale —
+  // everything below (candidate rounds, watchdog erases, refresh picks)
+  // assumes they mirror the queue.
+  if (incremental_ && sched_cache_stale_) rebuild_sched_cache();
   stats_.queue_occupancy.add(static_cast<double>(queue_.size()));
   if (hooks_ != nullptr) hooks_->on_cycle(cycle_);
 
@@ -714,24 +781,7 @@ void Controller::tick() {
   // 1. Retire in-flight requests whose data finished. The cached minimum
   // makes the common nothing-finished cycle a single compare.
   if (!inflight_.empty() && inflight_min_done_ <= cycle_) {
-    auto it = inflight_.begin();
-    while (it != inflight_.end()) {
-      if (it->req.done_cycle <= cycle_) {
-        Request& r = it->req;
-        (r.type == AccessType::kRead ? stats_.read_latency
-                                     : stats_.write_latency)
-            .add(static_cast<double>(r.latency()));
-        EDSIM_TELEMETRY(telemetry_, on_request_complete(r, cycle_));
-        completed_.push_back(r);
-        it = inflight_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    inflight_min_done_ = kNeverCycle;
-    for (const InFlight& f : inflight_) {
-      inflight_min_done_ = std::min(inflight_min_done_, f.req.done_cycle);
-    }
+    retire_due_inflight();
   }
 
   // 2. Hardware auto-precharge (no command-bus cost).
@@ -761,7 +811,7 @@ void Controller::tick() {
       // the rotation itself bounds how long the front entry can wait.
       pick = candidates.front().issuable ? 0 : Scheduler::kNone;
     } else {
-      pick = scheduler_->pick(candidates, cycle_, oldest_wait);
+      pick = dispatch_pick(candidates, oldest_wait);
     }
     if (pick == Scheduler::kNone &&
         cfg_.page_policy == PagePolicy::kTimeout) {
@@ -844,7 +894,7 @@ void Controller::drain_completed_into(std::vector<Request>& out) {
 }
 
 std::uint64_t Controller::next_event_cycle() const {
-  if (!incremental_) return next_event_cycle_rescan();
+  if (!incremental_ || sched_cache_stale_) return next_event_cycle_rescan();
   std::uint64_t ne = kNeverCycle;
   const auto upd = [&](std::uint64_t c) {
     ne = std::min(ne, std::max(c, cycle_));
@@ -1074,14 +1124,151 @@ void Controller::advance_idle(std::uint64_t count) {
   EDSIM_TELEMETRY(telemetry_, on_bulk_advance(from, tick_sample(), stats_));
 }
 
+std::uint64_t Controller::issue_burst(std::uint64_t target_cycle,
+                                      bool stop_after_event) {
+  // Eligibility gates: any condition that could make a cycle in the
+  // stretch do something other than {quiet bookkeeping, a row-hit column
+  // issue to the streak bank, an in-flight retirement} falls back to the
+  // fully general tick() path. Reliability hooks observe every cycle and
+  // can mutate the stream, so their presence disables the path outright.
+  if (!burst_issue_ || hooks_ != nullptr || queue_.empty()) return 0;
+  if (cfg_.page_policy == PagePolicy::kClosed) return 0;
+  if (autopre_count_ != 0 || refresh_draining_) return 0;
+  if (cfg_.powerdown_enabled && (powered_down_ || cycle_ < wake_until_)) {
+    return 0;
+  }
+  // Branch-light streak probe over the packed SoA mirror: the whole queue
+  // must target one (bank, row, direction).
+  const std::size_t n = queue_.size();
+  const std::uint64_t key = streak_key_[0];
+  std::uint64_t mism = 0;
+  for (std::size_t i = 1; i < n; ++i) mism |= streak_key_[i] ^ key;
+  if (mism != 0) return 0;
+  const unsigned bank = static_cast<unsigned>(key >> 33);
+  const unsigned row = static_cast<unsigned>((key >> 1) & 0xffffffffu);
+  const bool is_write = (key & 1) != 0;
+  Bank& bk = banks_[bank];
+  if (!bk.has_open_row() || bk.open_row() != row) return 0;
+  if (cfg_.page_policy == PagePolicy::kTimeout) {
+    // Another bank's idle open row would be closed by the page-timeout
+    // sweep mid-stretch; the streak bank's own row is always wanted.
+    for (unsigned b = 0; b < cfg_.banks; ++b) {
+      if (b != bank && banks_[b].has_open_row()) return 0;
+    }
+  }
+  // TDM: the streak must belong to one slot class, and issue cycles snap
+  // forward to that class's slots.
+  unsigned tdm_slot_cycles = 0;
+  unsigned tdm_slots = 0;
+  unsigned tdm_cls = 0;
+  if (cfg_.scheduler == SchedulerKind::kTdm) {
+    const auto& tdm = static_cast<const TdmScheduler&>(*scheduler_);
+    tdm_slot_cycles = tdm.slot_cycles();
+    tdm_slots = tdm.num_slots();
+    tdm_cls = streak_client_[0] % tdm_slots;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (streak_client_[i] % tdm_slots != tdm_cls) return 0;
+    }
+  }
+  // Hard ceiling: the first cycle whose tick is NOT pure streak progress.
+  // Refresh urgency is constant across the stretch (urgent() batches
+  // lazily and next_due_ cannot move before it first fires).
+  std::uint64_t limit = target_cycle;
+  if (cfg_.refresh_enabled) {
+    limit = std::min(limit, refresh_.next_urgent_cycle(cycle_));
+  }
+
+  const Command col = is_write ? Command::kWrite : Command::kRead;
+  const AccessType dir = is_write ? AccessType::kWrite : AccessType::kRead;
+  const std::uint64_t start = cycle_;
+  while (!queue_.empty()) {
+    // Watchdog: the escalation tick at the front deadline needs the
+    // general path; deadlines are age-ordered so re-deriving from the
+    // current front after each erase keeps the bound exact.
+    std::uint64_t lim = limit;
+    if (cfg_.watchdog_enabled) {
+      if (queue_.front().wd_retries != 0) break;
+      lim = std::min(lim, queue_.front().wd_deadline);
+    }
+    // Closed-form next events: the only things that can happen in this
+    // regime are the next column issue and an in-flight retirement.
+    std::uint64_t ni =
+        std::max(cycle_,
+                 std::max(bk.earliest(col), channel_column_release(dir)));
+    if (tdm_slots != 0) {
+      const std::uint64_t slot = ni / tdm_slot_cycles;
+      const std::uint64_t delta =
+          (tdm_cls + tdm_slots - slot % tdm_slots) % tdm_slots;
+      if (delta != 0) ni = (slot + delta) * tdm_slot_cycles;
+    }
+    const std::uint64_t ev = std::min(ni, inflight_min_done_);
+    if (ev >= lim) break;
+    // Every cycle in (cycle_, ev) is pure bookkeeping — exactly
+    // advance_idle's contract. Scheduler rounds skipped here are
+    // hysteresis-idempotent for a fixed queue composition; the note at
+    // the issue (or the next real tick) lands the identical state.
+    if (ev > cycle_) advance_idle(ev - cycle_);
+    // Lite tick at `ev`, in tick()'s exact order. The general-path gates
+    // (maintenance, auto-precharge, watchdog, refresh, page-timeout
+    // closes) are all provably inert here; the scheduler round reduces to
+    // the front pick the homogeneous streak guarantees for every policy.
+    stats_.queue_occupancy.add(static_cast<double>(queue_.size()));
+    if (cfg_.powerdown_enabled) was_idle_ = false;
+    if (!inflight_.empty() && inflight_min_done_ <= cycle_) {
+      retire_due_inflight();
+    }
+    if (ni == cycle_) {
+      scheduler_note_pick();
+      QueueEntry& e = queue_.front();
+      classify(e, bk);
+      issue_column(e, cycle_);
+      // Deferred cache maintenance: the closed-form path never consults
+      // the incremental caches, so instead of refreshing ~queue_depth
+      // same-bank entries per issue they go stale here and are rebuilt
+      // once when the general path resumes (see sched_cache_stale_).
+      if (incremental_) sched_cache_stale_ = true;
+      erase_queue_entry(0);
+    }
+    ++cycle_;
+    ++stats_.cycles;
+    notify_tick();
+    // Every lite tick issues or retires (ev is one of the two), so in
+    // stop-after-event mode the first iteration is also the last.
+    if (stop_after_event) break;
+  }
+  return cycle_ - start;
+}
+
 void Controller::tick_until(std::uint64_t target_cycle) {
   while (cycle_ < target_cycle) {
+    // Dense steady state: retire the stretch's issues in closed form.
+    if (issue_burst(target_cycle) != 0) continue;
     // One real tick settles same-cycle transitions (idle-streak starts,
     // scheduler hysteresis, lazy refresh batching) before any skip.
     tick();
     if (cycle_ >= target_cycle) break;
     const std::uint64_t ne = next_event_cycle();
     if (ne > cycle_) advance_idle(std::min(ne, target_cycle) - cycle_);
+  }
+}
+
+void Controller::dense_advance(std::uint64_t bound) {
+  while (cycle_ < bound) {
+    // The burst lite tick is itself an event (issue and/or retire): one
+    // iteration, then hand the cycle after it back to the front end.
+    if (issue_burst(bound, /*stop_after_event=*/true) != 0) return;
+    // General path: a real tick, with the front-end-visible transitions
+    // detected by their only possible footprints — a queue slot freed
+    // (column issue, invalidation) or a retirement into the completed
+    // list. Anything else (ACT/PRE, refresh, maintenance, power-down) is
+    // invisible to the front end and the stretch continues.
+    const std::size_t q0 = queue_.size();
+    const std::size_t c0 = completed_.size();
+    tick();
+    if (queue_.size() < q0 || completed_.size() != c0) return;
+    if (cycle_ >= bound) return;
+    const std::uint64_t ne = next_event_cycle();
+    if (ne > cycle_) advance_idle(std::min(ne, bound) - cycle_);
   }
 }
 
@@ -1295,6 +1482,16 @@ void Controller::load(SnapshotReader& r) {
   load_controller_stats(r, stats_);
 
   // Derived caches: recompute rather than trust the stream.
+  streak_key_.clear();
+  streak_client_.clear();
+  queued_writes_ = 0;
+  for (const QueueEntry& e : queue_) {
+    streak_key_.push_back((static_cast<std::uint64_t>(e.coord.bank) << 33) |
+                          (static_cast<std::uint64_t>(e.coord.row) << 1) |
+                          (e.req.type == AccessType::kWrite ? 1u : 0u));
+    streak_client_.push_back(e.req.client_id);
+    if (e.req.type == AccessType::kWrite) ++queued_writes_;
+  }
   autopre_count_ = 0;
   for (unsigned b = 0; b < cfg_.banks; ++b) {
     if (autopre_pending_[b]) ++autopre_count_;

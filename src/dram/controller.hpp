@@ -96,6 +96,14 @@ class Controller {
   /// caller leaps over dead time between its own arrivals.
   void tick_until(std::uint64_t target_cycle);
 
+  /// Dense-traffic companion to tick_until: advance bit-identically, but
+  /// return as soon as a front-end-visible event has executed — a queue
+  /// slot freed (column issue or invalidation) or a request retired into
+  /// the completed list — stopping at the cycle right after it, never
+  /// past `bound`. The caller bulk-credits the covered stretch knowing no
+  /// grant opportunity or pending delivery hides inside it.
+  void dense_advance(std::uint64_t bound);
+
   /// Earliest cycle >= cycle() at which tick() might do more than
   /// bookkeeping: min over in-flight completions, bank-timing releases of
   /// queued requests, refresh urgency, pending auto-precharges, page-
@@ -173,6 +181,17 @@ class Controller {
   /// "before" side of the microbenchmark pairs.
   void set_incremental_scheduling(bool on);
   bool incremental_scheduling() const { return incremental_; }
+
+  /// Toggle the dense-traffic burst-issue fast path (on by default). When
+  /// the whole queue is a single-bank row-hit streak in a provably
+  /// deterministic steady state (no refresh / maintenance / watchdog /
+  /// power-down deadline, no pending auto-precharge, no attached
+  /// reliability hooks), tick_until() computes the next command issues in
+  /// closed form instead of running the full scheduler round every event.
+  /// Both settings are bit-identical across stats, command log, and
+  /// telemetry; the off position is the differential-fuzz reference.
+  void set_burst_issue(bool on) { burst_issue_ = on; }
+  bool burst_issue() const { return burst_issue_; }
 
   /// Serialize / restore the full dynamic channel state: banks, refresh
   /// pacing, scheduler hysteresis, queued and in-flight requests, bus and
@@ -256,9 +275,31 @@ class Controller {
   bool maintenance_any_urgent() const;
   bool tick_autoprecharge();
   void tick_watchdog();
+  /// Retire every in-flight request whose last data beat is done (step 1
+  /// of tick(); shared with the burst-issue lite tick).
+  void retire_due_inflight();
   const std::vector<Candidate>& build_candidates();
   const std::vector<Candidate>& build_candidates_rescan();
   std::uint64_t next_event_cycle_rescan() const;
+  /// Devirtualized scheduler dispatch: every policy class is final, so a
+  /// switch on the configured kind lets the compiler inline the pick into
+  /// the issue path (no vtable load per round).
+  std::size_t dispatch_pick(const std::vector<Candidate>& candidates,
+                            std::uint64_t oldest_wait) const;
+  /// Scheduler-state side effect of one pick round (ReadFirst hysteresis);
+  /// the burst path applies it without building a candidate list.
+  void scheduler_note_pick() const;
+  /// Dense-traffic fast path: when the queue is a homogeneous single-bank
+  /// row-hit streak in a deterministic steady state, advance through issue
+  /// and retire events in closed form up to (exclusive) the first cycle
+  /// that needs the general tick() path, never beyond `target_cycle`.
+  /// Returns the number of cycles advanced (0 = not eligible). Bit-
+  /// identical to ticking through the same stretch. With
+  /// `stop_after_event` the loop exits right after its first lite tick
+  /// (every lite tick issues or retires — a front-end-visible event), so
+  /// dense_advance can hand control back without re-deriving the bound.
+  std::uint64_t issue_burst(std::uint64_t target_cycle,
+                            bool stop_after_event = false);
 
   // --- incremental scheduling cache maintenance ---------------------------
   /// Recompute one entry's cached command / row-hit / bank release from
@@ -299,6 +340,14 @@ class Controller {
 
   // Incremental scheduling state (see docs/performance.md).
   bool incremental_ = true;
+  /// The burst-issue lite tick never consults the incremental caches, so
+  /// instead of refreshing ~queue_depth entries per closed-form issue it
+  /// sets this flag and skips all cache maintenance; the caches are
+  /// rebuilt wholesale when the general path resumes (tick()), and the
+  /// cache readers (next_event_cycle, open_row_wanted, bank_has_queued)
+  /// fall back to their rescan forms while the flag is up. Derived
+  /// state: never serialized, cleared by rebuild_sched_cache().
+  bool sched_cache_stale_ = false;
   std::vector<std::vector<std::uint32_t>> bank_entries_;  // queue positions
   std::unordered_map<std::uint64_t, std::uint32_t> pos_of_id_;
   /// Lazy min-heaps (std::greater order via push/pop_heap); mutable so
@@ -307,6 +356,17 @@ class Controller {
   std::uint64_t inflight_min_done_ = kNeverCycle;
   unsigned autopre_count_ = 0;
   std::uint64_t reliability_events_seen_ = 0;
+
+  // Burst-issue fast path (see docs/performance.md, "Dense traffic").
+  // SoA mirror of the queue for the branch-light streak probe: one packed
+  // (bank, row, direction) key and one client id per entry, maintained on
+  // enqueue / erase / load alongside queue_. The counters make the
+  // remaining eligibility gates O(1).
+  bool burst_issue_ = true;
+  std::vector<std::uint64_t> streak_key_;   // (bank << 33) | (row << 1) | w
+  std::vector<std::uint32_t> streak_client_;
+  unsigned queued_writes_ = 0;  ///< write entries in queue_ (counter, so
+                                ///< the hysteresis note needs no rescan)
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_id_ = 0;

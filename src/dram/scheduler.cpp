@@ -93,8 +93,7 @@ std::size_t ReadFirstScheduler::pick(const std::vector<Candidate>& candidates,
   unsigned writes = 0;
   for (const Candidate& c : candidates)
     if (c.is_write) ++writes;
-  if (writes >= high_watermark_) draining_ = true;
-  if (writes <= low_watermark_) draining_ = false;
+  note_writes(writes);
 
   if (oldest_wait > starvation_cap_) {
     for (std::size_t i = 0; i < candidates.size(); ++i)

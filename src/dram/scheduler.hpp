@@ -107,6 +107,17 @@ class ReadFirstScheduler final : public Scheduler {
   bool draining() const { return draining_; }
   std::uint64_t starvation_cap() const { return starvation_cap_; }
 
+  /// Apply exactly the hysteresis update pick() performs for a candidate
+  /// list containing `writes` write entries, without selecting anything.
+  /// The update is idempotent for a fixed queue composition, so the
+  /// controller's burst-issue fast path calls it once per composition
+  /// segment instead of once per skipped tick and lands on the same
+  /// draining_ state per-cycle stepping would.
+  void note_writes(unsigned writes) const {
+    if (writes >= high_watermark_) draining_ = true;
+    if (writes <= low_watermark_) draining_ = false;
+  }
+
   void save(SnapshotWriter& w) const override;
   void load(SnapshotReader& r) override;
 

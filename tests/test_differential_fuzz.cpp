@@ -1,11 +1,13 @@
-// Randomized differential testing for the fast-forward fast paths: every
-// generated configuration must produce bit-identical final stats, command
-// logs, and interval telemetry between (a) the per-cycle reference with
-// from-scratch candidate rescans, (b) per-cycle ticking with incremental
-// scheduling, and (c) event-driven fast-forward with incremental
-// scheduling — and, for multi-channel, at 1, 2 and 8 tick threads. Any
-// failure prints the reproducer seed and the full config so the trial can
-// be replayed in isolation.
+// Randomized differential testing for the fast-forward and burst-issue
+// fast paths: every generated configuration must produce bit-identical
+// final stats, command logs, and interval telemetry between the per-cycle
+// reference with from-scratch candidate rescans (all fast paths off) and
+// every combination of {per-cycle, fast-forward} x {rescan, incremental}
+// x {burst-issue on, off} — and, for multi-channel, at 1, 2 and 8 tick
+// threads. A slice of the client mixes is high-demand (near-zero pacing,
+// thousands of requests) so the dense-traffic burst path actually
+// engages. Any failure prints the reproducer seed and the full config so
+// the trial can be replayed in isolation.
 //
 // The same source builds two binaries: the quick tier (part of the default
 // ctest run) and a `slow`-labelled soak with EDSIM_FUZZ_SOAK defined.
@@ -13,6 +15,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <memory>
 #include <sstream>
@@ -196,14 +199,25 @@ std::vector<core::WcetClient> add_random_clients(clients::MemorySystem& sys,
                                                  std::uint64_t seed) {
   Rng rng(seed);
   std::vector<core::WcetClient> wclients;
+  // ~35% of mixes are high-demand: near-zero pacing, thousands of
+  // requests and a compact footprint keep the controller queue full with
+  // long same-row streaks — the regime the burst-issue fast path engages
+  // in. The rest stay paced so fast-forward has idle gaps to skip.
+  const bool dense = rng.next_bool(0.35);
   const unsigned n = 1 + static_cast<unsigned>(rng.next_below(3));
   for (unsigned i = 0; i < n; ++i) {
-    const unsigned period = 60 + static_cast<unsigned>(rng.next_below(840));
-    const std::uint64_t total = 20 + rng.next_below(60);
+    const unsigned period =
+        dense ? static_cast<unsigned>(rng.next_below(2))
+              : 60 + static_cast<unsigned>(rng.next_below(840));
+    const std::uint64_t total =
+        dense ? 2'000 + rng.next_below(3'000) : 20 + rng.next_below(60);
     const std::uint64_t base =
         (rng.next_below(span / 2) / cfg.page_bytes) * cfg.page_bytes;
-    const std::uint64_t length = std::min<std::uint64_t>(span - base, 1 << 18);
-    wclients.push_back(core::WcetClient{i, period, total});
+    const std::uint64_t length =
+        std::min<std::uint64_t>(span - base, dense ? 1 << 14 : 1 << 18);
+    // period 0 paces like period 1 (one request per cycle) — the WCET
+    // model wants the >= 1 form.
+    wclients.push_back(core::WcetClient{i, std::max(period, 1u), total});
     switch (rng.next_below(4)) {
       case 0: {
         clients::StreamClient::Params p;
@@ -305,9 +319,11 @@ struct SystemRun {
 
   SystemRun(const DramConfig& cfg, std::uint64_t client_seed,
             std::uint64_t span, bool with_reliability, std::uint64_t rel_seed,
-            bool fast_forward, bool incremental, std::uint64_t window)
+            bool fast_forward, bool incremental, bool burst,
+            std::uint64_t window)
       : sys(cfg, clients::ArbiterKind::kRoundRobin), intervals(512) {
     sys.set_fast_forward(fast_forward);
+    sys.set_burst_issue(burst);
     sys.controller().set_incremental_scheduling(incremental);
     sys.controller().attach_command_log(&log);
     sys.attach_telemetry(&intervals);
@@ -338,12 +354,13 @@ struct SnapshotRun {
 
   SnapshotRun(const DramConfig& cfg, std::uint64_t client_seed,
               std::uint64_t span, bool with_reliability,
-              std::uint64_t rel_seed, bool incremental, std::uint64_t cut,
-              std::uint64_t window)
+              std::uint64_t rel_seed, bool incremental, bool burst,
+              std::uint64_t cut, std::uint64_t window)
       : intervals(512) {
     const auto build = [&] {
       auto s = std::make_unique<clients::MemorySystem>(
           cfg, clients::ArbiterKind::kRoundRobin);
+      s->set_burst_issue(burst);
       s->controller().set_incremental_scheduling(incremental);
       s->controller().attach_command_log(&log);
       s->attach_telemetry(&intervals);
@@ -422,15 +439,36 @@ TEST(DifferentialFuzz, SystemLevelThreeWayBitIdentical) {
 
     const SystemRun reference(cfg, client_seed, span, with_rel, rel_seed,
                               /*fast_forward=*/false, /*incremental=*/false,
-                              window);
+                              /*burst=*/false, window);
     const SystemRun incremental(cfg, client_seed, span, with_rel, rel_seed,
                                 /*fast_forward=*/false, /*incremental=*/true,
-                                window);
+                                /*burst=*/false, window);
     const SystemRun fast(cfg, client_seed, span, with_rel, rel_seed,
-                         /*fast_forward=*/true, /*incremental=*/true, window);
+                         /*fast_forward=*/true, /*incremental=*/true,
+                         /*burst=*/false, window);
 
-    expect_system_runs_eq(reference, incremental);
-    expect_system_runs_eq(reference, fast);
+    {
+      SCOPED_TRACE("per-cycle+incremental");
+      expect_system_runs_eq(reference, incremental);
+    }
+    {
+      SCOPED_TRACE("fast-forward+incremental");
+      expect_system_runs_eq(reference, fast);
+    }
+
+    // Burst-issue axis: the dense-traffic fast path rides the same
+    // contract as fast-forward, so it is fuzzed across the full
+    // {per-cycle, fast-forward} x {rescan, incremental} cross.
+    for (const bool bff : {false, true}) {
+      for (const bool binc : {false, true}) {
+        const SystemRun burst(cfg, client_seed, span, with_rel, rel_seed, bff,
+                              binc, /*burst=*/true, window);
+        SCOPED_TRACE(std::string("burst+") +
+                     (bff ? "fast-forward" : "per-cycle") + "+" +
+                     (binc ? "incremental" : "rescan"));
+        expect_system_runs_eq(reference, burst);
+      }
+    }
 
     // WCET oracles (core/wcet.hpp): the run can never move more bytes
     // than the analytical channel bound, and — when the fixed points
@@ -472,13 +510,18 @@ TEST(DifferentialFuzz, MidTrialSnapshotRestoreBitIdentical) {
     const bool with_rel = rng.next_bool(0.5);
     const std::uint64_t cut = 1 + rng.next_below(window - 1);
     const bool incremental = trial % 2 == 0;
+    // Half the snapshot trials run with burst issue on: a cut can land
+    // mid-streak, so restore must rebuild the pre-decoded queue arrays
+    // bit-exactly (Controller::load re-derives them from the queue).
+    const bool burst = trial % 2 == 1;
     const std::uint64_t client_seed = derive_seed(seed, 1);
     const std::uint64_t rel_seed = derive_seed(seed, 2);
 
     const SystemRun straight(cfg, client_seed, span, with_rel, rel_seed,
-                             /*fast_forward=*/true, incremental, window);
+                             /*fast_forward=*/true, incremental, burst,
+                             window);
     const SnapshotRun resumed(cfg, client_seed, span, with_rel, rel_seed,
-                              incremental, cut, window);
+                              incremental, burst, cut, window);
     expect_system_runs_eq(straight, resumed);
 
     // Equal states must serialize to equal bytes (sorted-map dumps make
@@ -540,7 +583,8 @@ struct ChannelRun {
 
   ChannelRun(const DramConfig& cfg, unsigned channels,
              dram::ChannelInterleave il, unsigned threads, bool incremental,
-             const std::vector<ChannelArrival>& trace, std::uint64_t window)
+             bool burst, const std::vector<ChannelArrival>& trace,
+             std::uint64_t window)
       : mc(cfg, channels, il) {
     mc.set_tick_threads(threads);
     for (unsigned c = 0; c < channels; ++c) {
@@ -548,6 +592,7 @@ struct ChannelRun {
       intervals.push_back(std::make_unique<telemetry::IntervalReporter>(512));
       mc.channel(c).attach_command_log(logs.back().get());
       mc.channel(c).set_incremental_scheduling(incremental);
+      mc.channel(c).set_burst_issue(burst);
       mc.attach_telemetry(c, intervals.back().get());
     }
     std::vector<Request> scratch;
@@ -615,12 +660,15 @@ TEST(DifferentialFuzz, MultiChannelBitIdenticalAcrossThreadCounts) {
     const std::vector<ChannelArrival> trace =
         random_channel_trace(rng, span, window);
 
-    // Reference: serial walk, from-scratch rescan scheduling.
+    // Reference: serial walk, from-scratch rescan scheduling, burst
+    // issue off. The sweep runs burst on, so the direct tick_until drive
+    // (no MemorySystem front end) exercises the closed-form path too.
     const ChannelRun reference(cfg, channels, il, /*threads=*/1,
-                               /*incremental=*/false, trace, window);
+                               /*incremental=*/false, /*burst=*/false, trace,
+                               window);
     for (const unsigned threads : {1u, 2u, 8u}) {
       const ChannelRun run(cfg, channels, il, threads, /*incremental=*/true,
-                           trace, window);
+                           /*burst=*/true, trace, window);
       SCOPED_TRACE("tick_threads=" + std::to_string(threads));
       expect_channel_runs_eq(reference, run);
     }
@@ -722,11 +770,14 @@ TEST(DifferentialFuzz, EvaluatorArenaMemoBitIdenticalAcrossThreadCounts) {
     w.warmup_cycles = trial % 3 == 0 ? 4'000 + rng.next_below(8'000) : 0;
 
     // Reference: regenerate clients per point, no memoization, no warm-up
-    // checkpointing, serial.
+    // checkpointing, no burst issue, serial. The candidate evaluators
+    // keep burst on (the default), so every sweep differentially checks
+    // the dense-traffic fast path through the evaluator pipeline.
     core::Evaluator ref;
     ref.set_workload_arena(false);
     ref.set_memoize(false);
     ref.set_checkpoint(false);
+    ref.set_burst_issue(false);
     ref.set_threads(1);
     const std::vector<core::Metrics> want = ref.sweep(cfgs, w);
     const std::vector<std::size_t> want_front = core::pareto_front(

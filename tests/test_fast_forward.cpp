@@ -565,6 +565,224 @@ TEST(FastForward, MultiChannelSystemMatchesPerCycle) {
 }
 
 // ---------------------------------------------------------------------------
+// Saturated-channel equivalence: the dense-traffic burst path (controller
+// issue_burst + MemorySystem dense_stretch) against per-cycle stepping.
+// The suite above is idle-shape-heavy; these run at 100% duty, where
+// every cycle carries a command and set_burst_issue is the knob under
+// test. Reference is burst off + fast-forward off (pure per-cycle).
+
+void expect_systems_eq(const clients::MemorySystem& a,
+                       const clients::MemorySystem& b) {
+  EXPECT_EQ(a.controller().cycle(), b.controller().cycle());
+  expect_stats_eq(a.controller().stats(), b.controller().stats());
+  for (std::size_t i = 0; i < a.client_count(); ++i) {
+    expect_client_stats_eq(a.client_stats(i), b.client_stats(i), i);
+    EXPECT_EQ(a.fifo(i).required_depth_bytes(), b.fifo(i).required_depth_bytes());
+    expect_acc_eq(a.fifo(i).occupancy(), b.fifo(i).occupancy(),
+                  "fifo occupancy");
+  }
+}
+
+std::unique_ptr<clients::Client> duty_stream(unsigned id,
+                                             const DramConfig& cfg,
+                                             std::uint64_t base,
+                                             std::uint64_t length) {
+  clients::StreamClient::Params p;
+  p.base = base;
+  p.length = length;
+  p.burst_bytes = cfg.bytes_per_access();
+  p.period_cycles = 0;  // a new request every cycle: 100% duty
+  p.total_requests = 0;  // endless
+  return std::make_unique<clients::StreamClient>(id, "duty", p);
+}
+
+/// Run the same roster under {reference, burst + fast-forward,
+/// burst + per-cycle front end} and demand identical bits.
+void expect_saturated_equivalent(
+    const DramConfig& cfg,
+    const std::function<void(clients::MemorySystem&)>& fill,
+    std::uint64_t cycles) {
+  clients::MemorySystem ref(cfg, clients::ArbiterKind::kRoundRobin);
+  ref.set_fast_forward(false);
+  ref.set_burst_issue(false);
+  fill(ref);
+  clients::MemorySystem burst_ff(cfg, clients::ArbiterKind::kRoundRobin);
+  fill(burst_ff);
+  clients::MemorySystem burst_pc(cfg, clients::ArbiterKind::kRoundRobin);
+  burst_pc.set_fast_forward(false);
+  fill(burst_pc);
+
+  ref.run(cycles);
+  burst_ff.run(cycles);
+  burst_pc.run(cycles);
+  expect_systems_eq(ref, burst_ff);
+  expect_systems_eq(ref, burst_pc);
+}
+
+TEST(BurstIssue, SaturatedStreamMatchesPerCycle) {
+  const DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  expect_saturated_equivalent(
+      cfg,
+      [&](clients::MemorySystem& sys) {
+        sys.add_client(duty_stream(0, cfg, 0, 1 << 18));
+      },
+      50'000);
+  // Sanity: the stream really saturated the channel (row-hit streaks
+  // dominate and the data bus is the bottleneck).
+  clients::MemorySystem probe(cfg, clients::ArbiterKind::kRoundRobin);
+  probe.add_client(duty_stream(0, cfg, 0, 1 << 18));
+  probe.run(50'000);
+  const auto& st = probe.controller().stats();
+  EXPECT_GT(st.row_hits, st.row_misses * 10);
+  EXPECT_GT(st.data_bus_busy_cycles * 10, st.cycles * 8);
+}
+
+TEST(BurstIssue, SaturatedStreamWithRefreshAndWatchdog) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.watchdog_enabled = true;
+  cfg.watchdog_cycles = 4'000;
+  expect_saturated_equivalent(
+      cfg,
+      [&](clients::MemorySystem& sys) {
+        sys.add_client(duty_stream(0, cfg, 0, 1 << 18));
+      },
+      40'000);
+}
+
+TEST(BurstIssue, SaturatedWriteStreamTimeoutPolicy) {
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.page_policy = dram::PagePolicy::kTimeout;
+  cfg.page_timeout_cycles = 32;
+  expect_saturated_equivalent(
+      cfg,
+      [&](clients::MemorySystem& sys) {
+        clients::StreamClient::Params p;
+        p.base = 0;
+        p.length = 1 << 18;
+        p.burst_bytes = cfg.bytes_per_access();
+        p.period_cycles = 0;
+        p.total_requests = 0;
+        p.type = dram::AccessType::kWrite;
+        sys.add_client(std::make_unique<clients::StreamClient>(0, "wr", p));
+      },
+      40'000);
+}
+
+TEST(BurstIssue, BankPrivatizedStridedMatchesPerCycle) {
+  // kBankRowCol + disjoint per-client regions: each client owns one bank,
+  // so the queue mixes banks and the controller burst only engages on
+  // single-client streaks — the fall-back boundary gets exercised hard.
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.mapping = dram::AddressMapping::kBankRowCol;
+  const std::uint64_t bank_span = cfg.capacity().byte_count() / cfg.banks;
+  expect_saturated_equivalent(
+      cfg,
+      [&](clients::MemorySystem& sys) {
+        for (unsigned b = 0; b < 4; ++b) {
+          clients::StridedClient::Params p;
+          p.base = b * bank_span;
+          p.length = std::min<std::uint64_t>(bank_span, 1 << 18);
+          p.burst_bytes = cfg.bytes_per_access();
+          p.stride_bytes = cfg.page_bytes;  // one burst per row: miss-heavy
+          p.period_cycles = 0;
+          p.total_requests = 0;
+          sys.add_client(std::make_unique<clients::StridedClient>(
+              b, "strided", p));
+        }
+      },
+      40'000);
+}
+
+TEST(BurstIssue, TdmFullSlotsMatchesPerCycle) {
+  // Every TDM slot owned by a 100%-duty stream over its own bank: the
+  // steady state the paper's real-time configurations run in.
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.scheduler = dram::SchedulerKind::kTdm;
+  cfg.tdm_slot_cycles = 32;
+  cfg.tdm_clients = 4;
+  cfg.mapping = dram::AddressMapping::kBankRowCol;
+  const std::uint64_t bank_span = cfg.capacity().byte_count() / cfg.banks;
+  expect_saturated_equivalent(
+      cfg,
+      [&](clients::MemorySystem& sys) {
+        for (unsigned b = 0; b < 4; ++b) {
+          sys.add_client(duty_stream(
+              b, cfg, b * bank_span,
+              std::min<std::uint64_t>(bank_span, 1 << 18)));
+        }
+      },
+      40'000);
+}
+
+TEST(BurstIssue, ReadFirstSchedulerMixedDirectionMatchesPerCycle) {
+  // Write-drain hysteresis across burst segments: a read stream and a
+  // write stream contend, so draining_ flips while bursts start and stop.
+  DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  cfg.scheduler = dram::SchedulerKind::kReadFirst;
+  expect_saturated_equivalent(
+      cfg,
+      [&](clients::MemorySystem& sys) {
+        sys.add_client(duty_stream(0, cfg, 0, 1 << 18));
+        clients::StreamClient::Params p;
+        p.base = 1 << 20;
+        p.length = 1 << 18;
+        p.burst_bytes = cfg.bytes_per_access();
+        p.period_cycles = 0;
+        p.total_requests = 0;
+        p.type = dram::AccessType::kWrite;
+        sys.add_client(std::make_unique<clients::StreamClient>(1, "wr", p));
+      },
+      40'000);
+}
+
+TEST(BurstIssue, CommandLogIdenticalUnderBurst) {
+  // The logic-analyzer view must not change: same commands, same cycles,
+  // same decode, whether the controller bursts or steps.
+  const DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  dram::CommandLog ref_log;
+  dram::CommandLog burst_log;
+
+  clients::MemorySystem ref(cfg, clients::ArbiterKind::kRoundRobin);
+  ref.set_fast_forward(false);
+  ref.set_burst_issue(false);
+  ref.controller().attach_command_log(&ref_log);
+  ref.add_client(duty_stream(0, cfg, 0, 1 << 18));
+
+  clients::MemorySystem burst(cfg, clients::ArbiterKind::kRoundRobin);
+  burst.controller().attach_command_log(&burst_log);
+  burst.add_client(duty_stream(0, cfg, 0, 1 << 18));
+
+  ref.run(30'000);
+  burst.run(30'000);
+  ASSERT_GT(ref_log.records().size(), 1'000u);
+  EXPECT_EQ(ref_log.records(), burst_log.records());
+  expect_systems_eq(ref, burst);
+}
+
+TEST(BurstIssue, RunToCompletionFiniteSaturatedStreams) {
+  const DramConfig cfg = dram::presets::edram_module(16, 64, 4, 2048);
+  const auto fill = [&](clients::MemorySystem& sys) {
+    clients::StreamClient::Params p;
+    p.base = 0;
+    p.length = 1 << 18;
+    p.burst_bytes = cfg.bytes_per_access();
+    p.period_cycles = 0;
+    p.total_requests = 4'000;
+    sys.add_client(std::make_unique<clients::StreamClient>(0, "fin", p));
+  };
+  clients::MemorySystem ref(cfg, clients::ArbiterKind::kRoundRobin);
+  ref.set_fast_forward(false);
+  ref.set_burst_issue(false);
+  fill(ref);
+  clients::MemorySystem burst(cfg, clients::ArbiterKind::kRoundRobin);
+  fill(burst);
+  ref.run_to_completion();
+  burst.run_to_completion();
+  expect_systems_eq(ref, burst);
+  EXPECT_EQ(ref.client_stats(0).completed, 4'000u);
+}
+
+// ---------------------------------------------------------------------------
 // Parallel harness determinism: identical bits at every thread count.
 
 TEST(ParallelDeterminism, YieldIdenticalAcrossThreadCounts) {
